@@ -1,0 +1,395 @@
+package sketchtree
+
+// One benchmark per table and figure of the paper's evaluation (§7),
+// plus ablation benches for the design choices DESIGN.md calls out
+// (virtual streams, top-k deletion, ξ family, 1-D mapping). Benches
+// run the experiment harness at small scale — the same code
+// cmd/experiments runs at medium/paper scale — and report the figures'
+// headline quantities as custom metrics (relerr% = average relative
+// error ×100, patterns = pattern occurrences, KB = synopsis size).
+
+import (
+	"math/rand/v2"
+	"sync"
+	"testing"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/core"
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/experiments"
+	"sketchtree/internal/gf2"
+	"sketchtree/internal/pairing"
+	"sketchtree/internal/prufer"
+	"sketchtree/internal/rabin"
+	"sketchtree/internal/tree"
+	"sketchtree/internal/xi"
+)
+
+// benchScale trims the small scale further so the full bench suite
+// stays in the minutes range.
+func benchScale() experiments.Scale {
+	sc := experiments.ScaleSmall()
+	sc.TreebankTrees = 250
+	sc.DBLPTrees = 500
+	sc.Runs = 1
+	sc.QueriesPerRange = 8
+	sc.SumQueries = 60
+	sc.ProductQueries = 40
+	sc.TopKsTreebank = []int{10, 50}
+	sc.TopKsDBLP = []int{1, 25}
+	return sc
+}
+
+var (
+	bundleOnce sync.Once
+	tbBundle   *experiments.Bundle
+	dbBundle   *experiments.Bundle
+	bundleErr  error
+)
+
+func bundles(b *testing.B) (*experiments.Bundle, *experiments.Bundle) {
+	b.Helper()
+	bundleOnce.Do(func() {
+		sc := benchScale()
+		tbBundle, bundleErr = experiments.Prepare(sc, "TREEBANK")
+		if bundleErr != nil {
+			return
+		}
+		dbBundle, bundleErr = experiments.Prepare(sc, "DBLP")
+	})
+	if bundleErr != nil {
+		b.Fatal(bundleErr)
+	}
+	return tbBundle, dbBundle
+}
+
+// --- Table 1 ---
+
+func BenchmarkTable1DatasetStats(b *testing.B) {
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		tb, db := bundles(b)
+		rowT := experiments.Table1(tb, sc)
+		rowD := experiments.Table1(db, sc)
+		b.ReportMetric(float64(rowT.DistinctPatterns), "tb-distinct")
+		b.ReportMetric(float64(rowD.DistinctPatterns), "dblp-distinct")
+		b.ReportMetric(float64(rowT.TotalPatterns), "tb-patterns")
+	}
+}
+
+// --- Figure 8 ---
+
+func BenchmarkFigure8WorkloadGeneration(b *testing.B) {
+	tb, db := bundles(b)
+	for i := 0; i < b.N; i++ {
+		rt := experiments.Figure8(tb)
+		rd := experiments.Figure8(db)
+		n := 0
+		for _, c := range rt.Counts {
+			n += c
+		}
+		for _, c := range rd.Counts {
+			n += c
+		}
+		b.ReportMetric(float64(n), "queries")
+	}
+}
+
+// --- Figure 9 ---
+
+func BenchmarkFigure9aEnumTreeTime(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure9(tb, sc, tb.K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := pts[len(pts)-1]
+		b.ReportMetric(float64(last.Patterns)/last.Seconds, "patterns/s")
+	}
+}
+
+func BenchmarkFigure9bEnumTreePatterns(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Figure9(tb, sc, tb.K)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The figure's series: patterns generated per k; report the
+		// growth factor from k=1 to k=max.
+		b.ReportMetric(float64(pts[len(pts)-1].Patterns), "patterns@kmax")
+		b.ReportMetric(float64(pts[len(pts)-1].Patterns)/float64(pts[0].Patterns), "growth")
+	}
+}
+
+// --- Figure 10 ---
+
+func meanErr(rows [][]float64) float64 {
+	s, n := 0.0, 0
+	for _, row := range rows {
+		for _, e := range row {
+			s += e
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+func errorSweepBench(b *testing.B, dataset string, s1 int, topks []int) {
+	tb, db := bundles(b)
+	bundle := tb
+	if dataset == "DBLP" {
+		bundle = db
+	}
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ErrorSweep(bundle, sc, s1, topks)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// First and last top-k columns: the figure's storyline is the
+		// error dropping as top-k grows.
+		first, last := res.AvgRelErr[0], res.AvgRelErr[len(res.AvgRelErr)-1]
+		b.ReportMetric(meanErr([][]float64{first})*100, "relerr%@topk-min")
+		b.ReportMetric(meanErr([][]float64{last})*100, "relerr%@topk-max")
+		b.ReportMetric(float64(res.MemoryBytes[len(res.MemoryBytes)-1])/1024, "KB")
+	}
+}
+
+func BenchmarkFigure10aTreebankS1_25(b *testing.B) {
+	errorSweepBench(b, "TREEBANK", 25, benchScale().TopKsTreebank)
+}
+
+func BenchmarkFigure10bTreebankS1_50(b *testing.B) {
+	errorSweepBench(b, "TREEBANK", 50, benchScale().TopKsTreebank)
+}
+
+func BenchmarkFigure10cDBLPS1_50(b *testing.B) {
+	errorSweepBench(b, "DBLP", 50, benchScale().TopKsDBLP)
+}
+
+func BenchmarkFigure10dDBLPS1_75(b *testing.B) {
+	errorSweepBench(b, "DBLP", 75, benchScale().TopKsDBLP)
+}
+
+// --- Figures 11 and 12 ---
+
+func BenchmarkFigure11SumProductWorkloads(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		// The histograms of Figure 11 fall out of the sweeps' workload
+		// generation; a single-top-k sweep regenerates both.
+		sum, err := experiments.SumSweep(tb, sc, 25, []int{10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		prod, err := experiments.ProductSweep(tb, sc, 25, []int{10})
+		if err != nil {
+			b.Fatal(err)
+		}
+		n := 0
+		for _, h := range sum.Histogram {
+			n += h
+		}
+		for _, h := range prod.Histogram {
+			n += h
+		}
+		b.ReportMetric(float64(n), "queries")
+	}
+}
+
+func BenchmarkFigure12SumEstimation(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.SumSweep(tb, sc, 25, sc.TopKsTreebank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanErr(res.AvgRelErr[:1])*100, "relerr%@topk-min")
+		b.ReportMetric(meanErr(res.AvgRelErr[len(res.AvgRelErr)-1:])*100, "relerr%@topk-max")
+	}
+}
+
+func BenchmarkFigure12ProductEstimation(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ProductSweep(tb, sc, 25, sc.TopKsTreebank)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanErr(res.AvgRelErr[:1])*100, "relerr%@topk-min")
+		b.ReportMetric(meanErr(res.AvgRelErr[len(res.AvgRelErr)-1:])*100, "relerr%@topk-max")
+	}
+}
+
+// --- §7.6/§7.7 processing cost ---
+
+func BenchmarkProcessingCostVsS1(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CostSweep(tb, sc, [][2]int{{25, 10}, {50, 10}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[1].Seconds/pts[0].Seconds, "s1-cost-ratio")
+	}
+}
+
+func BenchmarkProcessingCostVsTopK(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.CostSweep(tb, sc, [][2]int{{25, 10}, {25, 100}})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric((pts[1].Seconds/pts[0].Seconds-1)*100, "topk-overhead%")
+	}
+}
+
+// --- Ablations ---
+
+// Virtual streams (§5.3): identical stream and budget, p=1 vs p=59.
+func BenchmarkAblationVirtualStreams(b *testing.B) {
+	tb, _ := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		one := sc
+		one.VirtualStreams = 1
+		resOne, err := experiments.ErrorSweep(tb, one, 25, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		resMany, err := experiments.ErrorSweep(tb, sc, 25, []int{1})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanErr(resOne.AvgRelErr)*100, "relerr%@p=1")
+		b.ReportMetric(meanErr(resMany.AvgRelErr)*100, "relerr%@p=59")
+	}
+}
+
+// Top-k deletion (§5.2): same sketch budget with and without tracking.
+func BenchmarkAblationTopK(b *testing.B) {
+	_, db := bundles(b)
+	sc := benchScale()
+	for i := 0; i < b.N; i++ {
+		off, err := experiments.ErrorSweep(db, sc, 50, []int{0})
+		if err != nil {
+			b.Fatal(err)
+		}
+		on, err := experiments.ErrorSweep(db, sc, 50, []int{25})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(meanErr(off.AvgRelErr)*100, "relerr%@off")
+		b.ReportMetric(meanErr(on.AvgRelErr)*100, "relerr%@topk25")
+	}
+}
+
+// ξ family cost: BCH four-wise vs six-wise polynomial per sketch
+// update (the price of enabling product expressions).
+func BenchmarkAblationXiBCHUpdate(b *testing.B) {
+	benchXiUpdate(b, xi.NewBCHFamily(gf2.MustField(gf2.DefaultModulus(63))))
+}
+
+func BenchmarkAblationXiPoly6Update(b *testing.B) {
+	fam, err := xi.NewPolyFamily(gf2.MustField(gf2.DefaultModulus(63)), 6)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchXiUpdate(b, fam)
+}
+
+func benchXiUpdate(b *testing.B, fam *xi.Family) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	seeds, err := ams.NewSeeds(fam, 25, 7, rng)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sk := seeds.NewSketch()
+	p := &xi.Prep{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fam.Prepare(uint64(i)*0x9e3779b97f4a7c15, p)
+		sk.UpdatePrepared(p, 1)
+	}
+}
+
+// 1-D mapping: Rabin fingerprint (default) vs exact Cantor pairing
+// over big.Int (the paper's PF alternative) per pattern.
+func BenchmarkAblationMappingRabin(b *testing.B) {
+	fp := rabin.MustNew(gf2.DefaultModulus(61))
+	seq := prufer.OfNode(samplePattern())
+	var buf []byte
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = seq.Encode(buf[:0])
+		sinkU64 = fp.Fingerprint(buf)
+	}
+}
+
+func BenchmarkAblationMappingCantorPairing(b *testing.B) {
+	seq := prufer.OfNode(samplePattern())
+	fp := rabin.MustNew(gf2.DefaultModulus(61))
+	tuple := make([]uint64, 0, len(seq.LPS)+len(seq.NPS))
+	for _, l := range seq.LPS {
+		tuple = append(tuple, fp.FingerprintString(l)) // hash(X) per §2.2
+	}
+	for _, n := range seq.NPS {
+		tuple = append(tuple, uint64(n))
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sinkBig = pairing.PFTuple(tuple)
+	}
+}
+
+func samplePattern() *tree.Node {
+	return tree.T("S",
+		tree.T("NP", tree.T("DT"), tree.T("NN")),
+		tree.T("VP", tree.T("VBD"), tree.T("NP")))
+}
+
+// End-to-end stream throughput at the paper's default configuration.
+func BenchmarkStreamUpdateThroughput(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.VirtualStreams = 59
+	e, err := core.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := datagen.Treebank(5, 1<<20)
+	trees := make([]*tree.Tree, 64)
+	for i := range trees {
+		trees[i], _ = src.Next()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.AddTree(trees[i%len(trees)]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if e.TreesProcessed() > 0 {
+		b.ReportMetric(float64(e.PatternsProcessed())/float64(e.TreesProcessed()), "patterns/tree")
+	}
+}
+
+var (
+	sinkU64 uint64
+	sinkBig interface{}
+)

@@ -1,0 +1,68 @@
+// Command datagen emits the synthetic TREEBANK- or DBLP-style XML
+// datasets used by the experiments, as one rooted XML forest document
+// suitable for `sketchtree -forest`.
+//
+// Usage:
+//
+//	datagen -dataset treebank -n 1000 -seed 42 -o treebank.xml
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sketchtree/internal/datagen"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "datagen: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("datagen", flag.ContinueOnError)
+	var (
+		dataset = fs.String("dataset", "treebank", "dataset to generate: treebank or dblp")
+		n       = fs.Int("n", 1000, "number of trees")
+		seed    = fs.Uint64("seed", 42, "generator seed (same seed, same stream)")
+		out     = fs.String("o", "", "output file (default stdout)")
+		rootTag = fs.String("root", "", "root tag of the forest document (default: dataset name)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var src *datagen.Source
+	switch strings.ToLower(*dataset) {
+	case "treebank":
+		src = datagen.Treebank(*seed, *n)
+	case "dblp":
+		src = datagen.DBLP(*seed, *n)
+	default:
+		return fmt.Errorf("unknown dataset %q (want treebank or dblp)", *dataset)
+	}
+	tag := *rootTag
+	if tag == "" {
+		tag = strings.ToLower(*dataset)
+	}
+
+	w := bufio.NewWriter(stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	if err := src.WriteXML(w, tag); err != nil {
+		return err
+	}
+	return w.Flush()
+}

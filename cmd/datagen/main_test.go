@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "dblp", "-n", "5", "-seed", "3"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	err := tree.StreamForest(strings.NewReader(out.String()), tree.DefaultXMLOptions(),
+		func(*tree.Tree) error { n++; return nil })
+	if err != nil {
+		t.Fatalf("output does not parse as a forest: %v", err)
+	}
+	if n != 5 {
+		t.Errorf("forest has %d trees, want 5", n)
+	}
+	if !strings.HasPrefix(out.String(), "<dblp>") {
+		t.Error("default root tag must be the dataset name")
+	}
+}
+
+func TestRunToFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "tb.xml")
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "treebank", "-n", "3", "-o", path, "-root", "corpus"}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Len() != 0 {
+		t.Error("writing to a file must not touch stdout")
+	}
+	data, err := readFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(data, "<corpus>") {
+		t.Errorf("custom root tag missing: %q", data[:20])
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-dataset", "nope"}, &out); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+	if err := run([]string{"-bogus-flag"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+	if err := run([]string{"-o", "/nonexistent-dir/x.xml"}, &out); err == nil {
+		t.Error("unwritable output must fail")
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	var a, b bytes.Buffer
+	run([]string{"-dataset", "dblp", "-n", "4", "-seed", "9"}, &a)
+	run([]string{"-dataset", "dblp", "-n", "4", "-seed", "9"}, &b)
+	if a.String() != b.String() {
+		t.Error("same seed must give identical output")
+	}
+	var c bytes.Buffer
+	run([]string{"-dataset", "dblp", "-n", "4", "-seed", "10"}, &c)
+	if a.String() == c.String() {
+		t.Error("different seed should change the output")
+	}
+}
+
+func readFile(path string) (string, error) {
+	data, err := os.ReadFile(path)
+	return string(data), err
+}

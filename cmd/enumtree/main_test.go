@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestRunSexp(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-k", "2", "(A (B (C)) (D))"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 5 {
+		t.Errorf("got %d patterns, want 5: %v", len(lines), lines)
+	}
+	if !strings.Contains(errOut.String(), "5 patterns with 1..2 edges") {
+		t.Errorf("summary missing: %q", errOut.String())
+	}
+}
+
+func TestRunCountOnly(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-k", "2", "-count", "(A (B (C)) (D))"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if strings.TrimSpace(out.String()) != "5" {
+		t.Errorf("count output = %q, want 5", out.String())
+	}
+}
+
+func TestRunXMLStdin(t *testing.T) {
+	var out, errOut bytes.Buffer
+	err := run([]string{"-k", "1", "-xml"}, strings.NewReader("<a><b/><c/></a>"), &out, &errOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Split(strings.TrimSpace(out.String()), "\n")
+	sort.Strings(got)
+	if len(got) != 2 || got[0] != "(a (b))" || got[1] != "(a (c))" {
+		t.Errorf("patterns = %q", got)
+	}
+}
+
+func TestRunPruferColumn(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run([]string{"-k", "1", "-prufer", "(A (B))"}, strings.NewReader(""), &out, &errOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "LPS: B A | NPS: 2 3") {
+		t.Errorf("prufer column missing: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if err := run(nil, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Error("missing input must fail")
+	}
+	if err := run([]string{"not sexp"}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Error("bad S-expression must fail")
+	}
+	if err := run([]string{"-xml"}, strings.NewReader("<a"), &out, &errOut); err == nil {
+		t.Error("bad XML must fail")
+	}
+	if err := run([]string{"-k", "0", "(A (B))"}, strings.NewReader(""), &out, &errOut); err == nil {
+		t.Error("k=0 must fail")
+	}
+}

@@ -1,0 +1,334 @@
+// Command experiments regenerates the paper's tables and figures
+// (Table 1, Figures 8–12, and the §7.6/§7.7 processing-cost ratios)
+// against the synthetic TREEBANK and DBLP streams, printing the same
+// rows and series the paper reports.
+//
+//	experiments -scale medium -exp all
+//	experiments -scale paper -exp fig10a        # hours
+//	experiments -scale small -exp table1,fig9
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sketchtree/internal/experiments"
+)
+
+// jsonReport accumulates every computed result for -json output, so
+// downstream tooling (and EXPERIMENTS.md) can consume the numbers
+// without scraping the text tables.
+type jsonReport struct {
+	Scale    string                             `json:"scale"`
+	Table1   []experiments.Table1Row            `json:"table1,omitempty"`
+	Fig8     []experiments.Fig8Result           `json:"figure8,omitempty"`
+	Fig9     map[string][]experiments.EnumPoint `json:"figure9,omitempty"`
+	Fig10    []*experiments.ErrorSweepResult    `json:"figure10,omitempty"`
+	Fig1112  []*experiments.CompositeResult     `json:"figure11_12,omitempty"`
+	Cost     map[string][]experiments.CostPoint `json:"cost,omitempty"`
+	Ablation []experiments.AblationResult       `json:"ablation,omitempty"`
+}
+
+var report jsonReport
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	out = stdout
+	report = jsonReport{}
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	var (
+		scaleName = fs.String("scale", "small", "experiment scale: tiny, small, medium, or paper")
+		expList   = fs.String("exp", "all", "comma-separated experiments: table1, fig8, fig9, fig10a, fig10b, fig10c, fig10d, fig11, fig12sum, fig12product, cost, ablation")
+		jsonOut   = fs.String("json", "", "also write all results as JSON to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var sc experiments.Scale
+	switch *scaleName {
+	case "tiny":
+		sc = experiments.ScaleTiny()
+	case "small":
+		sc = experiments.ScaleSmall()
+	case "medium":
+		sc = experiments.ScaleMedium()
+	case "paper":
+		sc = experiments.ScalePaper()
+	default:
+		return fmt.Errorf("unknown scale %q", *scaleName)
+	}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*expList, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	need := func(names ...string) bool {
+		if all {
+			return true
+		}
+		for _, n := range names {
+			if want[n] {
+				return true
+			}
+		}
+		return false
+	}
+
+	fmt.Fprintf(out, "SketchTree experiment harness — scale %q\n", sc.Name)
+	fmt.Fprintf(out, "(synthetic TREEBANK/DBLP substitutes; see DESIGN.md §4)\n\n")
+
+	var tb, db *experiments.Bundle
+	var err error
+	if need("table1", "fig8", "fig9", "fig10a", "fig10b", "fig11", "fig12sum", "fig12product", "cost", "ablation") {
+		fmt.Fprintln(out, "preparing TREEBANK bundle...")
+		tb, err = experiments.Prepare(sc, "TREEBANK")
+		check(err)
+	}
+	if need("table1", "fig8", "fig9", "fig10c", "fig10d", "cost", "ablation") {
+		fmt.Fprintln(out, "preparing DBLP bundle...")
+		db, err = experiments.Prepare(sc, "DBLP")
+		check(err)
+	}
+	fmt.Fprintln(out)
+
+	if need("table1") {
+		printTable1(sc, tb, db)
+	}
+	if need("fig8") {
+		printFigure8(tb, db)
+	}
+	if need("fig9") {
+		printFigure9(sc, tb, db)
+	}
+	if need("fig10a") {
+		runErrorSweep(sc, tb, sc.S1Treebank[0], sc.TopKsTreebank, "Figure 10(a)")
+	}
+	if need("fig10b") {
+		runErrorSweep(sc, tb, sc.S1Treebank[len(sc.S1Treebank)-1], sc.TopKsTreebank, "Figure 10(b)")
+	}
+	if need("fig10c") {
+		runErrorSweep(sc, db, sc.S1DBLP[0], sc.TopKsDBLP, "Figure 10(c)")
+	}
+	if need("fig10d") {
+		runErrorSweep(sc, db, sc.S1DBLP[len(sc.S1DBLP)-1], sc.TopKsDBLP, "Figure 10(d)")
+	}
+	if need("fig11", "fig12sum") {
+		for _, s1 := range sc.S1Treebank {
+			res, err := experiments.SumSweep(tb, sc, s1, sc.TopKsTreebank)
+			check(err)
+			printComposite(res, "Figures 11(a)/12(a,b) — SUM workload")
+		}
+	}
+	if need("fig12product") {
+		for _, s1 := range sc.S1Treebank {
+			res, err := experiments.ProductSweep(tb, sc, s1, sc.TopKsTreebank)
+			check(err)
+			printComposite(res, "Figures 11(b)/12(c,d) — PRODUCT workload")
+		}
+	}
+	if need("cost") {
+		printCost(sc, tb, db)
+	}
+	if need("ablation") {
+		printAblations(sc, tb, sc.S1Treebank[0], sc.TopKsTreebank[len(sc.TopKsTreebank)-1])
+		printAblations(sc, db, sc.S1DBLP[0], sc.TopKsDBLP[len(sc.TopKsDBLP)-1])
+	}
+	if *jsonOut != "" {
+		report.Scale = sc.Name
+		data, err := json.MarshalIndent(&report, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, data, 0o644))
+		fmt.Fprintf(out, "wrote JSON results to %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// out is the destination for all report printing; main sets it to
+// stdout, tests to a buffer.
+var out io.Writer = os.Stdout
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func printTable1(sc experiments.Scale, bundles ...*experiments.Bundle) {
+	fmt.Fprintln(out, "== Table 1: dataset and tree pattern statistics ==")
+	fmt.Fprintf(out, "%-10s %10s %4s %16s %14s %16s %14s\n",
+		"Dataset", "#Trees", "k", "#DistinctPat", "#PatternOccs", "SelfJoinSize", "ExactCtrMem")
+	for _, b := range bundles {
+		if b == nil {
+			continue
+		}
+		row := experiments.Table1(b, sc)
+		report.Table1 = append(report.Table1, row)
+		fmt.Fprintf(out, "%-10s %10d %4d %16d %14d %16d %12.1fKB\n",
+			row.Dataset, row.Trees, row.K, row.DistinctPatterns,
+			row.TotalPatterns, row.SelfJoinSize, float64(row.BaselineMemBytes)/1024)
+	}
+	fmt.Fprintln(out)
+}
+
+func printFigure8(bundles ...*experiments.Bundle) {
+	fmt.Fprintln(out, "== Figure 8: query workloads by selectivity range ==")
+	for _, b := range bundles {
+		if b == nil {
+			continue
+		}
+		res := experiments.Figure8(b)
+		report.Fig8 = append(report.Fig8, res)
+		fmt.Fprintf(out, "%s (paper ranges × %g; counts in [%d, %d]):\n",
+			res.Dataset, b.RangeScale, res.MinCount, res.MaxCount)
+		for i, r := range res.Ranges {
+			fmt.Fprintf(out, "  %-24s %5d queries\n", r.String(), res.Counts[i])
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func printFigure9(sc experiments.Scale, bundles ...*experiments.Bundle) {
+	fmt.Fprintln(out, "== Figure 9: EnumTree cost — (a) time, (b) patterns generated ==")
+	for _, b := range bundles {
+		if b == nil {
+			continue
+		}
+		pts, err := experiments.Figure9(b, sc, b.K)
+		check(err)
+		if report.Fig9 == nil {
+			report.Fig9 = map[string][]experiments.EnumPoint{}
+		}
+		report.Fig9[b.Name] = pts
+		fmt.Fprintf(out, "%s:\n  %3s %14s %12s %14s\n", b.Name, "k", "patterns", "seconds", "patterns/sec")
+		for _, p := range pts {
+			fmt.Fprintf(out, "  %3d %14d %12.3f %14.0f\n",
+				p.K, p.Patterns, p.Seconds, float64(p.Patterns)/p.Seconds)
+		}
+	}
+	fmt.Fprintln(out)
+}
+
+func runErrorSweep(sc experiments.Scale, b *experiments.Bundle, s1 int, topks []int, title string) {
+	res, err := experiments.ErrorSweep(b, sc, s1, topks)
+	check(err)
+	report.Fig10 = append(report.Fig10, res)
+	fmt.Fprintf(out, "== %s: %s avg relative error, s1=%d, s2=%d, p=%d ==\n",
+		title, res.Dataset, s1, sc.S2, sc.VirtualStreams)
+	fmt.Fprintf(out, "%-24s", "selectivity \\ top-k")
+	for _, tk := range res.TopKs {
+		fmt.Fprintf(out, " %8d", tk)
+	}
+	fmt.Fprintln(out)
+	for ri, r := range res.Ranges {
+		fmt.Fprintf(out, "%-24s", r.String())
+		for ti := range res.TopKs {
+			fmt.Fprintf(out, " %7.1f%%", res.AvgRelErr[ti][ri]*100)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintf(out, "%-24s", "memory (KB)")
+	for ti := range res.TopKs {
+		fmt.Fprintf(out, " %8.0f", float64(res.MemoryBytes[ti])/1024)
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintf(out, "%-24s", "stream time (s)")
+	for ti := range res.TopKs {
+		fmt.Fprintf(out, " %8.2f", res.Seconds[ti])
+	}
+	fmt.Fprintln(out)
+	fmt.Fprintln(out)
+}
+
+func printComposite(res *experiments.CompositeResult, title string) {
+	report.Fig1112 = append(report.Fig1112, res)
+	fmt.Fprintf(out, "== %s: %s s1=%d ==\n", title, res.Dataset, res.S1)
+	fmt.Fprintln(out, "workload histogram:")
+	for i, r := range res.Ranges {
+		fmt.Fprintf(out, "  %-28s %6d queries\n", r.String(), res.Histogram[i])
+	}
+	fmt.Fprintf(out, "%-28s", "selectivity \\ top-k")
+	for _, tk := range res.TopKs {
+		fmt.Fprintf(out, " %8d", tk)
+	}
+	fmt.Fprintln(out)
+	for ri, r := range res.Ranges {
+		fmt.Fprintf(out, "%-28s", r.String())
+		for ti := range res.TopKs {
+			fmt.Fprintf(out, " %7.1f%%", res.AvgRelErr[ti][ri]*100)
+		}
+		fmt.Fprintln(out)
+	}
+	fmt.Fprintln(out)
+}
+
+func printCost(sc experiments.Scale, tb, db *experiments.Bundle) {
+	fmt.Fprintln(out, "== §7.6/§7.7: stream processing cost ratios ==")
+	type spec struct {
+		b      *experiments.Bundle
+		s1s    [2]int
+		topks  [2]int
+		legend string
+	}
+	specs := []spec{}
+	if tb != nil {
+		specs = append(specs, spec{tb, [2]int{sc.S1Treebank[0], sc.S1Treebank[len(sc.S1Treebank)-1]},
+			[2]int{sc.TopKsTreebank[0], sc.TopKsTreebank[len(sc.TopKsTreebank)-1]},
+			"paper: s1 ratio ≈ 2.3, top-k overhead ≈ 5%"})
+	}
+	if db != nil {
+		specs = append(specs, spec{db, [2]int{sc.S1DBLP[0], sc.S1DBLP[len(sc.S1DBLP)-1]},
+			[2]int{sc.TopKsDBLP[0], sc.TopKsDBLP[len(sc.TopKsDBLP)-1]},
+			"paper: s1 ratio ≈ 1.6, top-k overhead ≈ 8-10%"})
+	}
+	for _, s := range specs {
+		pts, err := experiments.CostSweep(s.b, sc, [][2]int{
+			{s.s1s[0], s.topks[0]},
+			{s.s1s[1], s.topks[0]},
+			{s.s1s[0], s.topks[1]},
+		})
+		check(err)
+		if report.Cost == nil {
+			report.Cost = map[string][]experiments.CostPoint{}
+		}
+		report.Cost[s.b.Name] = pts
+		fmt.Fprintf(out, "%s (%s):\n", s.b.Name, s.legend)
+		for _, p := range pts {
+			fmt.Fprintf(out, "  s1=%-4d topk=%-4d %8.2fs  %10.0f patterns/s\n",
+				p.S1, p.TopK, p.Seconds, p.PatternsPerSec)
+		}
+		fmt.Fprintf(out, "  s1 %d→%d cost ratio: %.2f   top-k %d→%d overhead: %+.1f%%\n",
+			s.s1s[0], s.s1s[1], pts[1].Seconds/pts[0].Seconds,
+			s.topks[0], s.topks[1], (pts[2].Seconds/pts[0].Seconds-1)*100)
+	}
+	fmt.Fprintln(out)
+}
+
+func printAblations(sc experiments.Scale, b *experiments.Bundle, s1, topk int) {
+	if b == nil {
+		return
+	}
+	res, err := experiments.Ablations(b, sc, s1, topk)
+	check(err)
+	report.Ablation = append(report.Ablation, res...)
+	fmt.Fprintf(out, "== Ablations: %s (s1=%d) ==\n", b.Name, s1)
+	for _, a := range res {
+		fmt.Fprintf(out, "%s:\n", a.Name)
+		for _, v := range a.Variants {
+			fmt.Fprintf(out, "  %-22s relerr %6.1f%%  %7.2fs  %8.0f KB\n",
+				v.Label, v.AvgRelErr*100, v.Seconds, float64(v.Memory)/1024)
+		}
+	}
+	fmt.Fprintln(out)
+}

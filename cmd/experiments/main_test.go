@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunTinyTable1AndFig8(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "tiny", "-exp", "table1,fig8"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"Table 1", "TREEBANK", "DBLP", "Figure 8", "queries",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunTinyJSONOutput(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "r.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "tiny", "-exp", "table1", "-json", path}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Scale  string `json:"scale"`
+		Table1 []struct {
+			Dataset          string
+			DistinctPatterns int
+		} `json:"table1"`
+	}
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("JSON output does not parse: %v", err)
+	}
+	if rep.Scale != "tiny" || len(rep.Table1) != 2 {
+		t.Errorf("unexpected JSON: %+v", rep)
+	}
+	if rep.Table1[0].DistinctPatterns <= 0 {
+		t.Error("table1 rows empty")
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-scale", "galactic"}, &buf); err == nil {
+		t.Error("unknown scale must fail")
+	}
+	if err := run([]string{"-bogus"}, &buf); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

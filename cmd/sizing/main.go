@@ -1,0 +1,104 @@
+// Command sizing turns the paper's error-bound theorems into a
+// capacity planner: given a target relative error ε, confidence 1−δ,
+// the stream's self-join size, and the smallest count of interest, it
+// prints the required sketch dimensions and synopsis memory — and,
+// inversely, the error achievable under a memory budget.
+//
+//	sizing -epsilon 0.10 -delta 0.1 -selfjoin 2.5e9 -count 1000
+//	sizing -budget 1048576 -delta 0.1 -selfjoin 2.5e9 -count 1000
+//
+// Virtual streams divide the effective self-join size by roughly p on
+// evenly spread streams (§5.3), and top-k deletion shrinks it further
+// on skewed ones (§5.2) — both options are reflected in the output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"sketchtree/internal/ams"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sizing: %v\n", err)
+		os.Exit(2)
+	}
+}
+
+func run(args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sizing", flag.ContinueOnError)
+	var (
+		eps     = fs.Float64("epsilon", 0.10, "target relative error")
+		delta   = fs.Float64("delta", 0.10, "failure probability (confidence 1-δ)")
+		sj      = fs.Float64("selfjoin", 0, "self-join size SJ(S) of the pattern stream (required)")
+		count   = fs.Float64("count", 0, "smallest pattern count to be estimated at ε (required)")
+		setSize = fs.Int("t", 1, "number of distinct patterns in a set query (Theorem 2)")
+		p       = fs.Int("p", 229, "virtual streams: effective SJ is divided by p (even-spread assumption)")
+		budget  = fs.Int("budget", 0, "memory budget in bytes; if set, solve for ε instead")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *sj <= 0 || *count <= 0 {
+		return fmt.Errorf("-selfjoin and -count are required and must be positive")
+	}
+	effSJ := *sj / float64(*p)
+	s2 := ams.S2ForConfidence(*delta)
+	const bytesPerCell = 8 + 24 // counter + BCH seed words
+
+	if *budget > 0 {
+		// Invert Theorem 1/2 for s1 under the budget, then for ε.
+		s1 := *budget / (bytesPerCell * s2 * *p)
+		if s1 < 1 {
+			return fmt.Errorf("budget %d B cannot fit even s1=1 with s2=%d and p=%d (need %d B)",
+				*budget, s2, *p, bytesPerCell*s2**p)
+		}
+		var eps2 float64
+		if *setSize <= 1 {
+			eps2 = 8 * effSJ / (float64(s1) * *count * *count)
+		} else {
+			eps2 = 16 * float64(*setSize-1) * effSJ / (float64(s1) * *count * *count)
+		}
+		fmt.Fprintf(stdout, "budget %.1f KB → s1 = %d, s2 = %d (δ = %g)\n",
+			float64(*budget)/1024, s1, s2, *delta)
+		fmt.Fprintf(stdout, "achievable relative error at count %.0f: ε ≈ %.3f (%.1f%%)\n",
+			*count, math.Sqrt(eps2), 100*math.Sqrt(eps2))
+		return nil
+	}
+
+	var s1 int
+	if *setSize <= 1 {
+		s1 = ams.Theorem1S1(effSJ, *count, *eps)
+	} else {
+		s1 = ams.Theorem2S1(effSJ, *setSize, *count, *eps)
+	}
+	mem := s1 * s2 * *p * bytesPerCell
+	fmt.Fprintf(stdout, "Theorem %d sizing for ε = %g, δ = %g:\n", theoremNo(*setSize), *eps, *delta)
+	fmt.Fprintf(stdout, "  effective SJ = SJ/p = %.3g (p = %d virtual streams)\n", effSJ, *p)
+	fmt.Fprintf(stdout, "  s1 = %d, s2 = %d → %d sketch cells per stream\n", s1, s2, s1*s2)
+	fmt.Fprintf(stdout, "  synopsis ≈ %.1f MB (%d B/cell: counter + ξ seed)\n",
+		float64(mem)/(1<<20), bytesPerCell)
+	fmt.Fprintf(stdout, "  variance bound per atomic estimate: %.3g (Var ≤ %s)\n",
+		ams.VarBoundSet(*setSize, effSJ), varFormula(*setSize))
+	fmt.Fprintln(stdout, "\nnote: top-k deletion reduces SJ further on skewed streams (§5.2);")
+	fmt.Fprintln(stdout, "measure the live value with SketchTree.EstimateSelfJoinSize.")
+	return nil
+}
+
+func theoremNo(t int) int {
+	if t <= 1 {
+		return 1
+	}
+	return 2
+}
+
+func varFormula(t int) string {
+	if t <= 1 {
+		return "SJ"
+	}
+	return fmt.Sprintf("2·(t−1)·SJ, t = %d", t)
+}

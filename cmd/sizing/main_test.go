@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunForward(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-epsilon", "0.1", "-delta", "0.1", "-selfjoin", "1e6", "-count", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "Theorem 1 sizing") || !strings.Contains(s, "s2 = 7") {
+		t.Errorf("output missing expected lines: %q", s)
+	}
+}
+
+func TestRunSetQuery(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-t", "3", "-selfjoin", "1e6", "-count", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "Theorem 2 sizing") {
+		t.Errorf("set query must use Theorem 2: %q", out.String())
+	}
+}
+
+func TestRunBudget(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-budget", "1048576", "-selfjoin", "1e6", "-count", "100"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "achievable relative error") {
+		t.Errorf("budget mode output wrong: %q", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, &out); err == nil {
+		t.Error("missing required flags must fail")
+	}
+	if err := run([]string{"-selfjoin", "100", "-count", "0"}, &out); err == nil {
+		t.Error("zero count must fail")
+	}
+	if err := run([]string{"-budget", "10", "-selfjoin", "1e6", "-count", "100"}, &out); err == nil {
+		t.Error("impossible budget must fail")
+	}
+	if err := run([]string{"-zzz"}, &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+}

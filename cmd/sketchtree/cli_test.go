@@ -1,0 +1,105 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTemp(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	doc := writeTemp(t, "forest.xml",
+		"<r><a><b/><c/></a><a><b/></a><a><c/><b/></a></r>")
+	var out bytes.Buffer
+	err := run([]string{
+		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
+		"-q", "a/b", "-q", "(a (b) (c))", "-q", "u:(a (b) (c))",
+		doc,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "processed 3 trees") {
+		t.Errorf("tree count missing: %q", s)
+	}
+	if !strings.Contains(s, "synopsis:") {
+		t.Error("memory line missing")
+	}
+	// Three query answers with the ≈ marker.
+	if strings.Count(s, "≈") != 3 {
+		t.Errorf("expected 3 answers: %q", s)
+	}
+}
+
+func TestRunStdinSingleDoc(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-k", "2", "-p", "7", "-q", "x/y"},
+		strings.NewReader("<x><y/></x>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "processed 1 trees") {
+		t.Errorf("stdin doc not processed: %q", out.String())
+	}
+}
+
+func TestRunExtendedQueryNeedsSummary(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-k", "2", "-q", "a//b"},
+		strings.NewReader("<a><b/></a>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "needs -summary") {
+		t.Errorf("missing summary error: %q", out.String())
+	}
+	// With -summary it answers.
+	out.Reset()
+	err = run([]string{"-k", "2", "-summary", "-q", "a//b"},
+		strings.NewReader("<a><b/></a>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "≈") {
+		t.Errorf("extended query unanswered: %q", out.String())
+	}
+}
+
+func TestRunBadQueriesReportedInline(t *testing.T) {
+	var out bytes.Buffer
+	err := run([]string{"-k", "2", "-q", "(bad", "-q", "a///b"},
+		strings.NewReader("<a><b/></a>"), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(out.String(), "error:") != 2 {
+		t.Errorf("bad queries must be reported inline: %q", out.String())
+	}
+}
+
+func TestRunInputErrors(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"/nonexistent.xml"}, strings.NewReader(""), &out); err == nil {
+		t.Error("missing file must fail")
+	}
+	if err := run([]string{"-s1", "0"}, strings.NewReader("<a/>"), &out); err == nil {
+		t.Error("bad config must fail")
+	}
+	if err := run([]string{"-zzz"}, strings.NewReader(""), &out); err == nil {
+		t.Error("bad flag must fail")
+	}
+	if err := run(nil, strings.NewReader("not xml"), &out); err == nil {
+		t.Error("bad stdin must fail")
+	}
+}

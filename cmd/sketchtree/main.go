@@ -1,0 +1,189 @@
+// Command sketchtree streams XML trees into a SketchTree synopsis and
+// answers count queries.
+//
+// Input: one or more XML files (or stdin). With -forest each file is a
+// rooted forest document (the root tag is stripped and each child
+// subtree is one stream element); otherwise each file is a single
+// tree.
+//
+// Queries are passed with repeated -q flags, either as S-expressions
+// ("(A (B) (C))") or as linear paths ("A/B//C/*"; '//' and '*' need
+// -summary). By default queries are ordered counts; prefix a query
+// with "u:" for unordered counting.
+//
+//	sketchtree -forest -k 4 -topk 50 -q 'article/author' -q '(a (b) (c))' data.xml
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"sketchtree"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sketchtree: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+type queryList []string
+
+func (q *queryList) String() string { return strings.Join(*q, "; ") }
+func (q *queryList) Set(s string) error {
+	*q = append(*q, s)
+	return nil
+}
+
+func run(args []string, stdin io.Reader, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sketchtree", flag.ContinueOnError)
+	var (
+		k       = fs.Int("k", 4, "maximum pattern size in edges")
+		s1      = fs.Int("s1", 25, "sketch instances averaged (accuracy)")
+		s2      = fs.Int("s2", 7, "sketch rows medianed (confidence)")
+		p       = fs.Int("p", 229, "number of virtual streams (prime)")
+		topk    = fs.Int("topk", 50, "frequent patterns tracked per virtual stream (0 = off)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		indep   = fs.Int("independence", 4, "xi independence (>= 6 enables product expressions)")
+		forest  = fs.Bool("forest", false, "treat each input as a rooted forest document")
+		useSum  = fs.Bool("summary", false, "build the structural summary ('//' and '*' queries)")
+		queries queryList
+	)
+	fs.Var(&queries, "q", "query (repeatable): S-expression or path; prefix u: for unordered")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = *k
+	cfg.S1, cfg.S2 = *s1, *s2
+	cfg.VirtualStreams = *p
+	cfg.TopK = *topk
+	cfg.Seed = *seed
+	cfg.Independence = *indep
+	cfg.BuildSummary = *useSum
+	st, err := sketchtree.New(cfg)
+	if err != nil {
+		return err
+	}
+
+	inputs := fs.Args()
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+	for _, name := range inputs {
+		if err := addInput(st, name, stdin, *forest); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+	}
+	fmt.Fprintf(stdout, "processed %d trees, %d pattern occurrences\n",
+		st.TreesProcessed(), st.PatternsProcessed())
+	mem := st.MemoryBytes()
+	fmt.Fprintf(stdout, "synopsis: %d bytes (counters %d, seeds %d, top-k %d)\n",
+		mem.Total(), mem.SketchCounters, mem.Seeds, mem.TopK)
+
+	for _, q := range queries {
+		answer(stdout, st, q, *useSum)
+	}
+	return nil
+}
+
+func addInput(st *sketchtree.SketchTree, name string, stdin io.Reader, forest bool) error {
+	var r io.Reader = stdin
+	if name != "-" {
+		f, err := os.Open(name)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		r = f
+	}
+	if forest {
+		return st.AddXMLForest(r)
+	}
+	return st.AddXML(r)
+}
+
+func answer(w io.Writer, st *sketchtree.SketchTree, q string, haveSummary bool) {
+	unordered := false
+	if strings.HasPrefix(q, "u:") {
+		unordered = true
+		q = q[2:]
+	}
+	if strings.HasPrefix(q, "(") {
+		pat, err := sketchtree.ParsePattern(q)
+		if err != nil {
+			fmt.Fprintf(w, "%-40s  error: %v\n", q, err)
+			return
+		}
+		est, err := count(st, pat, unordered)
+		if err != nil {
+			fmt.Fprintf(w, "%-40s  error: %v\n", q, err)
+			return
+		}
+		fmt.Fprintf(w, "%-40s  ≈ %.1f\n", q, est)
+		return
+	}
+	ext, err := sketchtree.ParsePath(q)
+	if err != nil {
+		fmt.Fprintf(w, "%-40s  error: %v\n", q, err)
+		return
+	}
+	if extended(ext) {
+		if !haveSummary {
+			fmt.Fprintf(w, "%-40s  error: needs -summary ('//' or '*')\n", q)
+			return
+		}
+		est, truncated, err := st.CountExtended(ext)
+		if err != nil {
+			fmt.Fprintf(w, "%-40s  error: %v\n", q, err)
+			return
+		}
+		note := ""
+		if truncated {
+			note = "  (truncated: lower bound)"
+		}
+		fmt.Fprintf(w, "%-40s  ≈ %.1f%s\n", q, est, note)
+		return
+	}
+	est, err := count(st, plainChain(ext), unordered)
+	if err != nil {
+		fmt.Fprintf(w, "%-40s  error: %v\n", q, err)
+		return
+	}
+	fmt.Fprintf(w, "%-40s  ≈ %.1f\n", q, est)
+}
+
+func count(st *sketchtree.SketchTree, pat *sketchtree.Node, unordered bool) (float64, error) {
+	if unordered {
+		return st.CountUnordered(pat)
+	}
+	return st.CountOrdered(pat)
+}
+
+// extended reports whether the query uses '//' or '*'.
+func extended(q *sketchtree.ExtQuery) bool {
+	if q.Desc || q.Label == sketchtree.Wildcard {
+		return true
+	}
+	for _, c := range q.Children {
+		if extended(c) {
+			return true
+		}
+	}
+	return false
+}
+
+// plainChain converts an extended query without '//'/'*' into a plain
+// pattern.
+func plainChain(q *sketchtree.ExtQuery) *sketchtree.Node {
+	n := sketchtree.Pattern(q.Label)
+	for _, c := range q.Children {
+		n.Children = append(n.Children, plainChain(c))
+	}
+	return n
+}

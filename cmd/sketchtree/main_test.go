@@ -1,0 +1,53 @@
+package main
+
+import (
+	"testing"
+
+	"sketchtree"
+)
+
+func TestExtendedDetection(t *testing.T) {
+	cases := []struct {
+		path string
+		want bool
+	}{
+		{"a/b/c", false},
+		{"a//b", true},
+		{"a/*/c", true},
+		{"a/b//c", true},
+		{"single", false},
+	}
+	for _, c := range cases {
+		q, err := sketchtree.ParsePath(c.path)
+		if err != nil {
+			t.Fatalf("%s: %v", c.path, err)
+		}
+		if got := extended(q); got != c.want {
+			t.Errorf("extended(%s) = %v, want %v", c.path, got, c.want)
+		}
+	}
+}
+
+func TestPlainChain(t *testing.T) {
+	q, err := sketchtree.ParsePath("a/b/c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := plainChain(q)
+	if n.String() != "(a (b (c)))" {
+		t.Errorf("plainChain = %s", n)
+	}
+}
+
+func TestQueryListFlag(t *testing.T) {
+	var q queryList
+	if err := q.Set("a/b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Set("(x (y))"); err != nil {
+		t.Fatal(err)
+	}
+	if len(q) != 2 || q.String() != "a/b; (x (y))" {
+		t.Errorf("queryList = %q", q.String())
+	}
+}

@@ -1,0 +1,116 @@
+package sketchtree
+
+import "sync"
+
+// Safe wraps a SketchTree for concurrent use: updates take the write
+// lock, queries the read lock. Queries are pure reads of the synopsis,
+// so any number may run concurrently between updates.
+//
+// The zero Safe is not valid; construct with NewSafe.
+type Safe struct {
+	mu sync.RWMutex
+	st *SketchTree
+}
+
+// NewSafe creates a concurrency-safe SketchTree.
+func NewSafe(cfg Config) (*Safe, error) {
+	st, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Safe{st: st}, nil
+}
+
+// RestoreSafe reconstructs a concurrency-safe SketchTree from
+// MarshalBinary output.
+func RestoreSafe(data []byte) (*Safe, error) {
+	st, err := Restore(data)
+	if err != nil {
+		return nil, err
+	}
+	return &Safe{st: st}, nil
+}
+
+// AddTree folds one tree into the synopsis.
+func (s *Safe) AddTree(t *Tree) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.AddTree(t)
+}
+
+// RemoveTree deletes one earlier occurrence of the tree.
+func (s *Safe) RemoveTree(t *Tree) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.RemoveTree(t)
+}
+
+// CountOrdered estimates COUNT_ord(Q).
+func (s *Safe) CountOrdered(q *Node) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountOrdered(q)
+}
+
+// CountUnordered estimates COUNT(Q).
+func (s *Safe) CountUnordered(q *Node) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountUnordered(q)
+}
+
+// CountOrderedSet estimates the total frequency of distinct patterns.
+func (s *Safe) CountOrderedSet(qs []*Node) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountOrderedSet(qs)
+}
+
+// EstimateExpression estimates a +, −, × expression over counts.
+func (s *Safe) EstimateExpression(e Expr) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.EstimateExpression(e)
+}
+
+// CountExtended estimates a wildcard/descendant query.
+func (s *Safe) CountExtended(q *ExtQuery) (float64, bool, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountExtended(q)
+}
+
+// TreesProcessed returns the number of trees folded in.
+func (s *Safe) TreesProcessed() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.TreesProcessed()
+}
+
+// PatternsProcessed returns the one-dimensional stream length.
+func (s *Safe) PatternsProcessed() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.PatternsProcessed()
+}
+
+// MemoryBytes reports the synopsis footprint.
+func (s *Safe) MemoryBytes() Memory {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.MemoryBytes()
+}
+
+// FrequentPatterns returns the tracked heavy hitters.
+func (s *Safe) FrequentPatterns() []FrequentPattern {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.FrequentPatterns()
+}
+
+// MarshalBinary serializes the synopsis under the read lock.
+func (s *Safe) MarshalBinary() ([]byte, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.MarshalBinary()
+}

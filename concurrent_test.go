@@ -1,0 +1,132 @@
+package sketchtree
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestSafeBasicFlow(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := ParseXMLString("<a><b/><c/></a>")
+	for i := 0; i < 5; i++ {
+		if err := s.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := s.CountOrdered(Pattern("a", Pattern("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 2 || got > 8 {
+		t.Errorf("count = %v, want ≈ 5", got)
+	}
+	if s.TreesProcessed() != 5 {
+		t.Error("TreesProcessed wrong")
+	}
+	if err := s.RemoveTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if s.TreesProcessed() != 4 {
+		t.Error("RemoveTree not reflected")
+	}
+	if s.MemoryBytes().Total() <= 0 {
+		t.Error("memory accounting broken")
+	}
+	if _, err := NewSafe(Config{}); err == nil {
+		t.Error("invalid config must fail")
+	}
+}
+
+// Run with -race: concurrent updates and a full mix of query kinds.
+func TestSafeConcurrentUpdatesAndQueries(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 5
+	cfg.BuildSummary = true
+	cfg.Independence = 6
+	s, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		"<a><b/><c/></a>",
+		"<a><b/><b/></a>",
+		"<x><y><z/></y></x>",
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 30; i++ {
+				tr, err := ParseXMLString(docs[(w+i)%len(docs)])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if err := s.AddTree(tr); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			qb := Pattern("a", Pattern("b"))
+			qc := Pattern("a", Pattern("c"))
+			ext, _ := ParsePath("x//z")
+			for i := 0; i < 30; i++ {
+				switch i % 5 {
+				case 0:
+					s.CountOrdered(qb)
+				case 1:
+					s.CountUnordered(Pattern("a", Pattern("b"), Pattern("c")))
+				case 2:
+					s.CountOrderedSet([]*Node{qb, qc})
+				case 3:
+					s.EstimateExpression(Mul(Count(qb), Count(qc)))
+				case 4:
+					s.CountExtended(ext)
+				}
+				s.FrequentPatterns()
+				s.PatternsProcessed()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if s.TreesProcessed() != 120 {
+		t.Errorf("TreesProcessed = %d, want 120", s.TreesProcessed())
+	}
+}
+
+func TestSafeSnapshotRoundTrip(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, _ := ParseXMLString("<a><b/></a>")
+	for i := 0; i < 7; i++ {
+		s.AddTree(tr)
+	}
+	data, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := RestoreSafe(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.CountOrdered(Pattern("a", Pattern("b")))
+	b, _ := r.CountOrdered(Pattern("a", Pattern("b")))
+	if a != b {
+		t.Errorf("restored safe sketch differs: %v vs %v", b, a)
+	}
+	if _, err := RestoreSafe([]byte("junk")); err == nil {
+		t.Error("junk must fail")
+	}
+}

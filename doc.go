@@ -1,0 +1,46 @@
+// Package sketchtree is a Go implementation of SketchTree (Rao & Moon:
+// "Approximate Tree Pattern Counts over Streaming Labeled Trees"), an
+// online approximation algorithm that counts tree pattern occurrences
+// over a stream of labeled trees — XML documents, parse trees,
+// hierarchical records — in a single pass using a small, fixed amount
+// of memory.
+//
+// # How it works
+//
+// For every tree arriving on the stream, SketchTree enumerates all
+// ordered tree patterns with at most k edges (EnumTree), maps each
+// pattern to a one-dimensional integer via its extended Prüfer
+// sequence and a Rabin fingerprint, and folds the integer into AMS
+// sketches — randomized linear projections of the pattern-frequency
+// vector. Any pattern count can later be estimated from the sketches
+// with provable (ε, δ) error bounds. Two refinements shrink the
+// estimator variance: the value stream is partitioned into virtual
+// streams by residue modulo a prime, and the top-k most frequent
+// patterns are tracked and deleted from the sketches (their counts are
+// compensated at query time).
+//
+// # Supported queries
+//
+//   - COUNT_ord(Q): occurrences of an ordered labeled pattern
+//     (CountOrdered).
+//   - COUNT(Q): unordered occurrences, i.e. the total over all ordered
+//     arrangements (CountUnordered).
+//   - Total frequency of a set of distinct patterns, with a tighter
+//     bound than summing individual estimates (CountOrderedSet).
+//   - Arbitrary +, −, × expressions over pattern counts
+//     (EstimateExpression); products require configuring higher ξ
+//     independence.
+//   - Wildcard (*) and descendant (//) queries resolved against an
+//     online structural summary (CountExtended), when enabled.
+//
+// # Quick start
+//
+//	st, _ := sketchtree.New(sketchtree.DefaultConfig())
+//	_ = st.AddXML(strings.NewReader("<a><b/><c/></a>"))
+//	q := sketchtree.Pattern("a", sketchtree.Pattern("b"))
+//	count, _ := st.CountOrdered(q)
+//
+// See the examples directory for realistic streaming scenarios
+// (linguistics over treebanks, bibliography selectivity estimation,
+// probabilistic-grammar scoring).
+package sketchtree

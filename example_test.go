@@ -1,0 +1,135 @@
+package sketchtree_test
+
+import (
+	"fmt"
+	"strings"
+
+	"sketchtree"
+)
+
+// exampleConfig pins every random choice so outputs are reproducible.
+func exampleConfig() sketchtree.Config {
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1 = 60
+	cfg.VirtualStreams = 23
+	cfg.TopK = 0
+	cfg.Seed = 7
+	return cfg
+}
+
+func ExampleSketchTree_CountOrdered() {
+	st, _ := sketchtree.New(exampleConfig())
+	docs := []string{
+		"<order><customer/><item/></order>",
+		"<order><customer/><item/><item/></order>",
+		"<order><item/><customer/></order>",
+	}
+	for _, d := range docs {
+		st.AddXML(strings.NewReader(d))
+	}
+	q := sketchtree.Pattern("order",
+		sketchtree.Pattern("customer"), sketchtree.Pattern("item"))
+	est, _ := st.CountOrdered(q)
+	fmt.Printf("customer before item: %.0f\n", est)
+	// Output:
+	// customer before item: 3
+}
+
+func ExampleSketchTree_CountUnordered() {
+	st, _ := sketchtree.New(exampleConfig())
+	st.AddXML(strings.NewReader("<a><b/><c/></a>"))
+	st.AddXML(strings.NewReader("<a><c/><b/></a>"))
+	q := sketchtree.Pattern("a", sketchtree.Pattern("b"), sketchtree.Pattern("c"))
+	ordered, _ := st.CountOrdered(q)
+	unordered, _ := st.CountUnordered(q)
+	fmt.Printf("ordered: %.0f, unordered: %.0f\n", ordered, unordered)
+	// Output:
+	// ordered: 1, unordered: 2
+}
+
+func ExampleParsePath() {
+	q, _ := sketchtree.ParsePath("dblp//author/*")
+	fmt.Println(q.Label, q.Children[0].Label, q.Children[0].Desc, q.Children[0].Children[0].Label)
+	// Output:
+	// dblp author true *
+}
+
+func ExampleSketchTree_CountExtended() {
+	cfg := exampleConfig()
+	cfg.BuildSummary = true
+	st, _ := sketchtree.New(cfg)
+	for i := 0; i < 5; i++ {
+		st.AddXML(strings.NewReader("<a><b><c/></b></a>"))
+	}
+	q, _ := sketchtree.ParsePath("a//c")
+	est, truncated, _ := st.CountExtended(q)
+	fmt.Printf("a//c: %.0f (truncated: %v)\n", est, truncated)
+	// Output:
+	// a//c: 5 (truncated: false)
+}
+
+func ExampleSketchTree_EstimateExpression() {
+	cfg := exampleConfig()
+	cfg.Independence = 6 // products need k-wise ξ
+	st, _ := sketchtree.New(cfg)
+	for i := 0; i < 10; i++ {
+		st.AddXML(strings.NewReader("<s><np/><vp/></s>"))
+	}
+	np := sketchtree.Pattern("s", sketchtree.Pattern("np"))
+	vp := sketchtree.Pattern("s", sketchtree.Pattern("vp"))
+	// COUNT(s/np) × COUNT(s/vp) with one unbiased estimator.
+	est, _ := st.EstimateExpression(
+		sketchtree.Mul(sketchtree.Count(np), sketchtree.Count(vp)))
+	// An estimate near the true value 10 × 10 = 100 (deterministic for
+	// the fixed seed).
+	fmt.Printf("product: %.0f\n", est)
+	// Output:
+	// product: 93
+}
+
+func ExampleSketchTree_Merge() {
+	cfg := exampleConfig()
+	shard1, _ := sketchtree.New(cfg)
+	shard2, _ := sketchtree.New(cfg) // same Config (and Seed) — mergeable
+	shard1.AddXML(strings.NewReader("<a><b/></a>"))
+	shard2.AddXML(strings.NewReader("<a><b/></a>"))
+	shard1.Merge(shard2)
+	est, _ := shard1.CountOrdered(sketchtree.Pattern("a", sketchtree.Pattern("b")))
+	fmt.Printf("merged: %.0f\n", est)
+	// Output:
+	// merged: 2
+}
+
+func ExampleSketchTree_Save() {
+	st, _ := sketchtree.New(exampleConfig())
+	st.AddXML(strings.NewReader("<a><b/></a>"))
+
+	// Checkpoint the synopsis and resume it elsewhere; estimates are
+	// bit-identical because all randomized state is serialized.
+	var buf strings.Builder
+	st.Save(&buf)
+	resumed, _ := sketchtree.Load(strings.NewReader(buf.String()))
+
+	q := sketchtree.Pattern("a", sketchtree.Pattern("b"))
+	a, _ := st.CountOrdered(q)
+	b, _ := resumed.CountOrdered(q)
+	fmt.Println(a == b)
+	// Output:
+	// true
+}
+
+func ExampleSketchTree_CountAlternatives() {
+	st, _ := sketchtree.New(exampleConfig())
+	st.AddXML(strings.NewReader("<vp><vbd/><np/></vp>"))
+	st.AddXML(strings.NewReader("<vp><vbz/><np/></vp>"))
+	st.AddXML(strings.NewReader("<vp><md/><np/></vp>"))
+
+	// The paper's Example 5 OR predicate: one '|' label expands into a
+	// set of distinct patterns answered by the set estimator.
+	q := sketchtree.Pattern("vp", sketchtree.Pattern("vbd|vbz"), sketchtree.Pattern("np"))
+	est, _ := st.CountAlternatives(q)
+	fmt.Printf("%.0f\n", est)
+	// Output:
+	// 2
+}

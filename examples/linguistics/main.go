@@ -1,0 +1,95 @@
+// Linguistics over a treebank stream (paper Examples 4–6): a linguist
+// verifies word-order and question-structure hypotheses over a large
+// parse-tree corpus with a single pass and a small synopsis.
+//
+//   - Example 4: does the language use free word order? Compare counts
+//     of S(NP,VP) vs S with other child arrangements (unordered vs
+//     ordered counts).
+//
+//   - Example 5: how many 'who'-like questions does the corpus
+//     support? An OR over verb tags becomes a set-count query.
+//
+//   - Example 6: counts with negated context ("VP with an NP but NOT
+//     under SBAR") become count-difference expressions.
+//
+//     go run ./examples/linguistics
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sketchtree"
+	"sketchtree/internal/datagen"
+)
+
+func main() {
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.S1 = 50
+	cfg.TopK = 100
+	st, err := sketchtree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Stream a synthetic treebank (stands in for a real XML corpus;
+	// swap for AddXMLForest over a treebank file).
+	src := datagen.Treebank(2024, 4000)
+	if err := src.ForEach(st.AddTree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d parse trees (%d pattern occurrences), synopsis %.0f KB\n\n",
+		st.TreesProcessed(), st.PatternsProcessed(),
+		float64(st.MemoryBytes().Total())/1024)
+
+	p := sketchtree.Pattern
+
+	// --- Example 4: word order ---
+	// Ordered subject-verb: S(NP, VP) with NP before VP.
+	svo := p("S", p("NP"), p("VP"))
+	ordered, err := st.CountOrdered(svo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Any order of NP and VP under S.
+	free, err := st.CountUnordered(svo)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Example 4 — word order:")
+	fmt.Printf("  S with NP before VP   ≈ %.0f\n", ordered)
+	fmt.Printf("  S with {NP, VP}       ≈ %.0f\n", free)
+	if free > 0 {
+		fmt.Printf("  → %.0f%% of NP+VP sentences use subject-first order\n\n",
+			100*ordered/free)
+	}
+
+	// --- Example 5: question verbs ---
+	// "How many clauses could answer a who-question?" — the paper's
+	// VBD|VBP|VBZ disjunction is an OR label; SketchTree expands it
+	// into distinct patterns and answers with one set-count query.
+	total, err := st.CountAlternatives(p("VP", p("VBD|VBZ"), p("NP")))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Example 5 — question structures (VP(VBD|VBZ, NP) OR query):")
+	fmt.Printf("  COUNT(VP(VBD|VBZ, NP)) ≈ %.0f\n\n", total)
+
+	// --- Example 6: negated context via count difference ---
+	// VP(VBD, NP) anywhere, minus those whose S parent sits under SBAR:
+	// approximate "main-clause past-tense verb phrases".
+	all := p("S", p("NP"), p("VP", p("VBD")))
+	embedded := p("SBAR", p("S", p("NP"), p("VP", p("VBD"))))
+	diff := sketchtree.Sub(sketchtree.Count(all), sketchtree.Count(embedded))
+	est, err := st.EstimateExpression(diff)
+	if err != nil {
+		log.Fatal(err)
+	}
+	allEst, _ := st.CountOrdered(all)
+	embEst, _ := st.CountOrdered(embedded)
+	fmt.Println("Example 6 — negated context (count difference):")
+	fmt.Printf("  S(NP, VP(VBD)) anywhere              ≈ %.0f\n", allEst)
+	fmt.Printf("  ... embedded under SBAR              ≈ %.0f\n", embEst)
+	fmt.Printf("  main-clause only (single estimator)  ≈ %.0f\n", est)
+}

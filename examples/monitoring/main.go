@@ -1,0 +1,106 @@
+// Sliding-window trend monitoring: a feed processor keeps a SketchTree
+// synopsis over the most recent W trees only, exploiting the AMS
+// deletion property (paper §5.2) — expired trees are simply subtracted
+// from the sketches. The monitor reports how a pattern's windowed
+// count moves as the stream drifts from bibliography records toward
+// conference papers, and checkpoints the synopsis with Save/Load.
+//
+//	go run ./examples/monitoring
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"sketchtree"
+	"sketchtree/internal/datagen"
+)
+
+const window = 2000
+
+func main() {
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1 = 50
+	cfg.TopK = 50
+	st, err := sketchtree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Two phases of stream drift: mostly articles first, then mostly
+	// inproceedings (different generator seeds shift the type mix by
+	// rejection).
+	phase1 := keepType(datagen.DBLP(1, 40000), "article", 4000)
+	phase2 := keepType(datagen.DBLP(2, 40000), "inproceedings", 4000)
+	stream := append(phase1, phase2...)
+
+	q := sketchtree.Pattern("inproceedings", sketchtree.Pattern("author"))
+	fmt.Printf("windowed count of inproceedings/author (window = %d trees):\n\n", window)
+
+	var win []*sketchtree.Tree
+	for i, t := range stream {
+		if err := st.AddTree(t); err != nil {
+			log.Fatal(err)
+		}
+		win = append(win, t)
+		if len(win) > window {
+			// Expire the oldest tree from the synopsis.
+			if err := st.RemoveTree(win[0]); err != nil {
+				log.Fatal(err)
+			}
+			win = win[1:]
+		}
+		if (i+1)%1000 == 0 {
+			est, err := st.CountOrdered(q)
+			if err != nil {
+				log.Fatal(err)
+			}
+			bar := int(est / 40)
+			if bar < 0 {
+				bar = 0
+			}
+			fmt.Printf("  after %5d trees: ≈ %6.0f %s\n", i+1, est, bars(bar))
+		}
+	}
+
+	// Checkpoint the synopsis and resume it — estimates carry over
+	// bit-for-bit.
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		log.Fatal(err)
+	}
+	size := buf.Len()
+	resumed, err := sketchtree.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	a, _ := st.CountOrdered(q)
+	b, _ := resumed.CountOrdered(q)
+	fmt.Printf("\ncheckpoint: %d bytes; estimate before %.0f / after restore %.0f (identical: %v)\n",
+		size, a, b, a == b)
+}
+
+// keepType filters the generator output to records of one type.
+func keepType(src *datagen.Source, typ string, n int) []*sketchtree.Tree {
+	var out []*sketchtree.Tree
+	for len(out) < n {
+		t, ok := src.Next()
+		if !ok {
+			break
+		}
+		if t.Root.Label == typ {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

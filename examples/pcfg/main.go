@@ -1,0 +1,98 @@
+// Probabilistic grammar scoring over a treebank stream (paper
+// Example 7): the probability of a PCFG production α → β is
+// COUNT(α → β) / Σ_γ COUNT(α → γ), and the probability of a parse
+// tree is the product of its rules' probabilities. Both numerator
+// (product of counts) and denominator (sums of counts) are estimated
+// by SketchTree in one pass — products need k-wise independent ξ, so
+// the engine is configured with Independence 6.
+//
+//	go run ./examples/pcfg
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"sketchtree"
+	"sketchtree/internal/datagen"
+)
+
+// rule is a PCFG production represented as a 1-level tree pattern.
+type rule struct {
+	name string
+	pat  *sketchtree.Node
+}
+
+func main() {
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1 = 75
+	cfg.Independence = 6 // products of two counts need >= 4-wise; 6 covers the variance analysis
+	cfg.TopK = 100
+	st, err := sketchtree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	src := datagen.Treebank(99, 5000)
+	if err := src.ForEach(st.AddTree); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("streamed %d parse trees\n\n", st.TreesProcessed())
+
+	p := sketchtree.Pattern
+	// The parse under scrutiny uses two rules: S → NP VP and
+	// VP → VBD NP.
+	r1 := rule{"S → NP VP", p("S", p("NP"), p("VP"))}
+	r2 := rule{"VP → VBD NP", p("VP", p("VBD"), p("NP"))}
+
+	// Alternatives with the same left-hand side (the denominators).
+	sAlts := []*sketchtree.Node{
+		p("S", p("NP"), p("VP")),
+		p("S", p("NP"), p("VP"), p("PP")),
+		p("S", p("SBAR"), p("NP"), p("VP")),
+		p("S", p("S"), p("CC"), p("S")),
+	}
+	vpAlts := []*sketchtree.Node{
+		p("VP", p("VBD"), p("NP")),
+		p("VP", p("VBZ"), p("NP")),
+		p("VP", p("VBD"), p("NP"), p("PP")),
+		p("VP", p("VBD")),
+		p("VP", p("VP"), p("PP")),
+		p("VP", p("MD"), p("VP")),
+	}
+
+	// Rule probabilities from individual and set estimates.
+	prob := func(r rule, alts []*sketchtree.Node) float64 {
+		num, err := st.CountOrdered(r.pat)
+		if err != nil {
+			log.Fatal(err)
+		}
+		den, err := st.CountOrderedSet(alts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pr := num / den
+		fmt.Printf("  P(%-14s) ≈ %6.0f / %6.0f = %.3f\n", r.name, num, den, pr)
+		return pr
+	}
+	fmt.Println("rule probabilities (set estimator for denominators):")
+	p1 := prob(r1, sAlts)
+	p2 := prob(r2, vpAlts)
+
+	// Parse probability = product of rule probabilities. The paper
+	// estimates the numerator product COUNT(r1)×COUNT(r2) with one
+	// unbiased product estimator rather than multiplying two noisy
+	// estimates.
+	numProd, err := st.EstimateExpression(
+		sketchtree.Mul(sketchtree.Count(r1.pat), sketchtree.Count(r2.pat)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	den1, _ := st.CountOrderedSet(sAlts)
+	den2, _ := st.CountOrderedSet(vpAlts)
+	fmt.Printf("\nparse probability:\n")
+	fmt.Printf("  naive product of rule probabilities: %.5f\n", p1*p2)
+	fmt.Printf("  single product estimator (Example 3): %.0f / (%.0f × %.0f) = %.5f\n",
+		numProd, den1, den2, numProd/(den1*den2))
+}

@@ -1,0 +1,80 @@
+// Quickstart: stream a handful of XML documents into a SketchTree
+// synopsis and ask for ordered, unordered, and wildcard pattern
+// counts.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"sketchtree"
+)
+
+func main() {
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = 3 // enumerate patterns with up to 3 edges
+	cfg.S1 = 50             // accuracy knob (Theorem 1)
+	cfg.BuildSummary = true // enable '//' and '*' queries
+	st, err := sketchtree.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// A small stream of orders. In production this would be a feed of
+	// documents read with AddXML / AddXMLForest.
+	docs := []string{
+		"<order><customer/><item><sku/><qty/></item><item><sku/></item></order>",
+		"<order><customer/><item><sku/></item></order>",
+		"<order><item><sku/><qty/></item><customer/></order>",
+		"<quote><customer/><item><sku/></item></quote>",
+	}
+	for _, d := range docs {
+		if err := st.AddXML(strings.NewReader(d)); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("streamed %d trees (%d pattern occurrences), synopsis %d bytes\n\n",
+		st.TreesProcessed(), st.PatternsProcessed(), st.MemoryBytes().Total())
+
+	// Ordered count: order with a customer followed by an item.
+	q := sketchtree.Pattern("order",
+		sketchtree.Pattern("customer"),
+		sketchtree.Pattern("item"))
+	est, err := st.CountOrdered(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT_ord(order(customer, item))   ≈ %.1f   (true 3: two in doc 1, one in doc 2)\n", est)
+
+	// Unordered count also matches doc 3, where item precedes customer.
+	est, err = st.CountUnordered(q)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT(order{customer, item})       ≈ %.1f   (true 4)\n", est)
+
+	// Wildcard: any record type with a customer.
+	ext, err := sketchtree.ParsePath("*/customer")
+	if err != nil {
+		log.Fatal(err)
+	}
+	estExt, truncated, err := st.CountExtended(ext)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT(*/customer)                  ≈ %.1f   (true 4; truncated=%v)\n", estExt, truncated)
+
+	// Descendant: order//sku regardless of nesting depth.
+	ext, err = sketchtree.ParsePath("order//sku")
+	if err != nil {
+		log.Fatal(err)
+	}
+	estExt, _, err = st.CountExtended(ext)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("COUNT(order//sku)                  ≈ %.1f   (true 4, via order/item/sku)\n", estExt)
+}

@@ -1,0 +1,3 @@
+module sketchtree
+
+go 1.22

@@ -1,0 +1,327 @@
+package ams
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+)
+
+func TestExpandSumAndProduct(t *testing.T) {
+	// (C1 + C2) × C3 = C1·C3 + C2·C3.
+	e := Mul{L: Add{L: Count{1}, R: Count{2}}, R: Count{3}}
+	ts, err := Expand(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 {
+		t.Fatalf("got %d terms: %+v", len(ts), ts)
+	}
+	for _, term := range ts {
+		if term.Coef != 1 || len(term.Values) != 2 {
+			t.Errorf("bad term %+v", term)
+		}
+	}
+}
+
+func TestExpandCombinesLikeTerms(t *testing.T) {
+	// C1 + C1 = 2·C1.
+	ts, err := Expand(Add{L: Count{1}, R: Count{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || ts[0].Coef != 2 {
+		t.Errorf("got %+v, want single term with coef 2", ts)
+	}
+}
+
+func TestExpandCancellation(t *testing.T) {
+	// C1 − C1 = 0: all terms vanish.
+	ts, err := Expand(Sub{L: Count{1}, R: Count{1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 0 {
+		t.Errorf("got %+v, want no terms", ts)
+	}
+}
+
+func TestExpandRejectsSelfProduct(t *testing.T) {
+	if _, err := Expand(Mul{L: Count{5}, R: Count{5}}); err == nil {
+		t.Error("C5 × C5 must be rejected")
+	}
+	// Also through distribution: (C1+C2) × C2.
+	if _, err := Expand(Mul{L: Add{L: Count{1}, R: Count{2}}, R: Count{2}}); err == nil {
+		t.Error("product overlapping through a sum must be rejected")
+	}
+}
+
+func TestExpandNilExpr(t *testing.T) {
+	if _, err := Expand(nil); err == nil {
+		t.Error("nil expression must be rejected")
+	}
+}
+
+func TestExprString(t *testing.T) {
+	e := Sub{L: Mul{L: Count{1}, R: Count{2}}, R: Count{3}}
+	if got := ExprString(e); got != "((C(1) * C(2)) - C(3))" {
+		t.Errorf("ExprString = %q", got)
+	}
+}
+
+func TestRequiredIndependence(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want int
+	}{
+		{Count{1}, 4},
+		{Add{L: Count{1}, R: Count{2}}, 4},
+		{Mul{L: Count{1}, R: Count{2}}, 4},
+		{Mul{L: Mul{L: Count{1}, R: Count{2}}, R: Count{3}}, 6},
+	}
+	for _, c := range cases {
+		got, err := RequiredIndependence(c.e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != c.want {
+			t.Errorf("RequiredIndependence(%s) = %d, want %d", ExprString(c.e), got, c.want)
+		}
+	}
+	if _, err := RequiredIndependence(Mul{L: Count{1}, R: Count{1}}); err == nil {
+		t.Error("invalid expression must propagate the error")
+	}
+}
+
+func TestEstimateExprDegreeGuards(t *testing.T) {
+	se := bchSeeds(t, 2, 2, 30)
+	s := se.NewSketch()
+	// Degree 3 needs 6-wise; BCH is 4-wise.
+	deg3 := Mul{L: Mul{L: Count{1}, R: Count{2}}, R: Count{3}}
+	if _, err := s.EstimateExpr(deg3, nil); err == nil {
+		t.Error("degree-3 expression on a 4-wise sketch must fail")
+	}
+	// Degree 2 is allowed on 4-wise.
+	if _, err := s.EstimateExpr(Mul{L: Count{1}, R: Count{2}}, nil); err != nil {
+		t.Errorf("degree-2 on 4-wise: %v", err)
+	}
+	if _, err := s.EstimateExpr(Mul{L: Count{1}, R: Count{1}}, nil); err == nil {
+		t.Error("self-product must fail")
+	}
+	// Degree beyond the factorial table.
+	var big Expr = Count{100}
+	for v := uint64(101); v < 112; v++ {
+		big = Mul{L: big, R: Count{v}}
+	}
+	ps := polySeeds(t, 24, 1, 1, 31)
+	if _, err := ps.NewSketch().EstimateExpr(big, nil); err == nil {
+		t.Error("degree-12 expression must be rejected")
+	}
+}
+
+func TestEstimateExprEmptyAfterCancellation(t *testing.T) {
+	s := bchSeeds(t, 2, 2, 32).NewSketch()
+	got, err := s.EstimateExpr(Sub{L: Count{1}, R: Count{1}}, nil)
+	if err != nil || got != 0 {
+		t.Errorf("cancelled expression = %v, %v; want 0, nil", got, err)
+	}
+}
+
+// A single count as an expression must agree exactly with
+// EstimateCount.
+func TestEstimateExprMatchesEstimateCount(t *testing.T) {
+	se := bchSeeds(t, 5, 3, 33)
+	s := se.NewSketch()
+	for v := uint64(1); v <= 20; v++ {
+		s.Update(v, int64(v))
+	}
+	want := s.EstimateCount(7, nil)
+	got, err := s.EstimateExpr(Count{7}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("expr estimate %v != count estimate %v", got, want)
+	}
+}
+
+// A sum expression must agree exactly with EstimateSetCount (both are
+// the Equation-6 estimator).
+func TestEstimateExprSumMatchesSetCount(t *testing.T) {
+	se := bchSeeds(t, 5, 3, 34)
+	s := se.NewSketch()
+	for v := uint64(1); v <= 20; v++ {
+		s.Update(v, int64(v))
+	}
+	want := s.EstimateSetCount([]uint64{3, 9, 15}, nil)
+	e, err := SumOfCounts([]uint64{3, 9, 15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.EstimateExpr(e, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("sum expr %v != set estimate %v", got, want)
+	}
+}
+
+// Empirical unbiasedness of the product estimator (Example 3):
+// E(X²/2!·ξ_a ξ_b) = f_a·f_b.
+func TestEstimateProductUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(300, 400))
+	const trials = 6000
+	sum := 0.0
+	e := Mul{L: Count{10}, R: Count{20}}
+	for i := 0; i < trials; i++ {
+		se := polySeeds(t, 6, 1, 1, 0)
+		_ = se
+		// polySeeds uses a fixed PCG; draw from rng instead for
+		// independent trials.
+		famSe, err := NewSeeds(se.Family(), 1, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := famSe.NewSketch()
+		s.Update(10, 3)
+		s.Update(20, 4)
+		got, err := s.EstimateExpr(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+	}
+	mean := sum / trials
+	// True value 12; per-trial variance ≈ (1+2n)/4·SJ² with SJ=25
+	// (Appendix B) → σ of mean ≈ sqrt(780/6000) ≈ 0.36.
+	if math.Abs(mean-12) > 2.0 {
+		t.Errorf("mean product estimate %v, want ≈ 12", mean)
+	}
+}
+
+// Empirical unbiasedness of a mixed expression:
+// C_a·C_b + C_c − C_a = 12 + 5 − 3 = 14.
+func TestEstimateMixedExpressionUnbiased(t *testing.T) {
+	rng := rand.New(rand.NewPCG(301, 401))
+	const trials = 6000
+	base := polySeeds(t, 6, 1, 1, 0)
+	e := Sub{L: Add{L: Mul{L: Count{10}, R: Count{20}}, R: Count{30}}, R: Count{10}}
+	sum := 0.0
+	for i := 0; i < trials; i++ {
+		se, err := NewSeeds(base.Family(), 1, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := se.NewSketch()
+		s.Update(10, 3)
+		s.Update(20, 4)
+		s.Update(30, 5)
+		got, err := s.EstimateExpr(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+	}
+	mean := sum / trials
+	if math.Abs(mean-14) > 3.0 {
+		t.Errorf("mean mixed estimate %v, want ≈ 14", mean)
+	}
+}
+
+func TestSumProductBuilders(t *testing.T) {
+	if _, err := SumOfCounts(nil); err == nil {
+		t.Error("empty sum must fail")
+	}
+	if _, err := ProductOfCounts(nil); err == nil {
+		t.Error("empty product must fail")
+	}
+	e, err := ProductOfCounts([]uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts, err := Expand(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 1 || len(ts[0].Values) != 3 {
+		t.Errorf("product expansion wrong: %+v", ts)
+	}
+	s, err := SumOfCounts([]uint64{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := s.(Count); !ok {
+		t.Error("singleton sum must be the bare count")
+	}
+}
+
+// Appendix B: the variance of the product estimator is bounded by
+// (1+2n)/4 · SJ(S)². Check empirically on a small stream.
+func TestProductEstimatorVarianceWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(500, 600))
+	base := polySeeds(t, 6, 1, 1, 0)
+	e := Mul{L: Count{1}, R: Count{2}}
+	// Stream: f = {3, 4, 2} → SJ = 9+16+4 = 29, n = 3 distinct values.
+	const truth = 12.0
+	const trials = 4000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		se, err := NewSeeds(base.Family(), 1, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := se.NewSketch()
+		s.Update(1, 3)
+		s.Update(2, 4)
+		s.Update(3, 2)
+		got, err := s.EstimateExpr(e, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += got
+		sumSq += got * got
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	bound := VarBoundProduct(3, 29)
+	if variance > bound*1.1 {
+		t.Errorf("empirical variance %.1f exceeds Appendix B bound %.1f", variance, bound)
+	}
+	if math.Abs(mean-truth) > 2 {
+		t.Errorf("mean %.2f, want ≈ %v", mean, truth)
+	}
+	t.Logf("mean %.2f, variance %.1f (bound %.1f)", mean, variance, bound)
+}
+
+// Equation 7: the set estimator's variance stays within 2(t-1)·SJ.
+func TestSetEstimatorVarianceWithinBound(t *testing.T) {
+	rng := rand.New(rand.NewPCG(501, 601))
+	fam := bchSeeds(t, 1, 1, 0).Family()
+	vs := []uint64{1, 2, 3}
+	const trials = 4000
+	var sum, sumSq float64
+	for i := 0; i < trials; i++ {
+		se, err := NewSeeds(fam, 1, 1, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := se.NewSketch()
+		s.Update(1, 3)
+		s.Update(2, 4)
+		s.Update(3, 2)
+		s.Update(4, 5)
+		got := s.EstimateSetCount(vs, nil)
+		sum += got
+		sumSq += got * got
+	}
+	mean := sum / trials
+	variance := sumSq/trials - mean*mean
+	// SJ = 9+16+4+25 = 54; bound = 2·2·54 = 216.
+	bound := VarBoundSet(3, 54)
+	if variance > bound*1.1 {
+		t.Errorf("empirical variance %.1f exceeds Equation 7 bound %.1f", variance, bound)
+	}
+	if math.Abs(mean-9) > 1 {
+		t.Errorf("mean %.2f, want ≈ 9", mean)
+	}
+}

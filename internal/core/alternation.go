@@ -1,0 +1,92 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"sketchtree/internal/tree"
+)
+
+// Alternations expands a pattern whose labels may contain '|'-separated
+// alternatives (the boolean OR of paper Example 5, e.g. the query node
+// "VBD|VBP|VBZ") into the set of distinct plain patterns, one per
+// combination of alternatives. The total frequency of that set equals
+// the OR-query's count, so the Theorem-2 set estimator answers it in
+// one shot. max caps the expansion (<= 0 uses a safe default).
+func Alternations(q *tree.Node, max int) ([]*tree.Node, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	if max <= 0 {
+		max = maxArrangements
+	}
+	out, err := alternate(q, max)
+	if err != nil {
+		return nil, err
+	}
+	// Alternatives are distinct by construction unless the query
+	// repeats an alternative ("A|A"); deduplicate to keep the set
+	// estimator's precondition.
+	seen := make(map[string]bool, len(out))
+	dedup := out[:0]
+	for _, p := range out {
+		key := p.String()
+		if !seen[key] {
+			seen[key] = true
+			dedup = append(dedup, p)
+		}
+	}
+	return dedup, nil
+}
+
+func alternate(q *tree.Node, max int) ([]*tree.Node, error) {
+	labels := strings.Split(q.Label, "|")
+	childAlts := make([][]*tree.Node, len(q.Children))
+	total := len(labels)
+	for i, c := range q.Children {
+		a, err := alternate(c, max)
+		if err != nil {
+			return nil, err
+		}
+		childAlts[i] = a
+		total *= len(a)
+		if total > max {
+			return nil, fmt.Errorf("core: more than %d OR expansions", max)
+		}
+	}
+	var out []*tree.Node
+	pick := make([]*tree.Node, len(q.Children))
+	var choose func(i int, label string)
+	choose = func(i int, label string) {
+		if i == len(q.Children) {
+			out = append(out, &tree.Node{
+				Label:    label,
+				Children: append([]*tree.Node(nil), pick...),
+			})
+			return
+		}
+		for _, alt := range childAlts[i] {
+			pick[i] = alt
+			choose(i+1, label)
+		}
+	}
+	for _, l := range labels {
+		choose(0, l)
+	}
+	return out, nil
+}
+
+// EstimateAlternations estimates the count of a pattern with
+// '|'-alternative labels: the pattern is expanded into its distinct
+// plain alternatives and their total frequency is estimated with the
+// set estimator (paper Example 5's who/what/how-question counting).
+func (e *Engine) EstimateAlternations(q *tree.Node) (float64, error) {
+	pats, err := Alternations(q, 0)
+	if err != nil {
+		return 0, err
+	}
+	if len(pats) == 1 {
+		return e.EstimateOrdered(pats[0])
+	}
+	return e.EstimateOrderedSet(pats)
+}

@@ -1,0 +1,199 @@
+package core
+
+import (
+	"math"
+	"math/rand/v2"
+	"testing"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/enum"
+	"sketchtree/internal/gf2"
+	"sketchtree/internal/match"
+	"sketchtree/internal/pairing"
+	"sketchtree/internal/prufer"
+	"sketchtree/internal/tree"
+	"sketchtree/internal/xi"
+)
+
+// Distinct patterns must map to distinct fingerprints in practice: run
+// tens of thousands of enumerated patterns from a realistic stream
+// through the mapping and demand zero collisions (degree-61 modulus:
+// birthday bound ~ 1e-9 here).
+func TestPatternValueCollisionFree(t *testing.T) {
+	m, err := NewMapper(61, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint64]string, 1<<16)
+	checked := 0
+	src := datagen.Treebank(3, 150)
+	err = src.ForEach(func(tr *tree.Tree) error {
+		en, err := enum.NewEnumerator(4)
+		if err != nil {
+			return err
+		}
+		return en.ForEach(tr.Root, func(p *enum.Pattern) error {
+			mt := p.ToTree()
+			v := m.PatternValue(mt)
+			key := mt.String()
+			if prev, ok := seen[v]; ok && prev != key {
+				t.Fatalf("fingerprint collision: %s and %s both map to %d", prev, key, v)
+			}
+			seen[v] = key
+			checked++
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) < 1000 {
+		t.Fatalf("only %d distinct patterns checked", len(seen))
+	}
+	t.Logf("checked %d pattern occurrences, %d distinct", checked, len(seen))
+}
+
+// The Rabin mapping must agree with the exact pairing-function mapping
+// on injectivity: two patterns get the same fingerprint iff they get
+// the same PF value (both should simply be injective here).
+func TestRabinAgreesWithPairingOnDistinctness(t *testing.T) {
+	m, err := NewMapper(61, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(5, 6))
+	alphabet := []string{"A", "B", "C"}
+	var pats []*tree.Node
+	// Small patterns only: PF's range doubles in bit length per tuple
+	// element (why §6.1 switches to fingerprints), so exact PF values
+	// for big patterns are enormous.
+	for i := 0; i < 200; i++ {
+		n := rng.IntN(3) + 2
+		nodes := make([]*tree.Node, n)
+		for j := range nodes {
+			nodes[j] = tree.New(alphabet[rng.IntN(len(alphabet))])
+		}
+		for j := 1; j < n; j++ {
+			nodes[rng.IntN(j)].AddChild(nodes[j])
+		}
+		pats = append(pats, nodes[0])
+	}
+	type ids struct{ rab uint64 }
+	byPF := map[string]ids{}
+	for _, p := range pats {
+		seq := prufer.OfNode(p)
+		// Exact PF over the label-hash / postorder tuple (§2.3).
+		tuple := make([]uint64, 0, 2*seq.Len())
+		for _, l := range seq.LPS {
+			tuple = append(tuple, uint64(len(l))<<8|uint64(l[0]))
+		}
+		for _, v := range seq.NPS {
+			tuple = append(tuple, uint64(v))
+		}
+		pf := pairing.PFTuple(tuple).String()
+		rab := m.PatternValue(p)
+		if prev, ok := byPF[pf]; ok {
+			if prev.rab != rab {
+				t.Fatalf("PF equal but fingerprints differ for %s", p)
+			}
+		} else {
+			byPF[pf] = ids{rab: rab}
+		}
+	}
+}
+
+// Empirical Theorem 1: size s1 by the theorem for (ε, δ) on a known
+// stream; the observed failure rate over independent engines must not
+// exceed δ by a meaningful margin.
+func TestTheorem1EmpiricalCoverage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-engine coverage test")
+	}
+	// Ground-truth stream: counts chosen so SJ and f_q are known.
+	type vc struct {
+		v uint64
+		f int64
+	}
+	stream := []vc{{1, 30}, {2, 20}, {3, 10}, {4, 5}, {5, 5}, {6, 2}, {7, 2}, {8, 1}}
+	var sj float64
+	for _, x := range stream {
+		sj += float64(x.f) * float64(x.f)
+	}
+	const (
+		eps   = 0.5
+		delta = 0.25
+		fq    = 30.0
+	)
+	s1 := ams.Theorem1S1(sj, fq, eps) // 8·SJ/(ε²·f²)
+	s2 := ams.S2ForConfidence(delta)
+	rng := rand.New(rand.NewPCG(77, 88))
+	fam := xi.NewBCHFamily(gf2.MustField(gf2.DefaultModulus(63)))
+	const engines = 300
+	failures := 0
+	for i := 0; i < engines; i++ {
+		seeds, err := ams.NewSeeds(fam, s1, s2, rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sk := seeds.NewSketch()
+		for _, x := range stream {
+			sk.Update(x.v, x.f)
+		}
+		est := sk.EstimateCount(1, nil)
+		if math.Abs(est-fq) > eps*fq {
+			failures++
+		}
+	}
+	rate := float64(failures) / engines
+	// The theorem guarantees rate <= δ; allow sampling slack
+	// (σ ≈ sqrt(δ(1-δ)/300) ≈ 0.025).
+	if rate > delta+0.08 {
+		t.Errorf("failure rate %.3f exceeds δ = %v (s1=%d, s2=%d)", rate, delta, s1, s2)
+	}
+	t.Logf("failure rate %.3f (δ = %v, s1 = %d, s2 = %d)", rate, delta, s1, s2)
+}
+
+// Cross-validation of the whole update pipeline against brute-force
+// matching: the engine's exact counter (fed by EnumTree + Prüfer +
+// fingerprint) must agree with match.CountOrdered for every pattern on
+// random streams.
+func TestEngineExactAgreesWithBruteForceMatching(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxPatternEdges = 3
+	e := mustEngine(t, cfg)
+	rng := rand.New(rand.NewPCG(9, 10))
+	alphabet := []string{"A", "B", "C"}
+	var trees []*tree.Node
+	for i := 0; i < 25; i++ {
+		n := rng.IntN(8) + 2
+		nodes := make([]*tree.Node, n)
+		for j := range nodes {
+			nodes[j] = tree.New(alphabet[rng.IntN(len(alphabet))])
+		}
+		for j := 1; j < n; j++ {
+			nodes[rng.IntN(j)].AddChild(nodes[j])
+		}
+		trees = append(trees, nodes[0])
+		if err := e.AddTree(tree.NewTree(nodes[0])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	queries := []*tree.Node{
+		tree.T("A", tree.T("B")),
+		tree.T("A", tree.T("B"), tree.T("C")),
+		tree.T("B", tree.T("C", tree.T("A"))),
+		tree.T("C", tree.T("C"), tree.T("C")),
+		tree.T("A", tree.T("A", tree.T("A"))),
+	}
+	for _, q := range queries {
+		var want int64
+		for _, d := range trees {
+			want += match.CountOrdered(d, q)
+		}
+		got := e.Exact().Count(e.PatternValue(q))
+		if got != want {
+			t.Errorf("engine exact count of %s = %d, brute force = %d", q, got, want)
+		}
+	}
+}

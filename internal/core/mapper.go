@@ -1,0 +1,38 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sketchtree/internal/prufer"
+	"sketchtree/internal/rabin"
+	"sketchtree/internal/tree"
+)
+
+// Mapper is the standalone pattern → one-dimensional-value mapping
+// (EnumTree output → extended Prüfer → Rabin fingerprint) used by the
+// experiment harness to build ground-truth catalogs without a full
+// engine. A Mapper constructed with the same (degree, seed) as an
+// engine's (FingerprintDegree, Seed) produces the identical mapping.
+type Mapper struct {
+	fp  *rabin.Fingerprinter
+	buf []byte
+}
+
+// NewMapper draws the random fingerprint modulus exactly as Engine
+// does.
+func NewMapper(degree int, seed uint64) (*Mapper, error) {
+	rng := rand.New(rand.NewPCG(seed, 0x5ce7c47ee))
+	fp, err := rabin.NewRandom(degree, rng)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	return &Mapper{fp: fp}, nil
+}
+
+// PatternValue maps a pattern tree to its one-dimensional value.
+func (m *Mapper) PatternValue(q *tree.Node) uint64 {
+	seq := prufer.OfNode(q)
+	m.buf = seq.Encode(m.buf[:0])
+	return m.fp.Fingerprint(m.buf)
+}

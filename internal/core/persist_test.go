@@ -1,0 +1,314 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"sketchtree/internal/summary"
+	"sketchtree/internal/tree"
+)
+
+func fullConfig() Config {
+	cfg := testConfig()
+	cfg.TopK = 5
+	cfg.BuildSummary = true
+	return cfg
+}
+
+func TestSnapshotRoundTripEstimatesIdentical(t *testing.T) {
+	e := mustEngine(t, fullConfig())
+	figure1Stream(t, e)
+
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queries := []*tree.Node{
+		tree.T("A", tree.T("B")),
+		tree.T("A", tree.T("B"), tree.T("C")),
+		tree.T("A", tree.T("C"), tree.T("B")),
+		tree.T("Z", tree.T("Q")),
+	}
+	for _, q := range queries {
+		want, err := e.EstimateOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := r.EstimateOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Errorf("restored estimate of %s = %v, original %v", q, got, want)
+		}
+	}
+	if r.TreesProcessed() != e.TreesProcessed() || r.PatternsProcessed() != e.PatternsProcessed() {
+		t.Error("counters not restored")
+	}
+	// Exact baseline restored.
+	q := tree.T("A", tree.T("B"))
+	if r.Exact().Count(r.PatternValue(q)) != e.Exact().Count(e.PatternValue(q)) {
+		t.Error("exact counter not restored")
+	}
+	// Summary restored: extended query answers match.
+	eq := summary.Q("A", summary.Q(summary.Wildcard))
+	we, _, err := e.EstimateExtended(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ge, _, err := r.EstimateExtended(eq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if we != ge {
+		t.Errorf("extended estimate differs after restore: %v vs %v", ge, we)
+	}
+}
+
+func TestSnapshotRoundTripContinuesStream(t *testing.T) {
+	// An engine restored mid-stream and fed the remaining trees must
+	// agree exactly with an engine that never stopped.
+	full := mustEngine(t, fullConfig())
+	half := mustEngine(t, fullConfig())
+	pre := []*tree.Tree{
+		tree.NewTree(tree.T("A", tree.T("B"), tree.T("C"))),
+		tree.NewTree(tree.T("A", tree.T("B"))),
+	}
+	post := []*tree.Tree{
+		tree.NewTree(tree.T("A", tree.T("C"), tree.T("B"))),
+		tree.NewTree(tree.T("X", tree.T("Y", tree.T("Z")))),
+	}
+	for _, tr := range pre {
+		full.AddTree(tr)
+		half.AddTree(tr)
+	}
+	data, err := half.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range post {
+		full.AddTree(tr)
+		resumed.AddTree(tr)
+	}
+	for _, q := range []*tree.Node{
+		tree.T("A", tree.T("B")),
+		tree.T("X", tree.T("Y")),
+		tree.T("A", tree.T("B"), tree.T("C")),
+	} {
+		want, _ := full.EstimateOrdered(q)
+		got, _ := resumed.EstimateOrdered(q)
+		if got != want {
+			t.Errorf("resumed stream diverged on %s: %v vs %v", q, got, want)
+		}
+	}
+}
+
+func TestRestoreRejectsCorruptData(t *testing.T) {
+	e := mustEngine(t, fullConfig())
+	figure1Stream(t, e)
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Restore(nil); err == nil {
+		t.Error("empty data must fail")
+	}
+	if _, err := Restore(data[:len(data)/2]); err == nil {
+		t.Error("truncated data must fail")
+	}
+	if _, err := Restore([]byte("garbage")); err == nil {
+		t.Error("garbage must fail")
+	}
+}
+
+func TestRestoreWithoutOptionalParts(t *testing.T) {
+	// No top-k, no summary, no exact tracking.
+	cfg := testConfig()
+	cfg.TrackExact = false
+	e := mustEngine(t, cfg)
+	figure1Stream(t, e)
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Exact() != nil || r.Summary() != nil {
+		t.Error("optional parts must stay nil")
+	}
+	q := tree.T("A", tree.T("B"))
+	want, _ := e.EstimateOrdered(q)
+	got, _ := r.EstimateOrdered(q)
+	if got != want {
+		t.Errorf("estimate differs: %v vs %v", got, want)
+	}
+}
+
+func TestRemoveTreeInvertsAddTree(t *testing.T) {
+	cfg := testConfig()
+	e := mustEngine(t, cfg)
+	figure1Stream(t, e)
+	base, _ := e.EstimateOrdered(tree.T("A", tree.T("B")))
+
+	extra := tree.NewTree(tree.T("A", tree.T("B"), tree.T("B")))
+	if err := e.AddTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	got, _ := e.EstimateOrdered(tree.T("A", tree.T("B")))
+	if got != base {
+		t.Errorf("estimate after add+remove = %v, want %v", got, base)
+	}
+	if e.TreesProcessed() != 3 {
+		t.Errorf("TreesProcessed = %d, want 3", e.TreesProcessed())
+	}
+	if e.Exact().Count(e.PatternValue(tree.T("A", tree.T("B"), tree.T("B")))) != 1 {
+		t.Error("exact counts not restored by removal")
+	}
+}
+
+func TestRemoveTreeWithTopK(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 3
+	e := mustEngine(t, cfg)
+	heavy := tree.NewTree(tree.T("A", tree.T("B")))
+	for i := 0; i < 100; i++ {
+		e.AddTree(heavy)
+	}
+	for i := 0; i < 20; i++ {
+		if err := e.RemoveTree(heavy); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := e.EstimateOrdered(tree.T("A", tree.T("B")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 100 added, 20 removed: the tracked freq plus the residual sketch
+	// must answer 80 exactly (single-value stream).
+	if got != 80 {
+		t.Errorf("estimate = %v, want exactly 80", got)
+	}
+}
+
+func TestFrequentPatterns(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 4
+	e := mustEngine(t, cfg)
+	if got := e.FrequentPatterns(); len(got) != 0 {
+		t.Errorf("fresh engine tracks %d patterns", len(got))
+	}
+	heavy := tree.NewTree(tree.T("A", tree.T("B")))
+	for i := 0; i < 60; i++ {
+		e.AddTree(heavy)
+	}
+	fps := e.FrequentPatterns()
+	if len(fps) == 0 {
+		t.Fatal("no frequent patterns tracked")
+	}
+	if fps[0].Freq != 60 {
+		t.Errorf("top frequency = %d, want 60", fps[0].Freq)
+	}
+	for i := 1; i < len(fps); i++ {
+		if fps[i].Freq > fps[i-1].Freq {
+			t.Error("frequent patterns must be sorted descending")
+		}
+	}
+}
+
+func TestEstimateSelfJoinSize(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 2
+	cfg.S1 = 200
+	e := mustEngine(t, cfg)
+	heavy := tree.NewTree(tree.T("A", tree.T("B")))
+	for i := 0; i < 50; i++ {
+		e.AddTree(heavy)
+	}
+	// One distinct pattern with count 50: true SJ = 2500; residual
+	// after tracking ≈ 0.
+	resid := e.EstimateSelfJoinSize(false)
+	comp := e.EstimateSelfJoinSize(true)
+	if resid > 250 {
+		t.Errorf("residual SJ = %v, want ≈ 0", resid)
+	}
+	if comp < 1800 || comp > 3200 {
+		t.Errorf("compensated SJ = %v, want ≈ 2500", comp)
+	}
+}
+
+// encodeSnapshot builds raw snapshot bytes for corruption tests.
+func encodeSnapshot(t *testing.T, sn snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sn); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// decodeSnapshot reads an engine's snapshot for modification.
+func decodeSnapshot(t *testing.T, e *Engine) snapshot {
+	t.Helper()
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sn snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sn); err != nil {
+		t.Fatal(err)
+	}
+	return sn
+}
+
+func TestRestoreStructuralValidation(t *testing.T) {
+	e := mustEngine(t, fullConfig())
+	figure1Stream(t, e)
+	base := decodeSnapshot(t, e)
+
+	mutations := []struct {
+		name string
+		mut  func(sn *snapshot)
+	}{
+		{"wrong version", func(sn *snapshot) { sn.Version = 99 }},
+		{"bad modulus", func(sn *snapshot) { sn.FingerprintModulus = 0b101 }},
+		{"modulus degree mismatch", func(sn *snapshot) {
+			sn.FingerprintModulus = 1<<31 | 1<<3 | 1 // degree 31, config says 61
+		}},
+		{"seed record count", func(sn *snapshot) { sn.SeedWords = sn.SeedWords[:1] }},
+		{"stream counter count", func(sn *snapshot) { sn.StreamCounters = sn.StreamCounters[:2] }},
+		{"topk record count", func(sn *snapshot) { sn.TopKEntries = sn.TopKEntries[:1] }},
+		{"topk state without config", func(sn *snapshot) {
+			sn.Config.TopK = 0
+		}},
+		{"summary missing", func(sn *snapshot) { sn.Summary = nil }},
+		{"exact arrays disagree", func(sn *snapshot) {
+			sn.ExactValues = append(sn.ExactValues, 1)
+		}},
+		{"invalid config", func(sn *snapshot) { sn.Config.S1 = 0 }},
+	}
+	for _, m := range mutations {
+		sn := decodeSnapshot(t, e) // fresh copy
+		m.mut(&sn)
+		if _, err := Restore(encodeSnapshot(t, sn)); err == nil {
+			t.Errorf("%s: corrupted snapshot accepted", m.name)
+		}
+	}
+	// The unmodified snapshot still restores.
+	if _, err := Restore(encodeSnapshot(t, base)); err != nil {
+		t.Fatalf("control restore failed: %v", err)
+	}
+}

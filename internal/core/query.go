@@ -1,0 +1,291 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/summary"
+	"sketchtree/internal/tree"
+)
+
+// maxArrangements bounds the ordered arrangements generated for an
+// unordered query before giving up.
+const maxArrangements = 10000
+
+// validatePattern checks a query pattern fits the enumerated size.
+func (e *Engine) validatePattern(q *tree.Node) error {
+	if q == nil {
+		return fmt.Errorf("core: nil query pattern")
+	}
+	if edges := q.Size() - 1; edges < 1 || edges > e.cfg.MaxPatternEdges {
+		return fmt.Errorf("core: query pattern has %d edges, synopsis enumerates 1..%d",
+			edges, e.cfg.MaxPatternEdges)
+	}
+	return nil
+}
+
+// EstimateOrdered estimates COUNT_ord(Q), the number of ordered
+// occurrences of the pattern in the stream so far (Algorithm 2 with
+// the §5.2 top-k compensation).
+func (e *Engine) EstimateOrdered(q *tree.Node) (float64, error) {
+	if err := e.validatePattern(q); err != nil {
+		return 0, err
+	}
+	v := e.PatternValue(q)
+	sk := e.streams.SketchFor(v)
+	var adj []int64
+	if t := e.trackerFor(v); t != nil {
+		adj = t.Adjustment([]uint64{v})
+	}
+	return sk.EstimateCount(v, adj), nil
+}
+
+// EstimateOrderedSet estimates Σ_j COUNT_ord(Q_j) for distinct
+// patterns using the single set estimator of Theorem 2 over the
+// combined sketch of the involved virtual streams.
+func (e *Engine) EstimateOrderedSet(qs []*tree.Node) (float64, error) {
+	if len(qs) == 0 {
+		return 0, fmt.Errorf("core: empty pattern set")
+	}
+	vs := make([]uint64, len(qs))
+	seen := make(map[uint64]bool, len(qs))
+	for i, q := range qs {
+		if err := e.validatePattern(q); err != nil {
+			return 0, err
+		}
+		v := e.PatternValue(q)
+		if seen[v] {
+			return 0, fmt.Errorf("core: duplicate pattern %s in set (patterns must be distinct)", q)
+		}
+		seen[v] = true
+		vs[i] = v
+	}
+	sk := e.streams.Combined(vs)
+	return sk.EstimateSetCount(vs, e.adjustmentFor(vs)), nil
+}
+
+// Arrangements returns the distinct ordered arrangements of an
+// unordered pattern: every permutation of every node's children,
+// deduplicated (permuting identical sibling subtrees does not create a
+// new arrangement). Fails if more than max would be generated
+// (max <= 0 uses a package default).
+func Arrangements(q *tree.Node, max int) ([]*tree.Node, error) {
+	if q == nil {
+		return nil, fmt.Errorf("core: nil pattern")
+	}
+	if max <= 0 {
+		max = maxArrangements
+	}
+	out, err := arrange(q, max)
+	if err != nil {
+		return nil, err
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, nil
+}
+
+func arrange(q *tree.Node, max int) ([]*tree.Node, error) {
+	if len(q.Children) == 0 {
+		return []*tree.Node{{Label: q.Label}}, nil
+	}
+	// Arrangements of each child subtree.
+	childArr := make([][]*tree.Node, len(q.Children))
+	for i, c := range q.Children {
+		a, err := arrange(c, max)
+		if err != nil {
+			return nil, err
+		}
+		childArr[i] = a
+	}
+	seen := map[string]bool{}
+	var out []*tree.Node
+	idx := make([]int, len(q.Children))
+	for i := range idx {
+		idx[i] = i
+	}
+	var permute func(k int) error
+	emit := func() error {
+		pick := make([]int, len(idx))
+		copy(pick, idx)
+		sel := make([]*tree.Node, len(idx))
+		var choose func(i int) error
+		choose = func(i int) error {
+			if i == len(idx) {
+				n := &tree.Node{Label: q.Label, Children: append([]*tree.Node(nil), sel...)}
+				key := n.String()
+				if !seen[key] {
+					if len(out) >= max {
+						return fmt.Errorf("core: more than %d ordered arrangements", max)
+					}
+					seen[key] = true
+					out = append(out, n)
+				}
+				return nil
+			}
+			for _, alt := range childArr[pick[i]] {
+				sel[i] = alt
+				if err := choose(i + 1); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		return choose(0)
+	}
+	permute = func(k int) error {
+		if k == len(idx) {
+			return emit()
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			if err := permute(k + 1); err != nil {
+				return err
+			}
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+		return nil
+	}
+	if err := permute(0); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// EstimateUnordered estimates COUNT(Q): the unordered pattern's count
+// is the total ordered count over all its distinct arrangements
+// (§3.3), answered with the set estimator.
+func (e *Engine) EstimateUnordered(q *tree.Node) (float64, error) {
+	if err := e.validatePattern(q); err != nil {
+		return 0, err
+	}
+	arr, err := Arrangements(q, 0)
+	if err != nil {
+		return 0, err
+	}
+	return e.EstimateOrderedSet(arr)
+}
+
+// Expr is a query expression over pattern counts (§4 grammar) at the
+// pattern level; it compiles to the value-level ams.Expr.
+type Expr interface{ isExpr() }
+
+// CountOf is the COUNT_ord(Q) terminal.
+type CountOf struct{ Pattern *tree.Node }
+
+// ExprAdd is E + E.
+type ExprAdd struct{ L, R Expr }
+
+// ExprSub is E − E.
+type ExprSub struct{ L, R Expr }
+
+// ExprMul is E × E.
+type ExprMul struct{ L, R Expr }
+
+func (CountOf) isExpr() {}
+func (ExprAdd) isExpr() {}
+func (ExprSub) isExpr() {}
+func (ExprMul) isExpr() {}
+
+// compile lowers a pattern expression to a value expression,
+// collecting the distinct values involved.
+func (e *Engine) compile(x Expr, vals map[uint64]bool) (ams.Expr, error) {
+	switch v := x.(type) {
+	case CountOf:
+		if err := e.validatePattern(v.Pattern); err != nil {
+			return nil, err
+		}
+		val := e.PatternValue(v.Pattern)
+		vals[val] = true
+		return ams.Count{V: val}, nil
+	case ExprAdd:
+		l, r, err := e.compile2(v.L, v.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return ams.Add{L: l, R: r}, nil
+	case ExprSub:
+		l, r, err := e.compile2(v.L, v.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return ams.Sub{L: l, R: r}, nil
+	case ExprMul:
+		l, r, err := e.compile2(v.L, v.R, vals)
+		if err != nil {
+			return nil, err
+		}
+		return ams.Mul{L: l, R: r}, nil
+	case nil:
+		return nil, fmt.Errorf("core: nil expression")
+	default:
+		return nil, fmt.Errorf("core: unknown expression type %T", x)
+	}
+}
+
+func (e *Engine) compile2(l, r Expr, vals map[uint64]bool) (ams.Expr, ams.Expr, error) {
+	cl, err := e.compile(l, vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	cr, err := e.compile(r, vals)
+	if err != nil {
+		return nil, nil, err
+	}
+	return cl, cr, nil
+}
+
+// EstimateExpr estimates a query expression over pattern counts: the
+// relevant virtual-stream sketches are summed (shared seeds make the
+// sum the sketch of the union, §5.3) and the §4 unbiased estimator is
+// evaluated with top-k compensation. Product terms require the engine
+// to have been configured with sufficient ξ independence
+// (Config.Independence >= 2 × the largest product degree).
+func (e *Engine) EstimateExpr(x Expr) (float64, error) {
+	vals := make(map[uint64]bool)
+	ax, err := e.compile(x, vals)
+	if err != nil {
+		return 0, err
+	}
+	vs := make([]uint64, 0, len(vals))
+	for v := range vals {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	sk := e.streams.Combined(vs)
+	return sk.EstimateExpr(ax, e.adjustmentFor(vs))
+}
+
+// EstimateExtended answers a query with wildcard nodes and descendant
+// edges by resolving it against the structural summary into distinct
+// parent-child patterns (§6.2) and estimating their total frequency.
+// The boolean reports truncation: the result may undercount when the
+// summary was capped or expansions exceeded the enumerated pattern
+// size.
+func (e *Engine) EstimateExtended(q *summary.QueryNode) (float64, bool, error) {
+	if e.sum == nil {
+		return 0, false, fmt.Errorf("core: structural summary not enabled (Config.BuildSummary)")
+	}
+	pats, truncated, err := e.sum.Resolve(q, e.cfg.MaxPatternEdges, maxArrangements)
+	if err != nil {
+		return 0, truncated, err
+	}
+	if len(pats) == 0 {
+		return 0, truncated, nil
+	}
+	est, err := e.EstimateOrderedSet(pats)
+	return est, truncated, err
+}
+
+// SanityBound applies the paper's §7.5 convention for reporting: a
+// negative approximate count is replaced by 0.1 × actual when the
+// actual count is known (experiments), else clamped to zero.
+func SanityBound(approx, actual float64) float64 {
+	if approx >= 0 {
+		return approx
+	}
+	if actual > 0 {
+		return 0.1 * actual
+	}
+	return 0
+}

@@ -1,0 +1,304 @@
+// Package datagen generates the synthetic stand-ins for the paper's
+// two real datasets (§7.2), which are not redistributable here:
+//
+//   - TREEBANK: 28,699 narrow, deep parse trees with recursive element
+//     names and no values (the original's values were encrypted). Our
+//     generator expands a small probabilistic grammar over the Penn
+//     Treebank tag set with skewed rule choice, which reproduces the
+//     properties the experiments depend on: depth, low fanout, label
+//     recursion, and a moderately skewed tree-pattern distribution
+//     (hence the gradual top-k benefit of Figure 10(a,b)).
+//
+//   - DBLP: 98,061 shallow, bushy bibliography records with CDATA
+//     values. Our generator emits records with Zipf-distributed field
+//     values, giving high fanout (more EnumTree child-subset choices,
+//     Figure 9) and a highly skewed pattern distribution (the drastic
+//     top-k effect of Figure 10(c,d)).
+//
+// Generation is deterministic in the seed; value labels are chosen to
+// start with a digit so that tree → XML → tree round-trips cleanly
+// (see tree.WriteXML).
+package datagen
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"math/rand/v2"
+	"sort"
+
+	"sketchtree/internal/tree"
+)
+
+// Source is a deterministic stream of labeled trees.
+type Source struct {
+	name  string
+	n     int
+	seed  uint64
+	made  int
+	rng   *rand.Rand
+	genFn func(*rand.Rand) *tree.Node
+}
+
+// Name identifies the dataset ("TREEBANK" or "DBLP").
+func (s *Source) Name() string { return s.name }
+
+// Len returns the total number of trees the source will produce.
+func (s *Source) Len() int { return s.n }
+
+// Next returns the next tree, or (nil, false) when the stream ends.
+func (s *Source) Next() (*tree.Tree, bool) {
+	if s.made >= s.n {
+		return nil, false
+	}
+	s.made++
+	return tree.NewTree(s.genFn(s.rng)), true
+}
+
+// Reset rewinds the source; the same seed regenerates the identical
+// stream.
+func (s *Source) Reset() {
+	s.made = 0
+	s.rng = rand.New(rand.NewPCG(s.seed, streamConst))
+}
+
+// ForEach drains the source through fn, stopping on error.
+func (s *Source) ForEach(fn func(*tree.Tree) error) error {
+	for {
+		t, ok := s.Next()
+		if !ok {
+			return nil
+		}
+		if err := fn(t); err != nil {
+			return err
+		}
+	}
+}
+
+// WriteXML emits the remaining stream as one XML document under the
+// given root tag, the format the paper's datasets come in (and that
+// tree.StreamForest consumes).
+func (s *Source) WriteXML(w io.Writer, rootTag string) error {
+	if _, err := fmt.Fprintf(w, "<%s>\n", rootTag); err != nil {
+		return err
+	}
+	err := s.ForEach(func(t *tree.Tree) error {
+		if err := t.Root.WriteXML(w); err != nil {
+			return err
+		}
+		_, err := io.WriteString(w, "\n")
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "</%s>\n", rootTag)
+	return err
+}
+
+const streamConst = 0xda7a5e7
+
+// zipf is a deterministic Zipf(s) sampler over n ranks via inverse CDF
+// (math/rand/v2 has no Zipf generator).
+type zipf struct {
+	cdf []float64
+}
+
+func newZipf(n int, s float64) *zipf {
+	w := make([]float64, n)
+	total := 0.0
+	for i := range w {
+		w[i] = 1 / math.Pow(float64(i+1), s)
+		total += w[i]
+	}
+	cdf := make([]float64, n)
+	acc := 0.0
+	for i := range w {
+		acc += w[i] / total
+		cdf[i] = acc
+	}
+	cdf[n-1] = 1
+	return &zipf{cdf: cdf}
+}
+
+func (z *zipf) draw(rng *rand.Rand) int {
+	u := rng.Float64()
+	return sort.SearchFloat64s(z.cdf, u)
+}
+
+// --- TREEBANK ---
+
+// pcfgRule is one production: a weight and the child tags; empty
+// children mark a preterminal (leaf tag).
+type pcfgRule struct {
+	weight   float64
+	children []string
+}
+
+// treebankGrammar is a compact Penn-Treebank-flavoured PCFG. Recursive
+// productions (S in SBAR, NP in PP, ...) give the recursive element
+// names the paper notes for TREEBANK.
+var treebankGrammar = map[string][]pcfgRule{
+	"S": {
+		{0.50, []string{"NP", "VP"}},
+		{0.25, []string{"NP", "VP", "PP"}},
+		{0.15, []string{"SBAR", "NP", "VP"}},
+		{0.10, []string{"S", "CC", "S"}},
+	},
+	"SBAR": {
+		{0.6, []string{"IN", "S"}},
+		{0.4, []string{"WHNP", "S"}},
+	},
+	"NP": {
+		{0.35, []string{"DT", "NN"}},
+		{0.20, []string{"DT", "JJ", "NN"}},
+		{0.15, []string{"PRP"}},
+		{0.12, []string{"NNP"}},
+		{0.10, []string{"NP", "PP"}},
+		{0.05, []string{"NP", "SBAR"}},
+		{0.03, []string{"DT", "NN", "NN"}},
+	},
+	"VP": {
+		{0.35, []string{"VBD", "NP"}},
+		{0.25, []string{"VBZ", "NP"}},
+		{0.15, []string{"VBD", "NP", "PP"}},
+		{0.10, []string{"VBD"}},
+		{0.10, []string{"VP", "PP"}},
+		{0.05, []string{"MD", "VP"}},
+	},
+	"PP":   {{1.0, []string{"IN", "NP"}}},
+	"WHNP": {{1.0, []string{"WP"}}},
+}
+
+// terminal fallbacks keep expansion finite at the depth limit.
+var treebankFallback = map[string][]string{
+	"S":    {"NP", "VP"},
+	"SBAR": {"IN"},
+	"NP":   {"NN"},
+	"VP":   {"VBD"},
+	"PP":   {"IN"},
+	"WHNP": {"WP"},
+}
+
+// Treebank returns a source of n synthetic parse trees. Preterminal
+// tags carry one value leaf drawn from a Zipf-distributed vocabulary —
+// the stand-in for the original dataset's encrypted word values, and
+// the source of TREEBANK's millions of distinct tree patterns
+// (Table 1) despite its small tag alphabet.
+func Treebank(seed uint64, n int) *Source {
+	words := newZipf(4000, 1.05)
+	s := &Source{name: "TREEBANK", n: n, seed: seed}
+	s.genFn = func(rng *rand.Rand) *tree.Node {
+		return expandTag("S", rng, 0, words)
+	}
+	s.Reset()
+	return s
+}
+
+const treebankMaxDepth = 9
+
+func expandTag(tag string, rng *rand.Rand, depth int, words *zipf) *tree.Node {
+	n := &tree.Node{Label: tag}
+	rules, ok := treebankGrammar[tag]
+	if !ok {
+		// Preterminal: attach the "encrypted" word value.
+		n.Children = []*tree.Node{leafValue("w", words.draw(rng))}
+		return n
+	}
+	if depth >= treebankMaxDepth {
+		for _, c := range treebankFallback[tag] {
+			n.AddChild(expandTag(c, rng, depth+1, words))
+		}
+		return n
+	}
+	u := rng.Float64()
+	acc := 0.0
+	choice := rules[len(rules)-1]
+	for _, r := range rules {
+		acc += r.weight
+		if u < acc {
+			choice = r
+			break
+		}
+	}
+	for _, c := range choice.children {
+		n.AddChild(expandTag(c, rng, depth+1, words))
+	}
+	return n
+}
+
+// --- DBLP ---
+
+type dblpVocab struct {
+	authors *zipf
+	titles  *zipf
+	venues  *zipf
+	years   *zipf
+	nAuth   *zipf
+}
+
+var dblpTypes = []struct {
+	tag    string
+	weight float64
+	venue  string // venue field tag
+}{
+	{"article", 0.50, "journal"},
+	{"inproceedings", 0.35, "booktitle"},
+	{"book", 0.10, "publisher"},
+	{"phdthesis", 0.05, "school"},
+}
+
+// DBLP returns a source of n synthetic bibliography records.
+func DBLP(seed uint64, n int) *Source {
+	v := &dblpVocab{
+		authors: newZipf(400, 1.1),
+		titles:  newZipf(1500, 1.05),
+		venues:  newZipf(40, 1.0),
+		years:   newZipf(35, 0.6),
+		nAuth:   newZipf(6, 1.3),
+	}
+	s := &Source{name: "DBLP", n: n, seed: seed}
+	s.genFn = func(rng *rand.Rand) *tree.Node { return genDBLP(rng, v) }
+	s.Reset()
+	return s
+}
+
+func genDBLP(rng *rand.Rand, v *dblpVocab) *tree.Node {
+	u := rng.Float64()
+	acc := 0.0
+	rec := dblpTypes[len(dblpTypes)-1]
+	for _, t := range dblpTypes {
+		acc += t.weight
+		if u < acc {
+			rec = t
+			break
+		}
+	}
+	n := tree.New(rec.tag)
+	// 1..6 authors, Zipf-skewed toward 1-2.
+	for i := v.nAuth.draw(rng) + 1; i > 0; i-- {
+		n.AddChild(tree.T("author", leafValue("a", v.authors.draw(rng))))
+	}
+	n.AddChild(tree.T("title", leafValue("t", v.titles.draw(rng))))
+	n.AddChild(tree.T("year", tree.T(fmt.Sprintf("%d", 1970+v.years.draw(rng)))))
+	n.AddChild(tree.T(rec.venue, leafValue("v", v.venues.draw(rng))))
+	if rng.Float64() < 0.7 {
+		n.AddChild(tree.T("pages", leafValue("p", rng.IntN(500))))
+	}
+	if rng.Float64() < 0.5 {
+		n.AddChild(tree.T("ee", leafValue("e", rng.IntN(2000))))
+	}
+	if rng.Float64() < 0.3 {
+		n.AddChild(tree.T("url", leafValue("u", rng.IntN(2000))))
+	}
+	if rec.tag == "inproceedings" && rng.Float64() < 0.4 {
+		n.AddChild(tree.T("crossref", leafValue("c", v.venues.draw(rng))))
+	}
+	return n
+}
+
+// leafValue formats a value label starting with a digit so WriteXML
+// round-trips it as character data.
+func leafValue(kind string, id int) *tree.Node {
+	return tree.T(fmt.Sprintf("%d %s", id, kind))
+}

@@ -1,0 +1,256 @@
+package datagen
+
+import (
+	"bytes"
+	"math/rand/v2"
+	"strings"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+func TestDeterminism(t *testing.T) {
+	for _, mk := range []func() *Source{
+		func() *Source { return Treebank(7, 20) },
+		func() *Source { return DBLP(7, 20) },
+	} {
+		a, b := mk(), mk()
+		for {
+			ta, oka := a.Next()
+			tb, okb := b.Next()
+			if oka != okb {
+				t.Fatal("sources disagree on length")
+			}
+			if !oka {
+				break
+			}
+			if !tree.Equal(ta.Root, tb.Root) {
+				t.Fatalf("same seed, different trees:\n%s\n%s", ta, tb)
+			}
+		}
+	}
+}
+
+func TestResetReplays(t *testing.T) {
+	s := Treebank(3, 5)
+	var first []string
+	s.ForEach(func(tr *tree.Tree) error { first = append(first, tr.String()); return nil })
+	s.Reset()
+	i := 0
+	s.ForEach(func(tr *tree.Tree) error {
+		if tr.String() != first[i] {
+			t.Fatalf("replay diverged at %d", i)
+		}
+		i++
+		return nil
+	})
+	if i != 5 {
+		t.Fatalf("replayed %d trees", i)
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, _ := Treebank(1, 1).Next()
+	var differs bool
+	for seed := uint64(2); seed < 12; seed++ {
+		b, _ := Treebank(seed, 1).Next()
+		if !tree.Equal(a.Root, b.Root) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Error("ten different seeds all produced the same first tree")
+	}
+}
+
+func TestSourceAccessors(t *testing.T) {
+	s := DBLP(1, 3)
+	if s.Name() != "DBLP" || s.Len() != 3 {
+		t.Error("accessors wrong")
+	}
+	n := 0
+	for {
+		if _, ok := s.Next(); !ok {
+			break
+		}
+		n++
+	}
+	if n != 3 {
+		t.Errorf("produced %d trees, want 3", n)
+	}
+	if _, ok := s.Next(); ok {
+		t.Error("exhausted source must keep returning false")
+	}
+}
+
+// Shape assertions: TREEBANK must be narrow and deep, DBLP shallow and
+// bushy — the properties the paper's experiments depend on (Table 1
+// discussion).
+func TestShapeContrast(t *testing.T) {
+	tb := tree.NewStats()
+	Treebank(11, 300).ForEach(func(tr *tree.Tree) error { tb.Add(tr); return nil })
+	db := tree.NewStats()
+	DBLP(11, 300).ForEach(func(tr *tree.Tree) error { db.Add(tr); return nil })
+
+	if tb.AvgDepth() <= db.AvgDepth() {
+		t.Errorf("TREEBANK avg depth %.2f must exceed DBLP %.2f", tb.AvgDepth(), db.AvgDepth())
+	}
+	// Fanout contrast is at the record roots: DBLP records are bushy
+	// (many fields), parse-tree nodes binary-ish. (DBLP's overall
+	// average fanout is depressed by its field→value unary nodes.)
+	rootFanout := func(mk func() *Source) float64 {
+		sum, n := 0, 0
+		mk().ForEach(func(tr *tree.Tree) error {
+			sum += len(tr.Root.Children)
+			n++
+			return nil
+		})
+		return float64(sum) / float64(n)
+	}
+	dbRoot := rootFanout(func() *Source { return DBLP(11, 300) })
+	tbRoot := rootFanout(func() *Source { return Treebank(11, 300) })
+	if dbRoot <= tbRoot+1 {
+		t.Errorf("DBLP root fanout %.2f must clearly exceed TREEBANK %.2f", dbRoot, tbRoot)
+	}
+	if db.MaxFanout <= tb.MaxFanout {
+		t.Errorf("DBLP max fanout %d must exceed TREEBANK %d", db.MaxFanout, tb.MaxFanout)
+	}
+	if db.MaxDepth > 3 {
+		t.Errorf("DBLP records must be shallow, got depth %d", db.MaxDepth)
+	}
+	if tb.MaxDepth < 5 {
+		t.Errorf("TREEBANK must be deep, got max depth %d", tb.MaxDepth)
+	}
+	// TREEBANK's internal structure uses the small Penn tag set; only
+	// its leaf values (the stand-in for the original's encrypted
+	// words) enlarge the alphabet.
+	tags := map[string]bool{}
+	Treebank(11, 300).ForEach(func(tr *tree.Tree) error {
+		tr.Root.Walk(func(n *tree.Node) bool {
+			if !n.IsLeaf() {
+				tags[n.Label] = true
+			}
+			return true
+		})
+		return nil
+	})
+	if len(tags) > 20 {
+		t.Errorf("TREEBANK tag set too large: %d", len(tags))
+	}
+	if tb.DistinctLabels < 100 {
+		t.Errorf("TREEBANK value vocabulary too small: %d", tb.DistinctLabels)
+	}
+	// DBLP carries values: a much larger alphabet.
+	if db.DistinctLabels < 100 {
+		t.Errorf("DBLP label alphabet too small: %d", db.DistinctLabels)
+	}
+}
+
+func TestTreebankRecursiveLabels(t *testing.T) {
+	// Recursive element names: some S must contain a nested S (or NP a
+	// nested NP) somewhere in a few hundred trees.
+	found := false
+	Treebank(13, 400).ForEach(func(tr *tree.Tree) error {
+		tr.Root.Walk(func(n *tree.Node) bool {
+			for _, c := range n.Children {
+				var rec func(*tree.Node) bool
+				rec = func(m *tree.Node) bool {
+					if m.Label == n.Label {
+						return true
+					}
+					for _, mc := range m.Children {
+						if rec(mc) {
+							return true
+						}
+					}
+					return false
+				}
+				if rec(c) {
+					found = true
+				}
+			}
+			return !found
+		})
+		return nil
+	})
+	if !found {
+		t.Error("no recursive element nesting found in TREEBANK sample")
+	}
+}
+
+func TestDBLPValueSkew(t *testing.T) {
+	// Zipf values: the most common author must be much more frequent
+	// than the median author.
+	counts := map[string]int{}
+	DBLP(17, 2000).ForEach(func(tr *tree.Tree) error {
+		tr.Root.Walk(func(n *tree.Node) bool {
+			if n.Label == "author" && len(n.Children) == 1 {
+				counts[n.Children[0].Label]++
+			}
+			return true
+		})
+		return nil
+	})
+	max, total, distinct := 0, 0, 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+		total += c
+		distinct++
+	}
+	if distinct < 50 {
+		t.Fatalf("only %d distinct authors", distinct)
+	}
+	if float64(max) < 0.05*float64(total) {
+		t.Errorf("top author %d of %d occurrences: distribution not skewed", max, total)
+	}
+}
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	for _, src := range []*Source{Treebank(5, 10), DBLP(5, 10)} {
+		want := make([]*tree.Tree, 0, 10)
+		src.ForEach(func(tr *tree.Tree) error { want = append(want, tr); return nil })
+		src.Reset()
+		var buf bytes.Buffer
+		if err := src.WriteXML(&buf, "dataset"); err != nil {
+			t.Fatal(err)
+		}
+		var got []*tree.Tree
+		err := tree.StreamForest(strings.NewReader(buf.String()), tree.DefaultXMLOptions(),
+			func(tr *tree.Tree) error { got = append(got, tr); return nil })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("%s: parsed %d trees, want %d", src.Name(), len(got), len(want))
+		}
+		for i := range want {
+			if !tree.Equal(got[i].Root, want[i].Root) {
+				t.Errorf("%s tree %d: round trip mismatch:\n%s\n%s",
+					src.Name(), i, want[i], got[i])
+			}
+		}
+	}
+}
+
+func TestZipfSampler(t *testing.T) {
+	z := newZipf(10, 1.2)
+	rng := rand.New(rand.NewPCG(1, 2))
+	counts := make([]int, 10)
+	for i := 0; i < 20000; i++ {
+		r := z.draw(rng)
+		if r < 0 || r >= 10 {
+			t.Fatalf("rank %d out of range", r)
+		}
+		counts[r]++
+	}
+	// Monotone-ish decreasing: rank 0 most common, rank 9 least.
+	if counts[0] <= counts[4] || counts[4] <= counts[9] {
+		t.Errorf("zipf counts not decreasing: %v", counts)
+	}
+	if counts[0] < 5000 {
+		t.Errorf("rank-0 mass too small for s=1.2: %d", counts[0])
+	}
+}

@@ -1,0 +1,257 @@
+// Package enum implements EnumTree (paper §5.1, Algorithm 3): the
+// enumeration of all ordered tree patterns with at most k edges
+// embedded in an ordered labeled data tree.
+//
+// A tree pattern rooted at data node i with j edges is a connected set
+// of j tree edges whose topmost node is i; the pattern inherits the
+// labels and the left-to-right order of the data tree. P(i, j) denotes
+// the set of patterns rooted at i with exactly j edges. To compute
+// P(i, n), EnumTree picks an ordered subset of i's child edges and
+// distributes the remaining edges over the chosen children in all
+// possible ways (an integer composition), taking the cartesian product
+// of the children's recursively enumerated pattern sets. Solution sets
+// are memoized per (node, j), so shared substructure is computed once
+// — the paper's memoization technique.
+//
+// Pattern values returned by the enumerator share subpattern nodes via
+// the memo; they are immutable by contract. Materialize with ToTree
+// before mutating.
+package enum
+
+import (
+	"fmt"
+
+	"sketchtree/internal/tree"
+)
+
+// Pattern is an ordered tree pattern embedded in a data tree. Node
+// points at the data-tree node the pattern node matches; Children are
+// the chosen child subpatterns in document order. A Pattern with no
+// Children is a pattern leaf (the matched data node may well have
+// children that the pattern does not constrain).
+type Pattern struct {
+	Node     *tree.Node
+	Children []*Pattern
+}
+
+// Edges returns the number of edges of the pattern.
+func (p *Pattern) Edges() int {
+	n := 0
+	for _, c := range p.Children {
+		n += 1 + c.Edges()
+	}
+	return n
+}
+
+// Size returns the number of nodes of the pattern (edges + 1).
+func (p *Pattern) Size() int { return p.Edges() + 1 }
+
+// ToTree materializes the pattern as an independent labeled tree.
+func (p *Pattern) ToTree() *tree.Node {
+	n := &tree.Node{Label: p.Node.Label}
+	if len(p.Children) > 0 {
+		n.Children = make([]*tree.Node, len(p.Children))
+		for i, c := range p.Children {
+			n.Children[i] = c.ToTree()
+		}
+	}
+	return n
+}
+
+// String renders the materialized pattern as an S-expression.
+func (p *Pattern) String() string { return p.ToTree().String() }
+
+// Enumerator memoizes pattern sets for one data tree. Create one per
+// tree (the memo is keyed by node identity).
+type Enumerator struct {
+	maxEdges int
+	memo     map[memoKey][]*Pattern
+	leaves   map[*tree.Node]*Pattern
+}
+
+type memoKey struct {
+	node *tree.Node
+	n    int
+}
+
+// NewEnumerator prepares enumeration of patterns with 1..maxEdges
+// edges.
+func NewEnumerator(maxEdges int) (*Enumerator, error) {
+	if maxEdges < 1 {
+		return nil, fmt.Errorf("enum: maxEdges %d < 1", maxEdges)
+	}
+	return &Enumerator{
+		maxEdges: maxEdges,
+		memo:     make(map[memoKey][]*Pattern),
+		leaves:   make(map[*tree.Node]*Pattern),
+	}, nil
+}
+
+// MaxEdges returns the configured maximum pattern size.
+func (e *Enumerator) MaxEdges() int { return e.maxEdges }
+
+func (e *Enumerator) leaf(n *tree.Node) *Pattern {
+	if p, ok := e.leaves[n]; ok {
+		return p
+	}
+	p := &Pattern{Node: n}
+	e.leaves[n] = p
+	return p
+}
+
+// Rooted returns P(node, n): all patterns rooted at the given data
+// node with exactly n edges (n >= 1). The returned slice and its
+// patterns are owned by the enumerator and must not be modified.
+func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
+	if n < 1 || n > e.maxEdges {
+		return nil
+	}
+	key := memoKey{node, n}
+	if ps, ok := e.memo[key]; ok {
+		return ps
+	}
+	var out []*Pattern
+	f := len(node.Children)
+	if f > 0 {
+		// Walk the children left to right; at each child either skip it
+		// or include its edge plus x further edges below it. This
+		// enumerates every (ordered child subset, composition) pair of
+		// Algorithm 3 exactly once.
+		acc := make([]*Pattern, 0, n)
+		var assign func(ci, left int)
+		assign = func(ci, left int) {
+			if left == 0 {
+				if len(acc) > 0 {
+					children := make([]*Pattern, len(acc))
+					copy(children, acc)
+					out = append(out, &Pattern{Node: node, Children: children})
+				}
+				return
+			}
+			if ci == f {
+				return
+			}
+			// Skip child ci.
+			assign(ci+1, left)
+			// Include child ci as a pattern leaf (x = 0).
+			c := node.Children[ci]
+			acc = append(acc, e.leaf(c))
+			assign(ci+1, left-1)
+			acc = acc[:len(acc)-1]
+			// Include child ci with x >= 1 edges beneath it.
+			for x := 1; x <= left-1; x++ {
+				for _, sub := range e.Rooted(c, x) {
+					acc = append(acc, sub)
+					assign(ci+1, left-1-x)
+					acc = acc[:len(acc)-1]
+				}
+			}
+		}
+		assign(0, n)
+	}
+	e.memo[key] = out
+	return out
+}
+
+// ForEach invokes fn for every pattern with 1..maxEdges edges rooted
+// anywhere in the tree, visiting roots in postorder and sizes in
+// increasing order per root. Enumeration stops early if fn returns an
+// error, which is then returned.
+func (e *Enumerator) ForEach(root *tree.Node, fn func(*Pattern) error) error {
+	var walk func(n *tree.Node) error
+	walk = func(n *tree.Node) error {
+		for _, c := range n.Children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		for size := 1; size <= e.maxEdges; size++ {
+			for _, p := range e.Rooted(n, size) {
+				if err := fn(p); err != nil {
+					return err
+				}
+			}
+		}
+		return nil
+	}
+	return walk(root)
+}
+
+// Patterns enumerates all patterns with 1..k edges in the tree rooted
+// at root. This is the one-shot convenience over NewEnumerator +
+// ForEach.
+func Patterns(root *tree.Node, k int) ([]*Pattern, error) {
+	e, err := NewEnumerator(k)
+	if err != nil {
+		return nil, err
+	}
+	var out []*Pattern
+	err = e.ForEach(root, func(p *Pattern) error {
+		out = append(out, p)
+		return nil
+	})
+	return out, err
+}
+
+// CountPatterns returns the number of patterns with 1..k edges in the
+// tree without materializing them, via the same recurrence on counts.
+// Used to cross-check the enumeration and to size workloads cheaply
+// (Figure 9(b)).
+func CountPatterns(root *tree.Node, k int) (int64, error) {
+	if k < 1 {
+		return 0, fmt.Errorf("enum: k %d < 1", k)
+	}
+	memo := make(map[memoKey]int64)
+	var count func(node *tree.Node, n int) int64
+	count = func(node *tree.Node, n int) int64 {
+		if n == 0 {
+			return 1 // the "edge only" inclusion of a child
+		}
+		key := memoKey{node, n}
+		if v, ok := memo[key]; ok {
+			return v
+		}
+		f := len(node.Children)
+		var total int64
+		if f > 0 {
+			// ways[ci][left]: same recursion as Rooted, on counts.
+			var ways func(ci, left int, any bool) int64
+			ways = func(ci, left int, any bool) int64 {
+				if left == 0 {
+					if any {
+						return 1
+					}
+					return 0
+				}
+				if ci == f {
+					return 0
+				}
+				w := ways(ci+1, left, any) // skip
+				c := node.Children[ci]
+				for x := 0; x <= left-1; x++ {
+					sub := count(c, x)
+					if sub == 0 {
+						continue
+					}
+					w += sub * ways(ci+1, left-1-x, true)
+				}
+				return w
+			}
+			total = ways(0, n, false)
+		}
+		memo[key] = total
+		return total
+	}
+	var total int64
+	var walk func(n *tree.Node)
+	walk = func(n *tree.Node) {
+		for _, c := range n.Children {
+			walk(c)
+		}
+		for size := 1; size <= k; size++ {
+			total += count(n, size)
+		}
+	}
+	walk(root)
+	return total, nil
+}

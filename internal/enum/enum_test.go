@@ -1,0 +1,413 @@
+package enum
+
+import (
+	"errors"
+	"fmt"
+	"math/rand/v2"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"sketchtree/internal/tree"
+)
+
+// paperTree is the data tree of Figure 6(a): nodes numbered in
+// postorder, structure 7(5(3, 4), 6). Label each node by its number.
+func paperTree() *tree.Node {
+	return tree.T("7",
+		tree.T("5", tree.T("3"), tree.T("4")),
+		tree.T("6"))
+}
+
+// bruteForce enumerates all patterns with 1..k edges by choosing every
+// subset of the tree's edges and keeping the connected, single-rooted
+// ones. Exponential; only for small test trees.
+func bruteForce(root *tree.Node, k int) []string {
+	type edge struct{ parent, child *tree.Node }
+	var edges []edge
+	var collect func(n *tree.Node)
+	collect = func(n *tree.Node) {
+		for _, c := range n.Children {
+			edges = append(edges, edge{n, c})
+			collect(c)
+		}
+	}
+	collect(root)
+	var out []string
+	m := len(edges)
+	for mask := 1; mask < 1<<uint(m); mask++ {
+		var chosen []edge
+		for i := 0; i < m; i++ {
+			if mask&(1<<uint(i)) != 0 {
+				chosen = append(chosen, edges[i])
+			}
+		}
+		if len(chosen) > k {
+			continue
+		}
+		// Children/parent maps restricted to chosen edges.
+		children := map[*tree.Node][]*tree.Node{}
+		hasParent := map[*tree.Node]bool{}
+		nodes := map[*tree.Node]bool{}
+		for _, e := range chosen {
+			children[e.parent] = append(children[e.parent], e.child)
+			hasParent[e.child] = true
+			nodes[e.parent] = true
+			nodes[e.child] = true
+		}
+		var roots []*tree.Node
+		for n := range nodes {
+			if !hasParent[n] {
+				roots = append(roots, n)
+			}
+		}
+		if len(roots) != 1 {
+			continue // disconnected
+		}
+		// Connected check: all nodes reachable from the root.
+		reach := map[*tree.Node]bool{}
+		var dfs func(n *tree.Node)
+		dfs = func(n *tree.Node) {
+			reach[n] = true
+			for _, c := range children[n] {
+				dfs(c)
+			}
+		}
+		dfs(roots[0])
+		if len(reach) != len(nodes) {
+			continue
+		}
+		// Materialize with document order preserved: children slices
+		// were appended in edge-collection order, which is document
+		// order because collect walks children in order... except edges
+		// from different depths interleave. Rebuild ordered children.
+		var mat func(n *tree.Node) *tree.Node
+		mat = func(n *tree.Node) *tree.Node {
+			nn := &tree.Node{Label: n.Label}
+			for _, c := range n.Children { // document order
+				if reach[c] && contains(children[n], c) {
+					nn.Children = append(nn.Children, mat(c))
+				}
+			}
+			return nn
+		}
+		out = append(out, mat(roots[0]).String())
+	}
+	sort.Strings(out)
+	return out
+}
+
+func contains(ns []*tree.Node, x *tree.Node) bool {
+	for _, n := range ns {
+		if n == x {
+			return true
+		}
+	}
+	return false
+}
+
+func enumStrings(root *tree.Node, k int, t *testing.T) []string {
+	t.Helper()
+	ps, err := Patterns(root, k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestPaperFigure6RootedAtSeven(t *testing.T) {
+	// Figure 6(b): the patterns rooted at node 7 with 1..3 edges.
+	root := paperTree()
+	e, err := NewEnumerator(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int][]string{}
+	for n := 1; n <= 3; n++ {
+		for _, p := range e.Rooted(root, n) {
+			got[n] = append(got[n], p.String())
+		}
+		sort.Strings(got[n])
+	}
+	want := map[int][]string{
+		1: {"(7 (5))", "(7 (6))"},
+		2: {"(7 (5 (3)))", "(7 (5 (4)))", "(7 (5) (6))"},
+		3: {"(7 (5 (3) (4)))", "(7 (5 (3)) (6))", "(7 (5 (4)) (6))"},
+	}
+	for n := 1; n <= 3; n++ {
+		if len(got[n]) != len(want[n]) {
+			t.Fatalf("P(7,%d): got %v, want %v", n, got[n], want[n])
+		}
+		for i := range want[n] {
+			if got[n][i] != want[n][i] {
+				t.Errorf("P(7,%d)[%d] = %s, want %s", n, i, got[n][i], want[n][i])
+			}
+		}
+	}
+}
+
+func TestAgainstBruteForceFixed(t *testing.T) {
+	trees := []*tree.Node{
+		paperTree(),
+		tree.T("A"),
+		tree.T("A", tree.T("B")),
+		tree.T("A", tree.T("B"), tree.T("B"), tree.T("B")),
+		tree.T("S", tree.T("NP", tree.T("DT"), tree.T("NN")),
+			tree.T("VP", tree.T("VBD"), tree.T("NP", tree.T("NN")))),
+	}
+	for _, root := range trees {
+		for k := 1; k <= 4; k++ {
+			got := enumStrings(root, k, t)
+			want := bruteForce(root, k)
+			if len(got) != len(want) {
+				t.Fatalf("tree %s k=%d: %d patterns, brute force %d\n got: %v\nwant: %v",
+					root, k, len(got), len(want), got, want)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Errorf("tree %s k=%d: mismatch %s vs %s", root, k, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, n int) *tree.Node {
+	alphabet := []string{"A", "B", "C"}
+	nodes := make([]*tree.Node, n)
+	for i := range nodes {
+		nodes[i] = tree.New(alphabet[rng.IntN(len(alphabet))])
+	}
+	for i := 1; i < n; i++ {
+		nodes[rng.IntN(i)].AddChild(nodes[i])
+	}
+	return nodes[0]
+}
+
+// Property: enumeration equals brute force on random small trees.
+func TestQuickAgainstBruteForce(t *testing.T) {
+	f := func(seed uint64, sz, kk uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 77))
+		root := randomTree(rng, int(sz%9)+1)
+		k := int(kk%4) + 1
+		got := enumStringsQuiet(root, k)
+		want := bruteForce(root, k)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func enumStringsQuiet(root *tree.Node, k int) []string {
+	ps, _ := Patterns(root, k)
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Property: CountPatterns equals the length of the enumeration.
+func TestQuickCountMatchesEnumeration(t *testing.T) {
+	f := func(seed uint64, sz, kk uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 88))
+		root := randomTree(rng, int(sz%12)+1)
+		k := int(kk%5) + 1
+		ps, err := Patterns(root, k)
+		if err != nil {
+			return false
+		}
+		n, err := CountPatterns(root, k)
+		return err == nil && n == int64(len(ps))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatternProperties(t *testing.T) {
+	ps, err := Patterns(paperTree(), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range ps {
+		if p.Edges() < 1 || p.Edges() > 3 {
+			t.Errorf("pattern %s has %d edges, want 1..3", p, p.Edges())
+		}
+		if p.Size() != p.Edges()+1 {
+			t.Errorf("Size/Edges inconsistent for %s", p)
+		}
+		mat := p.ToTree()
+		if mat.Size() != p.Size() {
+			t.Errorf("materialized size %d != %d", mat.Size(), p.Size())
+		}
+	}
+}
+
+func TestEnumerationHasNoDuplicates(t *testing.T) {
+	root := tree.T("A",
+		tree.T("B", tree.T("C"), tree.T("C")),
+		tree.T("B", tree.T("C")))
+	ps, err := Patterns(root, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Patterns are embeddings: two distinct embeddings may materialize
+	// to the same labeled tree (that is how counting works), but the
+	// same embedding must not appear twice. Identify embeddings by the
+	// data-node pointers they touch.
+	seen := map[string]bool{}
+	for _, p := range ps {
+		key := embeddingKey(p)
+		if seen[key] {
+			t.Fatalf("duplicate embedding %s", p)
+		}
+		seen[key] = true
+	}
+}
+
+func embeddingKey(p *Pattern) string {
+	key := nodeID(p.Node)
+	key += "("
+	for _, c := range p.Children {
+		key += embeddingKey(c) + ","
+	}
+	return key + ")"
+}
+
+func nodeID(n *tree.Node) string {
+	// Pointer identity rendered via fmt is stable within a test run.
+	return fmt.Sprintf("%p", n)
+}
+
+func TestSingleNodeTreeHasNoPatterns(t *testing.T) {
+	ps, err := Patterns(tree.T("A"), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ps) != 0 {
+		t.Errorf("single node tree: %d patterns, want 0", len(ps))
+	}
+	n, err := CountPatterns(tree.T("A"), 3)
+	if err != nil || n != 0 {
+		t.Errorf("CountPatterns = %d, %v", n, err)
+	}
+}
+
+func TestChainPatternCount(t *testing.T) {
+	// A chain of n nodes has, for each (root, length<=k) pair, exactly
+	// one pattern: sum over roots of min(k, depth-below).
+	chain := tree.T("A", tree.T("B", tree.T("C", tree.T("D"))))
+	// Roots: A (depth 3 below), B (2), C (1), D (0). k=2:
+	// A: sizes 1,2 -> 2; B: 2; C: 1; D: 0 => 5.
+	n, err := CountPatterns(chain, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Errorf("chain k=2: %d patterns, want 5", n)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := NewEnumerator(0); err == nil {
+		t.Error("maxEdges 0 must be rejected")
+	}
+	if _, err := Patterns(tree.T("A"), 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	if _, err := CountPatterns(tree.T("A"), 0); err == nil {
+		t.Error("k=0 must be rejected")
+	}
+	e, _ := NewEnumerator(3)
+	if e.MaxEdges() != 3 {
+		t.Error("MaxEdges accessor wrong")
+	}
+	if got := e.Rooted(tree.T("A", tree.T("B")), 5); got != nil {
+		t.Error("Rooted beyond maxEdges must return nil")
+	}
+	if got := e.Rooted(tree.T("A", tree.T("B")), 0); got != nil {
+		t.Error("Rooted with 0 edges must return nil")
+	}
+}
+
+func TestForEachEarlyStop(t *testing.T) {
+	e, _ := NewEnumerator(3)
+	count := 0
+	sentinel := errors.New("stop")
+	err := e.ForEach(paperTree(), func(p *Pattern) error {
+		count++
+		if count == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if err != sentinel {
+		t.Errorf("err = %v, want sentinel", err)
+	}
+	if count != 3 {
+		t.Errorf("visited %d, want 3", count)
+	}
+}
+
+func TestMemoizationConsistency(t *testing.T) {
+	// Enumerating twice through the same enumerator must yield the
+	// same patterns (memo hits on the second pass).
+	e, _ := NewEnumerator(3)
+	root := paperTree()
+	var first, second []string
+	e.ForEach(root, func(p *Pattern) error { first = append(first, p.String()); return nil })
+	e.ForEach(root, func(p *Pattern) error { second = append(second, p.String()); return nil })
+	if len(first) != len(second) {
+		t.Fatalf("pass sizes differ: %d vs %d", len(first), len(second))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Errorf("pass mismatch at %d: %s vs %s", i, first[i], second[i])
+		}
+	}
+}
+
+func TestBushyFanoutCounts(t *testing.T) {
+	// A root with f children and k=1: f patterns. k=2: f single-child-
+	// with-grandchild... none (children are leaves) + C(f,2) pairs.
+	f := 6
+	root := tree.New("R")
+	for i := 0; i < f; i++ {
+		root.AddChild(tree.New("c"))
+	}
+	n1, _ := CountPatterns(root, 1)
+	if n1 != int64(f) {
+		t.Errorf("k=1: %d, want %d", n1, f)
+	}
+	n2, _ := CountPatterns(root, 2)
+	if want := int64(f + f*(f-1)/2); n2 != want {
+		t.Errorf("k=2: %d, want %d", n2, want)
+	}
+}
+
+func BenchmarkEnumerateTreebankLikeTree(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 5))
+	root := randomTree(rng, 40)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e, _ := NewEnumerator(4)
+		n := 0
+		e.ForEach(root, func(p *Pattern) error { n++; return nil })
+	}
+}

@@ -1,0 +1,39 @@
+package enum_test
+
+import (
+	"fmt"
+	"sort"
+
+	"sketchtree/internal/enum"
+	"sketchtree/internal/tree"
+)
+
+// Paper Figure 6: the tree 7(5(3,4), 6) and its patterns rooted at
+// node 7 with exactly 3 edges.
+func ExampleEnumerator_Rooted() {
+	root := tree.T("7",
+		tree.T("5", tree.T("3"), tree.T("4")),
+		tree.T("6"))
+	e, _ := enum.NewEnumerator(3)
+	var out []string
+	for _, p := range e.Rooted(root, 3) {
+		out = append(out, p.String())
+	}
+	sort.Strings(out)
+	for _, s := range out {
+		fmt.Println(s)
+	}
+	// Output:
+	// (7 (5 (3) (4)))
+	// (7 (5 (3)) (6))
+	// (7 (5 (4)) (6))
+}
+
+func ExampleCountPatterns() {
+	root := tree.T("A", tree.T("B", tree.T("C")), tree.T("D"))
+	// Five patterns with 1..2 edges: B(C); A(B); A(D); A(B,D); A(B(C)).
+	n, _ := enum.CountPatterns(root, 2)
+	fmt.Println(n)
+	// Output:
+	// 5
+}

@@ -1,0 +1,94 @@
+// Package exact implements the deterministic baseline that SketchTree
+// is compared against (paper §1, §2.2): one counter per distinct
+// one-dimensional value (tree pattern). It provides exact answers,
+// exact self-join sizes, and exact top-k lists — the ground truth for
+// the experiment harness and the memory-cost baseline of Table 1.
+package exact
+
+import (
+	"sort"
+)
+
+// ValueCount pairs a value with its frequency.
+type ValueCount struct {
+	Value uint64
+	Count int64
+}
+
+// Counter counts every distinct value exactly.
+type Counter struct {
+	counts   map[uint64]int64
+	total    int64
+	selfJoin int64 // Σ f², maintained incrementally
+}
+
+// New returns an empty counter.
+func New() *Counter {
+	return &Counter{counts: make(map[uint64]int64)}
+}
+
+// Add adds delta occurrences of v (delta may be negative; a count
+// dropping to zero removes the entry).
+func (c *Counter) Add(v uint64, delta int64) {
+	f := c.counts[v]
+	nf := f + delta
+	c.selfJoin += nf*nf - f*f
+	c.total += delta
+	if nf == 0 {
+		delete(c.counts, v)
+		return
+	}
+	c.counts[v] = nf
+}
+
+// Count returns the exact frequency of v.
+func (c *Counter) Count(v uint64) int64 { return c.counts[v] }
+
+// Distinct returns the number of distinct values seen — the number of
+// counters a deterministic approach must maintain (Table 1's
+// "# of Distinct Tree Patterns").
+func (c *Counter) Distinct() int { return len(c.counts) }
+
+// Total returns the stream length (sum of all frequencies).
+func (c *Counter) Total() int64 { return c.total }
+
+// SelfJoinSize returns SJ(S) = Σ f² — the quantity that drives the
+// sketch variance bounds (Equation 2).
+func (c *Counter) SelfJoinSize() int64 { return c.selfJoin }
+
+// TopK returns the k most frequent values, most frequent first; ties
+// break by ascending value for determinism. k larger than the number
+// of distinct values returns all of them.
+func (c *Counter) TopK(k int) []ValueCount {
+	if k <= 0 {
+		return nil
+	}
+	all := make([]ValueCount, 0, len(c.counts))
+	for v, f := range c.counts {
+		all = append(all, ValueCount{v, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].Count != all[j].Count {
+			return all[i].Count > all[j].Count
+		}
+		return all[i].Value < all[j].Value
+	})
+	if k < len(all) {
+		all = all[:k]
+	}
+	return all
+}
+
+// ForEach visits every (value, count) pair in unspecified order.
+func (c *Counter) ForEach(fn func(v uint64, count int64)) {
+	for v, f := range c.counts {
+		fn(v, f)
+	}
+}
+
+// MemoryBytes approximates the footprint of the counter table: 16
+// bytes of payload per entry plus Go map overhead (~1.7x). This is the
+// baseline SketchTree's limited-memory synopsis is measured against.
+func (c *Counter) MemoryBytes() int {
+	return int(float64(len(c.counts)*16) * 1.7)
+}

@@ -1,0 +1,118 @@
+package exact
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+)
+
+func TestBasicCounting(t *testing.T) {
+	c := New()
+	c.Add(1, 3)
+	c.Add(2, 5)
+	c.Add(1, 2)
+	if got := c.Count(1); got != 5 {
+		t.Errorf("Count(1) = %d, want 5", got)
+	}
+	if got := c.Count(2); got != 5 {
+		t.Errorf("Count(2) = %d, want 5", got)
+	}
+	if got := c.Count(99); got != 0 {
+		t.Errorf("Count(99) = %d, want 0", got)
+	}
+	if got := c.Distinct(); got != 2 {
+		t.Errorf("Distinct = %d, want 2", got)
+	}
+	if got := c.Total(); got != 10 {
+		t.Errorf("Total = %d, want 10", got)
+	}
+	if got := c.SelfJoinSize(); got != 50 {
+		t.Errorf("SelfJoinSize = %d, want 50", got)
+	}
+}
+
+func TestDeletionRemovesEntry(t *testing.T) {
+	c := New()
+	c.Add(7, 4)
+	c.Add(7, -4)
+	if c.Distinct() != 0 || c.Total() != 0 || c.SelfJoinSize() != 0 {
+		t.Errorf("after full deletion: distinct=%d total=%d sj=%d",
+			c.Distinct(), c.Total(), c.SelfJoinSize())
+	}
+}
+
+func TestQuickSelfJoinMatchesRecompute(t *testing.T) {
+	f := func(ops []uint16) bool {
+		c := New()
+		for _, op := range ops {
+			v := uint64(op % 50)
+			delta := int64(op%7) - 3
+			c.Add(v, delta)
+		}
+		var sj, total int64
+		c.ForEach(func(v uint64, f int64) {
+			sj += f * f
+			total += f
+		})
+		return sj == c.SelfJoinSize() && total == c.Total()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopK(t *testing.T) {
+	c := New()
+	c.Add(10, 100)
+	c.Add(20, 50)
+	c.Add(30, 75)
+	c.Add(40, 50)
+	top := c.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK(3) returned %d", len(top))
+	}
+	if top[0].Value != 10 || top[1].Value != 30 {
+		t.Errorf("top order wrong: %+v", top)
+	}
+	// Tie at 50 breaks by ascending value.
+	if top[2].Value != 20 {
+		t.Errorf("tie break wrong: %+v", top)
+	}
+	if got := c.TopK(100); len(got) != 4 {
+		t.Errorf("TopK beyond distinct = %d entries", len(got))
+	}
+	if got := c.TopK(0); got != nil {
+		t.Error("TopK(0) must be nil")
+	}
+	if got := c.TopK(-1); got != nil {
+		t.Error("TopK(-1) must be nil")
+	}
+}
+
+func TestTopKDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	c := New()
+	for i := 0; i < 1000; i++ {
+		c.Add(rng.Uint64()%100, 1)
+	}
+	a := c.TopK(10)
+	b := c.TopK(10)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("TopK not deterministic")
+		}
+	}
+}
+
+func TestMemoryBytesGrows(t *testing.T) {
+	c := New()
+	if c.MemoryBytes() != 0 {
+		t.Errorf("empty counter memory = %d", c.MemoryBytes())
+	}
+	for v := uint64(0); v < 1000; v++ {
+		c.Add(v, 1)
+	}
+	if c.MemoryBytes() < 16000 {
+		t.Errorf("memory for 1000 entries = %d, want >= 16000", c.MemoryBytes())
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"sketchtree/internal/core"
+)
+
+// AblationVariant is one configuration of an ablation with its
+// outcome.
+type AblationVariant struct {
+	Label     string
+	AvgRelErr float64 // mean over ranges and queries; -1 when n/a
+	Seconds   float64 // stream-processing time
+	Memory    int     // synopsis bytes
+}
+
+// AblationResult contrasts design-choice variants on the same stream
+// and workload.
+type AblationResult struct {
+	Name     string
+	Dataset  string
+	Variants []AblationVariant
+}
+
+// meanOverCells averages an error matrix.
+func meanOverCells(m [][]float64) float64 {
+	s, n := 0.0, 0
+	for _, row := range m {
+		for _, e := range row {
+			s += e
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// runVariant streams the bundle under cfg and evaluates the
+// single-pattern workload.
+func runVariant(b *Bundle, label string, cfg core.Config) (AblationVariant, error) {
+	e, dur, err := buildEngine(b, cfg)
+	if err != nil {
+		return AblationVariant{}, err
+	}
+	errSum, errN := 0.0, 0
+	for _, bk := range b.Buckets {
+		for _, q := range bk.Queries {
+			est, err := e.EstimateOrdered(q.Pattern)
+			if err != nil {
+				return AblationVariant{}, err
+			}
+			errSum += relErr(est, float64(q.Count))
+			errN++
+		}
+	}
+	v := AblationVariant{Label: label, Seconds: dur.Seconds(), Memory: e.MemoryBytes().Total()}
+	if errN > 0 {
+		v.AvgRelErr = errSum / float64(errN)
+	}
+	return v, nil
+}
+
+// Ablations runs the design-choice studies DESIGN.md calls out, all on
+// the same bundle and workload:
+//
+//   - virtual streams off (p=1) vs on — §5.3's self-join reduction;
+//   - top-k tracking off vs on — §5.2's heavy-hitter deletion;
+//   - BCH 4-wise vs polynomial 6-wise ξ — the stream-time price of
+//     enabling product expressions;
+//   - fingerprint degree 12 vs 61 — forced collisions vs none; a
+//     12-bit mapping has only 4096 slots, far fewer than the distinct
+//     patterns, so patterns alias and counts bleed into each other.
+func Ablations(b *Bundle, sc Scale, s1, topk int) ([]AblationResult, error) {
+	var out []AblationResult
+
+	base := func() core.Config { return engineConfig(b, sc, s1, topk, 4, 0) }
+
+	// Virtual streams.
+	one := base()
+	one.VirtualStreams = 1
+	v1, err := runVariant(b, "p=1", one)
+	if err != nil {
+		return nil, err
+	}
+	vp, err := runVariant(b, fmt.Sprintf("p=%d", sc.VirtualStreams), base())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name: "virtual streams (§5.3)", Dataset: b.Name,
+		Variants: []AblationVariant{v1, vp},
+	})
+
+	// Top-k deletion.
+	off := base()
+	off.TopK = 0
+	voff, err := runVariant(b, "top-k off", off)
+	if err != nil {
+		return nil, err
+	}
+	von, err := runVariant(b, fmt.Sprintf("top-k %d", topk), base())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name: "top-k frequent-pattern deletion (§5.2)", Dataset: b.Name,
+		Variants: []AblationVariant{voff, von},
+	})
+
+	// ξ family: BCH 4-wise vs poly 6-wise.
+	poly := base()
+	poly.Independence = 6
+	vb, err := runVariant(b, "BCH 4-wise", base())
+	if err != nil {
+		return nil, err
+	}
+	v6, err := runVariant(b, "poly 6-wise", poly)
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name: "ξ family (§3 vs §4 requirements)", Dataset: b.Name,
+		Variants: []AblationVariant{vb, v6},
+	})
+
+	// Fingerprint degree: collisions at 12 bits vs none at 61.
+	small := base()
+	small.FingerprintDegree = 12
+	vs, err := runVariant(b, "degree 12 (collides)", small)
+	if err != nil {
+		return nil, err
+	}
+	vl, err := runVariant(b, "degree 61", base())
+	if err != nil {
+		return nil, err
+	}
+	out = append(out, AblationResult{
+		Name: "fingerprint degree (§6.1)", Dataset: b.Name,
+		Variants: []AblationVariant{vs, vl},
+	})
+	return out, nil
+}

@@ -1,0 +1,542 @@
+// Package experiments regenerates every table and figure of the
+// paper's evaluation (§7) against the synthetic TREEBANK and DBLP
+// streams: Table 1 (dataset statistics), Figure 8 (query workloads),
+// Figure 9 (EnumTree cost), Figure 10 (relative error vs top-k size
+// and s1), Figures 11 and 12 (SUM and PRODUCT workloads), and the
+// §7.6/§7.7 processing-cost ratios.
+//
+// Every experiment is parameterized by a Scale so the same code runs
+// as a seconds-long benchmark or as the paper-scale sweep.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+	"time"
+
+	"sketchtree/internal/core"
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/enum"
+	"sketchtree/internal/tree"
+	"sketchtree/internal/workload"
+)
+
+// Scale sizes an experiment run.
+type Scale struct {
+	Name string
+
+	TreebankTrees int
+	DBLPTrees     int
+	TreebankK     int // max pattern edges (paper: 6)
+	DBLPK         int // (paper: 4)
+
+	QueriesPerRange int // single-pattern queries sampled per selectivity range
+	SumQueries      int // paper: 10,000
+	ProductQueries  int // paper: 6,811
+	Runs            int // paper: 5 (averaged)
+
+	S1Treebank    []int // paper: 25, 50
+	S1DBLP        []int // paper: 50, 75
+	TopKsTreebank []int // paper: 50..300 step 50
+	TopKsDBLP     []int // paper: 1, 50, 100, 150
+
+	VirtualStreams int // paper: 229
+	S2             int // paper: 7 (δ = 0.1)
+	Seed           uint64
+	ReprThreshold  int64
+}
+
+// ScaleTiny is for integration tests of the harness itself: the whole
+// pipeline in well under a second.
+func ScaleTiny() Scale {
+	return Scale{
+		Name:          "tiny",
+		TreebankTrees: 120, DBLPTrees: 200,
+		TreebankK: 3, DBLPK: 3,
+		QueriesPerRange: 5, SumQueries: 30, ProductQueries: 20,
+		Runs:       1,
+		S1Treebank: []int{10}, S1DBLP: []int{10},
+		TopKsTreebank: []int{1, 10}, TopKsDBLP: []int{1, 10},
+		VirtualStreams: 31, S2: 5,
+		Seed: 7, ReprThreshold: 2,
+	}
+}
+
+// ScaleSmall finishes in a few seconds; used by tests and the default
+// `go test -bench` run.
+func ScaleSmall() Scale {
+	return Scale{
+		Name:          "small",
+		TreebankTrees: 400, DBLPTrees: 800,
+		TreebankK: 4, DBLPK: 3,
+		QueriesPerRange: 10, SumQueries: 100, ProductQueries: 80,
+		Runs:       2,
+		S1Treebank: []int{25, 50}, S1DBLP: []int{50, 75},
+		TopKsTreebank: []int{10, 50, 100}, TopKsDBLP: []int{1, 25, 50},
+		VirtualStreams: 59, S2: 7,
+		Seed: 42, ReprThreshold: 3,
+	}
+}
+
+// ScaleMedium is the default for cmd/experiments (minutes).
+func ScaleMedium() Scale {
+	return Scale{
+		Name:          "medium",
+		TreebankTrees: 3000, DBLPTrees: 6000,
+		TreebankK: 5, DBLPK: 4,
+		QueriesPerRange: 25, SumQueries: 1000, ProductQueries: 700,
+		Runs:       2,
+		S1Treebank: []int{25, 50}, S1DBLP: []int{50, 75},
+		TopKsTreebank: []int{50, 100, 150, 200, 250, 300}, TopKsDBLP: []int{1, 50, 100, 150},
+		VirtualStreams: 229, S2: 7,
+		Seed: 42, ReprThreshold: 3,
+	}
+}
+
+// ScalePaper matches the paper's dataset sizes (hours).
+func ScalePaper() Scale {
+	return Scale{
+		Name:          "paper",
+		TreebankTrees: 28699, DBLPTrees: 98061,
+		TreebankK: 6, DBLPK: 4,
+		QueriesPerRange: 50, SumQueries: 10000, ProductQueries: 6811,
+		Runs:       5,
+		S1Treebank: []int{25, 50}, S1DBLP: []int{50, 75},
+		TopKsTreebank: []int{50, 100, 150, 200, 250, 300}, TopKsDBLP: []int{1, 50, 100, 150},
+		VirtualStreams: 229, S2: 7,
+		Seed: 42, ReprThreshold: 3,
+	}
+}
+
+// Bundle is a prepared dataset: a replayable source, the ground-truth
+// catalog, and the selectivity-bucketed query workload.
+type Bundle struct {
+	Name      string
+	K         int
+	NewSource func() *datagen.Source
+	Catalog   *workload.Catalog
+	Ranges    []workload.Range
+	Buckets   []workload.Bucket
+
+	// RangeScale is the factor the paper's selectivity boundaries were
+	// multiplied by to fit the (possibly scaled-down) stream length; 1
+	// at paper scale.
+	RangeScale float64
+}
+
+// Prepare builds the bundle for "TREEBANK" or "DBLP" under the scale.
+func Prepare(sc Scale, dataset string) (*Bundle, error) {
+	var b Bundle
+	var ranges []workload.Range
+	switch dataset {
+	case "TREEBANK":
+		b.Name, b.K = "TREEBANK", sc.TreebankK
+		b.NewSource = func() *datagen.Source { return datagen.Treebank(sc.Seed, sc.TreebankTrees) }
+		ranges = workload.TreebankRanges()
+	case "DBLP":
+		b.Name, b.K = "DBLP", sc.DBLPK
+		b.NewSource = func() *datagen.Source { return datagen.DBLP(sc.Seed, sc.DBLPTrees) }
+		ranges = workload.DBLPRanges()
+	default:
+		return nil, fmt.Errorf("experiments: unknown dataset %q", dataset)
+	}
+	mapper, err := core.NewMapper(61, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	cat := workload.NewCatalog(sc.ReprThreshold)
+	src := b.NewSource()
+	err = src.ForEach(func(t *tree.Tree) error {
+		en, err := enum.NewEnumerator(b.K)
+		if err != nil {
+			return err
+		}
+		return en.ForEach(t.Root, func(p *enum.Pattern) error {
+			mt := p.ToTree()
+			cat.Add(mapper.PatternValue(mt), func() string { return mt.String() })
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	b.Catalog = cat
+	b.Ranges, b.RangeScale = adjustRanges(ranges, cat.Total(), sc.ReprThreshold)
+	rng := rand.New(rand.NewPCG(sc.Seed, 0xb0cce7))
+	b.Buckets, err = cat.Select(b.Ranges, sc.QueriesPerRange, rng)
+	if err != nil {
+		return nil, err
+	}
+	return &b, nil
+}
+
+// adjustRanges rescales the paper's selectivity boundaries so the
+// lowest range still corresponds to counts safely above the catalog's
+// representation threshold on a scaled-down stream. At paper scale the
+// factor is 1.
+func adjustRanges(rs []workload.Range, total int64, threshold int64) ([]workload.Range, float64) {
+	minCount := float64(threshold) + 2
+	scale := 1.0
+	for rs[0].Lo*scale*float64(total) < minCount && scale < 1e9 {
+		scale *= 10
+	}
+	out := make([]workload.Range, len(rs))
+	for i, r := range rs {
+		out[i] = workload.Range{Lo: r.Lo * scale, Hi: r.Hi * scale}
+	}
+	return out, scale
+}
+
+// engineConfig assembles the engine configuration for a sweep point.
+func engineConfig(b *Bundle, sc Scale, s1, topk, independence int, run int) core.Config {
+	cfg := core.DefaultConfig()
+	cfg.MaxPatternEdges = b.K
+	cfg.S1 = s1
+	cfg.S2 = sc.S2
+	cfg.VirtualStreams = sc.VirtualStreams
+	cfg.TopK = topk
+	cfg.Independence = independence
+	cfg.Seed = sc.Seed + uint64(run)*0x9e3779b97f4a7c15
+	return cfg
+}
+
+// buildEngine streams the bundle into a fresh engine and reports the
+// wall-clock stream-processing time.
+func buildEngine(b *Bundle, cfg core.Config) (*core.Engine, time.Duration, error) {
+	e, err := core.New(cfg)
+	if err != nil {
+		return nil, 0, err
+	}
+	src := b.NewSource()
+	start := time.Now()
+	err = src.ForEach(e.AddTree)
+	return e, time.Since(start), err
+}
+
+// relErr is the paper's §7.5 metric with the sanity bound for negative
+// estimates.
+func relErr(approx, actual float64) float64 {
+	if actual == 0 {
+		return 0
+	}
+	approx = core.SanityBound(approx, actual)
+	return math.Abs(approx-actual) / actual
+}
+
+// --- Table 1 ---
+
+// Table1Row is one dataset's row of Table 1, extended with the memory
+// a deterministic counter baseline would need.
+type Table1Row struct {
+	Dataset          string
+	Trees            int
+	K                int
+	DistinctPatterns int
+	TotalPatterns    int64
+	SelfJoinSize     int64
+	BaselineMemBytes int64 // lg(total) bits per distinct counter
+}
+
+// Table1 computes the row for a prepared bundle.
+func Table1(b *Bundle, sc Scale) Table1Row {
+	trees := sc.TreebankTrees
+	if b.Name == "DBLP" {
+		trees = sc.DBLPTrees
+	}
+	bits := int64(math.Ceil(math.Log2(float64(b.Catalog.Total() + 1))))
+	return Table1Row{
+		Dataset:          b.Name,
+		Trees:            trees,
+		K:                b.K,
+		DistinctPatterns: b.Catalog.Distinct(),
+		TotalPatterns:    b.Catalog.Total(),
+		SelfJoinSize:     b.Catalog.SelfJoinSize(),
+		BaselineMemBytes: int64(b.Catalog.Distinct()) * bits / 8,
+	}
+}
+
+// --- Figure 8 ---
+
+// Fig8Result is the query-workload histogram for one dataset.
+type Fig8Result struct {
+	Dataset  string
+	Ranges   []workload.Range
+	Counts   []int
+	MinCount int64
+	MaxCount int64
+}
+
+// Figure8 summarizes the single-pattern workload of a bundle.
+func Figure8(b *Bundle) Fig8Result {
+	res := Fig8Result{Dataset: b.Name, Ranges: b.Ranges, Counts: make([]int, len(b.Buckets))}
+	res.MinCount = math.MaxInt64
+	for i, bk := range b.Buckets {
+		res.Counts[i] = len(bk.Queries)
+		for _, q := range bk.Queries {
+			if q.Count < res.MinCount {
+				res.MinCount = q.Count
+			}
+			if q.Count > res.MaxCount {
+				res.MaxCount = q.Count
+			}
+		}
+	}
+	if res.MinCount == math.MaxInt64 {
+		res.MinCount = 0
+	}
+	return res
+}
+
+// --- Figure 9 ---
+
+// EnumPoint is one k in the EnumTree sweep: total patterns generated
+// across the stream and total wall-clock time including sequence
+// construction and fingerprinting (as the paper measures, §7.4).
+type EnumPoint struct {
+	K        int
+	Patterns int64
+	Seconds  float64
+}
+
+// Figure9 runs the EnumTree cost sweep for k = 1..maxK.
+func Figure9(b *Bundle, sc Scale, maxK int) ([]EnumPoint, error) {
+	mapper, err := core.NewMapper(61, sc.Seed)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]EnumPoint, 0, maxK)
+	for k := 1; k <= maxK; k++ {
+		src := b.NewSource()
+		var patterns int64
+		start := time.Now()
+		err := src.ForEach(func(t *tree.Tree) error {
+			en, err := enum.NewEnumerator(k)
+			if err != nil {
+				return err
+			}
+			return en.ForEach(t.Root, func(p *enum.Pattern) error {
+				_ = mapper.PatternValue(p.ToTree())
+				patterns++
+				return nil
+			})
+		})
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, EnumPoint{K: k, Patterns: patterns, Seconds: time.Since(start).Seconds()})
+	}
+	return out, nil
+}
+
+// --- Figure 10 ---
+
+// ErrorSweepResult holds average relative errors per (top-k size,
+// selectivity range) for one dataset and s1, as one panel of Figure 10.
+type ErrorSweepResult struct {
+	Dataset     string
+	S1          int
+	TopKs       []int
+	Ranges      []workload.Range
+	AvgRelErr   [][]float64 // [topk index][range index]
+	MemoryBytes []int       // synopsis size per top-k setting
+	Seconds     []float64   // stream-processing time per top-k setting (first run)
+}
+
+// ErrorSweep runs the Figure 10 experiment: for each top-k size,
+// stream the dataset into a fresh engine (averaged over sc.Runs
+// independent seed draws) and measure the average relative error of
+// the single-pattern workload per selectivity range.
+func ErrorSweep(b *Bundle, sc Scale, s1 int, topks []int) (*ErrorSweepResult, error) {
+	res := &ErrorSweepResult{
+		Dataset: b.Name, S1: s1, TopKs: topks, Ranges: b.Ranges,
+		AvgRelErr:   make([][]float64, len(topks)),
+		MemoryBytes: make([]int, len(topks)),
+		Seconds:     make([]float64, len(topks)),
+	}
+	for ti, topk := range topks {
+		errSum := make([]float64, len(b.Buckets))
+		errN := make([]int, len(b.Buckets))
+		for run := 0; run < sc.Runs; run++ {
+			e, dur, err := buildEngine(b, engineConfig(b, sc, s1, topk, 4, run))
+			if err != nil {
+				return nil, err
+			}
+			if run == 0 {
+				res.Seconds[ti] = dur.Seconds()
+				res.MemoryBytes[ti] = e.MemoryBytes().Total()
+			}
+			for bi, bk := range b.Buckets {
+				for _, q := range bk.Queries {
+					est, err := e.EstimateOrdered(q.Pattern)
+					if err != nil {
+						return nil, err
+					}
+					errSum[bi] += relErr(est, float64(q.Count))
+					errN[bi]++
+				}
+			}
+		}
+		res.AvgRelErr[ti] = make([]float64, len(b.Buckets))
+		for bi := range b.Buckets {
+			if errN[bi] > 0 {
+				res.AvgRelErr[ti][bi] = errSum[bi] / float64(errN[bi])
+			}
+		}
+	}
+	return res, nil
+}
+
+// --- Figures 11 & 12 ---
+
+// CompositeResult holds the workload histogram (Figure 11) and the
+// error sweep (Figure 12) for the SUM or PRODUCT workload.
+type CompositeResult struct {
+	Kind      string // "SUM" or "PRODUCT"
+	Dataset   string
+	S1        int
+	TopKs     []int
+	Ranges    []workload.Range // auto-derived selectivity buckets
+	Histogram []int
+	AvgRelErr [][]float64 // [topk index][range index]
+}
+
+// SumSweep runs the §7.8 experiment: SUM-of-three-counts queries
+// answered with the Theorem-2 set estimator.
+func SumSweep(b *Bundle, sc Scale, s1 int, topks []int) (*CompositeResult, error) {
+	rng := rand.New(rand.NewPCG(sc.Seed, 0x5c3))
+	qs, err := workload.MakeSumWorkload(b.Buckets, sc.SumQueries, 3, b.Catalog.Total(), rng)
+	if err != nil {
+		return nil, err
+	}
+	sels := make([]float64, len(qs))
+	for i, q := range qs {
+		sels[i] = q.Selectivity
+	}
+	ranges := workload.AutoRanges(sels, 4)
+	res := &CompositeResult{
+		Kind: "SUM", Dataset: b.Name, S1: s1, TopKs: topks,
+		Ranges: ranges, Histogram: workload.Histogram(sels, ranges),
+		AvgRelErr: make([][]float64, len(topks)),
+	}
+	for ti, topk := range topks {
+		errSum := make([]float64, len(ranges))
+		errN := make([]int, len(ranges))
+		for run := 0; run < sc.Runs; run++ {
+			e, _, err := buildEngine(b, engineConfig(b, sc, s1, topk, 4, run))
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range qs {
+				pats := make([]*tree.Node, len(q.Queries))
+				for j, sq := range q.Queries {
+					pats[j] = sq.Pattern
+				}
+				est, err := e.EstimateOrderedSet(pats)
+				if err != nil {
+					return nil, err
+				}
+				re := relErr(est, float64(q.Count))
+				for ri, r := range ranges {
+					if r.Contains(q.Selectivity) {
+						errSum[ri] += re
+						errN[ri]++
+						break
+					}
+				}
+			}
+		}
+		res.AvgRelErr[ti] = make([]float64, len(ranges))
+		for ri := range ranges {
+			if errN[ri] > 0 {
+				res.AvgRelErr[ti][ri] = errSum[ri] / float64(errN[ri])
+			}
+		}
+	}
+	return res, nil
+}
+
+// ProductSweep runs the §7.9 experiment: PRODUCT-of-two-counts queries
+// answered with the §4 expression estimator (engines use 6-wise ξ; the
+// Appendix-B variance analysis needs at least 5-wise).
+func ProductSweep(b *Bundle, sc Scale, s1 int, topks []int) (*CompositeResult, error) {
+	rng := rand.New(rand.NewPCG(sc.Seed, 0x9d0d))
+	qs, err := workload.MakeProductWorkload(b.Buckets, sc.ProductQueries, 2, b.Catalog.Total(), rng)
+	if err != nil {
+		return nil, err
+	}
+	sels := make([]float64, len(qs))
+	for i, q := range qs {
+		sels[i] = q.Selectivity
+	}
+	ranges := workload.AutoRanges(sels, 4)
+	res := &CompositeResult{
+		Kind: "PRODUCT", Dataset: b.Name, S1: s1, TopKs: topks,
+		Ranges: ranges, Histogram: workload.Histogram(sels, ranges),
+		AvgRelErr: make([][]float64, len(topks)),
+	}
+	for ti, topk := range topks {
+		errSum := make([]float64, len(ranges))
+		errN := make([]int, len(ranges))
+		for run := 0; run < sc.Runs; run++ {
+			e, _, err := buildEngine(b, engineConfig(b, sc, s1, topk, 6, run))
+			if err != nil {
+				return nil, err
+			}
+			for _, q := range qs {
+				expr := core.Expr(core.CountOf{Pattern: q.Queries[0].Pattern})
+				for _, sq := range q.Queries[1:] {
+					expr = core.ExprMul{L: expr, R: core.CountOf{Pattern: sq.Pattern}}
+				}
+				est, err := e.EstimateExpr(expr)
+				if err != nil {
+					return nil, err
+				}
+				re := relErr(est, q.Product)
+				for ri, r := range ranges {
+					if r.Contains(q.Selectivity) {
+						errSum[ri] += re
+						errN[ri]++
+						break
+					}
+				}
+			}
+		}
+		res.AvgRelErr[ti] = make([]float64, len(ranges))
+		for ri := range ranges {
+			if errN[ri] > 0 {
+				res.AvgRelErr[ti][ri] = errSum[ri] / float64(errN[ri])
+			}
+		}
+	}
+	return res, nil
+}
+
+// --- Processing cost (§7.6/§7.7 text) ---
+
+// CostPoint is the stream-processing cost of one configuration.
+type CostPoint struct {
+	S1, TopK       int
+	Seconds        float64
+	PatternsPerSec float64
+}
+
+// CostSweep measures stream-processing time across (s1, topk)
+// configurations; the paper reports the ratios (≈2.3× for doubling s1
+// on TREEBANK, ≈1.6× for 50→75 on DBLP, and only a few percent for
+// growing top-k).
+func CostSweep(b *Bundle, sc Scale, points [][2]int) ([]CostPoint, error) {
+	out := make([]CostPoint, 0, len(points))
+	for _, pt := range points {
+		e, dur, err := buildEngine(b, engineConfig(b, sc, pt[0], pt[1], 4, 0))
+		if err != nil {
+			return nil, err
+		}
+		sec := dur.Seconds()
+		out = append(out, CostPoint{
+			S1: pt[0], TopK: pt[1], Seconds: sec,
+			PatternsPerSec: float64(e.PatternsProcessed()) / sec,
+		})
+	}
+	return out, nil
+}

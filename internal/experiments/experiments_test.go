@@ -1,0 +1,328 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"sketchtree/internal/workload"
+)
+
+// tinyScale keeps the full experiment pipeline under a second.
+func tinyScale() Scale {
+	return Scale{
+		Name:          "tiny",
+		TreebankTrees: 120, DBLPTrees: 200,
+		TreebankK: 3, DBLPK: 3,
+		QueriesPerRange: 5, SumQueries: 30, ProductQueries: 20,
+		Runs:       1,
+		S1Treebank: []int{25}, S1DBLP: []int{25},
+		TopKsTreebank: []int{1, 20}, TopKsDBLP: []int{1, 20},
+		VirtualStreams: 31, S2: 5,
+		Seed: 7, ReprThreshold: 2,
+	}
+}
+
+func prepare(t *testing.T, dataset string) (*Bundle, Scale) {
+	t.Helper()
+	sc := tinyScale()
+	b, err := Prepare(sc, dataset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b, sc
+}
+
+func TestPrepareUnknownDataset(t *testing.T) {
+	if _, err := Prepare(tinyScale(), "NOPE"); err == nil {
+		t.Error("unknown dataset must fail")
+	}
+}
+
+func TestPrepareBundles(t *testing.T) {
+	for _, ds := range []string{"TREEBANK", "DBLP"} {
+		b, _ := prepare(t, ds)
+		if b.Catalog.Total() <= 0 || b.Catalog.Distinct() <= 0 {
+			t.Fatalf("%s: empty catalog", ds)
+		}
+		if b.RangeScale < 1 {
+			t.Errorf("%s: range scale %v < 1", ds, b.RangeScale)
+		}
+		if len(b.Buckets) != 4 {
+			t.Fatalf("%s: %d buckets", ds, len(b.Buckets))
+		}
+		total := 0
+		for _, bk := range b.Buckets {
+			total += len(bk.Queries)
+			for _, q := range bk.Queries {
+				if q.Count <= 0 || q.Pattern == nil {
+					t.Fatalf("%s: bad query %+v", ds, q)
+				}
+				if !bk.Range.Contains(q.Selectivity) {
+					t.Fatalf("%s: query sel %v outside %v", ds, q.Selectivity, bk.Range)
+				}
+			}
+		}
+		if total == 0 {
+			t.Errorf("%s: workload is empty across all ranges", ds)
+		}
+	}
+}
+
+func TestTable1(t *testing.T) {
+	b, sc := prepare(t, "TREEBANK")
+	row := Table1(b, sc)
+	if row.Dataset != "TREEBANK" || row.Trees != sc.TreebankTrees || row.K != sc.TreebankK {
+		t.Errorf("row identity wrong: %+v", row)
+	}
+	if row.DistinctPatterns <= 0 || row.TotalPatterns < int64(row.DistinctPatterns) {
+		t.Errorf("pattern counts inconsistent: %+v", row)
+	}
+	if row.SelfJoinSize < row.TotalPatterns {
+		t.Errorf("self-join below stream length: %+v", row)
+	}
+	if row.BaselineMemBytes <= 0 {
+		t.Errorf("baseline memory: %+v", row)
+	}
+}
+
+func TestFigure8(t *testing.T) {
+	b, _ := prepare(t, "DBLP")
+	res := Figure8(b)
+	if len(res.Counts) != len(b.Buckets) {
+		t.Fatal("count vector size mismatch")
+	}
+	for i, bk := range b.Buckets {
+		if res.Counts[i] != len(bk.Queries) {
+			t.Errorf("range %d: %d != %d", i, res.Counts[i], len(bk.Queries))
+		}
+	}
+	if res.MaxCount < res.MinCount {
+		t.Errorf("count range inverted: %+v", res)
+	}
+}
+
+func TestFigure9PatternsGrowWithK(t *testing.T) {
+	b, sc := prepare(t, "TREEBANK")
+	pts, err := Figure9(b, sc, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 3 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Patterns <= pts[i-1].Patterns {
+			t.Errorf("patterns must grow with k: %+v", pts)
+		}
+	}
+	// k = K must agree with the catalog's stream length.
+	if pts[2].Patterns != b.Catalog.Total() {
+		t.Errorf("k=%d patterns %d != catalog total %d", 3, pts[2].Patterns, b.Catalog.Total())
+	}
+	for _, p := range pts {
+		if p.Seconds < 0 {
+			t.Errorf("negative time: %+v", p)
+		}
+	}
+}
+
+func TestErrorSweep(t *testing.T) {
+	b, sc := prepare(t, "DBLP")
+	res, err := ErrorSweep(b, sc, 25, []int{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AvgRelErr) != 2 {
+		t.Fatalf("topk dimension wrong")
+	}
+	for ti := range res.AvgRelErr {
+		if len(res.AvgRelErr[ti]) != len(b.Buckets) {
+			t.Fatalf("range dimension wrong")
+		}
+		for _, e := range res.AvgRelErr[ti] {
+			if math.IsNaN(e) || math.IsInf(e, 0) || e < 0 {
+				t.Errorf("bad error value %v", e)
+			}
+		}
+	}
+	if res.MemoryBytes[1] <= res.MemoryBytes[0] {
+		t.Errorf("memory must grow with top-k: %v", res.MemoryBytes)
+	}
+	for _, s := range res.Seconds {
+		if s <= 0 {
+			t.Errorf("non-positive stream time %v", s)
+		}
+	}
+}
+
+// The headline behaviour of Figure 10(c,d): on the skewed DBLP stream,
+// a meaningful top-k budget must not be worse than (virtually) no
+// tracking, averaged across ranges.
+func TestTopKDirectionOnDBLP(t *testing.T) {
+	b, sc := prepare(t, "DBLP")
+	sc.Runs = 2
+	res, err := ErrorSweep(b, sc, 50, []int{1, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean := func(xs []float64) float64 {
+		s := 0.0
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	m1, m30 := mean(res.AvgRelErr[0]), mean(res.AvgRelErr[1])
+	if m30 > m1*1.5+0.05 {
+		t.Errorf("top-k=30 error %v should not be far above top-k=1 error %v", m30, m1)
+	}
+}
+
+func TestSumSweep(t *testing.T) {
+	b, sc := prepare(t, "TREEBANK")
+	res, err := SumSweep(b, sc, 25, []int{1, 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "SUM" {
+		t.Error("kind wrong")
+	}
+	n := 0
+	for _, h := range res.Histogram {
+		n += h
+	}
+	if n != sc.SumQueries {
+		t.Errorf("histogram covers %d of %d queries", n, sc.SumQueries)
+	}
+	for _, row := range res.AvgRelErr {
+		for _, e := range row {
+			if math.IsNaN(e) || e < 0 {
+				t.Errorf("bad error %v", e)
+			}
+		}
+	}
+}
+
+func TestProductSweep(t *testing.T) {
+	b, sc := prepare(t, "TREEBANK")
+	res, err := ProductSweep(b, sc, 25, []int{20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Kind != "PRODUCT" {
+		t.Error("kind wrong")
+	}
+	n := 0
+	for _, h := range res.Histogram {
+		n += h
+	}
+	if n != sc.ProductQueries {
+		t.Errorf("histogram covers %d of %d queries", n, sc.ProductQueries)
+	}
+}
+
+func TestCostSweep(t *testing.T) {
+	b, sc := prepare(t, "TREEBANK")
+	pts, err := CostSweep(b, sc, [][2]int{{5, 0}, {10, 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("got %d points", len(pts))
+	}
+	for _, p := range pts {
+		if p.Seconds <= 0 || p.PatternsPerSec <= 0 {
+			t.Errorf("bad cost point %+v", p)
+		}
+	}
+}
+
+func TestAdjustRanges(t *testing.T) {
+	out, scale := adjustRanges([]workload.Range{{Lo: 0.00001, Hi: 0.00002}}, 1000, 3)
+	if scale < 100 {
+		t.Errorf("scale %v too small for total 1000", scale)
+	}
+	if out[0].Lo*1000 < 5 {
+		t.Errorf("adjusted range %v still below min count", out[0])
+	}
+	// Paper-scale totals need no adjustment.
+	out, scale = adjustRanges([]workload.Range{{Lo: 0.00001, Hi: 0.00002}}, 50_000_000, 3)
+	if scale != 1 {
+		t.Errorf("paper-scale stream rescaled by %v", scale)
+	}
+	if out[0].Lo != 0.00001 {
+		t.Errorf("range changed: %v", out[0])
+	}
+}
+
+func TestAblations(t *testing.T) {
+	b, sc := prepare(t, "DBLP")
+	res, err := Ablations(b, sc, 25, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 4 {
+		t.Fatalf("got %d ablations, want 4", len(res))
+	}
+	for _, a := range res {
+		if len(a.Variants) != 2 {
+			t.Fatalf("%s: %d variants", a.Name, len(a.Variants))
+		}
+		for _, v := range a.Variants {
+			if v.Seconds <= 0 || v.Memory <= 0 {
+				t.Errorf("%s/%s: bad cost fields %+v", a.Name, v.Label, v)
+			}
+			if math.IsNaN(v.AvgRelErr) || v.AvgRelErr < 0 {
+				t.Errorf("%s/%s: bad error %v", a.Name, v.Label, v.AvgRelErr)
+			}
+		}
+	}
+	// Directional claims on the skewed DBLP stream: virtual streams
+	// and top-k each reduce error materially.
+	vs := res[0]
+	if vs.Variants[1].AvgRelErr > vs.Variants[0].AvgRelErr {
+		t.Errorf("virtual streams did not help: %+v", vs.Variants)
+	}
+	tk := res[1]
+	if tk.Variants[1].AvgRelErr > tk.Variants[0].AvgRelErr {
+		t.Errorf("top-k did not help: %+v", tk.Variants)
+	}
+	// Degree-16 fingerprints collide: error must exceed degree-61.
+	fp := res[3]
+	if fp.Variants[0].AvgRelErr <= fp.Variants[1].AvgRelErr {
+		t.Errorf("collisions did not hurt: %+v", fp.Variants)
+	}
+}
+
+func TestScaleFunctionsMatchPaperParameters(t *testing.T) {
+	sc := ScalePaper()
+	if sc.TreebankTrees != 28699 || sc.DBLPTrees != 98061 {
+		t.Errorf("paper tree counts wrong: %+v", sc)
+	}
+	if sc.TreebankK != 6 || sc.DBLPK != 4 {
+		t.Errorf("paper k values wrong: %+v", sc)
+	}
+	if sc.SumQueries != 10000 || sc.ProductQueries != 6811 {
+		t.Errorf("paper workload sizes wrong: %+v", sc)
+	}
+	if sc.VirtualStreams != 229 || sc.S2 != 7 || sc.Runs != 5 {
+		t.Errorf("paper sketch parameters wrong: %+v", sc)
+	}
+	for _, s := range [][]int{sc.S1Treebank, sc.S1DBLP} {
+		if len(s) != 2 {
+			t.Errorf("s1 sweep wrong: %v", s)
+		}
+	}
+	if len(sc.TopKsTreebank) != 6 || sc.TopKsTreebank[0] != 50 || sc.TopKsTreebank[5] != 300 {
+		t.Errorf("treebank top-k sweep wrong: %v", sc.TopKsTreebank)
+	}
+	if len(sc.TopKsDBLP) != 4 || sc.TopKsDBLP[0] != 1 {
+		t.Errorf("dblp top-k sweep wrong: %v", sc.TopKsDBLP)
+	}
+	// Smaller scales must be internally consistent.
+	for _, s := range []Scale{ScaleSmall(), ScaleMedium()} {
+		if s.TreebankTrees <= 0 || s.Runs <= 0 || s.S2 <= 0 {
+			t.Errorf("scale %s malformed: %+v", s.Name, s)
+		}
+	}
+}

@@ -1,0 +1,311 @@
+// Package gf2 implements polynomial arithmetic over GF(2) and the
+// finite fields GF(2^m) for m <= 63. It is the substrate for two parts
+// of SketchTree: Rabin fingerprinting with random irreducible
+// polynomials (paper §6.1) and the BCH / polynomial-hash constructions
+// of four-wise and k-wise independent ±1 random variables (paper §3).
+//
+// A polynomial over GF(2) of degree <= 63 is represented as a uint64
+// with bit i holding the coefficient of x^i. A modulus of degree m has
+// bit m set; field elements are reduced polynomials of degree < m.
+package gf2
+
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
+
+// Deg returns the degree of the polynomial, or -1 for the zero
+// polynomial.
+func Deg(p uint64) int {
+	return 63 - bits.LeadingZeros64(p)
+}
+
+// Clmul computes the 128-bit carry-less (GF(2)) product of a and b
+// using 4-bit windowing.
+func Clmul(a, b uint64) (hi, lo uint64) {
+	// Table of a times each nibble value, as (hi, lo) pairs. a*2^s for
+	// s in 0..3 spills at most 3 bits into the high word.
+	var tl, th [16]uint64
+	tl[1], th[1] = a, 0
+	tl[2], th[2] = a<<1, a>>63
+	tl[4], th[4] = a<<2, a>>62
+	tl[8], th[8] = a<<3, a>>61
+	for n := 3; n < 16; n++ {
+		if n&(n-1) == 0 {
+			continue // power of two, already filled
+		}
+		low := n & (-n)
+		rest := n ^ low
+		tl[n] = tl[low] ^ tl[rest]
+		th[n] = th[low] ^ th[rest]
+	}
+	for i := 0; i < 16 && b>>(4*uint(i)) != 0; i++ {
+		nib := (b >> (4 * uint(i))) & 0xf
+		if nib == 0 {
+			continue
+		}
+		s := 4 * uint(i)
+		if s == 0 {
+			lo ^= tl[nib]
+			hi ^= th[nib]
+		} else {
+			lo ^= tl[nib] << s
+			hi ^= th[nib]<<s | tl[nib]>>(64-s)
+		}
+	}
+	return hi, lo
+}
+
+// Mod reduces a modulo the polynomial m (m != 0).
+func Mod(a, m uint64) uint64 {
+	d := Deg(m)
+	if d < 0 {
+		panic("gf2: modulus is zero")
+	}
+	for da := Deg(a); da >= d; da = Deg(a) {
+		a ^= m << uint(da-d)
+	}
+	return a
+}
+
+// Mod128 reduces the 128-bit polynomial (hi, lo) modulo m, where
+// 1 <= deg(m) <= 63.
+func Mod128(hi, lo, m uint64) uint64 {
+	d := Deg(m)
+	if d < 1 {
+		panic("gf2: modulus must have degree >= 1")
+	}
+	for i := 63; i >= 0; i-- {
+		if hi&(1<<uint(i)) == 0 {
+			continue
+		}
+		s := 64 + i - d // >= 1 because d <= 63
+		if s >= 64 {
+			hi ^= m << uint(s-64)
+		} else {
+			hi ^= m >> uint(64-s)
+			lo ^= m << uint(s)
+		}
+	}
+	return Mod(lo, m)
+}
+
+// MulMod returns a*b mod m.
+func MulMod(a, b, m uint64) uint64 {
+	hi, lo := Clmul(a, b)
+	return Mod128(hi, lo, m)
+}
+
+// GCD returns the greatest common divisor of the polynomials a and b
+// (monic by construction over GF(2)).
+func GCD(a, b uint64) uint64 {
+	for b != 0 {
+		a, b = b, Mod(a, b)
+	}
+	return a
+}
+
+// Irreducible reports whether the polynomial m is irreducible over
+// GF(2), using Rabin's irreducibility test: m of degree n is
+// irreducible iff x^(2^n) == x (mod m) and gcd(x^(2^(n/p)) - x, m) = 1
+// for every prime p dividing n.
+func Irreducible(m uint64) bool {
+	n := Deg(m)
+	if n < 1 {
+		return false
+	}
+	if n == 1 {
+		return true // x and x+1
+	}
+	const x = 2 // the polynomial "x"
+	// x^(2^n) mod m via n squarings.
+	h := uint64(x)
+	for i := 0; i < n; i++ {
+		h = MulMod(h, h, m)
+	}
+	if h != Mod(x, m) {
+		return false
+	}
+	for _, p := range primeDivisors(n) {
+		h := uint64(x)
+		for i := 0; i < n/p; i++ {
+			h = MulMod(h, h, m)
+		}
+		if Deg(GCD(h^x, m)) != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var out []int
+	for p := 2; p*p <= n; p++ {
+		if n%p == 0 {
+			out = append(out, p)
+			for n%p == 0 {
+				n /= p
+			}
+		}
+	}
+	if n > 1 {
+		out = append(out, n)
+	}
+	return out
+}
+
+// RandomIrreducible draws uniformly random polynomials of the given
+// degree (1 <= deg <= 63) with nonzero constant term until one is
+// irreducible, using the provided random source. Roughly one in deg
+// candidates is irreducible, so this terminates quickly.
+func RandomIrreducible(deg int, rnd interface{ Uint64() uint64 }) uint64 {
+	if deg < 1 || deg > 63 {
+		panic(fmt.Sprintf("gf2: unsupported degree %d", deg))
+	}
+	if deg == 1 {
+		return 1<<1 | 1 // x + 1, the only degree-1 poly with constant term
+	}
+	top, low := uint64(1)<<uint(deg), uint64(1)
+	mask := top - 1
+	for {
+		m := top | (rnd.Uint64() & mask) | low
+		if Irreducible(m) {
+			return m
+		}
+	}
+}
+
+var (
+	defaultModMu sync.Mutex
+	defaultMods  = map[int]uint64{}
+)
+
+// DefaultModulus returns the lexicographically smallest irreducible
+// polynomial of the given degree. It is deterministic, so all processes
+// agree on it; use RandomIrreducible for the paper's
+// "chosen uniformly at random" semantics.
+func DefaultModulus(deg int) uint64 {
+	if deg < 1 || deg > 63 {
+		panic(fmt.Sprintf("gf2: unsupported degree %d", deg))
+	}
+	defaultModMu.Lock()
+	defer defaultModMu.Unlock()
+	if m, ok := defaultMods[deg]; ok {
+		return m
+	}
+	top := uint64(1) << uint(deg)
+	for c := uint64(1); ; c += 2 { // constant term must be 1 for deg >= 2
+		m := top | c
+		if Irreducible(m) {
+			defaultMods[deg] = m
+			return m
+		}
+	}
+}
+
+// Field is GF(2^m) = GF(2)[x] / (modulus), for 1 <= m <= 63.
+type Field struct {
+	modulus uint64
+	deg     int
+	mask    uint64 // deg low bits
+}
+
+// NewField constructs the field defined by the given irreducible
+// modulus. Returns an error if the modulus is reducible or out of
+// range.
+func NewField(modulus uint64) (*Field, error) {
+	d := Deg(modulus)
+	if d < 1 || d > 63 {
+		return nil, fmt.Errorf("gf2: modulus degree %d out of range [1, 63]", d)
+	}
+	if !Irreducible(modulus) {
+		return nil, fmt.Errorf("gf2: modulus %#x is reducible", modulus)
+	}
+	return &Field{modulus: modulus, deg: d, mask: 1<<uint(d) - 1}, nil
+}
+
+// MustField is NewField that panics on error, for package-level
+// constants.
+func MustField(modulus uint64) *Field {
+	f, err := NewField(modulus)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Degree returns m for GF(2^m).
+func (f *Field) Degree() int { return f.deg }
+
+// Modulus returns the defining irreducible polynomial.
+func (f *Field) Modulus() uint64 { return f.modulus }
+
+// Reduce maps an arbitrary uint64 into the field by reduction mod the
+// modulus.
+func (f *Field) Reduce(a uint64) uint64 { return Mod(a, f.modulus) }
+
+// Add returns a + b (XOR).
+func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
+
+// Mul returns a * b in the field.
+func (f *Field) Mul(a, b uint64) uint64 {
+	hi, lo := Clmul(a, b)
+	return Mod128(hi, lo, f.modulus)
+}
+
+// Square returns a² in the field.
+func (f *Field) Square(a uint64) uint64 { return f.Mul(a, a) }
+
+// Cube returns a³ in the field (used by the BCH four-wise ξ
+// construction).
+func (f *Field) Cube(a uint64) uint64 { return f.Mul(f.Square(a), a) }
+
+// Pow returns a^e in the field by square-and-multiply.
+func (f *Field) Pow(a, e uint64) uint64 {
+	result := uint64(1)
+	base := a
+	for e > 0 {
+		if e&1 != 0 {
+			result = f.Mul(result, base)
+		}
+		base = f.Square(base)
+		e >>= 1
+	}
+	return result
+}
+
+// Inv returns the multiplicative inverse of a (a != 0) via
+// a^(2^m - 2).
+func (f *Field) Inv(a uint64) uint64 {
+	if a == 0 {
+		panic("gf2: inverse of zero")
+	}
+	// 2^m - 2: all bits 1..m-1 set.
+	e := (uint64(1)<<uint(f.deg) - 1) &^ 1
+	return f.Pow(a, e)
+}
+
+// MulX returns a * x in the field (a single LFSR step).
+func (f *Field) MulX(a uint64) uint64 {
+	a <<= 1
+	if a&(1<<uint(f.deg)) != 0 {
+		a ^= f.modulus
+	}
+	return a
+}
+
+// Bit0MulMask returns the mask M such that for any field element c,
+// bit0(c * z) == parity(c & M). Bit i of M is bit 0 of x^i * z; the
+// identity holds because multiplication by z is linear over GF(2) and c
+// is the sum of the x^i with bit i set. This turns a field
+// multiplication inside the ξ generators into an AND plus a popcount.
+func (f *Field) Bit0MulMask(z uint64) uint64 {
+	var m uint64
+	zi := f.Reduce(z)
+	for i := 0; i < f.deg; i++ {
+		m |= (zi & 1) << uint(i)
+		zi = f.MulX(zi)
+	}
+	return m
+}

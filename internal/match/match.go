@@ -1,0 +1,233 @@
+// Package match implements exact, brute-force tree pattern matching —
+// the ground truth that SketchTree's estimates are validated against,
+// and the reference for the paper's query semantics (§2.1):
+// COUNT_ord(Q) counts ordered embeddings, COUNT(Q) counts unordered
+// occurrences (equivalently, the sum of COUNT_ord over the distinct
+// ordered arrangements of Q, §3.3), while XPath counts distinct target
+// nodes (the paper's Figure 1 example: COUNT(Q) = 5 but
+// COUNT(//A[B]/C) = 4).
+//
+// All functions run in time exponential in the query size (which is
+// small, <= k edges) and linear in the data size.
+package match
+
+import (
+	"sort"
+
+	"sketchtree/internal/tree"
+)
+
+// CountOrdered counts the ordered embeddings of pattern q anywhere in
+// the data tree: mappings of pattern nodes to data nodes that preserve
+// labels, parent-child edges, and the left-to-right order of siblings.
+func CountOrdered(data *tree.Node, q *tree.Node) int64 {
+	if data == nil || q == nil {
+		return 0
+	}
+	var total int64
+	data.Walk(func(v *tree.Node) bool {
+		total += orderedAt(v, q)
+		return true
+	})
+	return total
+}
+
+// orderedAt counts ordered embeddings of q rooted exactly at v: the
+// pattern children must match an increasing subsequence of v's
+// children.
+func orderedAt(v *tree.Node, q *tree.Node) int64 {
+	if v.Label != q.Label {
+		return 0
+	}
+	qc := q.Children
+	if len(qc) == 0 {
+		return 1
+	}
+	// ways[j]: embeddings of the first j pattern children into the
+	// data children processed so far.
+	ways := make([]int64, len(qc)+1)
+	ways[0] = 1
+	for _, dv := range v.Children {
+		for j := len(qc); j >= 1; j-- {
+			if ways[j-1] == 0 {
+				continue
+			}
+			if sub := orderedAt(dv, qc[j-1]); sub != 0 {
+				ways[j] += ways[j-1] * sub
+			}
+		}
+	}
+	return ways[len(qc)]
+}
+
+// CountUnordered counts the unordered occurrences of q anywhere in the
+// data: occurrences where sibling order is free. Two matchings that
+// differ only by permuting identical pattern siblings are the same
+// occurrence, so this equals the injective-matching count (a
+// permanent) divided by the pattern's automorphism count — and also
+// equals Σ CountOrdered over q's distinct ordered arrangements, the
+// identity SketchTree exploits (§3.3). Pattern nodes may have at most
+// 30 children.
+func CountUnordered(data *tree.Node, q *tree.Node) int64 {
+	if data == nil || q == nil {
+		return 0
+	}
+	aut := automorphisms(q)
+	var total int64
+	data.Walk(func(v *tree.Node) bool {
+		total += matchings(v, q) / aut
+		return true
+	})
+	return total
+}
+
+// matchings counts injective matchings of q's subtree rooted at v via
+// a bitmask DP over pattern children (a permanent computation).
+func matchings(v *tree.Node, q *tree.Node) int64 {
+	if v.Label != q.Label {
+		return 0
+	}
+	qc := q.Children
+	if len(qc) == 0 {
+		return 1
+	}
+	if len(qc) > 30 {
+		panic("match: pattern node with more than 30 children")
+	}
+	full := 1<<uint(len(qc)) - 1
+	ways := make([]int64, full+1)
+	ways[0] = 1
+	for _, dv := range v.Children {
+		// Masks descending: each write targets a numerically larger
+		// mask, already visited this round, so one data child never
+		// serves two pattern children.
+		for mask := full; mask >= 0; mask-- {
+			if ways[mask] == 0 {
+				continue
+			}
+			for j := 0; j < len(qc); j++ {
+				bit := 1 << uint(j)
+				if mask&bit != 0 {
+					continue
+				}
+				if sub := matchings(dv, qc[j]); sub != 0 {
+					ways[mask|bit] += ways[mask] * sub
+				}
+			}
+		}
+	}
+	return ways[full]
+}
+
+// automorphisms returns the number of sibling-permutation symmetries
+// of the pattern: the product over nodes of m! for each group of m
+// identical child subtrees, times the children's own automorphisms.
+func automorphisms(q *tree.Node) int64 {
+	if q == nil {
+		return 1
+	}
+	var aut int64 = 1
+	keys := make([]string, len(q.Children))
+	for i, c := range q.Children {
+		aut *= automorphisms(c)
+		keys[i] = c.Canonical()
+	}
+	sort.Strings(keys)
+	run := int64(1)
+	for i := 1; i <= len(keys); i++ {
+		if i < len(keys) && keys[i] == keys[i-1] {
+			run++
+			continue
+		}
+		for f := int64(2); f <= run; f++ {
+			aut *= f
+		}
+		run = 1
+	}
+	return aut
+}
+
+// Target identifies a node of the pattern by its preorder index
+// (root = 0).
+type Target int
+
+// nodeAtPreorder returns the pattern node with the given preorder
+// index, or nil.
+func nodeAtPreorder(q *tree.Node, idx int) *tree.Node {
+	var found *tree.Node
+	i := 0
+	q.Walk(func(n *tree.Node) bool {
+		if i == idx {
+			found = n
+		}
+		i++
+		return found == nil
+	})
+	return found
+}
+
+// CountDistinctTargets counts the distinct data nodes that the target
+// pattern node maps to in at least one unordered matching — XPath's
+// result-set semantics. For the paper's //A[B]/C the pattern is
+// A(B, C) with target C (preorder index 2).
+func CountDistinctTargets(data *tree.Node, q *tree.Node, target Target) int64 {
+	if data == nil || q == nil {
+		return 0
+	}
+	tn := nodeAtPreorder(q, int(target))
+	if tn == nil {
+		return 0
+	}
+	var anchors, candidates []*tree.Node
+	data.Walk(func(v *tree.Node) bool {
+		if v.Label == q.Label {
+			anchors = append(anchors, v)
+		}
+		if v.Label == tn.Label {
+			candidates = append(candidates, v)
+		}
+		return true
+	})
+	var total int64
+	for _, d := range candidates {
+		for _, v := range anchors {
+			if matchesWithPin(v, q, tn, d) {
+				total++
+				break
+			}
+		}
+	}
+	return total
+}
+
+// matchesWithPin reports whether an unordered matching of q rooted at
+// v maps tn exactly to pin.
+func matchesWithPin(v *tree.Node, qn *tree.Node, tn, pin *tree.Node) bool {
+	if qn == tn && v != pin {
+		return false
+	}
+	if v.Label != qn.Label {
+		return false
+	}
+	qc := qn.Children
+	if len(qc) == 0 {
+		return true
+	}
+	full := 1<<uint(len(qc)) - 1
+	reach := make([]bool, full+1)
+	reach[0] = true
+	for _, dc := range v.Children {
+		for mask := full; mask >= 0; mask-- {
+			if !reach[mask] {
+				continue
+			}
+			for j := 0; j < len(qc); j++ {
+				bit := 1 << uint(j)
+				if mask&bit == 0 && matchesWithPin(dc, qc[j], tn, pin) {
+					reach[mask|bit] = true
+				}
+			}
+		}
+	}
+	return reach[full]
+}

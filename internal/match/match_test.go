@@ -1,0 +1,280 @@
+package match
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sketchtree/internal/tree"
+)
+
+func T(label string, children ...*tree.Node) *tree.Node { return tree.New(label, children...) }
+
+func TestCountOrderedBasics(t *testing.T) {
+	data := T("A", T("B"), T("B"), T("C"))
+	cases := []struct {
+		q    *tree.Node
+		want int64
+	}{
+		{T("A", T("B"), T("C")), 2},
+		{T("A", T("C"), T("B")), 0},
+		{T("A", T("B"), T("B")), 1},
+		{T("A", T("B"), T("B"), T("C")), 1},
+		{T("A", T("B")), 2},
+		{T("B"), 2},
+		{T("Z"), 0},
+	}
+	for _, c := range cases {
+		if got := CountOrdered(data, c.q); got != c.want {
+			t.Errorf("CountOrdered(%s) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+func TestCountOrderedNested(t *testing.T) {
+	data := T("S", T("NP", T("DT"), T("NN")), T("VP", T("NP", T("NN"))))
+	if got := CountOrdered(data, T("NP", T("NN"))); got != 2 {
+		t.Errorf("NP(NN) = %d, want 2", got)
+	}
+	if got := CountOrdered(data, T("S", T("NP"), T("NP"))); got != 0 {
+		t.Errorf("S(NP,NP) = %d, want 0 (second NP is nested, not a child)", got)
+	}
+	// Matching anywhere, including below the root.
+	if got := CountOrdered(data, T("VP", T("NP", T("NN")))); got != 1 {
+		t.Errorf("VP(NP(NN)) = %d, want 1", got)
+	}
+}
+
+func TestCountUnorderedBasics(t *testing.T) {
+	data := T("A", T("C"), T("B"))
+	if got := CountOrdered(data, T("A", T("B"), T("C"))); got != 0 {
+		t.Error("ordered must miss the reversed pair")
+	}
+	if got := CountUnordered(data, T("A", T("B"), T("C"))); got != 1 {
+		t.Errorf("unordered = %d, want 1", got)
+	}
+	// Identical siblings: A{B,B} in A(B,B,B) has C(3,2) = 3 occurrences.
+	data3 := T("A", T("B"), T("B"), T("B"))
+	if got := CountUnordered(data3, T("A", T("B"), T("B"))); got != 3 {
+		t.Errorf("A{B,B} in A(B,B,B) = %d, want 3", got)
+	}
+}
+
+func TestAutomorphisms(t *testing.T) {
+	cases := []struct {
+		q    *tree.Node
+		want int64
+	}{
+		{T("A"), 1},
+		{T("A", T("B"), T("C")), 1},
+		{T("A", T("B"), T("B")), 2},
+		{T("A", T("B"), T("B"), T("B")), 6},
+		{T("A", T("B", T("X"), T("X")), T("B", T("X"), T("X"))), 8}, // 2 inner × 2 inner × 2 outer
+		{T("A", T("B", T("X")), T("B", T("Y"))), 1},
+	}
+	for _, c := range cases {
+		if got := automorphisms(c.q); got != c.want {
+			t.Errorf("automorphisms(%s) = %d, want %d", c.q, got, c.want)
+		}
+	}
+}
+
+// Figure 1 of the paper, reconstructed: COUNT(Q) = 5 over the stream
+// while XPath //A[B]/C = 4, because XPath counts distinct target
+// nodes.
+func TestFigure1SemanticsContrast(t *testing.T) {
+	q := T("A", T("B"), T("C"))
+	trees := []*tree.Node{
+		T("A", T("B"), T("B"), T("C")), // 2 ordered matches, 1 distinct C
+		T("A", T("C"), T("C"), T("B")), // 2 unordered matches, 2 distinct C
+		T("A", T("B"), T("C")),         // 1 match, 1 distinct C
+	}
+	var count, xpath int64
+	for _, d := range trees {
+		count += CountUnordered(d, q)
+		xpath += CountDistinctTargets(d, q, 2) // target = C (preorder index 2)
+	}
+	if count != 5 {
+		t.Errorf("COUNT(Q) = %d, want 5", count)
+	}
+	if xpath != 4 {
+		t.Errorf("XPath //A[B]/C = %d, want 4", xpath)
+	}
+}
+
+func TestCountDistinctTargets(t *testing.T) {
+	data := T("A", T("B"), T("C"), T("C"))
+	q := T("A", T("B"), T("C"))
+	// Both C nodes can host the target.
+	if got := CountDistinctTargets(data, q, 2); got != 2 {
+		t.Errorf("targets = %d, want 2", got)
+	}
+	// Target = B (index 1): one B node.
+	if got := CountDistinctTargets(data, q, 1); got != 1 {
+		t.Errorf("B targets = %d, want 1", got)
+	}
+	// Target = root (index 0).
+	if got := CountDistinctTargets(data, q, 0); got != 1 {
+		t.Errorf("root targets = %d, want 1", got)
+	}
+	// Out-of-range target.
+	if got := CountDistinctTargets(data, q, 99); got != 0 {
+		t.Errorf("bad target = %d, want 0", got)
+	}
+	// No match at all: B without sibling C requirement not satisfied.
+	if got := CountDistinctTargets(T("A", T("B")), q, 2); got != 0 {
+		t.Errorf("unsatisfiable = %d, want 0", got)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if CountOrdered(nil, T("A")) != 0 || CountOrdered(T("A"), nil) != 0 {
+		t.Error("nil handling (ordered)")
+	}
+	if CountUnordered(nil, T("A")) != 0 || CountUnordered(T("A"), nil) != 0 {
+		t.Error("nil handling (unordered)")
+	}
+	if CountDistinctTargets(nil, T("A"), 0) != 0 {
+		t.Error("nil handling (targets)")
+	}
+}
+
+func randomTree(rng *rand.Rand, n int, alphabet []string) *tree.Node {
+	nodes := make([]*tree.Node, n)
+	for i := range nodes {
+		nodes[i] = tree.New(alphabet[rng.IntN(len(alphabet))])
+	}
+	for i := 1; i < n; i++ {
+		nodes[rng.IntN(i)].AddChild(nodes[i])
+	}
+	return nodes[0]
+}
+
+// Property (the §3.3 identity): CountUnordered equals the sum of
+// CountOrdered over the pattern's distinct ordered arrangements.
+func TestQuickUnorderedEqualsArrangementSum(t *testing.T) {
+	alphabet := []string{"A", "B"}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		data := randomTree(rng, rng.IntN(12)+2, alphabet)
+		q := randomTree(rng, rng.IntN(4)+2, alphabet)
+		arrs := arrangements(q)
+		var sum int64
+		for _, a := range arrs {
+			sum += CountOrdered(data, a)
+		}
+		return sum == CountUnordered(data, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// arrangements enumerates the distinct ordered arrangements of q
+// (reference implementation, deduplicated by serialization).
+func arrangements(q *tree.Node) []*tree.Node {
+	if len(q.Children) == 0 {
+		return []*tree.Node{{Label: q.Label}}
+	}
+	childArr := make([][]*tree.Node, len(q.Children))
+	for i, c := range q.Children {
+		childArr[i] = arrangements(c)
+	}
+	seen := map[string]bool{}
+	var out []*tree.Node
+	idx := make([]int, len(q.Children))
+	for i := range idx {
+		idx[i] = i
+	}
+	var permute func(k int)
+	permute = func(k int) {
+		if k == len(idx) {
+			sel := make([]*tree.Node, len(idx))
+			var choose func(i int)
+			choose = func(i int) {
+				if i == len(idx) {
+					n := &tree.Node{Label: q.Label, Children: append([]*tree.Node(nil), sel...)}
+					if key := n.String(); !seen[key] {
+						seen[key] = true
+						out = append(out, n)
+					}
+					return
+				}
+				for _, alt := range childArr[idx[i]] {
+					sel[i] = alt
+					choose(i + 1)
+				}
+			}
+			choose(0)
+			return
+		}
+		for i := k; i < len(idx); i++ {
+			idx[k], idx[i] = idx[i], idx[k]
+			permute(k + 1)
+			idx[k], idx[i] = idx[i], idx[k]
+		}
+	}
+	permute(0)
+	return out
+}
+
+// Property: ordered count never exceeds unordered count.
+func TestQuickOrderedAtMostUnordered(t *testing.T) {
+	alphabet := []string{"A", "B", "C"}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		data := randomTree(rng, rng.IntN(14)+2, alphabet)
+		q := randomTree(rng, rng.IntN(4)+2, alphabet)
+		return CountOrdered(data, q) <= CountUnordered(data, q)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct targets never exceed total unordered occurrences
+// times pattern size, and are zero iff the unordered count is zero.
+func TestQuickTargetsConsistent(t *testing.T) {
+	alphabet := []string{"A", "B"}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 7))
+		data := randomTree(rng, rng.IntN(10)+2, alphabet)
+		q := randomTree(rng, rng.IntN(3)+2, alphabet)
+		u := CountUnordered(data, q)
+		targets := CountDistinctTargets(data, q, 0)
+		if u == 0 {
+			return targets == 0
+		}
+		return targets >= 1 && targets <= u*int64(q.Size())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCountDistinctTargetsDeepEmbedding(t *testing.T) {
+	// Target below a chain: A(B(C)) with target C.
+	data := T("A", T("B", T("C"), T("C")), T("B", T("C")))
+	q := T("A", T("B", T("C")))
+	if got := CountDistinctTargets(data, q, 2); got != 3 {
+		t.Errorf("deep targets = %d, want 3 (every C under a B under A)", got)
+	}
+	// Target = B (index 1): both B nodes host embeddings.
+	if got := CountDistinctTargets(data, q, 1); got != 2 {
+		t.Errorf("B targets = %d, want 2", got)
+	}
+}
+
+func TestCountUnorderedDeepAutomorphism(t *testing.T) {
+	// Pattern with identical nested subtrees: A{B(C), B(C)}.
+	q := T("A", T("B", T("C")), T("B", T("C")))
+	data := T("A", T("B", T("C")), T("B", T("C")), T("B", T("C")))
+	// Choose 2 of 3 identical children: C(3,2) = 3 occurrences.
+	if got := CountUnordered(data, q); got != 3 {
+		t.Errorf("got %d, want 3", got)
+	}
+	// Ordered: increasing pairs of 3 = 3 as well (all identical).
+	if got := CountOrdered(data, q); got != 3 {
+		t.Errorf("ordered = %d, want 3", got)
+	}
+}

@@ -1,0 +1,171 @@
+// Package pairing implements the family of pairing functions PF(·) used
+// by SketchTree (paper §2.2) to map tuples of non-negative integers to
+// single non-negative integers:
+//
+//	PF2(x, y) = (x² + 2xy + y² + 3x + y) / 2
+//	PF3(x, y, z) = PF2(PF2(x, y), z)
+//	...
+//
+// PF2 is the Cantor pairing function offset so that the first component
+// is recovered as the remainder: PF2(x, y) = (x+y)(x+y+1)/2 + x. The
+// range of PF grows roughly as the square per level, so tuples of any
+// useful length overflow machine words; all arithmetic is therefore
+// carried out in math/big. (SketchTree's default mapping is the Rabin
+// fingerprint of package rabin; PF is the paper's exact alternative and
+// the reference implementation used in tests.)
+package pairing
+
+import (
+	"fmt"
+	"math/big"
+	"math/bits"
+)
+
+var (
+	one   = big.NewInt(1)
+	two   = big.NewInt(2)
+	eight = big.NewInt(8)
+)
+
+// PF2 computes the paper's pairing function for a pair of non-negative
+// integers. The result is freshly allocated. Panics if x or y is
+// negative (the pairing function is defined on naturals only).
+func PF2(x, y *big.Int) *big.Int {
+	if x.Sign() < 0 || y.Sign() < 0 {
+		panic("pairing: PF2 of negative value")
+	}
+	// (x+y)(x+y+1)/2 + x
+	s := new(big.Int).Add(x, y)
+	t := new(big.Int).Add(s, one)
+	t.Mul(t, s)
+	t.Rsh(t, 1)
+	return t.Add(t, x)
+}
+
+// Unpair2 inverts PF2: Unpair2(PF2(x, y)) == (x, y). Panics on negative
+// input. Returns an error if z is not in the image of PF2 (cannot occur
+// for the Cantor pairing, which is a bijection ℕ²→ℕ; retained for API
+// symmetry with UnpairTuple).
+func Unpair2(z *big.Int) (x, y *big.Int) {
+	if z.Sign() < 0 {
+		panic("pairing: Unpair2 of negative value")
+	}
+	// w = floor((sqrt(8z+1) - 1) / 2); t = w(w+1)/2; x = z - t; y = w - x.
+	d := new(big.Int).Mul(z, eight)
+	d.Add(d, one)
+	d.Sqrt(d)
+	d.Sub(d, one)
+	w := d.Div(d, two)
+	t := new(big.Int).Add(w, one)
+	t.Mul(t, w)
+	t.Rsh(t, 1)
+	x = new(big.Int).Sub(z, t)
+	y = new(big.Int).Sub(w, x)
+	return x, y
+}
+
+// PF2U64 computes PF2 for machine words when the result fits in a
+// uint64; ok is false on overflow.
+func PF2U64(x, y uint64) (z uint64, ok bool) {
+	s, c := bits.Add64(x, y, 0)
+	if c != 0 {
+		return 0, false
+	}
+	// s*(s+1)/2: compute via the even factor to avoid overflow in the
+	// product before halving.
+	a, b := s, s+1
+	if b == 0 { // s == MaxUint64
+		return 0, false
+	}
+	if a%2 == 0 {
+		a /= 2
+	} else {
+		b /= 2
+	}
+	hi, lo := bits.Mul64(a, b)
+	if hi != 0 {
+		return 0, false
+	}
+	z, c = bits.Add64(lo, x, 0)
+	if c != 0 {
+		return 0, false
+	}
+	return z, true
+}
+
+// PFTuple maps a k-tuple of non-negative integers to a single integer by
+// inductive application of PF2: PF(x1, ..., xk) =
+// PF2(PF(x1, ..., x(k-1)), xk). A 1-tuple maps to its own value; the
+// empty tuple maps to 0. The mapping is injective for tuples of a fixed
+// length k.
+func PFTuple(xs []uint64) *big.Int {
+	if len(xs) == 0 {
+		return new(big.Int)
+	}
+	acc := new(big.Int).SetUint64(xs[0])
+	for _, v := range xs[1:] {
+		acc = PF2(acc, new(big.Int).SetUint64(v))
+	}
+	return acc
+}
+
+// PFTupleBig is PFTuple over arbitrary-precision components.
+func PFTupleBig(xs []*big.Int) *big.Int {
+	if len(xs) == 0 {
+		return new(big.Int)
+	}
+	acc := new(big.Int).Set(xs[0])
+	for _, v := range xs[1:] {
+		acc = PF2(acc, v)
+	}
+	return acc
+}
+
+// UnpairTuple inverts PFTupleBig for a known tuple length k.
+func UnpairTuple(z *big.Int, k int) ([]*big.Int, error) {
+	if k < 0 {
+		return nil, fmt.Errorf("pairing: negative tuple length %d", k)
+	}
+	if k == 0 {
+		if z.Sign() != 0 {
+			return nil, fmt.Errorf("pairing: nonzero value for empty tuple")
+		}
+		return nil, nil
+	}
+	out := make([]*big.Int, k)
+	acc := new(big.Int).Set(z)
+	for i := k - 1; i >= 1; i-- {
+		x, y := Unpair2(acc)
+		out[i] = y
+		acc = x
+	}
+	out[0] = acc
+	return out, nil
+}
+
+// Pad extends a tuple to length n by appending the pad value, as the
+// paper requires before applying PF to tuples of differing lengths
+// ("each tuple should be padded to the size of the largest tuple").
+// Returns an error if the tuple is already longer than n.
+func Pad(xs []uint64, n int, pad uint64) ([]uint64, error) {
+	if len(xs) > n {
+		return nil, fmt.Errorf("pairing: tuple of length %d exceeds pad target %d", len(xs), n)
+	}
+	out := make([]uint64, n)
+	copy(out, xs)
+	for i := len(xs); i < n; i++ {
+		out[i] = pad
+	}
+	return out, nil
+}
+
+// PFPadded maps a tuple to an integer after padding to length n with the
+// given pad value. Together with a pad value outside the data alphabet
+// this makes PF injective across tuples of different lengths up to n.
+func PFPadded(xs []uint64, n int, pad uint64) (*big.Int, error) {
+	p, err := Pad(xs, n, pad)
+	if err != nil {
+		return nil, err
+	}
+	return PFTuple(p), nil
+}

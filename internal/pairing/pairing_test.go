@@ -1,0 +1,238 @@
+package pairing
+
+import (
+	"math/big"
+	"testing"
+	"testing/quick"
+)
+
+func bi(v int64) *big.Int { return big.NewInt(v) }
+
+func TestPF2KnownValues(t *testing.T) {
+	// Cantor pairing (with x recovered as remainder): enumerate the
+	// diagonal order explicitly.
+	cases := []struct{ x, y, z int64 }{
+		{0, 0, 0},
+		{0, 1, 1}, {1, 0, 2},
+		{0, 2, 3}, {1, 1, 4}, {2, 0, 5},
+		{0, 3, 6}, {1, 2, 7}, {2, 1, 8}, {3, 0, 9},
+	}
+	for _, c := range cases {
+		if got := PF2(bi(c.x), bi(c.y)); got.Int64() != c.z {
+			t.Errorf("PF2(%d,%d) = %v, want %d", c.x, c.y, got, c.z)
+		}
+	}
+}
+
+func TestPF2MatchesPaperFormula(t *testing.T) {
+	// (x² + 2xy + y² + 3x + y)/2 must agree with the implementation.
+	for x := int64(0); x < 30; x++ {
+		for y := int64(0); y < 30; y++ {
+			want := (x*x + 2*x*y + y*y + 3*x + y) / 2
+			if got := PF2(bi(x), bi(y)).Int64(); got != want {
+				t.Fatalf("PF2(%d,%d) = %d, want %d", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestPF2NegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("PF2 of negative value must panic")
+		}
+	}()
+	PF2(bi(-1), bi(0))
+}
+
+func TestUnpair2NegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Unpair2 of negative value must panic")
+		}
+	}()
+	Unpair2(bi(-1))
+}
+
+func TestQuickPF2Bijection(t *testing.T) {
+	f := func(a, b uint32) bool {
+		x, y := bi(int64(a)), bi(int64(b))
+		gx, gy := Unpair2(PF2(x, y))
+		return gx.Cmp(x) == 0 && gy.Cmp(y) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickUnpair2IsLeftInverse(t *testing.T) {
+	// Every natural is in the image of PF2: PF2(Unpair2(z)) == z.
+	f := func(z uint32) bool {
+		x, y := Unpair2(bi(int64(z)))
+		return PF2(x, y).Int64() == int64(z)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPF2U64(t *testing.T) {
+	for x := uint64(0); x < 50; x++ {
+		for y := uint64(0); y < 50; y++ {
+			got, ok := PF2U64(x, y)
+			if !ok {
+				t.Fatalf("PF2U64(%d,%d) overflowed", x, y)
+			}
+			want := PF2(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+			if new(big.Int).SetUint64(got).Cmp(want) != 0 {
+				t.Fatalf("PF2U64(%d,%d) = %d, want %v", x, y, got, want)
+			}
+		}
+	}
+}
+
+func TestPF2U64Overflow(t *testing.T) {
+	const max = ^uint64(0)
+	for _, c := range [][2]uint64{{max, 1}, {max, max}, {1 << 63, 1 << 63}, {1 << 33, 1 << 33}} {
+		if _, ok := PF2U64(c[0], c[1]); ok {
+			t.Errorf("PF2U64(%d,%d) should report overflow", c[0], c[1])
+		}
+	}
+	// Values just inside the safe range must agree with big.Int.
+	x, y := uint64(1<<31), uint64(1<<31)
+	got, ok := PF2U64(x, y)
+	if !ok {
+		t.Fatal("2^31 components should not overflow")
+	}
+	want := PF2(new(big.Int).SetUint64(x), new(big.Int).SetUint64(y))
+	if new(big.Int).SetUint64(got).Cmp(want) != 0 {
+		t.Errorf("PF2U64 = %d, want %v", got, want)
+	}
+}
+
+func TestPFTupleInductive(t *testing.T) {
+	// PF3(x,y,z) = PF2(PF2(x,y),z) per the paper.
+	x, y, z := uint64(3), uint64(7), uint64(11)
+	want := PF2(PF2(bi(3), bi(7)), bi(11))
+	if got := PFTuple([]uint64{x, y, z}); got.Cmp(want) != 0 {
+		t.Errorf("PFTuple = %v, want %v", got, want)
+	}
+}
+
+func TestPFTupleEdgeCases(t *testing.T) {
+	if got := PFTuple(nil); got.Sign() != 0 {
+		t.Errorf("empty tuple = %v, want 0", got)
+	}
+	if got := PFTuple([]uint64{42}); got.Int64() != 42 {
+		t.Errorf("1-tuple = %v, want 42", got)
+	}
+}
+
+func TestQuickTupleRoundTrip(t *testing.T) {
+	f := func(a, b, c, d uint16) bool {
+		xs := []uint64{uint64(a), uint64(b), uint64(c), uint64(d)}
+		z := PFTuple(xs)
+		got, err := UnpairTuple(z, 4)
+		if err != nil {
+			return false
+		}
+		for i := range xs {
+			if got[i].Uint64() != xs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickTupleInjective(t *testing.T) {
+	f := func(a, b, c, x, y, z uint16) bool {
+		t1 := []uint64{uint64(a), uint64(b), uint64(c)}
+		t2 := []uint64{uint64(x), uint64(y), uint64(z)}
+		same := a == x && b == y && c == z
+		return (PFTuple(t1).Cmp(PFTuple(t2)) == 0) == same
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUnpairTupleErrors(t *testing.T) {
+	if _, err := UnpairTuple(bi(5), -1); err == nil {
+		t.Error("negative k must fail")
+	}
+	if _, err := UnpairTuple(bi(5), 0); err == nil {
+		t.Error("nonzero value for empty tuple must fail")
+	}
+	got, err := UnpairTuple(bi(0), 0)
+	if err != nil || got != nil {
+		t.Errorf("zero/empty = %v, %v", got, err)
+	}
+	one, err := UnpairTuple(bi(9), 1)
+	if err != nil || len(one) != 1 || one[0].Int64() != 9 {
+		t.Errorf("1-tuple unpair = %v, %v", one, err)
+	}
+}
+
+func TestPad(t *testing.T) {
+	got, err := Pad([]uint64{1, 2}, 4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{1, 2, 99, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Pad = %v, want %v", got, want)
+		}
+	}
+	if _, err := Pad([]uint64{1, 2, 3}, 2, 0); err == nil {
+		t.Error("over-long tuple must fail")
+	}
+}
+
+func TestPFPaddedDistinguishesLengths(t *testing.T) {
+	// With a pad value outside the alphabet, (1,2) and (1,2,pad) padded
+	// to the same width are identical, but (1,2) and (1,2,0) differ.
+	const pad = ^uint64(0) >> 1
+	a, err := PFPadded([]uint64{1, 2}, 3, pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := PFPadded([]uint64{1, 2, 0}, 3, pad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cmp(b) == 0 {
+		t.Error("padded tuples with different logical lengths must differ")
+	}
+	if _, err := PFPadded([]uint64{1, 2, 3, 4}, 3, pad); err == nil {
+		t.Error("over-long tuple must fail")
+	}
+}
+
+func TestPFTupleBig(t *testing.T) {
+	xs := []*big.Int{bi(5), bi(6)}
+	if got, want := PFTupleBig(xs), PF2(bi(5), bi(6)); got.Cmp(want) != 0 {
+		t.Errorf("PFTupleBig = %v, want %v", got, want)
+	}
+	if got := PFTupleBig(nil); got.Sign() != 0 {
+		t.Errorf("empty big tuple = %v, want 0", got)
+	}
+	// Input slice elements must not be aliased/mutated.
+	x := bi(5)
+	PFTupleBig([]*big.Int{x, bi(1)})
+	if x.Int64() != 5 {
+		t.Error("PFTupleBig mutated its input")
+	}
+}
+
+func BenchmarkPFTuple8(b *testing.B) {
+	xs := []uint64{101, 202, 303, 404, 2, 5, 4, 5}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		PFTuple(xs)
+	}
+}

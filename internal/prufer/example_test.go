@@ -1,0 +1,28 @@
+package prufer_test
+
+import (
+	"fmt"
+
+	"sketchtree/internal/prufer"
+	"sketchtree/internal/tree"
+)
+
+// Paper Example 1: the patterns of Figure 3 and their extended Prüfer
+// sequences.
+func ExampleOfNode() {
+	t1 := tree.T("X", tree.T("Y", tree.T("Z"))) // the chain X→Y→Z
+	t2 := tree.T("X", tree.T("Y"), tree.T("Z")) // X with children Y, Z
+	fmt.Println(prufer.OfNode(t1))
+	fmt.Println(prufer.OfNode(t2))
+	// Output:
+	// LPS: Z Y X | NPS: 2 3 4
+	// LPS: Y X Z X | NPS: 2 5 4 5
+}
+
+func ExampleReconstruct() {
+	seq := prufer.Sequence{LPS: []string{"Z", "Y", "X"}, NPS: []int{2, 3, 4}}
+	t, _ := prufer.Reconstruct(seq)
+	fmt.Println(t)
+	// Output:
+	// (X (Y (Z)))
+}

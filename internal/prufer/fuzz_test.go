@@ -1,0 +1,57 @@
+package prufer
+
+import (
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+// FuzzDecode: arbitrary bytes either fail cleanly or decode to a
+// sequence that re-encodes to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add(OfNode(tree.T("A", tree.T("B"), tree.T("C"))).Encode(nil))
+	f.Add(OfNode(tree.T("X")).Encode(nil))
+	f.Add([]byte{})
+	f.Add([]byte{0x01, 0x01, 'A', 0x02})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Decode(data)
+		if err != nil {
+			return
+		}
+		enc := s.Encode(nil)
+		if string(enc) != string(data) {
+			t.Fatalf("re-encode mismatch: %x -> %x", data, enc)
+		}
+	})
+}
+
+// FuzzReconstruct: sequences with arbitrary structure either fail
+// cleanly or reconstruct to a tree whose own sequence round-trips.
+func FuzzReconstruct(f *testing.F) {
+	f.Add([]byte("AB"), []byte{2, 3})
+	f.Add([]byte("XYZ"), []byte{2, 3, 4})
+	f.Fuzz(func(t *testing.T, labels []byte, nps []byte) {
+		n := len(nps)
+		if n == 0 || n > 32 || len(labels) < n {
+			return
+		}
+		s := Sequence{LPS: make([]string, n), NPS: make([]int, n)}
+		for i := 0; i < n; i++ {
+			s.LPS[i] = string(labels[i : i+1])
+			s.NPS[i] = int(nps[i])
+		}
+		tr, err := Reconstruct(s)
+		if err != nil {
+			return
+		}
+		// A successfully reconstructed tree must produce a sequence
+		// that reconstructs to an equal tree.
+		again, err := Reconstruct(OfNode(tr.Root))
+		if err != nil {
+			t.Fatalf("sequence of reconstructed tree invalid: %v", err)
+		}
+		if !tree.Equal(tr.Root, again.Root) {
+			t.Fatalf("double reconstruction differs: %s vs %s", tr.Root, again.Root)
+		}
+	})
+}

@@ -1,0 +1,269 @@
+// Package prufer implements the extended Prüfer sequence transformation
+// of PRIX (Rao & Moon, ICDE 2004) used by SketchTree to map labeled
+// trees to sequences. A tree is first extended by attaching one dummy
+// child to every leaf; all nodes of the extended tree are numbered in
+// postorder; the Prüfer construction then repeatedly deletes the leaf
+// with the smallest number and records its parent. The recorded labels
+// form the LPS (Labeled Prüfer Sequence) and the recorded postorder
+// numbers form the NPS (Numbered Prüfer Sequence). Together the LPS and
+// NPS uniquely identify the original labeled tree, including its leaf
+// labels.
+//
+// For a postorder-numbered tree the deletion order is exactly
+// 1, 2, ..., n-1: by the time node v is considered, all of its
+// descendants (numbers < v) are gone, so v is the smallest remaining
+// leaf. The sequence is therefore (parent(1), parent(2), ...,
+// parent(n-1)) and can be computed in a single linear traversal without
+// a priority queue.
+package prufer
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"sketchtree/internal/tree"
+)
+
+// Sequence is the pair of Labeled and Numbered Prüfer sequences of an
+// extended tree. LPS[i] is the label of the parent of the (i+1)-th
+// deleted node; NPS[i] is that parent's postorder number. Both have
+// length n-1 for an extended tree of n nodes.
+type Sequence struct {
+	LPS []string
+	NPS []int
+}
+
+// Len returns the sequence length (n-1 for an extended tree of n nodes).
+func (s Sequence) Len() int { return len(s.NPS) }
+
+// Equal reports whether two sequences are identical.
+func (s Sequence) Equal(o Sequence) bool {
+	if len(s.LPS) != len(o.LPS) || len(s.NPS) != len(o.NPS) {
+		return false
+	}
+	for i := range s.LPS {
+		if s.LPS[i] != o.LPS[i] {
+			return false
+		}
+	}
+	for i := range s.NPS {
+		if s.NPS[i] != o.NPS[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the sequence in the paper's style, e.g.
+// "LPS: Z Y X | NPS: 2 3 4".
+func (s Sequence) String() string {
+	var b strings.Builder
+	b.WriteString("LPS:")
+	for _, l := range s.LPS {
+		b.WriteByte(' ')
+		b.WriteString(l)
+	}
+	b.WriteString(" | NPS:")
+	for _, n := range s.NPS {
+		fmt.Fprintf(&b, " %d", n)
+	}
+	return b.String()
+}
+
+// OfNode computes the extended Prüfer sequence of the subtree rooted at
+// root. The input tree is not modified; the dummy extension and the
+// postorder numbering are performed virtually in a single traversal.
+func OfNode(root *tree.Node) Sequence {
+	if root == nil {
+		return Sequence{}
+	}
+	// ents[i] describes extended-tree node number i+1. Dummy nodes keep
+	// an empty label and never appear as parents.
+	type ent struct {
+		parent int // extended postorder number of the parent; 0 for root
+		label  string
+	}
+	ents := make([]ent, 0, 2*root.Size())
+	var walk func(n *tree.Node) int
+	walk = func(n *tree.Node) int {
+		if n.IsLeaf() {
+			dummy := len(ents)
+			ents = append(ents, ent{})
+			self := len(ents)
+			ents = append(ents, ent{label: n.Label})
+			ents[dummy].parent = self + 1
+			return self + 1
+		}
+		nums := make([]int, len(n.Children))
+		for i, c := range n.Children {
+			nums[i] = walk(c)
+		}
+		self := len(ents)
+		ents = append(ents, ent{label: n.Label})
+		for _, cn := range nums {
+			ents[cn-1].parent = self + 1
+		}
+		return self + 1
+	}
+	walk(root)
+	n := len(ents)
+	s := Sequence{LPS: make([]string, n-1), NPS: make([]int, n-1)}
+	for v := 1; v < n; v++ {
+		p := ents[v-1].parent
+		s.LPS[v-1] = ents[p-1].label
+		s.NPS[v-1] = p
+	}
+	return s
+}
+
+// Of computes the extended Prüfer sequence of a tree.
+func Of(t *tree.Tree) Sequence {
+	if t == nil {
+		return Sequence{}
+	}
+	return OfNode(t.Root)
+}
+
+// PlainOfNode computes the non-extended Prüfer sequence of the subtree
+// (no dummy children added). It is shorter by the number of leaves and
+// does not carry leaf labels; provided for completeness and testing.
+func PlainOfNode(root *tree.Node) Sequence {
+	if root == nil {
+		return Sequence{}
+	}
+	nodes := root.Clone()
+	post := nodes.AssignPostorder()
+	n := len(post)
+	parent := make([]int, n+1)
+	label := make([]string, n+1)
+	for _, v := range post {
+		label[v.Postorder] = v.Label
+		for _, c := range v.Children {
+			parent[c.Postorder] = v.Postorder
+		}
+	}
+	s := Sequence{LPS: make([]string, n-1), NPS: make([]int, n-1)}
+	for v := 1; v < n; v++ {
+		p := parent[v]
+		s.LPS[v-1] = label[p]
+		s.NPS[v-1] = p
+	}
+	return s
+}
+
+// Reconstruct rebuilds the original labeled tree from the extended
+// Prüfer sequence produced by Of/OfNode. It validates structural
+// consistency and returns an error for sequences that do not correspond
+// to any extended postorder-numbered tree.
+func Reconstruct(s Sequence) (*tree.Tree, error) {
+	if len(s.LPS) != len(s.NPS) {
+		return nil, fmt.Errorf("prufer: LPS length %d != NPS length %d", len(s.LPS), len(s.NPS))
+	}
+	if s.Len() == 0 {
+		return nil, fmt.Errorf("prufer: empty sequence")
+	}
+	n := s.Len() + 1 // extended tree node count; root is node n
+	parent := make([]int, n+1)
+	label := make([]string, n+1)
+	hasLabel := make([]bool, n+1)
+	for i := 0; i < n-1; i++ {
+		v, p := i+1, s.NPS[i]
+		if p <= v || p > n {
+			return nil, fmt.Errorf("prufer: NPS[%d]=%d violates postorder (child %d)", i, p, v)
+		}
+		parent[v] = p
+		if hasLabel[p] && label[p] != s.LPS[i] {
+			return nil, fmt.Errorf("prufer: node %d labeled both %q and %q", p, label[p], s.LPS[i])
+		}
+		label[p], hasLabel[p] = s.LPS[i], true
+	}
+	children := make([][]int, n+1)
+	for v := 1; v < n; v++ {
+		children[parent[v]] = append(children[parent[v]], v)
+	}
+	// Nodes that never occur as parents are the dummy leaves of the
+	// extension; they are dropped. Every labeled node must either have
+	// labeled children or exactly one dummy child (it was an original
+	// leaf).
+	var build func(v int) (*tree.Node, error)
+	build = func(v int) (*tree.Node, error) {
+		node := &tree.Node{Label: label[v], Postorder: v}
+		for _, c := range children[v] {
+			if !hasLabel[c] {
+				if len(children[c]) != 0 {
+					return nil, fmt.Errorf("prufer: unlabeled internal node %d", c)
+				}
+				continue // dummy leaf
+			}
+			cn, err := build(c)
+			if err != nil {
+				return nil, err
+			}
+			node.Children = append(node.Children, cn)
+		}
+		if len(node.Children) == 0 {
+			// v must have had exactly one dummy child.
+			if len(children[v]) != 1 {
+				return nil, fmt.Errorf("prufer: leaf node %d has %d dummy children, want 1", v, len(children[v]))
+			}
+		}
+		return node, nil
+	}
+	if !hasLabel[n] {
+		return nil, fmt.Errorf("prufer: root (node %d) has no label", n)
+	}
+	root, err := build(n)
+	if err != nil {
+		return nil, err
+	}
+	return &tree.Tree{Root: root}, nil
+}
+
+// Encode serializes the sequence into a self-delimiting byte string for
+// fingerprinting: the LPS and NPS are concatenated (the paper's
+// "LPS . NPS") with length framing so that no two distinct sequences
+// share an encoding. The buffer buf is appended to and returned.
+func (s Sequence) Encode(buf []byte) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s.LPS)))
+	for _, l := range s.LPS {
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		buf = append(buf, l...)
+	}
+	for _, n := range s.NPS {
+		buf = binary.AppendUvarint(buf, uint64(n))
+	}
+	return buf
+}
+
+// Decode parses an encoding produced by Encode.
+func Decode(buf []byte) (Sequence, error) {
+	var s Sequence
+	m, k := binary.Uvarint(buf)
+	if k <= 0 {
+		return s, fmt.Errorf("prufer: bad length header")
+	}
+	buf = buf[k:]
+	s.LPS = make([]string, m)
+	s.NPS = make([]int, m)
+	for i := range s.LPS {
+		l, k := binary.Uvarint(buf)
+		if k <= 0 || uint64(len(buf[k:])) < l {
+			return Sequence{}, fmt.Errorf("prufer: truncated label %d", i)
+		}
+		s.LPS[i] = string(buf[k : k+int(l)])
+		buf = buf[k+int(l):]
+	}
+	for i := range s.NPS {
+		v, k := binary.Uvarint(buf)
+		if k <= 0 {
+			return Sequence{}, fmt.Errorf("prufer: truncated NPS entry %d", i)
+		}
+		s.NPS[i] = int(v)
+		buf = buf[k:]
+	}
+	if len(buf) != 0 {
+		return Sequence{}, fmt.Errorf("prufer: %d trailing bytes", len(buf))
+	}
+	return s, nil
+}

@@ -1,0 +1,324 @@
+package prufer
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"sketchtree/internal/tree"
+)
+
+// Paper Example 1, Figure 3: the chain X -> Y -> Z has LPS = Z Y X and
+// NPS = 2 3 4 after extension.
+func TestPaperExample1Chain(t *testing.T) {
+	t1 := tree.T("X", tree.T("Y", tree.T("Z")))
+	s := OfNode(t1)
+	if got, want := s.LPS, []string{"Z", "Y", "X"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LPS = %v, want %v", got, want)
+	}
+	if got, want := s.NPS, []int{2, 3, 4}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NPS = %v, want %v", got, want)
+	}
+}
+
+// Paper Example 1, Figure 3: X with children Y and Z has LPS = Y X Z X
+// and NPS = 2 5 4 5 after extension.
+func TestPaperExample1Branch(t *testing.T) {
+	t2 := tree.T("X", tree.T("Y"), tree.T("Z"))
+	s := OfNode(t2)
+	if got, want := s.LPS, []string{"Y", "X", "Z", "X"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LPS = %v, want %v", got, want)
+	}
+	if got, want := s.NPS, []int{2, 5, 4, 5}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NPS = %v, want %v", got, want)
+	}
+}
+
+func TestSingleNode(t *testing.T) {
+	s := OfNode(tree.T("A"))
+	if got, want := s.LPS, []string{"A"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LPS = %v, want %v", got, want)
+	}
+	if got, want := s.NPS, []int{2}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NPS = %v, want %v", got, want)
+	}
+}
+
+func TestNilInputs(t *testing.T) {
+	if OfNode(nil).Len() != 0 {
+		t.Error("nil node must give empty sequence")
+	}
+	if Of(nil).Len() != 0 {
+		t.Error("nil tree must give empty sequence")
+	}
+	if PlainOfNode(nil).Len() != 0 {
+		t.Error("nil node must give empty plain sequence")
+	}
+}
+
+func TestExtendedLengthIsNodesPlusLeavesMinusOne(t *testing.T) {
+	// Extended tree has size(T) + leaves(T) nodes, so the sequence has
+	// size(T) + leaves(T) - 1 entries.
+	root := tree.T("A", tree.T("B", tree.T("D"), tree.T("E")), tree.T("C"))
+	s := OfNode(root)
+	if got := s.Len(); got != 5+3-1 {
+		t.Errorf("Len = %d, want 7", got)
+	}
+}
+
+func TestLeafLabelsAppearInLPS(t *testing.T) {
+	root := tree.T("A", tree.T("B"), tree.T("C", tree.T("D")))
+	s := OfNode(root)
+	seen := map[string]bool{}
+	for _, l := range s.LPS {
+		seen[l] = true
+	}
+	for _, leaf := range []string{"B", "D"} {
+		if !seen[leaf] {
+			t.Errorf("leaf label %s missing from LPS %v", leaf, s.LPS)
+		}
+	}
+}
+
+func TestPlainOf(t *testing.T) {
+	// Plain (non-extended) sequence of the branch X(Y,Z): postorder
+	// Y=1, Z=2, X=3; parents of 1 and 2 are both X=3.
+	s := PlainOfNode(tree.T("X", tree.T("Y"), tree.T("Z")))
+	if got, want := s.LPS, []string{"X", "X"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("LPS = %v, want %v", got, want)
+	}
+	if got, want := s.NPS, []int{3, 3}; !reflect.DeepEqual(got, want) {
+		t.Errorf("NPS = %v, want %v", got, want)
+	}
+	if got := PlainOfNode(tree.T("A")).Len(); got != 0 {
+		t.Errorf("plain sequence of single node has length %d, want 0", got)
+	}
+}
+
+func TestOfDoesNotMutateInput(t *testing.T) {
+	root := tree.T("A", tree.T("B"))
+	before := root.String()
+	OfNode(root)
+	if root.String() != before {
+		t.Error("OfNode must not mutate the input tree")
+	}
+	if root.Size() != 2 {
+		t.Error("dummy nodes leaked into the input tree")
+	}
+}
+
+func TestReconstructKnown(t *testing.T) {
+	for _, root := range []*tree.Node{
+		tree.T("X", tree.T("Y", tree.T("Z"))),
+		tree.T("X", tree.T("Y"), tree.T("Z")),
+		tree.T("A"),
+		tree.T("S", tree.T("NP", tree.T("DT"), tree.T("NN")), tree.T("VP")),
+	} {
+		s := OfNode(root)
+		got, err := Reconstruct(s)
+		if err != nil {
+			t.Fatalf("Reconstruct(%v): %v", s, err)
+		}
+		if !tree.Equal(root, got.Root) {
+			t.Errorf("round trip failed: %s -> %s", root, got.Root)
+		}
+	}
+}
+
+func TestReconstructErrors(t *testing.T) {
+	cases := []Sequence{
+		{},                                          // empty
+		{LPS: []string{"A"}, NPS: []int{1, 2}},      // length mismatch
+		{LPS: []string{"A"}, NPS: []int{1}},         // parent not > child
+		{LPS: []string{"A"}, NPS: []int{3}},         // parent out of range
+		{LPS: []string{"A", "B"}, NPS: []int{3, 3}}, // node 3 labeled twice
+		{LPS: []string{"A", "B"}, NPS: []int{2, 3}}, // ok shape but node 2 labeled A, child 1 dummy; root 3 labeled B; valid! (see below)
+	}
+	for i, s := range cases[:5] {
+		if _, err := Reconstruct(s); err == nil {
+			t.Errorf("case %d (%v) should fail", i, s)
+		}
+	}
+	// The last case is actually a valid chain B -> A.
+	got, err := Reconstruct(cases[5])
+	if err != nil {
+		t.Fatalf("chain case: %v", err)
+	}
+	if !tree.Equal(got.Root, tree.T("B", tree.T("A"))) {
+		t.Errorf("chain case: got %s", got.Root)
+	}
+}
+
+func TestSequenceEqualAndString(t *testing.T) {
+	a := OfNode(tree.T("X", tree.T("Y")))
+	b := OfNode(tree.T("X", tree.T("Y")))
+	c := OfNode(tree.T("X", tree.T("Z")))
+	if !a.Equal(b) {
+		t.Error("identical trees must give equal sequences")
+	}
+	if a.Equal(c) {
+		t.Error("different trees must give different sequences")
+	}
+	if a.String() != "LPS: Y X | NPS: 2 3" {
+		t.Errorf("String = %q", a.String())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	seqs := []Sequence{
+		OfNode(tree.T("A")),
+		OfNode(tree.T("X", tree.T("Y"), tree.T("Z"))),
+		OfNode(tree.T("a", tree.T(""), tree.T("long-label-with-dashes"))),
+	}
+	for _, s := range seqs {
+		enc := s.Encode(nil)
+		got, err := Decode(enc)
+		if err != nil {
+			t.Fatalf("Decode(%v): %v", enc, err)
+		}
+		if !s.Equal(got) {
+			t.Errorf("encode/decode: %v != %v", s, got)
+		}
+	}
+}
+
+func TestEncodeIsInjectiveOnLabelBoundaries(t *testing.T) {
+	// ("AB", "C") vs ("A", "BC") must encode differently.
+	a := Sequence{LPS: []string{"AB", "C"}, NPS: []int{2, 3}}
+	b := Sequence{LPS: []string{"A", "BC"}, NPS: []int{2, 3}}
+	if string(a.Encode(nil)) == string(b.Encode(nil)) {
+		t.Error("encoding must be injective across label boundaries")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	valid := OfNode(tree.T("X", tree.T("Y"))).Encode(nil)
+	for _, bad := range [][]byte{
+		nil,
+		valid[:1],
+		valid[:len(valid)-1],
+		append(append([]byte{}, valid...), 0x00),
+	} {
+		if _, err := Decode(bad); err == nil {
+			t.Errorf("Decode(%v) should fail", bad)
+		}
+	}
+}
+
+func randomTree(rng *rand.Rand, n int, alphabet []string) *tree.Node {
+	nodes := make([]*tree.Node, n)
+	for i := range nodes {
+		nodes[i] = tree.New(alphabet[rng.IntN(len(alphabet))])
+	}
+	for i := 1; i < n; i++ {
+		nodes[rng.IntN(i)].AddChild(nodes[i])
+	}
+	return nodes[0]
+}
+
+// Property: Reconstruct(Of(T)) == T for random trees.
+func TestQuickRoundTrip(t *testing.T) {
+	alphabet := []string{"A", "B", "C", "D", "E"}
+	f := func(seed uint64, size uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 3))
+		root := randomTree(rng, int(size%30)+1, alphabet)
+		got, err := Reconstruct(OfNode(root))
+		return err == nil && tree.Equal(root, got.Root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: distinct ordered trees yield distinct (LPS, NPS) encodings.
+func TestQuickInjective(t *testing.T) {
+	alphabet := []string{"A", "B"}
+	f := func(seed uint64) bool {
+		rng := rand.New(rand.NewPCG(seed, 5))
+		a := randomTree(rng, rng.IntN(8)+1, alphabet)
+		b := randomTree(rng, rng.IntN(8)+1, alphabet)
+		sa := string(OfNode(a).Encode(nil))
+		sb := string(OfNode(b).Encode(nil))
+		if tree.Equal(a, b) {
+			return sa == sb
+		}
+		return sa != sb
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: Encode/Decode round-trips for random trees.
+func TestQuickEncodeRoundTrip(t *testing.T) {
+	alphabet := []string{"NP", "VP", "S", "DT", ""}
+	f := func(seed uint64, size uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 9))
+		s := OfNode(randomTree(rng, int(size%20)+1, alphabet))
+		got, err := Decode(s.Encode(nil))
+		return err == nil && s.Equal(got)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkOfNode(b *testing.B) {
+	rng := rand.New(rand.NewPCG(42, 1))
+	root := randomTree(rng, 50, []string{"A", "B", "C", "D"})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		OfNode(root)
+	}
+}
+
+// Consistency: the extended Prüfer sequence equals the plain Prüfer
+// sequence of an explicitly extended tree (dummy child attached to
+// every leaf) — OfNode performs that extension virtually.
+func TestQuickExtendedEqualsPlainOfExplicitExtension(t *testing.T) {
+	alphabet := []string{"A", "B", "C"}
+	extend := func(root *tree.Node) *tree.Node {
+		c := root.Clone()
+		c.Walk(func(n *tree.Node) bool {
+			if n.IsLeaf() {
+				n.Children = []*tree.Node{{Label: "\x00dummy"}}
+				return false
+			}
+			return true
+		})
+		return c
+	}
+	f := func(seed uint64, size uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 15))
+		root := randomTree(rng, int(size%20)+1, alphabet)
+		got := OfNode(root)
+		want := PlainOfNode(extend(root))
+		return got.Equal(want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Postorder-number sanity in the sequence: NPS entries are strictly
+// greater than their positions (parents come after children in
+// postorder) and at most n.
+func TestQuickNPSPostorderInvariant(t *testing.T) {
+	alphabet := []string{"A", "B"}
+	f := func(seed uint64, size uint8) bool {
+		rng := rand.New(rand.NewPCG(seed, 17))
+		s := OfNode(randomTree(rng, int(size%25)+1, alphabet))
+		n := s.Len() + 1
+		for i, p := range s.NPS {
+			if p <= i+1 || p > n {
+				return false
+			}
+		}
+		// The last entry's parent is the root, numbered n.
+		return s.NPS[s.Len()-1] == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

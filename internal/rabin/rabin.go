@@ -1,0 +1,167 @@
+// Package rabin implements Rabin's fingerprinting method over GF(2)
+// (paper §6.1). A byte string is interpreted as the coefficient vector
+// of a polynomial over GF(2); its fingerprint is the residue modulo an
+// irreducible polynomial chosen uniformly at random. Two distinct
+// strings of total length n bits collide with probability at most
+// about n / 2^(deg-1), so fingerprints of short sequences under a
+// degree-31 (paper) or degree-61 (our default) modulus collide with
+// negligible probability.
+//
+// SketchTree uses fingerprints as the one-dimensional mapping of
+// (LPS, NPS) sequence pairs when the exact pairing function of package
+// pairing would overflow machine words, and as the online hash(X) of
+// node labels.
+package rabin
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"sketchtree/internal/gf2"
+)
+
+// Fingerprinter computes fingerprints modulo a fixed irreducible
+// polynomial. It is safe for concurrent use after construction.
+type Fingerprinter struct {
+	modulus uint64
+	deg     int
+	mask    uint64      // deg low bits
+	top     uint        // deg - 8
+	tab     [256]uint64 // tab[t] = (t * x^deg) mod modulus
+}
+
+// New constructs a Fingerprinter for the given irreducible modulus of
+// degree between 8 and 63.
+func New(modulus uint64) (*Fingerprinter, error) {
+	d := gf2.Deg(modulus)
+	if d < 8 || d > 63 {
+		return nil, fmt.Errorf("rabin: modulus degree %d out of range [8, 63]", d)
+	}
+	if !gf2.Irreducible(modulus) {
+		return nil, fmt.Errorf("rabin: modulus %#x is reducible", modulus)
+	}
+	f := &Fingerprinter{modulus: modulus, deg: d, mask: 1<<uint(d) - 1, top: uint(d - 8)}
+	for t := 0; t < 256; t++ {
+		// (t << deg) mod modulus, reduced bit by bit. t << deg can
+		// exceed 64 bits when deg > 56, so reduce incrementally: start
+		// from t mod m (= t, deg >= 8 > 8 bits? t < 256 has degree <= 7
+		// < deg) and multiply by x deg times.
+		v := uint64(t)
+		for i := 0; i < d; i++ {
+			v <<= 1
+			if v&(1<<uint(d)) != 0 {
+				v ^= modulus
+			}
+		}
+		f.tab[t] = v
+	}
+	return f, nil
+}
+
+// MustNew is New that panics on error.
+func MustNew(modulus uint64) *Fingerprinter {
+	f, err := New(modulus)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// NewRandom constructs a Fingerprinter with a modulus of the given
+// degree chosen uniformly at random from the irreducible polynomials,
+// per Rabin's scheme.
+func NewRandom(deg int, rnd interface{ Uint64() uint64 }) (*Fingerprinter, error) {
+	if deg < 8 || deg > 63 {
+		return nil, fmt.Errorf("rabin: degree %d out of range [8, 63]", deg)
+	}
+	return New(gf2.RandomIrreducible(deg, rnd))
+}
+
+// Degree returns the degree of the modulus; fingerprints are in
+// [0, 2^Degree).
+func (f *Fingerprinter) Degree() int { return f.deg }
+
+// Modulus returns the irreducible polynomial in use.
+func (f *Fingerprinter) Modulus() uint64 { return f.modulus }
+
+// initial is the starting state: a leading 1 bit so that strings
+// differing only by leading zero bytes (or by length) map to distinct
+// polynomials.
+const initial = 1
+
+// pushByte folds one byte into the fingerprint state.
+func (f *Fingerprinter) pushByte(fp uint64, b byte) uint64 {
+	t := fp >> f.top
+	return (fp<<8|uint64(b))&f.mask ^ f.tab[t]
+}
+
+// Fingerprint returns the fingerprint of data.
+func (f *Fingerprinter) Fingerprint(data []byte) uint64 {
+	fp := uint64(initial)
+	for _, b := range data {
+		fp = f.pushByte(fp, b)
+	}
+	return fp
+}
+
+// FingerprintString returns the fingerprint of a string without
+// allocating.
+func (f *Fingerprinter) FingerprintString(s string) uint64 {
+	fp := uint64(initial)
+	for i := 0; i < len(s); i++ {
+		fp = f.pushByte(fp, s[i])
+	}
+	return fp
+}
+
+// Hash is an incremental fingerprint accumulator. The zero Hash is not
+// valid; obtain one from Fingerprinter.NewHash.
+type Hash struct {
+	f  *Fingerprinter
+	fp uint64
+}
+
+// NewHash returns a fresh incremental accumulator.
+func (f *Fingerprinter) NewHash() *Hash {
+	return &Hash{f: f, fp: initial}
+}
+
+// Reset returns the accumulator to its initial state.
+func (h *Hash) Reset() { h.fp = initial }
+
+// Write folds data into the running fingerprint. It never fails; the
+// error is always nil (io.Writer compatibility).
+func (h *Hash) Write(p []byte) (int, error) {
+	fp := h.fp
+	for _, b := range p {
+		fp = h.f.pushByte(fp, b)
+	}
+	h.fp = fp
+	return len(p), nil
+}
+
+// WriteString folds a string into the running fingerprint.
+func (h *Hash) WriteString(s string) {
+	fp := h.fp
+	for i := 0; i < len(s); i++ {
+		fp = h.f.pushByte(fp, s[i])
+	}
+	h.fp = fp
+}
+
+// WriteByte folds one byte into the running fingerprint.
+func (h *Hash) WriteByte(b byte) error {
+	h.fp = h.f.pushByte(h.fp, b)
+	return nil
+}
+
+// WriteUvarint folds a varint-encoded unsigned integer into the
+// running fingerprint, preserving self-delimiting framing.
+func (h *Hash) WriteUvarint(v uint64) {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	h.Write(buf[:n])
+}
+
+// Sum64 returns the current fingerprint.
+func (h *Hash) Sum64() uint64 { return h.fp }

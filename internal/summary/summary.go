@@ -1,0 +1,390 @@
+// Package summary implements the structural summary and the query
+// rewriting of paper §6.2. SketchTree itself assumes no schema; when a
+// structural summary can be built online in limited space, queries
+// with wildcard nodes ('*') and ancestor-descendant edges ('//') are
+// resolved against it into a set of distinct parent-child-only
+// patterns whose total frequency equals the original query's frequency
+// — which the set estimator of §3.2 then answers.
+//
+// The summary is a label-path trie (in the spirit of a DataGuide): one
+// trie node per distinct root-to-node label path observed in the
+// stream. It is updated online per tree and its size is capped; a
+// capped summary is marked incomplete and resolution against it
+// reports possible truncation.
+package summary
+
+import (
+	"fmt"
+	"sort"
+
+	"sketchtree/internal/tree"
+)
+
+// Wildcard is the query label that matches any data label.
+const Wildcard = "*"
+
+type snode struct {
+	label    string
+	children map[string]*snode
+	order    []string // child labels in first-seen order
+}
+
+func (n *snode) child(label string) *snode { return n.children[label] }
+
+// Summary is an online label-path trie over the streamed trees.
+type Summary struct {
+	root     *snode // virtual super-root; its children are tree-root labels
+	maxNodes int
+	nodes    int
+	complete bool
+}
+
+// New creates an empty summary holding at most maxNodes trie nodes
+// (0 = unlimited). When the cap is reached new paths are dropped and
+// the summary becomes incomplete.
+func New(maxNodes int) *Summary {
+	return &Summary{
+		root:     &snode{children: make(map[string]*snode)},
+		maxNodes: maxNodes,
+		complete: true,
+	}
+}
+
+// Nodes returns the number of trie nodes (distinct label paths).
+func (s *Summary) Nodes() int { return s.nodes }
+
+// Complete reports whether every observed path fit under the cap.
+func (s *Summary) Complete() bool { return s.complete }
+
+// MemoryBytes approximates the trie footprint.
+func (s *Summary) MemoryBytes() int { return s.nodes * 64 }
+
+// AddTree merges all root-to-node label paths of t into the summary.
+func (s *Summary) AddTree(t *tree.Tree) {
+	if t == nil || t.Root == nil {
+		return
+	}
+	s.addNode(s.root, t.Root)
+}
+
+func (s *Summary) addNode(sn *snode, dn *tree.Node) {
+	c := sn.child(dn.Label)
+	if c == nil {
+		if s.maxNodes > 0 && s.nodes >= s.maxNodes {
+			s.complete = false
+			return
+		}
+		c = &snode{label: dn.Label, children: make(map[string]*snode)}
+		sn.children[dn.Label] = c
+		sn.order = append(sn.order, dn.Label)
+		s.nodes++
+	}
+	for _, dc := range dn.Children {
+		s.addNode(c, dc)
+	}
+}
+
+// RootLabels returns the distinct root labels seen, in first-seen
+// order.
+func (s *Summary) RootLabels() []string {
+	return append([]string(nil), s.root.order...)
+}
+
+// ChildLabels returns the distinct child labels observed under the
+// given root-to-node label path, or nil if the path is absent.
+func (s *Summary) ChildLabels(path []string) []string {
+	n := s.root
+	for _, l := range path {
+		n = n.child(l)
+		if n == nil {
+			return nil
+		}
+	}
+	return append([]string(nil), n.order...)
+}
+
+// Merge folds every label path of o into s (used when synopses built
+// on stream shards are combined). The result is incomplete if either
+// input was, or if s's cap is exceeded during the merge.
+func (s *Summary) Merge(o *Summary) {
+	if o == nil {
+		return
+	}
+	if !o.complete {
+		s.complete = false
+	}
+	var rec func(dst, src *snode)
+	rec = func(dst, src *snode) {
+		for _, l := range src.order {
+			sc := src.children[l]
+			dc := dst.child(l)
+			if dc == nil {
+				if s.maxNodes > 0 && s.nodes >= s.maxNodes {
+					s.complete = false
+					continue
+				}
+				dc = &snode{label: l, children: make(map[string]*snode)}
+				dst.children[l] = dc
+				dst.order = append(dst.order, l)
+				s.nodes++
+			}
+			rec(dc, sc)
+		}
+	}
+	rec(s.root, o.root)
+}
+
+// SnapshotNode is one trie node of a serializable summary snapshot;
+// children preserve first-seen order.
+type SnapshotNode struct {
+	Label    string
+	Children []SnapshotNode
+}
+
+// Snapshot is a serializable image of a Summary for synopsis
+// persistence.
+type Snapshot struct {
+	MaxNodes int
+	Complete bool
+	Roots    []SnapshotNode
+}
+
+// Snapshot exports the summary.
+func (s *Summary) Snapshot() Snapshot {
+	var conv func(n *snode) SnapshotNode
+	conv = func(n *snode) SnapshotNode {
+		out := SnapshotNode{Label: n.label}
+		for _, l := range n.order {
+			out.Children = append(out.Children, conv(n.children[l]))
+		}
+		return out
+	}
+	sn := Snapshot{MaxNodes: s.maxNodes, Complete: s.complete}
+	for _, l := range s.root.order {
+		sn.Roots = append(sn.Roots, conv(s.root.children[l]))
+	}
+	return sn
+}
+
+// FromSnapshot reconstructs a Summary.
+func FromSnapshot(sn Snapshot) (*Summary, error) {
+	s := New(sn.MaxNodes)
+	var build func(parent *snode, n SnapshotNode) error
+	build = func(parent *snode, n SnapshotNode) error {
+		if _, dup := parent.children[n.Label]; dup {
+			return fmt.Errorf("summary: duplicate child %q in snapshot", n.Label)
+		}
+		c := &snode{label: n.Label, children: make(map[string]*snode)}
+		parent.children[n.Label] = c
+		parent.order = append(parent.order, n.Label)
+		s.nodes++
+		for _, cc := range n.Children {
+			if err := build(c, cc); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, r := range sn.Roots {
+		if err := build(s.root, r); err != nil {
+			return nil, err
+		}
+	}
+	if sn.MaxNodes > 0 && s.nodes > sn.MaxNodes {
+		return nil, fmt.Errorf("summary: snapshot has %d nodes, cap is %d", s.nodes, sn.MaxNodes)
+	}
+	s.complete = sn.Complete
+	return s, nil
+}
+
+// QueryNode is a query pattern node for the extended semantics: Label
+// may be Wildcard, and Desc marks the edge from the parent as
+// ancestor-descendant ('//'). Desc on a root means the pattern may be
+// anchored at any depth, which is also the default matching semantics,
+// so it is ignored there.
+type QueryNode struct {
+	Label    string
+	Desc     bool
+	Children []*QueryNode
+}
+
+// Q builds a query node.
+func Q(label string, children ...*QueryNode) *QueryNode {
+	return &QueryNode{Label: label, Children: children}
+}
+
+// QD builds a query node whose incoming edge is '//'.
+func QD(label string, children ...*QueryNode) *QueryNode {
+	return &QueryNode{Label: label, Desc: true, Children: children}
+}
+
+func (q *QueryNode) matches(label string) bool {
+	return q.Label == Wildcard || q.Label == label
+}
+
+// Resolve expands the query into the set of distinct parent-child-only
+// label patterns that are consistent with the summary, each with at
+// most maxEdges edges. The boolean result reports truncation: either
+// the summary is incomplete, more than maxPatterns expansions were
+// generated, or a '//' search was cut off by the edge budget — in all
+// three cases the returned set may undercount and the caller should
+// treat the answer as a lower bound (paper §6.2 requires resolved
+// patterns to fit within the enumerated size k).
+func (s *Summary) Resolve(q *QueryNode, maxEdges, maxPatterns int) ([]*tree.Node, bool, error) {
+	if q == nil {
+		return nil, false, fmt.Errorf("summary: nil query")
+	}
+	if maxEdges < 1 {
+		return nil, false, fmt.Errorf("summary: maxEdges %d < 1", maxEdges)
+	}
+	if maxPatterns < 1 {
+		maxPatterns = 1 << 20
+	}
+	r := &resolver{maxEdges: maxEdges, maxPatterns: maxPatterns}
+	seen := map[string]bool{}
+	var out []*tree.Node
+	// The query may anchor at any summary node.
+	s.walk(func(sn *snode) {
+		if sn == s.root || !q.matches(sn.label) {
+			return
+		}
+		for _, exp := range r.expand(q, sn) {
+			if exp.Size()-1 > maxEdges {
+				r.truncated = true
+				continue
+			}
+			key := exp.String()
+			if !seen[key] {
+				seen[key] = true
+				out = append(out, exp)
+			}
+		}
+	})
+	truncated := r.truncated || !s.complete
+	if r.overflow {
+		return out, true, fmt.Errorf("summary: more than %d expansions", maxPatterns)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out, truncated, nil
+}
+
+func (s *Summary) walk(fn func(*snode)) {
+	var rec func(*snode)
+	rec = func(n *snode) {
+		fn(n)
+		for _, l := range n.order {
+			rec(n.children[l])
+		}
+	}
+	rec(s.root)
+}
+
+type resolver struct {
+	maxEdges    int
+	maxPatterns int
+	generated   int
+	truncated   bool
+	overflow    bool
+}
+
+// expand returns the expansions of query subtree q anchored at summary
+// node sn (label already matched). Each expansion is a labeled tree
+// rooted at sn's label.
+func (r *resolver) expand(q *QueryNode, sn *snode) []*tree.Node {
+	if r.overflow {
+		return nil
+	}
+	// Expansion alternatives per query child; each alternative is a
+	// fully expanded child subtree (possibly with a chain of
+	// intermediate labels for '//' edges).
+	alts := make([][]*tree.Node, len(q.Children))
+	for i, qc := range q.Children {
+		alts[i] = r.expandChild(qc, sn)
+		if len(alts[i]) == 0 {
+			return nil // this anchor admits no expansion
+		}
+	}
+	var out []*tree.Node
+	pick := make([]*tree.Node, len(q.Children))
+	var combine func(i int)
+	combine = func(i int) {
+		if r.overflow {
+			return
+		}
+		if i == len(q.Children) {
+			n := &tree.Node{Label: sn.label, Children: append([]*tree.Node(nil), pick...)}
+			out = append(out, n)
+			r.generated++
+			if r.generated > r.maxPatterns {
+				r.overflow = true
+			}
+			return
+		}
+		for _, a := range alts[i] {
+			pick[i] = a
+			combine(i + 1)
+		}
+	}
+	combine(0)
+	return out
+}
+
+// expandChild expands one query child under summary node sn, honoring
+// a '//' edge by searching all descendants of sn within the edge
+// budget and materializing the connecting label chain.
+func (r *resolver) expandChild(qc *QueryNode, sn *snode) []*tree.Node {
+	var out []*tree.Node
+	if !qc.Desc {
+		for _, l := range sn.order {
+			c := sn.children[l]
+			if qc.matches(c.label) {
+				out = append(out, r.expand(qc, c)...)
+			}
+		}
+		return out
+	}
+	// '//': any strict descendant within the budget; the expansion is
+	// the chain of intermediate labels ending in the match's expansion.
+	var dfs func(n *snode, depth int, chain []string)
+	dfs = func(n *snode, depth int, chain []string) {
+		if depth > r.maxEdges {
+			if len(n.order) > 0 || qcMatchesAny(qc, n) {
+				r.truncated = true
+			}
+			return
+		}
+		for _, l := range n.order {
+			c := n.children[l]
+			if qc.matches(c.label) {
+				for _, exp := range r.expand(qc, c) {
+					out = append(out, wrapChain(chain, exp))
+				}
+			}
+			next := make([]string, len(chain)+1)
+			copy(next, chain)
+			next[len(chain)] = c.label
+			dfs(c, depth+1, next)
+		}
+	}
+	dfs(sn, 1, nil)
+	return out
+}
+
+func qcMatchesAny(qc *QueryNode, n *snode) bool {
+	for _, l := range n.order {
+		if qc.matches(n.children[l].label) {
+			return true
+		}
+	}
+	return false
+}
+
+// wrapChain nests exp under the chain of intermediate labels:
+// wrapChain([a b], X) = a(b(X)).
+func wrapChain(chain []string, exp *tree.Node) *tree.Node {
+	n := exp
+	for i := len(chain) - 1; i >= 0; i-- {
+		n = &tree.Node{Label: chain[i], Children: []*tree.Node{n}}
+	}
+	return n
+}

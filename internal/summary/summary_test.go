@@ -1,0 +1,360 @@
+package summary
+
+import (
+	"sort"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+// figure7Summary builds the structural summary of paper Figure 7(a):
+// A with children B and C, where B also has a child C.
+func figure7Summary() *Summary {
+	s := New(0)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B", tree.T("C")), tree.T("C"))))
+	return s
+}
+
+func expansionStrings(t *testing.T, s *Summary, q *QueryNode, maxEdges int) []string {
+	t.Helper()
+	pats, truncated, err := s.Resolve(q, maxEdges, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Fatal("unexpected truncation")
+	}
+	out := make([]string, len(pats))
+	for i, p := range pats {
+		out[i] = p.String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Paper Figure 7(b): A/* resolves into the two distinct patterns A/B
+// and A/C.
+func TestFigure7Wildcard(t *testing.T) {
+	s := figure7Summary()
+	got := expansionStrings(t, s, Q("A", Q(Wildcard)), 3)
+	want := []string{"(A (B))", "(A (C))"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("A/* resolved to %v, want %v", got, want)
+	}
+}
+
+// Paper Figure 7(c): A//C resolves into A/C and A/B/C.
+func TestFigure7Descendant(t *testing.T) {
+	s := figure7Summary()
+	got := expansionStrings(t, s, Q("A", QD("C")), 3)
+	want := []string{"(A (B (C)))", "(A (C))"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("A//C resolved to %v, want %v", got, want)
+	}
+}
+
+func TestPlainQueryResolvesToItself(t *testing.T) {
+	s := figure7Summary()
+	got := expansionStrings(t, s, Q("A", Q("B", Q("C"))), 3)
+	if len(got) != 1 || got[0] != "(A (B (C)))" {
+		t.Errorf("plain query resolved to %v", got)
+	}
+}
+
+func TestQueryAnchorsAtAnyDepth(t *testing.T) {
+	s := figure7Summary()
+	// B/C matches the B node below the root.
+	got := expansionStrings(t, s, Q("B", Q("C")), 3)
+	if len(got) != 1 || got[0] != "(B (C))" {
+		t.Errorf("B/C resolved to %v", got)
+	}
+}
+
+func TestNoMatchGivesEmpty(t *testing.T) {
+	s := figure7Summary()
+	got, truncated, err := s.Resolve(Q("A", Q("Z")), 3, 100)
+	if err != nil || truncated {
+		t.Fatalf("err=%v truncated=%v", err, truncated)
+	}
+	if len(got) != 0 {
+		t.Errorf("A/Z resolved to %v, want none", got)
+	}
+}
+
+func TestMultipleChildrenCartesianProduct(t *testing.T) {
+	s := New(0)
+	s.AddTree(tree.NewTree(tree.T("R",
+		tree.T("A", tree.T("X"), tree.T("Y")),
+	)))
+	// R/A with two wildcard children: expansions pick (X,X), (X,Y),
+	// (Y,X), (Y,Y) — all distinct ordered patterns.
+	got := expansionStrings(t, s, Q("R", Q("A", Q(Wildcard), Q(Wildcard))), 4)
+	if len(got) != 4 {
+		t.Errorf("got %d expansions %v, want 4", len(got), got)
+	}
+}
+
+func TestDeduplicationAcrossAnchors(t *testing.T) {
+	s := New(0)
+	// The same label path occurs under two different parents; the
+	// pattern (B (C)) must appear once.
+	s.AddTree(tree.NewTree(tree.T("R",
+		tree.T("A", tree.T("B", tree.T("C"))),
+		tree.T("D", tree.T("B", tree.T("C"))),
+	)))
+	got := expansionStrings(t, s, Q("B", Q("C")), 3)
+	if len(got) != 1 {
+		t.Errorf("got %v, want single deduplicated pattern", got)
+	}
+}
+
+func TestRecursiveSummaryDescendant(t *testing.T) {
+	s := New(0)
+	// A chain S -> S -> S: S//S within 3 edges gives S/S and S/S/S...
+	s.AddTree(tree.NewTree(tree.T("S", tree.T("S", tree.T("S")))))
+	got := expansionStrings(t, s, Q("S", QD("S")), 3)
+	want := []string{"(S (S (S)))", "(S (S))"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("S//S resolved to %v, want %v", got, want)
+	}
+}
+
+func TestEdgeBudgetTruncation(t *testing.T) {
+	s := New(0)
+	// Deep chain; with maxEdges 2 the deeper matches are cut off.
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B", tree.T("B", tree.T("B", tree.T("Z")))))))
+	pats, truncated, err := s.Resolve(Q("A", QD("Z")), 2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pats) != 0 {
+		t.Errorf("expected no expansions within budget, got %v", pats)
+	}
+	if !truncated {
+		t.Error("truncation must be reported when the budget cuts the search")
+	}
+}
+
+func TestOversizeExpansionFiltered(t *testing.T) {
+	s := figure7Summary()
+	// The full query needs 2 edges; budget 1 filters it and reports
+	// truncation.
+	pats, truncated, _ := s.Resolve(Q("A", Q("B", Q("C"))), 1, 100)
+	if len(pats) != 0 || !truncated {
+		t.Errorf("pats=%v truncated=%v, want empty+truncated", pats, truncated)
+	}
+}
+
+func TestMaxPatternsOverflow(t *testing.T) {
+	s := New(0)
+	root := tree.New("R")
+	for i := 0; i < 12; i++ {
+		root.AddChild(tree.T("c" + string(rune('a'+i))))
+	}
+	s.AddTree(tree.NewTree(root))
+	// R with two wildcard children: 12*12 = 144 expansions > 50.
+	_, truncated, err := s.Resolve(Q("R", Q(Wildcard), Q(Wildcard)), 3, 50)
+	if err == nil {
+		t.Error("overflow must error")
+	}
+	if !truncated {
+		t.Error("overflow must report truncation")
+	}
+}
+
+func TestIncompleteSummaryReportsTruncation(t *testing.T) {
+	s := New(2)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B", tree.T("C")))))
+	if s.Complete() {
+		t.Fatal("summary over cap must be incomplete")
+	}
+	_, truncated, err := s.Resolve(Q("A", Q("B")), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("incomplete summary must mark results truncated")
+	}
+}
+
+func TestResolveValidation(t *testing.T) {
+	s := figure7Summary()
+	if _, _, err := s.Resolve(nil, 3, 10); err == nil {
+		t.Error("nil query must fail")
+	}
+	if _, _, err := s.Resolve(Q("A"), 0, 10); err == nil {
+		t.Error("maxEdges 0 must fail")
+	}
+}
+
+func TestSummaryAccessors(t *testing.T) {
+	s := figure7Summary()
+	if s.Nodes() != 4 {
+		t.Errorf("Nodes = %d, want 4 (A, B, C-under-B, C-under-A)", s.Nodes())
+	}
+	if got := s.RootLabels(); len(got) != 1 || got[0] != "A" {
+		t.Errorf("RootLabels = %v", got)
+	}
+	if got := s.ChildLabels([]string{"A"}); len(got) != 2 {
+		t.Errorf("ChildLabels(A) = %v", got)
+	}
+	if got := s.ChildLabels([]string{"A", "B"}); len(got) != 1 || got[0] != "C" {
+		t.Errorf("ChildLabels(A,B) = %v", got)
+	}
+	if got := s.ChildLabels([]string{"Z"}); got != nil {
+		t.Errorf("ChildLabels of absent path = %v", got)
+	}
+	if s.MemoryBytes() != 4*64 {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+	s.AddTree(nil) // must not panic
+}
+
+func TestAddTreeMergesPaths(t *testing.T) {
+	s := New(0)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B"))))
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("C"))))
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B")))) // duplicate path
+	if s.Nodes() != 3 {
+		t.Errorf("Nodes = %d, want 3", s.Nodes())
+	}
+	if !s.Complete() {
+		t.Error("uncapped summary must stay complete")
+	}
+}
+
+func TestWildcardOnRoot(t *testing.T) {
+	s := figure7Summary()
+	// *: every summary node label is an anchor → patterns (A), (B),
+	// (C) — single-node expansions have zero edges; with a child it
+	// becomes meaningful.
+	got := expansionStrings(t, s, Q(Wildcard, Q("C")), 3)
+	want := []string{"(A (C))", "(B (C))"}
+	if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("*/C resolved to %v, want %v", got, want)
+	}
+}
+
+func TestSnapshotRoundTrip(t *testing.T) {
+	s := New(0)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B", tree.T("C")), tree.T("C"))))
+	s.AddTree(tree.NewTree(tree.T("D", tree.T("B"))))
+	r, err := FromSnapshot(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Nodes() != s.Nodes() || r.Complete() != s.Complete() {
+		t.Errorf("shape differs: %d/%v vs %d/%v", r.Nodes(), r.Complete(), s.Nodes(), s.Complete())
+	}
+	// Resolution must agree.
+	for _, q := range []*QueryNode{
+		Q("A", QD("C")),
+		Q(Wildcard, Q("B")),
+	} {
+		a, ta, err := s.Resolve(q, 3, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, tb, err := r.Resolve(q, 3, 100)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ta != tb || len(a) != len(b) {
+			t.Fatalf("resolution differs after snapshot restore")
+		}
+		for i := range a {
+			if a[i].String() != b[i].String() {
+				t.Errorf("pattern %d differs: %s vs %s", i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSnapshotPreservesIncomplete(t *testing.T) {
+	s := New(2)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("B", tree.T("C")))))
+	r, err := FromSnapshot(s.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Complete() {
+		t.Error("restored summary must stay incomplete")
+	}
+}
+
+func TestFromSnapshotValidation(t *testing.T) {
+	bad := Snapshot{Roots: []SnapshotNode{
+		{Label: "A", Children: []SnapshotNode{{Label: "B"}, {Label: "B"}}},
+	}}
+	if _, err := FromSnapshot(bad); err == nil {
+		t.Error("duplicate children must fail")
+	}
+	over := Snapshot{MaxNodes: 1, Roots: []SnapshotNode{
+		{Label: "A", Children: []SnapshotNode{{Label: "B"}}},
+	}}
+	if _, err := FromSnapshot(over); err == nil {
+		t.Error("snapshot over cap must fail")
+	}
+	empty, err := FromSnapshot(Snapshot{Complete: true})
+	if err != nil || empty.Nodes() != 0 || !empty.Complete() {
+		t.Errorf("empty snapshot: %v, %v", empty, err)
+	}
+}
+
+func TestMerge(t *testing.T) {
+	a := New(0)
+	a.AddTree(tree.NewTree(tree.T("A", tree.T("B"))))
+	b := New(0)
+	b.AddTree(tree.NewTree(tree.T("A", tree.T("C"))))
+	b.AddTree(tree.NewTree(tree.T("D", tree.T("B", tree.T("E")))))
+	a.Merge(b)
+	if a.Nodes() != 2+1+3 {
+		t.Errorf("merged nodes = %d, want 6", a.Nodes())
+	}
+	if got := a.ChildLabels([]string{"A"}); len(got) != 2 {
+		t.Errorf("A's children after merge = %v", got)
+	}
+	if got := a.ChildLabels([]string{"D", "B"}); len(got) != 1 || got[0] != "E" {
+		t.Errorf("deep path not merged: %v", got)
+	}
+	if !a.Complete() {
+		t.Error("merge of complete summaries must stay complete")
+	}
+	a.Merge(nil) // must not panic
+}
+
+func TestMergeRespectsCapAndIncomplete(t *testing.T) {
+	a := New(2)
+	a.AddTree(tree.NewTree(tree.T("A", tree.T("B"))))
+	big := New(0)
+	big.AddTree(tree.NewTree(tree.T("C", tree.T("D", tree.T("E")))))
+	a.Merge(big)
+	if a.Complete() {
+		t.Error("merge over cap must mark incomplete")
+	}
+	if a.Nodes() > 2 {
+		t.Errorf("cap violated: %d nodes", a.Nodes())
+	}
+	// Merging an incomplete summary taints the target.
+	c := New(0)
+	inc := New(1)
+	inc.AddTree(tree.NewTree(tree.T("X", tree.T("Y"))))
+	c.Merge(inc)
+	if c.Complete() {
+		t.Error("merging an incomplete summary must mark incomplete")
+	}
+}
+
+func TestDescendantTruncationWithMatchBeyondBudget(t *testing.T) {
+	// qcMatchesAny: the budget cut happens exactly where a matching
+	// label sits deeper — truncation must be reported.
+	s := New(0)
+	s.AddTree(tree.NewTree(tree.T("A", tree.T("M", tree.T("M", tree.T("M", tree.T("Z")))))))
+	_, truncated, err := s.Resolve(Q("A", QD("Z")), 3, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !truncated {
+		t.Error("match just beyond the budget must report truncation")
+	}
+}

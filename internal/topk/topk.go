@@ -1,0 +1,237 @@
+// Package topk implements SketchTree's top-k frequent pattern tracking
+// (paper §5.2, Algorithm 4). The estimator variance is bounded by the
+// self-join size of the sketched stream (Equation 2); deleting the
+// most frequent values from the sketch — easy with AMS sketches —
+// shrinks the self-join size dramatically on skewed streams.
+//
+// A Tracker maintains a min-heap H of estimated frequencies and a list
+// L of the tracked values (a Go map plays the paper's C++ std::map).
+// The delete condition is the central invariant: whenever value t is
+// in L with stored frequency f_t, exactly f_t instances of t have been
+// subtracted from the sketch. Query processing compensates by
+// temporarily adding the deleted instances of any tracked query values
+// back per cell (the d adjustment of §5.2).
+package topk
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/xi"
+)
+
+// entry is one tracked value: its estimated frequency (the heap key)
+// and its heap position.
+type entry struct {
+	value uint64
+	freq  int64
+	pos   int
+}
+
+type entryHeap []*entry
+
+func (h entryHeap) Len() int            { return len(h) }
+func (h entryHeap) Less(i, j int) bool  { return h[i].freq < h[j].freq }
+func (h entryHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i]; h[i].pos = i; h[j].pos = j }
+func (h *entryHeap) Push(x interface{}) { e := x.(*entry); e.pos = len(*h); *h = append(*h, e) }
+func (h *entryHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// Tracker tracks up to k frequent values of one sketch (one virtual
+// stream when combined with package vstream).
+type Tracker struct {
+	k       int
+	sketch  *ams.Sketch
+	entries map[uint64]*entry // the list L
+	heap    entryHeap         // the min-heap H over L's frequencies
+}
+
+// New creates a tracker of capacity k over the sketch. The sketch must
+// receive all its stream updates before Process is called for the
+// corresponding value (Algorithm 1 updates the sketches first, then
+// invokes top-k processing).
+func New(k int, sketch *ams.Sketch) (*Tracker, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("topk: k=%d must be positive", k)
+	}
+	if sketch == nil {
+		return nil, fmt.Errorf("topk: nil sketch")
+	}
+	return &Tracker{k: k, sketch: sketch, entries: make(map[uint64]*entry)}, nil
+}
+
+// K returns the tracker capacity.
+func (t *Tracker) K() int { return t.k }
+
+// Len returns the number of currently tracked values.
+func (t *Tracker) Len() int { return len(t.entries) }
+
+// Tracked returns the stored (deleted) frequency of v and whether v is
+// tracked.
+func (t *Tracker) Tracked(v uint64) (int64, bool) {
+	e, ok := t.entries[v]
+	if !ok {
+		return 0, false
+	}
+	return e.freq, true
+}
+
+// Process runs Algorithm 4 for one arrival of value v, whose ξ
+// preparation is p. The sketch must already include the arrival.
+//
+// Steps: if v is tracked, its deleted instances are added back and the
+// entry removed (lines 1–7); the frequency of v is then re-estimated
+// from the sketch (line 8); if the estimate is positive and beats the
+// minimum tracked frequency — or the tracker has room — v is
+// (re)admitted: a full tracker first evicts its minimum, adding that
+// value's instances back (lines 10–13), then v's estimated instances
+// are deleted from the sketch and v is recorded (lines 14–18). The
+// delete condition holds on exit.
+func (t *Tracker) Process(v uint64, p *xi.Prep) {
+	if e, ok := t.entries[v]; ok {
+		t.sketch.UpdatePrepared(p, e.freq) // add the deleted instances back
+		heap.Remove(&t.heap, e.pos)
+		delete(t.entries, v)
+	}
+	est := estimateRounded(t.sketch, v)
+	if est <= 0 {
+		return
+	}
+	if len(t.entries) >= t.k {
+		if est <= t.heap[0].freq {
+			return
+		}
+		// Evict the minimum: restore its instances to the sketch.
+		min := heap.Pop(&t.heap).(*entry)
+		delete(t.entries, min.value)
+		t.sketch.Update(min.value, min.freq)
+	}
+	e := &entry{value: v, freq: est}
+	heap.Push(&t.heap, e)
+	t.entries[v] = e
+	t.sketch.UpdatePrepared(p, -est) // delete the estimated instances
+}
+
+// estimateRounded estimates the frequency of v and rounds to the
+// nearest integer so sketch arithmetic stays exact.
+func estimateRounded(s *ams.Sketch, v uint64) int64 {
+	return int64(math.Round(s.EstimateCount(v, nil)))
+}
+
+// Adjustment returns the per-cell compensation d for a query over
+// values vs: d[c] = Σ_{v ∈ vs ∩ L} ξ_v(c)·f_v, to be added to the
+// counters during estimation (paper §5.2: "Z_j ← ξ·(X_ij + d)").
+// Returns nil when no query value is tracked.
+func (t *Tracker) Adjustment(vs []uint64) []int64 {
+	var adj []int64
+	seeds := t.sketch.Seeds()
+	seen := make(map[uint64]bool, len(vs))
+	for _, v := range vs {
+		if seen[v] {
+			continue
+		}
+		seen[v] = true
+		e, ok := t.entries[v]
+		if !ok {
+			continue
+		}
+		if adj == nil {
+			adj = make([]int64, seeds.Cells())
+		}
+		p := seeds.Prepare(v, nil)
+		for c := range adj {
+			adj[c] += int64(seeds.Xi(c, p)) * e.freq
+		}
+	}
+	return adj
+}
+
+// AdjustmentAll compensates for every tracked value; used for
+// whole-stream diagnostics such as self-join size including the
+// deleted heavy hitters.
+func (t *Tracker) AdjustmentAll() []int64 {
+	if len(t.entries) == 0 {
+		return nil
+	}
+	vs := make([]uint64, 0, len(t.entries))
+	for v := range t.entries {
+		vs = append(vs, v)
+	}
+	return t.Adjustment(vs)
+}
+
+// RestoreAll adds every tracked value's deleted instances back into
+// the sketch and clears the tracker. After RestoreAll the sketch is
+// exactly what it would have been without top-k processing (tested as
+// an invariant).
+func (t *Tracker) RestoreAll() {
+	for v, e := range t.entries {
+		t.sketch.Update(v, e.freq)
+		delete(t.entries, v)
+	}
+	t.heap = t.heap[:0]
+}
+
+// ValueFreq is a tracked value with its stored (deleted) frequency.
+type ValueFreq struct {
+	Value uint64
+	Freq  int64
+}
+
+// Entries returns the tracked values and their stored frequencies in
+// descending frequency order (the current top-k list).
+func (t *Tracker) Entries() []ValueFreq {
+	out := make([]ValueFreq, 0, len(t.entries))
+	for _, e := range t.entries {
+		out = append(out, ValueFreq{Value: e.value, Freq: e.freq})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Freq != out[j].Freq {
+			return out[i].Freq > out[j].Freq
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out
+}
+
+// Restore reconstructs a tracker from persisted entries. The sketch
+// must already hold its persisted (post-deletion) counters; Restore
+// only rebuilds the heap and list, re-establishing the delete
+// condition recorded at snapshot time.
+func Restore(k int, sketch *ams.Sketch, entries []ValueFreq) (*Tracker, error) {
+	t, err := New(k, sketch)
+	if err != nil {
+		return nil, err
+	}
+	if len(entries) > k {
+		return nil, fmt.Errorf("topk: %d entries exceed capacity %d", len(entries), k)
+	}
+	for _, vf := range entries {
+		if vf.Freq <= 0 {
+			return nil, fmt.Errorf("topk: entry %d has non-positive frequency %d", vf.Value, vf.Freq)
+		}
+		if _, dup := t.entries[vf.Value]; dup {
+			return nil, fmt.Errorf("topk: duplicate entry %d", vf.Value)
+		}
+		e := &entry{value: vf.Value, freq: vf.Freq}
+		heap.Push(&t.heap, e)
+		t.entries[vf.Value] = e
+	}
+	return t, nil
+}
+
+// MemoryBytes accounts the heap and list storage: 24 bytes of payload
+// per tracked entry in the heap plus the map entry, mirroring the
+// paper's "top-k data structures" term in the synopsis size.
+func (t *Tracker) MemoryBytes() int {
+	return len(t.entries) * (24 + 16)
+}

@@ -1,0 +1,58 @@
+package tree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseSexp: any input either fails cleanly or yields a tree whose
+// serialization parses back to an equal tree.
+func FuzzParseSexp(f *testing.F) {
+	for _, seed := range []string{
+		"(A)", "(A (B) (C))", "(A (B (C)))", `("a b" (C))`,
+		"((", "(A", "()", "(A))", `("\")`, "(A  (B)\n)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseSexp(in)
+		if err != nil {
+			return
+		}
+		if tr == nil || tr.Root == nil {
+			t.Fatal("nil tree without error")
+		}
+		again, err := ParseSexp(tr.String())
+		if err != nil {
+			t.Fatalf("serialization %q of accepted input %q does not parse: %v",
+				tr.String(), in, err)
+		}
+		if !Equal(tr.Root, again.Root) {
+			t.Fatalf("round trip changed the tree: %q -> %q", in, again.Root.String())
+		}
+	})
+}
+
+// FuzzParseXML: arbitrary input must never panic; accepted documents
+// must yield a non-nil tree that re-serializes and re-parses.
+func FuzzParseXML(f *testing.F) {
+	for _, seed := range []string{
+		"<a/>", "<a><b/>text</a>", "<a k='v'><b/></a>",
+		"<a><b></a></b>", "", "<a>&lt;</a>", "<?xml version='1.0'?><a/>",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		tr, err := ParseXMLString(in, DefaultXMLOptions())
+		if err != nil {
+			return
+		}
+		if tr == nil || tr.Root == nil {
+			t.Fatal("nil tree without error")
+		}
+		var sb strings.Builder
+		if err := tr.Root.WriteXML(&sb); err != nil {
+			t.Fatalf("accepted tree fails to serialize: %v", err)
+		}
+	})
+}

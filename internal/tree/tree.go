@@ -1,0 +1,384 @@
+// Package tree provides the ordered labeled tree model used throughout
+// SketchTree: construction, postorder numbering, traversal, structural
+// statistics, and (de)serialization. Trees are rooted and ordered; every
+// node carries a string label drawn from an arbitrary alphabet.
+package tree
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Node is a single node of an ordered labeled tree. Children are ordered
+// left to right. Postorder is assigned by AssignPostorder and is 1-based,
+// matching the numbering convention of the PRIX system and the paper.
+type Node struct {
+	Label     string
+	Children  []*Node
+	Postorder int
+}
+
+// Tree is a rooted ordered labeled tree.
+type Tree struct {
+	Root *Node
+}
+
+// New constructs a node with the given label and children.
+func New(label string, children ...*Node) *Node {
+	return &Node{Label: label, Children: children}
+}
+
+// NewTree wraps a root node as a Tree.
+func NewTree(root *Node) *Tree { return &Tree{Root: root} }
+
+// T is a terse builder for literals in tests and examples:
+//
+//	T("A", T("B"), T("C", T("D")))
+func T(label string, children ...*Node) *Node { return New(label, children...) }
+
+// IsLeaf reports whether the node has no children.
+func (n *Node) IsLeaf() bool { return len(n.Children) == 0 }
+
+// AddChild appends a child to the node, preserving order of insertion.
+func (n *Node) AddChild(c *Node) { n.Children = append(n.Children, c) }
+
+// Size returns the number of nodes in the subtree rooted at n.
+func (n *Node) Size() int {
+	if n == nil {
+		return 0
+	}
+	s := 1
+	for _, c := range n.Children {
+		s += c.Size()
+	}
+	return s
+}
+
+// Size returns the number of nodes in the tree.
+func (t *Tree) Size() int {
+	if t == nil {
+		return 0
+	}
+	return t.Root.Size()
+}
+
+// Depth returns the number of edges on the longest root-to-leaf path.
+func (n *Node) Depth() int {
+	if n == nil || len(n.Children) == 0 {
+		return 0
+	}
+	max := 0
+	for _, c := range n.Children {
+		if d := c.Depth(); d > max {
+			max = d
+		}
+	}
+	return max + 1
+}
+
+// Clone returns a deep copy of the subtree rooted at n. Postorder numbers
+// are copied verbatim.
+func (n *Node) Clone() *Node {
+	if n == nil {
+		return nil
+	}
+	c := &Node{Label: n.Label, Postorder: n.Postorder}
+	if len(n.Children) > 0 {
+		c.Children = make([]*Node, len(n.Children))
+		for i, ch := range n.Children {
+			c.Children[i] = ch.Clone()
+		}
+	}
+	return c
+}
+
+// Clone returns a deep copy of the tree.
+func (t *Tree) Clone() *Tree {
+	if t == nil {
+		return nil
+	}
+	return &Tree{Root: t.Root.Clone()}
+}
+
+// Equal reports whether two subtrees are identical as ordered labeled
+// trees (labels, shape, and child order; postorder numbers are ignored).
+func Equal(a, b *Node) bool {
+	if a == nil || b == nil {
+		return a == b
+	}
+	if a.Label != b.Label || len(a.Children) != len(b.Children) {
+		return false
+	}
+	for i := range a.Children {
+		if !Equal(a.Children[i], b.Children[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AssignPostorder numbers every node in the subtree rooted at n in
+// postorder, starting from 1, and returns the nodes in postorder. The
+// returned slice is indexed so that nodes[i].Postorder == i+1.
+func (n *Node) AssignPostorder() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(v *Node) {
+		for _, c := range v.Children {
+			walk(c)
+		}
+		v.Postorder = len(out) + 1
+		out = append(out, v)
+	}
+	walk(n)
+	return out
+}
+
+// AssignPostorder numbers all nodes of the tree in postorder (1-based)
+// and returns them in postorder.
+func (t *Tree) AssignPostorder() []*Node { return t.Root.AssignPostorder() }
+
+// PostorderNodes returns the nodes in postorder without renumbering.
+func (n *Node) PostorderNodes() []*Node {
+	var out []*Node
+	var walk func(*Node)
+	walk = func(v *Node) {
+		for _, c := range v.Children {
+			walk(c)
+		}
+		out = append(out, v)
+	}
+	walk(n)
+	return out
+}
+
+// Walk visits every node of the subtree in preorder. If fn returns false
+// the children of that node are skipped.
+func (n *Node) Walk(fn func(*Node) bool) {
+	if n == nil {
+		return
+	}
+	if !fn(n) {
+		return
+	}
+	for _, c := range n.Children {
+		c.Walk(fn)
+	}
+}
+
+// Labels returns the multiset of labels of the subtree in preorder.
+func (n *Node) Labels() []string {
+	var out []string
+	n.Walk(func(v *Node) bool {
+		out = append(out, v.Label)
+		return true
+	})
+	return out
+}
+
+// String renders the subtree as a LISP-style S-expression, e.g.
+// (A (B) (C (D))). Labels containing whitespace or parens are quoted.
+func (n *Node) String() string {
+	var b strings.Builder
+	n.writeSexp(&b)
+	return b.String()
+}
+
+func (n *Node) writeSexp(b *strings.Builder) {
+	b.WriteByte('(')
+	b.WriteString(quoteLabel(n.Label))
+	for _, c := range n.Children {
+		b.WriteByte(' ')
+		c.writeSexp(b)
+	}
+	b.WriteByte(')')
+}
+
+// String renders the tree as an S-expression.
+func (t *Tree) String() string {
+	if t == nil || t.Root == nil {
+		return "()"
+	}
+	return t.Root.String()
+}
+
+func quoteLabel(s string) string {
+	if s == "" || strings.ContainsAny(s, " \t\n()\"") {
+		return fmt.Sprintf("%q", s)
+	}
+	return s
+}
+
+// ParseSexp parses the S-expression format produced by String.
+func ParseSexp(s string) (*Tree, error) {
+	p := &sexpParser{in: s}
+	p.skipSpace()
+	n, err := p.parseNode()
+	if err != nil {
+		return nil, err
+	}
+	p.skipSpace()
+	if p.pos != len(p.in) {
+		return nil, fmt.Errorf("tree: trailing data at offset %d", p.pos)
+	}
+	return &Tree{Root: n}, nil
+}
+
+type sexpParser struct {
+	in  string
+	pos int
+}
+
+func (p *sexpParser) skipSpace() {
+	for p.pos < len(p.in) && (p.in[p.pos] == ' ' || p.in[p.pos] == '\t' || p.in[p.pos] == '\n' || p.in[p.pos] == '\r') {
+		p.pos++
+	}
+}
+
+func (p *sexpParser) parseNode() (*Node, error) {
+	if p.pos >= len(p.in) || p.in[p.pos] != '(' {
+		return nil, fmt.Errorf("tree: expected '(' at offset %d", p.pos)
+	}
+	p.pos++
+	p.skipSpace()
+	label, err := p.parseLabel()
+	if err != nil {
+		return nil, err
+	}
+	n := &Node{Label: label}
+	for {
+		p.skipSpace()
+		if p.pos >= len(p.in) {
+			return nil, fmt.Errorf("tree: unexpected end of input")
+		}
+		if p.in[p.pos] == ')' {
+			p.pos++
+			return n, nil
+		}
+		c, err := p.parseNode()
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, c)
+	}
+}
+
+func (p *sexpParser) parseLabel() (string, error) {
+	if p.pos < len(p.in) && p.in[p.pos] == '"' {
+		// Quoted label; find the matching quote honoring escapes.
+		end := p.pos + 1
+		for end < len(p.in) {
+			if p.in[end] == '\\' {
+				end += 2
+				continue
+			}
+			if p.in[end] == '"' {
+				break
+			}
+			end++
+		}
+		if end >= len(p.in) {
+			return "", fmt.Errorf("tree: unterminated quoted label at offset %d", p.pos)
+		}
+		var out string
+		if _, err := fmt.Sscanf(p.in[p.pos:end+1], "%q", &out); err != nil {
+			return "", fmt.Errorf("tree: bad quoted label at offset %d: %v", p.pos, err)
+		}
+		p.pos = end + 1
+		return out, nil
+	}
+	start := p.pos
+	for p.pos < len(p.in) && !strings.ContainsRune(" \t\n\r()\"", rune(p.in[p.pos])) {
+		p.pos++
+	}
+	if p.pos == start {
+		return "", fmt.Errorf("tree: empty label at offset %d", start)
+	}
+	return p.in[start:p.pos], nil
+}
+
+// Stats summarizes the structural shape of a collection of trees. It is
+// used by the dataset generators and the experiment harness to verify
+// that synthetic data reproduces the shape of the paper's datasets.
+type Stats struct {
+	Trees          int
+	Nodes          int
+	MaxDepth       int
+	SumDepth       int
+	MaxFanout      int
+	SumFanout      int // summed over internal nodes
+	InternalNodes  int
+	DistinctLabels int
+
+	labels map[string]struct{}
+}
+
+// NewStats returns an empty accumulator.
+func NewStats() *Stats {
+	return &Stats{labels: make(map[string]struct{})}
+}
+
+// Add folds one tree into the statistics.
+func (s *Stats) Add(t *Tree) {
+	s.Trees++
+	d := t.Root.Depth()
+	if d > s.MaxDepth {
+		s.MaxDepth = d
+	}
+	s.SumDepth += d
+	t.Root.Walk(func(n *Node) bool {
+		s.Nodes++
+		s.labels[n.Label] = struct{}{}
+		if f := len(n.Children); f > 0 {
+			s.InternalNodes++
+			s.SumFanout += f
+			if f > s.MaxFanout {
+				s.MaxFanout = f
+			}
+		}
+		return true
+	})
+	s.DistinctLabels = len(s.labels)
+}
+
+// AvgDepth returns the mean root-to-leaf depth across trees.
+func (s *Stats) AvgDepth() float64 {
+	if s.Trees == 0 {
+		return 0
+	}
+	return float64(s.SumDepth) / float64(s.Trees)
+}
+
+// AvgFanout returns the mean fanout across internal nodes.
+func (s *Stats) AvgFanout() float64 {
+	if s.InternalNodes == 0 {
+		return 0
+	}
+	return float64(s.SumFanout) / float64(s.InternalNodes)
+}
+
+// Canonical returns a canonical string for the subtree under *unordered*
+// equality: children are rendered in sorted canonical order. Two nodes
+// have the same Canonical string iff they are isomorphic as unordered
+// labeled trees. Used to deduplicate ordered arrangements of unordered
+// query patterns.
+func (n *Node) Canonical() string {
+	if n == nil {
+		return ""
+	}
+	parts := make([]string, len(n.Children))
+	for i, c := range n.Children {
+		parts[i] = c.Canonical()
+	}
+	sort.Strings(parts)
+	var b strings.Builder
+	b.WriteByte('(')
+	b.WriteString(quoteLabel(n.Label))
+	for _, p := range parts {
+		b.WriteByte(' ')
+		b.WriteString(p)
+	}
+	b.WriteByte(')')
+	return b.String()
+}

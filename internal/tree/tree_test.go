@@ -1,0 +1,293 @@
+package tree
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func sample() *Tree {
+	// A(B(D E) C)
+	return NewTree(T("A", T("B", T("D"), T("E")), T("C")))
+}
+
+func TestSizeDepth(t *testing.T) {
+	tr := sample()
+	if got := tr.Size(); got != 5 {
+		t.Errorf("Size = %d, want 5", got)
+	}
+	if got := tr.Root.Depth(); got != 2 {
+		t.Errorf("Depth = %d, want 2", got)
+	}
+	if got := NewTree(T("X")).Root.Depth(); got != 0 {
+		t.Errorf("single-node depth = %d, want 0", got)
+	}
+}
+
+func TestAssignPostorder(t *testing.T) {
+	tr := sample()
+	nodes := tr.AssignPostorder()
+	if len(nodes) != 5 {
+		t.Fatalf("postorder returned %d nodes, want 5", len(nodes))
+	}
+	wantLabels := []string{"D", "E", "B", "C", "A"}
+	for i, n := range nodes {
+		if n.Label != wantLabels[i] {
+			t.Errorf("postorder[%d] = %s, want %s", i, n.Label, wantLabels[i])
+		}
+		if n.Postorder != i+1 {
+			t.Errorf("node %s Postorder = %d, want %d", n.Label, n.Postorder, i+1)
+		}
+	}
+}
+
+func TestPostorderNodesDoesNotRenumber(t *testing.T) {
+	tr := sample()
+	tr.AssignPostorder()
+	tr.Root.Postorder = 99
+	nodes := tr.Root.PostorderNodes()
+	if nodes[len(nodes)-1].Postorder != 99 {
+		t.Error("PostorderNodes must not renumber")
+	}
+}
+
+func TestCloneEqual(t *testing.T) {
+	tr := sample()
+	c := tr.Clone()
+	if !Equal(tr.Root, c.Root) {
+		t.Fatal("clone not equal to original")
+	}
+	c.Root.Children[0].Label = "Z"
+	if Equal(tr.Root, c.Root) {
+		t.Fatal("mutated clone still equal")
+	}
+	if tr.Root.Children[0].Label != "B" {
+		t.Fatal("mutating clone changed original")
+	}
+}
+
+func TestEqualShapeSensitivity(t *testing.T) {
+	a := T("A", T("B"), T("C"))
+	b := T("A", T("C"), T("B"))
+	if Equal(a, b) {
+		t.Error("ordered equality must be order sensitive")
+	}
+	if a.Canonical() != b.Canonical() {
+		t.Error("unordered canonical form must be order insensitive")
+	}
+	c := T("A", T("B", T("C")))
+	if a.Canonical() == c.Canonical() {
+		t.Error("canonical form must distinguish different shapes")
+	}
+}
+
+func TestStringParseSexpRoundTrip(t *testing.T) {
+	cases := []*Node{
+		T("A"),
+		T("A", T("B"), T("C")),
+		T("S", T("NP", T("DT"), T("NN")), T("VP", T("VBD"), T("NP", T("NN")))),
+		T("a b", T("weird()\"label")),
+		T(""),
+	}
+	for _, root := range cases {
+		s := root.String()
+		got, err := ParseSexp(s)
+		if err != nil {
+			t.Fatalf("ParseSexp(%q): %v", s, err)
+		}
+		if !Equal(root, got.Root) {
+			t.Errorf("round trip failed for %q: got %q", s, got.Root.String())
+		}
+	}
+}
+
+func TestParseSexpErrors(t *testing.T) {
+	for _, bad := range []string{"", "A", "(A", "(A))", "(A (B)", "()", `("unterminated`} {
+		if _, err := ParseSexp(bad); err == nil {
+			t.Errorf("ParseSexp(%q) should fail", bad)
+		}
+	}
+}
+
+func TestWalkPrune(t *testing.T) {
+	tr := sample()
+	var visited []string
+	tr.Root.Walk(func(n *Node) bool {
+		visited = append(visited, n.Label)
+		return n.Label != "B" // prune below B
+	})
+	want := []string{"A", "B", "C"}
+	if !reflect.DeepEqual(visited, want) {
+		t.Errorf("visited = %v, want %v", visited, want)
+	}
+}
+
+func TestLabels(t *testing.T) {
+	got := sample().Root.Labels()
+	want := []string{"A", "B", "D", "E", "C"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("Labels = %v, want %v", got, want)
+	}
+}
+
+func TestStats(t *testing.T) {
+	s := NewStats()
+	s.Add(sample())
+	s.Add(NewTree(T("X")))
+	if s.Trees != 2 || s.Nodes != 6 {
+		t.Errorf("Trees=%d Nodes=%d, want 2, 6", s.Trees, s.Nodes)
+	}
+	if s.MaxDepth != 2 || s.MaxFanout != 2 {
+		t.Errorf("MaxDepth=%d MaxFanout=%d, want 2, 2", s.MaxDepth, s.MaxFanout)
+	}
+	if s.DistinctLabels != 6 {
+		t.Errorf("DistinctLabels=%d, want 6", s.DistinctLabels)
+	}
+	if s.AvgDepth() != 1.0 {
+		t.Errorf("AvgDepth=%v, want 1", s.AvgDepth())
+	}
+	if s.AvgFanout() != 2.0 {
+		t.Errorf("AvgFanout=%v, want 2", s.AvgFanout())
+	}
+}
+
+func TestStatsEmpty(t *testing.T) {
+	s := NewStats()
+	if s.AvgDepth() != 0 || s.AvgFanout() != 0 {
+		t.Error("empty stats averages must be 0")
+	}
+}
+
+// RandomTree builds a uniformly shaped random tree with n nodes and
+// labels from the given alphabet. Exported within the package for reuse
+// by other tests via randomTree helpers.
+func randomTree(rng *rand.Rand, n int, alphabet []string) *Node {
+	if n <= 0 {
+		n = 1
+	}
+	nodes := make([]*Node, n)
+	for i := range nodes {
+		nodes[i] = &Node{Label: alphabet[rng.IntN(len(alphabet))]}
+	}
+	// Attach node i to a random earlier node: a uniform random recursive
+	// tree, guaranteeing a single root at index 0.
+	for i := 1; i < n; i++ {
+		p := rng.IntN(i)
+		nodes[p].AddChild(nodes[i])
+	}
+	return nodes[0]
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	alphabet := []string{"A", "B", "C", "D"}
+	f := func(seed uint64, size uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 7))
+		root := randomTree(r, int(size%40)+1, alphabet)
+		return Equal(root, root.Clone())
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickSexpRoundTrip(t *testing.T) {
+	alphabet := []string{"A", "B", "C", "label-x", "9num", "sp ace"}
+	f := func(seed uint64, size uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 11))
+		root := randomTree(r, int(size%50)+1, alphabet)
+		got, err := ParseSexp(root.String())
+		return err == nil && Equal(root, got.Root)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestQuickPostorderInvariants(t *testing.T) {
+	alphabet := []string{"A", "B"}
+	f := func(seed uint64, size uint8) bool {
+		r := rand.New(rand.NewPCG(seed, 13))
+		root := randomTree(r, int(size%60)+1, alphabet)
+		nodes := root.AssignPostorder()
+		// Root must be last; every child's number must be smaller than
+		// its parent's; numbers must be 1..n exactly.
+		if nodes[len(nodes)-1] != root {
+			return false
+		}
+		seen := make(map[int]bool)
+		ok := true
+		root.Walk(func(n *Node) bool {
+			if seen[n.Postorder] {
+				ok = false
+			}
+			seen[n.Postorder] = true
+			for _, c := range n.Children {
+				if c.Postorder >= n.Postorder {
+					ok = false
+				}
+			}
+			return true
+		})
+		return ok && len(seen) == len(nodes)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringOfNilTree(t *testing.T) {
+	var tr *Tree
+	if got := tr.String(); got != "()" {
+		t.Errorf("nil tree String = %q", got)
+	}
+}
+
+func TestSizeOfNil(t *testing.T) {
+	var n *Node
+	if n.Size() != 0 {
+		t.Error("nil node size must be 0")
+	}
+	var tr *Tree
+	if tr.Size() != 0 {
+		t.Error("nil tree size must be 0")
+	}
+	if tr.Clone() != nil {
+		t.Error("nil tree clone must be nil")
+	}
+	if n.Clone() != nil {
+		t.Error("nil node clone must be nil")
+	}
+	if n.Depth() != 0 {
+		t.Error("nil node depth must be 0")
+	}
+	if n.Canonical() != "" {
+		t.Error("nil canonical must be empty")
+	}
+}
+
+func TestDeepTreeNoStackIssue(t *testing.T) {
+	// A 10k-deep chain exercises the recursive walkers.
+	root := T("L0")
+	cur := root
+	for i := 0; i < 10000; i++ {
+		c := T("L")
+		cur.AddChild(c)
+		cur = c
+	}
+	tr := NewTree(root)
+	if tr.Size() != 10001 {
+		t.Fatalf("Size = %d", tr.Size())
+	}
+	if d := root.Depth(); d != 10000 {
+		t.Fatalf("Depth = %d", d)
+	}
+	nodes := tr.AssignPostorder()
+	if nodes[0].Label != "L" || nodes[len(nodes)-1] != root {
+		t.Fatal("postorder of deep chain wrong")
+	}
+	if !strings.HasPrefix(tr.String(), "(L0 (L (L") {
+		t.Fatal("serialization of deep chain wrong")
+	}
+}

@@ -1,0 +1,227 @@
+package tree
+
+import (
+	"encoding/xml"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// XMLOptions controls how XML documents are mapped to labeled trees.
+type XMLOptions struct {
+	// IncludeValues maps non-whitespace character data to leaf child
+	// nodes whose label is the trimmed text. This matches the paper's
+	// semantics for DBLP ("the queries had element names as well as
+	// values (CDATA)"): a value is treated as a node label.
+	IncludeValues bool
+
+	// IncludeAttributes maps each attribute to a child node labeled
+	// "@name" with, when IncludeValues is set, a single child holding
+	// the attribute value. The paper does not use attributes; off by
+	// default.
+	IncludeAttributes bool
+
+	// MaxValueLen truncates value labels to this many bytes (0 = no
+	// limit). Long CDATA blobs would otherwise dominate the label
+	// alphabet for no analytical gain.
+	MaxValueLen int
+
+	// MaxNodes aborts parsing of a single tree once it exceeds this
+	// many nodes (0 = no limit); guards the streaming pipeline against
+	// pathological documents.
+	MaxNodes int
+}
+
+// DefaultXMLOptions mirror the paper's setup: element names and values
+// become labels, attributes are ignored.
+func DefaultXMLOptions() XMLOptions {
+	return XMLOptions{IncludeValues: true, MaxValueLen: 64}
+}
+
+// ParseXML reads a single XML document and returns its labeled tree.
+func ParseXML(r io.Reader, opt XMLOptions) (*Tree, error) {
+	dec := xml.NewDecoder(r)
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			return nil, errors.New("tree: no element in document")
+		}
+		if err != nil {
+			return nil, fmt.Errorf("tree: %w", err)
+		}
+		if se, ok := tok.(xml.StartElement); ok {
+			n, err := parseElement(dec, se, opt, &nodeBudget{limit: opt.MaxNodes})
+			if err != nil {
+				return nil, err
+			}
+			return &Tree{Root: n}, nil
+		}
+	}
+}
+
+// ParseXMLString is a convenience wrapper over ParseXML.
+func ParseXMLString(s string, opt XMLOptions) (*Tree, error) {
+	return ParseXML(strings.NewReader(s), opt)
+}
+
+type nodeBudget struct {
+	limit int
+	used  int
+}
+
+func (b *nodeBudget) take() error {
+	b.used++
+	if b.limit > 0 && b.used > b.limit {
+		return fmt.Errorf("tree: document exceeds %d nodes", b.limit)
+	}
+	return nil
+}
+
+func parseElement(dec *xml.Decoder, start xml.StartElement, opt XMLOptions, budget *nodeBudget) (*Node, error) {
+	if err := budget.take(); err != nil {
+		return nil, err
+	}
+	n := &Node{Label: start.Name.Local}
+	if opt.IncludeAttributes {
+		for _, a := range start.Attr {
+			if err := budget.take(); err != nil {
+				return nil, err
+			}
+			attr := &Node{Label: "@" + a.Name.Local}
+			if opt.IncludeValues {
+				if err := budget.take(); err != nil {
+					return nil, err
+				}
+				attr.Children = []*Node{{Label: clipValue(a.Value, opt.MaxValueLen)}}
+			}
+			n.Children = append(n.Children, attr)
+		}
+	}
+	for {
+		tok, err := dec.Token()
+		if err != nil {
+			return nil, fmt.Errorf("tree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			c, err := parseElement(dec, t, opt, budget)
+			if err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, c)
+		case xml.EndElement:
+			return n, nil
+		case xml.CharData:
+			if !opt.IncludeValues {
+				continue
+			}
+			v := strings.TrimSpace(string(t))
+			if v == "" {
+				continue
+			}
+			if err := budget.take(); err != nil {
+				return nil, err
+			}
+			n.Children = append(n.Children, &Node{Label: clipValue(v, opt.MaxValueLen)})
+		default:
+			// Comments, directives and processing instructions carry
+			// no tree structure.
+		}
+	}
+}
+
+func clipValue(v string, max int) string {
+	if max > 0 && len(v) > max {
+		return v[:max]
+	}
+	return v
+}
+
+// StreamForest parses one large XML document, removes its root tag, and
+// invokes fn once per root-child subtree, in document order. This is the
+// paper's construction of a forest/stream from a monolithic dataset file
+// ("a forest of trees were created by removing the root tag of the
+// document, and the trees were processed in a single pass"). Character
+// data directly under the root is ignored. fn returning an error aborts
+// the scan and the error is returned.
+func StreamForest(r io.Reader, opt XMLOptions, fn func(*Tree) error) error {
+	dec := xml.NewDecoder(r)
+	depth := 0
+	for {
+		tok, err := dec.Token()
+		if err == io.EOF {
+			if depth != 0 {
+				return errors.New("tree: unexpected end of document")
+			}
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("tree: %w", err)
+		}
+		switch t := tok.(type) {
+		case xml.StartElement:
+			if depth == 0 {
+				depth = 1 // entering the root element; discard it
+				continue
+			}
+			n, err := parseElement(dec, t, opt, &nodeBudget{limit: opt.MaxNodes})
+			if err != nil {
+				return err
+			}
+			if err := fn(&Tree{Root: n}); err != nil {
+				return err
+			}
+		case xml.EndElement:
+			depth--
+		}
+	}
+}
+
+// WriteXML serializes the subtree as XML. Leaf nodes whose label is not
+// a valid element name heuristic (contains whitespace) are emitted as
+// character data; everything else becomes an element. The output parses
+// back to an equivalent tree under DefaultXMLOptions for trees produced
+// by the dataset generators.
+func (n *Node) WriteXML(w io.Writer) error {
+	enc := xml.NewEncoder(w)
+	if err := encodeNode(enc, n); err != nil {
+		return err
+	}
+	return enc.Flush()
+}
+
+func encodeNode(enc *xml.Encoder, n *Node) error {
+	if n.IsLeaf() && !validElementName(n.Label) {
+		return enc.EncodeToken(xml.CharData(n.Label))
+	}
+	name := n.Label
+	if !validElementName(name) {
+		name = "_v"
+	}
+	start := xml.StartElement{Name: xml.Name{Local: name}}
+	if err := enc.EncodeToken(start); err != nil {
+		return err
+	}
+	for _, c := range n.Children {
+		if err := encodeNode(enc, c); err != nil {
+			return err
+		}
+	}
+	return enc.EncodeToken(start.End())
+}
+
+func validElementName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case i > 0 && (r >= '0' && r <= '9' || r == '-' || r == '.'):
+		default:
+			return false
+		}
+	}
+	return true
+}

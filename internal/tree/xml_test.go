@@ -1,0 +1,240 @@
+package tree
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestParseXMLBasic(t *testing.T) {
+	doc := `<article><author>9 jane</author><title>9 streams</title><year>1998</year></article>`
+	tr, err := ParseXMLString(doc, DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := T("article",
+		T("author", T("9 jane")),
+		T("title", T("9 streams")),
+		T("year", T("1998")))
+	if !Equal(tr.Root, want) {
+		t.Errorf("got %s", tr)
+	}
+}
+
+func TestParseXMLNoValues(t *testing.T) {
+	doc := `<a><b>text</b><c/></a>`
+	tr, err := ParseXMLString(doc, XMLOptions{IncludeValues: false})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := T("a", T("b"), T("c"))
+	if !Equal(tr.Root, want) {
+		t.Errorf("got %s", tr)
+	}
+}
+
+func TestParseXMLAttributes(t *testing.T) {
+	doc := `<a k="v"><b/></a>`
+	tr, err := ParseXMLString(doc, XMLOptions{IncludeValues: true, IncludeAttributes: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := T("a", T("@k", T("v")), T("b"))
+	if !Equal(tr.Root, want) {
+		t.Errorf("got %s", tr)
+	}
+	// Attributes ignored by default.
+	tr2, err := ParseXMLString(doc, DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr2.Root, T("a", T("b"))) {
+		t.Errorf("default options: got %s", tr2)
+	}
+}
+
+func TestParseXMLWhitespaceOnlyText(t *testing.T) {
+	doc := "<a>\n  <b/>\n</a>"
+	tr, err := ParseXMLString(doc, DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, T("a", T("b"))) {
+		t.Errorf("whitespace text must be skipped: got %s", tr)
+	}
+}
+
+func TestParseXMLValueTruncation(t *testing.T) {
+	doc := `<a>` + strings.Repeat("x", 100) + `</a>`
+	opt := XMLOptions{IncludeValues: true, MaxValueLen: 10}
+	tr, err := ParseXMLString(doc, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Root.Children[0].Label; got != strings.Repeat("x", 10) {
+		t.Errorf("value not truncated: %q", got)
+	}
+}
+
+func TestParseXMLNodeBudget(t *testing.T) {
+	doc := `<a><b/><c/><d/><e/></a>`
+	opt := XMLOptions{MaxNodes: 3}
+	if _, err := ParseXMLString(doc, opt); err == nil {
+		t.Error("node budget must be enforced")
+	}
+	opt.MaxNodes = 5
+	if _, err := ParseXMLString(doc, opt); err != nil {
+		t.Errorf("budget of 5 should fit: %v", err)
+	}
+}
+
+func TestParseXMLErrors(t *testing.T) {
+	for _, bad := range []string{"", "   ", "<a><b></a></b>", "<a>"} {
+		if _, err := ParseXMLString(bad, DefaultXMLOptions()); err == nil {
+			t.Errorf("ParseXMLString(%q) should fail", bad)
+		}
+	}
+}
+
+func TestStreamForest(t *testing.T) {
+	doc := `<dblp>
+		<article><author>9 a</author></article>
+		<inproceedings><title>9 t</title></inproceedings>
+		<article/>
+	</dblp>`
+	var got []*Tree
+	err := StreamForest(strings.NewReader(doc), DefaultXMLOptions(), func(tr *Tree) error {
+		got = append(got, tr)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 {
+		t.Fatalf("got %d trees, want 3", len(got))
+	}
+	if got[0].Root.Label != "article" || got[1].Root.Label != "inproceedings" || got[2].Root.Label != "article" {
+		t.Errorf("wrong roots: %s %s %s", got[0], got[1], got[2])
+	}
+	if !Equal(got[0].Root, T("article", T("author", T("9 a")))) {
+		t.Errorf("first tree wrong: %s", got[0])
+	}
+}
+
+func TestStreamForestAbort(t *testing.T) {
+	doc := `<r><a/><b/><c/></r>`
+	n := 0
+	sentinel := strings.NewReader("") // unused; just ensure error propagation
+	_ = sentinel
+	err := StreamForest(strings.NewReader(doc), DefaultXMLOptions(), func(tr *Tree) error {
+		n++
+		if n == 2 {
+			return errStop
+		}
+		return nil
+	})
+	if err != errStop {
+		t.Errorf("err = %v, want errStop", err)
+	}
+	if n != 2 {
+		t.Errorf("processed %d trees, want 2", n)
+	}
+}
+
+var errStop = &stopError{}
+
+type stopError struct{}
+
+func (*stopError) Error() string { return "stop" }
+
+func TestWriteXMLRoundTrip(t *testing.T) {
+	root := T("article",
+		T("author", T("9 jane")),
+		T("title", T("9 streaming trees")),
+		T("year", T("1998")))
+	var buf bytes.Buffer
+	if err := root.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseXMLString(buf.String(), DefaultXMLOptions())
+	if err != nil {
+		t.Fatalf("%v (doc: %s)", err, buf.String())
+	}
+	if !Equal(tr.Root, root) {
+		t.Errorf("round trip: got %s want %s", tr.Root, root)
+	}
+}
+
+func TestWriteXMLEmptyElements(t *testing.T) {
+	root := T("S", T("NP"), T("VP", T("VBD")))
+	var buf bytes.Buffer
+	if err := root.WriteXML(&buf); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseXMLString(buf.String(), DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, root) {
+		t.Errorf("round trip: got %s want %s", tr.Root, root)
+	}
+}
+
+func TestParseXMLCDATA(t *testing.T) {
+	tr, err := ParseXMLString("<a><![CDATA[9 raw <data>]]></a>", DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, T("a", T("9 raw <data>"))) {
+		t.Errorf("CDATA handling wrong: %s", tr)
+	}
+}
+
+func TestParseXMLEntities(t *testing.T) {
+	tr, err := ParseXMLString("<a>9 &lt;x&gt; &amp; y</a>", DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, T("a", T("9 <x> & y"))) {
+		t.Errorf("entity decoding wrong: %s", tr)
+	}
+}
+
+func TestParseXMLNamespacePrefixStripped(t *testing.T) {
+	tr, err := ParseXMLString(`<ns:a xmlns:ns="http://x"><ns:b/></ns:a>`, DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// encoding/xml resolves prefixes; we use the local name as label.
+	if !Equal(tr.Root, T("a", T("b"))) {
+		t.Errorf("namespace handling wrong: %s", tr)
+	}
+}
+
+func TestParseXMLCommentsAndPIsIgnored(t *testing.T) {
+	doc := `<?xml version="1.0"?><!-- c --><a><!-- inner --><b/><?pi data?></a>`
+	tr, err := ParseXMLString(doc, DefaultXMLOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, T("a", T("b"))) {
+		t.Errorf("comments/PIs must be ignored: %s", tr)
+	}
+}
+
+func TestStreamForestEmptyRoot(t *testing.T) {
+	n := 0
+	err := StreamForest(strings.NewReader("<root></root>"), DefaultXMLOptions(),
+		func(*Tree) error { n++; return nil })
+	if err != nil || n != 0 {
+		t.Errorf("empty forest: n=%d err=%v", n, err)
+	}
+}
+
+func TestStreamForestTruncatedDocument(t *testing.T) {
+	err := StreamForest(strings.NewReader("<root><a/>"), DefaultXMLOptions(),
+		func(*Tree) error { return nil })
+	if err == nil {
+		t.Error("truncated forest document must fail")
+	}
+}

@@ -1,0 +1,140 @@
+// Package vstream implements SketchTree's virtual streams (paper
+// §5.3): the one-dimensional stream is split into p disjoint virtual
+// streams by the residue of each value modulo a prime p, and one AMS
+// sketch is maintained per virtual stream. Each virtual stream has a
+// smaller self-join size than the whole, improving accuracy for a
+// given sketch size.
+//
+// All p sketches share one Seeds instance, so the cell-wise sum of any
+// subset of them is the sketch of the union of those virtual streams;
+// queries over sets of patterns that straddle virtual streams sum the
+// relevant sketches first and run the usual estimators on the sum.
+package vstream
+
+import (
+	"fmt"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/xi"
+)
+
+// Streams is a p-way partition of a value stream, one shared-seed AMS
+// sketch per part.
+type Streams struct {
+	seeds    *ams.Seeds
+	p        uint64
+	sketches []*ams.Sketch
+}
+
+// New creates p virtual streams over the shared seeds. p must be
+// positive; the paper recommends a prime (see NextPrime).
+func New(seeds *ams.Seeds, p int) (*Streams, error) {
+	if p < 1 {
+		return nil, fmt.Errorf("vstream: p=%d must be positive", p)
+	}
+	s := &Streams{seeds: seeds, p: uint64(p), sketches: make([]*ams.Sketch, p)}
+	for i := range s.sketches {
+		s.sketches[i] = seeds.NewSketch()
+	}
+	return s, nil
+}
+
+// FromCounters reconstructs a Streams from persisted per-stream
+// counter arrays (one array per virtual stream).
+func FromCounters(seeds *ams.Seeds, counters [][]int64) (*Streams, error) {
+	s, err := New(seeds, len(counters))
+	if err != nil {
+		return nil, err
+	}
+	for i, x := range counters {
+		sk, err := seeds.SketchFromCounters(x)
+		if err != nil {
+			return nil, fmt.Errorf("vstream: stream %d: %w", i, err)
+		}
+		s.sketches[i] = sk
+	}
+	return s, nil
+}
+
+// P returns the number of virtual streams.
+func (s *Streams) P() int { return int(s.p) }
+
+// Seeds returns the shared seed set.
+func (s *Streams) Seeds() *ams.Seeds { return s.seeds }
+
+// Route returns the index of the virtual stream that value v belongs
+// to.
+func (s *Streams) Route(v uint64) int { return int(v % s.p) }
+
+// Sketch returns the sketch of virtual stream i.
+func (s *Streams) Sketch(i int) *ams.Sketch { return s.sketches[i] }
+
+// SketchFor returns the sketch of the virtual stream v routes to.
+func (s *Streams) SketchFor(v uint64) *ams.Sketch { return s.sketches[s.Route(v)] }
+
+// Update adds delta occurrences of v to its virtual stream.
+func (s *Streams) Update(v uint64, delta int64) {
+	s.UpdatePrepared(v, s.seeds.Prepare(v, nil), delta)
+}
+
+// UpdatePrepared is Update with a caller-managed ξ preparation (the
+// stream hot path reuses one Prep across values).
+func (s *Streams) UpdatePrepared(v uint64, p *xi.Prep, delta int64) {
+	s.sketches[s.Route(v)].UpdatePrepared(p, delta)
+}
+
+// Combined returns a new sketch that is the cell-wise sum of the
+// virtual streams the given values route to (each stream included
+// once). With shared seeds this is exactly the sketch of the union
+// stream, as required for set and expression queries (paper §5.3).
+func (s *Streams) Combined(vs []uint64) *ams.Sketch {
+	seen := make(map[int]bool, len(vs))
+	out := s.seeds.NewSketch()
+	for _, v := range vs {
+		r := s.Route(v)
+		if seen[r] {
+			continue
+		}
+		seen[r] = true
+		// AddSketch cannot fail: all sketches share out's seeds.
+		if err := out.AddSketch(s.sketches[r]); err != nil {
+			panic("vstream: " + err.Error())
+		}
+	}
+	return out
+}
+
+// MemoryBytes returns the counter storage across all virtual streams
+// (seed memory is accounted once, by the Seeds).
+func (s *Streams) MemoryBytes() int {
+	n := 0
+	for _, sk := range s.sketches {
+		n += sk.MemoryBytes()
+	}
+	return n
+}
+
+// IsPrime reports whether n is prime (trial division; n is small — the
+// paper uses p = 229).
+func IsPrime(n int) bool {
+	if n < 2 {
+		return false
+	}
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// NextPrime returns the smallest prime >= n.
+func NextPrime(n int) int {
+	if n < 2 {
+		return 2
+	}
+	for !IsPrime(n) {
+		n++
+	}
+	return n
+}

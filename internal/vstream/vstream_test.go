@@ -1,0 +1,194 @@
+package vstream
+
+import (
+	"math/rand/v2"
+	"testing"
+	"testing/quick"
+
+	"sketchtree/internal/ams"
+	"sketchtree/internal/gf2"
+	"sketchtree/internal/xi"
+)
+
+func newSeeds(t testing.TB, s1, s2 int, seed uint64) *ams.Seeds {
+	t.Helper()
+	fam := xi.NewBCHFamily(gf2.MustField(1<<63 | 1<<1 | 1))
+	se, err := ams.NewSeeds(fam, s1, s2, rand.New(rand.NewPCG(seed, 23)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return se
+}
+
+func TestNewValidation(t *testing.T) {
+	se := newSeeds(t, 2, 2, 1)
+	if _, err := New(se, 0); err == nil {
+		t.Error("p=0 must be rejected")
+	}
+	s, err := New(se, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.P() != 7 || s.Seeds() != se {
+		t.Error("accessors wrong")
+	}
+	if s.MemoryBytes() != 7*se.Cells()*8 {
+		t.Errorf("MemoryBytes = %d", s.MemoryBytes())
+	}
+}
+
+func TestRoutingIsDisjointAndExhaustive(t *testing.T) {
+	se := newSeeds(t, 2, 2, 2)
+	s, _ := New(se, 13)
+	for v := uint64(0); v < 1000; v++ {
+		r := s.Route(v)
+		if r < 0 || r >= 13 {
+			t.Fatalf("Route(%d) = %d out of range", v, r)
+		}
+		if r != int(v%13) {
+			t.Fatalf("Route(%d) = %d, want %d", v, r, v%13)
+		}
+		if s.SketchFor(v) != s.Sketch(r) {
+			t.Fatal("SketchFor disagrees with Route")
+		}
+	}
+}
+
+func TestUpdateGoesToOneStreamOnly(t *testing.T) {
+	se := newSeeds(t, 3, 3, 3)
+	s, _ := New(se, 5)
+	s.Update(12, 4) // routes to 12 % 5 = 2
+	for i := 0; i < 5; i++ {
+		if i == 2 {
+			if s.Sketch(i).IsZero() {
+				t.Error("target stream not updated")
+			}
+		} else if !s.Sketch(i).IsZero() {
+			t.Errorf("stream %d touched", i)
+		}
+	}
+	if got := s.Sketch(2).EstimateCount(12, nil); got != 4 {
+		t.Errorf("estimate on routed sketch = %v, want exactly 4", got)
+	}
+}
+
+func TestUpdatePreparedMatchesUpdate(t *testing.T) {
+	se := newSeeds(t, 3, 3, 4)
+	a, _ := New(se, 5)
+	b, _ := New(se, 5)
+	p := se.Prepare(99, nil)
+	a.Update(99, 7)
+	b.UpdatePrepared(99, p, 7)
+	for i := 0; i < 5; i++ {
+		for c := 0; c < se.Cells(); c++ {
+			if a.Sketch(i).Counter(c) != b.Sketch(i).Counter(c) {
+				t.Fatal("prepared update disagrees")
+			}
+		}
+	}
+}
+
+// Sum of virtual-stream sketches equals the sketch of the whole
+// stream, because seeds are shared.
+func TestQuickCombinedEqualsUnion(t *testing.T) {
+	se := newSeeds(t, 2, 3, 5)
+	f := func(vals []uint16) bool {
+		s, _ := New(se, 7)
+		whole := se.NewSketch()
+		for _, raw := range vals {
+			v := uint64(raw)
+			s.Update(v, 1)
+			whole.Update(v, 1)
+		}
+		// Combine all 7 streams by probing one representative value
+		// per residue class.
+		reps := []uint64{0, 1, 2, 3, 4, 5, 6}
+		combined := s.Combined(reps)
+		for c := 0; c < se.Cells(); c++ {
+			if combined.Counter(c) != whole.Counter(c) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCombinedDeduplicatesStreams(t *testing.T) {
+	se := newSeeds(t, 2, 2, 6)
+	s, _ := New(se, 5)
+	s.Update(3, 10)
+	// Values 3 and 8 share residue 3; the stream must be included once.
+	combined := s.Combined([]uint64{3, 8})
+	if got := combined.EstimateCount(3, nil); got != 10 {
+		t.Errorf("estimate = %v, want exactly 10 (stream double-counted?)", got)
+	}
+}
+
+func TestSelfJoinSizeShrinksPerStream(t *testing.T) {
+	// The point of virtual streams: each part has a smaller self-join
+	// size than the whole. With distinct values of equal frequency m
+	// spread over p streams, SJ per stream ≈ SJ/p.
+	se := newSeeds(t, 64, 5, 7)
+	s, _ := New(se, 11)
+	for v := uint64(0); v < 110; v++ {
+		s.Update(v, 3)
+	}
+	whole := 110 * 9.0
+	for i := 0; i < 11; i++ {
+		f2 := s.Sketch(i).EstimateF2(nil)
+		if f2 > whole/2 {
+			t.Errorf("stream %d F2 estimate %v not much below whole %v", i, f2, whole)
+		}
+	}
+}
+
+func TestIsPrimeNextPrime(t *testing.T) {
+	primes := []int{2, 3, 5, 7, 11, 13, 229}
+	for _, p := range primes {
+		if !IsPrime(p) {
+			t.Errorf("%d should be prime", p)
+		}
+	}
+	for _, n := range []int{-5, 0, 1, 4, 6, 9, 221 /* 13*17 */} {
+		if IsPrime(n) {
+			t.Errorf("%d should not be prime", n)
+		}
+	}
+	cases := map[int]int{0: 2, 2: 2, 8: 11, 228: 229, 229: 229}
+	for n, want := range cases {
+		if got := NextPrime(n); got != want {
+			t.Errorf("NextPrime(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFromCountersRoundTrip(t *testing.T) {
+	se := newSeeds(t, 3, 3, 9)
+	s, _ := New(se, 5)
+	for v := uint64(0); v < 40; v++ {
+		s.Update(v, int64(v%4)+1)
+	}
+	counters := make([][]int64, s.P())
+	for i := range counters {
+		counters[i] = s.Sketch(i).Counters()
+	}
+	r, err := FromCounters(se, counters)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := uint64(0); v < 40; v++ {
+		if r.SketchFor(v).EstimateCount(v, nil) != s.SketchFor(v).EstimateCount(v, nil) {
+			t.Fatalf("restored streams disagree at %d", v)
+		}
+	}
+	counters[2] = counters[2][:1]
+	if _, err := FromCounters(se, counters); err == nil {
+		t.Error("bad counter length must fail")
+	}
+	if _, err := FromCounters(se, nil); err == nil {
+		t.Error("zero streams must fail")
+	}
+}

@@ -1,0 +1,300 @@
+// Package workload builds query workloads by selectivity, mirroring
+// the paper's experimental methodology (§7.3, §7.8.1, §7.9.1): ordered
+// tree patterns are drawn from the dataset itself, bucketed by
+// selectivity (count / total patterns processed), and combined into
+// SUM (three distinct patterns) and PRODUCT (two distinct patterns)
+// workloads.
+//
+// A Catalog accumulates exact counts for every distinct pattern value
+// during a stream pass. Textual representations are only retained for
+// patterns whose count reaches a small threshold — workload queries
+// live in selectivity ranges far above it, so the catalog stays cheap
+// while remaining exact.
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+
+	"sketchtree/internal/tree"
+)
+
+// Query is one single-pattern workload query with its ground truth.
+type Query struct {
+	Pattern     *tree.Node
+	Value       uint64
+	Count       int64
+	Selectivity float64
+}
+
+// Range is a half-open selectivity interval [Lo, Hi).
+type Range struct{ Lo, Hi float64 }
+
+func (r Range) String() string { return fmt.Sprintf("[%.4g, %.4g)", r.Lo, r.Hi) }
+
+// Contains reports whether s falls in the range.
+func (r Range) Contains(s float64) bool { return s >= r.Lo && s < r.Hi }
+
+// TreebankRanges are the paper's Figure 8(a) selectivity buckets.
+func TreebankRanges() []Range {
+	return []Range{
+		{0.00001, 0.00002},
+		{0.00002, 0.00004},
+		{0.00004, 0.00008},
+		{0.00008, 0.00020},
+	}
+}
+
+// DBLPRanges are the paper's Figure 8(b) selectivity buckets.
+func DBLPRanges() []Range {
+	return []Range{
+		{0.000005, 0.000025},
+		{0.000025, 0.000050},
+		{0.000050, 0.000075},
+		{0.000075, 0.000100},
+	}
+}
+
+// Catalog accumulates the distinct patterns of a stream with exact
+// counts, retaining pattern text only above the representation
+// threshold.
+type Catalog struct {
+	threshold int64
+	counts    map[uint64]int64
+	reprs     map[uint64]string
+	total     int64
+}
+
+// NewCatalog creates a catalog that keeps pattern representations for
+// counts >= threshold (threshold < 1 keeps everything).
+func NewCatalog(threshold int64) *Catalog {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Catalog{
+		threshold: threshold,
+		counts:    make(map[uint64]int64),
+		reprs:     make(map[uint64]string),
+	}
+}
+
+// Add records one occurrence of the pattern with one-dimensional value
+// v. repr lazily renders the pattern (called at most once, when the
+// count crosses the threshold).
+func (c *Catalog) Add(v uint64, repr func() string) {
+	c.total++
+	n := c.counts[v] + 1
+	c.counts[v] = n
+	if n == c.threshold {
+		c.reprs[v] = repr()
+	}
+}
+
+// Total returns the stream length (pattern occurrences).
+func (c *Catalog) Total() int64 { return c.total }
+
+// Distinct returns the number of distinct patterns (Table 1).
+func (c *Catalog) Distinct() int { return len(c.counts) }
+
+// SelfJoinSize returns Σ f² over distinct patterns.
+func (c *Catalog) SelfJoinSize() int64 {
+	var sj int64
+	for _, f := range c.counts {
+		sj += f * f
+	}
+	return sj
+}
+
+// Count returns the exact count of value v.
+func (c *Catalog) Count(v uint64) int64 { return c.counts[v] }
+
+// Queries returns every cataloged pattern whose selectivity falls in r,
+// sorted by descending count (ties by value). It fails if the range
+// dips below the representation threshold — those patterns were counted
+// but their text was discarded.
+func (c *Catalog) Queries(r Range) ([]Query, error) {
+	if c.total == 0 {
+		return nil, fmt.Errorf("workload: empty catalog")
+	}
+	minCount := r.Lo * float64(c.total)
+	if minCount < float64(c.threshold) {
+		return nil, fmt.Errorf("workload: range %v needs counts >= %.1f but representations start at %d",
+			r, minCount, c.threshold)
+	}
+	var out []Query
+	for v, f := range c.counts {
+		sel := float64(f) / float64(c.total)
+		if !r.Contains(sel) {
+			continue
+		}
+		repr, ok := c.reprs[v]
+		if !ok {
+			return nil, fmt.Errorf("workload: pattern %d in range %v has no representation", v, r)
+		}
+		t, err := tree.ParseSexp(repr)
+		if err != nil {
+			return nil, fmt.Errorf("workload: bad stored pattern %q: %w", repr, err)
+		}
+		out = append(out, Query{Pattern: t.Root, Value: v, Count: f, Selectivity: sel})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Value < out[j].Value
+	})
+	return out, nil
+}
+
+// Bucket is the workload for one selectivity range.
+type Bucket struct {
+	Range   Range
+	Queries []Query
+}
+
+// Select builds one bucket per range with up to perRange queries,
+// sampled uniformly without replacement when a range holds more.
+func (c *Catalog) Select(ranges []Range, perRange int, rng *rand.Rand) ([]Bucket, error) {
+	out := make([]Bucket, 0, len(ranges))
+	for _, r := range ranges {
+		qs, err := c.Queries(r)
+		if err != nil {
+			return nil, err
+		}
+		if perRange > 0 && len(qs) > perRange {
+			idx := rng.Perm(len(qs))[:perRange]
+			sort.Ints(idx)
+			sampled := make([]Query, perRange)
+			for i, j := range idx {
+				sampled[i] = qs[j]
+			}
+			qs = sampled
+		}
+		out = append(out, Bucket{Range: r, Queries: qs})
+	}
+	return out, nil
+}
+
+// SetQuery is a SUM-workload query: t distinct patterns whose total
+// count is the ground truth (§7.8).
+type SetQuery struct {
+	Queries     []Query
+	Count       int64   // Σ counts
+	Selectivity float64 // Σ counts / total
+}
+
+// ProductQuery is a PRODUCT-workload query: distinct patterns whose
+// count product is the ground truth (§7.9).
+type ProductQuery struct {
+	Queries     []Query
+	Product     float64 // Π counts
+	Selectivity float64 // Π counts / total
+}
+
+// flattenDistinct pools bucket queries, deduplicated by value.
+func flattenDistinct(buckets []Bucket) []Query {
+	seen := map[uint64]bool{}
+	var pool []Query
+	for _, b := range buckets {
+		for _, q := range b.Queries {
+			if !seen[q.Value] {
+				seen[q.Value] = true
+				pool = append(pool, q)
+			}
+		}
+	}
+	return pool
+}
+
+// MakeSumWorkload draws n SUM queries of the given arity by randomly
+// selecting distinct patterns from the buckets' pool (the paper uses
+// arity 3 and n = 10,000).
+func MakeSumWorkload(buckets []Bucket, n, arity int, total int64, rng *rand.Rand) ([]SetQuery, error) {
+	pool := flattenDistinct(buckets)
+	if len(pool) < arity {
+		return nil, fmt.Errorf("workload: pool of %d patterns cannot form %d-ary queries", len(pool), arity)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: total %d must be positive", total)
+	}
+	out := make([]SetQuery, n)
+	for i := range out {
+		idx := rng.Perm(len(pool))[:arity]
+		q := SetQuery{Queries: make([]Query, arity)}
+		for j, p := range idx {
+			q.Queries[j] = pool[p]
+			q.Count += pool[p].Count
+		}
+		q.Selectivity = float64(q.Count) / float64(total)
+		out[i] = q
+	}
+	return out, nil
+}
+
+// MakeProductWorkload draws n PRODUCT queries of the given arity (the
+// paper uses pairs and n = 6,811).
+func MakeProductWorkload(buckets []Bucket, n, arity int, total int64, rng *rand.Rand) ([]ProductQuery, error) {
+	pool := flattenDistinct(buckets)
+	if len(pool) < arity {
+		return nil, fmt.Errorf("workload: pool of %d patterns cannot form %d-ary queries", len(pool), arity)
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("workload: total %d must be positive", total)
+	}
+	out := make([]ProductQuery, n)
+	for i := range out {
+		idx := rng.Perm(len(pool))[:arity]
+		q := ProductQuery{Queries: make([]Query, arity), Product: 1}
+		for j, p := range idx {
+			q.Queries[j] = pool[p]
+			q.Product *= float64(pool[p].Count)
+		}
+		q.Selectivity = q.Product / float64(total)
+		out[i] = q
+	}
+	return out, nil
+}
+
+// Histogram counts how many of the given selectivities fall into each
+// range (Figures 8 and 11).
+func Histogram(sels []float64, ranges []Range) []int {
+	out := make([]int, len(ranges))
+	for _, s := range sels {
+		for i, r := range ranges {
+			if r.Contains(s) {
+				out[i]++
+				break
+			}
+		}
+	}
+	return out
+}
+
+// AutoRanges splits [min, max] of the given selectivities into n
+// equal-width ranges; used for the SUM/PRODUCT histograms whose
+// boundaries the paper derives from the generated workload.
+func AutoRanges(sels []float64, n int) []Range {
+	if len(sels) == 0 || n < 1 {
+		return nil
+	}
+	lo, hi := sels[0], sels[0]
+	for _, s := range sels {
+		if s < lo {
+			lo = s
+		}
+		if s > hi {
+			hi = s
+		}
+	}
+	if hi == lo {
+		hi = lo * 1.0001
+	}
+	w := (hi - lo) / float64(n)
+	out := make([]Range, n)
+	for i := range out {
+		out[i] = Range{Lo: lo + float64(i)*w, Hi: lo + float64(i+1)*w}
+	}
+	out[n-1].Hi = hi * 1.0000001 // include the max
+	return out
+}

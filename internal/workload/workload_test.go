@@ -1,0 +1,266 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+// buildCatalog populates a catalog with patterns "Pi" of count i*10,
+// i = 1..m, plus filler singletons to set the total.
+func buildCatalog(t *testing.T, m int, filler int) *Catalog {
+	t.Helper()
+	c := NewCatalog(2)
+	for i := 1; i <= m; i++ {
+		v := uint64(i)
+		repr := tree.T(fmt.Sprintf("P%d", i), tree.T("X")).String()
+		for j := int64(0); j < int64(i)*10; j++ {
+			c.Add(v, func() string { return repr })
+		}
+	}
+	for f := 0; f < filler; f++ {
+		c.Add(uint64(100000+f), func() string { return "(F (X))" })
+	}
+	return c
+}
+
+func TestCatalogBasics(t *testing.T) {
+	c := buildCatalog(t, 3, 40)
+	if c.Total() != 10+20+30+40 {
+		t.Errorf("Total = %d", c.Total())
+	}
+	if c.Distinct() != 3+40 {
+		t.Errorf("Distinct = %d", c.Distinct())
+	}
+	if c.Count(2) != 20 {
+		t.Errorf("Count(2) = %d", c.Count(2))
+	}
+	if want := int64(100 + 400 + 900 + 40); c.SelfJoinSize() != want {
+		t.Errorf("SelfJoinSize = %d, want %d", c.SelfJoinSize(), want)
+	}
+}
+
+func TestReprLazyAndThreshold(t *testing.T) {
+	c := NewCatalog(3)
+	calls := 0
+	repr := func() string { calls++; return "(A (B))" }
+	c.Add(1, repr)
+	c.Add(1, repr)
+	if calls != 0 {
+		t.Error("repr must not be called below threshold")
+	}
+	c.Add(1, repr)
+	if calls != 1 {
+		t.Errorf("repr called %d times, want exactly 1 at the threshold", calls)
+	}
+	c.Add(1, repr)
+	if calls != 1 {
+		t.Error("repr must not be called again")
+	}
+}
+
+func TestQueriesRange(t *testing.T) {
+	c := buildCatalog(t, 3, 40) // total 100; sels: 0.1, 0.2, 0.3, fillers 0.01
+	qs, err := c.Queries(Range{0.15, 0.35})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) != 2 {
+		t.Fatalf("got %d queries: %+v", len(qs), qs)
+	}
+	// Sorted descending by count.
+	if qs[0].Count != 30 || qs[1].Count != 20 {
+		t.Errorf("order wrong: %+v", qs)
+	}
+	if qs[0].Pattern.Label != "P3" {
+		t.Errorf("pattern not reconstructed: %s", qs[0].Pattern)
+	}
+	if qs[0].Selectivity != 0.3 {
+		t.Errorf("selectivity = %v", qs[0].Selectivity)
+	}
+}
+
+func TestQueriesBelowThresholdFails(t *testing.T) {
+	c := buildCatalog(t, 3, 40)
+	// Fillers have count 1 < threshold 2: selecting down there must fail.
+	if _, err := c.Queries(Range{0.005, 0.02}); err == nil {
+		t.Error("range below representation threshold must fail")
+	}
+}
+
+func TestQueriesEmptyCatalog(t *testing.T) {
+	c := NewCatalog(1)
+	if _, err := c.Queries(Range{0, 1}); err == nil {
+		t.Error("empty catalog must fail")
+	}
+}
+
+func TestSelectSamples(t *testing.T) {
+	c := NewCatalog(1)
+	for i := 1; i <= 20; i++ {
+		v := uint64(i)
+		repr := tree.T(fmt.Sprintf("Q%d", i), tree.T("X")).String()
+		for j := 0; j < 5; j++ {
+			c.Add(v, func() string { return repr })
+		}
+	}
+	// All have selectivity 5/100 = 0.05.
+	rng := rand.New(rand.NewPCG(1, 2))
+	buckets, err := c.Select([]Range{{0.04, 0.06}}, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets) != 1 || len(buckets[0].Queries) != 7 {
+		t.Fatalf("sampled %d queries, want 7", len(buckets[0].Queries))
+	}
+	// Without cap all 20 come back.
+	buckets, err = c.Select([]Range{{0.04, 0.06}}, 0, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(buckets[0].Queries) != 20 {
+		t.Errorf("uncapped select = %d queries", len(buckets[0].Queries))
+	}
+}
+
+func singleBucket(t *testing.T) []Bucket {
+	t.Helper()
+	c := buildCatalog(t, 6, 790) // total = 10+...+60 + 790 = 1000
+	qs, err := c.Queries(Range{0.005, 0.07})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []Bucket{{Range: Range{0.005, 0.07}, Queries: qs}}
+}
+
+func TestMakeSumWorkload(t *testing.T) {
+	buckets := singleBucket(t)
+	rng := rand.New(rand.NewPCG(3, 4))
+	sums, err := MakeSumWorkload(buckets, 50, 3, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sums) != 50 {
+		t.Fatalf("got %d sum queries", len(sums))
+	}
+	for _, s := range sums {
+		if len(s.Queries) != 3 {
+			t.Fatal("arity violated")
+		}
+		seen := map[uint64]bool{}
+		var want int64
+		for _, q := range s.Queries {
+			if seen[q.Value] {
+				t.Fatal("duplicate pattern in sum query")
+			}
+			seen[q.Value] = true
+			want += q.Count
+		}
+		if s.Count != want {
+			t.Errorf("Count = %d, want %d", s.Count, want)
+		}
+		if s.Selectivity != float64(want)/1000 {
+			t.Errorf("Selectivity = %v", s.Selectivity)
+		}
+	}
+}
+
+func TestMakeProductWorkload(t *testing.T) {
+	buckets := singleBucket(t)
+	rng := rand.New(rand.NewPCG(5, 6))
+	prods, err := MakeProductWorkload(buckets, 30, 2, 1000, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prods) != 30 {
+		t.Fatalf("got %d product queries", len(prods))
+	}
+	for _, p := range prods {
+		if len(p.Queries) != 2 {
+			t.Fatal("arity violated")
+		}
+		if p.Queries[0].Value == p.Queries[1].Value {
+			t.Fatal("duplicate pattern in product query")
+		}
+		want := float64(p.Queries[0].Count) * float64(p.Queries[1].Count)
+		if p.Product != want {
+			t.Errorf("Product = %v, want %v", p.Product, want)
+		}
+		if p.Selectivity != want/1000 {
+			t.Errorf("Selectivity = %v", p.Selectivity)
+		}
+	}
+}
+
+func TestWorkloadErrors(t *testing.T) {
+	buckets := singleBucket(t)
+	rng := rand.New(rand.NewPCG(7, 8))
+	if _, err := MakeSumWorkload(buckets, 5, 100, 1000, rng); err == nil {
+		t.Error("arity beyond pool must fail")
+	}
+	if _, err := MakeSumWorkload(buckets, 5, 2, 0, rng); err == nil {
+		t.Error("zero total must fail")
+	}
+	if _, err := MakeProductWorkload(buckets, 5, 100, 1000, rng); err == nil {
+		t.Error("arity beyond pool must fail")
+	}
+	if _, err := MakeProductWorkload(buckets, 5, 2, 0, rng); err == nil {
+		t.Error("zero total must fail")
+	}
+	if _, err := MakeSumWorkload(nil, 5, 1, 1000, rng); err == nil {
+		t.Error("empty pool must fail")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	ranges := []Range{{0, 0.1}, {0.1, 0.2}, {0.2, 0.3}}
+	sels := []float64{0.05, 0.15, 0.15, 0.25, 0.95}
+	got := Histogram(sels, ranges)
+	want := []int{1, 2, 1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("Histogram = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestAutoRanges(t *testing.T) {
+	sels := []float64{0.1, 0.2, 0.3, 0.4}
+	rs := AutoRanges(sels, 3)
+	if len(rs) != 3 {
+		t.Fatalf("got %d ranges", len(rs))
+	}
+	if rs[0].Lo != 0.1 {
+		t.Errorf("first range %v", rs[0])
+	}
+	// Every selectivity lands in some range, including the maximum.
+	h := Histogram(sels, rs)
+	total := 0
+	for _, n := range h {
+		total += n
+	}
+	if total != len(sels) {
+		t.Errorf("histogram over auto ranges covers %d of %d", total, len(sels))
+	}
+	if AutoRanges(nil, 3) != nil {
+		t.Error("empty input must give nil")
+	}
+	if AutoRanges(sels, 0) != nil {
+		t.Error("n=0 must give nil")
+	}
+	// Degenerate: all equal.
+	rs = AutoRanges([]float64{0.5, 0.5}, 2)
+	h = Histogram([]float64{0.5, 0.5}, rs)
+	if h[0]+h[1] != 2 {
+		t.Errorf("degenerate ranges lose points: %v", h)
+	}
+}
+
+func TestRangeString(t *testing.T) {
+	r := Range{0.00001, 0.0002}
+	if r.String() != "[1e-05, 0.0002)" {
+		t.Errorf("String = %q", r.String())
+	}
+}

@@ -1,0 +1,411 @@
+package sketchtree
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1 = 100
+	cfg.S2 = 7
+	cfg.VirtualStreams = 23
+	cfg.TopK = 0
+	cfg.Seed = 99
+	return cfg
+}
+
+func TestQuickstartFlow(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		"<a><b/><c/></a>",
+		"<a><b/><b/></a>",
+		"<a><c/><b/></a>",
+	}
+	for _, d := range docs {
+		if err := st.AddXML(strings.NewReader(d)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.TreesProcessed() != 3 {
+		t.Errorf("TreesProcessed = %d", st.TreesProcessed())
+	}
+	// a/b appears 1 + 2 + 1 = 4 times.
+	got, err := st.CountOrdered(Pattern("a", Pattern("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 2 {
+		t.Errorf("CountOrdered(a/b) = %v, want ≈ 4", got)
+	}
+	// Unordered a{b,c}: ordered (b,c) ×1 + (c,b) ×1 = 2.
+	got, err = st.CountUnordered(Pattern("a", Pattern("b"), Pattern("c")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 2 {
+		t.Errorf("CountUnordered = %v, want ≈ 2", got)
+	}
+	mem := st.MemoryBytes()
+	if mem.Total() <= 0 || mem.SketchCounters <= 0 {
+		t.Errorf("memory accounting: %+v", mem)
+	}
+}
+
+func TestAddXMLForest(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	doc := "<root><a><b/></a><a><b/></a><a><c/></a></root>"
+	if err := st.AddXMLForest(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	if st.TreesProcessed() != 3 {
+		t.Errorf("TreesProcessed = %d", st.TreesProcessed())
+	}
+	got, err := st.CountOrdered(Pattern("a", Pattern("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-2) > 1.5 {
+		t.Errorf("forest count = %v, want ≈ 2", got)
+	}
+}
+
+func TestCountOrderedSetAndExpression(t *testing.T) {
+	cfg := testConfig()
+	cfg.Independence = 6
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := st.AddXML(strings.NewReader("<a><b/><c/></a>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	qb, qc := Pattern("a", Pattern("b")), Pattern("a", Pattern("c"))
+	got, err := st.CountOrderedSet([]*Node{qb, qc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-40) > 12 {
+		t.Errorf("set count = %v, want ≈ 40", got)
+	}
+	// (b + c) - b = c = 20.
+	got, err = st.EstimateExpression(Sub(Add(Count(qb), Count(qc)), Count(qb)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 8 {
+		t.Errorf("expression = %v, want ≈ 20", got)
+	}
+	// b × c = 400.
+	got, err = st.EstimateExpression(Mul(Count(qb), Count(qc)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-400) > 250 {
+		t.Errorf("product = %v, want ≈ 400", got)
+	}
+}
+
+func TestCountExtended(t *testing.T) {
+	cfg := testConfig()
+	cfg.BuildSummary = true
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.AddXML(strings.NewReader("<a><b><c/></b><c/></a>")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// a//c resolves to a/c and a/b/c: 10 + 10 = 20.
+	q, err := ParsePath("a//c")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, truncated, err := st.CountExtended(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if truncated {
+		t.Error("unexpected truncation")
+	}
+	if math.Abs(got-20) > 6 {
+		t.Errorf("a//c = %v, want ≈ 20", got)
+	}
+	// a/* resolves to a/b and a/c: 20.
+	q, err = ParsePath("a/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = st.CountExtended(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-20) > 6 {
+		t.Errorf("a/* = %v, want ≈ 20", got)
+	}
+}
+
+func TestParsePath(t *testing.T) {
+	q, err := ParsePath("A/B//C/*")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Label != "A" || q.Desc {
+		t.Fatalf("root wrong: %+v", q)
+	}
+	b := q.Children[0]
+	if b.Label != "B" || b.Desc {
+		t.Fatalf("B wrong: %+v", b)
+	}
+	c := b.Children[0]
+	if c.Label != "C" || !c.Desc {
+		t.Fatalf("C must be a descendant edge: %+v", c)
+	}
+	w := c.Children[0]
+	if w.Label != Wildcard || w.Desc {
+		t.Fatalf("wildcard wrong: %+v", w)
+	}
+	// Leading slash tolerated.
+	if _, err := ParsePath("/A/B"); err != nil {
+		t.Errorf("leading slash: %v", err)
+	}
+	for _, bad := range []string{"", "/", "A//", "A///B"} {
+		if _, err := ParsePath(bad); err == nil {
+			t.Errorf("ParsePath(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParsePattern(t *testing.T) {
+	q, err := ParsePattern("(A (B) (C))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Label != "A" || len(q.Children) != 2 {
+		t.Errorf("parsed pattern wrong: %s", q)
+	}
+	if _, err := ParsePattern("not sexp"); err == nil {
+		t.Error("bad pattern must fail")
+	}
+}
+
+func TestArrangementsExported(t *testing.T) {
+	arr, err := Arrangements(Pattern("A", Pattern("B"), Pattern("C")), 0)
+	if err != nil || len(arr) != 2 {
+		t.Errorf("Arrangements = %v, %v", arr, err)
+	}
+}
+
+func TestBadConfigRejected(t *testing.T) {
+	cfg := testConfig()
+	cfg.S1 = 0
+	if _, err := New(cfg); err == nil {
+		t.Error("bad config must be rejected")
+	}
+}
+
+func TestParseXMLHelpers(t *testing.T) {
+	tr, err := ParseXMLString("<x><y>9 v</y></x>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Root.Label != "x" {
+		t.Errorf("root = %s", tr.Root.Label)
+	}
+	n := 0
+	err = StreamXMLForest(strings.NewReader("<r><a/><b/></r>"), func(*Tree) error {
+		n++
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Errorf("forest: %d trees, %v", n, err)
+	}
+	if _, err := ParseXML(strings.NewReader("")); err == nil {
+		t.Error("empty document must fail")
+	}
+}
+
+func TestConfigRoundTrip(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Config().S1 != 100 {
+		t.Error("Config accessor wrong")
+	}
+	if st.PatternsProcessed() != 0 {
+		t.Error("fresh sketch must have processed nothing")
+	}
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 5
+	cfg.BuildSummary = true
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		st.AddXML(strings.NewReader("<a><b/><c/></a>"))
+	}
+	var buf strings.Builder
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	re, err := Load(strings.NewReader(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := Pattern("a", Pattern("b"))
+	want, _ := st.CountOrdered(q)
+	got, err := re.CountOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("restored estimate %v != %v", got, want)
+	}
+	if re.TreesProcessed() != st.TreesProcessed() {
+		t.Error("counters differ after restore")
+	}
+	if _, err := Restore([]byte("junk")); err == nil {
+		t.Error("junk must fail")
+	}
+}
+
+func TestRemoveTreePublic(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ParseXMLString("<a><b/></a>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		st.AddTree(tr)
+	}
+	for i := 0; i < 2; i++ {
+		if err := st.RemoveTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.CountOrdered(Pattern("a", Pattern("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 3 {
+		t.Errorf("count after removals = %v, want exactly 3 (single-value stream)", got)
+	}
+	if st.TreesProcessed() != 3 {
+		t.Errorf("TreesProcessed = %d", st.TreesProcessed())
+	}
+}
+
+func TestFrequentPatternsAndSelfJoin(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 3
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		st.AddXML(strings.NewReader("<a><b/></a>"))
+	}
+	fps := st.FrequentPatterns()
+	if len(fps) == 0 || fps[0].Freq != 40 {
+		t.Errorf("FrequentPatterns = %+v, want top freq 40", fps)
+	}
+	// One distinct pattern, count 40: compensated SJ ≈ 1600, residual ≈ 0.
+	if sj := st.EstimateSelfJoinSize(true); sj < 1100 || sj > 2100 {
+		t.Errorf("compensated SJ = %v, want ≈ 1600", sj)
+	}
+	if sj := st.EstimateSelfJoinSize(false); sj > 160 {
+		t.Errorf("residual SJ = %v, want ≈ 0", sj)
+	}
+}
+
+func TestMergePublic(t *testing.T) {
+	cfg := testConfig()
+	a, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		a.AddXML(strings.NewReader("<a><b/></a>"))
+		b.AddXML(strings.NewReader("<a><b/></a>"))
+	}
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	got, err := a.CountOrdered(Pattern("a", Pattern("b")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 8 {
+		t.Errorf("merged count = %v, want exactly 8", got)
+	}
+	if err := a.Merge(nil); err == nil {
+		t.Error("nil merge must fail")
+	}
+}
+
+func TestCountOrderedUpperBoundPublic(t *testing.T) {
+	cfg := testConfig()
+	cfg.MaxPatternEdges = 2
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		st.AddXML(strings.NewReader("<a><b><c><d/></c></b></a>"))
+	}
+	q := Pattern("a", Pattern("b", Pattern("c", Pattern("d"))))
+	got, err := st.CountOrderedUpperBound(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got < 5 || got > 20 {
+		t.Errorf("upper bound = %v, want ≈ 10", got)
+	}
+}
+
+func TestCountAlternativesPublic(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		st.AddXML(strings.NewReader("<vp><vbd/><np/></vp>"))
+	}
+	for i := 0; i < 4; i++ {
+		st.AddXML(strings.NewReader("<vp><vbz/><np/></vp>"))
+	}
+	got, err := st.CountAlternatives(Pattern("vp", Pattern("vbd|vbz"), Pattern("np")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-10) > 4 {
+		t.Errorf("OR count = %v, want ≈ 10", got)
+	}
+	if _, err := st.CountAlternatives(nil); err == nil {
+		t.Error("nil must fail")
+	}
+}
