@@ -1,0 +1,29 @@
+# Verification entry points. `make verify` is the PR gate: formatting,
+# vet, the full test suite, and the race detector over the concurrent
+# code (Safe, Ingestor).
+
+GO ?= go
+
+.PHONY: verify fmt vet test race bench
+
+verify: fmt vet test race
+
+fmt:
+	@out="$$(gofmt -l .)"; \
+	if [ -n "$$out" ]; then \
+		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Parallel-ingestion scaling (meaningful on multi-core hardware).
+bench:
+	$(GO) test -run '^$$' -bench BenchmarkIngestParallel -benchtime 2s .

@@ -9,6 +9,7 @@ package sketchtree
 // error ×100, patterns = pattern occurrences, KB = synopsis size).
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sync"
 	"testing"
@@ -361,6 +362,48 @@ func samplePattern() *tree.Node {
 	return tree.T("S",
 		tree.T("NP", tree.T("DT"), tree.T("NN")),
 		tree.T("VP", tree.T("VBD"), tree.T("NP")))
+}
+
+// Sharded parallel ingestion: AddTree throughput through the Ingestor
+// at 1..8 worker shards over the TREEBANK-style generator. The single
+// producer only enqueues, so ns/op measures end-to-end ingestion
+// (enumeration + sketch updates happen on the workers); near-linear
+// scaling up to GOMAXPROCS is the expected shape, since shards share
+// no state until the final merge.
+func BenchmarkIngestParallel(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.VirtualStreams = 59
+	cfg.TopK = 0 // merging requires top-k off
+	src := datagen.Treebank(5, 1<<20)
+	trees := make([]*Tree, 64)
+	for i := range trees {
+		trees[i], _ = src.Next()
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			in, err := NewIngestor(cfg, workers)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := in.Add(trees[i%len(trees)]); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Close drains the queue and merges the shards; that tail
+			// belongs in the timed region for honest throughput.
+			st, err := in.Close()
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if st.TreesProcessed() != int64(b.N) {
+				b.Fatalf("TreesProcessed = %d, want %d", st.TreesProcessed(), b.N)
+			}
+		})
+	}
 }
 
 // End-to-end stream throughput at the paper's default configuration.

@@ -42,6 +42,44 @@ func TestRunEndToEnd(t *testing.T) {
 	}
 }
 
+func TestRunParallelWorkersMatchesSequential(t *testing.T) {
+	forest := "<r><a><b/><c/></a><a><b/></a><a><c/><b/></a><x><y/></x></r>"
+	doc := writeTemp(t, "forest.xml", forest)
+	args := func(extra ...string) []string {
+		base := []string{"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
+			"-q", "a/b", "-q", "(a (b) (c))"}
+		return append(append(base, extra...), doc)
+	}
+	var seq, par bytes.Buffer
+	if err := run(args(), strings.NewReader(""), &seq); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(args("-workers", "4"), strings.NewReader(""), &par); err != nil {
+		t.Fatal(err)
+	}
+	// Merging is exact, so the parallel CLI output — counts, memory
+	// line, estimates — matches the sequential run byte for byte.
+	if seq.String() != par.String() {
+		t.Errorf("parallel output diverged:\nseq: %q\npar: %q", seq.String(), par.String())
+	}
+	if !strings.Contains(par.String(), "processed 4 trees") {
+		t.Errorf("tree count missing: %q", par.String())
+	}
+
+	// -workers with top-k tracking is rejected up front.
+	var out bytes.Buffer
+	err := run([]string{"-forest", "-workers", "2", "-topk", "10", doc},
+		strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "-topk 0") {
+		t.Errorf("workers+topk must fail with guidance, got %v", err)
+	}
+	// Bad config surfaces through the ingestor constructor too.
+	if err := run([]string{"-workers", "2", "-topk", "0", "-s1", "0", doc},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("bad config with -workers must fail")
+	}
+}
+
 func TestRunStdinSingleDoc(t *testing.T) {
 	var out bytes.Buffer
 	err := run([]string{"-k", "2", "-p", "7", "-q", "x/y"},

@@ -11,7 +11,13 @@
 // -summary). By default queries are ordered counts; prefix a query
 // with "u:" for unordered counting.
 //
+// With -workers N (N != 1) ingestion is sharded across N parallel
+// SketchTrees that are merged cell-wise before querying — bit-identical
+// to sequential processing, but requires -topk 0 (merged synopses
+// cannot carry top-k tracking).
+//
 //	sketchtree -forest -k 4 -topk 50 -q 'article/author' -q '(a (b) (c))' data.xml
+//	sketchtree -forest -topk 0 -workers 8 -q 'article/author' data.xml
 package main
 
 import (
@@ -51,6 +57,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		indep   = fs.Int("independence", 4, "xi independence (>= 6 enables product expressions)")
 		forest  = fs.Bool("forest", false, "treat each input as a rooted forest document")
 		useSum  = fs.Bool("summary", false, "build the structural summary ('//' and '*' queries)")
+		workers = fs.Int("workers", 1, "parallel ingestion shards; 0 = GOMAXPROCS, > 1 requires -topk 0")
 		queries queryList
 	)
 	fs.Var(&queries, "q", "query (repeatable): S-expression or path; prefix u: for unordered")
@@ -66,18 +73,37 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Independence = *indep
 	cfg.BuildSummary = *useSum
-	st, err := sketchtree.New(cfg)
-	if err != nil {
-		return err
-	}
 
 	inputs := fs.Args()
 	if len(inputs) == 0 {
 		inputs = []string{"-"}
 	}
-	for _, name := range inputs {
-		if err := addInput(st, name, stdin, *forest); err != nil {
-			return fmt.Errorf("%s: %w", name, err)
+	var st *sketchtree.SketchTree
+	if *workers == 1 {
+		var err error
+		if st, err = sketchtree.New(cfg); err != nil {
+			return err
+		}
+		for _, name := range inputs {
+			if err := addInput(st, name, stdin, *forest); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+	} else {
+		if *topk != 0 {
+			return fmt.Errorf("-workers %d requires -topk 0: sharded synopses with top-k tracking cannot be merged", *workers)
+		}
+		in, err := sketchtree.NewIngestor(cfg, *workers)
+		if err != nil {
+			return err
+		}
+		for _, name := range inputs {
+			if err := addInput(in, name, stdin, *forest); err != nil {
+				return fmt.Errorf("%s: %w", name, err)
+			}
+		}
+		if st, err = in.Close(); err != nil {
+			return err
 		}
 	}
 	fmt.Fprintf(stdout, "processed %d trees, %d pattern occurrences\n",
@@ -92,7 +118,14 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	return nil
 }
 
-func addInput(st *sketchtree.SketchTree, name string, stdin io.Reader, forest bool) error {
+// xmlSink is the ingestion surface shared by the sequential SketchTree
+// and the parallel Ingestor.
+type xmlSink interface {
+	AddXML(io.Reader) error
+	AddXMLForest(io.Reader) error
+}
+
+func addInput(sink xmlSink, name string, stdin io.Reader, forest bool) error {
 	var r io.Reader = stdin
 	if name != "-" {
 		f, err := os.Open(name)
@@ -103,9 +136,9 @@ func addInput(st *sketchtree.SketchTree, name string, stdin io.Reader, forest bo
 		r = f
 	}
 	if forest {
-		return st.AddXMLForest(r)
+		return sink.AddXMLForest(r)
 	}
-	return st.AddXML(r)
+	return sink.AddXML(r)
 }
 
 func answer(w io.Writer, st *sketchtree.SketchTree, q string, haveSummary bool) {

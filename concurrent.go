@@ -1,6 +1,9 @@
 package sketchtree
 
-import "sync"
+import (
+	"io"
+	"sync"
+)
 
 // Safe wraps a SketchTree for concurrent use: updates take the write
 // lock, queries the read lock. Queries are pure reads of the synopsis,
@@ -43,6 +46,35 @@ func (s *Safe) RemoveTree(t *Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.st.RemoveTree(t)
+}
+
+// AddXML parses one XML document (outside the lock) and folds it into
+// the synopsis under the write lock.
+func (s *Safe) AddXML(r io.Reader) error {
+	t, err := ParseXML(r)
+	if err != nil {
+		return err
+	}
+	return s.AddTree(t)
+}
+
+// AddXMLForest streams every tree of a rooted XML forest document into
+// the synopsis. The write lock is taken per tree, so queries and other
+// updates interleave with a long-running forest load; the forest is
+// not applied atomically.
+func (s *Safe) AddXMLForest(r io.Reader) error {
+	return StreamXMLForest(r, s.AddTree)
+}
+
+// Merge folds a plain SketchTree's synopsis into this one under the
+// write lock — the fan-in half of parallel ingestion (see Ingestor and
+// SketchTree.Merge for the preconditions: identical Config including
+// Seed, top-k tracking disabled on both operands). The operand is only
+// read, but it is not locked: it must not be mutated concurrently.
+func (s *Safe) Merge(o *SketchTree) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.Merge(o)
 }
 
 // CountOrdered estimates COUNT_ord(Q).
@@ -108,9 +140,51 @@ func (s *Safe) FrequentPatterns() []FrequentPattern {
 	return s.st.FrequentPatterns()
 }
 
+// CountAlternatives estimates a pattern with '|'-separated label
+// alternatives.
+func (s *Safe) CountAlternatives(q *Node) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountAlternatives(q)
+}
+
+// CountOrderedUpperBound bounds COUNT_ord(Q) for patterns larger than
+// Config.MaxPatternEdges.
+func (s *Safe) CountOrderedUpperBound(q *Node) (float64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountOrderedUpperBound(q)
+}
+
+// EstimateSelfJoinSize estimates SJ(S) = Σ f² of the pattern stream.
+func (s *Safe) EstimateSelfJoinSize(compensated bool) float64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.EstimateSelfJoinSize(compensated)
+}
+
+// Config returns the effective (normalized) configuration.
+func (s *Safe) Config() Config {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.Config()
+}
+
 // MarshalBinary serializes the synopsis under the read lock.
 func (s *Safe) MarshalBinary() ([]byte, error) {
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.MarshalBinary()
+}
+
+// Save writes the serialized synopsis to w. The snapshot is taken
+// under the read lock; the write to w happens outside it, so a slow
+// writer does not block updates.
+func (s *Safe) Save(w io.Writer) error {
+	data, err := s.MarshalBinary()
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }

@@ -1,6 +1,8 @@
 package sketchtree
 
 import (
+	"io"
+	"strings"
 	"sync"
 	"testing"
 )
@@ -101,6 +103,96 @@ func TestSafeConcurrentUpdatesAndQueries(t *testing.T) {
 	wg.Wait()
 	if s.TreesProcessed() != 120 {
 		t.Errorf("TreesProcessed = %d, want 120", s.TreesProcessed())
+	}
+}
+
+// Run with -race: the wrappers added for the Safe API-gap fix (AddXML,
+// AddXMLForest, Merge, CountAlternatives, CountOrderedUpperBound,
+// EstimateSelfJoinSize, Config, Save) hammered from concurrent
+// writers and readers.
+func TestSafeNewWrappersConcurrent(t *testing.T) {
+	cfg := testConfig() // TopK = 0 so Merge is legal
+	s, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const rounds = 25
+	var wg sync.WaitGroup
+
+	// Writers: XML ingestion and shard fan-in.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			if err := s.AddXML(strings.NewReader("<a><b/><c/></a>")); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			doc := "<r><a><b/></a><x><y/></x></r>"
+			if err := s.AddXMLForest(strings.NewReader(doc)); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < rounds; i++ {
+			shard, err := New(cfg)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := shard.AddXML(strings.NewReader("<a><c/><b/></a>")); err != nil {
+				t.Error(err)
+				return
+			}
+			if err := s.Merge(shard); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+
+	// Readers: the new query and introspection wrappers.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			deep := Pattern("a", Pattern("b", Pattern("c", Pattern("d", Pattern("e")))))
+			for i := 0; i < rounds; i++ {
+				if _, err := s.CountAlternatives(Pattern("a", Pattern("b|c"))); err != nil {
+					t.Error(err)
+					return
+				}
+				// 4 edges > MaxPatternEdges 3: exercises the bound path.
+				if _, err := s.CountOrderedUpperBound(deep); err != nil {
+					t.Error(err)
+					return
+				}
+				s.EstimateSelfJoinSize(i%2 == 0)
+				if got := s.Config(); got.MaxPatternEdges != 3 {
+					t.Errorf("Config.MaxPatternEdges = %d", got.MaxPatternEdges)
+					return
+				}
+				if err := s.Save(io.Discard); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// 1 (AddXML) + 2 (forest) + 1 (merged shard) trees per round.
+	if got := s.TreesProcessed(); got != 4*rounds {
+		t.Errorf("TreesProcessed = %d, want %d", got, 4*rounds)
 	}
 }
 

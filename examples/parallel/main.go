@@ -1,9 +1,11 @@
-// Parallel ingestion: AMS sketches are linear projections, so
-// synopses built on disjoint shards of the stream with the same
-// configuration (and seed) merge by cell-wise addition into exactly
-// the synopsis of the whole stream. This example fans a stream out to
-// one SketchTree per CPU, merges, and verifies the result against a
-// sequentially built synopsis — the counters match bit for bit.
+// Parallel ingestion with the Ingestor API: AMS sketches are linear
+// projections, so synopses built on disjoint shards of the stream with
+// the same configuration (and seed) merge by cell-wise addition into
+// exactly the synopsis of the whole stream. The Ingestor packages that
+// argument as a pipeline — N worker shards behind a bounded channel
+// with backpressure, first-error propagation, and a deterministic
+// merge on Close — and this example verifies the result against a
+// sequentially built synopsis: the counters match bit for bit.
 //
 //	go run ./examples/parallel
 package main
@@ -12,7 +14,6 @@ import (
 	"fmt"
 	"log"
 	"runtime"
-	"sync"
 	"time"
 
 	"sketchtree"
@@ -52,37 +53,25 @@ func main() {
 	}
 	seqDur := time.Since(t0)
 
-	// Parallel shards.
-	shards := make([]*sketchtree.SketchTree, workers)
-	for i := range shards {
-		if shards[i], err = sketchtree.New(cfg); err != nil {
-			log.Fatal(err)
-		}
+	// Parallel: one Add loop, the Ingestor fans out to worker shards
+	// and merges them on Close.
+	in, err := sketchtree.NewIngestor(cfg, workers)
+	if err != nil {
+		log.Fatal(err)
 	}
 	t0 = time.Now()
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			for i := w; i < len(stream); i += workers {
-				if err := shards[w].AddTree(stream[i]); err != nil {
-					log.Print(err)
-					return
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-	merged := shards[0]
-	for _, s := range shards[1:] {
-		if err := merged.Merge(s); err != nil {
+	for _, t := range stream {
+		if err := in.Add(t); err != nil {
 			log.Fatal(err)
 		}
+	}
+	merged, err := in.Close()
+	if err != nil {
+		log.Fatal(err)
 	}
 	parDur := time.Since(t0)
 
-	fmt.Printf("%d trees, %d workers\n", len(stream), workers)
+	fmt.Printf("%d trees, %d workers\n", len(stream), in.Workers())
 	fmt.Printf("sequential: %8.2fs\n", seqDur.Seconds())
 	fmt.Printf("parallel:   %8.2fs (%.1fx)\n", parDur.Seconds(),
 		seqDur.Seconds()/parDur.Seconds())

@@ -1,0 +1,216 @@
+package sketchtree
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+)
+
+// ErrIngestorClosed is returned by Ingestor.Add after Close has been
+// called, and by Close itself when called more than once.
+var ErrIngestorClosed = errors.New("sketchtree: ingestor closed")
+
+// Ingestor ingests a tree stream in parallel across N worker shards.
+// Each shard is a private SketchTree built from the same Config (and
+// Seed); producers fan trees out over a bounded channel with
+// backpressure, and Close merges the shards cell-wise into one
+// synopsis. Because AMS sketches are linear projections (§5.2), the
+// merged synopsis is bit-identical to sequential ingestion of the same
+// trees in any order — the sketch cells are exact integer sums that
+// commute.
+//
+// Top-k tracking must be off (Config.TopK = 0): shard synopses with
+// top-k deletion interleaved into their counters have no well-defined
+// union (see SketchTree.Merge). NewIngestor rejects such configs.
+//
+// Add is safe for concurrent use by any number of producers. Close
+// waits for in-flight Add calls, drains the queue, joins the workers,
+// and performs the merge; the first worker error cancels ingestion and
+// is reported by Add and Close. Cancelling the context passed to
+// NewIngestorContext aborts ingestion the same way.
+type Ingestor struct {
+	shards []*SketchTree
+	ch     chan *Tree
+	wg     sync.WaitGroup
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	// mu guards closed. Add holds the read side across the channel
+	// send, so Close (write side) cannot close the channel while a
+	// send is in flight.
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewIngestor creates a parallel ingestor with the given number of
+// worker shards; workers <= 0 uses runtime.GOMAXPROCS(0).
+func NewIngestor(cfg Config, workers int) (*Ingestor, error) {
+	return NewIngestorContext(context.Background(), cfg, workers)
+}
+
+// NewIngestorContext is NewIngestor with a cancellation context:
+// cancelling ctx aborts ingestion, unblocking producers and failing
+// Close with the cancellation cause.
+func NewIngestorContext(ctx context.Context, cfg Config, workers int) (*Ingestor, error) {
+	if cfg.TopK != 0 {
+		return nil, fmt.Errorf("sketchtree: parallel ingestion requires Config.TopK = 0: shard synopses with top-k tracking cannot be merged (see SketchTree.Merge)")
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	shards := make([]*SketchTree, workers)
+	for i := range shards {
+		st, err := New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		shards[i] = st
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	ctx, cancel := context.WithCancelCause(ctx)
+	in := &Ingestor{
+		shards: shards,
+		// 2 trees of headroom per worker: enough to keep workers busy
+		// while a producer parses, small enough for backpressure to
+		// bound memory on a fast producer.
+		ch:     make(chan *Tree, 2*workers),
+		ctx:    ctx,
+		cancel: cancel,
+	}
+	for _, shard := range shards {
+		in.wg.Add(1)
+		go in.work(shard)
+	}
+	return in, nil
+}
+
+// Workers returns the number of worker shards.
+func (in *Ingestor) Workers() int { return len(in.shards) }
+
+func (in *Ingestor) work(shard *SketchTree) {
+	defer in.wg.Done()
+	for {
+		// Checked first so workers stop promptly after a cancellation
+		// even while the queue still holds trees.
+		if in.ctx.Err() != nil {
+			return
+		}
+		select {
+		case <-in.ctx.Done():
+			return
+		case t, ok := <-in.ch:
+			if !ok {
+				return
+			}
+			if err := shard.AddTree(t); err != nil {
+				in.cancel(err) // first cause wins; unblocks producers
+				return
+			}
+		}
+	}
+}
+
+// Add submits one tree for ingestion, blocking when the queue is full
+// (backpressure). It returns ErrIngestorClosed after Close, and the
+// first worker error or the context's cancellation cause once
+// ingestion has been aborted.
+func (in *Ingestor) Add(t *Tree) error {
+	in.mu.RLock()
+	defer in.mu.RUnlock()
+	if in.closed {
+		return ErrIngestorClosed
+	}
+	select {
+	case in.ch <- t:
+		return nil
+	case <-in.ctx.Done():
+		return context.Cause(in.ctx)
+	}
+}
+
+// AddXML parses one XML document and submits it for ingestion.
+func (in *Ingestor) AddXML(r io.Reader) error {
+	t, err := ParseXML(r)
+	if err != nil {
+		return err
+	}
+	return in.Add(t)
+}
+
+// AddXMLForest streams every tree of a rooted XML forest document into
+// the ingestor: parsing overlaps with the workers' sketch updates.
+func (in *Ingestor) AddXMLForest(r io.Reader) error {
+	return StreamXMLForest(r, in.Add)
+}
+
+// Err returns the first worker error or external cancellation cause,
+// or nil while ingestion is healthy.
+func (in *Ingestor) Err() error {
+	if err := context.Cause(in.ctx); err != nil && !errors.Is(err, ErrIngestorClosed) {
+		return err
+	}
+	return nil
+}
+
+// Close waits for queued trees to drain, stops the workers, and merges
+// the shards (in shard order — deterministic, though any order yields
+// the same bits) into a single synopsis. If a worker failed or the
+// context was cancelled, Close returns that error and the partial
+// synopsis is discarded. Close is safe to call concurrently with Add:
+// in-flight Adds complete (or fail) before the queue closes, and Adds
+// that begin afterwards return ErrIngestorClosed.
+func (in *Ingestor) Close() (*SketchTree, error) {
+	in.mu.Lock()
+	if in.closed {
+		in.mu.Unlock()
+		return nil, ErrIngestorClosed
+	}
+	in.closed = true
+	close(in.ch)
+	in.mu.Unlock()
+	in.wg.Wait()
+	in.cancel(ErrIngestorClosed) // release the context; earlier causes win
+	if err := in.Err(); err != nil {
+		return nil, err
+	}
+	merged := in.shards[0]
+	for _, s := range in.shards[1:] {
+		if err := merged.Merge(s); err != nil {
+			return nil, err
+		}
+	}
+	return merged, nil
+}
+
+// CloseInto closes the ingestor and merges the result into dst under
+// dst's write lock — the fan-in for a live service that keeps a Safe
+// synopsis answering queries while batches ingest in parallel.
+func (in *Ingestor) CloseInto(dst *Safe) error {
+	st, err := in.Close()
+	if err != nil {
+		return err
+	}
+	return dst.Merge(st)
+}
+
+// IngestXMLForest builds a synopsis of a rooted XML forest document by
+// fanning its trees out over a parallel Ingestor — the concurrent
+// counterpart of SketchTree.AddXMLForest. workers <= 0 uses
+// runtime.GOMAXPROCS(0); cfg must have TopK = 0.
+func IngestXMLForest(r io.Reader, cfg Config, workers int) (*SketchTree, error) {
+	in, err := NewIngestor(cfg, workers)
+	if err != nil {
+		return nil, err
+	}
+	if err := in.AddXMLForest(r); err != nil {
+		in.cancel(err) // stop workers promptly; Close reports this cause
+		in.Close()
+		return nil, err
+	}
+	return in.Close()
+}

@@ -1,0 +1,276 @@
+package sketchtree
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	"sketchtree/internal/datagen"
+)
+
+// ingestStream materializes a deterministic TREEBANK-style stream so
+// sequential and parallel runs see the identical trees.
+func ingestStream(t testing.TB, n int) []*Tree {
+	t.Helper()
+	out := make([]*Tree, 0, n)
+	src := datagen.Treebank(17, n)
+	if err := src.ForEach(func(tr *Tree) error {
+		out = append(out, tr)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// The acceptance property of the whole subsystem: the merged synopsis
+// is bit-identical to sequential ingestion — not merely close, the
+// serialized state matches byte for byte.
+func TestIngestorBitIdenticalToSequential(t *testing.T) {
+	cfg := testConfig() // TopK = 0
+	stream := ingestStream(t, 300)
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range stream {
+		if err := seq.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	in, err := NewIngestor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Several producers, interleaved arbitrarily: the result must not
+	// depend on which worker shard absorbs which tree.
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(stream); i += 3 {
+				if err := in.Add(stream[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+	merged, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if merged.TreesProcessed() != seq.TreesProcessed() {
+		t.Fatalf("TreesProcessed: merged %d, sequential %d",
+			merged.TreesProcessed(), seq.TreesProcessed())
+	}
+	if merged.PatternsProcessed() != seq.PatternsProcessed() {
+		t.Fatalf("PatternsProcessed: merged %d, sequential %d",
+			merged.PatternsProcessed(), seq.PatternsProcessed())
+	}
+	a, err := seq.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("merged synopsis is not bit-identical to sequential ingestion")
+	}
+}
+
+func TestIngestorRejectsTopK(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 5
+	if _, err := NewIngestor(cfg, 2); err == nil || !strings.Contains(err.Error(), "TopK") {
+		t.Fatalf("TopK config accepted: %v", err)
+	}
+	// Invalid configs propagate the constructor error.
+	if _, err := NewIngestor(Config{}, 2); err == nil {
+		t.Fatal("invalid config accepted")
+	}
+}
+
+func TestIngestorWorkerErrorPropagation(t *testing.T) {
+	in, err := NewIngestor(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	good := NewTree(Pattern("a", Pattern("b")))
+	if err := in.Add(good); err != nil {
+		t.Fatal(err)
+	}
+	// A tree with a nil root fails inside the worker's AddTree.
+	if err := in.Add(&Tree{}); err != nil {
+		t.Fatal(err) // the submit itself succeeds; the worker fails
+	}
+	// The failure cancels ingestion: Add starts returning the worker's
+	// error once the cancellation is observed.
+	var addErr error
+	for i := 0; i < 100000; i++ {
+		if addErr = in.Add(good); addErr != nil {
+			break
+		}
+	}
+	if addErr == nil || !strings.Contains(addErr.Error(), "nil tree") {
+		t.Errorf("Add after worker failure = %v, want the worker error", addErr)
+	}
+	if _, err := in.Close(); err == nil || !strings.Contains(err.Error(), "nil tree") {
+		t.Errorf("Close after worker failure = %v, want the worker error", err)
+	}
+}
+
+func TestIngestorContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in, err := NewIngestorContext(ctx, testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree(Pattern("a", Pattern("b")))
+	for i := 0; i < 10; i++ {
+		if err := in.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cancel()
+	// Workers exit, the bounded queue fills, and Add unblocks with the
+	// cancellation cause instead of deadlocking.
+	var addErr error
+	for i := 0; i < 100000; i++ {
+		if addErr = in.Add(tr); addErr != nil {
+			break
+		}
+	}
+	if !errors.Is(addErr, context.Canceled) {
+		t.Errorf("Add after cancel = %v, want context.Canceled", addErr)
+	}
+	if _, err := in.Close(); !errors.Is(err, context.Canceled) {
+		t.Errorf("Close after cancel = %v, want context.Canceled", err)
+	}
+}
+
+func TestIngestorCloseSemantics(t *testing.T) {
+	in, err := NewIngestor(testConfig(), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := in.Add(NewTree(Pattern("a", Pattern("b")))); err != nil {
+		t.Fatal(err)
+	}
+	st, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.TreesProcessed() != 1 {
+		t.Errorf("TreesProcessed = %d, want 1", st.TreesProcessed())
+	}
+	if err := in.Add(NewTree(Pattern("a"))); !errors.Is(err, ErrIngestorClosed) {
+		t.Errorf("Add after Close = %v, want ErrIngestorClosed", err)
+	}
+	if _, err := in.Close(); !errors.Is(err, ErrIngestorClosed) {
+		t.Errorf("second Close = %v, want ErrIngestorClosed", err)
+	}
+	if in.Workers() != 2 {
+		t.Errorf("Workers = %d, want 2", in.Workers())
+	}
+}
+
+func TestIngestXMLForestMatchesSequential(t *testing.T) {
+	cfg := testConfig()
+	var sb strings.Builder
+	sb.WriteString("<stream>")
+	for i := 0; i < 60; i++ {
+		switch i % 3 {
+		case 0:
+			sb.WriteString("<a><b/><c/></a>")
+		case 1:
+			sb.WriteString("<a><b/><b/></a>")
+		case 2:
+			sb.WriteString("<x><y><z/></y></x>")
+		}
+	}
+	sb.WriteString("</stream>")
+	doc := sb.String()
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := seq.AddXMLForest(strings.NewReader(doc)); err != nil {
+		t.Fatal(err)
+	}
+	par, err := IngestXMLForest(strings.NewReader(doc), cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, _ := seq.MarshalBinary()
+	b, _ := par.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("IngestXMLForest diverged from sequential AddXMLForest")
+	}
+
+	// Malformed input fails cleanly.
+	if _, err := IngestXMLForest(strings.NewReader("<r><a></r>"), cfg, 2); err == nil {
+		t.Error("malformed forest must fail")
+	}
+	// TopK restriction applies to the convenience wrapper too.
+	bad := cfg
+	bad.TopK = 3
+	if _, err := IngestXMLForest(strings.NewReader(doc), bad, 2); err == nil {
+		t.Error("TopK config must fail")
+	}
+}
+
+func TestIngestorCloseIntoSafe(t *testing.T) {
+	cfg := testConfig()
+	stream := ingestStream(t, 120)
+
+	dst, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Pre-load the Safe with a prefix sequentially, then fan the rest
+	// in through an Ingestor — the live-service shape.
+	for _, tr := range stream[:40] {
+		if err := dst.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	in, err := NewIngestor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range stream[40:] {
+		if err := in.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := in.CloseInto(dst); err != nil {
+		t.Fatal(err)
+	}
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range stream {
+		if err := seq.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a, _ := seq.MarshalBinary()
+	b, _ := dst.MarshalBinary()
+	if !bytes.Equal(a, b) {
+		t.Fatal("Safe fan-in diverged from sequential ingestion")
+	}
+}

@@ -45,7 +45,11 @@ type Config struct {
 
 	// TopKProbability invokes top-k processing for each generated
 	// pattern with this probability (§5.2 suggests sampling when
-	// per-pattern processing is infeasible). 0 means 1.0.
+	// per-pattern processing is infeasible). Valid settings are the
+	// zero value (which selects the default probability 1.0: every
+	// pattern is processed), a probability in (0, 1], and the sentinel
+	// TopKProbabilityNever (never invoke top-k processing while
+	// keeping the trackers allocated).
 	TopKProbability float64
 
 	// Independence selects the ξ family: 4 (default) uses the BCH
@@ -74,6 +78,13 @@ type Config struct {
 	BuildSummary    bool
 	SummaryMaxNodes int
 }
+
+// TopKProbabilityNever is the TopKProbability sentinel that disables
+// per-pattern top-k processing entirely while keeping the TopK
+// trackers allocated (FrequentPatterns stays empty). A plain 0 cannot
+// express "never": the field's zero value selects the default
+// probability 1.0.
+const TopKProbabilityNever float64 = -1
 
 // DefaultConfig mirrors the paper's common experimental setup.
 func DefaultConfig() Config {
@@ -114,11 +125,14 @@ func (c *Config) normalize() error {
 	if c.FingerprintDegree < 8 || c.FingerprintDegree > 62 {
 		return fmt.Errorf("core: FingerprintDegree %d out of range [8, 62]", c.FingerprintDegree)
 	}
-	if c.TopKProbability == 0 {
-		c.TopKProbability = 1
-	}
-	if c.TopKProbability < 0 || c.TopKProbability > 1 {
-		return fmt.Errorf("core: TopKProbability %v out of range (0, 1]", c.TopKProbability)
+	switch {
+	case c.TopKProbability == 0:
+		c.TopKProbability = 1 // zero value selects the default: process every pattern
+	case c.TopKProbability == TopKProbabilityNever:
+		// Explicit "never sample" sentinel, kept verbatim.
+	case c.TopKProbability < 0 || c.TopKProbability > 1:
+		return fmt.Errorf("core: TopKProbability %v invalid: want 0 (the default, 1.0), a probability in (0, 1], or TopKProbabilityNever (%v)",
+			c.TopKProbability, TopKProbabilityNever)
 	}
 	return nil
 }
@@ -139,8 +153,9 @@ type Engine struct {
 	trees    int64
 	patterns int64
 
-	prep      *xi.Prep // reused across updates
-	encodeBuf []byte   // reused sequence-encoding buffer
+	prep      *xi.Prep         // reused across updates
+	encodeBuf []byte           // reused sequence-encoding buffer
+	en        *enum.Enumerator // reused across updates; Reset per tree
 
 	observer func(v uint64, p *enum.Pattern)
 }
@@ -186,6 +201,10 @@ func New(cfg Config) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	en, err := enum.NewEnumerator(cfg.MaxPatternEdges)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	e := &Engine{
 		cfg:     cfg,
 		fam:     fam,
@@ -194,6 +213,7 @@ func New(cfg Config) (*Engine, error) {
 		fp:      fp,
 		rng:     rng,
 		prep:    &xi.Prep{},
+		en:      en,
 	}
 	if cfg.TopK > 0 {
 		e.trackers = make([]*topk.Tracker, cfg.VirtualStreams)
@@ -238,6 +258,13 @@ func (e *Engine) patternValueReuse(q *tree.Node) uint64 {
 // with 1..k edges is enumerated, mapped to its one-dimensional value,
 // and folded into the synopsis (Algorithm 1), with per-pattern top-k
 // processing (Algorithm 4) when enabled.
+//
+// Partial-state contract: if AddTree returns a mid-enumeration error,
+// the synopsis holds exactly the prefix of the tree's pattern
+// occurrences applied before the failure — PatternsProcessed counts
+// those occurrences and TreesProcessed does not count the tree. A
+// caller that needs all-or-nothing semantics should restore a prior
+// snapshot (MarshalBinary/Restore) or discard the engine.
 func (e *Engine) AddTree(t *tree.Tree) error {
 	return e.applyTree(t, 1)
 }
@@ -258,16 +285,14 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	if t == nil || t.Root == nil {
 		return fmt.Errorf("core: nil tree")
 	}
-	en, err := enum.NewEnumerator(e.cfg.MaxPatternEdges)
-	if err != nil {
-		return err
-	}
-	err = en.ForEach(t.Root, func(p *enum.Pattern) error {
+	// The enumerator is reused across updates like prep/encodeBuf; its
+	// memo is keyed by node identity and must be reset per tree.
+	e.en.Reset()
+	err := e.en.ForEach(t.Root, func(p *enum.Pattern) error {
 		v := e.patternValueReuse(p.ToTree())
 		e.fam.Prepare(v, e.prep)
 		e.streams.UpdatePrepared(v, e.prep, delta)
-		if delta > 0 && e.trackers != nil &&
-			(e.cfg.TopKProbability >= 1 || e.rng.Float64() < e.cfg.TopKProbability) {
+		if delta > 0 && e.trackers != nil && e.sampleTopK() {
 			e.trackers[e.streams.Route(v)].Process(v, e.prep)
 		}
 		if e.truth != nil {
@@ -276,6 +301,10 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 		if e.observer != nil {
 			e.observer(v, p)
 		}
+		// Incremented per applied occurrence, inside the callback, so
+		// that on a mid-enumeration error PatternsProcessed counts
+		// exactly the occurrences the sketches actually absorbed (the
+		// partial-state contract documented on AddTree).
 		e.patterns += delta
 		return nil
 	})
@@ -289,6 +318,21 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	}
 	e.trees += delta
 	return nil
+}
+
+// sampleTopK decides whether a pattern occurrence goes through top-k
+// processing (§5.2 sampling). The RNG advances only for probabilities
+// strictly between 0 and 1, so fully deterministic configurations
+// (including TopKProbabilityNever) stay reproducible.
+func (e *Engine) sampleTopK() bool {
+	p := e.cfg.TopKProbability
+	if p >= 1 {
+		return true
+	}
+	if p <= 0 { // TopKProbabilityNever
+		return false
+	}
+	return e.rng.Float64() < p
 }
 
 // FrequentPattern is one tracked heavy hitter: the pattern's

@@ -2,6 +2,7 @@ package core
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"sketchtree/internal/enum"
@@ -68,6 +69,62 @@ func TestConfigValidation(t *testing.T) {
 	}
 	if _, err := New(DefaultConfig()); err != nil {
 		t.Errorf("default config rejected: %v", err)
+	}
+}
+
+func TestTopKProbabilityNormalization(t *testing.T) {
+	cases := []struct {
+		name string
+		in   float64
+		want float64 // normalized value; NaN means New must fail
+		ok   bool
+	}{
+		{"zero means default 1.0", 0, 1, true},
+		{"explicit 1 kept", 1, 1, true},
+		{"fraction kept", 0.25, 0.25, true},
+		{"never sentinel kept", TopKProbabilityNever, TopKProbabilityNever, true},
+		{"above one rejected", 1.01, 0, false},
+		{"negative non-sentinel rejected", -0.5, 0, false},
+		{"below sentinel rejected", -2, 0, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			cfg := DefaultConfig()
+			cfg.TopKProbability = c.in
+			e, err := New(cfg)
+			if c.ok != (err == nil) {
+				t.Fatalf("New(TopKProbability=%v) error = %v, want ok=%v", c.in, err, c.ok)
+			}
+			if !c.ok {
+				if !strings.Contains(err.Error(), "TopKProbability") {
+					t.Errorf("error %q does not name the field", err)
+				}
+				return
+			}
+			if got := e.Config().TopKProbability; got != c.want {
+				t.Errorf("normalized TopKProbability = %v, want %v", got, c.want)
+			}
+		})
+	}
+}
+
+func TestTopKProbabilityNeverDisablesTracking(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 5
+	cfg.TopKProbability = TopKProbabilityNever
+	e := mustEngine(t, cfg)
+	figure1Stream(t, e)
+	if got := e.FrequentPatterns(); len(got) != 0 {
+		t.Errorf("TopKProbabilityNever tracked %d patterns, want 0", len(got))
+	}
+	// The sketches still absorb every pattern, so estimates are
+	// unaffected by the sentinel.
+	got, err := e.EstimateOrdered(tree.T("A", tree.T("B")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-4) > 2.5 {
+		t.Errorf("estimate under never-sampling = %v, want ≈ 4", got)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 
 	"sketchtree/internal/ams"
+	"sketchtree/internal/enum"
 	"sketchtree/internal/exact"
 	"sketchtree/internal/gf2"
 	"sketchtree/internal/rabin"
@@ -124,6 +125,10 @@ func Restore(data []byte) (*Engine, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: %w", err)
 	}
+	en, err := enum.NewEnumerator(cfg.MaxPatternEdges)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
 	e := &Engine{
 		cfg:      cfg,
 		fam:      fam,
@@ -132,6 +137,7 @@ func Restore(data []byte) (*Engine, error) {
 		fp:       fp,
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x5ce7c47ee^uint64(sn.Trees))),
 		prep:     &xi.Prep{},
+		en:       en,
 		trees:    sn.Trees,
 		patterns: sn.Patterns,
 	}

@@ -61,8 +61,9 @@ func (p *Pattern) ToTree() *tree.Node {
 // String renders the materialized pattern as an S-expression.
 func (p *Pattern) String() string { return p.ToTree().String() }
 
-// Enumerator memoizes pattern sets for one data tree. Create one per
-// tree (the memo is keyed by node identity).
+// Enumerator memoizes pattern sets for one data tree at a time: the
+// memo is keyed by node identity, so call Reset before moving to the
+// next tree (or create one enumerator per tree).
 type Enumerator struct {
 	maxEdges int
 	memo     map[memoKey][]*Pattern
@@ -89,6 +90,16 @@ func NewEnumerator(maxEdges int) (*Enumerator, error) {
 
 // MaxEdges returns the configured maximum pattern size.
 func (e *Enumerator) MaxEdges() int { return e.maxEdges }
+
+// Reset clears the per-tree memo so the enumerator can be reused for
+// another data tree, retaining the allocated map capacity. The memo is
+// keyed by node identity, so it must be reset between trees; callers
+// that process a stream should create one enumerator and Reset it per
+// tree instead of allocating a fresh one each time.
+func (e *Enumerator) Reset() {
+	clear(e.memo)
+	clear(e.leaves)
+}
 
 func (e *Enumerator) leaf(n *tree.Node) *Pattern {
 	if p, ok := e.leaves[n]; ok {

@@ -24,6 +24,11 @@ type Config = core.Config
 // Memory is the synopsis footprint breakdown.
 type Memory = core.Memory
 
+// TopKProbabilityNever is the Config.TopKProbability sentinel that
+// disables per-pattern top-k processing entirely (the field's zero
+// value selects the default probability 1.0 instead).
+const TopKProbabilityNever = core.TopKProbabilityNever
+
 // DefaultConfig mirrors the paper's common experimental setup: k = 4,
 // s1 = 25, s2 = 7 (δ = 0.1), 229 virtual streams, top-50 tracking,
 // four-wise ξ, degree-61 fingerprints.
