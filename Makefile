@@ -1,12 +1,13 @@
 # Verification entry points. `make verify` is the PR gate: formatting,
-# vet, the full test suite, and the race detector over the concurrent
-# code (Safe, Ingestor).
+# vet, the full test suite, the race detector over the concurrent code
+# (Safe, Ingestor), and a 1-iteration benchmark smoke so the bench
+# harness cannot rot.
 
 GO ?= go
 
-.PHONY: verify fmt vet test race bench
+.PHONY: verify fmt vet test race bench bench-smoke
 
-verify: fmt vet test race
+verify: fmt vet test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -24,6 +25,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Parallel-ingestion scaling (meaningful on multi-core hardware).
+# Ingestion and query benchmarks, one iteration each, with the raw
+# go-test JSON event stream captured for tooling (BENCH_ingest.json).
 bench:
-	$(GO) test -run '^$$' -bench BenchmarkIngestParallel -benchtime 2s .
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel|BenchmarkStreamUpdateThroughput|BenchmarkEstimateOrdered' \
+		-benchtime 1x -json . > BENCH_ingest.json
+	@grep '"Action":"pass"' BENCH_ingest.json >/dev/null || \
+		{ echo "bench run failed; see BENCH_ingest.json"; exit 1; }
+	@echo "wrote BENCH_ingest.json"
+
+# One iteration of every benchmark in the root package: proves the
+# bench harness still compiles and runs, without the minutes-long
+# paper-scale sweeps.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel|BenchmarkEstimateOrdered' -benchtime 1x . >/dev/null

@@ -402,7 +402,50 @@ func BenchmarkIngestParallel(b *testing.B) {
 			if st.TreesProcessed() != int64(b.N) {
 				b.Fatalf("TreesProcessed = %d, want %d", st.TreesProcessed(), b.N)
 			}
+			// The always-on counters must be the only instrumentation
+			// that ran: with metrics disabled, no stage may carry time
+			// (a non-zero duration would mean clock calls on the hot
+			// path) while the counters still account for every tree.
+			s := st.Stats()
+			if s.TimersEnabled {
+				b.Fatal("metrics enabled without opt-in")
+			}
+			for sg := Stage(0); sg < Stage(len(s.Stages)); sg++ {
+				if n := s.Stage(sg).Nanos; n != 0 {
+					b.Fatalf("stage %v timed %d ns with metrics disabled", sg, n)
+				}
+			}
+			if s.Trees != int64(b.N) {
+				b.Fatalf("Stats.Trees = %d, want %d", s.Trees, b.N)
+			}
 		})
+	}
+}
+
+// Query latency over a prebuilt synopsis: the cost of one ordered
+// point estimate (arrangement + fingerprint + sketch read), the figure
+// the -metrics latency histogram buckets.
+func BenchmarkEstimateOrdered(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.VirtualStreams = 59
+	st, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := datagen.Treebank(5, 1<<20)
+	for i := 0; i < 200; i++ {
+		t, _ := src.Next()
+		if err := st.AddTree(t); err != nil {
+			b.Fatal(err)
+		}
+	}
+	q := Pattern("S", Pattern("NP"), Pattern("VP"))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := st.CountOrdered(q); err != nil {
+			b.Fatal(err)
+		}
 	}
 }
 

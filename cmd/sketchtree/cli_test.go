@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"strings"
@@ -124,6 +127,160 @@ func TestRunBadQueriesReportedInline(t *testing.T) {
 	if strings.Count(out.String(), "error:") != 2 {
 		t.Errorf("bad queries must be reported inline: %q", out.String())
 	}
+}
+
+// End-to-end observability: -metrics serves the JSON snapshot, the
+// Prometheus exposition, and pprof while the run is live, with
+// non-zero stage timings and a populated query-latency histogram.
+func TestRunMetricsEndpoint(t *testing.T) {
+	doc := writeTemp(t, "forest.xml",
+		"<r><a><b/><c/></a><a><b/></a><a><c/><b/></a></r>")
+	var out bytes.Buffer
+
+	var jsonBody, promBody, pprofBody []byte
+	metricsHook = func() {
+		addr := metricsAddr(t, out.String())
+		jsonBody = httpGet(t, "http://"+addr+"/stats")
+		promBody = httpGet(t, "http://"+addr+"/metrics")
+		pprofBody = httpGet(t, "http://"+addr+"/debug/pprof/cmdline")
+	}
+	defer func() { metricsHook = nil }()
+
+	err := run([]string{
+		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
+		"-metrics", "127.0.0.1:0", "-q", "a/b", "-q", "(a (b) (c))",
+		doc,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var snap struct {
+		TimersEnabled bool  `json:"timers_enabled"`
+		Trees         int64 `json:"trees"`
+		Patterns      int64 `json:"patterns"`
+		Stages        map[string]struct {
+			Count int64 `json:"count"`
+			Nanos int64 `json:"nanos"`
+		} `json:"stages"`
+		Queries struct {
+			Count   int64 `json:"count"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"latency_buckets"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(jsonBody, &snap); err != nil {
+		t.Fatalf("/stats is not valid JSON: %v\n%s", err, jsonBody)
+	}
+	if !snap.TimersEnabled {
+		t.Error("-metrics must enable stage timers")
+	}
+	if snap.Trees != 3 || snap.Patterns <= 0 {
+		t.Errorf("snapshot counters: trees %d patterns %d", snap.Trees, snap.Patterns)
+	}
+	for _, stage := range []string{"parse", "enum", "fingerprint", "sketch"} {
+		if s := snap.Stages[stage]; s.Count <= 0 || s.Nanos <= 0 {
+			t.Errorf("stage %s has no timings: %+v", stage, s)
+		}
+	}
+	if snap.Queries.Count != 2 {
+		t.Errorf("queries = %d, want 2", snap.Queries.Count)
+	}
+	if n := len(snap.Queries.Buckets); n == 0 || snap.Queries.Buckets[n-1].Count != 2 {
+		t.Errorf("latency histogram not populated: %+v", snap.Queries.Buckets)
+	}
+
+	for _, want := range []string{
+		"sketchtree_trees_total 3",
+		"sketchtree_queries_total 2",
+		`sketchtree_stage_ops_total{stage="sketch"}`,
+		"# TYPE sketchtree_query_latency_seconds histogram",
+	} {
+		if !strings.Contains(string(promBody), want) {
+			t.Errorf("/metrics missing %q:\n%s", want, promBody)
+		}
+	}
+	if len(pprofBody) == 0 {
+		t.Error("/debug/pprof/cmdline returned nothing")
+	}
+
+	// The final summary printed by the CLI itself.
+	if !strings.Contains(out.String(), "stages (count, total, per-op):") {
+		t.Errorf("stage summary missing: %q", out.String())
+	}
+
+	// An unusable address fails up front.
+	if err := run([]string{"-metrics", "256.0.0.1:bad", doc},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("bad -metrics address must fail")
+	}
+}
+
+// The parallel path serves live stats from the shard aggregate.
+func TestRunMetricsParallel(t *testing.T) {
+	doc := writeTemp(t, "forest.xml",
+		"<r><a><b/><c/></a><a><b/></a><a><c/><b/></a><x><y/></x></r>")
+	var out bytes.Buffer
+	var jsonBody []byte
+	metricsHook = func() {
+		jsonBody = httpGet(t, "http://"+metricsAddr(t, out.String())+"/stats")
+	}
+	defer func() { metricsHook = nil }()
+	err := run([]string{
+		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
+		"-workers", "3", "-metrics", "127.0.0.1:0", "-q", "a/b",
+		doc,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap struct {
+		Trees  int64 `json:"trees"`
+		Stages map[string]struct {
+			Count int64 `json:"count"`
+			Nanos int64 `json:"nanos"`
+		} `json:"stages"`
+	}
+	if err := json.Unmarshal(jsonBody, &snap); err != nil {
+		t.Fatalf("/stats is not valid JSON: %v\n%s", err, jsonBody)
+	}
+	if snap.Trees != 4 {
+		t.Errorf("parallel snapshot trees = %d, want 4", snap.Trees)
+	}
+	if s := snap.Stages["merge"]; s.Count != 2 {
+		t.Errorf("merge stage = %+v, want 2 merges for 3 shards", s)
+	}
+}
+
+// metricsAddr extracts the bound address from the CLI banner line.
+func metricsAddr(t *testing.T, out string) string {
+	t.Helper()
+	for _, line := range strings.Split(out, "\n") {
+		if rest, ok := strings.CutPrefix(line, "metrics: serving http://"); ok {
+			return rest[:strings.Index(rest, "/")]
+		}
+	}
+	t.Fatalf("no metrics banner in output: %q", out)
+	return ""
+}
+
+func httpGet(t *testing.T, url string) []byte {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d: %s", url, resp.StatusCode, body)
+	}
+	return body
 }
 
 func TestRunInputErrors(t *testing.T) {

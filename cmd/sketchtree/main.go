@@ -16,16 +16,28 @@
 // to sequential processing, but requires -topk 0 (merged synopses
 // cannot carry top-k tracking).
 //
+// With -metrics addr an HTTP observability endpoint runs for the
+// lifetime of the command (stage timers are enabled for the run):
+// /stats serves the expvar-style JSON snapshot, /metrics the same data
+// in Prometheus text format, and /debug/pprof/ the standard profiler.
+// A final stage-timing summary is printed after the queries.
+//
 //	sketchtree -forest -k 4 -topk 50 -q 'article/author' -q '(a (b) (c))' data.xml
 //	sketchtree -forest -topk 0 -workers 8 -q 'article/author' data.xml
+//	sketchtree -forest -metrics 127.0.0.1:9090 -q 'article/author' data.xml
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
+	"sync"
+	"time"
 
 	"sketchtree"
 )
@@ -58,6 +70,7 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		forest  = fs.Bool("forest", false, "treat each input as a rooted forest document")
 		useSum  = fs.Bool("summary", false, "build the structural summary ('//' and '*' queries)")
 		workers = fs.Int("workers", 1, "parallel ingestion shards; 0 = GOMAXPROCS, > 1 requires -topk 0")
+		metrics = fs.String("metrics", "", "serve /stats (JSON), /metrics (Prometheus) and /debug/pprof on this address; enables stage timers")
 		queries queryList
 	)
 	fs.Var(&queries, "q", "query (repeatable): S-expression or path; prefix u: for unordered")
@@ -78,34 +91,53 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if len(inputs) == 0 {
 		inputs = []string{"-"}
 	}
-	var st *sketchtree.SketchTree
+	// The ingestion object is built before the metrics server starts so
+	// /stats reflects progress live, from the first tree on.
+	src := &statsSource{}
+	var in *sketchtree.Ingestor
 	if *workers == 1 {
-		var err error
-		if st, err = sketchtree.New(cfg); err != nil {
+		st, err := sketchtree.New(cfg)
+		if err != nil {
 			return err
 		}
-		for _, name := range inputs {
-			if err := addInput(st, name, stdin, *forest); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-		}
+		src.set(st)
 	} else {
 		if *topk != 0 {
 			return fmt.Errorf("-workers %d requires -topk 0: sharded synopses with top-k tracking cannot be merged", *workers)
 		}
-		in, err := sketchtree.NewIngestor(cfg, *workers)
+		var err error
+		if in, err = sketchtree.NewIngestor(cfg, *workers); err != nil {
+			return err
+		}
+		src.setIngestor(in)
+	}
+	if *metrics != "" {
+		src.enableMetrics(true)
+		srv, addr, err := serveMetrics(*metrics, src.snapshot)
 		if err != nil {
 			return err
 		}
-		for _, name := range inputs {
-			if err := addInput(in, name, stdin, *forest); err != nil {
-				return fmt.Errorf("%s: %w", name, err)
-			}
-		}
-		if st, err = in.Close(); err != nil {
-			return err
+		defer srv.Close()
+		fmt.Fprintf(stdout, "metrics: serving http://%s/stats /metrics /debug/pprof/\n", addr)
+	}
+
+	var sink xmlSink = in
+	if in == nil {
+		sink = src.tree()
+	}
+	for _, name := range inputs {
+		if err := addInput(sink, name, stdin, *forest); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
+	if in != nil {
+		st, err := in.Close()
+		if err != nil {
+			return err
+		}
+		src.set(st)
+	}
+	st := src.tree()
 	fmt.Fprintf(stdout, "processed %d trees, %d pattern occurrences\n",
 		st.TreesProcessed(), st.PatternsProcessed())
 	mem := st.MemoryBytes()
@@ -115,7 +147,103 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	for _, q := range queries {
 		answer(stdout, st, q, *useSum)
 	}
+	if *metrics != "" {
+		printStats(stdout, st.Stats())
+		if metricsHook != nil {
+			metricsHook()
+		}
+	}
 	return nil
+}
+
+// metricsHook, when set by tests, runs after the queries are answered
+// while the -metrics server is still listening.
+var metricsHook func()
+
+// statsSource hands the metrics server a stable snapshot function
+// across the ingestor → merged-synopsis handover.
+type statsSource struct {
+	mu sync.Mutex
+	st *sketchtree.SketchTree
+	in *sketchtree.Ingestor
+}
+
+func (s *statsSource) set(st *sketchtree.SketchTree) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.st = st
+}
+
+func (s *statsSource) setIngestor(in *sketchtree.Ingestor) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.in = in
+}
+
+func (s *statsSource) tree() *sketchtree.SketchTree {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st
+}
+
+func (s *statsSource) enableMetrics(on bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		s.st.EnableMetrics(on)
+	}
+	if s.in != nil {
+		s.in.EnableMetrics(on)
+	}
+}
+
+// snapshot reads the current pipeline stats: the merged synopsis once
+// it exists, the live shard aggregate before that.
+func (s *statsSource) snapshot() sketchtree.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.st != nil {
+		return s.st.Stats()
+	}
+	if s.in != nil {
+		return s.in.Stats().Snapshot
+	}
+	return sketchtree.Stats{}
+}
+
+// serveMetrics starts the observability endpoint: JSON snapshot,
+// Prometheus text format, and net/http/pprof.
+func serveMetrics(addr string, snap func() sketchtree.Stats) (*http.Server, string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, "", fmt.Errorf("-metrics %s: %w", addr, err)
+	}
+	mux := http.NewServeMux()
+	mux.Handle("/stats", sketchtree.StatsJSONHandler(snap))
+	mux.Handle("/metrics", sketchtree.StatsPromHandler(snap))
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return srv, ln.Addr().String(), nil
+}
+
+// printStats writes the end-of-run stage-timing summary.
+func printStats(w io.Writer, s sketchtree.Stats) {
+	fmt.Fprintf(w, "stages (count, total, per-op):\n")
+	for st := sketchtree.Stage(0); st < sketchtree.Stage(len(s.Stages)); st++ {
+		sg := s.Stage(st)
+		if sg.Count == 0 {
+			continue
+		}
+		fmt.Fprintf(w, "  %-12s %9d  %12v  %9v\n", st, sg.Count, sg.Duration(), sg.PerOp())
+	}
+	q := s.Queries
+	fmt.Fprintf(w, "queries: %d (%d errors), total latency %v\n",
+		q.Count, q.Errors, time.Duration(q.Nanos))
 }
 
 // xmlSink is the ingestion surface shared by the sequential SketchTree

@@ -63,8 +63,19 @@ func (s *Safe) AddXML(r io.Reader) error {
 // updates interleave with a long-running forest load; the forest is
 // not applied atomically.
 func (s *Safe) AddXMLForest(r io.Reader) error {
-	return StreamXMLForest(r, s.AddTree)
+	return streamForestTimed(s.st.e.Metrics(), r, s.AddTree)
 }
+
+// EnableMetrics switches stage timers and query-latency measurement on
+// or off (see SketchTree.EnableMetrics).
+func (s *Safe) EnableMetrics(on bool) {
+	// The metrics flag is itself atomic; no lock needed.
+	s.st.EnableMetrics(on)
+}
+
+// Stats reads the observability snapshot. The counters are atomics, so
+// no lock is taken: Stats never blocks behind a long update.
+func (s *Safe) Stats() Stats { return s.st.Stats() }
 
 // Merge folds a plain SketchTree's synopsis into this one under the
 // write lock — the fan-in half of parallel ingestion (see Ingestor and

@@ -1,23 +1,34 @@
-// Sliding-window trend monitoring: a feed processor keeps a SketchTree
-// synopsis over the most recent W trees only, exploiting the AMS
-// deletion property (paper §5.2) — expired trees are simply subtracted
-// from the sketches. The monitor reports how a pattern's windowed
-// count moves as the stream drifts from bibliography records toward
-// conference papers, and checkpoints the synopsis with Save/Load.
+// Live pipeline monitoring: a feed processor keeps a SketchTree
+// synopsis over the most recent W trees (the AMS deletion property,
+// paper §5.2) while the new observability layer watches the pipeline
+// itself. Metrics are enabled up front; the monitor polls Stats()
+// between batches and reports
+//
+//   - drift: the windowed count of a pattern as the stream shifts from
+//     bibliography records toward conference papers, and
+//   - throughput: patterns/sec and the per-stage cost breakdown
+//     (EnumTree, Prüfer+fingerprint, sketch update, top-k) from the
+//     stage timers, plus the query-latency histogram.
+//
+// The same Stats() call drives cmd/sketchtree's -metrics endpoint; a
+// service would poll or scrape it exactly like this loop does.
 //
 //	go run ./examples/monitoring
 package main
 
 import (
-	"bytes"
 	"fmt"
 	"log"
+	"time"
 
 	"sketchtree"
 	"sketchtree/internal/datagen"
 )
 
-const window = 2000
+const (
+	window = 2000
+	batch  = 1000
+)
 
 func main() {
 	cfg := sketchtree.DefaultConfig()
@@ -28,6 +39,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Opt in to stage timers and query-latency measurement. Counters
+	// (trees, patterns, queries) are on regardless.
+	st.EnableMetrics(true)
 
 	// Two phases of stream drift: mostly articles first, then mostly
 	// inproceedings (different generator seeds shift the type mix by
@@ -37,9 +51,11 @@ func main() {
 	stream := append(phase1, phase2...)
 
 	q := sketchtree.Pattern("inproceedings", sketchtree.Pattern("author"))
-	fmt.Printf("windowed count of inproceedings/author (window = %d trees):\n\n", window)
+	fmt.Printf("windowed count of inproceedings/author (window = %d trees), with pipeline stats:\n\n", window)
 
 	var win []*sketchtree.Tree
+	prev := st.Stats()
+	prevAt := time.Now()
 	for i, t := range stream {
 		if err := st.AddTree(t); err != nil {
 			log.Fatal(err)
@@ -52,34 +68,49 @@ func main() {
 			}
 			win = win[1:]
 		}
-		if (i+1)%1000 == 0 {
-			est, err := st.CountOrdered(q)
-			if err != nil {
-				log.Fatal(err)
-			}
-			bar := int(est / 40)
-			if bar < 0 {
-				bar = 0
-			}
-			fmt.Printf("  after %5d trees: ≈ %6.0f %s\n", i+1, est, bars(bar))
+		if (i+1)%batch != 0 {
+			continue
 		}
+		est, err := st.CountOrdered(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Drift: the windowed estimate. Throughput: the sketch stage's
+		// op count is gross (adds and removals both update sketches),
+		// unlike the net Patterns counter, so its delta over wall time
+		// is the pipeline's true pattern throughput.
+		now := time.Now()
+		cur := st.Stats()
+		elapsed := now.Sub(prevAt).Seconds()
+		ops := cur.Stage(sketchtree.StageSketch).Count - prev.Stage(sketchtree.StageSketch).Count
+		fmt.Printf("  after %5d trees: ≈ %6.0f %-14s  %7.0f patterns/s\n",
+			i+1, est, bars(int(est/40)), float64(ops)/elapsed)
+		prev, prevAt = cur, now
 	}
 
-	// Checkpoint the synopsis and resume it — estimates carry over
-	// bit-for-bit.
-	var buf bytes.Buffer
-	if err := st.Save(&buf); err != nil {
-		log.Fatal(err)
+	// The cumulative per-stage cost breakdown the stage timers
+	// collected along the way (parse is idle here: the stream comes
+	// from the generator, not XML).
+	s := st.Stats()
+	fmt.Printf("\npipeline totals: %d trees net (%d removals), %d pattern occurrences net\n",
+		s.Trees, s.Removes, s.Patterns)
+	fmt.Printf("stage breakdown (count, total, per-op):\n")
+	for stage := sketchtree.Stage(0); stage < sketchtree.Stage(len(s.Stages)); stage++ {
+		sg := s.Stage(stage)
+		if sg.Count == 0 {
+			continue
+		}
+		fmt.Printf("  %-12s %9d  %12v  %9v\n", stage, sg.Count, sg.Duration(), sg.PerOp())
 	}
-	size := buf.Len()
-	resumed, err := sketchtree.Load(&buf)
-	if err != nil {
-		log.Fatal(err)
+	fmt.Printf("queries: %d answered, %d errors, mean latency %v\n",
+		s.Queries.Count, s.Queries.Errors, meanLatency(s.Queries))
+}
+
+func meanLatency(q sketchtree.QueryStats) time.Duration {
+	if n := q.Timed(); n > 0 {
+		return time.Duration(q.Nanos / n)
 	}
-	a, _ := st.CountOrdered(q)
-	b, _ := resumed.CountOrdered(q)
-	fmt.Printf("\ncheckpoint: %d bytes; estimate before %.0f / after restore %.0f (identical: %v)\n",
-		size, a, b, a == b)
+	return 0
 }
 
 // keepType filters the generator output to records of one type.
@@ -98,6 +129,12 @@ func keepType(src *datagen.Source, typ string, n int) []*sketchtree.Tree {
 }
 
 func bars(n int) string {
+	if n < 0 {
+		n = 0
+	}
+	if n > 40 {
+		n = 40
+	}
 	out := make([]byte, n)
 	for i := range out {
 		out[i] = '#'

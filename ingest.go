@@ -7,6 +7,10 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchtree/internal/obs"
 )
 
 // ErrIngestorClosed is returned by Ingestor.Add after Close has been
@@ -37,6 +41,16 @@ type Ingestor struct {
 	wg     sync.WaitGroup
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+
+	// met carries producer-side stages (XML parse time); the per-shard
+	// enumeration/sketch stages live on each shard's own metrics.
+	met *obs.Metrics
+	// Queue telemetry: the high-water mark of the bounded channel's
+	// depth (always on — no clock), and how long producers spent
+	// blocked on a full queue (timers only).
+	queueHWM   atomic.Int64
+	blocks     atomic.Int64
+	blockNanos atomic.Int64
 
 	// mu guards closed. Add holds the read side across the channel
 	// send, so Close (write side) cannot close the channel while a
@@ -81,6 +95,7 @@ func NewIngestorContext(ctx context.Context, cfg Config, workers int) (*Ingestor
 		ch:     make(chan *Tree, 2*workers),
 		ctx:    ctx,
 		cancel: cancel,
+		met:    &obs.Metrics{},
 	}
 	for _, shard := range shards {
 		in.wg.Add(1)
@@ -125,17 +140,44 @@ func (in *Ingestor) Add(t *Tree) error {
 	if in.closed {
 		return ErrIngestorClosed
 	}
+	// Fast path: queue has room. The failed non-blocking attempt is
+	// how backpressure becomes observable without any clock calls.
 	select {
 	case in.ch <- t:
+		in.noteDepth()
+		return nil
+	default:
+	}
+	in.blocks.Add(1)
+	start := in.met.Now() // zero (no clock call) unless timers are on
+	select {
+	case in.ch <- t:
+		if !start.IsZero() {
+			in.blockNanos.Add(time.Since(start).Nanoseconds())
+		}
+		in.noteDepth()
 		return nil
 	case <-in.ctx.Done():
 		return context.Cause(in.ctx)
 	}
 }
 
+// noteDepth maintains the queue-depth high-water mark after a send.
+func (in *Ingestor) noteDepth() {
+	d := int64(len(in.ch))
+	for {
+		cur := in.queueHWM.Load()
+		if d <= cur || in.queueHWM.CompareAndSwap(cur, d) {
+			return
+		}
+	}
+}
+
 // AddXML parses one XML document and submits it for ingestion.
 func (in *Ingestor) AddXML(r io.Reader) error {
+	start := in.met.Now()
 	t, err := ParseXML(r)
+	in.met.StageSince(obs.StageParse, start)
 	if err != nil {
 		return err
 	}
@@ -144,8 +186,71 @@ func (in *Ingestor) AddXML(r io.Reader) error {
 
 // AddXMLForest streams every tree of a rooted XML forest document into
 // the ingestor: parsing overlaps with the workers' sketch updates.
+// Time blocked on a full queue is accounted as producer block time,
+// not parse time.
 func (in *Ingestor) AddXMLForest(r io.Reader) error {
-	return StreamXMLForest(r, in.Add)
+	return streamForestTimed(in.met, r, in.Add)
+}
+
+// EnableMetrics switches stage timers on for the producer side (XML
+// parse, block-time measurement) and every worker shard (enumeration,
+// fingerprint, sketch stages). Counters and the queue high-water mark
+// are always maintained. Call it right after NewIngestor for complete
+// timings; flipping mid-stream is safe but only covers later work.
+func (in *Ingestor) EnableMetrics(on bool) {
+	in.met.EnableTimers(on)
+	for _, s := range in.shards {
+		s.EnableMetrics(on)
+	}
+}
+
+// ShardStats is one worker shard's ingestion totals.
+type ShardStats struct {
+	Trees    int64
+	Patterns int64
+}
+
+// IngestStats is the Ingestor's observability snapshot: the aggregate
+// pipeline snapshot (shards summed plus producer-side parsing) and the
+// queue/backpressure telemetry. Safe to call while ingestion runs; the
+// totals are per-counter exact but not cut at a single instant.
+type IngestStats struct {
+	// Snapshot aggregates every shard's stage timings and counters
+	// with the producer-side parse stage.
+	Snapshot Stats
+	// Shards holds per-shard trees/patterns — the fan-out balance.
+	Shards []ShardStats
+	// QueueCapacity and QueueHighWater bound and report the deepest
+	// the bounded tree queue has been after a send.
+	QueueCapacity  int
+	QueueHighWater int
+	// ProducerBlocks counts Adds that found the queue full;
+	// ProducerBlockTime is the total time producers spent blocked
+	// (measured only while metrics are enabled).
+	ProducerBlocks    int64
+	ProducerBlockTime time.Duration
+}
+
+// Stats reads the ingestor's observability snapshot. It is meant for
+// live monitoring while ingestion runs; after Close, read the merged
+// SketchTree's Stats instead (the merge folds shard 0 and the
+// producer-side totals together, so this aggregate would double
+// count).
+func (in *Ingestor) Stats() IngestStats {
+	st := IngestStats{
+		Snapshot:          in.met.Snapshot(),
+		Shards:            make([]ShardStats, len(in.shards)),
+		QueueCapacity:     cap(in.ch),
+		QueueHighWater:    int(in.queueHWM.Load()),
+		ProducerBlocks:    in.blocks.Load(),
+		ProducerBlockTime: time.Duration(in.blockNanos.Load()),
+	}
+	for i, s := range in.shards {
+		snap := s.Stats()
+		st.Shards[i] = ShardStats{Trees: snap.Trees, Patterns: snap.Patterns}
+		st.Snapshot.Add(snap)
+	}
+	return st
 }
 
 // Err returns the first worker error or external cancellation cause,
@@ -184,6 +289,10 @@ func (in *Ingestor) Close() (*SketchTree, error) {
 			return nil, err
 		}
 	}
+	// Producer-side work (XML parse time, if timed) transfers to the
+	// merged synopsis, whose Stats then covers the whole pipeline. The
+	// per-shard stage timings were folded in by Merge itself.
+	merged.e.Metrics().Absorb(in.met)
 	return merged, nil
 }
 

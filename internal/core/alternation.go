@@ -81,12 +81,19 @@ func alternate(q *tree.Node, max int) ([]*tree.Node, error) {
 // plain alternatives and their total frequency is estimated with the
 // set estimator (paper Example 5's who/what/how-question counting).
 func (e *Engine) EstimateAlternations(q *tree.Node) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateAlternations(q)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateAlternations(q *tree.Node) (float64, error) {
 	pats, err := Alternations(q, 0)
 	if err != nil {
 		return 0, err
 	}
 	if len(pats) == 1 {
-		return e.EstimateOrdered(pats[0])
+		return e.estimateOrdered(pats[0])
 	}
-	return e.EstimateOrderedSet(pats)
+	return e.estimateOrderedSet(pats)
 }

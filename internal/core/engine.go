@@ -11,11 +11,13 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"time"
 
 	"sketchtree/internal/ams"
 	"sketchtree/internal/enum"
 	"sketchtree/internal/exact"
 	"sketchtree/internal/gf2"
+	"sketchtree/internal/obs"
 	"sketchtree/internal/prufer"
 	"sketchtree/internal/rabin"
 	"sketchtree/internal/summary"
@@ -153,6 +155,11 @@ type Engine struct {
 	trees    int64
 	patterns int64
 
+	// met mirrors trees/patterns in race-free atomics and carries the
+	// stage timers and query-latency histogram. Counters are always
+	// maintained; timers only when enabled (obs.Metrics.EnableTimers).
+	met *obs.Metrics
+
 	prep      *xi.Prep         // reused across updates
 	encodeBuf []byte           // reused sequence-encoding buffer
 	en        *enum.Enumerator // reused across updates; Reset per tree
@@ -212,6 +219,7 @@ func New(cfg Config) (*Engine, error) {
 		streams: streams,
 		fp:      fp,
 		rng:     rng,
+		met:     &obs.Metrics{},
 		prep:    &xi.Prep{},
 		en:      en,
 	}
@@ -285,15 +293,47 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	if t == nil || t.Root == nil {
 		return fmt.Errorf("core: nil tree")
 	}
+	// Stage timing accumulates in locals and flushes to the atomics
+	// once per tree; with timers off the whole apparatus reduces to one
+	// boolean test per pattern. occ mirrors the per-occurrence pattern
+	// counter so the metrics atomics are updated even on the
+	// partial-state error path.
+	timed := e.met.TimersOn()
+	var enumNs, fpNs, skNs, tkNs, tkOps, occ int64
+	var mark time.Time
+	if timed {
+		mark = time.Now()
+	}
 	// The enumerator is reused across updates like prep/encodeBuf; its
 	// memo is keyed by node identity and must be reset per tree.
 	e.en.Reset()
 	err := e.en.ForEach(t.Root, func(p *enum.Pattern) error {
+		if timed {
+			now := time.Now()
+			enumNs += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 		v := e.patternValueReuse(p.ToTree())
+		if timed {
+			now := time.Now()
+			fpNs += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 		e.fam.Prepare(v, e.prep)
 		e.streams.UpdatePrepared(v, e.prep, delta)
+		if timed {
+			now := time.Now()
+			skNs += now.Sub(mark).Nanoseconds()
+			mark = now
+		}
 		if delta > 0 && e.trackers != nil && e.sampleTopK() {
 			e.trackers[e.streams.Route(v)].Process(v, e.prep)
+			if timed {
+				now := time.Now()
+				tkNs += now.Sub(mark).Nanoseconds()
+				mark = now
+				tkOps++
+			}
 		}
 		if e.truth != nil {
 			e.truth.Add(v, delta)
@@ -306,8 +346,16 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 		// exactly the occurrences the sketches actually absorbed (the
 		// partial-state contract documented on AddTree).
 		e.patterns += delta
+		occ++
 		return nil
 	})
+	if timed {
+		e.met.StageAdd(obs.StageEnum, occ, enumNs)
+		e.met.StageAdd(obs.StageFingerprint, occ, fpNs)
+		e.met.StageAdd(obs.StageSketch, occ, skNs)
+		e.met.StageAdd(obs.StageTopK, tkOps, tkNs)
+	}
+	e.met.AddPatterns(occ * delta)
 	if err != nil {
 		return err
 	}
@@ -317,6 +365,10 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 		e.sum.AddTree(t)
 	}
 	e.trees += delta
+	e.met.AddTrees(delta)
+	if delta < 0 {
+		e.met.AddRemoves(1)
+	}
 	return nil
 }
 
@@ -385,6 +437,19 @@ func (e *Engine) EstimateSelfJoinSize(compensated bool) float64 {
 // pattern's one-dimensional value. The experiment harness uses it to
 // build ground-truth catalogs in the same stream pass.
 func (e *Engine) SetObserver(fn func(v uint64, p *enum.Pattern)) { e.observer = fn }
+
+// Metrics returns the engine's observability layer: always-on atomic
+// counters plus opt-in stage timers and the query-latency histogram
+// (obs.Metrics.EnableTimers). Reading it (Snapshot) is safe while the
+// engine updates.
+func (e *Engine) Metrics() *obs.Metrics { return e.met }
+
+// Stats reads the engine's observability snapshot. Unlike
+// TreesProcessed/PatternsProcessed it is safe to call concurrently
+// with updates (the counters are atomics) and additionally carries
+// per-stage timings and the query-latency histogram when timers are
+// enabled.
+func (e *Engine) Stats() obs.Snapshot { return e.met.Snapshot() }
 
 // TreesProcessed returns the number of trees folded into the synopsis.
 func (e *Engine) TreesProcessed() int64 { return e.trees }

@@ -280,6 +280,68 @@ func TestArrangements(t *testing.T) {
 	}
 }
 
+// Regression: Arrangements generates multiset permutations directly.
+// The old generate-n!-then-dedupe scheme hit the cap on repeated
+// children long before producing its (few) distinct outputs.
+func TestArrangementsMultiset(t *testing.T) {
+	// 8 identical leaves: exactly 1 distinct arrangement. Pre-rewrite
+	// this enumerated 8! = 40320 permutations and tripped a cap of 2.
+	same := tree.New("A")
+	for i := 0; i < 8; i++ {
+		same.AddChild(tree.T("B"))
+	}
+	got, err := Arrangements(same, 2)
+	if err != nil {
+		t.Fatalf("8 identical children must not hit the cap: %v", err)
+	}
+	if len(got) != 1 {
+		t.Errorf("A{B×8}: %d arrangements, want 1", len(got))
+	}
+
+	// Multiset counts: distinct sequences = n! / ∏ (multiplicity!).
+	cases := []struct {
+		q    *tree.Node
+		want int
+	}{
+		// 3!/2! = 3: BBC, BCB, CBB.
+		{tree.T("A", tree.T("B"), tree.T("B"), tree.T("C")), 3},
+		// 4!/(2!·2!) = 6.
+		{tree.T("A", tree.T("B"), tree.T("C"), tree.T("B"), tree.T("C")), 6},
+		// Repeated subtrees count by unordered shape, not by pointer:
+		// B(X) appears twice → 3!/2! = 3.
+		{tree.T("A", tree.T("B", tree.T("X")), tree.T("B", tree.T("X")), tree.T("C")), 3},
+		// Children that are equal as unordered trees group together even
+		// when written in different child orders: both are B{X,Y}, and
+		// each slot can take either of its 2 orderings → 2² = 4.
+		{tree.T("A",
+			tree.T("B", tree.T("X"), tree.T("Y")),
+			tree.T("B", tree.T("Y"), tree.T("X"))), 4},
+	}
+	for _, c := range cases {
+		got, err := Arrangements(c.q, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", c.q, err)
+		}
+		if len(got) != c.want {
+			t.Errorf("%s: %d arrangements, want %d", c.q, len(got), c.want)
+		}
+		// Distinct by construction: no two outputs may serialize alike.
+		seen := make(map[string]bool, len(got))
+		for _, a := range got {
+			s := a.String()
+			if seen[s] {
+				t.Errorf("%s: duplicate arrangement %s", c.q, s)
+			}
+			seen[s] = true
+		}
+	}
+
+	// The cap still applies to genuinely distinct sequences.
+	if _, err := Arrangements(tree.T("A", tree.T("B"), tree.T("B"), tree.T("C")), 2); err == nil {
+		t.Error("cap of 2 with 3 distinct arrangements must fail")
+	}
+}
+
 func TestEstimateExprProduct(t *testing.T) {
 	cfg := testConfig()
 	cfg.Independence = 6

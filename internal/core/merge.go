@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"sketchtree/internal/obs"
 	"sketchtree/internal/tree"
 )
 
@@ -22,6 +23,7 @@ func (e *Engine) Merge(o *Engine) error {
 	if o == nil {
 		return fmt.Errorf("core: nil engine")
 	}
+	start := e.met.Now() // zero (no clock call) unless timers are on
 	if e.cfg.TopK != 0 || o.cfg.TopK != 0 {
 		return fmt.Errorf("core: engines with top-k tracking cannot be merged")
 	}
@@ -71,6 +73,12 @@ func (e *Engine) Merge(o *Engine) error {
 	}
 	e.trees += o.trees
 	e.patterns += o.patterns
+	// The merged snapshot covers the operand's work too: its counters
+	// and stage timings fold in, and the merge itself is timed. Note
+	// Absorb already carries o's trees/patterns, so the plain counters
+	// above and the metrics stay aligned.
+	e.met.Absorb(o.met)
+	e.met.StageSince(obs.StageMerge, start)
 	return nil
 }
 
@@ -83,6 +91,13 @@ func (e *Engine) Merge(o *Engine) error {
 // it is an upper bound up to estimation error. Patterns within k fall
 // back to the plain estimator.
 func (e *Engine) EstimateOrderedUpperBound(q *tree.Node) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateOrderedUpperBound(q)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateOrderedUpperBound(q *tree.Node) (float64, error) {
 	if q == nil {
 		return 0, fmt.Errorf("core: nil query pattern")
 	}
@@ -92,7 +107,7 @@ func (e *Engine) EstimateOrderedUpperBound(q *tree.Node) (float64, error) {
 	}
 	k := e.cfg.MaxPatternEdges
 	if edges <= k {
-		return e.EstimateOrdered(q)
+		return e.estimateOrdered(q)
 	}
 	subs := subPatterns(q, k)
 	if len(subs) == 0 {
@@ -100,7 +115,7 @@ func (e *Engine) EstimateOrderedUpperBound(q *tree.Node) (float64, error) {
 	}
 	best := 0.0
 	for i, sp := range subs {
-		est, err := e.EstimateOrdered(sp)
+		est, err := e.estimateOrdered(sp)
 		if err != nil {
 			return 0, err
 		}

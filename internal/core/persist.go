@@ -10,6 +10,7 @@ import (
 	"sketchtree/internal/enum"
 	"sketchtree/internal/exact"
 	"sketchtree/internal/gf2"
+	"sketchtree/internal/obs"
 	"sketchtree/internal/rabin"
 	"sketchtree/internal/summary"
 	"sketchtree/internal/topk"
@@ -140,7 +141,12 @@ func Restore(data []byte) (*Engine, error) {
 		en:       en,
 		trees:    sn.Trees,
 		patterns: sn.Patterns,
+		met:      &obs.Metrics{},
 	}
+	// Stage timings and the latency histogram are process-local and
+	// start fresh, but the counters realign with the persisted totals
+	// so Stats matches TreesProcessed/PatternsProcessed after restore.
+	e.met.SeedCounts(sn.Trees, sn.Patterns)
 	if cfg.TopK > 0 {
 		if len(sn.TopKEntries) != cfg.VirtualStreams {
 			return nil, fmt.Errorf("core: %d top-k records for %d virtual streams",

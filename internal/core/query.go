@@ -29,6 +29,13 @@ func (e *Engine) validatePattern(q *tree.Node) error {
 // occurrences of the pattern in the stream so far (Algorithm 2 with
 // the §5.2 top-k compensation).
 func (e *Engine) EstimateOrdered(q *tree.Node) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateOrdered(q)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateOrdered(q *tree.Node) (float64, error) {
 	if err := e.validatePattern(q); err != nil {
 		return 0, err
 	}
@@ -45,6 +52,13 @@ func (e *Engine) EstimateOrdered(q *tree.Node) (float64, error) {
 // patterns using the single set estimator of Theorem 2 over the
 // combined sketch of the involved virtual streams.
 func (e *Engine) EstimateOrderedSet(qs []*tree.Node) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateOrderedSet(qs)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateOrderedSet(qs []*tree.Node) (float64, error) {
 	if len(qs) == 0 {
 		return 0, fmt.Errorf("core: empty pattern set")
 	}
@@ -85,68 +99,75 @@ func Arrangements(q *tree.Node, max int) ([]*tree.Node, error) {
 	return out, nil
 }
 
+// arrange generates the distinct ordered arrangements directly as
+// multiset permutations: children that are equal as unordered trees
+// (identical arrangement sets) collapse into one group, and the
+// recursion places group tokens rather than child indices. A star of m
+// identical leaves therefore yields its 1 arrangement in O(1) steps
+// instead of m! permutations deduplicated by string key, and the max
+// cap only trips when the output itself is large.
 func arrange(q *tree.Node, max int) ([]*tree.Node, error) {
 	if len(q.Children) == 0 {
 		return []*tree.Node{{Label: q.Label}}, nil
 	}
-	// Arrangements of each child subtree.
-	childArr := make([][]*tree.Node, len(q.Children))
-	for i, c := range q.Children {
+	// Group children by their canonical unordered form — the
+	// lexicographically smallest arrangement. Children in one group are
+	// interchangeable; children in different groups have disjoint
+	// arrangement sets (an ordered tree determines its unordered tree),
+	// so the generated sequences below are distinct by construction.
+	type group struct {
+		arr   []*tree.Node
+		count int
+	}
+	var groups []*group
+	index := map[string]*group{}
+	for _, c := range q.Children {
 		a, err := arrange(c, max)
 		if err != nil {
 			return nil, err
 		}
-		childArr[i] = a
-	}
-	seen := map[string]bool{}
-	var out []*tree.Node
-	idx := make([]int, len(q.Children))
-	for i := range idx {
-		idx[i] = i
-	}
-	var permute func(k int) error
-	emit := func() error {
-		pick := make([]int, len(idx))
-		copy(pick, idx)
-		sel := make([]*tree.Node, len(idx))
-		var choose func(i int) error
-		choose = func(i int) error {
-			if i == len(idx) {
-				n := &tree.Node{Label: q.Label, Children: append([]*tree.Node(nil), sel...)}
-				key := n.String()
-				if !seen[key] {
-					if len(out) >= max {
-						return fmt.Errorf("core: more than %d ordered arrangements", max)
-					}
-					seen[key] = true
-					out = append(out, n)
-				}
-				return nil
+		key := a[0].String()
+		for _, alt := range a[1:] {
+			if s := alt.String(); s < key {
+				key = s
 			}
-			for _, alt := range childArr[pick[i]] {
-				sel[i] = alt
-				if err := choose(i + 1); err != nil {
+		}
+		if g, ok := index[key]; ok {
+			g.count++
+			continue
+		}
+		g := &group{arr: a, count: 1}
+		index[key] = g
+		groups = append(groups, g)
+	}
+	var out []*tree.Node
+	slots := make([]*tree.Node, len(q.Children))
+	var place func(pos int) error
+	place = func(pos int) error {
+		if pos == len(slots) {
+			if len(out) >= max {
+				return fmt.Errorf("core: more than %d ordered arrangements", max)
+			}
+			out = append(out, &tree.Node{Label: q.Label, Children: append([]*tree.Node(nil), slots...)})
+			return nil
+		}
+		for _, g := range groups {
+			if g.count == 0 {
+				continue
+			}
+			g.count--
+			for _, alt := range g.arr {
+				slots[pos] = alt
+				if err := place(pos + 1); err != nil {
+					g.count++
 					return err
 				}
 			}
-			return nil
-		}
-		return choose(0)
-	}
-	permute = func(k int) error {
-		if k == len(idx) {
-			return emit()
-		}
-		for i := k; i < len(idx); i++ {
-			idx[k], idx[i] = idx[i], idx[k]
-			if err := permute(k + 1); err != nil {
-				return err
-			}
-			idx[k], idx[i] = idx[i], idx[k]
+			g.count++
 		}
 		return nil
 	}
-	if err := permute(0); err != nil {
+	if err := place(0); err != nil {
 		return nil, err
 	}
 	return out, nil
@@ -156,6 +177,13 @@ func arrange(q *tree.Node, max int) ([]*tree.Node, error) {
 // is the total ordered count over all its distinct arrangements
 // (§3.3), answered with the set estimator.
 func (e *Engine) EstimateUnordered(q *tree.Node) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateUnordered(q)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateUnordered(q *tree.Node) (float64, error) {
 	if err := e.validatePattern(q); err != nil {
 		return 0, err
 	}
@@ -163,7 +191,7 @@ func (e *Engine) EstimateUnordered(q *tree.Node) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
-	return e.EstimateOrderedSet(arr)
+	return e.estimateOrderedSet(arr)
 }
 
 // Expr is a query expression over pattern counts (§4 grammar) at the
@@ -242,6 +270,13 @@ func (e *Engine) compile2(l, r Expr, vals map[uint64]bool) (ams.Expr, ams.Expr, 
 // to have been configured with sufficient ξ independence
 // (Config.Independence >= 2 × the largest product degree).
 func (e *Engine) EstimateExpr(x Expr) (float64, error) {
+	start := e.met.QueryStart()
+	est, err := e.estimateExpr(x)
+	e.met.QueryDone(start, err)
+	return est, err
+}
+
+func (e *Engine) estimateExpr(x Expr) (float64, error) {
 	vals := make(map[uint64]bool)
 	ax, err := e.compile(x, vals)
 	if err != nil {
@@ -263,6 +298,13 @@ func (e *Engine) EstimateExpr(x Expr) (float64, error) {
 // summary was capped or expansions exceeded the enumerated pattern
 // size.
 func (e *Engine) EstimateExtended(q *summary.QueryNode) (float64, bool, error) {
+	start := e.met.QueryStart()
+	est, truncated, err := e.estimateExtended(q)
+	e.met.QueryDone(start, err)
+	return est, truncated, err
+}
+
+func (e *Engine) estimateExtended(q *summary.QueryNode) (float64, bool, error) {
 	if e.sum == nil {
 		return 0, false, fmt.Errorf("core: structural summary not enabled (Config.BuildSummary)")
 	}
@@ -273,7 +315,7 @@ func (e *Engine) EstimateExtended(q *summary.QueryNode) (float64, bool, error) {
 	if len(pats) == 0 {
 		return 0, truncated, nil
 	}
-	est, err := e.EstimateOrderedSet(pats)
+	est, err := e.estimateOrderedSet(pats)
 	return est, truncated, err
 }
 

@@ -1,0 +1,126 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+)
+
+// snapshotJSON is the expvar-style JSON document served by JSONHandler:
+// stages keyed by name, the histogram spelled out with its bounds.
+type snapshotJSON struct {
+	TimersEnabled bool                 `json:"timers_enabled"`
+	Trees         int64                `json:"trees"`
+	Patterns      int64                `json:"patterns"`
+	Removes       int64                `json:"removes"`
+	Stages        map[string]stageJSON `json:"stages"`
+	Queries       queryJSON            `json:"queries"`
+}
+
+type stageJSON struct {
+	Count int64 `json:"count"`
+	Nanos int64 `json:"nanos"`
+}
+
+type queryJSON struct {
+	Count   int64               `json:"count"`
+	Errors  int64               `json:"errors"`
+	Nanos   int64               `json:"nanos"`
+	Buckets []latencyBucketJSON `json:"latency_buckets"`
+}
+
+type latencyBucketJSON struct {
+	// LE is the bucket's inclusive upper bound in seconds ("+Inf" for
+	// the overflow bucket), Prometheus-style; Count is cumulative.
+	LE    string `json:"le"`
+	Count int64  `json:"count"`
+}
+
+// MarshalJSON renders the snapshot in the expvar-style layout.
+func (s Snapshot) MarshalJSON() ([]byte, error) {
+	doc := snapshotJSON{
+		TimersEnabled: s.TimersEnabled,
+		Trees:         s.Trees,
+		Patterns:      s.Patterns,
+		Removes:       s.Removes,
+		Stages:        make(map[string]stageJSON, NumStages),
+		Queries: queryJSON{
+			Count:  s.Queries.Count,
+			Errors: s.Queries.Errors,
+			Nanos:  s.Queries.Nanos,
+		},
+	}
+	for i := Stage(0); i < NumStages; i++ {
+		doc.Stages[i.String()] = stageJSON{Count: s.Stages[i].Count, Nanos: s.Stages[i].Nanos}
+	}
+	cum := int64(0)
+	for i, c := range s.Queries.Buckets {
+		cum += c
+		doc.Queries.Buckets = append(doc.Queries.Buckets, latencyBucketJSON{
+			LE:    bucketLE(i),
+			Count: cum,
+		})
+	}
+	return json.Marshal(doc)
+}
+
+// bucketLE formats bucket i's upper bound in seconds, "+Inf" for the
+// overflow bucket.
+func bucketLE(i int) string {
+	d := LatencyBucketBound(i)
+	if d < 0 {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(d.Seconds(), 'g', -1, 64)
+}
+
+// JSONHandler serves snap() as an expvar-style JSON document.
+func JSONHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(snap())
+	})
+}
+
+// PromHandler serves snap() in the Prometheus text exposition format
+// (metric family per counter, one histogram for query latency).
+func PromHandler(snap func() Snapshot) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s := snap()
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("sketchtree_trees_total", "Trees folded into the synopsis (net of removals).", s.Trees)
+		counter("sketchtree_patterns_total", "Pattern occurrences processed (1-D stream length).", s.Patterns)
+		counter("sketchtree_removes_total", "Explicit tree removals.", s.Removes)
+		counter("sketchtree_queries_total", "Queries answered, including failed ones.", s.Queries.Count)
+		counter("sketchtree_query_errors_total", "Queries that returned an error.", s.Queries.Errors)
+
+		fmt.Fprintf(w, "# HELP sketchtree_stage_ops_total Operations per pipeline stage.\n# TYPE sketchtree_stage_ops_total counter\n")
+		for i := Stage(0); i < NumStages; i++ {
+			fmt.Fprintf(w, "sketchtree_stage_ops_total{stage=%q} %d\n", i.String(), s.Stages[i].Count)
+		}
+		fmt.Fprintf(w, "# HELP sketchtree_stage_seconds_total Time per pipeline stage (timers must be enabled).\n# TYPE sketchtree_stage_seconds_total counter\n")
+		for i := Stage(0); i < NumStages; i++ {
+			fmt.Fprintf(w, "sketchtree_stage_seconds_total{stage=%q} %s\n",
+				i.String(), formatSeconds(s.Stages[i].Nanos))
+		}
+
+		fmt.Fprintf(w, "# HELP sketchtree_query_latency_seconds Latency of successful queries (timers must be enabled).\n# TYPE sketchtree_query_latency_seconds histogram\n")
+		cum := int64(0)
+		for i, c := range s.Queries.Buckets {
+			cum += c
+			fmt.Fprintf(w, "sketchtree_query_latency_seconds_bucket{le=%q} %d\n", bucketLE(i), cum)
+		}
+		fmt.Fprintf(w, "sketchtree_query_latency_seconds_sum %s\n", formatSeconds(s.Queries.Nanos))
+		fmt.Fprintf(w, "sketchtree_query_latency_seconds_count %d\n", cum)
+	})
+}
+
+func formatSeconds(nanos int64) string {
+	return strconv.FormatFloat(float64(nanos)/1e9, 'g', -1, 64)
+}

@@ -1,0 +1,313 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestStageString(t *testing.T) {
+	want := []string{"parse", "enum", "fingerprint", "sketch", "topk", "merge"}
+	for i, w := range want {
+		if got := Stage(i).String(); got != w {
+			t.Errorf("Stage(%d) = %q, want %q", i, got, w)
+		}
+	}
+	if got := Stage(-1).String(); got != "unknown" {
+		t.Errorf("Stage(-1) = %q", got)
+	}
+	if got := Stage(NumStages).String(); got != "unknown" {
+		t.Errorf("Stage(NumStages) = %q", got)
+	}
+}
+
+func TestLatencyBucketMapping(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want int
+	}{
+		{0, 0},
+		{999 * time.Nanosecond, 0},                // < 1µs
+		{time.Microsecond, 1},                     // [1µs, 2µs)
+		{1500 * time.Nanosecond, 1},               //
+		{2 * time.Microsecond, 2},                 // [2µs, 4µs)
+		{3 * time.Microsecond, 2},                 //
+		{time.Millisecond, 10},                    // 1000µs ∈ [2^9, 2^10)
+		{10 * time.Second, NumLatencyBuckets - 1}, // far past the range
+	}
+	for _, c := range cases {
+		if got := latencyBucket(c.d); got != c.want {
+			t.Errorf("latencyBucket(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+	// Every finite bucket bound must be consistent with the mapping: a
+	// duration just below bound i lands in bucket ≤ i, the bound itself
+	// lands strictly above.
+	for i := 0; i < NumLatencyBuckets-1; i++ {
+		b := LatencyBucketBound(i)
+		if b <= 0 {
+			t.Fatalf("bucket %d: non-positive finite bound %v", i, b)
+		}
+		if got := latencyBucket(b - time.Nanosecond); got > i {
+			t.Errorf("latencyBucket(bound(%d)-1ns) = %d, want <= %d", i, got, i)
+		}
+		if got := latencyBucket(b); got != i+1 {
+			t.Errorf("latencyBucket(bound(%d)) = %d, want %d", i, got, i+1)
+		}
+	}
+	if LatencyBucketBound(NumLatencyBuckets-1) >= 0 {
+		t.Error("overflow bucket must report a negative (unbounded) bound")
+	}
+}
+
+func TestNilReceiverSafe(t *testing.T) {
+	var m *Metrics
+	m.EnableTimers(true)
+	if m.TimersOn() {
+		t.Error("nil Metrics reports timers on")
+	}
+	if !m.Now().IsZero() {
+		t.Error("nil Metrics.Now() must be zero")
+	}
+	m.AddTrees(1)
+	m.AddPatterns(1)
+	m.AddRemoves(1)
+	m.StageAdd(StageEnum, 1, 1)
+	m.StageSince(StageEnum, time.Now())
+	m.QueryDone(m.QueryStart(), nil)
+	m.Absorb(&Metrics{})
+	(&Metrics{}).Absorb(m)
+	m.SeedCounts(1, 2)
+	if s := m.Snapshot(); s != (Snapshot{}) {
+		t.Errorf("nil Metrics.Snapshot() = %+v, want zero", s)
+	}
+}
+
+func TestTimersGate(t *testing.T) {
+	var m Metrics
+	if !m.Now().IsZero() {
+		t.Fatal("disabled timers: Now() must return the zero Time")
+	}
+	// A zero start records the query but not its latency.
+	m.QueryDone(time.Time{}, nil)
+	s := m.Snapshot()
+	if s.Queries.Count != 1 || s.Queries.Timed() != 0 || s.Queries.Nanos != 0 {
+		t.Errorf("untimed query: %+v", s.Queries)
+	}
+	// Zero-start StageSince is a no-op.
+	m.StageSince(StageSketch, time.Time{})
+	if got := m.Snapshot().Stage(StageSketch); got != (StageSnapshot{}) {
+		t.Errorf("zero-start StageSince recorded %+v", got)
+	}
+
+	m.EnableTimers(true)
+	if !m.TimersOn() {
+		t.Fatal("EnableTimers(true) not visible")
+	}
+	start := m.Now()
+	if start.IsZero() {
+		t.Fatal("enabled timers: Now() must return a real time")
+	}
+	m.StageSince(StageSketch, start)
+	if got := m.Snapshot().Stage(StageSketch); got.Count != 1 || got.Nanos <= 0 {
+		t.Errorf("timed StageSince recorded %+v", got)
+	}
+	m.QueryDone(m.QueryStart(), nil)
+	s = m.Snapshot()
+	if s.Queries.Count != 2 || s.Queries.Timed() != 1 || s.Queries.Nanos <= 0 {
+		t.Errorf("timed query: %+v", s.Queries)
+	}
+}
+
+func TestQueryErrorsExcludedFromHistogram(t *testing.T) {
+	var m Metrics
+	m.EnableTimers(true)
+	m.QueryDone(m.QueryStart(), errString("boom"))
+	s := m.Snapshot()
+	if s.Queries.Count != 1 || s.Queries.Errors != 1 {
+		t.Errorf("error query counters: %+v", s.Queries)
+	}
+	if s.Queries.Timed() != 0 || s.Queries.Nanos != 0 {
+		t.Errorf("failed query leaked into the histogram: %+v", s.Queries)
+	}
+}
+
+type errString string
+
+func (e errString) Error() string { return string(e) }
+
+func TestAbsorbAndSnapshotAdd(t *testing.T) {
+	var a, b Metrics
+	a.AddTrees(3)
+	a.AddPatterns(30)
+	a.StageAdd(StageEnum, 5, 500)
+	a.QueryDone(time.Time{}, nil)
+	b.AddTrees(4)
+	b.AddPatterns(40)
+	b.AddRemoves(2)
+	b.StageAdd(StageEnum, 7, 700)
+	b.StageAdd(StageMerge, 1, 90)
+	b.QueryDone(time.Time{}, errString("x"))
+
+	// Absorb on the write side and Snapshot.Add on the read side must
+	// agree.
+	sum := a.Snapshot()
+	sum.Add(b.Snapshot())
+	a.Absorb(&b)
+	if got := a.Snapshot(); got != sum {
+		t.Errorf("Absorb = %+v\nSnapshot.Add = %+v", got, sum)
+	}
+	s := a.Snapshot()
+	if s.Trees != 7 || s.Patterns != 70 || s.Removes != 2 {
+		t.Errorf("absorbed counters: %+v", s)
+	}
+	if st := s.Stage(StageEnum); st.Count != 12 || st.Nanos != 1200 {
+		t.Errorf("absorbed enum stage: %+v", st)
+	}
+	if s.Queries.Count != 2 || s.Queries.Errors != 1 {
+		t.Errorf("absorbed queries: %+v", s.Queries)
+	}
+}
+
+func TestSeedCounts(t *testing.T) {
+	var m Metrics
+	m.AddTrees(5)
+	m.SeedCounts(100, 2000)
+	s := m.Snapshot()
+	if s.Trees != 100 || s.Patterns != 2000 {
+		t.Errorf("seeded snapshot: %+v", s)
+	}
+}
+
+func TestStageSnapshotPerOp(t *testing.T) {
+	if got := (StageSnapshot{Count: 4, Nanos: 1000}).PerOp(); got != 250*time.Nanosecond {
+		t.Errorf("PerOp = %v", got)
+	}
+	if got := (StageSnapshot{}).PerOp(); got != 0 {
+		t.Errorf("idle PerOp = %v", got)
+	}
+}
+
+// The instrumentation contract: counter updates and disabled-timer
+// probes are allocation-free, so they can sit on the ingestion hot
+// path.
+func TestHotPathAllocationFree(t *testing.T) {
+	var m Metrics
+	ops := map[string]func(){
+		"AddTrees":      func() { m.AddTrees(1) },
+		"AddPatterns":   func() { m.AddPatterns(3) },
+		"AddRemoves":    func() { m.AddRemoves(1) },
+		"StageAdd":      func() { m.StageAdd(StageSketch, 3, 42) },
+		"Now(disabled)": func() { _ = m.Now() },
+		"TimersOn":      func() { _ = m.TimersOn() },
+		"QueryDone":     func() { m.QueryDone(time.Time{}, nil) },
+		"StageSince":    func() { m.StageSince(StageEnum, time.Time{}) },
+		"Snapshot":      func() { _ = m.Snapshot() },
+	}
+	for name, op := range ops {
+		if allocs := testing.AllocsPerRun(100, op); allocs != 0 {
+			t.Errorf("%s allocates %.1f times per call, want 0", name, allocs)
+		}
+	}
+	// Timing enabled still must not allocate (time.Now + atomics only).
+	m.EnableTimers(true)
+	timed := func() { m.StageSince(StageSketch, m.Now()) }
+	if allocs := testing.AllocsPerRun(100, timed); allocs != 0 {
+		t.Errorf("enabled StageSince allocates %.1f times per call, want 0", allocs)
+	}
+	query := func() { m.QueryDone(m.QueryStart(), nil) }
+	if allocs := testing.AllocsPerRun(100, query); allocs != 0 {
+		t.Errorf("enabled QueryDone allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func testSnapshot() Snapshot {
+	var m Metrics
+	m.EnableTimers(true)
+	m.AddTrees(10)
+	m.AddPatterns(100)
+	m.AddRemoves(1)
+	m.StageAdd(StageParse, 10, 1000)
+	m.StageAdd(StageSketch, 100, 5000)
+	m.QueryDone(m.QueryStart(), nil)
+	m.QueryDone(time.Time{}, errString("x"))
+	return m.Snapshot()
+}
+
+func TestJSONHandler(t *testing.T) {
+	rr := httptest.NewRecorder()
+	JSONHandler(testSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	if ct := rr.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Errorf("Content-Type = %q", ct)
+	}
+	var doc struct {
+		TimersEnabled bool  `json:"timers_enabled"`
+		Trees         int64 `json:"trees"`
+		Patterns      int64 `json:"patterns"`
+		Removes       int64 `json:"removes"`
+		Stages        map[string]struct {
+			Count int64 `json:"count"`
+			Nanos int64 `json:"nanos"`
+		} `json:"stages"`
+		Queries struct {
+			Count   int64 `json:"count"`
+			Errors  int64 `json:"errors"`
+			Buckets []struct {
+				LE    string `json:"le"`
+				Count int64  `json:"count"`
+			} `json:"latency_buckets"`
+		} `json:"queries"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, rr.Body.String())
+	}
+	if !doc.TimersEnabled || doc.Trees != 10 || doc.Patterns != 100 || doc.Removes != 1 {
+		t.Errorf("top-level counters: %+v", doc)
+	}
+	if len(doc.Stages) != NumStages {
+		t.Errorf("stages: %d entries, want %d", len(doc.Stages), NumStages)
+	}
+	if st := doc.Stages["sketch"]; st.Count != 100 || st.Nanos != 5000 {
+		t.Errorf("sketch stage: %+v", st)
+	}
+	if doc.Queries.Count != 2 || doc.Queries.Errors != 1 {
+		t.Errorf("queries: %+v", doc.Queries)
+	}
+	if len(doc.Queries.Buckets) != NumLatencyBuckets {
+		t.Fatalf("buckets: %d, want %d", len(doc.Queries.Buckets), NumLatencyBuckets)
+	}
+	last := doc.Queries.Buckets[NumLatencyBuckets-1]
+	if last.LE != "+Inf" || last.Count != 1 {
+		t.Errorf("overflow bucket: %+v (cumulative count must equal timed queries)", last)
+	}
+	// Cumulative counts must be monotone.
+	for i := 1; i < len(doc.Queries.Buckets); i++ {
+		if doc.Queries.Buckets[i].Count < doc.Queries.Buckets[i-1].Count {
+			t.Fatalf("bucket %d not cumulative: %+v", i, doc.Queries.Buckets)
+		}
+	}
+}
+
+func TestPromHandler(t *testing.T) {
+	rr := httptest.NewRecorder()
+	PromHandler(testSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	body := rr.Body.String()
+	for _, want := range []string{
+		"sketchtree_trees_total 10",
+		"sketchtree_patterns_total 100",
+		"sketchtree_removes_total 1",
+		"sketchtree_queries_total 2",
+		"sketchtree_query_errors_total 1",
+		`sketchtree_stage_ops_total{stage="sketch"} 100`,
+		`sketchtree_stage_seconds_total{stage="sketch"} 5e-06`,
+		`sketchtree_query_latency_seconds_bucket{le="+Inf"} 1`,
+		"sketchtree_query_latency_seconds_count 1",
+		"# TYPE sketchtree_query_latency_seconds histogram",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("Prometheus output missing %q", want)
+		}
+	}
+}

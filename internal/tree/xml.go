@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"strings"
+	"unicode/utf8"
 )
 
 // XMLOptions controls how XML documents are mapped to labeled trees.
@@ -14,6 +15,14 @@ type XMLOptions struct {
 	// nodes whose label is the trimmed text. This matches the paper's
 	// semantics for DBLP ("the queries had element names as well as
 	// values (CDATA)"): a value is treated as a node label.
+	//
+	// Adjacent character data is coalesced into one value node: text
+	// split by comments, CDATA section boundaries, processing
+	// instructions or entity expansion ("<a>x<!--c-->y</a>",
+	// "<a>x<![CDATA[y]]></a>") accumulates and is trimmed once, at the
+	// element's end or at the next child element. Markup noise
+	// therefore never changes which value a document maps to — only a
+	// child element starts a new value node.
 	IncludeValues bool
 
 	// IncludeAttributes maps each attribute to a child node labeled
@@ -22,9 +31,12 @@ type XMLOptions struct {
 	// default.
 	IncludeAttributes bool
 
-	// MaxValueLen truncates value labels to this many bytes (0 = no
-	// limit). Long CDATA blobs would otherwise dominate the label
-	// alphabet for no analytical gain.
+	// MaxValueLen truncates value labels to at most this many bytes
+	// (0 = no limit). Long CDATA blobs would otherwise dominate the
+	// label alphabet for no analytical gain. Truncation backs off to
+	// the nearest rune boundary so a clipped label is always valid
+	// UTF-8 (a multi-byte rune is dropped rather than split); the
+	// limit is an upper bound, not an exact length.
 	MaxValueLen int
 
 	// MaxNodes aborts parsing of a single tree once it exceeds this
@@ -98,6 +110,27 @@ func parseElement(dec *xml.Decoder, start xml.StartElement, opt XMLOptions, budg
 			n.Children = append(n.Children, attr)
 		}
 	}
+	// Adjacent character data accumulates in text and becomes one value
+	// node per contiguous run: comments, CDATA boundaries, processing
+	// instructions and entity expansion split the decoder's CharData
+	// tokens but not the logical value. The run is trimmed and clipped
+	// once, when a child element or the element's end flushes it.
+	var text []byte
+	flush := func() error {
+		if len(text) == 0 {
+			return nil
+		}
+		v := strings.TrimSpace(string(text))
+		text = text[:0]
+		if v == "" {
+			return nil
+		}
+		if err := budget.take(); err != nil {
+			return err
+		}
+		n.Children = append(n.Children, &Node{Label: clipValue(v, opt.MaxValueLen)})
+		return nil
+	}
 	for {
 		tok, err := dec.Token()
 		if err != nil {
@@ -105,25 +138,23 @@ func parseElement(dec *xml.Decoder, start xml.StartElement, opt XMLOptions, budg
 		}
 		switch t := tok.(type) {
 		case xml.StartElement:
+			if err := flush(); err != nil {
+				return nil, err
+			}
 			c, err := parseElement(dec, t, opt, budget)
 			if err != nil {
 				return nil, err
 			}
 			n.Children = append(n.Children, c)
 		case xml.EndElement:
-			return n, nil
-		case xml.CharData:
-			if !opt.IncludeValues {
-				continue
-			}
-			v := strings.TrimSpace(string(t))
-			if v == "" {
-				continue
-			}
-			if err := budget.take(); err != nil {
+			if err := flush(); err != nil {
 				return nil, err
 			}
-			n.Children = append(n.Children, &Node{Label: clipValue(v, opt.MaxValueLen)})
+			return n, nil
+		case xml.CharData:
+			if opt.IncludeValues {
+				text = append(text, t...)
+			}
 		default:
 			// Comments, directives and processing instructions carry
 			// no tree structure.
@@ -131,11 +162,20 @@ func parseElement(dec *xml.Decoder, start xml.StartElement, opt XMLOptions, budg
 	}
 }
 
+// clipValue truncates a value label to at most max bytes without
+// splitting a multi-byte UTF-8 rune: the cut backs off to the nearest
+// rune start, so the result is valid UTF-8 whenever the input is (a
+// naive v[:max] can end in a dangling continuation-byte prefix like
+// "\xc3" and break WriteXML round-trips).
 func clipValue(v string, max int) string {
-	if max > 0 && len(v) > max {
-		return v[:max]
+	if max <= 0 || len(v) <= max {
+		return v
 	}
-	return v
+	cut := max
+	for cut > 0 && !utf8.RuneStart(v[cut]) {
+		cut--
+	}
+	return v[:cut]
 }
 
 // StreamForest parses one large XML document, removes its root tag, and

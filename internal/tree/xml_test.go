@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"strings"
 	"testing"
+	"unicode/utf8"
 )
 
 func TestParseXMLBasic(t *testing.T) {
@@ -73,6 +74,137 @@ func TestParseXMLValueTruncation(t *testing.T) {
 	}
 	if got := tr.Root.Children[0].Label; got != strings.Repeat("x", 10) {
 		t.Errorf("value not truncated: %q", got)
+	}
+}
+
+// Regression: truncation must back off to a rune boundary. A naive
+// v[:max] cuts the 40×"é" (80-byte) value mid-rune at byte 63, leaving
+// a dangling 0xc3 continuation prefix — invalid UTF-8 that corrupts the
+// label and breaks WriteXML round-trips.
+func TestParseXMLValueTruncationRuneSafe(t *testing.T) {
+	val := strings.Repeat("é", 40) // 2 bytes per rune
+	opt := XMLOptions{IncludeValues: true, IncludeAttributes: true, MaxValueLen: 63}
+	tr, err := ParseXMLString(`<a k="`+val+`">`+val+`</a>`, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Repeat("é", 31) // 62 bytes: the limit is an upper bound
+	var labels []string
+	for _, c := range tr.Root.Children {
+		if c.IsLeaf() {
+			labels = append(labels, c.Label)
+		} else {
+			labels = append(labels, c.Children[0].Label) // @k attribute value
+		}
+	}
+	if len(labels) != 2 {
+		t.Fatalf("got %d value labels, want element + attribute: %s", len(labels), tr)
+	}
+	for _, got := range labels {
+		if !utf8.ValidString(got) {
+			t.Errorf("clipped label is invalid UTF-8: %q", got)
+		}
+		if got != want {
+			t.Errorf("clipped label = %q (%d bytes), want %q", got, len(got), want)
+		}
+	}
+}
+
+func TestClipValue(t *testing.T) {
+	cases := []struct {
+		v    string
+		max  int
+		want string
+	}{
+		{"hello", 0, "hello"},   // 0 = unlimited
+		{"hello", 10, "hello"},  // under the limit
+		{"hello", 3, "hel"},     // ASCII cuts exactly
+		{"héllo", 2, "h"},       // é spans bytes 1-2; back off
+		{"héllo", 3, "hé"},      // boundary after é is fine
+		{"日本語", 4, "日"},         // 3-byte runes
+		{"日本語", 5, "日"},         //
+		{"日本語", 6, "日本"},        //
+		{"\xff\xfe", 1, "\xff"}, // invalid input clips bytewise (0xfe is no continuation byte)
+		{strings.Repeat("é", 40), 63, strings.Repeat("é", 31)},
+	}
+	for _, c := range cases {
+		if got := clipValue(c.v, c.max); got != c.want {
+			t.Errorf("clipValue(%q, %d) = %q, want %q", c.v, c.max, got, c.want)
+		}
+	}
+}
+
+// Regression: adjacent character data must coalesce into one value
+// node. Pre-fix, each CharData token between markup became its own
+// child, so a comment inside text turned one value into two.
+func TestParseXMLCharDataCoalescing(t *testing.T) {
+	cases := []struct {
+		doc  string
+		want *Node
+	}{
+		{"<a>x<!--c-->y</a>", T("a", T("xy"))},
+		{"<a>x<?pi d?>y</a>", T("a", T("xy"))},
+		{"<a>pre<![CDATA[ & ]]>post</a>", T("a", T("pre & post"))},
+		{"<a>x&amp;y&lt;z</a>", T("a", T("x&y<z"))},
+		// A child element does end the run: values on both sides stay
+		// separate nodes, in document order.
+		{"<a>x<b/>y</a>", T("a", T("x"), T("b"), T("y"))},
+		// Whitespace-only runs still vanish even when split by markup.
+		{"<a> <!--c--> <b/></a>", T("a", T("b"))},
+	}
+	for _, c := range cases {
+		tr, err := ParseXMLString(c.doc, DefaultXMLOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", c.doc, err)
+		}
+		if !Equal(tr.Root, c.want) {
+			t.Errorf("%s: got %s, want %s", c.doc, tr, c.want)
+		}
+	}
+}
+
+// The byte budget applies once, to the coalesced run — not per token.
+func TestParseXMLCoalescedRunClippedOnce(t *testing.T) {
+	opt := XMLOptions{IncludeValues: true, MaxValueLen: 3}
+	tr, err := ParseXMLString("<a>xx<!--c-->yy</a>", opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(tr.Root, T("a", T("xxy"))) {
+		t.Errorf("got %s, want (a (xxy))", tr)
+	}
+}
+
+// Property: for value-bearing documents — multi-byte labels, markup
+// noise, truncation — parse → write → parse is the identity on the
+// tree. This pins both parser fixes at once: a mid-rune clip or a
+// split value node would change the reparsed tree.
+func TestParseWriteParseRoundTrip(t *testing.T) {
+	docs := []string{
+		`<article><author>9 jane</author><title>9 café ünïcødé</title></article>`,
+		`<a>9 日本語のテキスト</a>`,
+		`<a>` + strings.Repeat("é", 100) + `x</a>`,
+		"<a>9 x<!--noise-->y<?pi d?>z</a>",
+		"<a>9 pre<![CDATA[ <raw> &amp; ]]>post</a>",
+		"<r><a>9 v&amp;w</a><b><c>9 x</c></b></r>",
+	}
+	for _, doc := range docs {
+		first, err := ParseXMLString(doc, DefaultXMLOptions())
+		if err != nil {
+			t.Fatalf("%s: %v", doc, err)
+		}
+		var buf bytes.Buffer
+		if err := first.Root.WriteXML(&buf); err != nil {
+			t.Fatalf("%s: write: %v", doc, err)
+		}
+		again, err := ParseXMLString(buf.String(), DefaultXMLOptions())
+		if err != nil {
+			t.Fatalf("%s: reparse of %q: %v", doc, buf.String(), err)
+		}
+		if !Equal(first.Root, again.Root) {
+			t.Errorf("%s: round trip changed the tree:\n first: %s\nsecond: %s",
+				doc, first, again)
+		}
 	}
 }
 

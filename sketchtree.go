@@ -3,9 +3,12 @@ package sketchtree
 import (
 	"fmt"
 	"io"
+	"net/http"
 	"strings"
+	"time"
 
 	"sketchtree/internal/core"
+	"sketchtree/internal/obs"
 	"sketchtree/internal/summary"
 	"sketchtree/internal/tree"
 )
@@ -93,7 +96,10 @@ func (s *SketchTree) AddTree(t *Tree) error { return s.e.AddTree(t) }
 
 // AddXML parses one XML document and folds it into the synopsis.
 func (s *SketchTree) AddXML(r io.Reader) error {
+	m := s.e.Metrics()
+	start := m.Now()
 	t, err := ParseXML(r)
+	m.StageSince(obs.StageParse, start)
 	if err != nil {
 		return err
 	}
@@ -103,7 +109,27 @@ func (s *SketchTree) AddXML(r io.Reader) error {
 // AddXMLForest streams every tree of a rooted XML forest document into
 // the synopsis.
 func (s *SketchTree) AddXMLForest(r io.Reader) error {
-	return StreamXMLForest(r, s.AddTree)
+	return streamForestTimed(s.e.Metrics(), r, s.AddTree)
+}
+
+// streamForestTimed runs StreamXMLForest, attributing the decode time
+// (total wall time minus the sink's share) to the parse stage. With
+// timers off it degenerates to the plain stream — no clock calls.
+func streamForestTimed(m *obs.Metrics, r io.Reader, sink func(*Tree) error) error {
+	if !m.TimersOn() {
+		return StreamXMLForest(r, sink)
+	}
+	start := time.Now()
+	var sinkNanos, n int64
+	err := StreamXMLForest(r, func(t *Tree) error {
+		n++
+		s := time.Now()
+		err := sink(t)
+		sinkNanos += time.Since(s).Nanoseconds()
+		return err
+	})
+	m.StageAdd(obs.StageParse, n, time.Since(start).Nanoseconds()-sinkNanos)
+	return err
 }
 
 // CountOrdered estimates COUNT_ord(Q): the number of ordered
@@ -304,6 +330,54 @@ func (s *SketchTree) CountAlternatives(q *Node) (float64, error) {
 func (s *SketchTree) CountOrderedUpperBound(q *Node) (float64, error) {
 	return s.e.EstimateOrderedUpperBound(q)
 }
+
+// Stats is the observability snapshot: always-on counters (trees,
+// patterns, removals, queries) plus, when metrics are enabled,
+// per-stage timings and the query-latency histogram. See
+// EnableMetrics.
+type Stats = obs.Snapshot
+
+// StageStats is one pipeline stage's totals within Stats.
+type StageStats = obs.StageSnapshot
+
+// QueryStats is the query-side totals within Stats.
+type QueryStats = obs.QuerySnapshot
+
+// Stage indexes Stats.Stages; the instrumented stages are StageParse,
+// StageEnum, StageFingerprint, StageSketch, StageTopK and StageMerge.
+type Stage = obs.Stage
+
+// The instrumented pipeline stages, in processing order.
+const (
+	StageParse       = obs.StageParse
+	StageEnum        = obs.StageEnum
+	StageFingerprint = obs.StageFingerprint
+	StageSketch      = obs.StageSketch
+	StageTopK        = obs.StageTopK
+	StageMerge       = obs.StageMerge
+)
+
+// EnableMetrics switches stage timers and query-latency measurement on
+// or off. Counters (Stats.Trees, Stats.Patterns, ...) are always
+// maintained; timing costs clock reads on the update path, so it is
+// opt-in and off by default — with metrics disabled the hot path sees
+// no time calls, locks or allocations from instrumentation.
+func (s *SketchTree) EnableMetrics(on bool) { s.e.Metrics().EnableTimers(on) }
+
+// Stats reads the observability snapshot. Counters are atomics, so
+// Stats is safe to call while updates run (unlike the rest of the
+// non-Safe API) and after sequential or merged parallel ingestion it
+// agrees exactly with TreesProcessed/PatternsProcessed.
+func (s *SketchTree) Stats() Stats { return s.e.Stats() }
+
+// StatsJSONHandler serves snap() as an expvar-style JSON document —
+// the exposition half of the observability layer (cmd/sketchtree
+// mounts it at /stats).
+func StatsJSONHandler(snap func() Stats) http.Handler { return obs.JSONHandler(snap) }
+
+// StatsPromHandler serves snap() in the Prometheus text exposition
+// format (cmd/sketchtree mounts it at /metrics).
+func StatsPromHandler(snap func() Stats) http.Handler { return obs.PromHandler(snap) }
 
 // TreesProcessed returns the number of stream trees folded in so far.
 func (s *SketchTree) TreesProcessed() int64 { return s.e.TreesProcessed() }

@@ -1,0 +1,292 @@
+package sketchtree
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+)
+
+const statsForest = `<dblp>
+	<article><author>9 jane</author><title>9 café</title></article>
+	<article><author>9 joe</author></article>
+	<inproceedings><author>9 jane</author><booktitle>9 icde</booktitle></inproceedings>
+	<article><author>9 ann</author><year>1998</year></article>
+</dblp>`
+
+// The observability counters must agree with the engine's own
+// accounting, with and without removals.
+func TestStatsMatchesProcessedSequential(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	extra := NewTree(Pattern("article", Pattern("author")))
+	if err := st.AddTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RemoveTree(extra); err != nil {
+		t.Fatal(err)
+	}
+
+	s := st.Stats()
+	if s.Trees != st.TreesProcessed() {
+		t.Errorf("Stats.Trees = %d, TreesProcessed = %d", s.Trees, st.TreesProcessed())
+	}
+	if s.Patterns != st.PatternsProcessed() {
+		t.Errorf("Stats.Patterns = %d, PatternsProcessed = %d", s.Patterns, st.PatternsProcessed())
+	}
+	if s.Removes != 1 {
+		t.Errorf("Stats.Removes = %d, want 1", s.Removes)
+	}
+	// Timers were never enabled: no stage may carry time.
+	for i := range s.Stages {
+		if s.Stages[i].Nanos != 0 {
+			t.Errorf("stage %v carries %d ns with timers off", Stage(i), s.Stages[i].Nanos)
+		}
+	}
+}
+
+// The same parity must hold through the parallel path: the live shard
+// aggregate during ingestion, and the merged synopsis after Close.
+func TestStatsMatchesProcessedParallel(t *testing.T) {
+	cfg := testConfig()
+	stream := ingestStream(t, 200)
+
+	seq, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tr := range stream {
+		if err := seq.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	in, err := NewIngestor(cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for p := 0; p < 3; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := p; i < len(stream); i += 3 {
+				if err := in.Add(stream[i]); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	wg.Wait()
+
+	// Producers are done but trees may still sit in the queue, so the
+	// live aggregate is a lower bound on the stream; what it does
+	// guarantee is that the per-shard split sums to it exactly.
+	live := in.Stats()
+	if live.Snapshot.Trees <= 0 || live.Snapshot.Trees > int64(len(stream)) {
+		t.Errorf("live aggregate trees = %d, want within (0, %d]", live.Snapshot.Trees, len(stream))
+	}
+	var shardTrees, shardPatterns int64
+	for _, sh := range live.Shards {
+		shardTrees += sh.Trees
+		shardPatterns += sh.Patterns
+	}
+	if shardTrees != live.Snapshot.Trees || shardPatterns != live.Snapshot.Patterns {
+		t.Errorf("shard sums (%d trees, %d patterns) != aggregate (%d, %d)",
+			shardTrees, shardPatterns, live.Snapshot.Trees, live.Snapshot.Patterns)
+	}
+	if live.QueueCapacity <= 0 || live.QueueHighWater > live.QueueCapacity {
+		t.Errorf("queue telemetry out of range: %+v", live)
+	}
+
+	merged, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := merged.Stats()
+	if s.Trees != merged.TreesProcessed() || s.Trees != seq.TreesProcessed() {
+		t.Errorf("merged Stats.Trees = %d, TreesProcessed = %d, sequential = %d",
+			s.Trees, merged.TreesProcessed(), seq.TreesProcessed())
+	}
+	if s.Patterns != merged.PatternsProcessed() || s.Patterns != seq.PatternsProcessed() {
+		t.Errorf("merged Stats.Patterns = %d, TreesProcessed = %d, sequential = %d",
+			s.Patterns, merged.PatternsProcessed(), seq.PatternsProcessed())
+	}
+}
+
+// Instrumentation must be invisible in the synopsis: enabling timers
+// (sequentially or on a parallel ingestor) cannot change a single bit
+// of the serialized state.
+func TestMetricsDoNotPerturbSerialization(t *testing.T) {
+	cfg := testConfig()
+	stream := ingestStream(t, 120)
+
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	timed.EnableMetrics(true)
+	for _, tr := range stream {
+		if err := plain.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+		if err := timed.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := Pattern("S", Pattern("NP"))
+	if _, err := timed.CountOrdered(q); err != nil {
+		t.Fatal(err)
+	}
+
+	a, err := plain.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := timed.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, b) {
+		t.Fatal("enabling metrics changed the serialized synopsis")
+	}
+
+	in, err := NewIngestor(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in.EnableMetrics(true)
+	for _, tr := range stream {
+		if err := in.Add(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	merged, err := in.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := merged.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a, c) {
+		t.Fatal("instrumented parallel ingestion is not bit-identical to sequential")
+	}
+	// The merged snapshot must carry the shards' stage work (enum ran on
+	// the workers) and the merge stage itself.
+	s := merged.Stats()
+	if s.Stage(StageEnum).Count == 0 || s.Stage(StageEnum).Nanos <= 0 {
+		t.Errorf("merged snapshot lost shard enum timings: %+v", s.Stage(StageEnum))
+	}
+	if s.Stage(StageMerge).Count != 2 {
+		t.Errorf("merge stage count = %d, want 2 (3 shards)", s.Stage(StageMerge).Count)
+	}
+}
+
+// Query accounting: successes land in the latency histogram, failures
+// only in the error counter, and the untimed path still counts.
+func TestQueryStatsRecorded(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	// Untimed query first: counted, no histogram entry.
+	if _, err := st.CountOrdered(Pattern("article", Pattern("author"))); err != nil {
+		t.Fatal(err)
+	}
+	st.EnableMetrics(true)
+	if _, err := st.CountOrdered(Pattern("article", Pattern("author"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.CountUnordered(Pattern("article", Pattern("author"))); err != nil {
+		t.Fatal(err)
+	}
+	// A pattern beyond MaxPatternEdges fails and must not enter the
+	// histogram.
+	deep := Pattern("a", Pattern("b", Pattern("c", Pattern("d", Pattern("e")))))
+	if _, err := st.CountOrdered(deep); err == nil {
+		t.Fatal("oversized pattern must fail")
+	}
+
+	s := st.Stats()
+	if s.Queries.Count != 4 || s.Queries.Errors != 1 {
+		t.Errorf("queries = %d errors = %d, want 4 and 1", s.Queries.Count, s.Queries.Errors)
+	}
+	if got := s.Queries.Timed(); got != 2 {
+		t.Errorf("timed queries = %d, want 2 (untimed and failed excluded)", got)
+	}
+	if s.Queries.Nanos <= 0 {
+		t.Error("timed queries carry no latency")
+	}
+	// AddXMLForest ran before timers were enabled; parse must be
+	// untimed. Flip them on and parse once more: now it must register.
+	if got := s.Stage(StageParse); got.Nanos != 0 {
+		t.Errorf("parse stage timed before EnableMetrics: %+v", got)
+	}
+	if err := st.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Stage(StageParse); got.Count != 4 || got.Nanos <= 0 {
+		t.Errorf("parse stage after EnableMetrics = %+v, want 4 timed documents", got)
+	}
+}
+
+// Safe wrapper: Stats and EnableMetrics work lock-free alongside
+// writers, and the counters match the underlying synopsis.
+func TestSafeStats(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.EnableMetrics(true)
+	if err := s.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CountOrdered(Pattern("article", Pattern("author"))); err != nil {
+		t.Fatal(err)
+	}
+	snap := s.Stats()
+	if snap.Trees != 4 || snap.Queries.Count != 1 || snap.Queries.Timed() != 1 {
+		t.Errorf("safe stats: %+v", snap)
+	}
+	if snap.Stage(StageParse).Count != 4 {
+		t.Errorf("safe parse stage: %+v", snap.Stage(StageParse))
+	}
+}
+
+// A restored synopsis reports the persisted totals.
+func TestStatsSurviveSaveLoad(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := st.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := loaded.Stats()
+	if s.Trees != st.TreesProcessed() || s.Patterns != st.PatternsProcessed() {
+		t.Errorf("restored stats (%d trees, %d patterns) != persisted (%d, %d)",
+			s.Trees, s.Patterns, st.TreesProcessed(), st.PatternsProcessed())
+	}
+}
