@@ -25,14 +25,17 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Ingestion and query benchmarks, one iteration each, with the raw
-# go-test JSON event stream captured for tooling (BENCH_ingest.json).
+# Ingestion and query benchmarks, one iteration each. The raw go-test
+# JSON event stream lands in BENCH_raw.json; BENCH_ingest.json is the
+# summarized form (ns/op per benchmark, pivoted by worker count for the
+# ingestion scaling sweep) produced by cmd/benchsummary.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel|BenchmarkStreamUpdateThroughput|BenchmarkEstimateOrdered' \
-		-benchtime 1x -json . > BENCH_ingest.json
-	@grep '"Action":"pass"' BENCH_ingest.json >/dev/null || \
-		{ echo "bench run failed; see BENCH_ingest.json"; exit 1; }
-	@echo "wrote BENCH_ingest.json"
+		-benchtime 1x -json . > BENCH_raw.json
+	@grep '"Action":"pass"' BENCH_raw.json >/dev/null || \
+		{ echo "bench run failed; see BENCH_raw.json"; exit 1; }
+	$(GO) run ./cmd/benchsummary < BENCH_raw.json > BENCH_ingest.json
+	@echo "wrote BENCH_ingest.json (summary; raw events in BENCH_raw.json)"
 
 # One iteration of every benchmark in the root package: proves the
 # bench harness still compiles and runs, without the minutes-long

@@ -1,0 +1,165 @@
+// Command benchsummary turns the raw `go test -json -bench` event
+// stream into a compact benchmark summary. It reads test2json events
+// on stdin and writes one JSON document on stdout:
+//
+//	{
+//	  "benchmarks": [
+//	    {"name": "BenchmarkIngestParallel/workers=4", "iterations": 3,
+//	     "ns_per_op": 812345.0, "workers": 4},
+//	    ...
+//	  ],
+//	  "ingest_ns_per_op_by_workers": {"1": 2400000, "2": 1300000, ...}
+//	}
+//
+// The per-worker map pivots every benchmark with a workers=N sub-name
+// (the ingestion scaling sweep) so dashboards can plot ns/op against
+// shard count without re-parsing benchmark names.
+//
+//	go test -run '^$' -bench . -json . | benchsummary > BENCH_ingest.json
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// event is the subset of the test2json schema benchsummary needs.
+// Test carries the benchmark name when test2json has split the name
+// from the measurement line (it does this for sub-benchmarks).
+type event struct {
+	Action string `json:"Action"`
+	Test   string `json:"Test"`
+	Output string `json:"Output"`
+}
+
+// Result is one benchmark measurement.
+type Result struct {
+	Name       string  `json:"name"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
+	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
+	Workers    int     `json:"workers,omitempty"`
+}
+
+// Summary is the emitted document.
+type Summary struct {
+	Benchmarks []Result `json:"benchmarks"`
+	// ns/op keyed by worker count, for benchmarks named .../workers=N.
+	IngestNsPerOpByWorkers map[string]float64 `json:"ingest_ns_per_op_by_workers,omitempty"`
+}
+
+// benchLine matches `BenchmarkName-8   123   456.7 ns/op [...]`. The
+// trailing -8 is GOMAXPROCS, stripped from the reported name.
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
+
+// measureLine matches a measurement-only output line (`123   456.7
+// ns/op [...]`) — the form test2json emits for sub-benchmarks, whose
+// name arrives separately in the event's Test field.
+var measureLine = regexp.MustCompile(`^(\d+)\s+(.*)$`)
+
+var workersPart = regexp.MustCompile(`(?:^|/)workers=(\d+)(?:/|$)`)
+
+// parse consumes a test2json event stream and collects benchmark
+// results. Benchmark output arrives as "output" events, one line each.
+func parse(r io.Reader) (Summary, error) {
+	s := Summary{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev event
+		if err := json.Unmarshal(line, &ev); err != nil {
+			return s, fmt.Errorf("malformed test2json event: %w", err)
+		}
+		if ev.Action != "output" {
+			continue
+		}
+		res, ok := parseBenchOutput(ev.Test, strings.TrimSpace(ev.Output))
+		if !ok {
+			continue
+		}
+		s.Benchmarks = append(s.Benchmarks, res)
+		if res.Workers > 0 {
+			if s.IngestNsPerOpByWorkers == nil {
+				s.IngestNsPerOpByWorkers = make(map[string]float64)
+			}
+			s.IngestNsPerOpByWorkers[strconv.Itoa(res.Workers)] = res.NsPerOp
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return s, err
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("no benchmark result lines in the event stream")
+	}
+	return s, nil
+}
+
+// parseBenchOutput parses one benchmark result line into a Result. It
+// accepts both the whole-line form (name and measurement together) and
+// the split form where the name comes from the event's Test field and
+// the line holds only `iterations … units`.
+func parseBenchOutput(test, line string) (Result, bool) {
+	var name, itersStr, tail string
+	if m := benchLine.FindStringSubmatch(line); m != nil {
+		name, itersStr, tail = m[1], m[2], m[3]
+	} else if m := measureLine.FindStringSubmatch(line); m != nil && strings.HasPrefix(test, "Benchmark") {
+		name, itersStr, tail = test, m[1], m[2]
+	} else {
+		return Result{}, false
+	}
+	iters, err := strconv.ParseInt(itersStr, 10, 64)
+	if err != nil {
+		return Result{}, false
+	}
+	res := Result{Name: name, Iterations: iters}
+	// The tail is unit pairs: "456.7 ns/op  12 B/op  3 allocs/op".
+	fields := strings.Fields(tail)
+	seen := false
+	for i := 0; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Result{}, false
+		}
+		switch fields[i+1] {
+		case "ns/op":
+			res.NsPerOp = v
+			seen = true
+		case "B/op":
+			res.BytesPerOp = v
+		case "allocs/op":
+			res.AllocsOp = v
+		}
+	}
+	if !seen {
+		return Result{}, false
+	}
+	if w := workersPart.FindStringSubmatch(res.Name); w != nil {
+		res.Workers, _ = strconv.Atoi(w[1])
+	}
+	return res, true
+}
+
+func main() {
+	s, err := parse(os.Stdin)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+// A realistic slice of `go test -json -bench` output: benchmark result
+// lines arrive as output events interleaved with run/pass events and
+// non-benchmark chatter.
+const stream = `{"Action":"run","Test":"BenchmarkIngestParallel"}
+{"Action":"output","Output":"goos: linux\n"}
+{"Action":"output","Test":"BenchmarkIngestParallel/workers=1","Output":"BenchmarkIngestParallel/workers=1-8 \n"}
+{"Action":"output","Test":"BenchmarkIngestParallel/workers=1","Output":"       3\t 240000.0 ns/op\n"}
+{"Action":"output","Test":"BenchmarkIngestParallel/workers=2","Output":"       5\t 130000.5 ns/op\n"}
+{"Action":"output","Output":"BenchmarkIngestParallel/workers=4-8 \t       9\t  81000.0 ns/op\n"}
+{"Action":"output","Output":"BenchmarkEstimateOrdered-8 \t    1000\t    1234 ns/op\t      16 B/op\t       2 allocs/op\n"}
+{"Action":"output","Output":"PASS\n"}
+{"Action":"pass","Elapsed":1.2}
+`
+
+func TestParseSummarizesStream(t *testing.T) {
+	s, err := parse(strings.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks parsed, want 4: %+v", len(s.Benchmarks), s.Benchmarks)
+	}
+	first := s.Benchmarks[0]
+	if first.Name != "BenchmarkIngestParallel/workers=1" {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %q", first.Name)
+	}
+	if first.Iterations != 3 || first.NsPerOp != 240000 || first.Workers != 1 {
+		t.Fatalf("first result: %+v", first)
+	}
+	last := s.Benchmarks[3]
+	if last.Name != "BenchmarkEstimateOrdered" || last.Workers != 0 {
+		t.Fatalf("non-sweep benchmark: %+v", last)
+	}
+	if last.BytesPerOp != 16 || last.AllocsOp != 2 {
+		t.Fatalf("extra unit pairs not parsed: %+v", last)
+	}
+	// The worker pivot holds exactly the sweep results.
+	want := map[string]float64{"1": 240000, "2": 130000.5, "4": 81000}
+	if len(s.IngestNsPerOpByWorkers) != len(want) {
+		t.Fatalf("worker pivot: %v", s.IngestNsPerOpByWorkers)
+	}
+	for k, v := range want {
+		if s.IngestNsPerOpByWorkers[k] != v {
+			t.Fatalf("workers=%s ns/op %v, want %v", k, s.IngestNsPerOpByWorkers[k], v)
+		}
+	}
+}
+
+func TestParseRejectsEmptyStream(t *testing.T) {
+	if _, err := parse(strings.NewReader(`{"Action":"pass"}` + "\n")); err == nil {
+		t.Fatal("a stream with no benchmark lines must fail")
+	}
+	if _, err := parse(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("malformed events must fail")
+	}
+}
+
+func TestParseBenchOutputEdgeCases(t *testing.T) {
+	if _, ok := parseBenchOutput("", "ok  \tsketchtree\t1.2s"); ok {
+		t.Fatal("summary line misparsed as a benchmark")
+	}
+	if _, ok := parseBenchOutput("", "BenchmarkX-8 \t notanumber \t 5 ns/op"); ok {
+		t.Fatal("bad iteration count accepted")
+	}
+	if _, ok := parseBenchOutput("", "BenchmarkX-8 \t 10 \t 5 MB/s"); ok {
+		t.Fatal("line without ns/op accepted")
+	}
+	r, ok := parseBenchOutput("", "BenchmarkDeep/workers=16/sub-4 \t 2 \t 7.5 ns/op")
+	if !ok || r.Workers != 16 {
+		t.Fatalf("nested workers sub-name: %+v ok=%v", r, ok)
+	}
+	// Split form: the name arrives via the Test field, and a bare
+	// measurement line without one is not a benchmark.
+	r, ok = parseBenchOutput("BenchmarkSplit/workers=2", "1\t 99 ns/op")
+	if !ok || r.Name != "BenchmarkSplit/workers=2" || r.Workers != 2 || r.NsPerOp != 99 {
+		t.Fatalf("split-form measurement: %+v ok=%v", r, ok)
+	}
+	if _, ok := parseBenchOutput("TestNotABench", "1\t 99 ns/op"); ok {
+		t.Fatal("measurement attributed to a non-benchmark test accepted")
+	}
+	// Custom units alongside ns/op are tolerated and ignored.
+	r, ok = parseBenchOutput("", "BenchmarkCustom-8 \t 1 \t 50 ns/op \t 463.0 patterns/tree")
+	if !ok || r.NsPerOp != 50 {
+		t.Fatalf("custom unit pair broke parsing: %+v ok=%v", r, ok)
+	}
+}

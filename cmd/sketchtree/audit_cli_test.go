@@ -1,0 +1,132 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestRunAuditTable(t *testing.T) {
+	doc := writeTemp(t, "forest.xml",
+		"<r>"+strings.Repeat("<a><b/><c/></a>", 30)+strings.Repeat("<a><b/></a>", 10)+"</r>")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
+		"-audit", "32", "-q", "a/b",
+		doc,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := out.String()
+	for _, want := range []string{
+		"audit:", "patterns tracked (capacity 32)",
+		"rel. error:", "within ε=0.10",
+		"pattern value", "exact", "estimate", "rel.err",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("audit table missing %q:\n%s", want, s)
+		}
+	}
+	// Sketch parameters are generous and the stream tiny, so the audited
+	// estimates are exact: every pattern within ε.
+	if !strings.Contains(s, "within ε=0.10: 100.0%") {
+		t.Errorf("expected full ε coverage on a trivial stream:\n%s", s)
+	}
+
+	// The ε threshold in the table follows -audit-eps.
+	out.Reset()
+	err = run(context.Background(), []string{
+		"-forest", "-k", "2", "-p", "23", "-topk", "0",
+		"-audit", "8", "-audit-eps", "0.25",
+		doc,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "within ε=0.25") {
+		t.Errorf("-audit-eps not honored:\n%s", out.String())
+	}
+}
+
+func TestRunAuditRequiresSingleWorker(t *testing.T) {
+	doc := writeTemp(t, "forest.xml", "<r><a><b/></a></r>")
+	var out bytes.Buffer
+	err := run(context.Background(), []string{
+		"-forest", "-workers", "2", "-topk", "0", "-audit", "16", doc,
+	}, strings.NewReader(""), &out)
+	if err == nil || !strings.Contains(err.Error(), "-workers 1") {
+		t.Errorf("audit+workers must fail with guidance, got %v", err)
+	}
+}
+
+// A context canceled before ingestion starts still produces a clean
+// summary run, not an error.
+func TestRunInterruptedBeforeIngestion(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	doc := writeTemp(t, "forest.xml", "<r><a><b/></a></r>")
+	var out bytes.Buffer
+	if err := run(ctx, []string{"-forest", "-q", "a/b", doc}, strings.NewReader(""), &out); err != nil {
+		t.Fatalf("interrupted run must exit cleanly, got %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "interrupted: stopping ingestion") {
+		t.Errorf("interrupt notice missing:\n%s", s)
+	}
+	if !strings.Contains(s, "processed 0 trees") {
+		t.Errorf("summary of the (empty) synopsis missing:\n%s", s)
+	}
+	// The interrupt path prints the stage summary even without -metrics.
+	if !strings.Contains(s, "queries:") {
+		t.Errorf("stats summary missing on interrupt:\n%s", s)
+	}
+}
+
+// cancelAfterReader yields one byte per Read and cancels the context
+// after n reads — a deterministic stand-in for a SIGINT arriving
+// mid-stream.
+type cancelAfterReader struct {
+	r      io.Reader
+	n      int
+	cancel context.CancelFunc
+}
+
+func (c *cancelAfterReader) Read(p []byte) (int, error) {
+	if c.n <= 0 {
+		c.cancel()
+	}
+	c.n--
+	if len(p) > 1 {
+		p = p[:1]
+	}
+	return c.r.Read(p)
+}
+
+// A signal mid-stream stops at a tree boundary: the trees decoded so
+// far are kept, the run summarizes and exits without error.
+func TestRunInterruptMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	forest := "<r>" + strings.Repeat("<a><b/></a>", 200) + "</r>"
+	// Enough bytes for the opening tag plus a handful of trees.
+	stdin := &cancelAfterReader{r: strings.NewReader(forest), n: 120, cancel: cancel}
+	var out bytes.Buffer
+	err := run(ctx, []string{"-forest", "-k", "2", "-p", "7", "-q", "a/b"}, stdin, &out)
+	if err != nil {
+		t.Fatalf("mid-stream interrupt must exit cleanly, got %v", err)
+	}
+	s := out.String()
+	if !strings.Contains(s, "interrupted: stopping ingestion") {
+		t.Errorf("interrupt notice missing:\n%s", s)
+	}
+	if strings.Contains(s, "processed 0 trees") || strings.Contains(s, "processed 200 trees") {
+		t.Errorf("expected a partial synopsis (some but not all trees):\n%s", s)
+	}
+	// The partial synopsis still answers the query.
+	if !strings.Contains(s, "≈") {
+		t.Errorf("query answer missing after interrupt:\n%s", s)
+	}
+}

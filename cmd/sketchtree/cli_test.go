@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -24,7 +25,7 @@ func TestRunEndToEnd(t *testing.T) {
 	doc := writeTemp(t, "forest.xml",
 		"<r><a><b/><c/></a><a><b/></a><a><c/><b/></a></r>")
 	var out bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
 		"-q", "a/b", "-q", "(a (b) (c))", "-q", "u:(a (b) (c))",
 		doc,
@@ -54,10 +55,10 @@ func TestRunParallelWorkersMatchesSequential(t *testing.T) {
 		return append(append(base, extra...), doc)
 	}
 	var seq, par bytes.Buffer
-	if err := run(args(), strings.NewReader(""), &seq); err != nil {
+	if err := run(context.Background(), args(), strings.NewReader(""), &seq); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(args("-workers", "4"), strings.NewReader(""), &par); err != nil {
+	if err := run(context.Background(), args("-workers", "4"), strings.NewReader(""), &par); err != nil {
 		t.Fatal(err)
 	}
 	// Merging is exact, so the parallel CLI output — counts, memory
@@ -71,13 +72,13 @@ func TestRunParallelWorkersMatchesSequential(t *testing.T) {
 
 	// -workers with top-k tracking is rejected up front.
 	var out bytes.Buffer
-	err := run([]string{"-forest", "-workers", "2", "-topk", "10", doc},
+	err := run(context.Background(), []string{"-forest", "-workers", "2", "-topk", "10", doc},
 		strings.NewReader(""), &out)
 	if err == nil || !strings.Contains(err.Error(), "-topk 0") {
 		t.Errorf("workers+topk must fail with guidance, got %v", err)
 	}
 	// Bad config surfaces through the ingestor constructor too.
-	if err := run([]string{"-workers", "2", "-topk", "0", "-s1", "0", doc},
+	if err := run(context.Background(), []string{"-workers", "2", "-topk", "0", "-s1", "0", doc},
 		strings.NewReader(""), &out); err == nil {
 		t.Error("bad config with -workers must fail")
 	}
@@ -85,7 +86,7 @@ func TestRunParallelWorkersMatchesSequential(t *testing.T) {
 
 func TestRunStdinSingleDoc(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-k", "2", "-p", "7", "-q", "x/y"},
+	err := run(context.Background(), []string{"-k", "2", "-p", "7", "-q", "x/y"},
 		strings.NewReader("<x><y/></x>"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -97,7 +98,7 @@ func TestRunStdinSingleDoc(t *testing.T) {
 
 func TestRunExtendedQueryNeedsSummary(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-k", "2", "-q", "a//b"},
+	err := run(context.Background(), []string{"-k", "2", "-q", "a//b"},
 		strings.NewReader("<a><b/></a>"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -107,7 +108,7 @@ func TestRunExtendedQueryNeedsSummary(t *testing.T) {
 	}
 	// With -summary it answers.
 	out.Reset()
-	err = run([]string{"-k", "2", "-summary", "-q", "a//b"},
+	err = run(context.Background(), []string{"-k", "2", "-summary", "-q", "a//b"},
 		strings.NewReader("<a><b/></a>"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -119,7 +120,7 @@ func TestRunExtendedQueryNeedsSummary(t *testing.T) {
 
 func TestRunBadQueriesReportedInline(t *testing.T) {
 	var out bytes.Buffer
-	err := run([]string{"-k", "2", "-q", "(bad", "-q", "a///b"},
+	err := run(context.Background(), []string{"-k", "2", "-q", "(bad", "-q", "a///b"},
 		strings.NewReader("<a><b/></a>"), &out)
 	if err != nil {
 		t.Fatal(err)
@@ -146,9 +147,10 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	}
 	defer func() { metricsHook = nil }()
 
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
-		"-metrics", "127.0.0.1:0", "-q", "a/b", "-q", "(a (b) (c))",
+		"-metrics", "127.0.0.1:0", "-audit", "16",
+		"-q", "a/b", "-q", "(a (b) (c))",
 		doc,
 	}, strings.NewReader(""), &out)
 	if err != nil {
@@ -170,6 +172,14 @@ func TestRunMetricsEndpoint(t *testing.T) {
 				Count int64  `json:"count"`
 			} `json:"latency_buckets"`
 		} `json:"queries"`
+		Health *struct {
+			VirtualStreams int   `json:"virtual_streams"`
+			TotalItems     int64 `json:"total_items"`
+		} `json:"health"`
+		Audit *struct {
+			Capacity int   `json:"capacity"`
+			Observed int64 `json:"observed"`
+		} `json:"audit"`
 	}
 	if err := json.Unmarshal(jsonBody, &snap); err != nil {
 		t.Fatalf("/stats is not valid JSON: %v\n%s", err, jsonBody)
@@ -191,12 +201,22 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	if n := len(snap.Queries.Buckets); n == 0 || snap.Queries.Buckets[n-1].Count != 2 {
 		t.Errorf("latency histogram not populated: %+v", snap.Queries.Buckets)
 	}
+	if snap.Health == nil || snap.Health.VirtualStreams != 23 || snap.Health.TotalItems != snap.Patterns {
+		t.Errorf("/stats health section: %+v (patterns %d)", snap.Health, snap.Patterns)
+	}
+	if snap.Audit == nil || snap.Audit.Capacity != 16 || snap.Audit.Observed != snap.Patterns {
+		t.Errorf("/stats audit section: %+v (patterns %d)", snap.Audit, snap.Patterns)
+	}
 
 	for _, want := range []string{
 		"sketchtree_trees_total 3",
 		"sketchtree_queries_total 2",
 		`sketchtree_stage_ops_total{stage="sketch"}`,
 		"# TYPE sketchtree_query_latency_seconds histogram",
+		`sketchtree_vstream_items{stream="0"}`,
+		"sketchtree_vstream_share_max",
+		"sketchtree_audit_patterns",
+		"# TYPE sketchtree_audit_rel_error summary",
 	} {
 		if !strings.Contains(string(promBody), want) {
 			t.Errorf("/metrics missing %q:\n%s", want, promBody)
@@ -212,7 +232,7 @@ func TestRunMetricsEndpoint(t *testing.T) {
 	}
 
 	// An unusable address fails up front.
-	if err := run([]string{"-metrics", "256.0.0.1:bad", doc},
+	if err := run(context.Background(), []string{"-metrics", "256.0.0.1:bad", doc},
 		strings.NewReader(""), &out); err == nil {
 		t.Error("bad -metrics address must fail")
 	}
@@ -228,7 +248,7 @@ func TestRunMetricsParallel(t *testing.T) {
 		jsonBody = httpGet(t, "http://"+metricsAddr(t, out.String())+"/stats")
 	}
 	defer func() { metricsHook = nil }()
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-forest", "-k", "2", "-p", "23", "-topk", "0", "-s1", "60",
 		"-workers", "3", "-metrics", "127.0.0.1:0", "-q", "a/b",
 		doc,
@@ -285,16 +305,16 @@ func httpGet(t *testing.T, url string) []byte {
 
 func TestRunInputErrors(t *testing.T) {
 	var out bytes.Buffer
-	if err := run([]string{"/nonexistent.xml"}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"/nonexistent.xml"}, strings.NewReader(""), &out); err == nil {
 		t.Error("missing file must fail")
 	}
-	if err := run([]string{"-s1", "0"}, strings.NewReader("<a/>"), &out); err == nil {
+	if err := run(context.Background(), []string{"-s1", "0"}, strings.NewReader("<a/>"), &out); err == nil {
 		t.Error("bad config must fail")
 	}
-	if err := run([]string{"-zzz"}, strings.NewReader(""), &out); err == nil {
+	if err := run(context.Background(), []string{"-zzz"}, strings.NewReader(""), &out); err == nil {
 		t.Error("bad flag must fail")
 	}
-	if err := run(nil, strings.NewReader("not xml"), &out); err == nil {
+	if err := run(context.Background(), nil, strings.NewReader("not xml"), &out); err == nil {
 		t.Error("bad stdin must fail")
 	}
 }

@@ -28,6 +28,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,15 +36,22 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"strings"
 	"sync"
+	"syscall"
 	"time"
 
 	"sketchtree"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+	// SIGINT/SIGTERM stop ingestion cleanly: the synopsis built so far
+	// is queried and summarized before exit (a second signal kills the
+	// process via the restored default handler).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdin, os.Stdout); err != nil {
 		fmt.Fprintf(os.Stderr, "sketchtree: %v\n", err)
 		os.Exit(1)
 	}
@@ -57,21 +65,23 @@ func (q *queryList) Set(s string) error {
 	return nil
 }
 
-func run(args []string, stdin io.Reader, stdout io.Writer) error {
+func run(ctx context.Context, args []string, stdin io.Reader, stdout io.Writer) error {
 	fs := flag.NewFlagSet("sketchtree", flag.ContinueOnError)
 	var (
-		k       = fs.Int("k", 4, "maximum pattern size in edges")
-		s1      = fs.Int("s1", 25, "sketch instances averaged (accuracy)")
-		s2      = fs.Int("s2", 7, "sketch rows medianed (confidence)")
-		p       = fs.Int("p", 229, "number of virtual streams (prime)")
-		topk    = fs.Int("topk", 50, "frequent patterns tracked per virtual stream (0 = off)")
-		seed    = fs.Uint64("seed", 1, "random seed")
-		indep   = fs.Int("independence", 4, "xi independence (>= 6 enables product expressions)")
-		forest  = fs.Bool("forest", false, "treat each input as a rooted forest document")
-		useSum  = fs.Bool("summary", false, "build the structural summary ('//' and '*' queries)")
-		workers = fs.Int("workers", 1, "parallel ingestion shards; 0 = GOMAXPROCS, > 1 requires -topk 0")
-		metrics = fs.String("metrics", "", "serve /stats (JSON), /metrics (Prometheus) and /debug/pprof on this address; enables stage timers")
-		queries queryList
+		k        = fs.Int("k", 4, "maximum pattern size in edges")
+		s1       = fs.Int("s1", 25, "sketch instances averaged (accuracy)")
+		s2       = fs.Int("s2", 7, "sketch rows medianed (confidence)")
+		p        = fs.Int("p", 229, "number of virtual streams (prime)")
+		topk     = fs.Int("topk", 50, "frequent patterns tracked per virtual stream (0 = off)")
+		seed     = fs.Uint64("seed", 1, "random seed")
+		indep    = fs.Int("independence", 4, "xi independence (>= 6 enables product expressions)")
+		forest   = fs.Bool("forest", false, "treat each input as a rooted forest document")
+		useSum   = fs.Bool("summary", false, "build the structural summary ('//' and '*' queries)")
+		workers  = fs.Int("workers", 1, "parallel ingestion shards; 0 = GOMAXPROCS, > 1 requires -topk 0")
+		metrics  = fs.String("metrics", "", "serve /stats (JSON), /metrics (Prometheus) and /debug/pprof on this address; enables stage timers")
+		auditK   = fs.Int("audit", 0, "exact-shadow audit: track true counts for a sample of this many patterns (0 = off; requires -workers 1)")
+		auditEps = fs.Float64("audit-eps", 0.1, "target relative error ε scored in the audit accuracy table")
+		queries  queryList
 	)
 	fs.Var(&queries, "q", "query (repeatable): S-expression or path; prefix u: for unordered")
 	if err := fs.Parse(args); err != nil {
@@ -100,10 +110,18 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		if err != nil {
 			return err
 		}
+		if *auditK > 0 {
+			if err := st.EnableAudit(*auditK); err != nil {
+				return err
+			}
+		}
 		src.set(st)
 	} else {
 		if *topk != 0 {
 			return fmt.Errorf("-workers %d requires -topk 0: sharded synopses with top-k tracking cannot be merged", *workers)
+		}
+		if *auditK > 0 {
+			return fmt.Errorf("-audit requires -workers 1: the exact-shadow sample is drawn over one engine's stream")
 		}
 		var err error
 		if in, err = sketchtree.NewIngestor(cfg, *workers); err != nil {
@@ -125,8 +143,20 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	if in == nil {
 		sink = src.tree()
 	}
+	interrupted := false
 	for _, name := range inputs {
-		if err := addInput(sink, name, stdin, *forest); err != nil {
+		if ctx.Err() != nil {
+			interrupted = true
+			break
+		}
+		// Input readers are cancel-aware: a signal surfaces as a read
+		// error at the next tree boundary, stopping ingestion cleanly
+		// with the synopsis in a consistent (whole trees only) state.
+		if err := addInput(ctx, sink, name, stdin, *forest); err != nil {
+			if ctx.Err() != nil {
+				interrupted = true
+				break
+			}
 			return fmt.Errorf("%s: %w", name, err)
 		}
 	}
@@ -138,6 +168,9 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 		src.set(st)
 	}
 	st := src.tree()
+	if interrupted {
+		fmt.Fprintf(stdout, "interrupted: stopping ingestion, summarizing the synopsis so far\n")
+	}
 	fmt.Fprintf(stdout, "processed %d trees, %d pattern occurrences\n",
 		st.TreesProcessed(), st.PatternsProcessed())
 	mem := st.MemoryBytes()
@@ -147,13 +180,45 @@ func run(args []string, stdin io.Reader, stdout io.Writer) error {
 	for _, q := range queries {
 		answer(stdout, st, q, *useSum)
 	}
-	if *metrics != "" {
-		printStats(stdout, st.Stats())
-		if metricsHook != nil {
-			metricsHook()
+	if *auditK > 0 {
+		rep, err := st.AuditReport()
+		if err != nil {
+			return err
 		}
+		printAuditTable(stdout, rep, *auditEps)
+	}
+	if *metrics != "" || interrupted {
+		printStats(stdout, st.Stats())
+	}
+	if *metrics != "" && metricsHook != nil {
+		metricsHook()
 	}
 	return nil
+}
+
+// printAuditTable writes the end-of-run accuracy table: the observed
+// relative error of the sketch against the audited exact counts.
+func printAuditTable(w io.Writer, r sketchtree.AuditReport, eps float64) {
+	fmt.Fprintf(w, "audit: %d patterns tracked (capacity %d) over %d occurrences\n",
+		r.Tracked, r.K, r.Observed)
+	if r.Tracked == 0 {
+		return
+	}
+	fmt.Fprintf(w, "  rel. error: mean %.4f  p50 %.4f  p90 %.4f  p99 %.4f  max %.4f\n",
+		r.Mean, r.P50, r.P90, r.P99, r.Max)
+	fmt.Fprintf(w, "  within ε=%.2f: %.1f%% of audited patterns\n", eps, 100*r.WithinFraction(eps))
+	const maxRows = 10
+	rows := r.Patterns
+	if len(rows) > maxRows {
+		rows = rows[:maxRows]
+	}
+	fmt.Fprintf(w, "  %-20s %10s %12s %9s\n", "pattern value", "exact", "estimate", "rel.err")
+	for _, p := range rows {
+		fmt.Fprintf(w, "  %-20d %10d %12.1f %9.4f\n", p.Value, p.Exact, p.Estimate, p.RelErr)
+	}
+	if len(r.Patterns) > maxRows {
+		fmt.Fprintf(w, "  ... %d more audited patterns\n", len(r.Patterns)-maxRows)
+	}
 }
 
 // metricsHook, when set by tests, runs after the queries are answered
@@ -253,7 +318,7 @@ type xmlSink interface {
 	AddXMLForest(io.Reader) error
 }
 
-func addInput(sink xmlSink, name string, stdin io.Reader, forest bool) error {
+func addInput(ctx context.Context, sink xmlSink, name string, stdin io.Reader, forest bool) error {
 	var r io.Reader = stdin
 	if name != "-" {
 		f, err := os.Open(name)
@@ -263,10 +328,25 @@ func addInput(sink xmlSink, name string, stdin io.Reader, forest bool) error {
 		defer f.Close()
 		r = f
 	}
+	r = &ctxReader{ctx: ctx, r: r}
 	if forest {
 		return sink.AddXMLForest(r)
 	}
 	return sink.AddXML(r)
+}
+
+// ctxReader fails reads once the context is canceled, turning a signal
+// into an ordinary decode error at the next tree boundary.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
 }
 
 func answer(w io.Writer, st *sketchtree.SketchTree, q string, haveSummary bool) {

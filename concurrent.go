@@ -109,6 +109,58 @@ func (s *Safe) CountOrderedSet(qs []*Node) (float64, error) {
 	return s.st.CountOrderedSet(qs)
 }
 
+// CountOrderedWithError is CountOrdered with an error bar.
+func (s *Safe) CountOrderedWithError(q *Node) (Estimate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountOrderedWithError(q)
+}
+
+// CountUnorderedWithError is CountUnordered with an error bar.
+func (s *Safe) CountUnorderedWithError(q *Node) (Estimate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountUnorderedWithError(q)
+}
+
+// CountOrderedSetWithError is CountOrderedSet with an error bar.
+func (s *Safe) CountOrderedSetWithError(qs []*Node) (Estimate, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.CountOrderedSetWithError(qs)
+}
+
+// HealthReport diagnoses the synopsis under the read lock (it reads
+// the sketch counters, unlike the lock-free Stats).
+func (s *Safe) HealthReport() HealthReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.HealthReport()
+}
+
+// EnableAudit attaches the exact-shadow auditor; must run before any
+// tree is added.
+func (s *Safe) EnableAudit(k int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.EnableAudit(k)
+}
+
+// AuditEnabled reports whether the exact-shadow auditor is attached.
+func (s *Safe) AuditEnabled() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.AuditEnabled()
+}
+
+// AuditReport scores the audited sample against the live sketch under
+// the read lock.
+func (s *Safe) AuditReport() (AuditReport, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.AuditReport()
+}
+
 // EstimateExpression estimates a +, −, × expression over counts.
 func (s *Safe) EstimateExpression(e Expr) (float64, error) {
 	s.mu.RLock()

@@ -5,7 +5,11 @@
 // between batches and reports
 //
 //   - drift: the windowed count of a pattern as the stream shifts from
-//     bibliography records toward conference papers, and
+//     bibliography records toward conference papers,
+//   - accuracy drift: the exact-shadow auditor's observed relative
+//     error over its audited sample, recomputed per batch — the live
+//     answer to "can I still trust the estimates as the stream
+//     changes?", and
 //   - throughput: patterns/sec and the per-stage cost breakdown
 //     (EnumTree, Prüfer+fingerprint, sketch update, top-k) from the
 //     stage timers, plus the query-latency histogram.
@@ -42,6 +46,12 @@ func main() {
 	// Opt in to stage timers and query-latency measurement. Counters
 	// (trees, patterns, queries) are on regardless.
 	st.EnableMetrics(true)
+	// Opt in to the exact-shadow auditor: true counts are kept for a
+	// 256-pattern sample so the monitor can report observed accuracy,
+	// not just the a-priori (ε, δ) guarantee. Must precede ingestion.
+	if err := st.EnableAudit(256); err != nil {
+		log.Fatal(err)
+	}
 
 	// Two phases of stream drift: mostly articles first, then mostly
 	// inproceedings (different generator seeds shift the type mix by
@@ -75,6 +85,13 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		// Accuracy drift: re-score the audited sample against the live
+		// sketch. The quantiles also land in Stats().Audit, so a scraper
+		// of the /metrics endpoint would see the same panel.
+		rep, err := st.AuditReport()
+		if err != nil {
+			log.Fatal(err)
+		}
 		// Drift: the windowed estimate. Throughput: the sketch stage's
 		// op count is gross (adds and removals both update sketches),
 		// unlike the net Patterns counter, so its delta over wall time
@@ -83,8 +100,8 @@ func main() {
 		cur := st.Stats()
 		elapsed := now.Sub(prevAt).Seconds()
 		ops := cur.Stage(sketchtree.StageSketch).Count - prev.Stage(sketchtree.StageSketch).Count
-		fmt.Printf("  after %5d trees: ≈ %6.0f %-14s  %7.0f patterns/s\n",
-			i+1, est, bars(int(est/40)), float64(ops)/elapsed)
+		fmt.Printf("  after %5d trees: ≈ %6.0f %-14s  err p50 %5.3f p90 %5.3f  %7.0f patterns/s\n",
+			i+1, est, bars(int(est/40)), rep.P50, rep.P90, float64(ops)/elapsed)
 		prev, prevAt = cur, now
 	}
 
@@ -104,6 +121,21 @@ func main() {
 	}
 	fmt.Printf("queries: %d answered, %d errors, mean latency %v\n",
 		s.Queries.Count, s.Queries.Errors, meanLatency(s.Queries))
+
+	// Final accuracy panel from the auditor plus the sketch-health
+	// diagnosis (partition skew, top-k churn).
+	rep, err := st.AuditReport()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("audit: %d patterns shadowed, rel. error mean %.3f p90 %.3f max %.3f (%.0f%% within ε=0.15)\n",
+		rep.Tracked, rep.Mean, rep.P90, rep.Max, 100*rep.WithinFraction(0.15))
+	hr := st.HealthReport()
+	fmt.Printf("health: %d virtual streams, max share %.1f%% (skew ratio %.1f), top-k residency %d\n",
+		hr.VirtualStreams, 100*hr.MaxShare, hr.SkewRatio, hr.TopK.Residency)
+	for _, w := range hr.Warnings {
+		fmt.Printf("  warning: %s\n", w)
+	}
 }
 
 func meanLatency(q sketchtree.QueryStats) time.Duration {

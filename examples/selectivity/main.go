@@ -60,16 +60,19 @@ func main() {
 		st.TreesProcessed(), st.PatternsProcessed())
 	fmt.Printf("synopsis: %.0f KB vs exhaustive pattern counters: impractical at paper scale (Table 1)\n\n",
 		float64(st.MemoryBytes().Total())/1024)
-	fmt.Printf("%-44s %10s %10s %8s\n", "twig query", "estimate", "exact", "rel.err")
+	fmt.Printf("%-44s %10s %24s %10s %8s\n", "twig query", "estimate", "95% CI", "exact", "rel.err")
 	for i, q := range queries {
-		est, err := st.CountOrdered(q)
+		est, err := st.CountOrderedWithError(q)
 		if err != nil {
 			log.Fatal(err)
 		}
 		re := 0.0
 		if exact[i] > 0 {
-			re = (est - float64(exact[i])) / float64(exact[i])
+			re = (est.Value - float64(exact[i])) / float64(exact[i])
 		}
-		fmt.Printf("%-44s %10.0f %10d %7.1f%%\n", q.String(), est, exact[i], 100*re)
+		// The CI comes from the sketch alone (row-mean spread capped by
+		// the Equation-2 variance bound) — no ground truth needed.
+		ci := fmt.Sprintf("[%.0f, %.0f]", est.CI95[0], est.CI95[1])
+		fmt.Printf("%-44s %10.0f %24s %10d %7.1f%%\n", q.String(), est.Value, ci, exact[i], 100*re)
 	}
 }

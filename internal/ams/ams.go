@@ -227,6 +227,15 @@ func (s *Sketch) Clone() *Sketch {
 // medianOfMeans aggregates a per-cell statistic: mean over each row of
 // s1 cells, median over the s2 row means.
 func (s *Sketch) medianOfMeans(cell func(c int) float64) float64 {
+	return median(s.rowMeans(cell))
+}
+
+// rowMeans computes the s2 independent row means of a per-cell
+// statistic — the values the median-of-means boost selects from. Each
+// row mean is itself an unbiased estimator (an average of s1
+// independent atomic estimators), so their empirical spread quantifies
+// the uncertainty of the boosted estimate.
+func (s *Sketch) rowMeans(cell func(c int) float64) []float64 {
 	rows := make([]float64, s.seeds.s2)
 	for i := 0; i < s.seeds.s2; i++ {
 		sum := 0.0
@@ -236,7 +245,46 @@ func (s *Sketch) medianOfMeans(cell func(c int) float64) float64 {
 		}
 		rows[i] = sum / float64(s.seeds.s1)
 	}
-	return median(rows)
+	return rows
+}
+
+// RowEstimate is a point estimate together with the s2 row means it
+// was selected from. Value is the median of Rows; Rows is in row order
+// (not sorted).
+type RowEstimate struct {
+	Value float64
+	Rows  []float64
+}
+
+// rowEstimate pairs the median with a row-ordered copy of the means.
+func (s *Sketch) rowEstimate(cell func(c int) float64) RowEstimate {
+	rows := s.rowMeans(cell)
+	sorted := make([]float64, len(rows))
+	copy(sorted, rows)
+	return RowEstimate{Value: median(sorted), Rows: rows}
+}
+
+// StdErr returns the sample standard deviation of the row means — the
+// empirical standard error of one row's estimator. It is a
+// conservative standard error for the median of the rows (the median
+// of s2 independent row means concentrates at least as well as a
+// single row). Returns 0 when fewer than two rows exist.
+func (r RowEstimate) StdErr() float64 {
+	n := len(r.Rows)
+	if n < 2 {
+		return 0
+	}
+	mean := 0.0
+	for _, x := range r.Rows {
+		mean += x
+	}
+	mean /= float64(n)
+	ss := 0.0
+	for _, x := range r.Rows {
+		d := x - mean
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(n-1))
 }
 
 func median(xs []float64) float64 {
@@ -264,6 +312,19 @@ func (s *Sketch) EstimateCount(v uint64, adjust []int64) float64 {
 	})
 }
 
+// EstimateCountDetailed is EstimateCount returning the per-row means
+// behind the median, for error-bar derivation.
+func (s *Sketch) EstimateCountDetailed(v uint64, adjust []int64) RowEstimate {
+	p := s.seeds.Prepare(v, nil)
+	return s.rowEstimate(func(c int) float64 {
+		x := s.x[c]
+		if adjust != nil {
+			x += adjust[c]
+		}
+		return float64(int64(s.seeds.gens[c].Xi(p)) * x)
+	})
+}
+
 // EstimateSetCount estimates the total frequency Σ_l f_{v_l} of a set
 // of distinct values using the single estimator X·Σ_l ξ_{v_l}
 // (paper §3.2, Theorem 2). The caller must ensure the values are
@@ -274,6 +335,26 @@ func (s *Sketch) EstimateSetCount(vs []uint64, adjust []int64) float64 {
 		preps[l] = s.seeds.Prepare(v, nil)
 	}
 	return s.medianOfMeans(func(c int) float64 {
+		coef := int64(0)
+		for _, p := range preps {
+			coef += int64(s.seeds.gens[c].Xi(p))
+		}
+		x := s.x[c]
+		if adjust != nil {
+			x += adjust[c]
+		}
+		return float64(coef * x)
+	})
+}
+
+// EstimateSetCountDetailed is EstimateSetCount returning the per-row
+// means behind the median, for error-bar derivation.
+func (s *Sketch) EstimateSetCountDetailed(vs []uint64, adjust []int64) RowEstimate {
+	preps := make([]*xi.Prep, len(vs))
+	for l, v := range vs {
+		preps[l] = s.seeds.Prepare(v, nil)
+	}
+	return s.rowEstimate(func(c int) float64 {
 		coef := int64(0)
 		for _, p := range preps {
 			coef += int64(s.seeds.gens[c].Xi(p))

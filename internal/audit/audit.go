@@ -1,0 +1,226 @@
+// Package audit implements the exact-shadow auditor: a bounded-memory
+// sample of tree-pattern values whose frequencies are counted exactly
+// alongside the sketch, so the running system can continuously compare
+// its (ε, δ)-approximate answers against ground truth for a
+// representative pattern subset.
+//
+// Membership uses bottom-k hash sampling (the KMV distinct-sampling
+// construction): a value is audited iff its salted hash is among the K
+// smallest seen. Because the K-th smallest hash only ever decreases,
+// membership is prefix-consistent — any value tracked now has been
+// tracked since its very first arrival, so its counter is exact over
+// the audited stream, never a partial tally. Evicted values can never
+// re-enter (their hash is at least the current threshold), which is
+// what makes the exactness invariant hold without a seen-set.
+//
+// The sample is uniform over distinct pattern values, mirroring how
+// the paper's experiments draw workload queries from the pattern
+// catalog itself, but in O(K) memory instead of one counter per
+// distinct pattern.
+package audit
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+	"sync/atomic"
+)
+
+// slot is one audited value in the max-heap over hashes.
+type slot struct {
+	value uint64
+	hash  uint64
+	count int64
+	pos   int
+}
+
+type slotHeap []*slot
+
+func (h slotHeap) Len() int           { return len(h) }
+func (h slotHeap) Less(i, j int) bool { return h[i].hash > h[j].hash } // max-heap
+func (h slotHeap) Swap(i, j int)      { h[i], h[j] = h[j], h[i]; h[i].pos = i; h[j].pos = j }
+func (h *slotHeap) Push(x interface{}) {
+	s := x.(*slot)
+	s.pos = len(*h)
+	*h = append(*h, s)
+}
+func (h *slotHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	s := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return s
+}
+
+// Auditor maintains exact counts for a bottom-k hash sample of up to K
+// distinct values. One goroutine may call Observe; Observed and
+// Tracked are atomics and safe to read concurrently.
+type Auditor struct {
+	k     int
+	salt  uint64
+	slots map[uint64]*slot
+	heap  slotHeap
+
+	observed atomic.Int64 // net occurrences observed (audited or not)
+	tracked  atomic.Int64 // mirror of len(slots) for race-free reads
+}
+
+// New creates an auditor sampling up to k distinct values, salted with
+// seed so distinct auditors sample independently.
+func New(k int, seed uint64) (*Auditor, error) {
+	if k < 1 {
+		return nil, fmt.Errorf("audit: k=%d must be positive", k)
+	}
+	return &Auditor{k: k, salt: seed, slots: make(map[uint64]*slot, k)}, nil
+}
+
+// K returns the sample capacity.
+func (a *Auditor) K() int { return a.k }
+
+// Observed returns the net occurrences observed so far (the audited
+// stream length). Safe to call concurrently with Observe.
+func (a *Auditor) Observed() int64 { return a.observed.Load() }
+
+// Tracked returns the number of values currently audited. Safe to call
+// concurrently with Observe.
+func (a *Auditor) Tracked() int64 { return a.tracked.Load() }
+
+// mix is the splitmix64 finalizer — the hash that orders values into
+// the bottom-k sample.
+func mix(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Observe records delta occurrences of value v (negative for
+// deletions). Tracked values count exactly; untracked values enter the
+// sample only when their hash undercuts the current bottom-k
+// threshold, which by construction can only happen on a value's first
+// ever arrival — so admission always starts from a true zero count.
+func (a *Auditor) Observe(v uint64, delta int64) {
+	a.observed.Add(delta)
+	if s, ok := a.slots[v]; ok {
+		s.count += delta
+		return
+	}
+	h := mix(v + a.salt)
+	if len(a.slots) >= a.k {
+		if h >= a.heap[0].hash {
+			return
+		}
+		evicted := heap.Pop(&a.heap).(*slot)
+		delete(a.slots, evicted.value)
+	}
+	s := &slot{value: v, hash: h, count: delta}
+	heap.Push(&a.heap, s)
+	a.slots[v] = s
+	a.tracked.Store(int64(len(a.slots)))
+}
+
+// PatternError is one audited pattern's ground truth versus the
+// sketch's answer.
+type PatternError struct {
+	Value    uint64
+	Exact    int64
+	Estimate float64
+	RelErr   float64 // |Estimate − Exact| / max(1, |Exact|)
+}
+
+// Report is the auditor's accuracy summary at one point in time.
+type Report struct {
+	K        int            // sample capacity
+	Tracked  int            // audited patterns
+	Observed int64          // net occurrences the sample was drawn over
+	Patterns []PatternError // audited patterns, descending exact count
+	Mean     float64        // mean relative error
+	P50      float64        // relative-error quantiles over the sample
+	P90      float64
+	P99      float64
+	Max      float64
+}
+
+// Report estimates every audited value through the supplied estimator
+// and summarizes the observed relative errors. The estimator is the
+// caller's query path (sketch estimate with top-k compensation), so
+// the report measures exactly the error a user-issued query would see.
+func (a *Auditor) Report(estimate func(v uint64) float64) Report {
+	r := Report{K: a.k, Tracked: len(a.slots), Observed: a.observed.Load()}
+	if r.Tracked == 0 {
+		return r
+	}
+	r.Patterns = make([]PatternError, 0, len(a.slots))
+	for v, s := range a.slots {
+		est := estimate(v)
+		denom := math.Abs(float64(s.count))
+		if denom < 1 {
+			denom = 1
+		}
+		r.Patterns = append(r.Patterns, PatternError{
+			Value:    v,
+			Exact:    s.count,
+			Estimate: est,
+			RelErr:   math.Abs(est-float64(s.count)) / denom,
+		})
+	}
+	sort.Slice(r.Patterns, func(i, j int) bool {
+		if r.Patterns[i].Exact != r.Patterns[j].Exact {
+			return r.Patterns[i].Exact > r.Patterns[j].Exact
+		}
+		return r.Patterns[i].Value < r.Patterns[j].Value
+	})
+	errs := make([]float64, len(r.Patterns))
+	sum := 0.0
+	for i, p := range r.Patterns {
+		errs[i] = p.RelErr
+		sum += p.RelErr
+	}
+	sort.Float64s(errs)
+	r.Mean = sum / float64(len(errs))
+	r.P50 = quantile(errs, 0.50)
+	r.P90 = quantile(errs, 0.90)
+	r.P99 = quantile(errs, 0.99)
+	r.Max = errs[len(errs)-1]
+	return r
+}
+
+// quantile returns the q-quantile of sorted values (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(math.Ceil(q*float64(len(sorted)))) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// WithinFraction returns the fraction of audited patterns whose
+// observed relative error is at most eps — the empirical check of the
+// paper's (ε, δ) guarantee (1−δ of queries should fall within ε).
+func (r Report) WithinFraction(eps float64) float64 {
+	if len(r.Patterns) == 0 {
+		return 0
+	}
+	n := 0
+	for _, p := range r.Patterns {
+		if p.RelErr <= eps {
+			n++
+		}
+	}
+	return float64(n) / float64(len(r.Patterns))
+}
+
+// MemoryBytes approximates the auditor footprint: heap slot payload
+// plus map overhead per tracked value.
+func (a *Auditor) MemoryBytes() int {
+	return len(a.slots) * (32 + 8 + 16)
+}

@@ -1,0 +1,208 @@
+package audit
+
+import (
+	"math"
+	"math/rand/v2"
+	"sort"
+	"testing"
+)
+
+// The load-bearing invariant: every tracked value's count equals the
+// true net frequency from a map-based recount, under random inserts
+// and deletes with far more distinct values than sample slots.
+func TestExactnessUnderChurn(t *testing.T) {
+	a, err := New(16, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := make(map[uint64]int64)
+	rng := rand.New(rand.NewPCG(1, 2))
+	for i := 0; i < 20000; i++ {
+		v := rng.Uint64N(500) // ~500 distinct values >> 16 slots
+		delta := int64(1)
+		if rng.IntN(4) == 0 && truth[v] > 0 {
+			delta = -1
+		}
+		truth[v] += delta
+		a.Observe(v, delta)
+	}
+	var net int64
+	for _, c := range truth {
+		net += c
+	}
+	if a.Observed() != net {
+		t.Fatalf("observed %d, true net stream length %d", a.Observed(), net)
+	}
+	if a.Tracked() != int64(len(a.slots)) || a.Tracked() == 0 {
+		t.Fatalf("tracked mirror %d vs %d slots", a.Tracked(), len(a.slots))
+	}
+	for v, s := range a.slots {
+		if s.count != truth[v] {
+			t.Fatalf("audited count for %d is %d, truth is %d", v, s.count, truth[v])
+		}
+	}
+}
+
+// The sample must be exactly the values with the k smallest salted
+// hashes among all values ever seen — the bottom-k (KMV) definition.
+func TestMembershipIsTrueBottomK(t *testing.T) {
+	const k, salt = 8, uint64(7)
+	a, err := New(k, salt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewPCG(3, 4))
+	seen := make(map[uint64]bool)
+	for i := 0; i < 5000; i++ {
+		v := rng.Uint64N(300)
+		seen[v] = true
+		a.Observe(v, 1)
+	}
+	all := make([]uint64, 0, len(seen))
+	for v := range seen {
+		all = append(all, v)
+	}
+	sort.Slice(all, func(i, j int) bool { return mix(all[i]+salt) < mix(all[j]+salt) })
+	want := all[:k]
+	if len(a.slots) != k {
+		t.Fatalf("sample holds %d values, want %d", len(a.slots), k)
+	}
+	for _, v := range want {
+		if _, ok := a.slots[v]; !ok {
+			t.Fatalf("value %d has a bottom-%d hash but is not sampled", v, k)
+		}
+	}
+}
+
+// Once evicted, a value can never re-enter the sample (its hash is at
+// or above the threshold forever), so counts never restart mid-stream.
+func TestEvictedValuesStayOut(t *testing.T) {
+	a, err := New(4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fill beyond capacity, note who got evicted, then hammer the
+	// evicted values again.
+	present := func(v uint64) bool { _, ok := a.slots[v]; return ok }
+	var values []uint64
+	for v := uint64(0); v < 64; v++ {
+		a.Observe(v, 1)
+		values = append(values, v)
+	}
+	var out []uint64
+	for _, v := range values {
+		if !present(v) {
+			out = append(out, v)
+		}
+	}
+	if len(out) != 60 {
+		t.Fatalf("%d values evicted, want 60", len(out))
+	}
+	for _, v := range out {
+		for i := 0; i < 10; i++ {
+			a.Observe(v, 1)
+		}
+		if present(v) {
+			t.Fatalf("evicted value %d re-entered the sample", v)
+		}
+	}
+}
+
+func TestNewRejectsNonPositiveK(t *testing.T) {
+	for _, k := range []int{0, -1} {
+		if _, err := New(k, 1); err == nil {
+			t.Fatalf("New(%d) must fail", k)
+		}
+	}
+}
+
+func TestReportSummaries(t *testing.T) {
+	a, err := New(8, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empty := a.Report(func(uint64) float64 { return 0 })
+	if empty.Tracked != 0 || len(empty.Patterns) != 0 || empty.WithinFraction(1) != 0 {
+		t.Fatalf("empty report: %+v", empty)
+	}
+
+	// Small enough stream that everything is tracked: exact counts are
+	// the inserted frequencies and the report arithmetic is checkable
+	// by hand.
+	freqs := map[uint64]int64{10: 100, 11: 50, 12: 50, 13: 1}
+	for v, n := range freqs {
+		for i := int64(0); i < n; i++ {
+			a.Observe(v, 1)
+		}
+	}
+	// Estimator off by +10% everywhere → every RelErr is 0.1.
+	rep := a.Report(func(v uint64) float64 { return 1.1 * float64(freqs[v]) })
+	if rep.Tracked != 4 || rep.K != 8 || rep.Observed != 201 {
+		t.Fatalf("report header: %+v", rep)
+	}
+	// Sorted by descending exact count, ties broken by ascending value.
+	wantOrder := []uint64{10, 11, 12, 13}
+	for i, p := range rep.Patterns {
+		if p.Value != wantOrder[i] {
+			t.Fatalf("pattern order %v at %d, want %v", p.Value, i, wantOrder)
+		}
+		if p.Exact != freqs[p.Value] {
+			t.Fatalf("exact %d for value %d, want %d", p.Exact, p.Value, freqs[p.Value])
+		}
+		if math.Abs(p.RelErr-0.1) > 1e-9 {
+			t.Fatalf("rel err %v, want 0.1", p.RelErr)
+		}
+	}
+	for _, q := range []float64{rep.Mean, rep.P50, rep.P90, rep.P99, rep.Max} {
+		if math.Abs(q-0.1) > 1e-9 {
+			t.Fatalf("summary stat %v, want 0.1 across the board", q)
+		}
+	}
+	if got := rep.WithinFraction(0.1 + 1e-9); got != 1 {
+		t.Fatalf("WithinFraction(0.1) = %v, want 1", got)
+	}
+	if got := rep.WithinFraction(0.05); got != 0 {
+		t.Fatalf("WithinFraction(0.05) = %v, want 0", got)
+	}
+
+	// A zero exact count clamps the denominator to 1 instead of
+	// dividing by zero.
+	a2, _ := New(2, 5)
+	a2.Observe(7, 1)
+	a2.Observe(7, -1)
+	r2 := a2.Report(func(uint64) float64 { return 3 })
+	if len(r2.Patterns) != 1 || r2.Patterns[0].RelErr != 3 {
+		t.Fatalf("zero-count rel err: %+v", r2.Patterns)
+	}
+}
+
+func TestQuantileNearestRank(t *testing.T) {
+	s := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	cases := []struct{ q, want float64 }{
+		{0.5, 5}, {0.9, 9}, {0.99, 10}, {0.1, 1}, {1, 10}, {0, 1},
+	}
+	for _, c := range cases {
+		if got := quantile(s, c.q); got != c.want {
+			t.Fatalf("quantile(%.2f) = %v, want %v", c.q, got, c.want)
+		}
+	}
+	if quantile(nil, 0.5) != 0 {
+		t.Fatal("quantile of empty slice must be 0")
+	}
+}
+
+func TestMemoryBytesGrowsWithSample(t *testing.T) {
+	a, err := New(32, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MemoryBytes() != 0 {
+		t.Fatalf("empty auditor reports %d bytes", a.MemoryBytes())
+	}
+	for v := uint64(0); v < 10; v++ {
+		a.Observe(v, 1)
+	}
+	if got := a.MemoryBytes(); got != 10*(32+8+16) {
+		t.Fatalf("MemoryBytes %d for 10 slots", got)
+	}
+}

@@ -1,0 +1,247 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/tree"
+)
+
+// The auditor's exact shadow counts must agree with an offline recount
+// (the TrackExact baseline) for every audited pattern, and the
+// reported relative errors must be exactly |estimate − exact| over the
+// live query path.
+func TestAuditAgreesWithOfflineRecount(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 20, 5
+	cfg.VirtualStreams = 23
+	cfg.TopK = 10
+	cfg.TrackExact = true
+	cfg.Seed = 17
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableAudit(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.Treebank(6, 60).ForEach(e.AddTree); err != nil {
+		t.Fatal(err)
+	}
+
+	rep, err := e.AuditReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Tracked == 0 || rep.Tracked > 64 {
+		t.Fatalf("tracked %d patterns, want 1..64", rep.Tracked)
+	}
+	if rep.Observed != e.PatternsProcessed() {
+		t.Fatalf("auditor observed %d occurrences, stream had %d", rep.Observed, e.PatternsProcessed())
+	}
+	for _, p := range rep.Patterns {
+		if truth := e.Exact().Count(p.Value); p.Exact != truth {
+			t.Fatalf("audited count for %d is %d, offline recount says %d", p.Value, p.Exact, truth)
+		}
+		est := e.estimateValue(p.Value)
+		denom := math.Abs(float64(p.Exact))
+		if denom < 1 {
+			denom = 1
+		}
+		if want := math.Abs(est-float64(p.Exact)) / denom; math.Abs(p.RelErr-want) > 1e-12 {
+			t.Fatalf("reported rel error %v, recomputed %v", p.RelErr, want)
+		}
+	}
+}
+
+// Deletions flow through the audit shadow: after a sliding-window
+// expiry the audited counts still match the exact baseline.
+func TestAuditExactUnderDeletions(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 10, 3
+	cfg.VirtualStreams = 7
+	cfg.TopK = 0
+	cfg.TrackExact = true
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableAudit(32); err != nil {
+		t.Fatal(err)
+	}
+	var win []*tree.Tree
+	src := datagen.DBLP(2, 80)
+	err = src.ForEach(func(tr *tree.Tree) error {
+		if err := e.AddTree(tr); err != nil {
+			return err
+		}
+		win = append(win, tr)
+		if len(win) > 20 {
+			if err := e.RemoveTree(win[0]); err != nil {
+				return err
+			}
+			win = win[1:]
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.AuditReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range rep.Patterns {
+		if truth := e.Exact().Count(p.Value); p.Exact != truth {
+			t.Fatalf("windowed audit count for %d is %d, exact baseline says %d", p.Value, p.Exact, truth)
+		}
+	}
+}
+
+// Enabling the auditor must not change the synopsis: serialized bytes
+// and estimates are identical with and without it.
+func TestAuditDoesNotPerturbSynopsis(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 10, 3
+	cfg.VirtualStreams = 23
+	cfg.TopK = 10
+	build := func(audit bool) *Engine {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if audit {
+			if err := e.EnableAudit(64); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := datagen.Treebank(8, 30).ForEach(e.AddTree); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	with, without := build(true), build(false)
+	b1, err := with.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := without.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatal("enabling the auditor changed the serialized synopsis")
+	}
+	q := tree.New("NP", tree.New("DT"))
+	e1, err := with.EstimateOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e2, err := without.EstimateOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e1 != e2 {
+		t.Fatalf("estimates diverged with auditor on: %v vs %v", e1, e2)
+	}
+}
+
+func TestAuditLifecycleGuards(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 5, 3
+	cfg.VirtualStreams = 7
+	cfg.TopK = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.AuditReport(); err == nil {
+		t.Fatal("AuditReport without EnableAudit must fail")
+	}
+	if err := e.EnableAudit(0); err == nil {
+		t.Fatal("EnableAudit(0) must fail")
+	}
+	if err := e.EnableAudit(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.EnableAudit(8); err == nil {
+		t.Fatal("double EnableAudit must fail")
+	}
+	if !e.AuditEnabled() {
+		t.Fatal("AuditEnabled must report true")
+	}
+
+	// Too late after ingestion started.
+	late, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := late.AddTree(tree.NewTree(tree.New("a", tree.New("b")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := late.EnableAudit(8); err == nil {
+		t.Fatal("EnableAudit after ingestion must fail")
+	}
+
+	// Merging audited engines is rejected in both directions.
+	plain, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Merge(e); err == nil {
+		t.Fatal("merging an audited operand must fail")
+	}
+	if err := e.Merge(plain); err == nil {
+		t.Fatal("merging into an audited engine must fail")
+	}
+}
+
+// The audit section of Stats: occupancy live, quantiles only after a
+// report has been computed.
+func TestAuditStatsSection(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 5, 3
+	cfg.VirtualStreams = 7
+	cfg.TopK = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Stats().Audit != nil {
+		t.Fatal("audit section must be absent before EnableAudit")
+	}
+	if err := e.EnableAudit(16); err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.DBLP(3, 20).ForEach(e.AddTree); err != nil {
+		t.Fatal(err)
+	}
+	a := e.Stats().Audit
+	if a == nil {
+		t.Fatal("audit section missing after EnableAudit")
+	}
+	if a.Capacity != 16 || a.Patterns == 0 || a.Observed != e.PatternsProcessed() {
+		t.Fatalf("audit occupancy: %+v", a)
+	}
+	if a.Reported {
+		t.Fatal("Reported must be false before the first AuditReport")
+	}
+	rep, err := e.AuditReport()
+	if err != nil {
+		t.Fatal(err)
+	}
+	a = e.Stats().Audit
+	if !a.Reported {
+		t.Fatal("Reported must be true after AuditReport")
+	}
+	if a.P90RelErr != rep.P90 || a.MaxRelErr != rep.Max || a.MeanRelErr != rep.Mean {
+		t.Fatalf("cached quantiles diverge from report: %+v vs %+v", a, rep)
+	}
+}

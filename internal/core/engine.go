@@ -11,9 +11,11 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync/atomic"
 	"time"
 
 	"sketchtree/internal/ams"
+	"sketchtree/internal/audit"
 	"sketchtree/internal/enum"
 	"sketchtree/internal/exact"
 	"sketchtree/internal/gf2"
@@ -165,6 +167,13 @@ type Engine struct {
 	en        *enum.Enumerator // reused across updates; Reset per tree
 
 	observer func(v uint64, p *enum.Pattern)
+
+	// auditor is the opt-in exact-shadow accuracy auditor (EnableAudit);
+	// nil in the default configuration, keeping the hot path to a single
+	// pointer test. auditCache holds the error quantiles of the last
+	// AuditReport so lock-free Stats() readers can expose them.
+	auditor    *audit.Auditor
+	auditCache atomic.Pointer[obs.AuditSnapshot]
 }
 
 // New builds an engine from the configuration.
@@ -341,6 +350,9 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 		if e.observer != nil {
 			e.observer(v, p)
 		}
+		if e.auditor != nil {
+			e.auditor.Observe(v, delta)
+		}
 		// Incremented per applied occurrence, inside the callback, so
 		// that on a mid-enumeration error PatternsProcessed counts
 		// exactly the occurrences the sketches actually absorbed (the
@@ -447,9 +459,18 @@ func (e *Engine) Metrics() *obs.Metrics { return e.met }
 // Stats reads the engine's observability snapshot. Unlike
 // TreesProcessed/PatternsProcessed it is safe to call concurrently
 // with updates (the counters are atomics) and additionally carries
-// per-stage timings and the query-latency histogram when timers are
-// enabled.
-func (e *Engine) Stats() obs.Snapshot { return e.met.Snapshot() }
+// per-stage timings, the query-latency histogram when timers are
+// enabled, the sketch-health section, and — when the exact-shadow
+// auditor is enabled — the audit section with the last report's error
+// quantiles. Everything collected here comes from atomics.
+func (e *Engine) Stats() obs.Snapshot {
+	s := e.met.Snapshot()
+	s.Health = e.healthSnapshot()
+	if e.auditor != nil {
+		s.Audit = e.auditSnapshot()
+	}
+	return s
+}
 
 // TreesProcessed returns the number of trees folded into the synopsis.
 func (e *Engine) TreesProcessed() int64 { return e.trees }

@@ -1,0 +1,229 @@
+package core
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/enum"
+	"sketchtree/internal/tree"
+	"sketchtree/internal/workload"
+)
+
+// ingestWithCatalog streams a TREEBANK-style workload into a fresh
+// engine while building the ground-truth catalog in the same pass (the
+// experiment harness idiom, via the observer hook).
+func ingestWithCatalog(t *testing.T, cfg Config, seed uint64, trees int) (*Engine, *workload.Catalog) {
+	t.Helper()
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cat := workload.NewCatalog(1)
+	e.SetObserver(func(v uint64, p *enum.Pattern) {
+		cat.Add(v, func() string { return p.ToTree().String() })
+	})
+	src := datagen.Treebank(seed, trees)
+	if err := src.ForEach(e.AddTree); err != nil {
+		t.Fatal(err)
+	}
+	e.SetObserver(nil)
+	return e, cat
+}
+
+// coverageQueries picks a deterministic spread of catalog patterns
+// across frequencies: the most common ones plus a sample of the rest.
+func coverageQueries(t *testing.T, cat *workload.Catalog, n int) []workload.Query {
+	t.Helper()
+	// Lo is one occurrence's selectivity so every cataloged pattern
+	// qualifies while staying above the representation threshold.
+	qs, err := cat.Queries(workload.Range{Lo: 1 / float64(cat.Total()), Hi: 1.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qs) <= n {
+		return qs
+	}
+	// Sorted by descending count: keep the head and an even stride
+	// through the tail so rare patterns are represented too.
+	out := qs[:n/2]
+	tail := qs[n/2:]
+	stride := len(tail) / (n - len(out))
+	if stride < 1 {
+		stride = 1
+	}
+	for i := 0; i < len(tail) && len(out) < n; i += stride {
+		out = append(out, tail[i])
+	}
+	return out
+}
+
+// The headline acceptance criterion: CountWithError's 95% intervals
+// must cover the exact count for at least 95% of queries on a seeded
+// TREEBANK-style workload, and the point estimate must be identical to
+// the plain estimator's.
+func TestEstimateWithErrorCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.S1, cfg.S2 = 50, 7
+	cfg.TopK = 0
+	cfg.Seed = 11
+	e, cat := ingestWithCatalog(t, cfg, 3, 150)
+
+	qs := coverageQueries(t, cat, 200)
+	covered, total := 0, 0
+	for _, q := range qs {
+		est, err := e.EstimateOrderedWithError(q.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := e.EstimateOrdered(q.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Value != plain {
+			t.Fatalf("point estimate diverged: %v with error bar vs %v plain", est.Value, plain)
+		}
+		if est.CI95[0] > est.Value || est.CI95[1] < est.Value {
+			t.Fatalf("interval %v does not contain its own estimate %v", est.CI95, est.Value)
+		}
+		if est.StdErr < 0 {
+			t.Fatalf("negative standard error %v", est.StdErr)
+		}
+		if est.S1 != cfg.S1 || est.S2 != cfg.S2 {
+			t.Fatalf("estimate reports dimensions %dx%d, config is %dx%d", est.S1, est.S2, cfg.S1, cfg.S2)
+		}
+		total++
+		exact := float64(q.Count)
+		if est.CI95[0] <= exact && exact <= est.CI95[1] {
+			covered++
+		}
+	}
+	if total < 100 {
+		t.Fatalf("only %d queries exercised", total)
+	}
+	frac := float64(covered) / float64(total)
+	t.Logf("coverage: %d/%d = %.3f", covered, total, frac)
+	if frac < 0.95 {
+		t.Fatalf("CI95 covered the exact count for only %.1f%% of %d queries, want >= 95%%", 100*frac, total)
+	}
+}
+
+// Set and unordered error bars: intervals from the Equation-7 bound
+// must cover the exact total for the overwhelming majority of random
+// pattern sets.
+func TestEstimateSetWithErrorCoverage(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.S1, cfg.S2 = 50, 7
+	cfg.TopK = 0
+	cfg.Seed = 13
+	e, cat := ingestWithCatalog(t, cfg, 5, 120)
+
+	qs := coverageQueries(t, cat, 120)
+	rng := rand.New(rand.NewPCG(99, 0))
+	covered, total := 0, 0
+	for i := 0; i < 60; i++ {
+		idx := rng.Perm(len(qs))[:3]
+		pats := make([]*tree.Node, 0, 3)
+		exact := int64(0)
+		for _, j := range idx {
+			pats = append(pats, qs[j].Pattern)
+			exact += qs[j].Count
+		}
+		est, err := e.EstimateOrderedSetWithError(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := e.EstimateOrderedSet(pats)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Value != plain {
+			t.Fatalf("set point estimate diverged: %v vs %v", est.Value, plain)
+		}
+		total++
+		if est.CI95[0] <= float64(exact) && float64(exact) <= est.CI95[1] {
+			covered++
+		}
+	}
+	frac := float64(covered) / float64(total)
+	t.Logf("set coverage: %d/%d = %.3f", covered, total, frac)
+	if frac < 0.9 {
+		t.Fatalf("set CI95 coverage %.2f below 0.9", frac)
+	}
+}
+
+// With top-k tracking enabled the compensated error-bar path must stay
+// consistent with the compensated point estimator.
+func TestEstimateWithErrorMatchesPlainUnderTopK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 30, 5
+	cfg.VirtualStreams = 23
+	cfg.TopK = 20
+	cfg.Seed = 7
+	e, cat := ingestWithCatalog(t, cfg, 9, 60)
+
+	for _, q := range coverageQueries(t, cat, 50) {
+		est, err := e.EstimateOrderedWithError(q.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		plain, err := e.EstimateOrdered(q.Pattern)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if est.Value != plain {
+			t.Fatalf("top-k compensated estimates diverged: %v vs %v", est.Value, plain)
+		}
+	}
+}
+
+// Unordered error bars run through the arrangement expansion.
+func TestEstimateUnorderedWithError(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 30, 5
+	cfg.VirtualStreams = 23
+	cfg.TopK = 0
+	cfg.Seed = 3
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tree.New("a", tree.New("b"), tree.New("c"))
+	for i := 0; i < 40; i++ {
+		if err := e.AddTree(tree.NewTree(tree.New("a", tree.New("b"), tree.New("c")))); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.AddTree(tree.NewTree(tree.New("a", tree.New("c"), tree.New("b")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est, err := e.EstimateUnorderedWithError(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := e.EstimateUnordered(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Value != plain {
+		t.Fatalf("unordered estimates diverged: %v vs %v", est.Value, plain)
+	}
+	if est.CI95[0] > 80 || est.CI95[1] < 80 {
+		t.Fatalf("interval %v misses the exact unordered count 80", est.CI95)
+	}
+
+	// Error paths mirror the plain estimators'.
+	if _, err := e.EstimateOrderedWithError(nil); err == nil {
+		t.Fatal("nil pattern must fail")
+	}
+	if _, err := e.EstimateOrderedSetWithError(nil); err == nil {
+		t.Fatal("empty set must fail")
+	}
+	if _, err := e.EstimateUnorderedWithError(tree.New("lonely")); err == nil {
+		t.Fatal("zero-edge pattern must fail")
+	}
+}

@@ -1,0 +1,183 @@
+package core
+
+import (
+	"fmt"
+
+	"sketchtree/internal/audit"
+	"sketchtree/internal/obs"
+)
+
+// healthSnapshot collects the estimator-health section attached to
+// Stats(). Everything here is read from atomics (virtual-stream item
+// counters, top-k churn mirrors), so collection is safe concurrent
+// with updates — the contract Stats() and Safe.Stats() rely on.
+func (e *Engine) healthSnapshot() *obs.HealthSnapshot {
+	p := e.streams.P()
+	h := &obs.HealthSnapshot{VirtualStreams: p, Items: make([]int64, p)}
+	for i := 0; i < p; i++ {
+		h.Items[i] = e.streams.Items(i)
+	}
+	h.Recompute()
+	if e.trackers != nil {
+		tk := &obs.TopKHealth{
+			Trackers: len(e.trackers),
+			Capacity: len(e.trackers) * e.cfg.TopK,
+		}
+		for _, t := range e.trackers {
+			c := t.Churn()
+			tk.Residency += c.Residency
+			tk.Promotions += c.Promotions
+			tk.Evictions += c.Evictions
+			tk.DeletedMass += c.DeletedMass
+			if c.MinFreq > 0 && (tk.MinFreq == 0 || c.MinFreq < tk.MinFreq) {
+				tk.MinFreq = c.MinFreq
+			}
+		}
+		h.TopK = tk
+	}
+	return h
+}
+
+// HealthReport is the engine's full sketch-health diagnosis: the
+// atomics-readable snapshot plus sketch-derived energy figures and
+// human-readable warnings. Unlike Stats it reads the sketch counters,
+// so it needs the same exclusion as queries (Safe serializes it).
+type HealthReport struct {
+	obs.HealthSnapshot
+
+	// PartitionL2 is the estimated L2 energy (self-join size) of each
+	// virtual stream's residual sketch — the quantity that drives that
+	// partition's estimator variance (Equation 2).
+	PartitionL2 []float64
+	// SelfJoinSize is the compensated total self-join size (deleted
+	// top-k instances added back), Σ over partitions.
+	SelfJoinSize float64
+	// Warnings are human-readable conditions worth an operator's
+	// attention; empty when the synopsis looks healthy.
+	Warnings []string
+}
+
+// HealthReport diagnoses the synopsis: partition occupancy and energy
+// skew, top-k liveness, and anomalous stream mass. The thresholds are
+// heuristics — a partition holding a few times its uniform share is
+// normal on skewed data; an order of magnitude is worth a look.
+func (e *Engine) HealthReport() HealthReport {
+	r := HealthReport{HealthSnapshot: *e.healthSnapshot()}
+	p := e.streams.P()
+	r.PartitionL2 = make([]float64, p)
+	maxL2, sumL2, maxL2At := 0.0, 0.0, 0
+	for i := 0; i < p; i++ {
+		var adj []int64
+		if e.trackers != nil {
+			adj = e.trackers[i].AdjustmentAll()
+		}
+		l2 := e.streams.Sketch(i).EstimateF2(adj)
+		if l2 < 0 {
+			l2 = 0
+		}
+		r.PartitionL2[i] = l2
+		sumL2 += l2
+		if l2 > maxL2 {
+			maxL2, maxL2At = l2, i
+		}
+	}
+	r.SelfJoinSize = sumL2
+
+	uniform := 1 / float64(p)
+	if r.TotalItems > 0 && r.MaxShare >= 0.10 && r.MaxShare > 4*uniform {
+		r.Warnings = append(r.Warnings, fmt.Sprintf(
+			"partition %d holds %.0f%% of stream mass (uniform share would be %.1f%%); consider a larger VirtualStreams prime",
+			r.MaxShareIndex, 100*r.MaxShare, 100*uniform))
+	}
+	if sumL2 > 0 && maxL2/sumL2 >= 0.25 && maxL2/sumL2 > 4*uniform {
+		r.Warnings = append(r.Warnings, fmt.Sprintf(
+			"partition %d carries %.0f%% of sketch L2 energy: its queries dominate the variance budget",
+			maxL2At, 100*maxL2/sumL2))
+	}
+	if tk := r.TopK; tk != nil && r.TotalItems > 0 && tk.Promotions == 0 {
+		r.Warnings = append(r.Warnings,
+			"top-k tracking is configured but no pattern was ever promoted (sampling probability too low, or stream too uniform to exceed the admission bar)")
+	}
+	for i, it := range r.Items {
+		if it < 0 {
+			r.Warnings = append(r.Warnings, fmt.Sprintf(
+				"virtual stream %d has negative net mass (%d): more deletions than insertions were routed there", i, it))
+		}
+	}
+	return r
+}
+
+// auditSalt decorrelates the auditor's bottom-k hash from every other
+// seed derived from Config.Seed.
+const auditSalt = 0x9e3779b97f4a7c15
+
+// EnableAudit attaches an exact-shadow auditor that keeps exact counts
+// for a bottom-k hash sample of up to k distinct pattern values, so
+// the engine can continuously report the observed accuracy of its own
+// estimates (AuditReport). It must be called before any tree is
+// processed: the sample's exactness guarantee needs to see the stream
+// from the start. The auditor is process-local — it is not part of the
+// synopsis and never serialized.
+func (e *Engine) EnableAudit(k int) error {
+	if e.auditor != nil {
+		return fmt.Errorf("core: audit already enabled")
+	}
+	if e.patterns != 0 || e.trees != 0 {
+		return fmt.Errorf("core: audit must be enabled before ingestion (synopsis already holds %d pattern occurrences)", e.patterns)
+	}
+	a, err := audit.New(k, e.cfg.Seed^auditSalt)
+	if err != nil {
+		return fmt.Errorf("core: %w", err)
+	}
+	e.auditor = a
+	return nil
+}
+
+// AuditEnabled reports whether the exact-shadow auditor is attached.
+func (e *Engine) AuditEnabled() bool { return e.auditor != nil }
+
+// AuditReport scores every audited pattern value through the live
+// single-pattern query path (sketch estimate with top-k compensation)
+// against its exact shadow count and returns the accuracy report. It
+// reads the sketches, so it needs the same exclusion as queries. The
+// report's error quantiles are cached for the audit section of
+// subsequent Stats() snapshots.
+func (e *Engine) AuditReport() (audit.Report, error) {
+	if e.auditor == nil {
+		return audit.Report{}, fmt.Errorf("core: audit not enabled (Engine.EnableAudit)")
+	}
+	r := e.auditor.Report(e.estimateValue)
+	e.auditCache.Store(&obs.AuditSnapshot{
+		Capacity:   r.K,
+		Patterns:   r.Tracked,
+		Observed:   r.Observed,
+		Reported:   true,
+		MeanRelErr: r.Mean,
+		P50RelErr:  r.P50,
+		P90RelErr:  r.P90,
+		P99RelErr:  r.P99,
+		MaxRelErr:  r.Max,
+	})
+	return r, nil
+}
+
+// auditSnapshot assembles the audit section of Stats(): live sample
+// occupancy from the auditor's atomics, error quantiles from the last
+// AuditReport (computing fresh ones would need sketch reads, which
+// Stats must not do).
+func (e *Engine) auditSnapshot() *obs.AuditSnapshot {
+	a := &obs.AuditSnapshot{
+		Capacity: e.auditor.K(),
+		Patterns: int(e.auditor.Tracked()),
+		Observed: e.auditor.Observed(),
+	}
+	if last := e.auditCache.Load(); last != nil {
+		a.Reported = true
+		a.MeanRelErr = last.MeanRelErr
+		a.P50RelErr = last.P50RelErr
+		a.P90RelErr = last.P90RelErr
+		a.P99RelErr = last.P99RelErr
+		a.MaxRelErr = last.MaxRelErr
+	}
+	return a
+}

@@ -1,0 +1,223 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"sketchtree/internal/datagen"
+	"sketchtree/internal/tree"
+)
+
+func TestHealthSnapshotTracksStreamMass(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 10, 3
+	cfg.VirtualStreams = 23
+	cfg.TopK = 10
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.Treebank(1, 40).ForEach(e.AddTree); err != nil {
+		t.Fatal(err)
+	}
+
+	s := e.Stats()
+	h := s.Health
+	if h == nil {
+		t.Fatal("Stats must carry the health section")
+	}
+	if h.VirtualStreams != 23 || len(h.Items) != 23 {
+		t.Fatalf("partition width %d/%d, want 23", h.VirtualStreams, len(h.Items))
+	}
+	// Every pattern occurrence was an insertion, so the per-partition
+	// item counters must sum exactly to the stream length.
+	var sum int64
+	for _, it := range h.Items {
+		if it < 0 {
+			t.Fatalf("negative partition mass on an insert-only stream: %v", h.Items)
+		}
+		sum += it
+	}
+	if sum != e.PatternsProcessed() || h.TotalItems != sum {
+		t.Fatalf("items sum %d, TotalItems %d, patterns %d", sum, h.TotalItems, e.PatternsProcessed())
+	}
+	if h.MaxShare <= 0 || h.MaxShare > 1 {
+		t.Fatalf("MaxShare %v out of (0, 1]", h.MaxShare)
+	}
+	if got := h.Items[h.MaxShareIndex]; float64(got)/float64(sum) != h.MaxShare {
+		t.Fatalf("MaxShareIndex %d does not hold MaxShare %v", h.MaxShareIndex, h.MaxShare)
+	}
+	if want := h.MaxShare * 23; h.SkewRatio != want {
+		t.Fatalf("SkewRatio %v, want %v", h.SkewRatio, want)
+	}
+
+	tk := h.TopK
+	if tk == nil {
+		t.Fatal("top-k health missing with TopK configured")
+	}
+	if tk.Trackers != 23 || tk.Capacity != 230 {
+		t.Fatalf("trackers %d capacity %d, want 23/230", tk.Trackers, tk.Capacity)
+	}
+	if tk.Promotions <= 0 || tk.Residency <= 0 || tk.DeletedMass <= 0 {
+		t.Fatalf("top-k churn not recorded: %+v", tk)
+	}
+	// Residency and deleted mass mirror the trackers' actual state.
+	res, mass := 0, int64(0)
+	for _, tr := range e.trackers {
+		res += tr.Len()
+		for _, vf := range tr.Entries() {
+			mass += vf.Freq
+		}
+	}
+	if tk.Residency != res || tk.DeletedMass != mass {
+		t.Fatalf("churn mirror: residency %d/%d, deleted mass %d/%d", tk.Residency, res, tk.DeletedMass, mass)
+	}
+
+	// Removals drive the counters back down to zero net mass.
+	e2, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := tree.NewTree(tree.New("a", tree.New("b")))
+	if err := e2.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := e2.RemoveTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := e2.Stats().Health.TotalItems; got != 0 {
+		t.Fatalf("net mass after add+remove = %d, want 0", got)
+	}
+}
+
+func TestHealthSectionNoTopK(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 5, 3
+	cfg.VirtualStreams = 7
+	cfg.TopK = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h := e.Stats().Health; h == nil || h.TopK != nil {
+		t.Fatalf("health with TopK disabled: %+v", h)
+	}
+}
+
+func TestMergeAbsorbsItemCounters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1, cfg.S2 = 10, 3
+	cfg.VirtualStreams = 23
+	cfg.TopK = 0
+	build := func(seed uint64, trees int) *Engine {
+		e, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := datagen.Treebank(seed, trees).ForEach(e.AddTree); err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	a, b := build(2, 20), build(3, 25)
+	wantTotal := a.Stats().Health.TotalItems + b.Stats().Health.TotalItems
+	if err := a.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Stats().Health.TotalItems; got != wantTotal {
+		t.Fatalf("merged item mass %d, want %d", got, wantTotal)
+	}
+	if got := a.Stats().Health.TotalItems; got != a.PatternsProcessed() {
+		t.Fatalf("merged item mass %d diverges from patterns %d", got, a.PatternsProcessed())
+	}
+}
+
+func TestHealthReportWarnings(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 10, 3
+	cfg.VirtualStreams = 11
+	cfg.TopK = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A stream of one repeated tree concentrates all mass on the few
+	// partitions its patterns route to — the skew warning must fire.
+	tr := tree.NewTree(tree.New("a", tree.New("b")))
+	for i := 0; i < 50; i++ {
+		if err := e.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := e.HealthReport()
+	if len(r.PartitionL2) != 11 {
+		t.Fatalf("PartitionL2 has %d entries, want 11", len(r.PartitionL2))
+	}
+	if r.SelfJoinSize <= 0 {
+		t.Fatalf("SelfJoinSize %v, want positive", r.SelfJoinSize)
+	}
+	joined := strings.Join(r.Warnings, "\n")
+	if !strings.Contains(joined, "stream mass") {
+		t.Fatalf("skew warning missing, got %q", joined)
+	}
+
+	// Net-negative partitions are called out.
+	if err := e.RemoveTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	extra := tree.NewTree(tree.New("x", tree.New("y")))
+	if err := e.AddTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.RemoveTree(extra); err != nil {
+		t.Fatal(err)
+	}
+	r = e.HealthReport()
+	if !strings.Contains(strings.Join(r.Warnings, "\n"), "negative net mass") {
+		t.Fatalf("negative-mass warning missing, got %v", r.Warnings)
+	}
+}
+
+// The health section must not perturb what is serialized: a synopsis
+// with item counters populated serializes byte-identically to its
+// restored copy (counters are process-local diagnostics).
+func TestHealthCountersNotPersisted(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1, cfg.S2 = 5, 3
+	cfg.VirtualStreams = 7
+	cfg.TopK = 0
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := datagen.Treebank(4, 10).ForEach(e.AddTree); err != nil {
+		t.Fatal(err)
+	}
+	blob, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Stats().Health.TotalItems; got != 0 {
+		t.Fatalf("restored engine has %d item mass, want 0 (diagnostics are process-local)", got)
+	}
+	blob2, err := r.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(blob, blob2) {
+		t.Fatal("serialization changed across restore")
+	}
+}

@@ -27,6 +27,12 @@ func (e *Engine) Merge(o *Engine) error {
 	if e.cfg.TopK != 0 || o.cfg.TopK != 0 {
 		return fmt.Errorf("core: engines with top-k tracking cannot be merged")
 	}
+	// An auditor's bottom-k sample is drawn over one engine's stream;
+	// two samples over disjoint shards have no well-defined union that
+	// preserves the exactness invariant.
+	if e.auditor != nil || o.auditor != nil {
+		return fmt.Errorf("core: engines with an exact-shadow auditor cannot be merged")
+	}
 	if e.cfg.Seed != o.cfg.Seed {
 		return fmt.Errorf("core: merge requires identical seeds (%d vs %d)", e.cfg.Seed, o.cfg.Seed)
 	}
@@ -59,6 +65,9 @@ func (e *Engine) Merge(o *Engine) error {
 		if err := e.streams.Sketch(i).AddSketch(o.streams.Sketch(i)); err != nil {
 			return fmt.Errorf("core: %w", err)
 		}
+	}
+	if err := e.streams.AbsorbItems(o.streams); err != nil {
+		return fmt.Errorf("core: %w", err)
 	}
 	if e.sum != nil && o.sum != nil {
 		e.sum.Merge(o.sum)

@@ -39,13 +39,7 @@ func (e *Engine) estimateOrdered(q *tree.Node) (float64, error) {
 	if err := e.validatePattern(q); err != nil {
 		return 0, err
 	}
-	v := e.PatternValue(q)
-	sk := e.streams.SketchFor(v)
-	var adj []int64
-	if t := e.trackerFor(v); t != nil {
-		adj = t.Adjustment([]uint64{v})
-	}
-	return sk.EstimateCount(v, adj), nil
+	return e.estimateValue(e.PatternValue(q)), nil
 }
 
 // EstimateOrderedSet estimates Σ_j COUNT_ord(Q_j) for distinct
@@ -59,24 +53,34 @@ func (e *Engine) EstimateOrderedSet(qs []*tree.Node) (float64, error) {
 }
 
 func (e *Engine) estimateOrderedSet(qs []*tree.Node) (float64, error) {
+	vs, err := e.setValues(qs)
+	if err != nil {
+		return 0, err
+	}
+	sk := e.streams.Combined(vs)
+	return sk.EstimateSetCount(vs, e.adjustmentFor(vs)), nil
+}
+
+// setValues validates a pattern set and maps it to its distinct
+// one-dimensional values.
+func (e *Engine) setValues(qs []*tree.Node) ([]uint64, error) {
 	if len(qs) == 0 {
-		return 0, fmt.Errorf("core: empty pattern set")
+		return nil, fmt.Errorf("core: empty pattern set")
 	}
 	vs := make([]uint64, len(qs))
 	seen := make(map[uint64]bool, len(qs))
 	for i, q := range qs {
 		if err := e.validatePattern(q); err != nil {
-			return 0, err
+			return nil, err
 		}
 		v := e.PatternValue(q)
 		if seen[v] {
-			return 0, fmt.Errorf("core: duplicate pattern %s in set (patterns must be distinct)", q)
+			return nil, fmt.Errorf("core: duplicate pattern %s in set (patterns must be distinct)", q)
 		}
 		seen[v] = true
 		vs[i] = v
 	}
-	sk := e.streams.Combined(vs)
-	return sk.EstimateSetCount(vs, e.adjustmentFor(vs)), nil
+	return vs, nil
 }
 
 // Arrangements returns the distinct ordered arrangements of an

@@ -3,6 +3,7 @@ package obs
 import (
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 )
@@ -16,6 +17,30 @@ type snapshotJSON struct {
 	Removes       int64                `json:"removes"`
 	Stages        map[string]stageJSON `json:"stages"`
 	Queries       queryJSON            `json:"queries"`
+	Health        *healthJSON          `json:"health,omitempty"`
+	Audit         *auditJSON           `json:"audit,omitempty"`
+}
+
+type healthJSON struct {
+	VirtualStreams int         `json:"virtual_streams"`
+	TotalItems     int64       `json:"total_items"`
+	MaxShare       float64     `json:"max_share"`
+	MaxShareIndex  int         `json:"max_share_index"`
+	SkewRatio      float64     `json:"skew_ratio"`
+	Items          []int64     `json:"items"`
+	TopK           *TopKHealth `json:"topk,omitempty"`
+}
+
+type auditJSON struct {
+	Capacity   int     `json:"capacity"`
+	Patterns   int     `json:"patterns"`
+	Observed   int64   `json:"observed"`
+	Reported   bool    `json:"reported"`
+	MeanRelErr float64 `json:"mean_rel_err"`
+	P50RelErr  float64 `json:"p50_rel_err"`
+	P90RelErr  float64 `json:"p90_rel_err"`
+	P99RelErr  float64 `json:"p99_rel_err"`
+	MaxRelErr  float64 `json:"max_rel_err"`
 }
 
 type stageJSON struct {
@@ -61,6 +86,30 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			LE:    bucketLE(i),
 			Count: cum,
 		})
+	}
+	if h := s.Health; h != nil {
+		doc.Health = &healthJSON{
+			VirtualStreams: h.VirtualStreams,
+			TotalItems:     h.TotalItems,
+			MaxShare:       h.MaxShare,
+			MaxShareIndex:  h.MaxShareIndex,
+			SkewRatio:      h.SkewRatio,
+			Items:          h.Items,
+			TopK:           h.TopK,
+		}
+	}
+	if a := s.Audit; a != nil {
+		doc.Audit = &auditJSON{
+			Capacity:   a.Capacity,
+			Patterns:   a.Patterns,
+			Observed:   a.Observed,
+			Reported:   a.Reported,
+			MeanRelErr: a.MeanRelErr,
+			P50RelErr:  a.P50RelErr,
+			P90RelErr:  a.P90RelErr,
+			P99RelErr:  a.P99RelErr,
+			MaxRelErr:  a.MaxRelErr,
+		}
 	}
 	return json.Marshal(doc)
 }
@@ -118,7 +167,70 @@ func PromHandler(snap func() Snapshot) http.Handler {
 		}
 		fmt.Fprintf(w, "sketchtree_query_latency_seconds_sum %s\n", formatSeconds(s.Queries.Nanos))
 		fmt.Fprintf(w, "sketchtree_query_latency_seconds_count %d\n", cum)
+
+		if h := s.Health; h != nil {
+			writeHealthProm(w, h)
+		}
+		if a := s.Audit; a != nil {
+			writeAuditProm(w, a)
+		}
 	})
+}
+
+// writeHealthProm renders the sketch-health gauge families.
+func writeHealthProm(w io.Writer, h *HealthSnapshot) {
+	gauge := func(name, help string, render func()) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		render()
+	}
+	gauge("sketchtree_vstream_items", "Net pattern occurrences per virtual stream.", func() {
+		for i, it := range h.Items {
+			fmt.Fprintf(w, "sketchtree_vstream_items{stream=%q} %d\n", strconv.Itoa(i), it)
+		}
+	})
+	gauge("sketchtree_vstream_share_max", "Largest virtual stream's fraction of total stream mass.", func() {
+		fmt.Fprintf(w, "sketchtree_vstream_share_max %s\n", formatFloat(h.MaxShare))
+	})
+	gauge("sketchtree_vstream_skew_ratio", "Max partition share times partition count (1 = uniform).", func() {
+		fmt.Fprintf(w, "sketchtree_vstream_skew_ratio %s\n", formatFloat(h.SkewRatio))
+	})
+	tk := h.TopK
+	if tk == nil {
+		return
+	}
+	gauge("sketchtree_topk_residency", "Frequent-pattern values currently tracked across all trackers.", func() {
+		fmt.Fprintf(w, "sketchtree_topk_residency %d\n", tk.Residency)
+	})
+	gauge("sketchtree_topk_min_freq", "Smallest tracked frequency (admission bar; 0 when empty).", func() {
+		fmt.Fprintf(w, "sketchtree_topk_min_freq %d\n", tk.MinFreq)
+	})
+	gauge("sketchtree_topk_deleted_mass", "Instance mass currently deleted from the sketches by top-k tracking.", func() {
+		fmt.Fprintf(w, "sketchtree_topk_deleted_mass %d\n", tk.DeletedMass)
+	})
+	fmt.Fprintf(w, "# HELP sketchtree_topk_promotions_total Lifetime top-k admissions (including refreshes).\n# TYPE sketchtree_topk_promotions_total counter\nsketchtree_topk_promotions_total %d\n", tk.Promotions)
+	fmt.Fprintf(w, "# HELP sketchtree_topk_evictions_total Lifetime top-k evictions.\n# TYPE sketchtree_topk_evictions_total counter\nsketchtree_topk_evictions_total %d\n", tk.Evictions)
+}
+
+// writeAuditProm renders the exact-shadow auditor families:
+// sample-occupancy gauges plus the observed relative error as a
+// Prometheus summary with quantile labels.
+func writeAuditProm(w io.Writer, a *AuditSnapshot) {
+	fmt.Fprintf(w, "# HELP sketchtree_audit_patterns Patterns currently audited with exact shadow counts.\n# TYPE sketchtree_audit_patterns gauge\nsketchtree_audit_patterns %d\n", a.Patterns)
+	fmt.Fprintf(w, "# HELP sketchtree_audit_observed_total Net pattern occurrences the audit sample was drawn over.\n# TYPE sketchtree_audit_observed_total counter\nsketchtree_audit_observed_total %d\n", a.Observed)
+	fmt.Fprintf(w, "# HELP sketchtree_audit_rel_error Observed relative error of sketch estimates on the audited sample (last report).\n# TYPE sketchtree_audit_rel_error summary\n")
+	for _, q := range []struct {
+		label string
+		v     float64
+	}{{"0.5", a.P50RelErr}, {"0.9", a.P90RelErr}, {"0.99", a.P99RelErr}} {
+		fmt.Fprintf(w, "sketchtree_audit_rel_error{quantile=%q} %s\n", q.label, formatFloat(q.v))
+	}
+	fmt.Fprintf(w, "sketchtree_audit_rel_error_sum %s\n", formatFloat(a.MeanRelErr*float64(a.Patterns)))
+	fmt.Fprintf(w, "sketchtree_audit_rel_error_count %d\n", a.Patterns)
+	fmt.Fprintf(w, "# HELP sketchtree_audit_rel_error_max Largest observed relative error on the audited sample (last report).\n# TYPE sketchtree_audit_rel_error_max gauge\nsketchtree_audit_rel_error_max %s\n", formatFloat(a.MaxRelErr))
+}
+
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
 }
 
 func formatSeconds(nanos int64) string {

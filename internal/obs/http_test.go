@@ -1,0 +1,334 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// promLine is one parsed sample from the text exposition format.
+type promLine struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+// parseProm parses the Prometheus text format strictly enough to catch
+// malformed output: every non-comment line must be `name[{labels}]
+// value`, every label value must be a valid double-quoted Go string.
+func parseProm(t *testing.T, body string) ([]promLine, map[string]string) {
+	t.Helper()
+	var samples []promLine
+	types := make(map[string]string)
+	sc := bufio.NewScanner(strings.NewReader(body))
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			f := strings.Fields(line)
+			if len(f) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[f[2]] = f[3]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line without value: %q", line)
+		}
+		head, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("unparseable value in %q: %v", line, err)
+		}
+		l := promLine{labels: map[string]string{}, value: val}
+		if i := strings.IndexByte(head, '{'); i >= 0 {
+			if !strings.HasSuffix(head, "}") {
+				t.Fatalf("unterminated label set in %q", line)
+			}
+			l.name = head[:i]
+			for _, pair := range splitLabels(t, head[i+1:len(head)-1]) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 {
+					t.Fatalf("label without '=' in %q", line)
+				}
+				// The satellite's escaping check: every label value must
+				// round-trip through strconv.Unquote.
+				v, err := strconv.Unquote(pair[eq+1:])
+				if err != nil {
+					t.Fatalf("label value %s in %q is not a quoted string: %v", pair[eq+1:], line, err)
+				}
+				l.labels[pair[:eq]] = v
+			}
+		} else {
+			l.name = head
+		}
+		samples = append(samples, l)
+	}
+	return samples, types
+}
+
+// splitLabels splits `a="x",b="y"` on commas outside quotes.
+func splitLabels(t *testing.T, s string) []string {
+	t.Helper()
+	var out []string
+	depth := false
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '"':
+			if i == 0 || s[i-1] != '\\' {
+				depth = !depth
+			}
+		case ',':
+			if !depth {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func find(samples []promLine, name string) []promLine {
+	var out []promLine
+	for _, s := range samples {
+		if s.name == name {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+func fullSnapshot() Snapshot {
+	s := testSnapshot()
+	s.Health = &HealthSnapshot{
+		VirtualStreams: 3,
+		Items:          []int64{40, 60, 0},
+		TopK: &TopKHealth{
+			Trackers: 3, Capacity: 30, Residency: 5, MinFreq: 2,
+			Promotions: 7, Evictions: 2, DeletedMass: 55,
+		},
+	}
+	s.Health.Recompute()
+	s.Audit = &AuditSnapshot{
+		Capacity: 64, Patterns: 10, Observed: 100, Reported: true,
+		MeanRelErr: 0.05, P50RelErr: 0.03, P90RelErr: 0.09,
+		P99RelErr: 0.2, MaxRelErr: 0.25,
+	}
+	return s
+}
+
+// The exposition format contract: the latency histogram's le buckets
+// are cumulative and end at +Inf, and _sum/_count agree with the
+// bucket data.
+func TestPromHistogramContract(t *testing.T) {
+	rr := httptest.NewRecorder()
+	PromHandler(fullSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	samples, types := parseProm(t, rr.Body.String())
+
+	if types["sketchtree_query_latency_seconds"] != "histogram" {
+		t.Fatalf("latency metric typed %q", types["sketchtree_query_latency_seconds"])
+	}
+	buckets := find(samples, "sketchtree_query_latency_seconds_bucket")
+	if len(buckets) != NumLatencyBuckets {
+		t.Fatalf("%d buckets exposed, want %d", len(buckets), NumLatencyBuckets)
+	}
+	prevLE := math.Inf(-1)
+	prevCount := float64(0)
+	for i, b := range buckets {
+		le := b.labels["le"]
+		bound := math.Inf(1)
+		if le != "+Inf" {
+			var err error
+			bound, err = strconv.ParseFloat(le, 64)
+			if err != nil {
+				t.Fatalf("bucket %d has unparseable le=%q", i, le)
+			}
+		}
+		if bound <= prevLE {
+			t.Fatalf("le bounds not increasing at bucket %d: %v after %v", i, bound, prevLE)
+		}
+		if b.value < prevCount {
+			t.Fatalf("bucket counts not cumulative at %d: %v after %v", i, b.value, prevCount)
+		}
+		prevLE, prevCount = bound, b.value
+	}
+	last := buckets[len(buckets)-1]
+	if last.labels["le"] != "+Inf" {
+		t.Fatalf("final bucket le=%q, want +Inf", last.labels["le"])
+	}
+	count := find(samples, "sketchtree_query_latency_seconds_count")
+	if len(count) != 1 || count[0].value != last.value {
+		t.Fatalf("_count %v must equal the +Inf bucket %v", count, last.value)
+	}
+	sum := find(samples, "sketchtree_query_latency_seconds_sum")
+	if len(sum) != 1 || sum[0].value < 0 {
+		t.Fatalf("_sum: %v", sum)
+	}
+	if count[0].value == 0 && sum[0].value != 0 {
+		t.Fatal("_sum nonzero with zero observations")
+	}
+}
+
+// Every label value in the whole exposition must be a well-formed
+// quoted string, and stage names containing no exotic characters must
+// round-trip unchanged. parseProm enforces the quoting; this test adds
+// the stage-coverage check.
+func TestPromLabelEscaping(t *testing.T) {
+	rr := httptest.NewRecorder()
+	PromHandler(fullSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	samples, _ := parseProm(t, rr.Body.String())
+	stages := find(samples, "sketchtree_stage_ops_total")
+	if len(stages) != int(NumStages) {
+		t.Fatalf("%d stage samples, want %d", len(stages), NumStages)
+	}
+	seen := map[string]bool{}
+	for _, s := range stages {
+		name := s.labels["stage"]
+		if name == "" || strings.ContainsAny(name, "\"\n\\") {
+			t.Fatalf("stage label %q not cleanly escaped", name)
+		}
+		seen[name] = true
+	}
+	for i := Stage(0); i < NumStages; i++ {
+		if !seen[i.String()] {
+			t.Fatalf("stage %q missing from exposition", i.String())
+		}
+	}
+}
+
+// Health and audit families appear when the sections are populated and
+// are wholly absent when they are nil.
+func TestPromHealthAuditFamilies(t *testing.T) {
+	rr := httptest.NewRecorder()
+	PromHandler(fullSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	samples, types := parseProm(t, rr.Body.String())
+
+	items := find(samples, "sketchtree_vstream_items")
+	if len(items) != 3 {
+		t.Fatalf("%d vstream_items samples, want 3", len(items))
+	}
+	byStream := map[string]float64{}
+	for _, s := range items {
+		byStream[s.labels["stream"]] = s.value
+	}
+	if byStream["0"] != 40 || byStream["1"] != 60 || byStream["2"] != 0 {
+		t.Fatalf("vstream items: %v", byStream)
+	}
+	if got := find(samples, "sketchtree_vstream_share_max"); len(got) != 1 || got[0].value != 0.6 {
+		t.Fatalf("share_max: %v", got)
+	}
+	if got := find(samples, "sketchtree_topk_residency"); len(got) != 1 || got[0].value != 5 {
+		t.Fatalf("topk_residency: %v", got)
+	}
+	if types["sketchtree_topk_promotions_total"] != "counter" {
+		t.Fatalf("promotions typed %q", types["sketchtree_topk_promotions_total"])
+	}
+
+	if types["sketchtree_audit_rel_error"] != "summary" {
+		t.Fatalf("audit rel error typed %q", types["sketchtree_audit_rel_error"])
+	}
+	qs := find(samples, "sketchtree_audit_rel_error")
+	wantQ := map[string]float64{"0.5": 0.03, "0.9": 0.09, "0.99": 0.2}
+	if len(qs) != len(wantQ) {
+		t.Fatalf("%d summary quantiles: %v", len(qs), qs)
+	}
+	for _, q := range qs {
+		if wantQ[q.labels["quantile"]] != q.value {
+			t.Fatalf("quantile %q = %v", q.labels["quantile"], q.value)
+		}
+	}
+	// Summary consistency: _sum must equal mean × count.
+	sum := find(samples, "sketchtree_audit_rel_error_sum")
+	count := find(samples, "sketchtree_audit_rel_error_count")
+	if len(sum) != 1 || len(count) != 1 {
+		t.Fatalf("summary sum/count: %v / %v", sum, count)
+	}
+	if count[0].value != 10 || math.Abs(sum[0].value-0.05*10) > 1e-12 {
+		t.Fatalf("audit summary sum %v count %v, want 0.5 / 10", sum[0].value, count[0].value)
+	}
+	if got := find(samples, "sketchtree_audit_observed_total"); len(got) != 1 || got[0].value != 100 {
+		t.Fatalf("audit observed: %v", got)
+	}
+
+	// Nil sections → no health or audit families at all.
+	rr = httptest.NewRecorder()
+	PromHandler(testSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/metrics", nil))
+	bare, _ := parseProm(t, rr.Body.String())
+	for _, name := range []string{
+		"sketchtree_vstream_items", "sketchtree_vstream_share_max",
+		"sketchtree_topk_residency", "sketchtree_audit_patterns",
+		"sketchtree_audit_rel_error",
+	} {
+		if got := find(bare, name); len(got) != 0 {
+			t.Fatalf("family %s present without its section: %v", name, got)
+		}
+	}
+}
+
+// The JSON document mirrors the same omitempty behavior and carries
+// the health/audit sections verbatim.
+func TestJSONHealthAuditSections(t *testing.T) {
+	rr := httptest.NewRecorder()
+	JSONHandler(fullSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var doc map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v", err)
+	}
+	var health struct {
+		VirtualStreams int     `json:"virtual_streams"`
+		TotalItems     int64   `json:"total_items"`
+		MaxShare       float64 `json:"max_share"`
+		TopK           *struct {
+			Residency  int   `json:"residency"`
+			Promotions int64 `json:"promotions"`
+		} `json:"topk"`
+	}
+	if err := json.Unmarshal(doc["health"], &health); err != nil {
+		t.Fatalf("health section: %v", err)
+	}
+	if health.VirtualStreams != 3 || health.TotalItems != 100 || health.MaxShare != 0.6 {
+		t.Fatalf("health: %+v", health)
+	}
+	if health.TopK == nil || health.TopK.Residency != 5 || health.TopK.Promotions != 7 {
+		t.Fatalf("topk: %+v", health.TopK)
+	}
+	var audit struct {
+		Capacity int     `json:"capacity"`
+		Reported bool    `json:"reported"`
+		P90      float64 `json:"p90_rel_err"`
+	}
+	if err := json.Unmarshal(doc["audit"], &audit); err != nil {
+		t.Fatalf("audit section: %v", err)
+	}
+	if audit.Capacity != 64 || !audit.Reported || audit.P90 != 0.09 {
+		t.Fatalf("audit: %+v", audit)
+	}
+
+	// Without the sections the keys are omitted entirely.
+	rr = httptest.NewRecorder()
+	JSONHandler(testSnapshot).ServeHTTP(rr, httptest.NewRequest("GET", "/stats", nil))
+	var bare map[string]json.RawMessage
+	if err := json.Unmarshal(rr.Body.Bytes(), &bare); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := bare["health"]; ok {
+		t.Fatal("health key present without a health section")
+	}
+	if _, ok := bare["audit"]; ok {
+		t.Fatal("audit key present without an audit section")
+	}
+}

@@ -265,6 +265,74 @@ func (q QuerySnapshot) Timed() int64 {
 	return n
 }
 
+// TopKHealth is the frequent-pattern trackers' churn accounting,
+// aggregated across virtual streams. All source counters are atomics,
+// so the section is safe to collect while updates run.
+type TopKHealth struct {
+	Trackers    int   `json:"trackers"`     // trackers (virtual streams with tracking on)
+	Capacity    int   `json:"capacity"`     // total entry capacity (k × trackers)
+	Residency   int   `json:"residency"`    // values currently tracked
+	Promotions  int64 `json:"promotions"`   // lifetime admissions (including refreshes)
+	Evictions   int64 `json:"evictions"`    // lifetime minimum-entry displacements
+	MinFreq     int64 `json:"min_freq"`     // smallest tracked frequency across trackers (0 when none)
+	DeletedMass int64 `json:"deleted_mass"` // instance mass currently deleted from the sketches
+}
+
+// HealthSnapshot is the estimator-health section of a Snapshot:
+// per-virtual-stream occupancy, the skew of the partition, and top-k
+// churn. It carries only data readable from atomics — sketch-derived
+// diagnostics (L2 energy) live in the engine-level health report,
+// which requires quiescence or a lock.
+type HealthSnapshot struct {
+	VirtualStreams int     // the partition width p
+	Items          []int64 // net occurrences per virtual stream
+	TotalItems     int64   // Σ |Items|: total absolute stream mass
+	MaxShare       float64 // largest partition's fraction of TotalItems
+	MaxShareIndex  int     // which partition holds MaxShare
+	SkewRatio      float64 // MaxShare × p; 1 means perfectly uniform
+	TopK           *TopKHealth
+}
+
+// Recompute refreshes the derived skew fields (TotalItems, MaxShare,
+// MaxShareIndex, SkewRatio) from Items. Producers call it after
+// filling Items.
+func (h *HealthSnapshot) Recompute() {
+	h.TotalItems, h.MaxShare, h.MaxShareIndex, h.SkewRatio = 0, 0, 0, 0
+	var maxAbs int64
+	for i, it := range h.Items {
+		a := it
+		if a < 0 {
+			a = -a
+		}
+		h.TotalItems += a
+		if a > maxAbs {
+			maxAbs, h.MaxShareIndex = a, i
+		}
+	}
+	if h.TotalItems > 0 {
+		h.MaxShare = float64(maxAbs) / float64(h.TotalItems)
+		h.SkewRatio = h.MaxShare * float64(h.VirtualStreams)
+	}
+}
+
+// AuditSnapshot is the exact-shadow auditor's section of a Snapshot:
+// sample occupancy read live from atomics, and the relative-error
+// summary of the most recent audit report (zero until one has been
+// computed — computing errors needs sketch reads, which require the
+// query path's locking).
+type AuditSnapshot struct {
+	Capacity int   // configured sample size K
+	Patterns int   // values currently audited
+	Observed int64 // net occurrences the sample was drawn over
+
+	Reported   bool    // whether an audit report has been computed yet
+	MeanRelErr float64 // over the audited sample, at last report
+	P50RelErr  float64
+	P90RelErr  float64
+	P99RelErr  float64
+	MaxRelErr  float64
+}
+
 // Snapshot is a point-in-time read of a Metrics value (see the package
 // comment for its consistency contract).
 type Snapshot struct {
@@ -276,6 +344,12 @@ type Snapshot struct {
 
 	Stages  [NumStages]StageSnapshot
 	Queries QuerySnapshot
+
+	// Health and Audit are attached by the engine (they read engine
+	// structures, not Metrics); nil when the producing layer does not
+	// collect them.
+	Health *HealthSnapshot
+	Audit  *AuditSnapshot
 }
 
 // Snapshot reads the current totals. Safe to call concurrently with
@@ -322,4 +396,49 @@ func (s *Snapshot) Add(o Snapshot) {
 		s.Stages[i].Count += o.Stages[i].Count
 		s.Stages[i].Nanos += o.Stages[i].Nanos
 	}
+	s.Health = mergeHealth(s.Health, o.Health)
+	if s.Audit == nil {
+		s.Audit = o.Audit
+	}
+}
+
+// mergeHealth folds two health sections: per-partition items sum when
+// the partition widths agree (ingestion shards share one config), and
+// the derived skew fields are recomputed. Mismatched widths keep the
+// receiver's section — there is no meaningful union.
+func mergeHealth(a, b *HealthSnapshot) *HealthSnapshot {
+	if a == nil {
+		return b
+	}
+	if b == nil || b.VirtualStreams != a.VirtualStreams {
+		return a
+	}
+	out := &HealthSnapshot{
+		VirtualStreams: a.VirtualStreams,
+		Items:          make([]int64, len(a.Items)),
+	}
+	copy(out.Items, a.Items)
+	for i := range b.Items {
+		out.Items[i] += b.Items[i]
+	}
+	out.Recompute()
+	switch {
+	case a.TopK == nil:
+		out.TopK = b.TopK
+	case b.TopK == nil:
+		out.TopK = a.TopK
+	default:
+		tk := *a.TopK
+		tk.Trackers += b.TopK.Trackers
+		tk.Capacity += b.TopK.Capacity
+		tk.Residency += b.TopK.Residency
+		tk.Promotions += b.TopK.Promotions
+		tk.Evictions += b.TopK.Evictions
+		tk.DeletedMass += b.TopK.DeletedMass
+		if b.TopK.MinFreq > 0 && (tk.MinFreq == 0 || b.TopK.MinFreq < tk.MinFreq) {
+			tk.MinFreq = b.TopK.MinFreq
+		}
+		out.TopK = &tk
+	}
+	return out
 }

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"math"
 	"sort"
+	"sync/atomic"
 
 	"sketchtree/internal/ams"
 	"sketchtree/internal/xi"
@@ -53,6 +54,20 @@ type Tracker struct {
 	sketch  *ams.Sketch
 	entries map[uint64]*entry // the list L
 	heap    entryHeap         // the min-heap H over L's frequencies
+
+	// Churn diagnostics, mirrored in atomics so health snapshots can
+	// read them race-free against the updating goroutine. promotions
+	// counts admissions (including refreshes of already-tracked
+	// values); evictions counts minimum-entry displacements by a more
+	// frequent value. residency, minFreq and deletedMass mirror the
+	// current list state: entry count, smallest tracked frequency (0
+	// when empty), and the total instance mass currently deleted from
+	// the sketch.
+	promotions  atomic.Int64
+	evictions   atomic.Int64
+	residency   atomic.Int64
+	minFreq     atomic.Int64
+	deletedMass atomic.Int64
 }
 
 // New creates a tracker of capacity k over the sketch. The sketch must
@@ -101,24 +116,66 @@ func (t *Tracker) Process(v uint64, p *xi.Prep) {
 		t.sketch.UpdatePrepared(p, e.freq) // add the deleted instances back
 		heap.Remove(&t.heap, e.pos)
 		delete(t.entries, v)
+		t.deletedMass.Add(-e.freq)
 	}
 	est := estimateRounded(t.sketch, v)
 	if est <= 0 {
+		t.syncMirror()
 		return
 	}
 	if len(t.entries) >= t.k {
 		if est <= t.heap[0].freq {
+			t.syncMirror()
 			return
 		}
 		// Evict the minimum: restore its instances to the sketch.
 		min := heap.Pop(&t.heap).(*entry)
 		delete(t.entries, min.value)
 		t.sketch.Update(min.value, min.freq)
+		t.evictions.Add(1)
+		t.deletedMass.Add(-min.freq)
 	}
 	e := &entry{value: v, freq: est}
 	heap.Push(&t.heap, e)
 	t.entries[v] = e
 	t.sketch.UpdatePrepared(p, -est) // delete the estimated instances
+	t.promotions.Add(1)
+	t.deletedMass.Add(est)
+	t.syncMirror()
+}
+
+// syncMirror realigns the residency and min-frequency atomics with the
+// list after a Process step.
+func (t *Tracker) syncMirror() {
+	t.residency.Store(int64(len(t.entries)))
+	if len(t.heap) == 0 {
+		t.minFreq.Store(0)
+		return
+	}
+	t.minFreq.Store(t.heap[0].freq)
+}
+
+// Churn is the tracker's admission/eviction accounting: lifetime
+// promotion and eviction totals plus the current list state. All
+// fields are read from atomics, so Churn is safe to call concurrently
+// with Process.
+type Churn struct {
+	Promotions  int64 // admissions, including refreshes of tracked values
+	Evictions   int64 // minimum entries displaced by a more frequent value
+	Residency   int   // values currently tracked
+	MinFreq     int64 // smallest tracked frequency (0 when empty)
+	DeletedMass int64 // instance mass currently deleted from the sketch
+}
+
+// Churn reads the tracker's churn diagnostics race-free.
+func (t *Tracker) Churn() Churn {
+	return Churn{
+		Promotions:  t.promotions.Load(),
+		Evictions:   t.evictions.Load(),
+		Residency:   int(t.residency.Load()),
+		MinFreq:     t.minFreq.Load(),
+		DeletedMass: t.deletedMass.Load(),
+	}
 }
 
 // estimateRounded estimates the frequency of v and rounds to the
@@ -179,6 +236,9 @@ func (t *Tracker) RestoreAll() {
 		delete(t.entries, v)
 	}
 	t.heap = t.heap[:0]
+	t.residency.Store(0)
+	t.minFreq.Store(0)
+	t.deletedMass.Store(0)
 }
 
 // ValueFreq is a tracked value with its stored (deleted) frequency.
@@ -225,7 +285,9 @@ func Restore(k int, sketch *ams.Sketch, entries []ValueFreq) (*Tracker, error) {
 		e := &entry{value: vf.Value, freq: vf.Freq}
 		heap.Push(&t.heap, e)
 		t.entries[vf.Value] = e
+		t.deletedMass.Add(vf.Freq)
 	}
+	t.syncMirror()
 	return t, nil
 }
 

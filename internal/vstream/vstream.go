@@ -13,6 +13,7 @@ package vstream
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"sketchtree/internal/ams"
 	"sketchtree/internal/xi"
@@ -24,6 +25,13 @@ type Streams struct {
 	seeds    *ams.Seeds
 	p        uint64
 	sketches []*ams.Sketch
+
+	// items[i] is the net number of occurrences routed to virtual
+	// stream i (insertions minus deletions), a health diagnostic for
+	// partition skew. The counters are atomics so concurrent snapshot
+	// readers stay race-free against the single updating goroutine;
+	// they are process-local (not persisted) like stage timers.
+	items []atomic.Int64
 }
 
 // New creates p virtual streams over the shared seeds. p must be
@@ -32,7 +40,12 @@ func New(seeds *ams.Seeds, p int) (*Streams, error) {
 	if p < 1 {
 		return nil, fmt.Errorf("vstream: p=%d must be positive", p)
 	}
-	s := &Streams{seeds: seeds, p: uint64(p), sketches: make([]*ams.Sketch, p)}
+	s := &Streams{
+		seeds:    seeds,
+		p:        uint64(p),
+		sketches: make([]*ams.Sketch, p),
+		items:    make([]atomic.Int64, p),
+	}
 	for i := range s.sketches {
 		s.sketches[i] = seeds.NewSketch()
 	}
@@ -80,7 +93,28 @@ func (s *Streams) Update(v uint64, delta int64) {
 // UpdatePrepared is Update with a caller-managed ξ preparation (the
 // stream hot path reuses one Prep across values).
 func (s *Streams) UpdatePrepared(v uint64, p *xi.Prep, delta int64) {
-	s.sketches[s.Route(v)].UpdatePrepared(p, delta)
+	r := s.Route(v)
+	s.sketches[r].UpdatePrepared(p, delta)
+	s.items[r].Add(delta)
+}
+
+// Items returns the net occurrences routed to virtual stream i so far
+// in this process (insertions minus deletions). Safe to call
+// concurrently with updates. Restored Streams start at zero: item
+// counts are runtime diagnostics, not synopsis state.
+func (s *Streams) Items(i int) int64 { return s.items[i].Load() }
+
+// AbsorbItems adds another partition's item counters into this one —
+// the diagnostics half of a synopsis merge. The operand must have the
+// same number of virtual streams and be quiescent.
+func (s *Streams) AbsorbItems(o *Streams) error {
+	if o.p != s.p {
+		return fmt.Errorf("vstream: cannot absorb items across %d and %d streams", o.p, s.p)
+	}
+	for i := range s.items {
+		s.items[i].Add(o.items[i].Load())
+	}
+	return nil
 }
 
 // Combined returns a new sketch that is the cell-wise sum of the

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"time"
 
+	"sketchtree/internal/audit"
 	"sketchtree/internal/core"
 	"sketchtree/internal/obs"
 	"sketchtree/internal/summary"
@@ -150,6 +151,31 @@ func (s *SketchTree) CountUnordered(q *Node) (float64, error) {
 // individual estimates.
 func (s *SketchTree) CountOrderedSet(qs []*Node) (float64, error) {
 	return s.e.EstimateOrderedSet(qs)
+}
+
+// Estimate is a pattern-count estimate with an error bar: the usual
+// point estimate plus a standard error and 95% confidence interval
+// derived from the sketch itself — the empirical spread of the s2
+// independent row means, capped by the paper's a-priori variance bound
+// at the estimated self-join size.
+type Estimate = core.Estimate
+
+// CountOrderedWithError is CountOrdered with an error bar. The Value
+// field equals what CountOrdered returns for the same pattern and
+// synopsis state.
+func (s *SketchTree) CountOrderedWithError(q *Node) (Estimate, error) {
+	return s.e.EstimateOrderedWithError(q)
+}
+
+// CountUnorderedWithError is CountUnordered with an error bar.
+func (s *SketchTree) CountUnorderedWithError(q *Node) (Estimate, error) {
+	return s.e.EstimateUnorderedWithError(q)
+}
+
+// CountOrderedSetWithError is CountOrderedSet with an error bar
+// (Equation 7's set-estimator variance bound).
+func (s *SketchTree) CountOrderedSetWithError(qs []*Node) (Estimate, error) {
+	return s.e.EstimateOrderedSetWithError(qs)
 }
 
 // Expr is a query expression over pattern counts built from Count,
@@ -378,6 +404,51 @@ func StatsJSONHandler(snap func() Stats) http.Handler { return obs.JSONHandler(s
 // StatsPromHandler serves snap() in the Prometheus text exposition
 // format (cmd/sketchtree mounts it at /metrics).
 func StatsPromHandler(snap func() Stats) http.Handler { return obs.PromHandler(snap) }
+
+// HealthStats is the sketch-health section of Stats: per-virtual-stream
+// occupancy, partition skew, and top-k churn, all readable race-free.
+type HealthStats = obs.HealthSnapshot
+
+// TopKStats is the top-k churn accounting within HealthStats.
+type TopKStats = obs.TopKHealth
+
+// AuditStats is the exact-shadow audit section of Stats: sample
+// occupancy plus the last audit report's relative-error quantiles.
+type AuditStats = obs.AuditSnapshot
+
+// HealthReport is the full sketch-health diagnosis: HealthStats plus
+// per-partition L2 energy, the compensated self-join size, and
+// human-readable warnings.
+type HealthReport = core.HealthReport
+
+// HealthReport diagnoses the synopsis. Unlike Stats it reads the
+// sketch counters, so on a shared instance use Safe.HealthReport.
+func (s *SketchTree) HealthReport() HealthReport { return s.e.HealthReport() }
+
+// AuditReport is the exact-shadow auditor's accuracy summary: every
+// audited pattern's exact count versus the live sketch estimate, with
+// relative-error quantiles over the sample.
+type AuditReport = audit.Report
+
+// AuditedPattern is one audited pattern's ground truth versus the
+// sketch estimate within an AuditReport.
+type AuditedPattern = audit.PatternError
+
+// EnableAudit attaches the exact-shadow auditor: exact counts are kept
+// for a bottom-k hash sample of up to k distinct pattern values, so the
+// synopsis can continuously report its own observed accuracy
+// (AuditReport, Stats.Audit). Must be called before any tree is added;
+// costs one hash and map probe per pattern occurrence while enabled.
+// The auditor is process-local and never serialized.
+func (s *SketchTree) EnableAudit(k int) error { return s.e.EnableAudit(k) }
+
+// AuditEnabled reports whether the exact-shadow auditor is attached.
+func (s *SketchTree) AuditEnabled() bool { return s.e.AuditEnabled() }
+
+// AuditReport scores every audited pattern through the live query path
+// against its exact shadow count. The report's quantiles also refresh
+// the Audit section of subsequent Stats snapshots.
+func (s *SketchTree) AuditReport() (AuditReport, error) { return s.e.AuditReport() }
 
 // TreesProcessed returns the number of stream trees folded in so far.
 func (s *SketchTree) TreesProcessed() int64 { return s.e.TreesProcessed() }
