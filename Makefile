@@ -4,8 +4,9 @@
 # harness cannot rot.
 
 GO ?= go
+FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet test race bench bench-smoke
+.PHONY: verify fmt vet test race bench bench-smoke fuzz-smoke
 
 verify: fmt vet test race bench-smoke
 
@@ -42,3 +43,14 @@ bench:
 # paper-scale sweeps.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel|BenchmarkEstimateOrdered' -benchtime 1x . >/dev/null
+
+# Short coverage-guided runs of every fuzz target (FUZZTIME each).
+# Seed corpora live under testdata/fuzz/<FuzzName>/; a crasher found
+# here is written there too — commit it as a regression test.
+fuzz-smoke:
+	$(GO) test -run '^$$' -fuzz '^FuzzParsePattern$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzRestore$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzParseSexp$$' -fuzztime $(FUZZTIME) ./internal/tree
+	$(GO) test -run '^$$' -fuzz '^FuzzParseXML$$' -fuzztime $(FUZZTIME) ./internal/tree
+	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/prufer
+	$(GO) test -run '^$$' -fuzz '^FuzzReconstruct$$' -fuzztime $(FUZZTIME) ./internal/prufer

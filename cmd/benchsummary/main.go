@@ -16,15 +16,26 @@
 // shard count without re-parsing benchmark names.
 //
 //	go test -run '^$' -bench . -json . | benchsummary > BENCH_ingest.json
+//
+// With -check it compares two summary documents instead and exits
+// nonzero when any benchmark present in both regressed beyond the
+// threshold ratio (default 1.25, i.e. >25% slower ns/op):
+//
+//	benchsummary -check [-threshold 1.25] old.json new.json
+//
+// Benchmarks present in only one file are reported but never fail the
+// check, so adding or retiring a benchmark does not break the gate.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
 	"io"
 	"os"
 	"regexp"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -150,16 +161,122 @@ func parseBenchOutput(test, line string) (Result, bool) {
 	return res, true
 }
 
-func main() {
-	s, err := parse(os.Stdin)
+// loadSummary reads a summary document previously written by this
+// tool.
+func loadSummary(path string) (Summary, error) {
+	var s Summary
+	data, err := os.ReadFile(path)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
-		os.Exit(1)
+		return s, err
 	}
-	enc := json.NewEncoder(os.Stdout)
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.Benchmarks) == 0 {
+		return s, fmt.Errorf("%s: no benchmarks", path)
+	}
+	return s, nil
+}
+
+// check compares two summaries benchmark-by-benchmark and writes a
+// verdict line per benchmark. It returns the names that regressed
+// beyond the threshold ratio. Benchmarks missing from either side are
+// noted but do not count as regressions.
+func check(old, cur Summary, threshold float64, w io.Writer) []string {
+	oldBy := make(map[string]Result, len(old.Benchmarks))
+	for _, r := range old.Benchmarks {
+		oldBy[r.Name] = r
+	}
+	newBy := make(map[string]Result, len(cur.Benchmarks))
+	names := make([]string, 0, len(cur.Benchmarks))
+	for _, r := range cur.Benchmarks {
+		newBy[r.Name] = r
+		names = append(names, r.Name)
+	}
+	sort.Strings(names)
+
+	var regressed []string
+	for _, name := range names {
+		nr := newBy[name]
+		or, ok := oldBy[name]
+		if !ok {
+			fmt.Fprintf(w, "NEW   %s: %.0f ns/op (no baseline)\n", name, nr.NsPerOp)
+			continue
+		}
+		if or.NsPerOp <= 0 {
+			fmt.Fprintf(w, "SKIP  %s: baseline has no ns/op\n", name)
+			continue
+		}
+		ratio := nr.NsPerOp / or.NsPerOp
+		verdict := "OK   "
+		if ratio > threshold {
+			verdict = "SLOW "
+			regressed = append(regressed, name)
+		}
+		fmt.Fprintf(w, "%s %s: %.0f -> %.0f ns/op (%.2fx, threshold %.2fx)\n",
+			verdict, name, or.NsPerOp, nr.NsPerOp, ratio, threshold)
+	}
+	for _, r := range old.Benchmarks {
+		if _, ok := newBy[r.Name]; !ok {
+			fmt.Fprintf(w, "GONE  %s: present in baseline only\n", r.Name)
+		}
+	}
+	return regressed
+}
+
+// run is main with injectable streams; the exit code is its return.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchsummary", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	checkMode := fs.Bool("check", false, "compare two summary files: benchsummary -check old.json new.json")
+	threshold := fs.Float64("threshold", 1.25, "ns/op ratio above which -check reports a regression")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *checkMode {
+		if fs.NArg() != 2 {
+			fmt.Fprintln(stderr, "benchsummary: -check needs exactly two summary files (old.json new.json)")
+			return 2
+		}
+		if *threshold <= 0 {
+			fmt.Fprintln(stderr, "benchsummary: -threshold must be positive")
+			return 2
+		}
+		old, err := loadSummary(fs.Arg(0))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsummary: %v\n", err)
+			return 2
+		}
+		cur, err := loadSummary(fs.Arg(1))
+		if err != nil {
+			fmt.Fprintf(stderr, "benchsummary: %v\n", err)
+			return 2
+		}
+		if regressed := check(old, cur, *threshold, stdout); len(regressed) > 0 {
+			fmt.Fprintf(stderr, "benchsummary: %d benchmark(s) regressed >%.0f%%: %s\n",
+				len(regressed), (*threshold-1)*100, strings.Join(regressed, ", "))
+			return 1
+		}
+		return 0
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "benchsummary: summarize mode reads stdin and takes no arguments")
+		return 2
+	}
+	s, err := parse(stdin)
+	if err != nil {
+		fmt.Fprintf(stderr, "benchsummary: %v\n", err)
+		return 1
+	}
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
-		fmt.Fprintf(os.Stderr, "benchsummary: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "benchsummary: %v\n", err)
+		return 1
 	}
+	return 0
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
 	"strings"
 	"testing"
 )
@@ -89,5 +91,128 @@ func TestParseBenchOutputEdgeCases(t *testing.T) {
 	r, ok = parseBenchOutput("", "BenchmarkCustom-8 \t 1 \t 50 ns/op \t 463.0 patterns/tree")
 	if !ok || r.NsPerOp != 50 {
 		t.Fatalf("custom unit pair broke parsing: %+v ok=%v", r, ok)
+	}
+}
+
+func summaryOf(rs ...Result) Summary { return Summary{Benchmarks: rs} }
+
+func TestCheckVerdicts(t *testing.T) {
+	old := summaryOf(
+		Result{Name: "BenchmarkA", NsPerOp: 1000},
+		Result{Name: "BenchmarkB", NsPerOp: 1000},
+		Result{Name: "BenchmarkGone", NsPerOp: 50},
+	)
+	cur := summaryOf(
+		Result{Name: "BenchmarkA", NsPerOp: 1240}, // +24%: within threshold
+		Result{Name: "BenchmarkB", NsPerOp: 1300}, // +30%: regression
+		Result{Name: "BenchmarkNew", NsPerOp: 10},
+	)
+	var buf strings.Builder
+	regressed := check(old, cur, 1.25, &buf)
+	if len(regressed) != 1 || regressed[0] != "BenchmarkB" {
+		t.Fatalf("regressed = %v, want [BenchmarkB]", regressed)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"OK    BenchmarkA", "SLOW  BenchmarkB",
+		"NEW   BenchmarkNew", "GONE  BenchmarkGone",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckImprovementNeverFails(t *testing.T) {
+	old := summaryOf(Result{Name: "BenchmarkA", NsPerOp: 1000})
+	cur := summaryOf(Result{Name: "BenchmarkA", NsPerOp: 10})
+	var buf strings.Builder
+	if regressed := check(old, cur, 1.25, &buf); len(regressed) != 0 {
+		t.Fatalf("improvement flagged as regression: %v", regressed)
+	}
+}
+
+func TestCheckThresholdBoundary(t *testing.T) {
+	old := summaryOf(Result{Name: "BenchmarkA", NsPerOp: 100})
+	cur := summaryOf(Result{Name: "BenchmarkA", NsPerOp: 125})
+	var buf strings.Builder
+	// Exactly at the threshold is not a regression; strictly above is.
+	if regressed := check(old, cur, 1.25, &buf); len(regressed) != 0 {
+		t.Fatalf("ratio == threshold flagged: %v", regressed)
+	}
+	cur.Benchmarks[0].NsPerOp = 126
+	if regressed := check(old, cur, 1.25, &buf); len(regressed) != 1 {
+		t.Fatal("ratio just above threshold not flagged")
+	}
+}
+
+func writeSummary(t *testing.T, path string, s Summary) {
+	t.Helper()
+	data, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunCheckExitCodes(t *testing.T) {
+	dir := t.TempDir()
+	oldPath, newPath := dir+"/old.json", dir+"/new.json"
+	writeSummary(t, oldPath, summaryOf(Result{Name: "BenchmarkA", NsPerOp: 1000}))
+
+	var out, errOut strings.Builder
+	writeSummary(t, newPath, summaryOf(Result{Name: "BenchmarkA", NsPerOp: 1100}))
+	if code := run([]string{"-check", oldPath, newPath}, strings.NewReader(""), &out, &errOut); code != 0 {
+		t.Fatalf("within-threshold check exited %d: %s", code, errOut.String())
+	}
+
+	writeSummary(t, newPath, summaryOf(Result{Name: "BenchmarkA", NsPerOp: 2000}))
+	out.Reset()
+	errOut.Reset()
+	if code := run([]string{"-check", oldPath, newPath}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("2x regression exited %d, want 1", code)
+	}
+	if !strings.Contains(errOut.String(), "BenchmarkA") {
+		t.Errorf("stderr does not name the regressed benchmark: %s", errOut.String())
+	}
+
+	// A tighter threshold flips the verdict for a small regression.
+	writeSummary(t, newPath, summaryOf(Result{Name: "BenchmarkA", NsPerOp: 1100}))
+	if code := run([]string{"-check", "-threshold", "1.05", oldPath, newPath}, strings.NewReader(""), &out, &errOut); code != 1 {
+		t.Fatalf("threshold 1.05 on +10%% exited %d, want 1", code)
+	}
+}
+
+func TestRunCheckUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	good := dir + "/good.json"
+	writeSummary(t, good, summaryOf(Result{Name: "BenchmarkA", NsPerOp: 1}))
+	cases := [][]string{
+		{"-check", good},                          // one file
+		{"-check", good, dir + "/missing.json"},   // unreadable
+		{"-check", "-threshold", "0", good, good}, // bad threshold
+		{"-check", good, good, "extra"},           // too many files
+	}
+	for _, args := range cases {
+		var out, errOut strings.Builder
+		if code := run(args, strings.NewReader(""), &out, &errOut); code != 2 {
+			t.Errorf("run(%v) exited %d, want 2", args, code)
+		}
+	}
+}
+
+func TestRunSummarizeMode(t *testing.T) {
+	var out, errOut strings.Builder
+	if code := run(nil, strings.NewReader(stream), &out, &errOut); code != 0 {
+		t.Fatalf("summarize exited %d: %s", code, errOut.String())
+	}
+	var s Summary
+	if err := json.Unmarshal([]byte(out.String()), &s); err != nil {
+		t.Fatalf("output is not a summary: %v", err)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("summarized %d benchmarks, want 4", len(s.Benchmarks))
 	}
 }

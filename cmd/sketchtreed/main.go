@@ -1,0 +1,143 @@
+// Command sketchtreed serves a SketchTree synopsis over HTTP: trees
+// stream in via POST /ingest, counts stream out via POST /query, and
+// /healthz, /stats and /metrics expose liveness and observability (see
+// internal/server for the API).
+//
+// Positional arguments are XML files preloaded into the synopsis before
+// the server starts accepting traffic (with -forest each file is a
+// rooted forest document).
+//
+// With -snapshot-every N queries are served snapshot-isolated: a frozen
+// copy of the synopsis is refreshed every N updates (and at least every
+// -snapshot-age) and all counts are answered from it lock-free, so
+// queries never wait behind an in-flight ingest. Answers then trail the
+// live stream by at most N trees.
+//
+// SIGINT/SIGTERM drain gracefully: in-flight requests are answered
+// (bounded by -drain-timeout), new connections are refused, and
+// /healthz flips to 503 so load balancers stop routing here.
+//
+//	sketchtreed -addr :8080 -forest -snapshot-every 500 data.xml
+//	curl -d '{"kind":"ordered","pattern":"article/author"}' localhost:8080/query
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"sketchtree"
+	"sketchtree/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintf(os.Stderr, "sketchtreed: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// readyHook, when set by tests, runs with the bound address once the
+// listener is accepting and any preload has finished.
+var readyHook func(addr string)
+
+func run(ctx context.Context, args []string, stdout io.Writer) error {
+	fs := flag.NewFlagSet("sketchtreed", flag.ContinueOnError)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8080", "listen address")
+		k         = fs.Int("k", 4, "maximum pattern size in edges")
+		s1        = fs.Int("s1", 25, "sketch instances averaged (accuracy)")
+		s2        = fs.Int("s2", 7, "sketch rows medianed (confidence)")
+		p         = fs.Int("p", 229, "number of virtual streams (prime)")
+		topk      = fs.Int("topk", 50, "frequent patterns tracked per virtual stream (0 = off)")
+		seed      = fs.Uint64("seed", 1, "random seed")
+		indep     = fs.Int("independence", 4, "xi independence (>= 6 enables product expressions)")
+		planCache = fs.Int("plan-cache", 0, "query-plan cache capacity (0 = default, negative = off)")
+		forest    = fs.Bool("forest", false, "treat each preload file as a rooted forest document")
+		snapEvery = fs.Int("snapshot-every", 0, "serve queries from a frozen snapshot refreshed every N updates (0 = locked serving)")
+		snapAge   = fs.Duration("snapshot-age", 0, "also refresh the snapshot at this period while updates arrive (0 = update-driven only)")
+		timeout   = fs.Duration("timeout", 0, "per-request budget (0 = default 5s, negative = off)")
+		maxConc   = fs.Int("max-concurrent", 0, "in-flight request cap (0 = default 64)")
+		drain     = fs.Duration("drain-timeout", 0, "graceful shutdown bound (0 = default 10s, negative = unbounded)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := sketchtree.DefaultConfig()
+	cfg.MaxPatternEdges = *k
+	cfg.S1, cfg.S2 = *s1, *s2
+	cfg.VirtualStreams = *p
+	cfg.TopK = *topk
+	cfg.Seed = *seed
+	cfg.Independence = *indep
+	cfg.PlanCacheSize = *planCache
+
+	safe, err := sketchtree.NewSafe(cfg)
+	if err != nil {
+		return err
+	}
+	for _, name := range fs.Args() {
+		if err := preload(safe, name, *forest); err != nil {
+			return fmt.Errorf("preload %s: %w", name, err)
+		}
+	}
+	if n := safe.TreesProcessed(); n > 0 {
+		fmt.Fprintf(stdout, "preloaded %d trees\n", n)
+	}
+	if *snapEvery > 0 {
+		pol := sketchtree.SnapshotPolicy{EveryTrees: *snapEvery, MaxAge: *snapAge}
+		if err := safe.EnableSnapshots(pol); err != nil {
+			return err
+		}
+		defer safe.DisableSnapshots()
+		fmt.Fprintf(stdout, "snapshot serving: refresh every %d updates", *snapEvery)
+		if *snapAge > 0 {
+			fmt.Fprintf(stdout, ", max age %v", *snapAge)
+		}
+		fmt.Fprintln(stdout)
+	}
+
+	srv := server.New(safe, server.Options{
+		Timeout:       *timeout,
+		MaxConcurrent: *maxConc,
+		DrainTimeout:  *drain,
+	})
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "listening on http://%s (POST /query /ingest, GET /healthz /stats /metrics)\n",
+		ln.Addr())
+	if readyHook != nil {
+		readyHook(ln.Addr().String())
+	}
+	start := time.Now()
+	if err := srv.Run(ctx, ln); err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "drained after %v: %d trees, %d queries served\n",
+		time.Since(start).Round(time.Millisecond),
+		safe.TreesProcessed(), safe.Stats().Queries.Count)
+	return nil
+}
+
+func preload(safe *sketchtree.Safe, name string, forest bool) error {
+	f, err := os.Open(name)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if forest {
+		return safe.AddXMLForest(f)
+	}
+	return safe.AddXML(f)
+}

@@ -1,0 +1,307 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// queryResult mirrors the /query response shape (see internal/server).
+type queryResult struct {
+	Kind          string      `json:"kind"`
+	Estimate      float64     `json:"estimate"`
+	StdErr        *float64    `json:"std_err"`
+	CI95          *[2]float64 `json:"ci95"`
+	Snapshot      bool        `json:"snapshot"`
+	SnapshotTrees int64       `json:"snapshot_trees"`
+}
+
+func postJSON(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+// forestXML builds a rooted forest document of n small trees with a few
+// distinct shapes.
+func forestXML(n int) string {
+	var b strings.Builder
+	b.WriteString("<forest>")
+	for i := 0; i < n; i++ {
+		switch i % 3 {
+		case 0:
+			b.WriteString("<a><b/></a>")
+		case 1:
+			b.WriteString("<a><b/><c/></a>")
+		default:
+			b.WriteString("<a><c/></a>")
+		}
+	}
+	b.WriteString("</forest>")
+	return b.String()
+}
+
+// TestServeIngestAndQueryConcurrently boots sketchtreed with snapshot
+// serving on, streams a forest in over HTTP while concurrent clients
+// query, checks cached and uncached answers are bit-identical, and
+// finally drains gracefully with a request still in flight.
+func TestServeIngestAndQueryConcurrently(t *testing.T) {
+	ready := make(chan string, 1)
+	readyHook = func(addr string) { ready <- addr }
+	defer func() { readyHook = nil }()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{
+			"-addr", "127.0.0.1:0",
+			"-k", "3", "-s1", "25", "-s2", "5", "-p", "23", "-topk", "0",
+			"-snapshot-every", "25", "-snapshot-age", "20ms",
+			"-timeout", "30s",
+		}, &out)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	base := "http://" + addr
+
+	// Ingest a forest while k concurrent clients query: every query must
+	// succeed, and none may block behind the in-flight ingestion.
+	const clients = 4
+	const queriesEach = 60
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, body := postJSON(t, base+"/ingest?forest=1", forestXML(600))
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("forest ingest: status %d: %s", resp.StatusCode, body)
+		}
+	}()
+	queryBodies := []string{
+		`{"kind":"ordered","pattern":"a/b"}`,
+		`{"kind":"unordered","pattern":"(a (b) (c))"}`,
+		`{"kind":"ordered","pattern":"a/c","with_error":true}`,
+		`{"kind":"set","patterns":["a/b","a/c"]}`,
+	}
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < queriesEach; i++ {
+				start := time.Now()
+				resp, body := postJSON(t, base+"/query", queryBodies[(c+i)%len(queryBodies)])
+				if resp.StatusCode != http.StatusOK {
+					t.Errorf("client %d query %d: status %d: %s", c, i, resp.StatusCode, body)
+					return
+				}
+				var qr queryResult
+				if err := json.Unmarshal(body, &qr); err != nil {
+					t.Errorf("client %d query %d: %v", c, i, err)
+					return
+				}
+				if !qr.Snapshot {
+					t.Errorf("client %d query %d: not snapshot-served: %s", c, i, body)
+					return
+				}
+				// Lock-free serving: even with ingestion in flight a query
+				// is pure in-memory sketch arithmetic.
+				if d := time.Since(start); d > 5*time.Second {
+					t.Errorf("client %d query %d took %v; snapshot serving should never block", c, i, d)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Quiesced: repeated queries must be bit-identical, whether answered
+	// from a cold plan (first issue of this pattern) or the plan cache.
+	fresh := `{"kind":"unordered","pattern":"(a (c) (b))"}`
+	_, first := postJSON(t, base+"/query", fresh)
+	var a, b queryResult
+	if err := json.Unmarshal(first, &a); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		_, again := postJSON(t, base+"/query", fresh)
+		if err := json.Unmarshal(again, &b); err != nil {
+			t.Fatal(err)
+		}
+		if a.Estimate != b.Estimate {
+			t.Fatalf("cached answer %v != uncached %v", b.Estimate, a.Estimate)
+		}
+	}
+
+	// Health and metrics report the serving state.
+	resp, _ := postJSON(t, base+"/query", `{"kind":"ordered","pattern":"a/b"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("final query: %d", resp.StatusCode)
+	}
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK || !strings.Contains(string(hbody), `"snapshot":true`) {
+		t.Fatalf("healthz: %d %s", hresp.StatusCode, hbody)
+	}
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if !strings.Contains(string(mbody), "sketchtree_plan_cache_hits_total") {
+		t.Error("metrics missing plan cache counters")
+	}
+
+	// Graceful drain: cancel with an ingest still in flight; the request
+	// must be answered, then the listener must be closed.
+	pr, pw := io.Pipe()
+	defer pw.Close()
+	slowDone := make(chan *http.Response, 1)
+	go func() {
+		resp, err := http.Post(base+"/ingest?forest=1", "application/xml", pr)
+		if err != nil {
+			t.Logf("slow ingest: %v", err)
+			slowDone <- nil
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		slowDone <- resp
+	}()
+	if _, err := pw.Write([]byte("<forest><a><b/></a>")); err != nil {
+		t.Fatal(err)
+	}
+	// The request is provably in flight (not an idle connection Shutdown
+	// may close) once the handler has parsed the chunk's complete tree.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		hresp, err := http.Get(base + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		hbody, _ := io.ReadAll(hresp.Body)
+		hresp.Body.Close()
+		if strings.Contains(string(hbody), `"trees":601`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("in-flight ingest never parsed its first tree: %s", hbody)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel() // SIGTERM equivalent: begin graceful drain
+	time.Sleep(100 * time.Millisecond)
+	if _, err := pw.Write([]byte("<a><c/></a></forest>")); err != nil {
+		t.Fatalf("writing body tail during drain: %v", err)
+	}
+	pw.Close()
+	if resp := <-slowDone; resp == nil || resp.StatusCode != http.StatusOK {
+		code := -1
+		if resp != nil {
+			code = resp.StatusCode
+		}
+		t.Fatalf("in-flight ingest during drain: status %d, want 200", code)
+	}
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v\n%s", err, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("server did not drain")
+	}
+	if !strings.Contains(out.String(), "drained") {
+		t.Errorf("missing drain summary in output:\n%s", out.String())
+	}
+	if conn, err := net.DialTimeout("tcp", addr, time.Second); err == nil {
+		conn.Close()
+		t.Error("listener still accepting after drain")
+	}
+}
+
+// TestRunFlagErrors checks bad invocations fail fast.
+func TestRunFlagErrors(t *testing.T) {
+	var out bytes.Buffer
+	err := run(context.Background(), []string{"-k", "0"}, &out)
+	if err == nil {
+		t.Error("k=0 should fail")
+	}
+	// A pre-canceled context makes a successful start drain immediately.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err = run(ctx, []string{"-addr", "127.0.0.1:0", "-snapshot-every", "-1"}, &out)
+	if err != nil {
+		t.Errorf("negative snapshot-every should be treated as off, got %v", err)
+	}
+}
+
+// TestPreload checks positional files load before serving.
+func TestPreload(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/forest.xml"
+	if err := os.WriteFile(path, []byte(forestXML(9)), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ready := make(chan string, 1)
+	readyHook = func(addr string) { ready <- addr }
+	defer func() { readyHook = nil }()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var out bytes.Buffer
+	errc := make(chan error, 1)
+	go func() {
+		errc <- run(ctx, []string{"-addr", "127.0.0.1:0", "-forest", "-topk", "0", path}, &out)
+	}()
+	var addr string
+	select {
+	case addr = <-ready:
+	case err := <-errc:
+		t.Fatalf("server exited before ready: %v\n%s", err, out.String())
+	case <-time.After(10 * time.Second):
+		t.Fatal("server never became ready")
+	}
+	resp, err := http.Get("http://" + addr + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), `"trees":9`) {
+		t.Fatalf("healthz after preload: %s", body)
+	}
+	cancel()
+	if err := <-errc; err != nil {
+		t.Fatalf("run: %v", err)
+	}
+}

@@ -3,16 +3,32 @@ package sketchtree
 import (
 	"io"
 	"sync"
+	"sync/atomic"
 )
 
 // Safe wraps a SketchTree for concurrent use: updates take the write
 // lock, queries the read lock. Queries are pure reads of the synopsis,
 // so any number may run concurrently between updates.
 //
+// EnableSnapshots switches the Count*/Estimate* reads to a lock-free
+// snapshot-isolated path — see SnapshotPolicy.
+//
 // The zero Safe is not valid; construct with NewSafe.
 type Safe struct {
 	mu sync.RWMutex
 	st *SketchTree
+
+	// Snapshot serving (see snapshot.go). snap is the published frozen
+	// synopsis; snapEvery doubles as the enabled flag (0 = off) and the
+	// refresh interval; updatesSince counts updates since the last
+	// refresh; snapMu serializes Enable/Disable; snapStop/snapDone
+	// bracket the MaxAge refresher goroutine.
+	snap         atomic.Pointer[snapState]
+	snapEvery    atomic.Int64
+	updatesSince atomic.Int64
+	snapMu       sync.Mutex
+	snapStop     chan struct{}
+	snapDone     chan struct{}
 }
 
 // NewSafe creates a concurrency-safe SketchTree.
@@ -38,14 +54,22 @@ func RestoreSafe(data []byte) (*Safe, error) {
 func (s *Safe) AddTree(t *Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.st.AddTree(t)
+	if err := s.st.AddTree(t); err != nil {
+		return err
+	}
+	s.noteUpdateLocked()
+	return nil
 }
 
 // RemoveTree deletes one earlier occurrence of the tree.
 func (s *Safe) RemoveTree(t *Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.st.RemoveTree(t)
+	if err := s.st.RemoveTree(t); err != nil {
+		return err
+	}
+	s.noteUpdateLocked()
+	return nil
 }
 
 // AddXML parses one XML document (outside the lock) and folds it into
@@ -85,11 +109,18 @@ func (s *Safe) Stats() Stats { return s.st.Stats() }
 func (s *Safe) Merge(o *SketchTree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.st.Merge(o)
+	if err := s.st.Merge(o); err != nil {
+		return err
+	}
+	s.noteUpdateLocked()
+	return nil
 }
 
 // CountOrdered estimates COUNT_ord(Q).
 func (s *Safe) CountOrdered(q *Node) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountOrdered(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountOrdered(q)
@@ -97,6 +128,9 @@ func (s *Safe) CountOrdered(q *Node) (float64, error) {
 
 // CountUnordered estimates COUNT(Q).
 func (s *Safe) CountUnordered(q *Node) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountUnordered(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountUnordered(q)
@@ -104,6 +138,9 @@ func (s *Safe) CountUnordered(q *Node) (float64, error) {
 
 // CountOrderedSet estimates the total frequency of distinct patterns.
 func (s *Safe) CountOrderedSet(qs []*Node) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountOrderedSet(qs)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountOrderedSet(qs)
@@ -111,6 +148,9 @@ func (s *Safe) CountOrderedSet(qs []*Node) (float64, error) {
 
 // CountOrderedWithError is CountOrdered with an error bar.
 func (s *Safe) CountOrderedWithError(q *Node) (Estimate, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountOrderedWithError(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountOrderedWithError(q)
@@ -118,6 +158,9 @@ func (s *Safe) CountOrderedWithError(q *Node) (Estimate, error) {
 
 // CountUnorderedWithError is CountUnordered with an error bar.
 func (s *Safe) CountUnorderedWithError(q *Node) (Estimate, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountUnorderedWithError(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountUnorderedWithError(q)
@@ -125,6 +168,9 @@ func (s *Safe) CountUnorderedWithError(q *Node) (Estimate, error) {
 
 // CountOrderedSetWithError is CountOrderedSet with an error bar.
 func (s *Safe) CountOrderedSetWithError(qs []*Node) (Estimate, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountOrderedSetWithError(qs)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountOrderedSetWithError(qs)
@@ -163,6 +209,9 @@ func (s *Safe) AuditReport() (AuditReport, error) {
 
 // EstimateExpression estimates a +, −, × expression over counts.
 func (s *Safe) EstimateExpression(e Expr) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.EstimateExpression(e)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.EstimateExpression(e)
@@ -170,6 +219,9 @@ func (s *Safe) EstimateExpression(e Expr) (float64, error) {
 
 // CountExtended estimates a wildcard/descendant query.
 func (s *Safe) CountExtended(q *ExtQuery) (float64, bool, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountExtended(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountExtended(q)
@@ -206,6 +258,9 @@ func (s *Safe) FrequentPatterns() []FrequentPattern {
 // CountAlternatives estimates a pattern with '|'-separated label
 // alternatives.
 func (s *Safe) CountAlternatives(q *Node) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountAlternatives(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountAlternatives(q)
@@ -214,6 +269,9 @@ func (s *Safe) CountAlternatives(q *Node) (float64, error) {
 // CountOrderedUpperBound bounds COUNT_ord(Q) for patterns larger than
 // Config.MaxPatternEdges.
 func (s *Safe) CountOrderedUpperBound(q *Node) (float64, error) {
+	if st := s.snapshotTree(); st != nil {
+		return st.CountOrderedUpperBound(q)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.CountOrderedUpperBound(q)
@@ -221,6 +279,9 @@ func (s *Safe) CountOrderedUpperBound(q *Node) (float64, error) {
 
 // EstimateSelfJoinSize estimates SJ(S) = Σ f² of the pattern stream.
 func (s *Safe) EstimateSelfJoinSize(compensated bool) float64 {
+	if st := s.snapshotTree(); st != nil {
+		return st.EstimateSelfJoinSize(compensated)
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.EstimateSelfJoinSize(compensated)

@@ -1,0 +1,97 @@
+package sketchtree
+
+import (
+	"strings"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+// fuzzSynopsis builds a small but fully featured synopsis (top-k on,
+// summary on) and marshals it, giving FuzzRestore a structurally valid
+// starting point for mutation.
+func fuzzSynopsis(f *testing.F) []byte {
+	f.Helper()
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 2
+	cfg.S1 = 10
+	cfg.S2 = 3
+	cfg.VirtualStreams = 11
+	cfg.TopK = 3
+	cfg.BuildSummary = true
+	cfg.SummaryMaxNodes = 16
+	cfg.Seed = 7
+	st, err := New(cfg)
+	if err != nil {
+		f.Fatal(err)
+	}
+	for _, d := range []string{"<a><b/></a>", "<a><b/><c/></a>", "<a><c/></a>"} {
+		if err := st.AddXML(strings.NewReader(d)); err != nil {
+			f.Fatal(err)
+		}
+	}
+	data, err := st.MarshalBinary()
+	if err != nil {
+		f.Fatal(err)
+	}
+	return data
+}
+
+// FuzzParsePattern: any input either fails cleanly or parses to a
+// pattern whose serialization parses back to an equal pattern.
+func FuzzParsePattern(f *testing.F) {
+	for _, seed := range []string{
+		"(A)", "(A (B))", "(A (B) (C (D)))", `("a b" (C))`,
+		"(", "(A", "()", "(A) junk", "((A))", "(A\t(B)\n)",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in string) {
+		q, err := ParsePattern(in)
+		if err != nil {
+			return
+		}
+		if q == nil {
+			t.Fatal("nil pattern without error")
+		}
+		again, err := ParsePattern(q.String())
+		if err != nil {
+			t.Fatalf("serialization %q of accepted input %q does not parse: %v",
+				q.String(), in, err)
+		}
+		if !tree.Equal(q, again) {
+			t.Fatalf("round trip changed the pattern: %q -> %q", in, again.String())
+		}
+	})
+}
+
+// FuzzRestore: corrupted synopsis bytes must produce an error, never a
+// panic; inputs Restore accepts must marshal back without error. The
+// seeds mutate a genuine synopsis so the fuzzer starts deep inside the
+// decode path instead of bouncing off the gob header.
+func FuzzRestore(f *testing.F) {
+	valid := fuzzSynopsis(f)
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(append([]byte{}, valid[1:]...))
+	flipped := append([]byte{}, valid...)
+	flipped[len(flipped)/3] ^= 0xff
+	f.Add(flipped)
+	f.Add([]byte{})
+	f.Add([]byte("not a synopsis"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 1<<20 {
+			t.Skip("oversized input")
+		}
+		st, err := Restore(data)
+		if err != nil {
+			return
+		}
+		if st == nil {
+			t.Fatal("nil SketchTree without error")
+		}
+		if _, err := st.MarshalBinary(); err != nil {
+			t.Fatalf("restored synopsis fails to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package sketchtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// update regenerates the golden synopsis files and their expected-count
+// sidecars:
+//
+//	go test -run TestGolden -update ./...
+//
+// Regenerate only when a deliberate format or estimator change makes the
+// old bytes obsolete, and say so in the commit message: these files pin
+// the on-disk synopsis format and the exact estimator arithmetic.
+var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// goldenCase is one pinned configuration. Configs here must be
+// byte-deterministic end to end: TrackExact is forbidden (the exact
+// counter serializes its hash map in iteration order), while TopK and
+// BuildSummary are fine (both snapshot in sorted/insertion order).
+type goldenCase struct {
+	name string
+	cfg  Config
+}
+
+func goldenCases() []goldenCase {
+	base := DefaultConfig()
+	base.MaxPatternEdges = 3
+	base.S1 = 40
+	base.S2 = 5
+	base.VirtualStreams = 23
+	base.TopK = 0
+	base.Seed = 99
+
+	rich := base
+	rich.TopK = 5
+	rich.BuildSummary = true
+	rich.SummaryMaxNodes = 64
+
+	return []goldenCase{
+		{name: "base", cfg: base},
+		{name: "topk_summary", cfg: rich},
+	}
+}
+
+// goldenStream is the fixed tree stream every golden synopsis ingests:
+// 30 trees cycling through five shapes, including repeated subtrees so
+// the top-k tracker has skew to latch onto.
+func goldenStream(t *testing.T, st *SketchTree) {
+	t.Helper()
+	docs := []string{
+		"<a><b/><c/></a>",
+		"<a><b/><b/></a>",
+		"<a><c/><b/></a>",
+		"<a><b><d/></b></a>",
+		"<d><a><b/></a></d>",
+	}
+	for i := 0; i < 30; i++ {
+		if err := st.AddXML(strings.NewReader(docs[i%len(docs)])); err != nil {
+			t.Fatalf("golden stream tree %d: %v", i, err)
+		}
+	}
+}
+
+// goldenQueries are the probes whose answers are pinned in the sidecar.
+func goldenQueries() map[string]*Node {
+	return map[string]*Node{
+		"a_b":   Pattern("a", Pattern("b")),
+		"a_c":   Pattern("a", Pattern("c")),
+		"a_b_c": Pattern("a", Pattern("b"), Pattern("c")),
+		"b_d":   Pattern("b", Pattern("d")),
+	}
+}
+
+// goldenCounts evaluates every pinned query both ordered and unordered.
+// Values are stored as float64 JSON numbers; encoding/json emits the
+// shortest representation that round-trips exactly, so == comparison
+// against the decoded sidecar is bit-exact.
+func goldenCounts(t *testing.T, st *SketchTree) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for name, q := range goldenQueries() {
+		ord, err := st.CountOrdered(q)
+		if err != nil {
+			t.Fatalf("CountOrdered(%s): %v", name, err)
+		}
+		un, err := st.CountUnordered(q)
+		if err != nil {
+			t.Fatalf("CountUnordered(%s): %v", name, err)
+		}
+		out["ordered/"+name] = ord
+		out["unordered/"+name] = un
+	}
+	out["selfjoin"] = st.EstimateSelfJoinSize(true)
+	return out
+}
+
+// TestGoldenSynopsis pins the binary synopsis format: building the
+// fixed stream under a fixed config must reproduce the committed bytes
+// exactly, restoring those bytes must answer queries exactly as
+// recorded, and a restore → marshal round trip must be byte-identical.
+func TestGoldenSynopsis(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			st, err := New(gc.cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			goldenStream(t, st)
+			fresh, err := st.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			counts := goldenCounts(t, st)
+
+			synPath := filepath.Join("testdata", "golden", gc.name+".synopsis")
+			cntPath := filepath.Join("testdata", "golden", gc.name+".counts.json")
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(synPath), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(synPath, fresh, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				sidecar, err := json.MarshalIndent(counts, "", "  ")
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(cntPath, append(sidecar, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("updated %s (%d bytes)", synPath, len(fresh))
+				return
+			}
+
+			golden, err := os.ReadFile(synPath)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(fresh, golden) {
+				t.Errorf("fresh MarshalBinary differs from %s: got %d bytes, want %d; %s",
+					synPath, len(fresh), len(golden), firstDiff(fresh, golden))
+			}
+
+			var want map[string]float64
+			raw, err := os.ReadFile(cntPath)
+			if err != nil {
+				t.Fatalf("missing counts sidecar (run with -update to create): %v", err)
+			}
+			if err := json.Unmarshal(raw, &want); err != nil {
+				t.Fatalf("decoding %s: %v", cntPath, err)
+			}
+
+			restored, err := Restore(golden)
+			if err != nil {
+				t.Fatalf("Restore(golden): %v", err)
+			}
+			got := goldenCounts(t, restored)
+			if len(got) != len(want) {
+				t.Fatalf("restored answers %d queries, sidecar has %d", len(got), len(want))
+			}
+			for k, w := range want {
+				if g, ok := got[k]; !ok || g != w {
+					t.Errorf("restored %s = %v, golden sidecar has %v", k, g, w)
+				}
+			}
+
+			again, err := restored.MarshalBinary()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(again, golden) {
+				t.Errorf("restore → marshal round trip not byte-identical: %s", firstDiff(again, golden))
+			}
+		})
+	}
+}
+
+// TestGoldenDeterministicRebuild guards the premise the golden files
+// rest on: two independent builds over the same stream marshal to the
+// same bytes, so any golden mismatch is a real format change, not
+// map-iteration noise.
+func TestGoldenDeterministicRebuild(t *testing.T) {
+	for _, gc := range goldenCases() {
+		t.Run(gc.name, func(t *testing.T) {
+			var prev []byte
+			for i := 0; i < 2; i++ {
+				st, err := New(gc.cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				goldenStream(t, st)
+				data, err := st.MarshalBinary()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if prev != nil && !bytes.Equal(data, prev) {
+					t.Fatalf("two identical builds marshal differently: %s", firstDiff(data, prev))
+				}
+				prev = data
+			}
+		})
+	}
+}
+
+func firstDiff(a, b []byte) string {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return fmt.Sprintf("first difference at byte %d (0x%02x vs 0x%02x)", i, a[i], b[i])
+		}
+	}
+	return fmt.Sprintf("lengths differ (%d vs %d), common prefix identical", len(a), len(b))
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+
+	"sketchtree/internal/enum"
+	"sketchtree/internal/exact"
+	"sketchtree/internal/summary"
+	"sketchtree/internal/topk"
+	"sketchtree/internal/xi"
+)
+
+// Clone deep-copies the engine into an independent frozen synopsis —
+// the building block of snapshot-isolated query serving. The clone
+// answers every estimator bit-identically to the receiver at clone
+// time and is never updated, so any number of goroutines may query it
+// concurrently (the query path is a pure read; the plan cache locks
+// itself).
+//
+// Shared, immutable state — the ξ family, the AMS seeds, the
+// fingerprint modulus, and the query-plan cache (the pattern → value
+// mapping is identical across clones) — is referenced, not copied.
+// The observability Metrics are also shared, so queries served from a
+// clone are counted in the source engine's Stats. Mutable synopsis
+// state — sketch counters, top-k trackers, the structural summary, the
+// exact baseline — is copied. The exact-shadow auditor is process-local
+// bookkeeping of the live update path and is not carried over
+// (AuditEnabled is false on the clone).
+//
+// The receiver must be quiescent or locked against updates while
+// cloning; Safe takes care of that for snapshot serving.
+func (e *Engine) Clone() (*Engine, error) {
+	streams, err := e.streams.Clone()
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	// The clone never updates, but applyTree's machinery stays usable so
+	// a clone behaves like any engine (tests merge into clones, etc.).
+	en, err := enum.NewEnumerator(e.cfg.MaxPatternEdges)
+	if err != nil {
+		return nil, fmt.Errorf("core: clone: %w", err)
+	}
+	c := &Engine{
+		cfg:      e.cfg,
+		fam:      e.fam,
+		seeds:    e.seeds,
+		streams:  streams,
+		fp:       e.fp,
+		rng:      rand.New(rand.NewPCG(e.cfg.Seed, 0x5ce7c47ee^uint64(e.trees))),
+		trees:    e.trees,
+		patterns: e.patterns,
+		met:      e.met,
+		prep:     &xi.Prep{},
+		en:       en,
+		plans:    e.plans,
+	}
+	if e.trackers != nil {
+		c.trackers = make([]*topk.Tracker, len(e.trackers))
+		for i, t := range e.trackers {
+			ct, err := topk.Restore(e.cfg.TopK, streams.Sketch(i), t.Entries())
+			if err != nil {
+				return nil, fmt.Errorf("core: clone: stream %d: %w", i, err)
+			}
+			c.trackers[i] = ct
+		}
+	}
+	if e.sum != nil {
+		sn := e.sum.Snapshot()
+		c.sum, err = summary.FromSnapshot(sn)
+		if err != nil {
+			return nil, fmt.Errorf("core: clone: %w", err)
+		}
+	}
+	if e.truth != nil {
+		c.truth = exact.New()
+		e.truth.ForEach(func(v uint64, cnt int64) { c.truth.Add(v, cnt) })
+	}
+	return c, nil
+}

@@ -81,7 +81,24 @@ type Config struct {
 	// its size (0 = unlimited).
 	BuildSummary    bool
 	SummaryMaxNodes int
+
+	// PlanCacheSize bounds the query-plan LRU cache, which memoizes the
+	// pattern → (arrangements, fingerprint values) mapping keyed by the
+	// canonical pattern serialization. The zero value selects the
+	// default capacity (DefaultPlanCacheSize); PlanCacheDisabled (or any
+	// negative value) turns caching off. The mapping depends only on
+	// (Seed, FingerprintDegree), so cached plans never go stale.
+	PlanCacheSize int
 }
+
+// DefaultPlanCacheSize is the query-plan cache capacity selected by a
+// zero Config.PlanCacheSize.
+const DefaultPlanCacheSize = 512
+
+// PlanCacheDisabled is the Config.PlanCacheSize sentinel that disables
+// query-plan caching (the field's zero value selects the default
+// capacity instead).
+const PlanCacheDisabled = -1
 
 // TopKProbabilityNever is the TopKProbability sentinel that disables
 // per-pattern top-k processing entirely while keeping the TopK
@@ -138,6 +155,12 @@ func (c *Config) normalize() error {
 		return fmt.Errorf("core: TopKProbability %v invalid: want 0 (the default, 1.0), a probability in (0, 1], or TopKProbabilityNever (%v)",
 			c.TopKProbability, TopKProbabilityNever)
 	}
+	switch {
+	case c.PlanCacheSize == 0:
+		c.PlanCacheSize = DefaultPlanCacheSize
+	case c.PlanCacheSize < 0:
+		c.PlanCacheSize = PlanCacheDisabled
+	}
 	return nil
 }
 
@@ -165,6 +188,12 @@ type Engine struct {
 	prep      *xi.Prep         // reused across updates
 	encodeBuf []byte           // reused sequence-encoding buffer
 	en        *enum.Enumerator // reused across updates; Reset per tree
+
+	// plans memoizes the query-side pattern → value mapping; nil when
+	// Config.PlanCacheSize is PlanCacheDisabled. It is internally
+	// locked, so concurrent queries (snapshot serving) stay safe; clones
+	// share it because the mapping is identical across clones.
+	plans *planCache
 
 	observer func(v uint64, p *enum.Pattern)
 
@@ -231,6 +260,7 @@ func New(cfg Config) (*Engine, error) {
 		met:     &obs.Metrics{},
 		prep:    &xi.Prep{},
 		en:      en,
+		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
 	if cfg.TopK > 0 {
 		e.trackers = make([]*topk.Tracker, cfg.VirtualStreams)
@@ -469,6 +499,7 @@ func (e *Engine) Stats() obs.Snapshot {
 	if e.auditor != nil {
 		s.Audit = e.auditSnapshot()
 	}
+	s.Plans = e.plans.snapshot()
 	return s
 }
 

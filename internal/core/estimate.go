@@ -65,7 +65,7 @@ func (e *Engine) estimateOrderedWithError(q *tree.Node) (Estimate, error) {
 	if err := e.validatePattern(q); err != nil {
 		return Estimate{}, err
 	}
-	v := e.PatternValue(q)
+	v := e.orderedValue(q)
 	sk := e.streams.SketchFor(v)
 	adj := e.adjustmentForValue(v)
 	re := sk.EstimateCountDetailed(v, adj)
@@ -106,11 +106,14 @@ func (e *Engine) estimateUnorderedWithError(q *tree.Node) (Estimate, error) {
 	if err := e.validatePattern(q); err != nil {
 		return Estimate{}, err
 	}
-	arr, err := Arrangements(q, 0)
+	vs, err := e.unorderedValues(q)
 	if err != nil {
 		return Estimate{}, err
 	}
-	return e.estimateOrderedSetWithError(arr)
+	sk := e.streams.Combined(vs)
+	adj := e.adjustmentFor(vs)
+	re := sk.EstimateSetCountDetailed(vs, adj)
+	return e.newEstimate(re, len(vs), sk.EstimateF2(adj)), nil
 }
 
 // adjustmentForValue is the single-value top-k compensation.

@@ -139,6 +139,7 @@ func Restore(data []byte) (*Engine, error) {
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x5ce7c47ee^uint64(sn.Trees))),
 		prep:     &xi.Prep{},
 		en:       en,
+		plans:    newPlanCache(cfg.PlanCacheSize),
 		trees:    sn.Trees,
 		patterns: sn.Patterns,
 		met:      &obs.Metrics{},

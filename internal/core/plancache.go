@@ -1,0 +1,115 @@
+package core
+
+import (
+	"container/list"
+	"sync"
+	"sync/atomic"
+
+	"sketchtree/internal/obs"
+)
+
+// planCache memoizes the pattern → one-dimensional-value mapping — the
+// query-side "plan": for an ordered query the single fingerprint value,
+// for an unordered query the fingerprint values of every distinct
+// ordered arrangement. The mapping depends only on the fingerprint
+// modulus, which never changes over an engine's lifetime, so entries
+// stay valid forever; the cache is bounded by LRU eviction only.
+//
+// Keys are the canonical pattern serialization (tree.Node.String, the
+// S-expression form) prefixed with the plan kind, so the ordered and
+// unordered plans of one pattern are distinct entries.
+//
+// The cache has its own mutex: the engine's query path is otherwise a
+// pure read of the synopsis, and snapshot serving runs many queries on
+// one frozen engine concurrently. Hit/miss counters are atomics so
+// Stats can read them lock-free.
+//
+// A nil *planCache is a valid disabled cache: lookups miss without
+// counting and stores are dropped, keeping the uncached path to one
+// pointer test.
+type planCache struct {
+	mu  sync.Mutex
+	cap int
+	ll  *list.List               // front = most recently used
+	idx map[string]*list.Element // key → element; element value is *planEntry
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+type planEntry struct {
+	key string
+	vs  []uint64
+}
+
+// newPlanCache builds a cache of the given capacity; capacity <= 0
+// returns nil (caching disabled).
+func newPlanCache(capacity int) *planCache {
+	if capacity <= 0 {
+		return nil
+	}
+	return &planCache{
+		cap: capacity,
+		ll:  list.New(),
+		idx: make(map[string]*list.Element, capacity),
+	}
+}
+
+// lookup returns the cached value list for key. The returned slice is
+// shared — callers must not mutate it.
+func (c *planCache) lookup(key string) ([]uint64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	el, ok := c.idx[key]
+	if ok {
+		c.ll.MoveToFront(el)
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return el.Value.(*planEntry).vs, true
+}
+
+// store inserts a computed plan, evicting the least recently used entry
+// at capacity. Concurrent stores of the same key keep the latest; the
+// mapping is deterministic, so both hold the same values.
+func (c *planCache) store(key string, vs []uint64) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.idx[key]; ok {
+		el.Value.(*planEntry).vs = vs
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.idx[key] = c.ll.PushFront(&planEntry{key: key, vs: vs})
+	if c.ll.Len() > c.cap {
+		el := c.ll.Back()
+		c.ll.Remove(el)
+		delete(c.idx, el.Value.(*planEntry).key)
+	}
+}
+
+// snapshot reads the cache's observability section; nil for a disabled
+// cache.
+func (c *planCache) snapshot() *obs.PlanCacheSnapshot {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	size := c.ll.Len()
+	c.mu.Unlock()
+	return &obs.PlanCacheSnapshot{
+		Capacity: c.cap,
+		Entries:  size,
+		Hits:     c.hits.Load(),
+		Misses:   c.misses.Load(),
+	}
+}

@@ -1,0 +1,148 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+func TestPlanCacheLRU(t *testing.T) {
+	c := newPlanCache(2)
+	c.store("a", []uint64{1})
+	c.store("b", []uint64{2})
+	if _, ok := c.lookup("a"); !ok { // promotes a to most-recent
+		t.Fatal("a missing")
+	}
+	c.store("c", []uint64{3}) // evicts b, the least-recently used
+	if _, ok := c.lookup("b"); ok {
+		t.Error("b should have been evicted")
+	}
+	for key, want := range map[string]uint64{"a": 1, "c": 3} {
+		vs, ok := c.lookup(key)
+		if !ok || len(vs) != 1 || vs[0] != want {
+			t.Errorf("lookup(%q) = %v, %v; want [%d]", key, vs, ok, want)
+		}
+	}
+	sn := c.snapshot()
+	if sn.Entries != 2 || sn.Capacity != 2 {
+		t.Errorf("snapshot entries/capacity = %d/%d, want 2/2", sn.Entries, sn.Capacity)
+	}
+	if sn.Hits != 3 || sn.Misses != 1 {
+		t.Errorf("hits/misses = %d/%d, want 3/1", sn.Hits, sn.Misses)
+	}
+}
+
+func TestPlanCacheStoreOverwrite(t *testing.T) {
+	c := newPlanCache(2)
+	c.store("a", []uint64{1})
+	c.store("a", []uint64{1, 2})
+	vs, ok := c.lookup("a")
+	if !ok || len(vs) != 2 {
+		t.Fatalf("lookup after overwrite = %v, %v", vs, ok)
+	}
+	if c.snapshot().Entries != 1 {
+		t.Errorf("entries = %d, want 1", c.snapshot().Entries)
+	}
+}
+
+func TestPlanCacheDisabledNilSafe(t *testing.T) {
+	var c *planCache // disabled cache: all operations are no-ops
+	if got := newPlanCache(0); got != nil {
+		t.Error("newPlanCache(0) should be nil (disabled)")
+	}
+	c.store("a", []uint64{1})
+	if _, ok := c.lookup("a"); ok {
+		t.Error("nil cache should never hit")
+	}
+	if c.snapshot() != nil {
+		t.Error("nil cache snapshot should be nil")
+	}
+}
+
+// TestPlanCacheAnswersIdentical compares every estimator on a
+// plan-cached engine against an identically-seeded cache-disabled
+// engine: the cache memoizes the pattern→value mapping only, so hits
+// and misses must be bit-identical.
+func TestPlanCacheAnswersIdentical(t *testing.T) {
+	cached := testConfig() // PlanCacheSize 0 → default capacity
+	plain := testConfig()
+	plain.PlanCacheSize = PlanCacheDisabled
+	ec, ep := mustEngine(t, cached), mustEngine(t, plain)
+	figure1Stream(t, ec)
+	figure1Stream(t, ep)
+
+	q := tree.T("A", tree.T("B"), tree.T("C"))
+	u := tree.T("A", tree.T("C"), tree.T("B"))
+	qs := []*tree.Node{tree.T("A", tree.T("B")), tree.T("A", tree.T("C"))}
+	for round := 0; round < 3; round++ { // round 1+ hit the cache
+		name := fmt.Sprintf("round %d", round)
+		gc, err1 := ec.EstimateOrdered(q)
+		gp, err2 := ep.EstimateOrdered(q)
+		if err1 != nil || err2 != nil || gc != gp {
+			t.Fatalf("%s: ordered %v/%v (errs %v/%v)", name, gc, gp, err1, err2)
+		}
+		uc, err1 := ec.EstimateUnordered(u)
+		up, err2 := ep.EstimateUnordered(u)
+		if err1 != nil || err2 != nil || uc != up {
+			t.Fatalf("%s: unordered %v/%v (errs %v/%v)", name, uc, up, err1, err2)
+		}
+		sc, err1 := ec.EstimateOrderedSet(qs)
+		sp, err2 := ep.EstimateOrderedSet(qs)
+		if err1 != nil || err2 != nil || sc != sp {
+			t.Fatalf("%s: set %v/%v (errs %v/%v)", name, sc, sp, err1, err2)
+		}
+		wc, err1 := ec.EstimateUnorderedWithError(u)
+		wp, err2 := ep.EstimateUnorderedWithError(u)
+		if err1 != nil || err2 != nil || wc != wp {
+			t.Fatalf("%s: unordered with error %+v/%+v (errs %v/%v)", name, wc, wp, err1, err2)
+		}
+	}
+
+	sn := ec.Stats().Plans
+	if sn == nil {
+		t.Fatal("cached engine should report plan-cache stats")
+	}
+	if sn.Misses == 0 || sn.Hits == 0 {
+		t.Errorf("expected both hits and misses after repeated queries, got %d/%d", sn.Hits, sn.Misses)
+	}
+	if ps := ep.Stats().Plans; ps != nil {
+		t.Errorf("disabled engine should report nil plan-cache stats, got %+v", ps)
+	}
+}
+
+// TestPlanCacheSurvivesRestore checks the restored engine gets a fresh
+// cache of the configured capacity.
+func TestPlanCacheSurvivesRestore(t *testing.T) {
+	cfg := testConfig()
+	cfg.PlanCacheSize = 7
+	e := mustEngine(t, cfg)
+	figure1Stream(t, e)
+	q := tree.T("A", tree.T("B"))
+	want, err := e.EstimateOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := Restore(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := r.EstimateOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("restored estimate %v != original %v", got, want)
+	}
+	sn := r.Stats().Plans
+	if sn == nil || sn.Capacity != 7 {
+		t.Fatalf("restored plan cache stats = %+v, want capacity 7", sn)
+	}
+	if sn.Misses == 0 {
+		t.Error("restored cache should start cold (expected a miss)")
+	}
+}

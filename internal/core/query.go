@@ -39,7 +39,47 @@ func (e *Engine) estimateOrdered(q *tree.Node) (float64, error) {
 	if err := e.validatePattern(q); err != nil {
 		return 0, err
 	}
-	return e.estimateValue(e.PatternValue(q)), nil
+	return e.estimateValue(e.orderedValue(q)), nil
+}
+
+// orderedValue maps a validated pattern to its one-dimensional value
+// through the query-plan cache (a plain PatternValue call when caching
+// is disabled).
+func (e *Engine) orderedValue(q *tree.Node) uint64 {
+	if e.plans == nil {
+		return e.PatternValue(q)
+	}
+	key := "o:" + q.String()
+	if vs, ok := e.plans.lookup(key); ok {
+		return vs[0]
+	}
+	v := e.PatternValue(q)
+	e.plans.store(key, []uint64{v})
+	return v
+}
+
+// unorderedValues maps a validated unordered pattern to the distinct
+// fingerprint values of its ordered arrangements, through the
+// query-plan cache. The returned slice is shared with the cache and
+// must not be mutated.
+func (e *Engine) unorderedValues(q *tree.Node) ([]uint64, error) {
+	var key string
+	if e.plans != nil {
+		key = "u:" + q.String()
+		if vs, ok := e.plans.lookup(key); ok {
+			return vs, nil
+		}
+	}
+	arr, err := Arrangements(q, 0)
+	if err != nil {
+		return nil, err
+	}
+	vs, err := e.setValues(arr)
+	if err != nil {
+		return nil, err
+	}
+	e.plans.store(key, vs)
+	return vs, nil
 }
 
 // EstimateOrderedSet estimates Σ_j COUNT_ord(Q_j) for distinct
@@ -73,7 +113,7 @@ func (e *Engine) setValues(qs []*tree.Node) ([]uint64, error) {
 		if err := e.validatePattern(q); err != nil {
 			return nil, err
 		}
-		v := e.PatternValue(q)
+		v := e.orderedValue(q)
 		if seen[v] {
 			return nil, fmt.Errorf("core: duplicate pattern %s in set (patterns must be distinct)", q)
 		}
@@ -191,11 +231,12 @@ func (e *Engine) estimateUnordered(q *tree.Node) (float64, error) {
 	if err := e.validatePattern(q); err != nil {
 		return 0, err
 	}
-	arr, err := Arrangements(q, 0)
+	vs, err := e.unorderedValues(q)
 	if err != nil {
 		return 0, err
 	}
-	return e.estimateOrderedSet(arr)
+	sk := e.streams.Combined(vs)
+	return sk.EstimateSetCount(vs, e.adjustmentFor(vs)), nil
 }
 
 // Expr is a query expression over pattern counts (§4 grammar) at the
@@ -227,7 +268,7 @@ func (e *Engine) compile(x Expr, vals map[uint64]bool) (ams.Expr, error) {
 		if err := e.validatePattern(v.Pattern); err != nil {
 			return nil, err
 		}
-		val := e.PatternValue(v.Pattern)
+		val := e.orderedValue(v.Pattern)
 		vals[val] = true
 		return ams.Count{V: val}, nil
 	case ExprAdd:

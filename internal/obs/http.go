@@ -19,6 +19,14 @@ type snapshotJSON struct {
 	Queries       queryJSON            `json:"queries"`
 	Health        *healthJSON          `json:"health,omitempty"`
 	Audit         *auditJSON           `json:"audit,omitempty"`
+	Plans         *planCacheJSON       `json:"plan_cache,omitempty"`
+}
+
+type planCacheJSON struct {
+	Capacity int   `json:"capacity"`
+	Entries  int   `json:"entries"`
+	Hits     int64 `json:"hits"`
+	Misses   int64 `json:"misses"`
 }
 
 type healthJSON struct {
@@ -98,6 +106,14 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			TopK:           h.TopK,
 		}
 	}
+	if p := s.Plans; p != nil {
+		doc.Plans = &planCacheJSON{
+			Capacity: p.Capacity,
+			Entries:  p.Entries,
+			Hits:     p.Hits,
+			Misses:   p.Misses,
+		}
+	}
 	if a := s.Audit; a != nil {
 		doc.Audit = &auditJSON{
 			Capacity:   a.Capacity,
@@ -168,6 +184,9 @@ func PromHandler(snap func() Snapshot) http.Handler {
 		fmt.Fprintf(w, "sketchtree_query_latency_seconds_sum %s\n", formatSeconds(s.Queries.Nanos))
 		fmt.Fprintf(w, "sketchtree_query_latency_seconds_count %d\n", cum)
 
+		if p := s.Plans; p != nil {
+			writePlanCacheProm(w, p)
+		}
 		if h := s.Health; h != nil {
 			writeHealthProm(w, h)
 		}
@@ -175,6 +194,14 @@ func PromHandler(snap func() Snapshot) http.Handler {
 			writeAuditProm(w, a)
 		}
 	})
+}
+
+// writePlanCacheProm renders the query-plan cache families.
+func writePlanCacheProm(w io.Writer, p *PlanCacheSnapshot) {
+	fmt.Fprintf(w, "# HELP sketchtree_plan_cache_hits_total Query plans answered from the pattern-mapping cache.\n# TYPE sketchtree_plan_cache_hits_total counter\nsketchtree_plan_cache_hits_total %d\n", p.Hits)
+	fmt.Fprintf(w, "# HELP sketchtree_plan_cache_misses_total Query plans computed on a cache miss.\n# TYPE sketchtree_plan_cache_misses_total counter\nsketchtree_plan_cache_misses_total %d\n", p.Misses)
+	fmt.Fprintf(w, "# HELP sketchtree_plan_cache_entries Plans currently cached.\n# TYPE sketchtree_plan_cache_entries gauge\nsketchtree_plan_cache_entries %d\n", p.Entries)
+	fmt.Fprintf(w, "# HELP sketchtree_plan_cache_capacity Configured plan-cache capacity.\n# TYPE sketchtree_plan_cache_capacity gauge\nsketchtree_plan_cache_capacity %d\n", p.Capacity)
 }
 
 // writeHealthProm renders the sketch-health gauge families.

@@ -333,6 +333,17 @@ type AuditSnapshot struct {
 	MaxRelErr  float64
 }
 
+// PlanCacheSnapshot is the query-plan cache section of a Snapshot: the
+// LRU that memoizes the pattern → fingerprint-value mapping on the
+// query path. All source counters are atomics, so the section is safe
+// to collect while queries run.
+type PlanCacheSnapshot struct {
+	Capacity int   // configured entry capacity
+	Entries  int   // plans currently cached
+	Hits     int64 // lookups answered from the cache
+	Misses   int64 // lookups that computed the plan
+}
+
 // Snapshot is a point-in-time read of a Metrics value (see the package
 // comment for its consistency contract).
 type Snapshot struct {
@@ -345,11 +356,12 @@ type Snapshot struct {
 	Stages  [NumStages]StageSnapshot
 	Queries QuerySnapshot
 
-	// Health and Audit are attached by the engine (they read engine
-	// structures, not Metrics); nil when the producing layer does not
-	// collect them.
+	// Health, Audit and Plans are attached by the engine (they read
+	// engine structures, not Metrics); nil when the producing layer does
+	// not collect them.
 	Health *HealthSnapshot
 	Audit  *AuditSnapshot
+	Plans  *PlanCacheSnapshot
 }
 
 // Snapshot reads the current totals. Safe to call concurrently with
@@ -400,6 +412,24 @@ func (s *Snapshot) Add(o Snapshot) {
 	if s.Audit == nil {
 		s.Audit = o.Audit
 	}
+	s.Plans = mergePlans(s.Plans, o.Plans)
+}
+
+// mergePlans folds two plan-cache sections: hit/miss totals and entry
+// counts sum across shards; the capacity reported is the receiver's
+// (shards share one config).
+func mergePlans(a, b *PlanCacheSnapshot) *PlanCacheSnapshot {
+	if a == nil {
+		return b
+	}
+	if b == nil {
+		return a
+	}
+	out := *a
+	out.Entries += b.Entries
+	out.Hits += b.Hits
+	out.Misses += b.Misses
+	return &out
 }
 
 // mergeHealth folds two health sections: per-partition items sum when

@@ -1,0 +1,188 @@
+package pairing
+
+import (
+	"math"
+	"math/big"
+	"testing"
+)
+
+// TestUnpair2InverseTable: Unpair2 ∘ PF2 is the identity on a table of
+// pairs chosen to hit the formula's edges — zeros, equal components,
+// adjacent diagonals, and word-sized magnitudes whose squares only fit
+// in big.Int.
+func TestUnpair2InverseTable(t *testing.T) {
+	cases := []struct {
+		name string
+		x, y uint64
+	}{
+		{"origin", 0, 0},
+		{"x axis", 7, 0},
+		{"y axis", 0, 7},
+		{"diagonal", 13, 13},
+		{"adjacent cells", 13, 14},
+		{"small asymmetric", 2, 1000003},
+		{"max uint64 x", math.MaxUint64, 1},
+		{"max uint64 y", 1, math.MaxUint64},
+		{"max uint64 both", math.MaxUint64, math.MaxUint64},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			x := new(big.Int).SetUint64(tc.x)
+			y := new(big.Int).SetUint64(tc.y)
+			z := PF2(x, y)
+			gx, gy := Unpair2(z)
+			if gx.Cmp(x) != 0 || gy.Cmp(y) != 0 {
+				t.Errorf("Unpair2(PF2(%d, %d)) = (%s, %s)", tc.x, tc.y, gx, gy)
+			}
+		})
+	}
+}
+
+// TestUnpairTupleInverseTable: UnpairTuple ∘ PFTuple is the identity
+// for every tabled tuple at its own length, covering k = 0..6, repeated
+// components, and components past 2⁶³.
+func TestUnpairTupleInverseTable(t *testing.T) {
+	cases := []struct {
+		name string
+		xs   []uint64
+	}{
+		{"empty", nil},
+		{"singleton zero", []uint64{0}},
+		{"singleton large", []uint64{math.MaxUint64}},
+		{"pair", []uint64{3, 5}},
+		{"triple with zeros", []uint64{0, 9, 0}},
+		{"quadruple equal", []uint64{42, 42, 42, 42}},
+		{"quintuple mixed", []uint64{1, 0, math.MaxUint64, 17, 2}},
+		{"sextuple ramp", []uint64{1, 2, 3, 4, 5, 6}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z := PFTuple(tc.xs)
+			got, err := UnpairTuple(z, len(tc.xs))
+			if err != nil {
+				t.Fatalf("UnpairTuple: %v", err)
+			}
+			if len(got) != len(tc.xs) {
+				t.Fatalf("got %d components, want %d", len(got), len(tc.xs))
+			}
+			for i, want := range tc.xs {
+				if got[i].Cmp(new(big.Int).SetUint64(want)) != 0 {
+					t.Errorf("component %d = %s, want %d", i, got[i], want)
+				}
+			}
+		})
+	}
+}
+
+// TestPF2U64AgreesWithBig: the machine-word fast path, when it reports
+// ok, must equal the big.Int reference on a table spanning the overflow
+// boundary from both sides.
+func TestPF2U64AgreesWithBig(t *testing.T) {
+	cases := []struct {
+		name   string
+		x, y   uint64
+		wantOK bool
+	}{
+		{"origin", 0, 0, true},
+		{"small", 100, 200, true},
+		{"large safe diagonal", 3_000_000_000, 3_000_000_000, true},
+		{"sum overflows", math.MaxUint64, 1, false},
+		{"square overflows", 1 << 33, 1 << 33, false},
+		{"max both", math.MaxUint64, math.MaxUint64, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z, ok := PF2U64(tc.x, tc.y)
+			if ok != tc.wantOK {
+				t.Fatalf("ok = %v, want %v", ok, tc.wantOK)
+			}
+			if !ok {
+				return
+			}
+			ref := PF2(new(big.Int).SetUint64(tc.x), new(big.Int).SetUint64(tc.y))
+			if ref.Cmp(new(big.Int).SetUint64(z)) != 0 {
+				t.Errorf("PF2U64 = %d, big.Int reference = %s", z, ref)
+			}
+		})
+	}
+}
+
+// TestPadTable pins the padding edges: zero-length input, exact fit,
+// padding to zero length, and over-length rejection.
+func TestPadTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		xs      []uint64
+		n       int
+		pad     uint64
+		want    []uint64
+		wantErr bool
+	}{
+		{"empty to zero", nil, 0, 9, []uint64{}, false},
+		{"empty to three", nil, 3, 9, []uint64{9, 9, 9}, false},
+		{"exact fit", []uint64{1, 2}, 2, 9, []uint64{1, 2}, false},
+		{"grow by one", []uint64{1, 2}, 3, 9, []uint64{1, 2, 9}, false},
+		{"pad value zero", []uint64{5}, 3, 0, []uint64{5, 0, 0}, false},
+		{"too long", []uint64{1, 2, 3}, 2, 9, nil, true},
+		{"nonempty to zero", []uint64{1}, 0, 9, nil, true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, err := Pad(tc.xs, tc.n, tc.pad)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatalf("Pad = %v, want error", got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("len = %d, want %d", len(got), len(tc.want))
+			}
+			for i := range tc.want {
+				if got[i] != tc.want[i] {
+					t.Errorf("component %d = %d, want %d", i, got[i], tc.want[i])
+				}
+			}
+		})
+	}
+}
+
+// TestPFPaddedInverseTable: unpairing a padded image at the pad length
+// recovers exactly the original components followed by pad values, so
+// padding loses no information.
+func TestPFPaddedInverseTable(t *testing.T) {
+	const n, pad = 4, 7
+	cases := []struct {
+		name string
+		xs   []uint64
+	}{
+		{"empty", nil},
+		{"one", []uint64{3}},
+		{"two", []uint64{3, 5}},
+		{"full", []uint64{3, 5, 8, 13}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			z, err := PFPadded(tc.xs, n, pad)
+			if err != nil {
+				t.Fatal(err)
+			}
+			comps, err := UnpairTuple(z, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				want := pad
+				if i < len(tc.xs) {
+					want = int(tc.xs[i])
+				}
+				if comps[i].Cmp(big.NewInt(int64(want))) != 0 {
+					t.Errorf("component %d = %s, want %d", i, comps[i], want)
+				}
+			}
+		})
+	}
+}

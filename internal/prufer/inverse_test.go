@@ -1,0 +1,124 @@
+package prufer
+
+import (
+	"fmt"
+	"testing"
+
+	"sketchtree/internal/tree"
+)
+
+// chain builds a root-to-leaf path of the given depth: c0 -> c1 -> ...
+func chain(depth int) *tree.Node {
+	n := tree.T(fmt.Sprintf("c%d", depth-1))
+	for i := depth - 2; i >= 0; i-- {
+		n = tree.T(fmt.Sprintf("c%d", i), n)
+	}
+	return n
+}
+
+// star builds a root with the given number of leaf children.
+func star(leaves int) *tree.Node {
+	kids := make([]*tree.Node, leaves)
+	for i := range kids {
+		kids[i] = tree.T(fmt.Sprintf("l%d", i))
+	}
+	return tree.T("hub", kids...)
+}
+
+// comb builds a chain whose every spine node also carries one leaf —
+// the shape where node-vs-leaf bookkeeping in the extended sequence is
+// easiest to get wrong.
+func comb(teeth int) *tree.Node {
+	n := tree.T("end")
+	for i := teeth - 1; i >= 0; i-- {
+		n = tree.T(fmt.Sprintf("s%d", i), tree.T(fmt.Sprintf("t%d", i)), n)
+	}
+	return n
+}
+
+// inverseCases are the structural extremes the LPS/NPS derivation must
+// survive: the 1-node tree, degenerate depth, degenerate width, and
+// their mixture.
+func inverseCases() []struct {
+	name string
+	root *tree.Node
+} {
+	return []struct {
+		name string
+		root *tree.Node
+	}{
+		{"single node", tree.T("only")},
+		{"two node edge", tree.T("a", tree.T("b"))},
+		{"deep chain", chain(200)},
+		{"wide star", star(150)},
+		{"comb", comb(40)},
+		{"paper figure", tree.T("A", tree.T("B", tree.T("D")), tree.T("C"))},
+		{"repeated labels", tree.T("x", tree.T("x", tree.T("x")), tree.T("x"))},
+	}
+}
+
+// TestReconstructInverseTable: Reconstruct is a left inverse of the
+// extended Prüfer derivation — Reconstruct(OfNode(t)) rebuilds t
+// node-for-node, and re-deriving the sequence from the reconstruction
+// is the identity on sequences.
+func TestReconstructInverseTable(t *testing.T) {
+	for _, tc := range inverseCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := OfNode(tc.root)
+			rebuilt, err := Reconstruct(seq)
+			if err != nil {
+				t.Fatalf("Reconstruct: %v", err)
+			}
+			if !tree.Equal(tc.root, rebuilt.Root) {
+				t.Fatalf("reconstruction differs:\nwant %s\ngot  %s", tc.root, rebuilt.Root)
+			}
+			again := OfNode(rebuilt.Root)
+			if !seq.Equal(again) {
+				t.Fatalf("re-derived sequence differs:\nwant %s\ngot  %s", seq, again)
+			}
+		})
+	}
+}
+
+// TestEncodeDecodeInverseTable: Decode is a left inverse of Encode on
+// the same structural extremes, and the encoding re-serializes to the
+// identical byte string (canonical varints only).
+func TestEncodeDecodeInverseTable(t *testing.T) {
+	for _, tc := range inverseCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			seq := OfNode(tc.root)
+			enc := seq.Encode(nil)
+			dec, err := Decode(enc)
+			if err != nil {
+				t.Fatalf("Decode: %v", err)
+			}
+			if !seq.Equal(dec) {
+				t.Fatalf("decoded sequence differs:\nwant %s\ngot  %s", seq, dec)
+			}
+			if again := dec.Encode(nil); string(again) != string(enc) {
+				t.Fatalf("re-encode not byte-identical: %x vs %x", again, enc)
+			}
+		})
+	}
+}
+
+// TestDecodeRejectsHostileHeaders pins the fuzz findings: a length
+// header far beyond the input must fail before allocating, and padded
+// (non-canonical) varints are not alternate spellings of a sequence.
+func TestDecodeRejectsHostileHeaders(t *testing.T) {
+	cases := []struct {
+		name string
+		in   []byte
+	}{
+		{"huge length header", []byte{0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0xfe, 0x01, 0x01, 0x01, 'A'}},
+		{"non-canonical zero header", []byte{0x80, 0x00}},
+		{"non-canonical label length", []byte{0x01, 0x80, 0x00, 0x01}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if s, err := Decode(tc.in); err == nil {
+				t.Fatalf("Decode accepted %x as %s", tc.in, s)
+			}
+		})
+	}
+}

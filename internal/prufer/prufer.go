@@ -236,27 +236,46 @@ func (s Sequence) Encode(buf []byte) []byte {
 	return buf
 }
 
+// uvarint reads one canonical varint. Padded encodings (0x80 0x00 for
+// zero, and the like) are rejected: Encode emits minimal varints only,
+// and accepting a longer spelling would give one sequence several
+// encodings, so decode → encode would no longer be the identity.
+func uvarint(buf []byte) (uint64, int, bool) {
+	v, k := binary.Uvarint(buf)
+	if k <= 0 || k > 1 && buf[k-1] == 0 {
+		return 0, 0, false
+	}
+	return v, k, true
+}
+
 // Decode parses an encoding produced by Encode.
 func Decode(buf []byte) (Sequence, error) {
 	var s Sequence
-	m, k := binary.Uvarint(buf)
-	if k <= 0 {
+	m, k, ok := uvarint(buf)
+	if !ok {
 		return s, fmt.Errorf("prufer: bad length header")
 	}
 	buf = buf[k:]
+	// Every entry costs at least two bytes (a label-length varint and an
+	// NPS varint), so a header exceeding len(buf)/2 cannot be satisfied;
+	// checking before make() keeps a hostile header from forcing a huge
+	// allocation.
+	if m > uint64(len(buf))/2 {
+		return s, fmt.Errorf("prufer: length header %d exceeds input", m)
+	}
 	s.LPS = make([]string, m)
 	s.NPS = make([]int, m)
 	for i := range s.LPS {
-		l, k := binary.Uvarint(buf)
-		if k <= 0 || uint64(len(buf[k:])) < l {
+		l, k, ok := uvarint(buf)
+		if !ok || uint64(len(buf[k:])) < l {
 			return Sequence{}, fmt.Errorf("prufer: truncated label %d", i)
 		}
 		s.LPS[i] = string(buf[k : k+int(l)])
 		buf = buf[k+int(l):]
 	}
 	for i := range s.NPS {
-		v, k := binary.Uvarint(buf)
-		if k <= 0 {
+		v, k, ok := uvarint(buf)
+		if !ok {
 			return Sequence{}, fmt.Errorf("prufer: truncated NPS entry %d", i)
 		}
 		s.NPS[i] = int(v)

@@ -1,0 +1,464 @@
+// Package server implements the sketchtreed HTTP query API: a
+// Safe-wrapped synopsis served over JSON, with a per-request timeout, a
+// concurrency limiter, and graceful drain.
+//
+// Endpoints:
+//
+//	POST /query    ordered / unordered / set / expression counts,
+//	               optionally with error bars (CI95)
+//	POST /ingest   stream one XML tree (or, with ?forest=1, a rooted
+//	               forest document) into the synopsis
+//	GET  /healthz  liveness + snapshot provenance; 503 while draining
+//	GET  /stats    observability snapshot (expvar-style JSON)
+//	GET  /metrics  the same data in Prometheus text format
+//
+// Queries are answered through the Safe read path, so with snapshot
+// serving enabled (sketchtreed -snapshot-every) they are lock-free and
+// never wait behind an in-flight update.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"sketchtree"
+)
+
+// Options bound a Server's resource use. The zero value selects the
+// defaults noted on each field.
+type Options struct {
+	// Timeout is the per-request budget covering limiter wait, body
+	// read, and evaluation; exceeding it answers 504. Default 5s;
+	// negative disables.
+	Timeout time.Duration
+
+	// MaxConcurrent caps in-flight /query and /ingest requests; excess
+	// requests wait (within Timeout) for a slot. Default 64.
+	MaxConcurrent int
+
+	// DrainTimeout bounds graceful shutdown: Run answers in-flight
+	// requests for at most this long after its context is canceled,
+	// then closes remaining connections. Default 10s; negative waits
+	// indefinitely.
+	DrainTimeout time.Duration
+}
+
+const (
+	defaultTimeout       = 5 * time.Second
+	defaultMaxConcurrent = 64
+	defaultDrainTimeout  = 10 * time.Second
+
+	// maxQueryBody bounds a /query request body; /ingest bodies are
+	// unbounded streams.
+	maxQueryBody = 1 << 20
+)
+
+func (o Options) normalize() Options {
+	if o.Timeout == 0 {
+		o.Timeout = defaultTimeout
+	}
+	if o.Timeout < 0 {
+		o.Timeout = 0
+	}
+	if o.MaxConcurrent <= 0 {
+		o.MaxConcurrent = defaultMaxConcurrent
+	}
+	if o.DrainTimeout == 0 {
+		o.DrainTimeout = defaultDrainTimeout
+	}
+	if o.DrainTimeout < 0 {
+		o.DrainTimeout = 0
+	}
+	return o
+}
+
+// Server serves count queries over a shared Safe synopsis.
+type Server struct {
+	safe     *sketchtree.Safe
+	opts     Options
+	sem      chan struct{}
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// New builds a Server over safe. The caller keeps ownership of safe and
+// may update or query it directly alongside the HTTP traffic.
+func New(safe *sketchtree.Safe, opts Options) *Server {
+	s := &Server{
+		safe: safe,
+		opts: opts.normalize(),
+	}
+	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /query", s.handleQuery)
+	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(safe.Stats))
+	s.mux.Handle("GET /metrics", sketchtree.StatsPromHandler(safe.Stats))
+	return s
+}
+
+// Handler returns the HTTP handler; use it to mount the API under an
+// existing server. Run is the usual entry point.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Run serves the API on ln until ctx is canceled, then drains: new
+// connections are refused, /healthz flips to 503, in-flight requests
+// are answered (bounded by DrainTimeout), and remaining connections are
+// closed. Returns nil after a clean drain.
+func (s *Server) Run(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{Handler: s.mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	s.draining.Store(true)
+	sctx := context.Background()
+	if s.opts.DrainTimeout > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, s.opts.DrainTimeout)
+		defer cancel()
+	}
+	err := srv.Shutdown(sctx)
+	if err != nil {
+		srv.Close()
+	}
+	<-errc // Serve has returned http.ErrServerClosed
+	return err
+}
+
+// Draining reports whether the server has begun graceful shutdown.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// serve runs fn under the concurrency limiter and the per-request
+// timeout, answering JSON. Waiting for a slot answers 503 when the
+// budget runs out first. fn runs synchronously on the handler goroutine
+// (the request body must not be read past the handler's return); slow
+// body reads observe the timeout through ctx — see ctxReader — and a
+// fn error with the budget exhausted answers 504.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
+	ctx := r.Context()
+	if s.opts.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		defer cancel()
+	}
+	select {
+	case s.sem <- struct{}{}:
+	case <-ctx.Done():
+		httpError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+		return
+	}
+	defer func() { <-s.sem }()
+	v, err := fn(ctx)
+	if err != nil {
+		if ctx.Err() != nil {
+			httpError(w, http.StatusGatewayTimeout, "request timed out: %v", ctx.Err())
+			return
+		}
+		httpError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, v)
+}
+
+// ctxReader fails reads once ctx is done, so a stalled ingest body
+// surfaces as a decode error within the request budget.
+type ctxReader struct {
+	ctx context.Context
+	r   io.Reader
+}
+
+func (c *ctxReader) Read(p []byte) (int, error) {
+	if err := c.ctx.Err(); err != nil {
+		return 0, err
+	}
+	return c.r.Read(p)
+}
+
+// healthzResponse is the /healthz body: liveness plus the served
+// snapshot's provenance when snapshot serving is on.
+type healthzResponse struct {
+	Status        string `json:"status"`
+	Trees         int64  `json:"trees"`
+	Snapshot      bool   `json:"snapshot"`
+	SnapshotTrees int64  `json:"snapshot_trees,omitempty"`
+	SnapshotAgeMS int64  `json:"snapshot_age_ms,omitempty"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusServiceUnavailable)
+		json.NewEncoder(w).Encode(healthzResponse{Status: "draining"})
+		return
+	}
+	resp := healthzResponse{Status: "ok", Trees: s.safe.TreesProcessed()}
+	if trees, age, ok := s.safe.SnapshotStats(); ok {
+		resp.Snapshot = true
+		resp.SnapshotTrees = trees
+		resp.SnapshotAgeMS = age.Milliseconds()
+	}
+	writeJSON(w, resp)
+}
+
+// ingestResponse is the /ingest body: the synopsis tree count after the
+// ingest completed.
+type ingestResponse struct {
+	Trees int64 `json:"trees"`
+}
+
+func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
+	forest := r.URL.Query().Get("forest") != ""
+	s.serve(w, r, func(ctx context.Context) (any, error) {
+		if dl, ok := ctx.Deadline(); ok {
+			// A stalled body read blocks inside the connection; the read
+			// deadline interrupts it at the budget so the 504 is prompt.
+			_ = http.NewResponseController(w).SetReadDeadline(dl)
+		}
+		body := &ctxReader{ctx: ctx, r: r.Body}
+		var err error
+		if forest {
+			err = s.safe.AddXMLForest(body)
+		} else {
+			err = s.safe.AddXML(body)
+		}
+		if err != nil {
+			return nil, err
+		}
+		return ingestResponse{Trees: s.safe.TreesProcessed()}, nil
+	})
+}
+
+// queryRequest is the /query body. Kind selects the estimator; Pattern
+// (kind ordered/unordered), Patterns (kind set) and Expr (kind
+// expression) carry the query. Patterns are S-expressions ("(A (B))")
+// or plain label paths ("A/B/C"). WithError adds the CI95 error bar
+// (kinds ordered, unordered, set).
+type queryRequest struct {
+	Kind      string    `json:"kind"`
+	Pattern   string    `json:"pattern,omitempty"`
+	Patterns  []string  `json:"patterns,omitempty"`
+	Expr      *exprNode `json:"expr,omitempty"`
+	WithError bool      `json:"with_error,omitempty"`
+}
+
+// exprNode is one node of an expression query: op "count" with a
+// pattern, or "add"/"sub"/"mul" with operands l and r.
+type exprNode struct {
+	Op      string    `json:"op"`
+	Pattern string    `json:"pattern,omitempty"`
+	L       *exprNode `json:"l,omitempty"`
+	R       *exprNode `json:"r,omitempty"`
+}
+
+// queryResponse is the /query answer. Snapshot reports whether the Safe
+// was in snapshot-serving mode (the answer then reflects the frozen
+// synopsis of SnapshotTrees trees, not the live tail).
+type queryResponse struct {
+	Kind          string      `json:"kind"`
+	Estimate      float64     `json:"estimate"`
+	StdErr        *float64    `json:"std_err,omitempty"`
+	CI95          *[2]float64 `json:"ci95,omitempty"`
+	S1            int         `json:"s1,omitempty"`
+	S2            int         `json:"s2,omitempty"`
+	Snapshot      bool        `json:"snapshot"`
+	SnapshotTrees int64       `json:"snapshot_trees,omitempty"`
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	s.serve(w, r, func(ctx context.Context) (any, error) {
+		var req queryRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxQueryBody))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decoding request: %w", err)
+		}
+		resp, err := s.answer(&req)
+		if err != nil {
+			return nil, err
+		}
+		if trees, _, ok := s.safe.SnapshotStats(); ok {
+			resp.Snapshot = true
+			resp.SnapshotTrees = trees
+		}
+		return resp, nil
+	})
+}
+
+func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
+	resp := &queryResponse{Kind: req.Kind}
+	switch req.Kind {
+	case "ordered", "unordered":
+		q, err := parsePattern(req.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		if req.WithError {
+			var est sketchtree.Estimate
+			if req.Kind == "ordered" {
+				est, err = s.safe.CountOrderedWithError(q)
+			} else {
+				est, err = s.safe.CountUnorderedWithError(q)
+			}
+			if err != nil {
+				return nil, err
+			}
+			resp.withEstimate(est)
+			return resp, nil
+		}
+		var v float64
+		if req.Kind == "ordered" {
+			v, err = s.safe.CountOrdered(q)
+		} else {
+			v, err = s.safe.CountUnordered(q)
+		}
+		if err != nil {
+			return nil, err
+		}
+		resp.Estimate = v
+		return resp, nil
+	case "set":
+		if len(req.Patterns) == 0 {
+			return nil, errors.New(`kind "set" needs a non-empty "patterns" list`)
+		}
+		qs := make([]*sketchtree.Node, len(req.Patterns))
+		for i, p := range req.Patterns {
+			q, err := parsePattern(p)
+			if err != nil {
+				return nil, fmt.Errorf("patterns[%d]: %w", i, err)
+			}
+			qs[i] = q
+		}
+		if req.WithError {
+			est, err := s.safe.CountOrderedSetWithError(qs)
+			if err != nil {
+				return nil, err
+			}
+			resp.withEstimate(est)
+			return resp, nil
+		}
+		v, err := s.safe.CountOrderedSet(qs)
+		if err != nil {
+			return nil, err
+		}
+		resp.Estimate = v
+		return resp, nil
+	case "expression":
+		if req.WithError {
+			return nil, errors.New("expression queries have no error bar")
+		}
+		e, err := buildExpr(req.Expr)
+		if err != nil {
+			return nil, err
+		}
+		v, err := s.safe.EstimateExpression(e)
+		if err != nil {
+			return nil, err
+		}
+		resp.Estimate = v
+		return resp, nil
+	case "":
+		return nil, errors.New(`missing "kind" (ordered, unordered, set or expression)`)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (ordered, unordered, set or expression)", req.Kind)
+	}
+}
+
+func (r *queryResponse) withEstimate(est sketchtree.Estimate) {
+	r.Estimate = est.Value
+	se, ci := est.StdErr, est.CI95
+	r.StdErr, r.CI95 = &se, &ci
+	r.S1, r.S2 = est.S1, est.S2
+}
+
+// buildExpr converts the JSON expression tree into a query expression.
+func buildExpr(n *exprNode) (sketchtree.Expr, error) {
+	if n == nil {
+		return nil, errors.New(`kind "expression" needs an "expr" tree`)
+	}
+	switch n.Op {
+	case "count":
+		q, err := parsePattern(n.Pattern)
+		if err != nil {
+			return nil, err
+		}
+		return sketchtree.Count(q), nil
+	case "add", "sub", "mul":
+		l, err := buildExpr(n.L)
+		if err != nil {
+			return nil, fmt.Errorf("%s: l: %w", n.Op, err)
+		}
+		r, err := buildExpr(n.R)
+		if err != nil {
+			return nil, fmt.Errorf("%s: r: %w", n.Op, err)
+		}
+		switch n.Op {
+		case "add":
+			return sketchtree.Add(l, r), nil
+		case "sub":
+			return sketchtree.Sub(l, r), nil
+		default:
+			return sketchtree.Mul(l, r), nil
+		}
+	default:
+		return nil, fmt.Errorf("unknown expr op %q (count, add, sub or mul)", n.Op)
+	}
+}
+
+// parsePattern accepts a pattern as an S-expression ("(A (B) (C))") or
+// a plain label path ("A/B/C"). Extended path syntax ('//', '*') needs
+// the structural summary and is not served over HTTP.
+func parsePattern(s string) (*sketchtree.Node, error) {
+	if s == "" {
+		return nil, errors.New("empty pattern")
+	}
+	if s[0] == '(' {
+		return sketchtree.ParsePattern(s)
+	}
+	ext, err := sketchtree.ParsePath(s)
+	if err != nil {
+		return nil, err
+	}
+	return plainChain(ext)
+}
+
+// plainChain converts a non-extended path query into a plain pattern.
+func plainChain(q *sketchtree.ExtQuery) (*sketchtree.Node, error) {
+	if q.Desc || q.Label == sketchtree.Wildcard {
+		return nil, errors.New("extended path queries ('//', '*') are not served over HTTP; use a plain path or S-expression")
+	}
+	n := sketchtree.Pattern(q.Label)
+	for _, c := range q.Children {
+		cn, err := plainChain(c)
+		if err != nil {
+			return nil, err
+		}
+		n.Children = append(n.Children, cn)
+	}
+	return n, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// Headers are gone; nothing recoverable to do.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+}

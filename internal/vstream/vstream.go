@@ -69,6 +69,24 @@ func FromCounters(seeds *ams.Seeds, counters [][]int64) (*Streams, error) {
 	return s, nil
 }
 
+// Clone deep-copies the partition: counters and item diagnostics are
+// copied, the (immutable) seeds are shared. The receiver must be
+// quiescent or read-locked against updates while cloning.
+func (s *Streams) Clone() (*Streams, error) {
+	counters := make([][]int64, len(s.sketches))
+	for i, sk := range s.sketches {
+		counters[i] = sk.Counters()
+	}
+	c, err := FromCounters(s.seeds, counters)
+	if err != nil {
+		return nil, err
+	}
+	for i := range s.items {
+		c.items[i].Store(s.items[i].Load())
+	}
+	return c, nil
+}
+
 // P returns the number of virtual streams.
 func (s *Streams) P() int { return int(s.p) }
 

@@ -33,6 +33,15 @@ type Memory = core.Memory
 // value selects the default probability 1.0 instead).
 const TopKProbabilityNever = core.TopKProbabilityNever
 
+// DefaultPlanCacheSize is the query-plan cache capacity selected by a
+// zero Config.PlanCacheSize.
+const DefaultPlanCacheSize = core.DefaultPlanCacheSize
+
+// PlanCacheDisabled is the Config.PlanCacheSize sentinel that disables
+// query-plan caching (the field's zero value selects the default
+// capacity instead).
+const PlanCacheDisabled = core.PlanCacheDisabled
+
 // DefaultConfig mirrors the paper's common experimental setup: k = 4,
 // s1 = 25, s2 = 7 (δ = 0.1), 229 virtual streams, top-50 tracking,
 // four-wise ξ, degree-61 fingerprints.
@@ -277,6 +286,28 @@ func ParsePath(path string) (*ExtQuery, error) {
 // revoked documents; see examples/monitoring.
 func (s *SketchTree) RemoveTree(t *Tree) error { return s.e.RemoveTree(t) }
 
+// Snapshot deep-copies the synopsis into an independent frozen
+// SketchTree. The snapshot answers every estimator bit-identically to
+// the receiver at snapshot time, never changes, and — because the
+// query path is a pure read — may be queried from any number of
+// goroutines concurrently without locking. The receiver must not be
+// updated while Snapshot runs (Safe serializes this for you and keeps
+// an automatically refreshed snapshot; see Safe.EnableSnapshots).
+//
+// Immutable state (random seeds, the fingerprint modulus, the
+// query-plan cache) is shared; sketch counters, top-k trackers, the
+// structural summary and the exact baseline are copied. The
+// observability counters are shared too, so queries answered by the
+// snapshot still show up in the receiver's Stats. The exact-shadow
+// auditor is not carried over.
+func (s *SketchTree) Snapshot() (*SketchTree, error) {
+	e, err := s.e.Clone()
+	if err != nil {
+		return nil, err
+	}
+	return &SketchTree{e: e}, nil
+}
+
 // FrequentPattern is one tracked heavy hitter: the pattern's internal
 // one-dimensional value and its estimated frequency.
 type FrequentPattern = core.FrequentPattern
@@ -415,6 +446,10 @@ type TopKStats = obs.TopKHealth
 // AuditStats is the exact-shadow audit section of Stats: sample
 // occupancy plus the last audit report's relative-error quantiles.
 type AuditStats = obs.AuditSnapshot
+
+// PlanCacheStats is the query-plan cache section of Stats: capacity,
+// live entries, and hit/miss counters. Nil when the cache is disabled.
+type PlanCacheStats = obs.PlanCacheSnapshot
 
 // HealthReport is the full sketch-health diagnosis: HealthStats plus
 // per-partition L2 energy, the compensated self-join size, and

@@ -1,0 +1,387 @@
+package sketchtree
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// snapTree builds a small tree whose shape varies with i, so different
+// trees contribute different patterns.
+func snapTree(i int) *Tree {
+	labels := []string{"B", "C", "D"}
+	root := Pattern("A", Pattern(labels[i%3]))
+	if i%2 == 0 {
+		root.Children = append(root.Children, Pattern("C"))
+	}
+	return NewTree(root)
+}
+
+func snapQueries() []*Node {
+	return []*Node{
+		Pattern("A", Pattern("B")),
+		Pattern("A", Pattern("C")),
+		Pattern("A", Pattern("B"), Pattern("C")),
+		Pattern("A", Pattern("D"), Pattern("C")),
+	}
+}
+
+func TestSketchTreeSnapshotBitIdentical(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 5
+	st, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := st.AddTree(snapTree(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sn, err := st.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range snapQueries() {
+		want, err1 := st.CountOrdered(q)
+		got, err2 := sn.CountOrdered(q)
+		if err1 != nil || err2 != nil || want != got {
+			t.Errorf("ordered %v: snapshot %v != live %v (errs %v/%v)", q, got, want, err1, err2)
+		}
+		we, err1 := st.CountUnorderedWithError(q)
+		ge, err2 := sn.CountUnorderedWithError(q)
+		if err1 != nil || err2 != nil || we != ge {
+			t.Errorf("unordered %v: snapshot %+v != live %+v", q, ge, we)
+		}
+	}
+	// The snapshot is frozen: updating the live synopsis must not move
+	// its answers.
+	q := Pattern("A", Pattern("B"))
+	before, _ := sn.CountOrdered(q)
+	for i := 0; i < 20; i++ {
+		if err := st.AddTree(NewTree(Pattern("A", Pattern("B")))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	after, _ := sn.CountOrdered(q)
+	if before != after {
+		t.Fatalf("snapshot drifted after live updates: %v -> %v", before, after)
+	}
+}
+
+func TestSafeSnapshotServingIdentity(t *testing.T) {
+	cfg := testConfig()
+	s, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if err := s.AddTree(snapTree(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Reference answers from the locked path, before snapshots exist.
+	type ref struct {
+		ordered   float64
+		unordered Estimate
+	}
+	refs := make([]ref, 0, 4)
+	for _, q := range snapQueries() {
+		o, err := s.CountOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		u, err := s.CountUnorderedWithError(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		refs = append(refs, ref{o, u})
+	}
+	if _, _, ok := s.SnapshotStats(); ok {
+		t.Fatal("snapshot stats should be unavailable before EnableSnapshots")
+	}
+	if err := s.EnableSnapshots(SnapshotPolicy{EveryTrees: 10}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.DisableSnapshots()
+	if err := s.EnableSnapshots(SnapshotPolicy{}); err == nil {
+		t.Fatal("double EnableSnapshots should error")
+	}
+	trees, _, ok := s.SnapshotStats()
+	if !ok || trees != 30 {
+		t.Fatalf("SnapshotStats = %d, %v; want 30, true", trees, ok)
+	}
+	// The quiescent snapshot must answer bit-identically to the locked
+	// path.
+	for i, q := range snapQueries() {
+		o, err := s.CountOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if o != refs[i].ordered {
+			t.Errorf("ordered %v: snapshot path %v != locked path %v", q, o, refs[i].ordered)
+		}
+		u, err := s.CountUnorderedWithError(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if u != refs[i].unordered {
+			t.Errorf("unordered %v: snapshot path %+v != locked path %+v", q, u, refs[i].unordered)
+		}
+	}
+}
+
+// TestSafeSnapshotRefreshPolicy checks the EveryTrees staleness bound:
+// answers lag until the Nth update, then jump to the refreshed state.
+func TestSafeSnapshotRefreshPolicy(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree(Pattern("A", Pattern("B")))
+	q := Pattern("A", Pattern("B"))
+	if err := s.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableSnapshots(SnapshotPolicy{EveryTrees: 5}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.DisableSnapshots()
+	base, err := s.CountOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 updates: below the refresh threshold, the snapshot still serves
+	// the old answer.
+	for i := 0; i < 4; i++ {
+		if err := s.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got, _ := s.CountOrdered(q); got != base {
+		t.Fatalf("answer moved before the policy allowed: %v -> %v", base, got)
+	}
+	// The 5th update triggers the refresh.
+	if err := s.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := s.CountOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == base {
+		t.Fatalf("answer did not refresh after EveryTrees updates (still %v)", got)
+	}
+	trees, _, ok := s.SnapshotStats()
+	if !ok || trees != 6 {
+		t.Fatalf("SnapshotStats trees = %d, %v; want 6, true", trees, ok)
+	}
+	// RefreshSnapshot exposes new state immediately.
+	if err := s.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RefreshSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if trees, _, _ := s.SnapshotStats(); trees != 7 {
+		t.Fatalf("RefreshSnapshot did not advance provenance: %d trees", trees)
+	}
+	s.DisableSnapshots()
+	if _, _, ok := s.SnapshotStats(); ok {
+		t.Fatal("SnapshotStats should be unavailable after DisableSnapshots")
+	}
+	if err := s.RefreshSnapshot(); err == nil {
+		t.Fatal("RefreshSnapshot should error when snapshots are off")
+	}
+	// Reads fall back to the locked path (and still work).
+	if _, err := s.CountOrdered(q); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSafeSnapshotMaxAge checks the background refresher publishes
+// pending updates without further update traffic.
+func TestSafeSnapshotMaxAge(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := NewTree(Pattern("A", Pattern("B")))
+	if err := s.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	pol := SnapshotPolicy{EveryTrees: 1 << 30, MaxAge: 10 * time.Millisecond}
+	if err := s.EnableSnapshots(pol); err != nil {
+		t.Fatal(err)
+	}
+	defer s.DisableSnapshots()
+	// One update, far below EveryTrees; only the timer can publish it.
+	if err := s.AddTree(tr); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if trees, _, _ := s.SnapshotStats(); trees == 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			trees, _, _ := s.SnapshotStats()
+			t.Fatalf("MaxAge refresher never published the update (snapshot at %d trees)", trees)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestSafeSnapshotReadsNotBlockedByWriter holds the update lock and
+// checks a snapshot-path query still answers — the core non-blocking
+// guarantee of snapshot serving.
+func TestSafeSnapshotReadsNotBlockedByWriter(t *testing.T) {
+	s, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddTree(NewTree(Pattern("A", Pattern("B")))); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.EnableSnapshots(SnapshotPolicy{EveryTrees: 100}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.DisableSnapshots()
+	s.mu.Lock() // simulate an in-flight update holding the write lock
+	done := make(chan float64, 1)
+	go func() {
+		v, err := s.CountOrdered(Pattern("A", Pattern("B")))
+		if err != nil {
+			t.Error(err)
+		}
+		done <- v
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Error("snapshot-path query blocked behind the write lock")
+	}
+	s.mu.Unlock()
+}
+
+// TestSafeSnapshotStress mixes updates, deletions, merges, stats reads
+// and snapshot-path queries across goroutines; run with -race. After
+// quiescing and refreshing, the snapshot path must agree bit-for-bit
+// with the locked path.
+func TestSafeSnapshotStress(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 0 // Merge requires top-k tracking off
+	s, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := s.AddTree(snapTree(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.EnableSnapshots(SnapshotPolicy{EveryTrees: 7, MaxAge: 5 * time.Millisecond}); err != nil {
+		t.Fatal(err)
+	}
+	defer s.DisableSnapshots()
+
+	const (
+		writers = 2
+		readers = 4
+		rounds  = 200
+	)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		if failed.CompareAndSwap(false, true) {
+			t.Errorf(format, args...)
+		}
+	}
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w)))
+			for i := 0; i < rounds; i++ {
+				switch rng.Intn(10) {
+				case 0: // deletion of a tree shape that was added at setup
+					if err := s.RemoveTree(snapTree(rng.Intn(20))); err != nil {
+						fail("RemoveTree: %v", err)
+						return
+					}
+				case 1: // merge a small side synopsis
+					side, err := New(cfg)
+					if err != nil {
+						fail("New: %v", err)
+						return
+					}
+					if err := side.AddTree(snapTree(rng.Intn(100))); err != nil {
+						fail("side AddTree: %v", err)
+						return
+					}
+					if err := s.Merge(side); err != nil {
+						fail("Merge: %v", err)
+						return
+					}
+				default:
+					if err := s.AddTree(snapTree(rng.Intn(100))); err != nil {
+						fail("AddTree: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	queries := snapQueries()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < rounds; i++ {
+				q := queries[(r+i)%len(queries)]
+				if _, err := s.CountOrdered(q); err != nil {
+					fail("CountOrdered: %v", err)
+					return
+				}
+				if _, err := s.CountUnorderedWithError(q); err != nil {
+					fail("CountUnorderedWithError: %v", err)
+					return
+				}
+				if i%10 == 0 {
+					_ = s.Stats()
+					_, _, _ = s.SnapshotStats()
+					_ = s.EstimateSelfJoinSize(false)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if failed.Load() {
+		return
+	}
+
+	// Quiesce, force a refresh, and check the snapshot path is now
+	// bit-identical to the locked path.
+	if err := s.RefreshSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	sn := s.SnapshotTree()
+	if sn == nil {
+		t.Fatal("no snapshot after RefreshSnapshot")
+	}
+	for _, q := range queries {
+		want, err1 := sn.CountOrdered(q) // the path Safe reads serve from
+		s.mu.RLock()
+		got, err2 := s.st.CountOrdered(q) // the locked path, directly
+		s.mu.RUnlock()
+		if err1 != nil || err2 != nil || want != got {
+			t.Errorf("%v: snapshot %v != locked %v (errs %v/%v)", q, want, got, err1, err2)
+		}
+	}
+	if sn.TreesProcessed() != s.TreesProcessed() {
+		t.Errorf("snapshot trees %d != live %d after refresh",
+			sn.TreesProcessed(), s.TreesProcessed())
+	}
+}
