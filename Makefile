@@ -1,14 +1,14 @@
 # Verification entry points. `make verify` is the PR gate: formatting,
-# vet, the full test suite, the race detector over the concurrent code
-# (Safe, Ingestor), and a 1-iteration benchmark smoke so the bench
-# harness cannot rot.
+# vet, the project analyzers (sketchlint), the full test suite, the
+# race detector over the concurrent code (Safe, Ingestor), and a
+# 1-iteration benchmark smoke so the bench harness cannot rot.
 
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet test race bench bench-smoke fuzz-smoke
+.PHONY: verify fmt vet lint test race bench bench-smoke fuzz-smoke
 
-verify: fmt vet test race bench-smoke
+verify: fmt vet lint test race bench-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -16,8 +16,20 @@ fmt:
 		echo "gofmt -l found unformatted files:"; echo "$$out"; exit 1; \
 	fi
 
+# Standard vet, plus a restricted pass that widens unusedresult beyond
+# its default function list (pure constructors whose dropped result is
+# always a bug).
 vet:
 	$(GO) vet ./...
+	$(GO) vet -unreachable -unusedresult \
+		-unusedresult.funcs='errors.New,fmt.Errorf,fmt.Sprint,fmt.Sprintf,sort.Reverse' ./...
+
+# Project-specific invariants: Safe-wrapper parity, serialization
+# determinism, atomics discipline, lock discipline, fuzzer wiring.
+# `go run ./cmd/sketchlint -list` describes the analyzers; intentional
+# violations carry //lint:allow <analyzer> <reason> in source.
+lint:
+	$(GO) run ./cmd/sketchlint
 
 test:
 	$(GO) build ./...
@@ -54,3 +66,4 @@ fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParseXML$$' -fuzztime $(FUZZTIME) ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/prufer
 	$(GO) test -run '^$$' -fuzz '^FuzzReconstruct$$' -fuzztime $(FUZZTIME) ./internal/prufer
+	$(GO) test -run '^$$' -fuzz '^FuzzAnalyzers$$' -fuzztime $(FUZZTIME) ./internal/analysis

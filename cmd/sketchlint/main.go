@@ -1,0 +1,117 @@
+// Command sketchlint runs SketchTree's project-specific static
+// analyzers (internal/analysis/checks) over the module and reports
+// findings as file:line: analyzer: message lines, or as JSON with
+// -json for machine consumption. It exits 1 when there are findings,
+// 2 on usage or load errors, and 0 on a clean tree.
+//
+// Intentional violations are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it. Directives are
+// themselves checked: a missing reason, an unknown analyzer name, or
+// a directive that no longer suppresses anything is a finding.
+//
+// -annotate turns a previously captured -json report into GitHub
+// Actions ::error workflow commands, so CI shows findings inline on
+// the pull request diff.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"sketchtree/internal/analysis"
+	"sketchtree/internal/analysis/checks"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("sketchlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		dir      = fs.String("dir", ".", "module root to analyze")
+		jsonOut  = fs.Bool("json", false, "emit findings as a JSON array")
+		sel      = fs.String("checks", "", "comma-separated analyzer names (default: all)")
+		list     = fs.Bool("list", false, "list the analyzers and exit")
+		annotate = fs.String("annotate", "", "read a -json report from this file and emit GitHub ::error annotations")
+	)
+	fs.Usage = func() {
+		fmt.Fprintf(stderr, "usage: sketchlint [-dir root] [-checks a,b] [-json]\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range checks.All() {
+			fmt.Fprintf(stdout, "%-16s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *annotate != "" {
+		return annotateFromJSON(*annotate, stdout, stderr)
+	}
+	analyzers, ok := checks.ByName(*sel)
+	if !ok {
+		fmt.Fprintf(stderr, "sketchlint: unknown analyzer in -checks=%q (run -list)\n", *sel)
+		return 2
+	}
+	m, err := analysis.Load(*dir, nil)
+	if err != nil {
+		fmt.Fprintf(stderr, "sketchlint: %v\n", err)
+		return 2
+	}
+	diags := analysis.RunSelection(m, analyzers, checks.All())
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if diags == nil {
+			diags = []analysis.Diagnostic{}
+		}
+		if err := enc.Encode(diags); err != nil {
+			fmt.Fprintf(stderr, "sketchlint: %v\n", err)
+			return 2
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Fprintln(stdout, d.String())
+		}
+	}
+	if len(diags) > 0 {
+		if !*jsonOut {
+			fmt.Fprintf(stderr, "sketchlint: %d finding(s)\n", len(diags))
+		}
+		return 1
+	}
+	return 0
+}
+
+// annotateFromJSON replays a captured -json report as GitHub Actions
+// workflow commands (::error file=…,line=…::…), one per finding.
+func annotateFromJSON(path string, stdout, stderr io.Writer) int {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(stderr, "sketchlint: %v\n", err)
+		return 2
+	}
+	var diags []analysis.Diagnostic
+	if err := json.Unmarshal(data, &diags); err != nil {
+		fmt.Fprintf(stderr, "sketchlint: parse %s: %v\n", path, err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintf(stdout, "::error file=%s,line=%d,title=sketchlint/%s::%s\n",
+			d.File, d.Line, d.Analyzer, d.Message)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

@@ -87,6 +87,7 @@ func (s *Safe) AddXML(r io.Reader) error {
 // updates interleave with a long-running forest load; the forest is
 // not applied atomically.
 func (s *Safe) AddXMLForest(r io.Reader) error {
+	//lint:allow lockdiscipline Metrics() hands out the engine's atomic counter block, never mutable sketch state; each AddTree locks per tree
 	return streamForestTimed(s.st.e.Metrics(), r, s.AddTree)
 }
 
@@ -94,11 +95,14 @@ func (s *Safe) AddXMLForest(r io.Reader) error {
 // or off (see SketchTree.EnableMetrics).
 func (s *Safe) EnableMetrics(on bool) {
 	// The metrics flag is itself atomic; no lock needed.
+	//lint:allow lockdiscipline EnableMetrics only flips the obs layer's atomic flag; taking s.mu would stall behind long updates for nothing
 	s.st.EnableMetrics(on)
 }
 
 // Stats reads the observability snapshot. The counters are atomics, so
 // no lock is taken: Stats never blocks behind a long update.
+//
+//lint:allow lockdiscipline Stats reads only the obs layer's atomic counters; lock-freedom is the documented point of the method
 func (s *Safe) Stats() Stats { return s.st.Stats() }
 
 // Merge folds a plain SketchTree's synopsis into this one under the

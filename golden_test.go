@@ -22,9 +22,10 @@ import (
 var update = flag.Bool("update", false, "rewrite golden files under testdata/golden")
 
 // goldenCase is one pinned configuration. Configs here must be
-// byte-deterministic end to end: TrackExact is forbidden (the exact
-// counter serializes its hash map in iteration order), while TopK and
-// BuildSummary are fine (both snapshot in sorted/insertion order).
+// byte-deterministic end to end; TopK and BuildSummary snapshot in
+// sorted/insertion order, and since exact.Counter.ForEach iterates in
+// ascending value order TrackExact is byte-deterministic too (the
+// "exact" case pins that guarantee).
 type goldenCase struct {
 	name string
 	cfg  Config
@@ -44,9 +45,13 @@ func goldenCases() []goldenCase {
 	rich.BuildSummary = true
 	rich.SummaryMaxNodes = 64
 
+	exact := base
+	exact.TrackExact = true
+
 	return []goldenCase{
 		{name: "base", cfg: base},
 		{name: "topk_summary", cfg: rich},
+		{name: "exact", cfg: exact},
 	}
 }
 

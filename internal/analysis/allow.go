@@ -1,0 +1,126 @@
+package analysis
+
+import (
+	"fmt"
+	"strings"
+)
+
+// allowDirective is one parsed //lint:allow comment.
+type allowDirective struct {
+	File     string // module-root-relative path
+	Line     int    // line the comment sits on
+	Analyzer string // analyzer being suppressed
+	Reason   string // mandatory free-text justification
+	used     bool   // suppressed at least one finding this run
+}
+
+const allowPrefix = "//lint:allow"
+
+// collectAllows parses every //lint:allow directive in the module.
+// The syntax is
+//
+//	//lint:allow <analyzer> <reason…>
+//
+// and the directive suppresses <analyzer>'s findings on its own line
+// and on the line directly below (so it can sit as a trailing comment
+// or as the last line of a doc comment).
+func collectAllows(m *Module) []*allowDirective {
+	var out []*allowDirective
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					if !strings.HasPrefix(c.Text, allowPrefix) {
+						continue
+					}
+					rest := strings.TrimPrefix(c.Text, allowPrefix)
+					fields := strings.Fields(rest)
+					d := &allowDirective{
+						File: f.RelPath,
+						Line: m.Fset.Position(c.Pos()).Line,
+					}
+					if len(fields) > 0 {
+						d.Analyzer = fields[0]
+					}
+					if len(fields) > 1 {
+						d.Reason = strings.Join(fields[1:], " ")
+					}
+					out = append(out, d)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Suppress drops findings covered by a well-formed //lint:allow
+// directive for the finding's analyzer on the same line or the line
+// directly above, and marks those directives used.
+func Suppress(ds []Diagnostic, dirs []*allowDirective) []Diagnostic {
+	type key struct {
+		file     string
+		line     int
+		analyzer string
+	}
+	index := map[key]*allowDirective{}
+	for _, d := range dirs {
+		if d.Analyzer == "" || d.Reason == "" {
+			continue // malformed; CheckAllows reports it
+		}
+		index[key{d.File, d.Line, d.Analyzer}] = d
+	}
+	var out []Diagnostic
+	for _, diag := range ds {
+		if d, ok := index[key{diag.File, diag.Line, diag.Analyzer}]; ok {
+			d.used = true
+			continue
+		}
+		if d, ok := index[key{diag.File, diag.Line - 1, diag.Analyzer}]; ok {
+			d.used = true
+			continue
+		}
+		out = append(out, diag)
+	}
+	return out
+}
+
+// allowAnalyzerName tags the framework's own findings about directive
+// hygiene: malformed, unknown-analyzer, or stale //lint:allow comments
+// are findings too, so suppressions cannot silently rot.
+const allowAnalyzerName = "lintallow"
+
+// CheckAllows validates the directives themselves: a directive must
+// name an analyzer in known, carry a reason, and — when its analyzer
+// actually ran — have suppressed something. Staleness is only
+// checkable for analyzers in run; a directive for a known analyzer
+// that was not selected this invocation is left alone.
+func CheckAllows(dirs []*allowDirective, run, known []*Analyzer) []Diagnostic {
+	ranSet := map[string]bool{}
+	for _, a := range run {
+		ranSet[a.Name] = true
+	}
+	knownSet := map[string]bool{}
+	for _, a := range known {
+		knownSet[a.Name] = true
+	}
+	var out []Diagnostic
+	report := func(d *allowDirective, format string, args ...any) {
+		out = append(out, Diagnostic{
+			File: d.File, Line: d.Line, Analyzer: allowAnalyzerName,
+			Message: fmt.Sprintf(format, args...),
+		})
+	}
+	for _, d := range dirs {
+		switch {
+		case d.Analyzer == "":
+			report(d, "malformed directive: want %s <analyzer> <reason>", allowPrefix)
+		case d.Reason == "":
+			report(d, "directive for %q is missing a reason", d.Analyzer)
+		case !knownSet[d.Analyzer]:
+			report(d, "directive names unknown analyzer %q", d.Analyzer)
+		case ranSet[d.Analyzer] && !d.used:
+			report(d, "stale directive: %q reports nothing here anymore", d.Analyzer)
+		}
+	}
+	return out
+}

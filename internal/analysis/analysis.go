@@ -1,0 +1,139 @@
+// Package analysis is SketchTree's stdlib-only static-analysis
+// framework — the skeleton of golang.org/x/tools/go/analysis, rebuilt
+// on go/parser and go/ast alone so it needs no module dependencies
+// (the build environment cannot fetch x/tools).
+//
+// An Analyzer bundles a name, a one-line contract, and a Run function
+// that walks a loaded Module and emits position-tagged Diagnostics.
+// Analyzers see the whole module at once (every package, plus the
+// Makefile), because the invariants they enforce are cross-file:
+// wrapper parity between types in different files, Makefile targets
+// versus test functions, and so on. The project's analyzers live in
+// the checks subpackage; cmd/sketchlint is the command-line driver.
+//
+// Findings are purely syntactic: there is no type checker behind
+// them. Each analyzer documents the heuristics it uses to approximate
+// type information and errs toward silence when it cannot resolve an
+// expression. Intentional violations are suppressed in source with
+//
+//	//lint:allow <analyzer> <reason>
+//
+// on the flagged line or the line directly above it — see Suppress.
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+)
+
+// Diagnostic is one finding: a module-root-relative position, the
+// analyzer that produced it, and the message. The JSON field names are
+// the machine-output contract of cmd/sketchlint -json.
+type Diagnostic struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col,omitempty"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+// String renders the human-readable file:line: analyzer: message form.
+func (d Diagnostic) String() string {
+	if d.Col > 0 {
+		return fmt.Sprintf("%s:%d:%d: %s: %s", d.File, d.Line, d.Col, d.Analyzer, d.Message)
+	}
+	return fmt.Sprintf("%s:%d: %s: %s", d.File, d.Line, d.Analyzer, d.Message)
+}
+
+// Analyzer is one static check over a Module.
+type Analyzer struct {
+	// Name identifies the analyzer in output and in //lint:allow
+	// directives. Lowercase, no spaces.
+	Name string
+	// Doc is the one-line statement of the invariant enforced.
+	Doc string
+	// Run inspects pass.Module and reports findings through pass.
+	Run func(pass *Pass)
+}
+
+// Pass carries one analyzer's execution over one module and collects
+// its diagnostics.
+type Pass struct {
+	Analyzer *Analyzer
+	Module   *Module
+
+	diags []Diagnostic
+}
+
+// Reportf records a finding at a token position from the module's
+// FileSet.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Module.Fset.Position(pos)
+	p.ReportAtf(p.Module.rel(position.Filename), position.Line, position.Column, format, args...)
+}
+
+// ReportAtf records a finding at an explicit file and line — used for
+// positions outside the FileSet, such as Makefile lines. col may be 0.
+func (p *Pass) ReportAtf(file string, line, col int, format string, args ...any) {
+	p.diags = append(p.diags, Diagnostic{
+		File:     file,
+		Line:     line,
+		Col:      col,
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Run executes the analyzers over the module, applies //lint:allow
+// suppression, validates the directives themselves (see CheckAllows),
+// and returns the surviving findings sorted by file, line, analyzer.
+// The run set doubles as the known-analyzer registry; a driver running
+// a subset must use RunSelection so directives for analyzers that
+// exist but were not selected are neither "unknown" nor "stale".
+func Run(m *Module, analyzers []*Analyzer) []Diagnostic {
+	return RunSelection(m, analyzers, analyzers)
+}
+
+// RunSelection is Run with an explicit registry: run is executed,
+// known is the full set of analyzers that exist for directive
+// validation.
+func RunSelection(m *Module, run, known []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range run {
+		pass := &Pass{Analyzer: a, Module: m}
+		a.Run(pass)
+		out = append(out, pass.diags...)
+	}
+	dirs := collectAllows(m)
+	out = Suppress(out, dirs)
+	out = append(out, CheckAllows(dirs, run, known)...)
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Analyzer != b.Analyzer {
+			return a.Analyzer < b.Analyzer
+		}
+		return a.Message < b.Message
+	})
+	return dedupe(out)
+}
+
+// dedupe drops identical consecutive findings (e.g. two selector hits
+// on one source line produce one actionable message). The input must
+// be sorted.
+func dedupe(ds []Diagnostic) []Diagnostic {
+	out := ds[:0]
+	for i, d := range ds {
+		if i > 0 && d == ds[i-1] {
+			continue
+		}
+		out = append(out, d)
+	}
+	return out
+}

@@ -1,0 +1,130 @@
+// Package analysistest is the fixture harness for SketchTree's
+// analyzers — the stdlib equivalent of x/tools' package of the same
+// name. A fixture is a small source tree under testdata/src/<name>
+// annotated with want comments:
+//
+//	for k := range m { // want "ranges over map"
+//
+// Each want comment holds one or more quoted regular expressions; each
+// regexp must match a distinct finding reported on that line, matched
+// against the "analyzer: message" form, and every finding must be
+// claimed by a want. Makefile fixtures use the same syntax behind a
+// '#' comment (the fuzz-smoke parser strips trailing comments the way
+// the shell would).
+package analysistest
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"sketchtree/internal/analysis"
+)
+
+// wantRE pulls the quoted expectations out of a want comment.
+var wantRE = regexp.MustCompile(`(?://|#|/\*)\s*want\s+((?:"(?:[^"\\]|\\.)*"\s*)+)`)
+
+var wantArgRE = regexp.MustCompile(`"((?:[^"\\]|\\.)*)"`)
+
+// expectation is one want regexp at one position, not yet matched.
+type expectation struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	met  bool
+}
+
+// Run loads the fixture module rooted at dir, runs the analyzers over
+// it (including //lint:allow processing, exactly like cmd/sketchlint),
+// and compares the findings against the fixture's want comments.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	m, err := analysis.Load(dir, nil)
+	if err != nil {
+		t.Fatalf("load fixture %s: %v", dir, err)
+	}
+	wants := collectWants(t, m)
+	diags := analysis.Run(m, analyzers)
+
+	for _, d := range diags {
+		text := fmt.Sprintf("%s: %s", d.Analyzer, d.Message)
+		if !claim(wants, d.File, d.Line, text) {
+			t.Errorf("unexpected finding at %s:%d: %s", d.File, d.Line, text)
+		}
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.raw)
+		}
+	}
+}
+
+// claim marks the first unmet expectation at (file, line) whose regexp
+// matches text; false when none does.
+func claim(wants []*expectation, file string, line int, text string) bool {
+	for _, w := range wants {
+		if w.met || w.file != file || w.line != line {
+			continue
+		}
+		if w.re.MatchString(text) {
+			w.met = true
+			return true
+		}
+	}
+	return false
+}
+
+// collectWants gathers the expectations of every fixture file: Go
+// comments via the parsed ASTs, Makefile comments by line scan.
+func collectWants(t *testing.T, m *analysis.Module) []*expectation {
+	t.Helper()
+	var out []*expectation
+	add := func(file string, line int, text string) {
+		groups := wantRE.FindAllStringSubmatch(text, -1)
+		for _, g := range groups {
+			for _, arg := range wantArgRE.FindAllStringSubmatch(g[1], -1) {
+				pattern := strings.ReplaceAll(arg[1], `\"`, `"`)
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", file, line, pattern, err)
+				}
+				out = append(out, &expectation{file: file, line: line, re: re, raw: pattern})
+			}
+		}
+	}
+	for _, p := range m.Packages {
+		for _, f := range p.Files {
+			for _, cg := range f.AST.Comments {
+				for _, c := range cg.List {
+					if !strings.Contains(c.Text, "want") {
+						continue
+					}
+					add(f.RelPath, m.Fset.Position(c.Pos()).Line, c.Text)
+				}
+			}
+		}
+	}
+	if m.Makefile != "" {
+		for i, line := range strings.Split(m.Makefile, "\n") {
+			if strings.Contains(line, "#") && strings.Contains(line, "want") {
+				add("Makefile", i+1, line)
+			}
+		}
+	}
+	return out
+}
+
+// Fixture returns testdata/src/<name> relative to the caller's package
+// directory, failing the test when it does not exist.
+func Fixture(t *testing.T, name string) string {
+	t.Helper()
+	dir := filepath.Join("testdata", "src", name)
+	if _, err := os.Stat(dir); err != nil {
+		t.Fatalf("fixture %s: %v", name, err)
+	}
+	return dir
+}

@@ -1,0 +1,306 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// AtomicSafety enforces the obs/vstream/topk counter contract: a
+// struct holding sync/atomic values or sync locks is written by one
+// goroutine and snapshotted by others, which is only race-free while
+// (a) the struct is never copied by value and (b) any field that is
+// touched through the atomic API is touched exclusively through it.
+// Per package it flags
+//
+//   - value receivers, parameters, results, assignments, call
+//     arguments and by-value range loops involving a package-local
+//     struct type that (transitively) contains atomic.* or sync lock
+//     fields;
+//   - reads or writes of a plain field that some other site in the
+//     package updates via atomic.AddInt64/LoadUint32/… on its address.
+//
+// Resolution is syntactic and package-local (see util.go); what it
+// cannot resolve it does not flag.
+var AtomicSafety = &analysis.Analyzer{
+	Name: "atomicsafety",
+	Doc:  "atomic/lock-bearing structs are never copied and atomically-updated fields are never accessed directly",
+	Run:  runAtomicSafety,
+}
+
+// syncLockNames are the sync types vet's copylocks would also refuse
+// to copy; we re-derive the set because the framework has no type
+// information and must catch copies hidden behind local struct types.
+var syncLockNames = map[string]bool{
+	"Mutex": true, "RWMutex": true, "WaitGroup": true,
+	"Once": true, "Cond": true, "Map": true, "Pool": true,
+}
+
+func runAtomicSafety(pass *analysis.Pass) {
+	for _, p := range pass.Module.Packages {
+		nocopy := nocopyTypes(p)
+		atomicFieldIdx := atomicFieldIndex(p)
+		for _, fd := range funcDecls(p) {
+			checkNoCopyFunc(pass, fd.File, fd.Decl, nocopy, atomicFieldIdx)
+		}
+		checkMixedAtomicAccess(pass, p)
+	}
+}
+
+// sensitiveInFile reports whether type expression t directly mentions
+// a sync/atomic type, a sync lock type, or (via local) a package-local
+// type already known to be sensitive.
+func sensitiveInFile(t ast.Expr, atomicPkg, syncPkg string, local map[string]bool) bool {
+	switch x := t.(type) {
+	case *ast.SelectorExpr:
+		if isPkgSel(x, atomicPkg, "") {
+			return true
+		}
+		return isPkgSel(x, syncPkg, "") && syncLockNames[x.Sel.Name]
+	case *ast.IndexExpr: // atomic.Pointer[T]
+		return sensitiveInFile(x.X, atomicPkg, syncPkg, local)
+	case *ast.ArrayType:
+		return sensitiveInFile(x.Elt, atomicPkg, syncPkg, local)
+	case *ast.Ident:
+		return local[x.Name]
+	case *ast.StructType:
+		for _, f := range x.Fields.List {
+			if sensitiveInFile(f.Type, atomicPkg, syncPkg, local) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// nocopyTypes computes, to a fixpoint, the package-local named struct
+// types that transitively contain atomic or lock fields and therefore
+// must never be copied.
+func nocopyTypes(p *analysis.Package) map[string]bool {
+	out := map[string]bool{}
+	for changed := true; changed; {
+		changed = false
+		for _, f := range p.Files {
+			atomicPkg := importName(f.AST, "sync/atomic")
+			syncPkg := importName(f.AST, "sync")
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				ts, ok := n.(*ast.TypeSpec)
+				if !ok || out[ts.Name.Name] {
+					return true
+				}
+				if sensitiveInFile(ts.Type, atomicPkg, syncPkg, out) {
+					out[ts.Name.Name] = true
+					changed = true
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// atomicFieldIndex records, per field name, whether every struct field
+// of that name in the package has a sync/atomic type — used to flag
+// copies of individual atomic values (v := c.count instead of
+// c.count.Load()).
+func atomicFieldIndex(p *analysis.Package) map[string]typeClass {
+	idx := map[string]typeClass{}
+	record := func(name string, c typeClass) {
+		prev, seen := idx[name]
+		if !seen {
+			idx[name] = c
+		} else if prev != c {
+			idx[name] = classUnknown
+		}
+	}
+	for _, f := range p.Files {
+		atomicPkg := importName(f.AST, "sync/atomic")
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				c := classOther
+				isAtomic := false
+				switch t := field.Type.(type) {
+				case *ast.SelectorExpr:
+					isAtomic = isPkgSel(t, atomicPkg, "")
+				case *ast.IndexExpr:
+					isAtomic = isPkgSel(t.X, atomicPkg, "")
+				}
+				if isAtomic {
+					c = classMap // reusing the tri-state; classMap means "is atomic" here
+				}
+				for _, name := range field.Names {
+					record(name.Name, c)
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// valueOfNoCopy resolves whether expression e denotes a by-value use
+// of a nocopy struct: a local/parameter declared with that type, a
+// dereference of a pointer to one, or a field the package consistently
+// declares... only idents and derefs are resolved; selectors of
+// struct-typed fields are left alone (field copies are caught by the
+// atomic-field index instead).
+func valueOfNoCopy(e ast.Expr, locals *localTypes, nocopy map[string]bool) (string, bool) {
+	switch x := e.(type) {
+	case *ast.Ident:
+		if t, ok := locals.named[x.Name]; ok && nocopy[t] {
+			return t, true
+		}
+	case *ast.StarExpr:
+		if id, ok := x.X.(*ast.Ident); ok {
+			if t, ok := locals.ptr[id.Name]; ok && nocopy[t] {
+				return t, true
+			}
+		}
+	}
+	return "", false
+}
+
+func checkNoCopyFunc(pass *analysis.Pass, file *analysis.File, fd *ast.FuncDecl,
+	nocopy map[string]bool, atomicFields map[string]typeClass) {
+	if len(nocopy) == 0 && len(atomicFields) == 0 {
+		return
+	}
+	// Value receivers and by-value parameters/results.
+	checkFieldList := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, f := range fl.List {
+			if id, ok := f.Type.(*ast.Ident); ok && nocopy[id.Name] {
+				pass.Reportf(f.Type.Pos(),
+					"%s passes %s by value; it contains atomic/lock fields and must be used by pointer",
+					kind, id.Name)
+			}
+		}
+	}
+	checkFieldList(fd.Recv, "receiver")
+	checkFieldList(fd.Type.Params, "parameter")
+	checkFieldList(fd.Type.Results, "result")
+	if fd.Body == nil {
+		return
+	}
+	locals := inferLocals(fd, nil)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for _, rhs := range x.Rhs {
+				if t, ok := valueOfNoCopy(rhs, locals, nocopy); ok {
+					pass.Reportf(rhs.Pos(),
+						"assignment copies %s by value; it contains atomic/lock fields and must be used by pointer", t)
+				}
+				// v := c.count where count is an atomic field: the copy
+				// detaches the value from the shared counter.
+				if sel, ok := rhs.(*ast.SelectorExpr); ok && atomicFields[sel.Sel.Name] == classMap {
+					pass.Reportf(rhs.Pos(),
+						"copies atomic field %s by value; read it with .Load() instead", sel.Sel.Name)
+				}
+			}
+		case *ast.CallExpr:
+			for _, arg := range x.Args {
+				if t, ok := valueOfNoCopy(arg, locals, nocopy); ok {
+					pass.Reportf(arg.Pos(),
+						"call passes %s by value; it contains atomic/lock fields and must be passed by pointer", t)
+				}
+			}
+		case *ast.RangeStmt:
+			if x.Value == nil {
+				return true
+			}
+			if id, ok := x.Value.(*ast.Ident); ok && id.Name == "_" {
+				return true
+			}
+			var elem string
+			switch rx := x.X.(type) {
+			case *ast.Ident:
+				elem = locals.sliceOf[rx.Name]
+			}
+			if nocopy[elem] {
+				pass.Reportf(x.Value.Pos(),
+					"range copies %s elements by value; they contain atomic/lock fields — iterate by index", elem)
+			}
+		}
+		return true
+	})
+}
+
+// atomicAddrFuncs is the sync/atomic address-based API; any call
+// atomic.F(&x.f, …) marks field f as atomically accessed.
+var atomicAddrFuncs = map[string]bool{}
+
+func init() {
+	for _, op := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		for _, t := range []string{"Int32", "Int64", "Uint32", "Uint64", "Uintptr", "Pointer"} {
+			atomicAddrFuncs[op+t] = true
+		}
+	}
+}
+
+// checkMixedAtomicAccess flags fields that are updated through the
+// address-based atomic API at one site and read or written directly at
+// another — the pattern that silently loses the atomicity guarantee.
+func checkMixedAtomicAccess(pass *analysis.Pass, p *analysis.Package) {
+	atomicFields := map[string]bool{}           // field name -> accessed atomically somewhere
+	atomicSites := map[*ast.SelectorExpr]bool{} // the &x.f selectors inside atomic calls
+
+	for _, f := range p.Files {
+		atomicPkg := importName(f.AST, "sync/atomic")
+		if atomicPkg == "" {
+			continue
+		}
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !isPkgSel(sel, atomicPkg, "") || !atomicAddrFuncs[sel.Sel.Name] {
+				return true
+			}
+			if len(call.Args) == 0 {
+				return true
+			}
+			if un, ok := call.Args[0].(*ast.UnaryExpr); ok && un.Op == token.AND {
+				if fsel, ok := un.X.(*ast.SelectorExpr); ok {
+					atomicFields[fsel.Sel.Name] = true
+					atomicSites[fsel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+	var names []string
+	for n := range atomicFields {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || atomicSites[sel] || !atomicFields[sel.Sel.Name] {
+				return true
+			}
+			// Field names can collide across structs; keep the message
+			// explicit about the heuristic so a false positive is easy
+			// to silence with //lint:allow.
+			pass.Reportf(sel.Pos(),
+				"field %s is accessed with sync/atomic elsewhere in this package (%s); direct access races with it",
+				sel.Sel.Name, strings.Join(names, ", "))
+			return true
+		})
+	}
+}

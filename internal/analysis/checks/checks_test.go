@@ -1,0 +1,46 @@
+package checks_test
+
+import (
+	"testing"
+
+	"sketchtree/internal/analysis/analysistest"
+	"sketchtree/internal/analysis/checks"
+)
+
+func TestSafeParity(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "safeparity"), checks.SafeParity)
+}
+
+func TestDeterminism(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "determinism"), checks.Determinism)
+}
+
+func TestAtomicSafety(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "atomicsafety"), checks.AtomicSafety)
+}
+
+func TestLockDiscipline(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "lockdiscipline"), checks.LockDiscipline)
+}
+
+func TestFuzzWired(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "fuzzwired"), checks.FuzzWired)
+}
+
+// TestLintAllow checks the framework's directive hygiene findings via
+// a fixture of malformed, unknown and stale //lint:allow comments.
+func TestLintAllow(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "lintallow"), checks.Determinism)
+}
+
+func TestByName(t *testing.T) {
+	if _, ok := checks.ByName("determinism,safeparity"); !ok {
+		t.Error("known analyzer names rejected")
+	}
+	if _, ok := checks.ByName("nope"); ok {
+		t.Error("unknown analyzer name accepted")
+	}
+	if all, ok := checks.ByName(""); !ok || len(all) != len(checks.All()) {
+		t.Error("empty selection must mean all analyzers")
+	}
+}

@@ -1,0 +1,184 @@
+package checks
+
+import (
+	"go/ast"
+	"go/token"
+	"path"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// Determinism enforces the byte-determinism contract of the synopsis:
+// golden files, bit-identical parallel merges, and the Eq. 2 / Eq. 7
+// estimators all assume that serialization, merge and summary code
+// paths produce identical output for identical state. In those paths
+// the analyzer flags
+//
+//   - ranging over a map, unless the loop only collects keys into a
+//     slice that is subsequently sorted (the canonical idiom);
+//   - any use of time.Now;
+//   - any use of math/rand or math/rand/v2 (randomized state must be
+//     derived from Config.Seed so restored engines continue the same
+//     synopsis).
+//
+// Scope is syntactic (see inDeterminismScope): files whose name
+// contains "persist" or "merge", the summary and exact packages, and
+// any function whose name contains a serialization-ish keyword.
+// Intentional uses (e.g. re-seeding the top-k sampling RNG on
+// Restore) are suppressed with //lint:allow determinism <reason>.
+var Determinism = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "no unsorted map iteration, time.Now or math/rand in serialization/merge/summary paths",
+	Run:  runDeterminism,
+}
+
+// determinismKeywords puts a function in scope by name, wherever it
+// lives: these are the names serialization and merge logic hides
+// under.
+var determinismKeywords = []string{
+	"Marshal", "Unmarshal", "Encode", "Decode", "Restore",
+	"Merge", "Snapshot", "Save", "Clone", "Golden", "ForEach",
+}
+
+// inDeterminismScope decides whether a function participates in a
+// serialization/merge/summary code path.
+func inDeterminismScope(relDir, relPath, funcName string) bool {
+	base := path.Base(relPath)
+	if strings.Contains(base, "persist") || strings.Contains(base, "merge") {
+		return true
+	}
+	if relDir == "internal/summary" || relDir == "internal/exact" ||
+		strings.HasSuffix(relDir, "/summary") || strings.HasSuffix(relDir, "/exact") {
+		return true
+	}
+	for _, kw := range determinismKeywords {
+		if strings.Contains(funcName, kw) {
+			return true
+		}
+	}
+	return false
+}
+
+func runDeterminism(pass *analysis.Pass) {
+	for _, p := range pass.Module.Packages {
+		namedMap := namedMapTypes(p)
+		fields := buildFieldIndex(p, namedMap)
+		for _, fd := range funcDecls(p) {
+			if fd.File.Test || fd.Decl.Body == nil {
+				continue
+			}
+			if !inDeterminismScope(p.RelDir, fd.File.RelPath, fd.Decl.Name.Name) {
+				continue
+			}
+			checkDeterminismFunc(pass, fd.File, fd.Decl, namedMap, fields)
+		}
+	}
+}
+
+func checkDeterminismFunc(pass *analysis.Pass, file *analysis.File, fd *ast.FuncDecl,
+	namedMap map[string]bool, fields fieldIndex) {
+	timePkg := importName(file.AST, "time")
+	randPkg := importName(file.AST, "math/rand")
+	randV2Pkg := importName(file.AST, "math/rand/v2")
+	locals := inferLocals(fd, namedMap)
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SelectorExpr:
+			if isPkgSel(x, timePkg, "Now") {
+				pass.Reportf(x.Pos(),
+					"calls time.Now in a serialization/merge/summary path; output must not depend on the clock")
+			}
+			if isPkgSel(x, randPkg, "") || isPkgSel(x, randV2Pkg, "") {
+				pass.Reportf(x.Pos(),
+					"uses math/rand (%s.%s) in a serialization/merge/summary path; randomized state must derive from Config.Seed",
+					x.X.(*ast.Ident).Name, x.Sel.Name)
+			}
+		case *ast.RangeStmt:
+			if !isMapExprSyntactic(x.X, locals, fields) {
+				return true
+			}
+			if sortedCollectIdiom(fd, x) {
+				return true
+			}
+			pass.Reportf(x.Pos(),
+				"ranges over map %s in nondeterministic order; collect the keys into a slice and sort first",
+				exprString(pass.Module.Fset, x.X))
+		}
+		return true
+	})
+}
+
+// isMapExprSyntactic reports whether e is map-typed as far as the
+// package-local inference can tell. Unresolvable expressions are never
+// maps.
+func isMapExprSyntactic(e ast.Expr, locals *localTypes, fields fieldIndex) bool {
+	switch x := e.(type) {
+	case *ast.Ident:
+		return locals.maps[x.Name]
+	case *ast.SelectorExpr:
+		return fields[x.Sel.Name] == classMap
+	}
+	return false
+}
+
+// sortedCollectIdiom recognizes the canonical deterministic pattern:
+// the map-range body does nothing but append (typically the keys) to
+// slices, and at least one of those slices is later passed to a
+// sort.* or slices.* call in the same function. The iteration order
+// then cannot influence the output.
+func sortedCollectIdiom(fd *ast.FuncDecl, rs *ast.RangeStmt) bool {
+	var targets []string
+	for _, stmt := range rs.Body.List {
+		as, ok := stmt.(*ast.AssignStmt)
+		if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+			return false
+		}
+		lhs, ok := as.Lhs[0].(*ast.Ident)
+		if !ok {
+			return false
+		}
+		call, ok := as.Rhs[0].(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		fun, ok := call.Fun.(*ast.Ident)
+		if !ok || fun.Name != "append" {
+			return false
+		}
+		targets = append(targets, lhs.Name)
+	}
+	if len(targets) == 0 {
+		return false
+	}
+	sorted := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkg, ok := sel.X.(*ast.Ident)
+		if !ok || (pkg.Name != "sort" && pkg.Name != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					for _, t := range targets {
+						if id.Name == t {
+							sorted = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}

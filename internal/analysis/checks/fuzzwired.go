@@ -1,0 +1,134 @@
+package checks
+
+import (
+	"go/ast"
+	"regexp"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// FuzzWired enforces the fuzzing CI contract: every Fuzz* function in
+// the module must be exercised by the Makefile's fuzz-smoke target
+// (which CI runs), and the target must not reference fuzzers that no
+// longer exist. The fuzz-smoke list is hand-maintained; without this
+// check a new fuzzer silently rots out of CI — go test only runs one
+// -fuzz target per invocation, so nothing else ever notices.
+var FuzzWired = &analysis.Analyzer{
+	Name: "fuzzwired",
+	Doc:  "every Fuzz* function is wired into the Makefile fuzz-smoke target, and no stale entries remain",
+	Run:  runFuzzWired,
+}
+
+// fuzzEntry is one `go test -fuzz` invocation parsed out of the
+// fuzz-smoke recipe.
+type fuzzEntry struct {
+	name string // fuzzer name, ^$ anchors stripped
+	pkg  string // package argument ("." or "./internal/…")
+	line int    // 1-based Makefile line
+}
+
+var (
+	fuzzFlagRE = regexp.MustCompile(`-fuzz\s+'([^']+)'`)
+	fuzzNameRE = regexp.MustCompile(`Fuzz\w+`)
+)
+
+func runFuzzWired(pass *analysis.Pass) {
+	// Every Fuzz* test function in the module, keyed by name.
+	type fuzzFunc struct {
+		pkg  string
+		decl *ast.FuncDecl
+	}
+	funcs := map[string]fuzzFunc{}
+	for _, p := range pass.Module.Packages {
+		pkgArg := "."
+		if p.RelDir != "." {
+			pkgArg = "./" + p.RelDir
+		}
+		for _, fd := range funcDecls(p) {
+			if !fd.File.Test || !strings.HasPrefix(fd.Decl.Name.Name, "Fuzz") {
+				continue
+			}
+			funcs[fd.Decl.Name.Name] = fuzzFunc{pkg: pkgArg, decl: fd.Decl}
+		}
+	}
+
+	entries, targetLine := parseFuzzSmoke(pass.Module.Makefile)
+	if targetLine == 0 {
+		if len(funcs) > 0 {
+			pass.ReportAtf("Makefile", 1, 0,
+				"no fuzz-smoke target found, but the module defines %d Fuzz* functions", len(funcs))
+		}
+		return
+	}
+
+	wired := map[string]fuzzEntry{}
+	for _, e := range entries {
+		wired[e.name] = e
+		f, ok := funcs[e.name]
+		switch {
+		case !ok:
+			pass.ReportAtf("Makefile", e.line, 0,
+				"fuzz-smoke runs %s in %s, but no such fuzz function exists (stale entry)", e.name, e.pkg)
+		case f.pkg != e.pkg:
+			pass.ReportAtf("Makefile", e.line, 0,
+				"fuzz-smoke runs %s in %s, but it lives in %s", e.name, e.pkg, f.pkg)
+		}
+	}
+	for name, f := range funcs {
+		if _, ok := wired[name]; !ok {
+			pass.Reportf(f.decl.Pos(),
+				"%s (package %s) is not run by the Makefile fuzz-smoke target; add it so CI exercises the fuzzer", name, f.pkg)
+		}
+	}
+}
+
+// parseFuzzSmoke extracts the `go test -fuzz` entries of the
+// fuzz-smoke recipe. Returns the entries and the 1-based line of the
+// target (0 when the Makefile has no fuzz-smoke target).
+func parseFuzzSmoke(makefile string) ([]fuzzEntry, int) {
+	if makefile == "" {
+		return nil, 0
+	}
+	lines := strings.Split(makefile, "\n")
+	var entries []fuzzEntry
+	targetLine := 0
+	inRecipe := false
+	for i, line := range lines {
+		if strings.HasPrefix(line, "fuzz-smoke:") {
+			targetLine = i + 1
+			inRecipe = true
+			continue
+		}
+		if !inRecipe {
+			continue
+		}
+		if !strings.HasPrefix(line, "\t") {
+			if strings.TrimSpace(line) == "" {
+				continue // blank lines may separate recipe chunks
+			}
+			inRecipe = false
+			continue
+		}
+		// The shell treats an unquoted # as a comment in recipe lines;
+		// parse what actually runs.
+		if i := strings.Index(line, " #"); i >= 0 {
+			line = line[:i]
+		}
+		m := fuzzFlagRE.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := fuzzNameRE.FindString(m[1])
+		if name == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		pkg := "."
+		if last := fields[len(fields)-1]; strings.HasPrefix(last, ".") {
+			pkg = last
+		}
+		entries = append(entries, fuzzEntry{name: name, pkg: pkg, line: i + 1})
+	}
+	return entries, targetLine
+}

@@ -1,0 +1,134 @@
+package checks
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// SafeParity enforces the concurrent-API completeness invariant: every
+// exported method of SketchTree must surface through the Safe wrapper
+// with the same signature. PR 1 closed eight such gaps by hand
+// (AddXML, Merge, Config, Save, …); this analyzer makes the class
+// machine-checked. A capability that is deliberately not wrapped
+// (e.g. Snapshot, which Safe exposes as SnapshotTree/EnableSnapshots)
+// is suppressed at the SketchTree method with //lint:allow safeparity.
+var SafeParity = &analysis.Analyzer{
+	Name: "safeparity",
+	Doc:  "every exported SketchTree method has a Safe wrapper with a matching signature",
+	Run:  runSafeParity,
+}
+
+const (
+	wrappedType = "SketchTree"
+	wrapperType = "Safe"
+)
+
+// methodSig is one method's comparable shape: parameter and result
+// types rendered as source text, joined positionally.
+type methodSig struct {
+	name    string
+	params  string
+	results string
+	decl    *ast.FuncDecl
+}
+
+func runSafeParity(pass *analysis.Pass) {
+	m := pass.Module
+	var root *analysis.Package
+	for _, p := range m.Packages {
+		if p.RelDir != "." {
+			continue
+		}
+		if hasType(p, wrappedType) && hasType(p, wrapperType) {
+			root = p
+			break
+		}
+	}
+	if root == nil {
+		return // nothing to check in this module
+	}
+	wrapped := methodsOf(pass, root, wrappedType)
+	wrapper := methodsOf(pass, root, wrapperType)
+	for _, ms := range wrapped {
+		if !ast.IsExported(ms.name) {
+			continue
+		}
+		w, ok := wrapper[ms.name]
+		if !ok {
+			pass.Reportf(ms.decl.Pos(),
+				"(*%s).%s has no matching %s wrapper; the concurrent API must cover every capability",
+				wrappedType, ms.name, wrapperType)
+			continue
+		}
+		if w.params != ms.params || w.results != ms.results {
+			pass.Reportf(w.decl.Pos(),
+				"(*%s).%s%s signature differs from (*%s).%s%s",
+				wrapperType, ms.name, fmt.Sprintf("(%s) (%s)", w.params, w.results),
+				wrappedType, ms.name, fmt.Sprintf("(%s) (%s)", ms.params, ms.results))
+		}
+	}
+}
+
+// hasType reports whether the package declares the named type in a
+// non-test file.
+func hasType(p *analysis.Package, name string) bool {
+	for _, f := range p.Files {
+		if f.Test {
+			continue
+		}
+		for _, d := range f.AST.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				if ts, ok := spec.(*ast.TypeSpec); ok && ts.Name.Name == name {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+// methodsOf collects the methods declared on typeName (value or
+// pointer receiver) in the package's non-test files.
+func methodsOf(pass *analysis.Pass, p *analysis.Package, typeName string) map[string]methodSig {
+	out := map[string]methodSig{}
+	for _, fd := range funcDecls(p) {
+		if fd.File.Test || recvTypeName(fd.Decl) != typeName {
+			continue
+		}
+		out[fd.Decl.Name.Name] = methodSig{
+			name:    fd.Decl.Name.Name,
+			params:  fieldListSig(pass, fd.Decl.Type.Params),
+			results: fieldListSig(pass, fd.Decl.Type.Results),
+			decl:    fd.Decl,
+		}
+	}
+	return out
+}
+
+// fieldListSig renders a parameter or result list as a comma-joined
+// type string, expanding grouped names (a, b int -> int, int) so
+// spelling differences in names never matter.
+func fieldListSig(pass *analysis.Pass, fl *ast.FieldList) string {
+	if fl == nil {
+		return ""
+	}
+	var parts []string
+	for _, f := range fl.List {
+		t := exprString(pass.Module.Fset, f.Type)
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			parts = append(parts, t)
+		}
+	}
+	return strings.Join(parts, ", ")
+}

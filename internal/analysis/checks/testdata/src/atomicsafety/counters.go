@@ -1,0 +1,61 @@
+// Fixture for the atomicsafety analyzer: copies of atomic/lock-bearing
+// structs and mixed atomic/direct field access.
+package fixture
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type counters struct {
+	hits atomic.Int64
+	mu   sync.Mutex
+	n    int
+}
+
+// outer is sensitive transitively (the fixpoint case).
+type outer struct{ c counters }
+
+func (c counters) get() int { return c.n } // want "atomicsafety: receiver passes counters by value"
+
+func byValueParam(c counters) {} // want "atomicsafety: parameter passes counters by value"
+
+func byValueNested(o outer) {} // want "atomicsafety: parameter passes outer by value"
+
+// byPointer is the correct form: not flagged.
+func byPointer(c *counters) {}
+
+func copies() {
+	var c counters
+	d := c // want "assignment copies counters by value"
+	_ = d
+	use(c) // want "call passes counters by value"
+}
+
+func use(counters) {} // want "atomicsafety: parameter passes counters by value"
+
+func deref(p *counters) {
+	c := *p // want "assignment copies counters by value"
+	_ = c
+}
+
+func rangeCopy(list []counters) {
+	for _, c := range list { // want "range copies counters elements by value"
+		_ = c
+	}
+}
+
+// rangeByIndex is the correct form: not flagged.
+func rangeByIndex(list []counters) {
+	for i := range list {
+		_ = list[i].n
+	}
+}
+
+func detach(c *counters) int64 {
+	v := c.hits // want "copies atomic field hits by value"
+	return v.Load()
+}
+
+//lint:allow atomicsafety this copy is the fixture's suppression exercise
+func allowedCopy(c counters) {}

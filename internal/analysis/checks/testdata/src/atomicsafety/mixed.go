@@ -1,0 +1,17 @@
+package fixture
+
+import "sync/atomic"
+
+// gauge's level field is updated through the address-based atomic API;
+// every other access must go through it too.
+type gauge struct {
+	level int64
+}
+
+func bump(g *gauge) {
+	atomic.AddInt64(&g.level, 1)
+}
+
+func read(g *gauge) int64 {
+	return g.level // want "field level is accessed with sync/atomic elsewhere"
+}

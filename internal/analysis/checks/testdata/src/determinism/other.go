@@ -1,0 +1,19 @@
+package fixture
+
+// Out of scope: the file name has no persist/merge marker, the package
+// is not summary/exact, and the function name carries no serialization
+// keyword — map iteration here is fine.
+func tally(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// MergeCounts is in scope by function name ("Merge").
+func MergeCounts(dst, src map[string]int) {
+	for k, v := range src { // want "determinism: ranges over map src in nondeterministic order"
+		dst[k] += v
+	}
+}

@@ -1,0 +1,52 @@
+// Fixture for the determinism analyzer. The file name contains
+// "persist", putting every function here in scope.
+package fixture
+
+import (
+	"math/rand/v2"
+	"sort"
+	"time"
+)
+
+type table struct {
+	counts map[uint64]int64
+}
+
+func (t *table) dump() []uint64 {
+	var out []uint64
+	for v := range t.counts { // want "determinism: ranges over map t.counts in nondeterministic order"
+		out = append(out, v)
+	}
+	return out // never sorted: not the collect-and-sort idiom
+}
+
+func (t *table) stamp() int64 {
+	now := time.Now() // want "determinism: calls time.Now"
+	return now.UnixNano()
+}
+
+func (t *table) reseed() uint64 {
+	r := rand.New(rand.NewPCG(1, 2)) // want "uses math/rand \(rand\.New\)" "uses math/rand \(rand\.NewPCG\)"
+	return r.Uint64()
+}
+
+// sortedCollect is the canonical deterministic idiom: the loop only
+// appends, and the slice is sorted afterwards. Not flagged.
+func (t *table) sortedCollect() []uint64 {
+	vs := make([]uint64, 0, len(t.counts))
+	for v := range t.counts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	return vs
+}
+
+// allowed demonstrates suppression of an order-independent fold.
+func (t *table) allowed() int64 {
+	var sum int64
+	//lint:allow determinism summation commutes; iteration order cannot change the result
+	for _, c := range t.counts {
+		sum += c
+	}
+	return sum
+}

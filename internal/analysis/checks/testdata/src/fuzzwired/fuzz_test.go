@@ -1,0 +1,12 @@
+// Fixture for the fuzzwired analyzer: root-package fuzzers, one wired,
+// one not, one allowed.
+package fixture
+
+import "testing"
+
+func FuzzWired(f *testing.F) { f.Skip() }
+
+func FuzzMissing(f *testing.F) { f.Skip() } // want "fuzzwired: FuzzMissing \(package \.\) is not run by the Makefile fuzz-smoke target"
+
+//lint:allow fuzzwired covered transitively by FuzzWired's corpus; exercises suppression
+func FuzzAllowed(f *testing.F) { f.Skip() }

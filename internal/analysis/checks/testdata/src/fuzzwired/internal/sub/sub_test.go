@@ -1,0 +1,7 @@
+package sub
+
+import "testing"
+
+func FuzzSub(f *testing.F) { f.Skip() }
+
+func FuzzWrongDir(f *testing.F) { f.Skip() }

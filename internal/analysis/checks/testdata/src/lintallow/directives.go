@@ -1,0 +1,12 @@
+// Fixture for the framework's own directive hygiene: malformed,
+// reason-less, unknown-analyzer and stale //lint:allow comments are
+// findings in their own right. The block comments carry the
+// expectations because the line comment is the directive under test.
+package fixture
+
+var (
+	a = 1 /* want "lintallow: malformed directive" */                               //lint:allow
+	b = 2 /* want "lintallow: directive for \"determinism\" is missing a reason" */ //lint:allow determinism
+	c = 3 /* want "lintallow: directive names unknown analyzer" */                  //lint:allow nosuchcheck because reasons
+	d = 4 /* want "lintallow: stale directive" */                                   //lint:allow determinism suppresses nothing on this line
+)

@@ -1,0 +1,48 @@
+// Fixture for the lockdiscipline analyzer: exported Safe methods must
+// lock s.mu before touching the wrapped engine s.st.
+package sketchtree
+
+import "sync"
+
+type SketchTree struct{ n int }
+
+func (t *SketchTree) Count() int { return t.n }
+
+type Safe struct {
+	mu sync.RWMutex
+	st *SketchTree
+}
+
+// Good locks before touching the engine: not flagged.
+func (s *Safe) Good() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.st.Count()
+}
+
+func (s *Safe) Bad() int {
+	return s.st.Count() // want "lockdiscipline: \(\*Safe\)\.Bad touches s.st without holding s.mu"
+}
+
+// BranchLeak locks only inside a branch; the lock state must not leak
+// to the statements after it.
+func (s *Safe) BranchLeak(cond bool) int {
+	if cond {
+		s.mu.Lock()
+		s.mu.Unlock()
+	}
+	return s.st.Count() // want "touches s.st without holding"
+}
+
+func (s *Safe) AfterUnlock() int {
+	s.mu.Lock()
+	n := s.st.Count()
+	s.mu.Unlock()
+	return n + s.st.Count() // want "touches s.st without holding"
+}
+
+// unexported helpers carry the caller's locking contract: not checked.
+func (s *Safe) helper() int { return s.st.Count() }
+
+//lint:allow lockdiscipline the engine call below reads only atomics; lock-free by design
+func (s *Safe) Allowed() int { return s.st.Count() }

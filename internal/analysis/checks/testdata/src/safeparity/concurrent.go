@@ -1,0 +1,18 @@
+package sketchtree
+
+import "sync"
+
+// Safe is the fixture's concurrent wrapper.
+type Safe struct {
+	mu sync.RWMutex
+	st *SketchTree
+}
+
+func (s *Safe) AddTree(n int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.st.AddTree(n)
+}
+
+// Estimate drops the error result: a signature mismatch.
+func (s *Safe) Estimate(q string) float64 { return 0 } // want "safeparity: .*signature differs"

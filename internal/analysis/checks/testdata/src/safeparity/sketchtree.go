@@ -1,0 +1,19 @@
+// Fixture for the safeparity analyzer: the wrapped engine type with
+// one wrapped method, one deliberately missing wrapper, one signature
+// mismatch, and one allowed gap.
+package sketchtree
+
+// SketchTree is the fixture's wrapped engine.
+type SketchTree struct{ n int }
+
+func (s *SketchTree) AddTree(n int) error { return nil }
+
+func (s *SketchTree) Estimate(q string) (float64, error) { return 0, nil }
+
+func (s *SketchTree) Missing() int { return s.n } // want "safeparity: \(\*SketchTree\)\.Missing has no matching Safe wrapper"
+
+//lint:allow safeparity deliberately unwrapped; exercises the suppression path
+func (s *SketchTree) Allowed() int { return s.n }
+
+// unexported methods are outside the parity contract.
+func (s *SketchTree) helper() int { return s.n }

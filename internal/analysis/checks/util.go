@@ -1,0 +1,351 @@
+// Package checks holds SketchTree's project-specific analyzers. Each
+// analyzer enforces one structural invariant that go vet cannot see —
+// invariants that previously survived only as reviewer folklore (the
+// Safe-wrapper gaps PR 1 closed by hand, the byte-determinism the
+// golden files pin, the atomics-only contract of the obs counters).
+//
+// Everything here is syntactic: there is no type checker. Shared
+// helpers in this file approximate the type facts the analyzers need
+// (struct field types, local variable types) from the AST of one
+// package at a time, and deliberately resolve only the common, local
+// cases — an unresolvable expression is never flagged.
+package checks
+
+import (
+	"bytes"
+	"go/ast"
+	"go/printer"
+	"go/token"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// All returns the project's analyzers in reporting order.
+func All() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		SafeParity,
+		Determinism,
+		AtomicSafety,
+		LockDiscipline,
+		FuzzWired,
+	}
+}
+
+// ByName resolves a comma-separated analyzer name list against All.
+func ByName(names string) ([]*analysis.Analyzer, bool) {
+	if names == "" {
+		return All(), true
+	}
+	index := map[string]*analysis.Analyzer{}
+	for _, a := range All() {
+		index[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range strings.Split(names, ",") {
+		a, ok := index[strings.TrimSpace(n)]
+		if !ok {
+			return nil, false
+		}
+		out = append(out, a)
+	}
+	return out, true
+}
+
+// exprString renders an AST expression as source text — the
+// signature-comparison currency of safeparity.
+func exprString(fset *token.FileSet, e ast.Expr) string {
+	var b bytes.Buffer
+	if err := printer.Fprint(&b, fset, e); err != nil {
+		return "?"
+	}
+	return b.String()
+}
+
+// recvTypeName returns the receiver's base type name of a method
+// declaration ("SketchTree" for func (s *SketchTree) …), stripping
+// pointers and type parameters; "" for plain functions.
+func recvTypeName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	t := fd.Recv.List[0].Type
+	for {
+		switch x := t.(type) {
+		case *ast.StarExpr:
+			t = x.X
+		case *ast.IndexExpr:
+			t = x.X
+		case *ast.IndexListExpr:
+			t = x.X
+		case *ast.Ident:
+			return x.Name
+		default:
+			return ""
+		}
+	}
+}
+
+// recvName returns the receiver variable name of a method, "" when
+// anonymous.
+func recvName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 || len(fd.Recv.List[0].Names) == 0 {
+		return ""
+	}
+	return fd.Recv.List[0].Names[0].Name
+}
+
+// importName returns the local name package path is imported under in
+// file f, or "" when it is not imported. A dot import returns ".".
+func importName(f *ast.File, path string) string {
+	for _, imp := range f.Imports {
+		p := strings.Trim(imp.Path.Value, `"`)
+		if p != path {
+			continue
+		}
+		if imp.Name != nil {
+			return imp.Name.Name
+		}
+		// Default name: the last path element, skipping a major-version
+		// suffix (math/rand/v2 binds rand, not v2).
+		parts := strings.Split(p, "/")
+		name := parts[len(parts)-1]
+		if len(parts) > 1 && len(name) > 1 && name[0] == 'v' && name[1] >= '0' && name[1] <= '9' {
+			name = parts[len(parts)-2]
+		}
+		return name
+	}
+	return ""
+}
+
+// isPkgSel reports whether e is a selector pkgName.selName where
+// pkgName is a bare identifier (the syntactic shape of a package
+// member reference). selName "" matches any member.
+func isPkgSel(e ast.Expr, pkgName, selName string) bool {
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok || pkgName == "" {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok || id.Name != pkgName {
+		return false
+	}
+	return selName == "" || sel.Sel.Name == selName
+}
+
+// funcDecls yields every function declaration of the package, with the
+// file it came from.
+func funcDecls(p *analysis.Package) []struct {
+	File *analysis.File
+	Decl *ast.FuncDecl
+} {
+	var out []struct {
+		File *analysis.File
+		Decl *ast.FuncDecl
+	}
+	for _, f := range p.Files {
+		for _, d := range f.AST.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				out = append(out, struct {
+					File *analysis.File
+					Decl *ast.FuncDecl
+				}{f, fd})
+			}
+		}
+	}
+	return out
+}
+
+// typeClass is the coarse classification the analyzers work with.
+type typeClass int
+
+const (
+	classUnknown typeClass = iota
+	classMap               // a map type (or named map type)
+	classOther             // known, and definitely not what the check targets
+)
+
+// fieldIndex approximates "what type does field name f have" for one
+// package: it records, per field name, whether every struct field of
+// that name in the package is a map (classMap), none are (classOther),
+// or the declarations disagree (classUnknown — never flagged).
+type fieldIndex map[string]typeClass
+
+// namedMapTypes returns the package-local named types whose
+// definition is a map.
+func namedMapTypes(p *analysis.Package) map[string]bool {
+	namedMap := map[string]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			if _, isMap := ts.Type.(*ast.MapType); isMap {
+				namedMap[ts.Name.Name] = true
+			}
+			return true
+		})
+	}
+	return namedMap
+}
+
+// buildFieldIndex scans every struct type declared in the package.
+// namedMap seeds it with package-local named map types.
+func buildFieldIndex(p *analysis.Package, namedMap map[string]bool) fieldIndex {
+	isMapExpr := func(t ast.Expr) bool {
+		if _, ok := t.(*ast.MapType); ok {
+			return true
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			return namedMap[id.Name]
+		}
+		return false
+	}
+	idx := fieldIndex{}
+	record := func(name string, c typeClass) {
+		prev, seen := idx[name]
+		if !seen {
+			idx[name] = c
+			return
+		}
+		if prev != c {
+			idx[name] = classUnknown
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f.AST, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				c := classOther
+				if isMapExpr(field.Type) {
+					c = classMap
+				}
+				for _, name := range field.Names {
+					record(name.Name, c)
+				}
+			}
+			return true
+		})
+	}
+	return idx
+}
+
+// localTypes tracks the syntactically inferable types of locals inside
+// one function body: whether an identifier is map-typed, and (for
+// atomicsafety) whether it names a value or pointer of a given struct
+// type.
+type localTypes struct {
+	maps map[string]bool // ident -> is a map
+	// named[v] = struct type name when v was declared as a value of
+	// that type; ptr[v] when declared as a pointer to it; sliceOf[v]
+	// when declared as a slice or array of it.
+	named   map[string]string
+	ptr     map[string]string
+	sliceOf map[string]string
+}
+
+// inferLocals walks a function and classifies the obvious cases:
+// make(map…), map literals, var declarations, parameters, and
+// pointer/value declarations of package-local named types.
+func inferLocals(fd *ast.FuncDecl, namedMap map[string]bool) *localTypes {
+	lt := &localTypes{
+		maps:    map[string]bool{},
+		named:   map[string]string{},
+		ptr:     map[string]string{},
+		sliceOf: map[string]string{},
+	}
+	classify := func(name string, t ast.Expr) {
+		switch x := t.(type) {
+		case *ast.MapType:
+			lt.maps[name] = true
+		case *ast.Ident:
+			if namedMap != nil && namedMap[x.Name] {
+				lt.maps[name] = true
+			} else {
+				lt.named[name] = x.Name
+			}
+		case *ast.StarExpr:
+			if id, ok := x.X.(*ast.Ident); ok {
+				lt.ptr[name] = id.Name
+			}
+		case *ast.ArrayType:
+			if id, ok := x.Elt.(*ast.Ident); ok {
+				lt.sliceOf[name] = id.Name
+			}
+		}
+	}
+	classifyRHS := func(name string, rhs ast.Expr) {
+		switch x := rhs.(type) {
+		case *ast.CallExpr:
+			if id, ok := x.Fun.(*ast.Ident); ok && id.Name == "make" && len(x.Args) > 0 {
+				classify(name, x.Args[0])
+			}
+		case *ast.CompositeLit:
+			if x.Type != nil {
+				classify(name, x.Type)
+			}
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				if cl, ok := x.X.(*ast.CompositeLit); ok && cl.Type != nil {
+					if id, ok := cl.Type.(*ast.Ident); ok {
+						lt.ptr[name] = id.Name
+					}
+				}
+			}
+		case *ast.Ident:
+			if lt.maps[x.Name] {
+				lt.maps[name] = true
+			}
+		}
+	}
+	if fd.Recv != nil {
+		for _, f := range fd.Recv.List {
+			for _, n := range f.Names {
+				classify(n.Name, f.Type)
+			}
+		}
+	}
+	if fd.Type.Params != nil {
+		for _, f := range fd.Type.Params.List {
+			for _, n := range f.Names {
+				classify(n.Name, f.Type)
+			}
+		}
+	}
+	if fd.Body == nil {
+		return lt
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, lhs := range x.Lhs {
+				if id, ok := lhs.(*ast.Ident); ok {
+					classifyRHS(id.Name, x.Rhs[i])
+				}
+			}
+		case *ast.DeclStmt:
+			gd, ok := x.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || vs.Type == nil {
+					continue
+				}
+				for _, n := range vs.Names {
+					classify(n.Name, vs.Type)
+				}
+			}
+		}
+		return true
+	})
+	return lt
+}

@@ -1,0 +1,32 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"sketchtree/internal/analysis"
+	"sketchtree/internal/analysis/checks"
+)
+
+// FuzzAnalyzers feeds arbitrary Go source and Makefile text through the
+// full lint pipeline — Load, every analyzer, //lint:allow processing —
+// and demands it never panics. The linter runs on every PR; a crash on
+// weird-but-parseable source would take the whole verify gate down.
+func FuzzAnalyzers(f *testing.F) {
+	f.Add([]byte("package p\n\nfunc Marshal(m map[string]int) int {\n\tt := 0\n\tfor _, v := range m {\n\t\tt += v\n\t}\n\treturn t\n}\n"),
+		"fuzz-smoke:\n\tgo test -run '^$$' -fuzz '^FuzzX$$' -fuzztime 10s .\n")
+	f.Add([]byte("package sketchtree\n\ntype SketchTree struct{}\ntype Safe struct{ st *SketchTree }\n\nfunc (s *SketchTree) A() {}\nfunc (s *Safe) B() { _ = s.st }\n"), "")
+	f.Add([]byte("package p\n\nimport \"sync/atomic\"\n\ntype c struct{ n atomic.Int64 }\n\nfunc f(x c) {}\n//lint:allow atomicsafety reason\nfunc g(x c) {}\n//lint:allow\n"), "x:\n")
+	f.Add([]byte("package p\n\nimport \"math/rand/v2\"\n\nfunc Restore() uint64 { return rand.Uint64() }\n"), "fuzz-smoke:")
+	f.Fuzz(func(t *testing.T, src []byte, makefile string) {
+		root := t.TempDir()
+		m, err := analysis.Load(root, map[string][]byte{
+			"persist.go":    src,
+			"concurrent.go": src,
+			"Makefile":      []byte(makefile),
+		})
+		if err != nil {
+			t.Skip() // unparseable input is Load's error, not a crash
+		}
+		analysis.Run(m, checks.All())
+	})
+}

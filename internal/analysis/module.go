@@ -1,0 +1,164 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// File is one parsed Go source file.
+type File struct {
+	// RelPath is the module-root-relative, slash-separated path.
+	RelPath string
+	AST     *ast.File
+	// Test reports whether the file is a _test.go file.
+	Test bool
+}
+
+// Package groups the files of one directory that share a package
+// clause. A directory with both package x and package x_test yields
+// two Packages with the same RelDir.
+type Package struct {
+	// Name is the package clause name.
+	Name string
+	// RelDir is the module-root-relative, slash-separated directory;
+	// "." for the module root.
+	RelDir string
+	Files  []*File
+}
+
+// Module is one loaded source tree: every Go package under the root
+// (testdata, vendor and dot-directories excluded) plus the root
+// Makefile, parsed once and shared by every analyzer.
+type Module struct {
+	Root     string
+	Fset     *token.FileSet
+	Packages []*Package
+	// Makefile is the root Makefile's contents, "" when absent.
+	Makefile string
+}
+
+// rel maps an absolute (or FileSet-recorded) filename back to the
+// module-root-relative slash form used in Diagnostics.
+func (m *Module) rel(filename string) string {
+	if r, err := filepath.Rel(m.Root, filename); err == nil && !strings.HasPrefix(r, "..") {
+		return filepath.ToSlash(r)
+	}
+	return filepath.ToSlash(filename)
+}
+
+// Package returns the package with the given RelDir and name, or nil.
+func (m *Module) Package(relDir, name string) *Package {
+	for _, p := range m.Packages {
+		if p.RelDir == relDir && p.Name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// skipDir reports directories the loader never descends into: VCS and
+// tool state, vendored code, and testdata (fixtures are loaded
+// explicitly by the tests that own them, never as module source).
+func skipDir(name string) bool {
+	return name == "testdata" || name == "vendor" || name == "node_modules" ||
+		(strings.HasPrefix(name, ".") && name != ".")
+}
+
+// Load parses every Go file under root into a Module. overlay maps
+// module-root-relative slash paths to replacement contents: an overlay
+// entry shadows the on-disk file (or adds a file that does not exist),
+// which is how driver tests analyze hypothetical edits without
+// touching the tree. An overlay entry for "Makefile" replaces the
+// Makefile. An empty overlay entry deletes the file from the module's
+// view.
+func Load(root string, overlay map[string][]byte) (*Module, error) {
+	absRoot, err := filepath.Abs(root)
+	if err != nil {
+		return nil, err
+	}
+	m := &Module{Root: absRoot, Fset: token.NewFileSet()}
+
+	seen := map[string]bool{}
+	var paths []string
+	err = filepath.WalkDir(absRoot, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if path != absRoot && skipDir(d.Name()) {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if !strings.HasSuffix(d.Name(), ".go") {
+			return nil
+		}
+		rel, err := filepath.Rel(absRoot, path)
+		if err != nil {
+			return err
+		}
+		rel = filepath.ToSlash(rel)
+		seen[rel] = true
+		paths = append(paths, rel)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for rel := range overlay {
+		if strings.HasSuffix(rel, ".go") && !seen[rel] {
+			paths = append(paths, rel)
+		}
+	}
+	sort.Strings(paths)
+
+	pkgs := map[string]*Package{} // keyed by RelDir + "\x00" + name
+	for _, rel := range paths {
+		var src any
+		if content, ok := overlay[rel]; ok {
+			if len(content) == 0 {
+				continue // deleted from the module's view
+			}
+			src = content
+		}
+		af, err := parser.ParseFile(m.Fset, filepath.Join(absRoot, filepath.FromSlash(rel)), src,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: %w", err)
+		}
+		relDir := filepath.ToSlash(filepath.Dir(rel))
+		name := af.Name.Name
+		key := relDir + "\x00" + name
+		p := pkgs[key]
+		if p == nil {
+			p = &Package{Name: name, RelDir: relDir}
+			pkgs[key] = p
+			m.Packages = append(m.Packages, p)
+		}
+		p.Files = append(p.Files, &File{
+			RelPath: rel,
+			AST:     af,
+			Test:    strings.HasSuffix(rel, "_test.go"),
+		})
+	}
+	sort.Slice(m.Packages, func(i, j int) bool {
+		a, b := m.Packages[i], m.Packages[j]
+		if a.RelDir != b.RelDir {
+			return a.RelDir < b.RelDir
+		}
+		return a.Name < b.Name
+	})
+
+	if content, ok := overlay["Makefile"]; ok {
+		m.Makefile = string(content)
+	} else if b, err := os.ReadFile(filepath.Join(absRoot, "Makefile")); err == nil {
+		m.Makefile = string(b)
+	}
+	return m, nil
+}

@@ -42,11 +42,12 @@ func (e *Engine) Clone() (*Engine, error) {
 		return nil, fmt.Errorf("core: clone: %w", err)
 	}
 	c := &Engine{
-		cfg:      e.cfg,
-		fam:      e.fam,
-		seeds:    e.seeds,
-		streams:  streams,
-		fp:       e.fp,
+		cfg:     e.cfg,
+		fam:     e.fam,
+		seeds:   e.seeds,
+		streams: streams,
+		fp:      e.fp,
+		//lint:allow determinism the clone's PCG is reseeded from Config.Seed and the tree count, same derivation Restore uses
 		rng:      rand.New(rand.NewPCG(e.cfg.Seed, 0x5ce7c47ee^uint64(e.trees))),
 		trees:    e.trees,
 		patterns: e.patterns,

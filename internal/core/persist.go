@@ -131,11 +131,12 @@ func Restore(data []byte) (*Engine, error) {
 		return nil, fmt.Errorf("core: %w", err)
 	}
 	e := &Engine{
-		cfg:      cfg,
-		fam:      fam,
-		seeds:    seeds,
-		streams:  streams,
-		fp:       fp,
+		cfg:     cfg,
+		fam:     fam,
+		seeds:   seeds,
+		streams: streams,
+		fp:      fp,
+		//lint:allow determinism the PCG is reseeded from Config.Seed and the restored tree count, so Restore is reproducible by construction
 		rng:      rand.New(rand.NewPCG(cfg.Seed, 0x5ce7c47ee^uint64(sn.Trees))),
 		prep:     &xi.Prep{},
 		en:       en,

@@ -112,6 +112,31 @@ func TestSnapshotRoundTripContinuesStream(t *testing.T) {
 	}
 }
 
+func TestMarshalBinaryByteDeterministic(t *testing.T) {
+	// Marshaling the same engine state must yield the same bytes every
+	// time. The exact shadow used to be serialized in map-iteration
+	// order, which randomized the encoding of ExactValues/ExactCounts
+	// per call; exact.Counter.ForEach now iterates in sorted order.
+	e := mustEngine(t, fullConfig())
+	figure1Stream(t, e)
+	if e.Exact() == nil || e.Exact().Distinct() < 2 {
+		t.Fatal("test needs a populated exact shadow to be meaningful")
+	}
+	first, err := e.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		again, err := e.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first, again) {
+			t.Fatalf("MarshalBinary not byte-deterministic: attempt %d differs from first", i+1)
+		}
+	}
+}
+
 func TestRestoreRejectsCorruptData(t *testing.T) {
 	e := mustEngine(t, fullConfig())
 	figure1Stream(t, e)

@@ -79,10 +79,18 @@ func (c *Counter) TopK(k int) []ValueCount {
 	return all
 }
 
-// ForEach visits every (value, count) pair in unspecified order.
+// ForEach visits every (value, count) pair in ascending value order.
+// The order is part of the contract: persistence serializes the shadow
+// counter through this method, and the snapshot encoding must be
+// byte-deterministic for the golden files and merge checks.
 func (c *Counter) ForEach(fn func(v uint64, count int64)) {
-	for v, f := range c.counts {
-		fn(v, f)
+	vs := make([]uint64, 0, len(c.counts))
+	for v := range c.counts {
+		vs = append(vs, v)
+	}
+	sort.Slice(vs, func(i, j int) bool { return vs[i] < vs[j] })
+	for _, v := range vs {
+		fn(v, c.counts[v])
 	}
 }
 

@@ -104,6 +104,29 @@ func TestTopKDeterministic(t *testing.T) {
 	}
 }
 
+func TestForEachSortedOrder(t *testing.T) {
+	c := New()
+	for _, v := range []uint64{42, 7, 99, 7, 3, 1000, 42} {
+		c.Add(v, 1)
+	}
+	var got []uint64
+	c.ForEach(func(v uint64, count int64) {
+		got = append(got, v)
+		if count != c.Count(v) {
+			t.Errorf("ForEach count for %d = %d, want %d", v, count, c.Count(v))
+		}
+	})
+	want := []uint64{3, 7, 42, 99, 1000}
+	if len(got) != len(want) {
+		t.Fatalf("ForEach visited %d values, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("ForEach order = %v, want ascending %v", got, want)
+		}
+	}
+}
+
 func TestMemoryBytesGrows(t *testing.T) {
 	c := New()
 	if c.MemoryBytes() != 0 {

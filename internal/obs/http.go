@@ -146,7 +146,10 @@ func JSONHandler(snap func() Snapshot) http.Handler {
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
-		enc.Encode(snap())
+		if err := enc.Encode(snap()); err != nil {
+			// Headers are already written; the client went away.
+			_ = err
+		}
 	})
 }
 

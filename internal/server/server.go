@@ -200,7 +200,10 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if s.draining.Load() {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusServiceUnavailable)
-		json.NewEncoder(w).Encode(healthzResponse{Status: "draining"})
+		if err := json.NewEncoder(w).Encode(healthzResponse{Status: "draining"}); err != nil {
+			// Status 503 is already on the wire; nothing recoverable.
+			_ = err
+		}
 		return
 	}
 	resp := healthzResponse{Status: "ok", Trees: s.safe.TreesProcessed()}
@@ -460,5 +463,8 @@ func writeJSON(w http.ResponseWriter, v any) {
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)})
+	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
+		// The error status is already on the wire; nothing recoverable.
+		_ = err
+	}
 }

@@ -231,6 +231,7 @@ func (t *Tracker) AdjustmentAll() []int64 {
 // exactly what it would have been without top-k processing (tested as
 // an invariant).
 func (t *Tracker) RestoreAll() {
+	//lint:allow determinism sketch updates commute (Update adds counts), so restore order cannot change the resulting sketch state
 	for v, e := range t.entries {
 		t.sketch.Update(v, e.freq)
 		delete(t.entries, v)

@@ -300,6 +300,8 @@ func (s *SketchTree) RemoveTree(t *Tree) error { return s.e.RemoveTree(t) }
 // observability counters are shared too, so queries answered by the
 // snapshot still show up in the receiver's Stats. The exact-shadow
 // auditor is not carried over.
+//
+//lint:allow safeparity Safe exposes snapshots as SnapshotTree/EnableSnapshots (atomic.Pointer refresh); a raw Snapshot wrapper would duplicate that API
 func (s *SketchTree) Snapshot() (*SketchTree, error) {
 	e, err := s.e.Clone()
 	if err != nil {
