@@ -6,7 +6,7 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet lint test race bench bench-smoke fuzz-smoke
+.PHONY: verify fmt vet lint test race bench bench-matrix bench-baseline bench-smoke fuzz-smoke
 
 verify: fmt vet lint test race bench-smoke
 
@@ -50,11 +50,34 @@ bench:
 	$(GO) run ./cmd/benchsummary < BENCH_raw.json > BENCH_ingest.json
 	@echo "wrote BENCH_ingest.json (summary; raw events in BENCH_raw.json)"
 
-# One iteration of every benchmark in the root package: proves the
-# bench harness still compiles and runs, without the minutes-long
-# paper-scale sweeps.
+# The structured bench matrix: ingest (tree size × k × workers), query
+# (pattern size × plan-cache hit/miss), and merge (virtual streams),
+# summarized with per-axis params and a matrix section by
+# cmd/benchsummary. CI compares BENCH_matrix.json against the
+# committed testdata/bench/BENCH_baseline.json (warn-only).
+bench-matrix:
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrix' -benchtime 1x -json . > BENCH_matrix_raw.json
+	@grep '"Action":"pass"' BENCH_matrix_raw.json >/dev/null || \
+		{ echo "bench-matrix run failed; see BENCH_matrix_raw.json"; exit 1; }
+	$(GO) run ./cmd/benchsummary < BENCH_matrix_raw.json > BENCH_matrix.json
+	@echo "wrote BENCH_matrix.json (summary; raw events in BENCH_matrix_raw.json)"
+
+# Refresh the committed regression baseline from a fresh matrix run.
+# Run on a quiet machine, eyeball the diff, and commit the result.
+bench-baseline: bench-matrix
+	cp BENCH_matrix.json testdata/bench/BENCH_baseline.json
+	@echo "refreshed testdata/bench/BENCH_baseline.json"
+
+# One iteration of the headline benchmarks plus one cell per matrix
+# axis: proves the bench harness still compiles and runs, without the
+# minutes-long paper-scale sweeps. (The matrix cells are separate
+# invocations because go test splits -bench patterns on every slash,
+# so per-cell selectors cannot be |-combined.)
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkIngestParallel|BenchmarkEstimateOrdered' -benchtime 1x . >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrixIngest/size=16/k=2/workers=1' -benchtime 1x . >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrixQuery/pattern=2/cache=hit' -benchtime 1x . >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrixMerge/vstreams=1' -benchtime 1x . >/dev/null
 
 # Short coverage-guided runs of every fuzz target (FUZZTIME each).
 # Seed corpora live under testdata/fuzz/<FuzzName>/; a crasher found

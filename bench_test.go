@@ -475,6 +475,185 @@ func BenchmarkStreamUpdateThroughput(b *testing.B) {
 	}
 }
 
+// --- Bench matrix ---
+//
+// The structured performance surface behind BENCH_matrix.json: ingest
+// across tree size × pattern-size bound k × worker shards, query
+// latency across query size × plan-cache behavior, and the shard
+// merge. `make bench-matrix` runs exactly these cells and summarizes
+// them; CI compares the summary against the committed
+// testdata/bench/BENCH_baseline.json (warn-only, threshold 1.25).
+// Cells use synthetic trees of a fixed node count so each axis varies
+// one quantity only.
+
+// matrixTrees builds a deterministic batch of n random trees of
+// exactly size nodes over a five-label alphabet, so matrix cells are
+// comparable across runs and machines.
+func matrixTrees(seed uint64, size, n int) []*Tree {
+	rng := rand.New(rand.NewPCG(seed, uint64(size)))
+	labels := []string{"A", "B", "C", "D", "E"}
+	out := make([]*Tree, n)
+	for i := range out {
+		nodes := make([]*Node, size)
+		for j := range nodes {
+			nodes[j] = Pattern(labels[rng.IntN(len(labels))])
+		}
+		for j := 1; j < size; j++ {
+			nodes[rng.IntN(j)].AddChild(nodes[j])
+		}
+		out[i] = NewTree(nodes[0])
+	}
+	return out
+}
+
+// matrixQueries returns n distinct chain queries of the given edge
+// count over the matrixTrees alphabet (distinct root labels, so a
+// small plan cache probed round-robin misses every time).
+func matrixQueries(edges, n int) []*Node {
+	labels := []string{"A", "B", "C", "D", "E"}
+	out := make([]*Node, n)
+	for i := range out {
+		root := Pattern(labels[i%len(labels)])
+		cur := root
+		for e := 0; e < edges; e++ {
+			c := Pattern(labels[(i+e+1)%len(labels)])
+			cur.AddChild(c)
+			cur = c
+		}
+		out[i] = root
+	}
+	return out
+}
+
+func BenchmarkMatrixIngest(b *testing.B) {
+	for _, size := range []int{16, 64} {
+		trees := matrixTrees(11, size, 64)
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			for _, k := range []int{2, 4} {
+				b.Run(fmt.Sprintf("k=%d", k), func(b *testing.B) {
+					for _, workers := range []int{1, 4} {
+						b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+							cfg := DefaultConfig()
+							cfg.MaxPatternEdges = k
+							cfg.VirtualStreams = 59
+							cfg.TopK = 0 // merging requires top-k off
+							in, err := NewIngestor(cfg, workers)
+							if err != nil {
+								b.Fatal(err)
+							}
+							b.ReportAllocs()
+							b.ResetTimer()
+							for i := 0; i < b.N; i++ {
+								if err := in.Add(trees[i%len(trees)]); err != nil {
+									b.Fatal(err)
+								}
+							}
+							// Close drains and merges; that tail belongs in
+							// the timed region for honest throughput.
+							_, err = in.Close()
+							b.StopTimer()
+							if err != nil {
+								b.Fatal(err)
+							}
+						})
+					}
+				})
+			}
+		})
+	}
+}
+
+func BenchmarkMatrixQuery(b *testing.B) {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 4
+	cfg.VirtualStreams = 59
+	trees := matrixTrees(13, 32, 128)
+	stHit, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// The miss engine holds the same synopsis behind a capacity-2 plan
+	// cache; four distinct queries probed round-robin evict each entry
+	// two probes before its reuse, so every lookup takes the miss path
+	// (compute + store + evict) rather than bypassing the cache.
+	missCfg := cfg
+	missCfg.PlanCacheSize = 2
+	stMiss, err := New(missCfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, tr := range trees {
+		if err := stHit.AddTree(tr); err != nil {
+			b.Fatal(err)
+		}
+		if err := stMiss.AddTree(tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, edges := range []int{2, 4} {
+		b.Run(fmt.Sprintf("pattern=%d", edges), func(b *testing.B) {
+			b.Run("cache=hit", func(b *testing.B) {
+				q := matrixQueries(edges, 1)[0]
+				if _, err := stHit.CountOrdered(q); err != nil { // prime
+					b.Fatal(err)
+				}
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := stHit.CountOrdered(q); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			b.Run("cache=miss", func(b *testing.B) {
+				qs := matrixQueries(edges, 4)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := stMiss.CountOrdered(qs[i%len(qs)]); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkMatrixMerge times the shard-union step parallel ingestion
+// pays at Close: a cell-wise sketch addition per virtual stream.
+func BenchmarkMatrixMerge(b *testing.B) {
+	for _, p := range []int{1, 59} {
+		b.Run(fmt.Sprintf("vstreams=%d", p), func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.MaxPatternEdges = 4
+			cfg.VirtualStreams = p
+			cfg.TopK = 0
+			dst, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			src, err := core.New(cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, tr := range matrixTrees(17, 32, 32) {
+				if err := src.AddTree(tr); err != nil {
+					b.Fatal(err)
+				}
+			}
+			// Merging the same operand repeatedly just keeps adding its
+			// counts — sketches are linear — so each iteration does the
+			// same cell-wise work.
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := dst.Merge(src); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 var (
 	sinkU64 uint64
 	sinkBig interface{}

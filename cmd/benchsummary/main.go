@@ -5,15 +5,21 @@
 //	{
 //	  "benchmarks": [
 //	    {"name": "BenchmarkIngestParallel/workers=4", "iterations": 3,
-//	     "ns_per_op": 812345.0, "workers": 4},
+//	     "ns_per_op": 812345.0, "workers": 4,
+//	     "params": {"workers": "4"}},
 //	    ...
 //	  ],
-//	  "ingest_ns_per_op_by_workers": {"1": 2400000, "2": 1300000, ...}
+//	  "ingest_ns_per_op_by_workers": {"1": 2400000, "2": 1300000, ...},
+//	  "matrix": {"ingest": [{"name": "BenchmarkMatrixIngest/size=16/k=2/workers=1",
+//	             "params": {"size": "16", "k": "2", "workers": "1"}, ...}], ...}
 //	}
 //
-// The per-worker map pivots every benchmark with a workers=N sub-name
-// (the ingestion scaling sweep) so dashboards can plot ns/op against
-// shard count without re-parsing benchmark names.
+// Every key=value element of a sub-benchmark name is parsed into the
+// result's params map, so dashboards can pivot on any axis without
+// re-parsing benchmark names; the per-worker map keeps the original
+// ingestion-scaling pivot. Benchmarks named BenchmarkMatrix<Group>/...
+// (the bench matrix: `make bench-matrix`) are additionally grouped
+// under matrix by their lowercased group ("ingest", "query", "merge").
 //
 //	go test -run '^$' -bench . -json . | benchsummary > BENCH_ingest.json
 //
@@ -57,6 +63,10 @@ type Result struct {
 	BytesPerOp float64 `json:"bytes_per_op,omitempty"`
 	AllocsOp   float64 `json:"allocs_per_op,omitempty"`
 	Workers    int     `json:"workers,omitempty"`
+	// Params holds every key=value element of the sub-benchmark name
+	// (BenchmarkMatrixIngest/size=16/k=2/workers=1 → {size:16, k:2,
+	// workers:1}) — the structured form of the matrix axes.
+	Params map[string]string `json:"params,omitempty"`
 }
 
 // Summary is the emitted document.
@@ -64,6 +74,10 @@ type Summary struct {
 	Benchmarks []Result `json:"benchmarks"`
 	// ns/op keyed by worker count, for benchmarks named .../workers=N.
 	IngestNsPerOpByWorkers map[string]float64 `json:"ingest_ns_per_op_by_workers,omitempty"`
+	// Matrix groups the BenchmarkMatrix* cells by their lowercased
+	// group name ("ingest", "query", "merge") so the bench-matrix
+	// document is addressable without name parsing.
+	Matrix map[string][]Result `json:"matrix,omitempty"`
 }
 
 // benchLine matches `BenchmarkName-8   123   456.7 ns/op [...]`. The
@@ -75,7 +89,16 @@ var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+(.*)$`)
 // name arrives separately in the event's Test field.
 var measureLine = regexp.MustCompile(`^(\d+)\s+(.*)$`)
 
-var workersPart = regexp.MustCompile(`(?:^|/)workers=(\d+)(?:/|$)`)
+// matrixGroup maps BenchmarkMatrix<Group>[/...] to its lowercased
+// group name; every other benchmark is not a matrix cell.
+func matrixGroup(name string) (string, bool) {
+	base, _, _ := strings.Cut(name, "/")
+	g := strings.TrimPrefix(base, "BenchmarkMatrix")
+	if g == base || g == "" {
+		return "", false
+	}
+	return strings.ToLower(g), true
+}
 
 // parse consumes a test2json event stream and collects benchmark
 // results. Benchmark output arrives as "output" events, one line each.
@@ -100,7 +123,14 @@ func parse(r io.Reader) (Summary, error) {
 			continue
 		}
 		s.Benchmarks = append(s.Benchmarks, res)
-		if res.Workers > 0 {
+		if g, ok := matrixGroup(res.Name); ok {
+			if s.Matrix == nil {
+				s.Matrix = make(map[string][]Result)
+			}
+			s.Matrix[g] = append(s.Matrix[g], res)
+		} else if res.Workers > 0 {
+			// The original ingestion-scaling pivot; matrix cells carry
+			// their worker axis in params instead.
 			if s.IngestNsPerOpByWorkers == nil {
 				s.IngestNsPerOpByWorkers = make(map[string]float64)
 			}
@@ -155,8 +185,22 @@ func parseBenchOutput(test, line string) (Result, bool) {
 	if !seen {
 		return Result{}, false
 	}
-	if w := workersPart.FindStringSubmatch(res.Name); w != nil {
-		res.Workers, _ = strconv.Atoi(w[1])
+	// Sub-benchmark name elements of the form key=value become the
+	// structured params; workers keeps its dedicated field for the
+	// ingestion-scaling pivot.
+	parts := strings.Split(res.Name, "/")
+	for _, part := range parts[1:] {
+		k, v, ok := strings.Cut(part, "=")
+		if !ok || k == "" || v == "" {
+			continue
+		}
+		if res.Params == nil {
+			res.Params = make(map[string]string, len(parts)-1)
+		}
+		res.Params[k] = v
+	}
+	if w, err := strconv.Atoi(res.Params["workers"]); err == nil && w > 0 {
+		res.Workers = w
 	}
 	return res, true
 }

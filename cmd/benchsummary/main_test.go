@@ -78,6 +78,9 @@ func TestParseBenchOutputEdgeCases(t *testing.T) {
 	if !ok || r.Workers != 16 {
 		t.Fatalf("nested workers sub-name: %+v ok=%v", r, ok)
 	}
+	if r.Params["workers"] != "16" || len(r.Params) != 1 {
+		t.Fatalf("params of nested sub-name: %+v", r.Params)
+	}
 	// Split form: the name arrives via the Test field, and a bare
 	// measurement line without one is not a benchmark.
 	r, ok = parseBenchOutput("BenchmarkSplit/workers=2", "1\t 99 ns/op")
@@ -91,6 +94,69 @@ func TestParseBenchOutputEdgeCases(t *testing.T) {
 	r, ok = parseBenchOutput("", "BenchmarkCustom-8 \t 1 \t 50 ns/op \t 463.0 patterns/tree")
 	if !ok || r.NsPerOp != 50 {
 		t.Fatalf("custom unit pair broke parsing: %+v ok=%v", r, ok)
+	}
+}
+
+// A bench-matrix event stream: every axis arrives as a key=value
+// element of the sub-benchmark name.
+const matrixStream = `{"Action":"output","Test":"BenchmarkMatrixIngest/size=16/k=2/workers=1","Output":"     100\t 250000.0 ns/op\n"}
+{"Action":"output","Test":"BenchmarkMatrixIngest/size=64/k=4/workers=4","Output":"      20\t 990000.0 ns/op\n"}
+{"Action":"output","Test":"BenchmarkMatrixQuery/pattern=2/cache=hit","Output":"    5000\t 2900.0 ns/op\t 0 B/op\t 0 allocs/op\n"}
+{"Action":"output","Output":"BenchmarkMatrixMerge/vstreams=59-8 \t      50\t 910000.0 ns/op\n"}
+{"Action":"pass","Elapsed":0.5}
+`
+
+func TestParseMatrixStream(t *testing.T) {
+	s, err := parse(strings.NewReader(matrixStream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s.Benchmarks) != 4 {
+		t.Fatalf("%d benchmarks parsed, want 4", len(s.Benchmarks))
+	}
+	for g, n := range map[string]int{"ingest": 2, "query": 1, "merge": 1} {
+		if len(s.Matrix[g]) != n {
+			t.Fatalf("matrix group %q has %d cells, want %d: %+v", g, len(s.Matrix[g]), n, s.Matrix)
+		}
+	}
+	cell := s.Matrix["ingest"][0]
+	want := map[string]string{"size": "16", "k": "2", "workers": "1"}
+	if len(cell.Params) != len(want) {
+		t.Fatalf("ingest cell params: %+v", cell.Params)
+	}
+	for k, v := range want {
+		if cell.Params[k] != v {
+			t.Fatalf("param %s = %q, want %q", k, cell.Params[k], v)
+		}
+	}
+	if q := s.Matrix["query"][0]; q.Params["cache"] != "hit" || q.Params["pattern"] != "2" {
+		t.Fatalf("query cell params: %+v", q.Params)
+	}
+	if m := s.Matrix["merge"][0]; m.Params["vstreams"] != "59" || m.NsPerOp != 910000 {
+		t.Fatalf("merge cell: %+v", m)
+	}
+	// Matrix cells carry their worker axis in params only — the
+	// ingestion pivot stays reserved for the scaling sweep.
+	if s.IngestNsPerOpByWorkers != nil {
+		t.Fatalf("matrix cells leaked into the worker pivot: %v", s.IngestNsPerOpByWorkers)
+	}
+}
+
+func TestMatrixGroup(t *testing.T) {
+	for name, want := range map[string]string{
+		"BenchmarkMatrixIngest/size=16": "ingest",
+		"BenchmarkMatrixMerge":          "merge",
+		"BenchmarkMatrixQuery/cache=x":  "query",
+	} {
+		g, ok := matrixGroup(name)
+		if !ok || g != want {
+			t.Errorf("matrixGroup(%q) = %q, %v; want %q", name, g, ok, want)
+		}
+	}
+	for _, name := range []string{"BenchmarkIngestParallel/workers=1", "BenchmarkMatrix", "BenchmarkEstimateOrdered"} {
+		if g, ok := matrixGroup(name); ok {
+			t.Errorf("matrixGroup(%q) = %q, want no group", name, g)
+		}
 	}
 }
 

@@ -30,6 +30,12 @@ type Seeds struct {
 	fam    *xi.Family
 	s1, s2 int
 	gens   []*xi.Generator
+
+	// batch is the flattened word-major view of gens, built once at
+	// construction: the per-pattern sketch update touches all s1×s2
+	// cells, and the batch layout turns that into contiguous-array
+	// passes instead of one pointer chase per cell.
+	batch *xi.Batch
 }
 
 // NewSeeds draws s1 × s2 independent generators of the family from
@@ -42,6 +48,11 @@ func NewSeeds(fam *xi.Family, s1, s2 int, rnd interface{ Uint64() uint64 }) (*Se
 	for i := range se.gens {
 		se.gens[i] = fam.NewGenerator(rnd)
 	}
+	b, err := xi.NewBatch(se.gens)
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	se.batch = b
 	return se, nil
 }
 
@@ -91,8 +102,17 @@ func SeedsFromWords(fam *xi.Family, s1, s2 int, words [][]uint64) (*Seeds, error
 		}
 		se.gens[i] = g
 	}
+	b, err := xi.NewBatch(se.gens)
+	if err != nil {
+		return nil, fmt.Errorf("ams: %w", err)
+	}
+	se.batch = b
 	return se, nil
 }
+
+// Batch returns the flattened generator view shared by every sketch
+// over these seeds.
+func (se *Seeds) Batch() *xi.Batch { return se.batch }
 
 // MemoryBytes returns the memory consumed by the stored seeds, for the
 // paper's synopsis-size accounting ("independent random seeds required
@@ -158,15 +178,11 @@ func (s *Sketch) IsZero() bool {
 // UpdatePrepared adds delta·ξ_v to every cell for the prepared value.
 // delta is the (possibly negative) multiplicity: Update(v, -m) deletes
 // m instances of v, the AMS deletion property the top-k strategy
-// relies on.
+// relies on. The update runs through the flattened seed batch — one
+// contiguous branchless pass over the counters, the stream-processing
+// inner loop.
 func (s *Sketch) UpdatePrepared(p *xi.Prep, delta int64) {
-	for c, g := range s.seeds.gens {
-		if g.Xi(p) == 1 {
-			s.x[c] += delta
-		} else {
-			s.x[c] -= delta
-		}
-	}
+	s.seeds.batch.AddInto(p, delta, s.x)
 }
 
 // Update is UpdatePrepared with a one-off preparation of v.
@@ -294,6 +310,78 @@ func median(xs []float64) float64 {
 		return xs[n/2]
 	}
 	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// medianInPlace sorts xs with insertion sort — s2 is a handful of rows,
+// and unlike sort.Float64s it cannot allocate — and returns the median.
+// Row means are finite (integer-valued counters), so the sorted order,
+// and hence the median, is identical to sort.Float64s's.
+func medianInPlace(xs []float64) float64 {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+	n := len(xs)
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+// Estimator is reusable scratch for repeated count estimation over
+// sketches sharing one Seeds: the ξ preparation, the per-cell parity
+// bits, and the row means live in the Estimator, so steady-state
+// estimation allocates nothing. Results are bit-identical to
+// EstimateCount. An Estimator is not safe for concurrent use; pool
+// one per goroutine.
+type Estimator struct {
+	seeds *Seeds
+	prep  *xi.Prep
+	bits  []uint8
+	rows  []float64
+}
+
+// NewEstimator returns an estimator over the seeds.
+func (se *Seeds) NewEstimator() *Estimator {
+	return &Estimator{
+		seeds: se,
+		prep:  &xi.Prep{},
+		bits:  make([]uint8, se.Cells()),
+		rows:  make([]float64, se.s2),
+	}
+}
+
+// Count estimates the frequency of value v from the sketch, exactly as
+// Sketch.EstimateCount but through the estimator's scratch.
+func (es *Estimator) Count(s *Sketch, v uint64, adjust []int64) float64 {
+	es.seeds.Prepare(v, es.prep)
+	return es.CountPrepared(s, es.prep, adjust)
+}
+
+// CountPrepared is Count for an already-prepared value — the top-k
+// processing path estimates the very value whose preparation it was
+// handed, so re-deriving it would double the GF(2^m) work.
+func (es *Estimator) CountPrepared(s *Sketch, p *xi.Prep, adjust []int64) float64 {
+	se := es.seeds
+	se.batch.BitsInto(p, es.bits)
+	for i := 0; i < se.s2; i++ {
+		sum := 0.0
+		base := i * se.s1
+		for j := 0; j < se.s1; j++ {
+			c := base + j
+			x := s.x[c]
+			if adjust != nil {
+				x += adjust[c]
+			}
+			if es.bits[c] != 0 {
+				x = -x
+			}
+			sum += float64(x)
+		}
+		es.rows[i] = sum / float64(se.s1)
+	}
+	return medianInPlace(es.rows)
 }
 
 // EstimateCount estimates the frequency of value v: median over rows

@@ -469,3 +469,71 @@ func BenchmarkEstimateF2(b *testing.B) {
 		sinkF = s.EstimateF2(nil)
 	}
 }
+
+// Estimator must be a pure reorganization of EstimateCount: same
+// median-of-means, same float arithmetic, zero allocations in steady
+// state.
+func TestEstimatorMatchesEstimateCount(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 34))
+	fam := xi.NewBCHFamily(gf2.MustField(gf2.DefaultModulus(63)))
+	seeds, err := NewSeeds(fam, 25, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := seeds.NewSketch()
+	vals := make([]uint64, 200)
+	for i := range vals {
+		vals[i] = rng.Uint64()
+		sk.Update(vals[i], int64(rng.IntN(9)+1))
+	}
+	adjust := make([]int64, seeds.Cells())
+	for c := range adjust {
+		adjust[c] = int64(rng.IntN(5) - 2)
+	}
+	es := seeds.NewEstimator()
+	p := &xi.Prep{}
+	for _, v := range vals[:50] {
+		for _, adj := range [][]int64{nil, adjust} {
+			want := sk.EstimateCount(v, adj)
+			if got := es.Count(sk, v, adj); got != want {
+				t.Fatalf("Count(%#x) = %v, EstimateCount %v", v, got, want)
+			}
+			fam.Prepare(v, p)
+			if got := es.CountPrepared(sk, p, adj); got != want {
+				t.Fatalf("CountPrepared(%#x) = %v, EstimateCount %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestEstimatorZeroAlloc(t *testing.T) {
+	rng := rand.New(rand.NewPCG(55, 89))
+	fam := xi.NewBCHFamily(gf2.MustField(gf2.DefaultModulus(63)))
+	seeds, err := NewSeeds(fam, 25, 7, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sk := seeds.NewSketch()
+	sk.Update(42, 3)
+	es := seeds.NewEstimator()
+	es.Count(sk, 42, nil) // warm the Prep
+	if n := testing.AllocsPerRun(100, func() { es.Count(sk, 42, nil) }); n != 0 {
+		t.Errorf("Estimator.Count allocates %v per run, want 0", n)
+	}
+}
+
+func TestMedianInPlaceMatchesMedian(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 4))
+	for n := 1; n <= 9; n++ {
+		for trial := 0; trial < 200; trial++ {
+			a := make([]float64, n)
+			for i := range a {
+				a[i] = float64(rng.IntN(20) - 10)
+			}
+			b := append([]float64(nil), a...)
+			if got, want := medianInPlace(a), median(b); got != want {
+				t.Fatalf("n=%d: medianInPlace %v, median %v", n, got, want)
+			}
+		}
+	}
+}

@@ -56,6 +56,8 @@ func (e *Engine) Clone() (*Engine, error) {
 		en:       en,
 		plans:    e.plans,
 	}
+	c.visit = c.visitPattern
+	c.qest.New = func() any { return c.seeds.NewEstimator() }
 	if e.trackers != nil {
 		c.trackers = make([]*topk.Tracker, len(e.trackers))
 		for i, t := range e.trackers {

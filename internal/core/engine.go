@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand/v2"
 	"sort"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -188,6 +189,19 @@ type Engine struct {
 	prep      *xi.Prep         // reused across updates
 	encodeBuf []byte           // reused sequence-encoding buffer
 	en        *enum.Enumerator // reused across updates; Reset per tree
+	penc      patternEncoder   // reused pattern → Prüfer-bytes encoder
+
+	// visit is e.visitPattern bound once at construction; passing it to
+	// the enumerator avoids a fresh closure per tree. apply carries the
+	// per-tree state the callback needs (the update path is serialized,
+	// so one scratch area suffices).
+	visit func(*enum.Pattern) error
+	apply applyScratch
+
+	// qest pools query-side estimators: concurrent queries on one
+	// frozen engine (snapshot serving) each borrow a scratch estimator
+	// instead of allocating rows and parity bits per call.
+	qest sync.Pool
 
 	// plans memoizes the query-side pattern → value mapping; nil when
 	// Config.PlanCacheSize is PlanCacheDisabled. It is internally
@@ -262,6 +276,8 @@ func New(cfg Config) (*Engine, error) {
 		en:      en,
 		plans:   newPlanCache(cfg.PlanCacheSize),
 	}
+	e.visit = e.visitPattern
+	e.qest.New = func() any { return seeds.NewEstimator() }
 	if cfg.TopK > 0 {
 		e.trackers = make([]*topk.Tracker, cfg.VirtualStreams)
 		for i := range e.trackers {
@@ -301,6 +317,15 @@ func (e *Engine) patternValueReuse(q *tree.Node) uint64 {
 	return e.fp.Fingerprint(e.encodeBuf)
 }
 
+// patternValue maps an enumerated pattern to its value without
+// materializing a tree: the pattern encoder emits the same bytes as
+// PatternValue on p.ToTree() (pinned by an identity test), straight
+// into the engine's encode buffer. Update path only.
+func (e *Engine) patternValue(p *enum.Pattern) uint64 {
+	e.encodeBuf = e.penc.encode(p, e.encodeBuf[:0])
+	return e.fp.Fingerprint(e.encodeBuf)
+}
+
 // AddTree processes one tree from the stream: every ordered pattern
 // with 1..k edges is enumerated, mapped to its one-dimensional value,
 // and folded into the synopsis (Algorithm 1), with per-pattern top-k
@@ -328,76 +353,92 @@ func (e *Engine) RemoveTree(t *tree.Tree) error {
 	return e.applyTree(t, -1)
 }
 
+// applyScratch is the per-tree state of applyTree, read and written by
+// visitPattern. Keeping it on the engine (the update path is
+// serialized) lets the enumeration callback be the pre-bound e.visit
+// instead of a closure allocated per tree. occ mirrors the
+// per-occurrence pattern counter so the metrics atomics are updated
+// even on the partial-state error path.
+type applyScratch struct {
+	delta                                int64
+	timed                                bool
+	enumNs, fpNs, skNs, tkNs, tkOps, occ int64
+	mark                                 time.Time
+}
+
+// visitPattern folds one enumerated pattern occurrence into the
+// synopsis: value mapping, sketch update, sampled top-k processing,
+// and the optional truth/observer/auditor hooks. Stage timing
+// accumulates in the scratch area and flushes to the atomics once per
+// tree; with timers off the whole apparatus reduces to one boolean
+// test per pattern.
+func (e *Engine) visitPattern(p *enum.Pattern) error {
+	a := &e.apply
+	if a.timed {
+		now := time.Now()
+		a.enumNs += now.Sub(a.mark).Nanoseconds()
+		a.mark = now
+	}
+	v := e.patternValue(p)
+	if a.timed {
+		now := time.Now()
+		a.fpNs += now.Sub(a.mark).Nanoseconds()
+		a.mark = now
+	}
+	e.fam.Prepare(v, e.prep)
+	e.streams.UpdatePrepared(v, e.prep, a.delta)
+	if a.timed {
+		now := time.Now()
+		a.skNs += now.Sub(a.mark).Nanoseconds()
+		a.mark = now
+	}
+	if a.delta > 0 && e.trackers != nil && e.sampleTopK() {
+		e.trackers[e.streams.Route(v)].Process(v, e.prep)
+		if a.timed {
+			now := time.Now()
+			a.tkNs += now.Sub(a.mark).Nanoseconds()
+			a.mark = now
+			a.tkOps++
+		}
+	}
+	if e.truth != nil {
+		e.truth.Add(v, a.delta)
+	}
+	if e.observer != nil {
+		e.observer(v, p)
+	}
+	if e.auditor != nil {
+		e.auditor.Observe(v, a.delta)
+	}
+	// Incremented per applied occurrence, inside the callback, so
+	// that on a mid-enumeration error PatternsProcessed counts
+	// exactly the occurrences the sketches actually absorbed (the
+	// partial-state contract documented on AddTree).
+	e.patterns += a.delta
+	a.occ++
+	return nil
+}
+
 func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	if t == nil || t.Root == nil {
 		return fmt.Errorf("core: nil tree")
 	}
-	// Stage timing accumulates in locals and flushes to the atomics
-	// once per tree; with timers off the whole apparatus reduces to one
-	// boolean test per pattern. occ mirrors the per-occurrence pattern
-	// counter so the metrics atomics are updated even on the
-	// partial-state error path.
-	timed := e.met.TimersOn()
-	var enumNs, fpNs, skNs, tkNs, tkOps, occ int64
-	var mark time.Time
-	if timed {
-		mark = time.Now()
+	a := &e.apply
+	*a = applyScratch{delta: delta, timed: e.met.TimersOn()}
+	if a.timed {
+		a.mark = time.Now()
 	}
 	// The enumerator is reused across updates like prep/encodeBuf; its
 	// memo is keyed by node identity and must be reset per tree.
 	e.en.Reset()
-	err := e.en.ForEach(t.Root, func(p *enum.Pattern) error {
-		if timed {
-			now := time.Now()
-			enumNs += now.Sub(mark).Nanoseconds()
-			mark = now
-		}
-		v := e.patternValueReuse(p.ToTree())
-		if timed {
-			now := time.Now()
-			fpNs += now.Sub(mark).Nanoseconds()
-			mark = now
-		}
-		e.fam.Prepare(v, e.prep)
-		e.streams.UpdatePrepared(v, e.prep, delta)
-		if timed {
-			now := time.Now()
-			skNs += now.Sub(mark).Nanoseconds()
-			mark = now
-		}
-		if delta > 0 && e.trackers != nil && e.sampleTopK() {
-			e.trackers[e.streams.Route(v)].Process(v, e.prep)
-			if timed {
-				now := time.Now()
-				tkNs += now.Sub(mark).Nanoseconds()
-				mark = now
-				tkOps++
-			}
-		}
-		if e.truth != nil {
-			e.truth.Add(v, delta)
-		}
-		if e.observer != nil {
-			e.observer(v, p)
-		}
-		if e.auditor != nil {
-			e.auditor.Observe(v, delta)
-		}
-		// Incremented per applied occurrence, inside the callback, so
-		// that on a mid-enumeration error PatternsProcessed counts
-		// exactly the occurrences the sketches actually absorbed (the
-		// partial-state contract documented on AddTree).
-		e.patterns += delta
-		occ++
-		return nil
-	})
-	if timed {
-		e.met.StageAdd(obs.StageEnum, occ, enumNs)
-		e.met.StageAdd(obs.StageFingerprint, occ, fpNs)
-		e.met.StageAdd(obs.StageSketch, occ, skNs)
-		e.met.StageAdd(obs.StageTopK, tkOps, tkNs)
+	err := e.en.ForEach(t.Root, e.visit)
+	if a.timed {
+		e.met.StageAdd(obs.StageEnum, a.occ, a.enumNs)
+		e.met.StageAdd(obs.StageFingerprint, a.occ, a.fpNs)
+		e.met.StageAdd(obs.StageSketch, a.occ, a.skNs)
+		e.met.StageAdd(obs.StageTopK, a.tkOps, a.tkNs)
 	}
-	e.met.AddPatterns(occ * delta)
+	e.met.AddPatterns(a.occ * delta)
 	if err != nil {
 		return err
 	}

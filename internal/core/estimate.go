@@ -119,15 +119,20 @@ func (e *Engine) estimateUnorderedWithError(q *tree.Node) (Estimate, error) {
 // adjustmentForValue is the single-value top-k compensation.
 func (e *Engine) adjustmentForValue(v uint64) []int64 {
 	if t := e.trackerFor(v); t != nil {
-		return t.Adjustment([]uint64{v})
+		return t.AdjustmentOne(v)
 	}
 	return nil
 }
 
 // estimateValue runs the single-pattern query path on an already-mapped
 // one-dimensional value: routed sketch estimate with top-k
-// compensation. This is the estimator the auditor scores, so the audit
-// report measures exactly the error a user-issued ordered query sees.
+// compensation, through a pooled estimator so repeated queries reuse
+// the row and parity scratch. This is the estimator the auditor
+// scores, so the audit report measures exactly the error a
+// user-issued ordered query sees.
 func (e *Engine) estimateValue(v uint64) float64 {
-	return e.streams.SketchFor(v).EstimateCount(v, e.adjustmentForValue(v))
+	es := e.qest.Get().(*ams.Estimator)
+	est := es.Count(e.streams.SketchFor(v), v, e.adjustmentForValue(v))
+	e.qest.Put(es)
+	return est
 }

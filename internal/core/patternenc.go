@@ -1,0 +1,74 @@
+package core
+
+import (
+	"encoding/binary"
+
+	"sketchtree/internal/enum"
+)
+
+// patternEncoder serializes an enumerated pattern into the framed byte
+// encoding of its extended Prüfer sequence — the exact bytes of
+// prufer.OfNode(p.ToTree()).Encode — without materializing the tree or
+// the sequence. AddTree runs it once per enumerated pattern, so both
+// scratch slices are reused across calls; an identity test pins the
+// byte-for-byte equivalence with the prufer package.
+type patternEncoder struct {
+	ents []pent // extended-tree nodes in postorder; ents[i] is number i+1
+	nums []int  // shared child-number stack across the recursive walk
+}
+
+// pent is one extended-tree node: the postorder number of its parent
+// (0 for the root) and its label. Dummy leaves keep an empty label and
+// never occur as parents.
+type pent struct {
+	parent int
+	label  string
+}
+
+// walk numbers the extended subtree of p in postorder, mirroring
+// prufer.OfNode's traversal: a pattern leaf contributes a dummy child
+// plus itself, an internal pattern node is visited after its chosen
+// children.
+func (pe *patternEncoder) walk(p *enum.Pattern) int {
+	if len(p.Children) == 0 {
+		dummy := len(pe.ents)
+		pe.ents = append(pe.ents, pent{})
+		self := len(pe.ents)
+		pe.ents = append(pe.ents, pent{label: p.Node.Label})
+		pe.ents[dummy].parent = self + 1
+		return self + 1
+	}
+	base := len(pe.nums)
+	for _, c := range p.Children {
+		n := pe.walk(c)
+		pe.nums = append(pe.nums, n)
+	}
+	self := len(pe.ents)
+	pe.ents = append(pe.ents, pent{label: p.Node.Label})
+	for _, cn := range pe.nums[base:] {
+		pe.ents[cn-1].parent = self + 1
+	}
+	pe.nums = pe.nums[:base]
+	return self + 1
+}
+
+// encode appends the framed (LPS, NPS) encoding of p to buf: the
+// sequence length, then per-entry label-length-prefixed LPS labels,
+// then the NPS numbers, all as uvarints (prufer.Sequence.Encode's
+// exact layout).
+func (pe *patternEncoder) encode(p *enum.Pattern, buf []byte) []byte {
+	pe.ents = pe.ents[:0]
+	pe.nums = pe.nums[:0]
+	pe.walk(p)
+	n := len(pe.ents)
+	buf = binary.AppendUvarint(buf, uint64(n-1))
+	for v := 1; v < n; v++ {
+		l := pe.ents[pe.ents[v-1].parent-1].label
+		buf = binary.AppendUvarint(buf, uint64(len(l)))
+		buf = append(buf, l...)
+	}
+	for v := 1; v < n; v++ {
+		buf = binary.AppendUvarint(buf, uint64(pe.ents[v-1].parent))
+	}
+	return buf
+}

@@ -145,6 +145,8 @@ func Restore(data []byte) (*Engine, error) {
 		patterns: sn.Patterns,
 		met:      &obs.Metrics{},
 	}
+	e.visit = e.visitPattern
+	e.qest.New = func() any { return seeds.NewEstimator() }
 	// Stage timings and the latency histogram are process-local and
 	// start fresh, but the counters realign with the persisted totals
 	// so Stats matches TreesProcessed/PatternsProcessed after restore.

@@ -55,16 +55,27 @@ func newPlanCache(capacity int) *planCache {
 	}
 }
 
+// keyBufPool recycles the byte buffers queries build their cache keys
+// in; concurrent queries (snapshot serving) each borrow one instead of
+// allocating a string key per call.
+var keyBufPool = sync.Pool{New: func() any { b := make([]byte, 0, 128); return &b }}
+
 // lookup returns the cached value list for key. The returned slice is
 // shared — callers must not mutate it.
+//
+// The entry's value slice is read inside the critical section: store
+// overwrites planEntry.vs in place on a duplicate insert, so reading
+// it after unlock would race with a concurrent store of the same key.
 func (c *planCache) lookup(key string) ([]uint64, bool) {
 	if c == nil {
 		return nil, false
 	}
+	var vs []uint64
 	c.mu.Lock()
 	el, ok := c.idx[key]
 	if ok {
 		c.ll.MoveToFront(el)
+		vs = el.Value.(*planEntry).vs
 	}
 	c.mu.Unlock()
 	if !ok {
@@ -72,7 +83,29 @@ func (c *planCache) lookup(key string) ([]uint64, bool) {
 		return nil, false
 	}
 	c.hits.Add(1)
-	return el.Value.(*planEntry).vs, true
+	return vs, true
+}
+
+// lookupBytes is lookup keyed by a byte slice, letting callers probe
+// with a reused buffer; the map index converts without allocating.
+func (c *planCache) lookupBytes(key []byte) ([]uint64, bool) {
+	if c == nil {
+		return nil, false
+	}
+	var vs []uint64
+	c.mu.Lock()
+	el, ok := c.idx[string(key)]
+	if ok {
+		c.ll.MoveToFront(el)
+		vs = el.Value.(*planEntry).vs
+	}
+	c.mu.Unlock()
+	if !ok {
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return vs, true
 }
 
 // store inserts a computed plan, evicting the least recently used entry

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"sync/atomic"
 	"testing"
 
 	"sketchtree/internal/tree"
@@ -144,5 +145,51 @@ func TestPlanCacheSurvivesRestore(t *testing.T) {
 	}
 	if sn.Misses == 0 {
 		t.Error("restored cache should start cold (expected a miss)")
+	}
+}
+
+// TestPlanCacheLookupStoreRace exercises concurrent lookups and
+// in-place overwrites of one key. Before the fix, lookup read the
+// entry's value slice after releasing the mutex, racing with store's
+// in-place update — `go test -race` flags the old code on this test.
+func TestPlanCacheLookupStoreRace(t *testing.T) {
+	c := newPlanCache(8)
+	c.store("o:(A)", []uint64{0})
+	var stop atomic.Bool
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := uint64(1); !stop.Load(); i++ {
+			c.store("o:(A)", []uint64{i})
+		}
+	}()
+	key := []byte("o:(A)")
+	for i := 0; i < 50000; i++ {
+		if vs, ok := c.lookup("o:(A)"); ok && vs[0] > 1<<62 {
+			t.Fatalf("impossible plan value %d", vs[0])
+		}
+		if vs, ok := c.lookupBytes(key); ok && vs[0] > 1<<62 {
+			t.Fatalf("impossible byte-keyed plan value %d", vs[0])
+		}
+	}
+	stop.Store(true)
+	<-done
+}
+
+// TestPlanCacheLookupBytesMatchesLookup pins that the two probes hit
+// the same entries.
+func TestPlanCacheLookupBytesMatchesLookup(t *testing.T) {
+	c := newPlanCache(4)
+	c.store("o:(A (B))", []uint64{7, 9})
+	vs1, ok1 := c.lookup("o:(A (B))")
+	vs2, ok2 := c.lookupBytes([]byte("o:(A (B))"))
+	if !ok1 || !ok2 {
+		t.Fatalf("lookup=%v lookupBytes=%v, want both hits", ok1, ok2)
+	}
+	if len(vs1) != 2 || len(vs2) != 2 || vs1[0] != vs2[0] || vs1[1] != vs2[1] {
+		t.Fatalf("lookup %v != lookupBytes %v", vs1, vs2)
+	}
+	if _, ok := c.lookupBytes([]byte("o:(missing)")); ok {
+		t.Fatal("lookupBytes hit a missing key")
 	}
 }

@@ -44,17 +44,24 @@ func (e *Engine) estimateOrdered(q *tree.Node) (float64, error) {
 
 // orderedValue maps a validated pattern to its one-dimensional value
 // through the query-plan cache (a plain PatternValue call when caching
-// is disabled).
+// is disabled). The key is built into a pooled buffer and probed with
+// lookupBytes, so a cache hit performs no allocation.
 func (e *Engine) orderedValue(q *tree.Node) uint64 {
 	if e.plans == nil {
 		return e.PatternValue(q)
 	}
-	key := "o:" + q.String()
-	if vs, ok := e.plans.lookup(key); ok {
-		return vs[0]
+	kb := keyBufPool.Get().(*[]byte)
+	key := q.AppendSexp(append((*kb)[:0], 'o', ':'))
+	vs, ok := e.plans.lookupBytes(key)
+	var v uint64
+	if ok {
+		v = vs[0]
+	} else {
+		v = e.PatternValue(q)
+		e.plans.store(string(key), []uint64{v})
 	}
-	v := e.PatternValue(q)
-	e.plans.store(key, []uint64{v})
+	*kb = key[:0]
+	keyBufPool.Put(kb)
 	return v
 }
 
@@ -63,10 +70,13 @@ func (e *Engine) orderedValue(q *tree.Node) uint64 {
 // query-plan cache. The returned slice is shared with the cache and
 // must not be mutated.
 func (e *Engine) unorderedValues(q *tree.Node) ([]uint64, error) {
-	var key string
 	if e.plans != nil {
-		key = "u:" + q.String()
-		if vs, ok := e.plans.lookup(key); ok {
+		kb := keyBufPool.Get().(*[]byte)
+		key := q.AppendSexp(append((*kb)[:0], 'u', ':'))
+		vs, ok := e.plans.lookupBytes(key)
+		*kb = key[:0]
+		keyBufPool.Put(kb)
+		if ok {
 			return vs, nil
 		}
 	}
@@ -78,7 +88,9 @@ func (e *Engine) unorderedValues(q *tree.Node) ([]uint64, error) {
 	if err != nil {
 		return nil, err
 	}
-	e.plans.store(key, vs)
+	if e.plans != nil {
+		e.plans.store("u:"+q.String(), vs)
+	}
 	return vs, nil
 }
 

@@ -1,0 +1,9 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this
+// build. Allocation-count assertions over sync.Pool-backed paths are
+// skipped under -race: instrumented pools intentionally drop and
+// bypass entries at random, so Get may allocate.
+const raceEnabled = true

@@ -64,10 +64,88 @@ func (p *Pattern) String() string { return p.ToTree().String() }
 // Enumerator memoizes pattern sets for one data tree at a time: the
 // memo is keyed by node identity, so call Reset before moving to the
 // next tree (or create one enumerator per tree).
+//
+// All Pattern structs and the []*Pattern slices backing Children and
+// memo entries are carved from slabs owned by the enumerator, and
+// Reset rewinds the slabs instead of discarding them: steady-state
+// enumeration of a stream of similar trees performs no heap
+// allocations at all. The price is the ownership contract — every
+// pattern the enumerator ever returned is invalidated by Reset.
 type Enumerator struct {
 	maxEdges int
 	memo     map[memoKey][]*Pattern
 	leaves   map[*tree.Node]*Pattern
+
+	// Pattern-struct slab storage. pat is the slab being filled
+	// (patSlabs[patNext-1]), patOff the next free entry.
+	patSlabs [][]Pattern
+	pat      []Pattern
+	patOff   int
+	patNext  int
+
+	// []*Pattern slab storage for Children and memo slices.
+	refSlabs [][]*Pattern
+	ref      []*Pattern
+	refOff   int
+	refNext  int
+
+	// Shared recursion stacks. assign pushes chosen subpatterns on acc
+	// and completed patterns on res; nested Rooted calls address them
+	// through base offsets, so one pair of stacks serves the whole
+	// mutually recursive enumeration without per-call slices.
+	acc []*Pattern
+	res []*Pattern
+}
+
+const (
+	patSlabSize = 1024
+	refSlabSize = 4096
+)
+
+// grabPatSlab advances pat to the next recycled slab, allocating one
+// only when every existing slab is full.
+func (e *Enumerator) grabPatSlab() {
+	if e.patNext == len(e.patSlabs) {
+		e.patSlabs = append(e.patSlabs, make([]Pattern, patSlabSize))
+	}
+	e.pat = e.patSlabs[e.patNext]
+	e.patNext++
+	e.patOff = 0
+}
+
+// newPattern carves a pattern struct from the slab arena.
+func (e *Enumerator) newPattern(node *tree.Node, children []*Pattern) *Pattern {
+	if e.patOff == len(e.pat) {
+		e.grabPatSlab()
+	}
+	p := &e.pat[e.patOff]
+	e.patOff++
+	p.Node = node
+	p.Children = children
+	return p
+}
+
+// carve returns n fresh entries from the reference-slice arena. The
+// result is capacity-clamped so it can never grow into a neighbour.
+func (e *Enumerator) carve(n int) []*Pattern {
+	if n == 0 {
+		return nil
+	}
+	for e.refOff+n > len(e.ref) {
+		if e.refNext == len(e.refSlabs) {
+			size := refSlabSize
+			if n > size {
+				size = n
+			}
+			e.refSlabs = append(e.refSlabs, make([]*Pattern, size))
+		}
+		e.ref = e.refSlabs[e.refNext]
+		e.refNext++
+		e.refOff = 0
+	}
+	s := e.ref[e.refOff : e.refOff+n : e.refOff+n]
+	e.refOff += n
+	return s
 }
 
 type memoKey struct {
@@ -92,20 +170,26 @@ func NewEnumerator(maxEdges int) (*Enumerator, error) {
 func (e *Enumerator) MaxEdges() int { return e.maxEdges }
 
 // Reset clears the per-tree memo so the enumerator can be reused for
-// another data tree, retaining the allocated map capacity. The memo is
-// keyed by node identity, so it must be reset between trees; callers
-// that process a stream should create one enumerator and Reset it per
-// tree instead of allocating a fresh one each time.
+// another data tree, retaining the allocated map capacity and pattern
+// slabs. The memo is keyed by node identity, so it must be reset
+// between trees; callers that process a stream should create one
+// enumerator and Reset it per tree instead of allocating a fresh one
+// each time. Reset invalidates every pattern previously returned —
+// the slabs backing them are rewound and will be overwritten.
 func (e *Enumerator) Reset() {
 	clear(e.memo)
 	clear(e.leaves)
+	e.pat, e.patOff, e.patNext = nil, 0, 0
+	e.ref, e.refOff, e.refNext = nil, 0, 0
+	e.acc = e.acc[:0]
+	e.res = e.res[:0]
 }
 
 func (e *Enumerator) leaf(n *tree.Node) *Pattern {
 	if p, ok := e.leaves[n]; ok {
 		return p
 	}
-	p := &Pattern{Node: n}
+	p := e.newPattern(n, nil)
 	e.leaves[n] = p
 	return p
 }
@@ -122,46 +206,54 @@ func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
 		return ps
 	}
 	var out []*Pattern
-	f := len(node.Children)
-	if f > 0 {
-		// Walk the children left to right; at each child either skip it
-		// or include its edge plus x further edges below it. This
-		// enumerates every (ordered child subset, composition) pair of
-		// Algorithm 3 exactly once.
-		acc := make([]*Pattern, 0, n)
-		var assign func(ci, left int)
-		assign = func(ci, left int) {
-			if left == 0 {
-				if len(acc) > 0 {
-					children := make([]*Pattern, len(acc))
-					copy(children, acc)
-					out = append(out, &Pattern{Node: node, Children: children})
-				}
-				return
-			}
-			if ci == f {
-				return
-			}
-			// Skip child ci.
-			assign(ci+1, left)
-			// Include child ci as a pattern leaf (x = 0).
-			c := node.Children[ci]
-			acc = append(acc, e.leaf(c))
-			assign(ci+1, left-1)
-			acc = acc[:len(acc)-1]
-			// Include child ci with x >= 1 edges beneath it.
-			for x := 1; x <= left-1; x++ {
-				for _, sub := range e.Rooted(c, x) {
-					acc = append(acc, sub)
-					assign(ci+1, left-1-x)
-					acc = acc[:len(acc)-1]
-				}
-			}
+	if len(node.Children) > 0 {
+		base := len(e.res)
+		e.assign(node, 0, n, len(e.acc))
+		if m := len(e.res) - base; m > 0 {
+			out = e.carve(m)
+			copy(out, e.res[base:])
 		}
-		assign(0, n)
+		e.res = e.res[:base]
 	}
 	e.memo[key] = out
 	return out
+}
+
+// assign walks node's children left to right from index ci with left
+// edges still to place; at each child it either skips it or includes
+// its edge plus x further edges below it. This enumerates every
+// (ordered child subset, composition) pair of Algorithm 3 exactly
+// once. Chosen subpatterns so far live on e.acc[accBase:], completed
+// patterns are appended to e.res; nested Rooted calls push and pop
+// above the current tops, so both stacks read consistently across the
+// mutual recursion.
+func (e *Enumerator) assign(node *tree.Node, ci, left, accBase int) {
+	if left == 0 {
+		if len(e.acc) > accBase {
+			children := e.carve(len(e.acc) - accBase)
+			copy(children, e.acc[accBase:])
+			e.res = append(e.res, e.newPattern(node, children))
+		}
+		return
+	}
+	if ci == len(node.Children) {
+		return
+	}
+	// Skip child ci.
+	e.assign(node, ci+1, left, accBase)
+	// Include child ci as a pattern leaf (x = 0).
+	c := node.Children[ci]
+	e.acc = append(e.acc, e.leaf(c))
+	e.assign(node, ci+1, left-1, accBase)
+	e.acc = e.acc[:len(e.acc)-1]
+	// Include child ci with x >= 1 edges beneath it.
+	for x := 1; x <= left-1; x++ {
+		for _, sub := range e.Rooted(c, x) {
+			e.acc = append(e.acc, sub)
+			e.assign(node, ci+1, left-1-x, accBase)
+			e.acc = e.acc[:len(e.acc)-1]
+		}
+	}
 }
 
 // ForEach invokes fn for every pattern with 1..maxEdges edges rooted
@@ -169,23 +261,19 @@ func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
 // increasing order per root. Enumeration stops early if fn returns an
 // error, which is then returned.
 func (e *Enumerator) ForEach(root *tree.Node, fn func(*Pattern) error) error {
-	var walk func(n *tree.Node) error
-	walk = func(n *tree.Node) error {
-		for _, c := range n.Children {
-			if err := walk(c); err != nil {
+	for _, c := range root.Children {
+		if err := e.ForEach(c, fn); err != nil {
+			return err
+		}
+	}
+	for size := 1; size <= e.maxEdges; size++ {
+		for _, p := range e.Rooted(root, size) {
+			if err := fn(p); err != nil {
 				return err
 			}
 		}
-		for size := 1; size <= e.maxEdges; size++ {
-			for _, p := range e.Rooted(n, size) {
-				if err := fn(p); err != nil {
-					return err
-				}
-			}
-		}
-		return nil
 	}
-	return walk(root)
+	return nil
 }
 
 // Patterns enumerates all patterns with 1..k edges in the tree rooted

@@ -209,6 +209,29 @@ type Field struct {
 	modulus uint64
 	deg     int
 	mask    uint64 // deg low bits
+
+	// Byte-fold reduction table for degrees >= 8: red[t] = t·x^deg mod
+	// modulus, the same table Rabin fingerprinting uses. It turns the
+	// 128-bit reduction of Mul/Square into 16 table lookups instead of a
+	// 64-iteration branchy loop — the per-pattern ξ preparation (Reduce,
+	// Cube) is on the stream hot path. top is deg-8; red stays nil for
+	// degrees below 8, where the generic Mod128 is used instead.
+	red *[256]uint64
+	top uint
+}
+
+// sqrTab spreads the 8 bits of a byte to the 16 even bit positions:
+// squaring over GF(2) maps bit i to bit 2i with no cross terms.
+var sqrTab [256]uint16
+
+func init() {
+	for b := 0; b < 256; b++ {
+		var s uint16
+		for i := 0; i < 8; i++ {
+			s |= uint16(b>>uint(i)&1) << uint(2*i)
+		}
+		sqrTab[b] = s
+	}
 }
 
 // NewField constructs the field defined by the given irreducible
@@ -222,7 +245,24 @@ func NewField(modulus uint64) (*Field, error) {
 	if !Irreducible(modulus) {
 		return nil, fmt.Errorf("gf2: modulus %#x is reducible", modulus)
 	}
-	return &Field{modulus: modulus, deg: d, mask: 1<<uint(d) - 1}, nil
+	f := &Field{modulus: modulus, deg: d, mask: 1<<uint(d) - 1}
+	if d >= 8 {
+		f.top = uint(d - 8)
+		f.red = new([256]uint64)
+		for t := 1; t < 256; t++ {
+			// t·x^deg mod m, built by multiplying t by x deg times; t has
+			// degree <= 7 < deg, so the running value stays reduced.
+			v := uint64(t)
+			for i := 0; i < d; i++ {
+				v <<= 1
+				if v&(1<<uint(d)) != 0 {
+					v ^= modulus
+				}
+			}
+			f.red[t] = v
+		}
+	}
+	return f, nil
 }
 
 // MustField is NewField that panics on error, for package-level
@@ -248,14 +288,51 @@ func (f *Field) Reduce(a uint64) uint64 { return Mod(a, f.modulus) }
 // Add returns a + b (XOR).
 func (f *Field) Add(a, b uint64) uint64 { return a ^ b }
 
+// foldByte folds one byte into a running residue r < 2^deg:
+// r·x^8 + b mod modulus, via one table lookup. Small enough for the
+// inliner, so the mod128 loop compiles without call overhead.
+func (f *Field) foldByte(r uint64, b byte) uint64 {
+	return (r<<8|uint64(b))&f.mask ^ f.red[r>>f.top]
+}
+
+// mod128 reduces the 128-bit polynomial (hi, lo) with the byte-fold
+// table when available (degree >= 8), else with the generic Mod128.
+// Folding the 16 bytes most-significant first computes
+// (hi·x^64 + lo) mod modulus exactly.
+func (f *Field) mod128(hi, lo uint64) uint64 {
+	if f.red == nil {
+		return Mod128(hi, lo, f.modulus)
+	}
+	var r uint64
+	for s := 56; s >= 0; s -= 8 {
+		r = f.foldByte(r, byte(hi>>uint(s)))
+	}
+	for s := 56; s >= 0; s -= 8 {
+		r = f.foldByte(r, byte(lo>>uint(s)))
+	}
+	return r
+}
+
 // Mul returns a * b in the field.
 func (f *Field) Mul(a, b uint64) uint64 {
 	hi, lo := Clmul(a, b)
-	return Mod128(hi, lo, f.modulus)
+	return f.mod128(hi, lo)
 }
 
-// Square returns a² in the field.
-func (f *Field) Square(a uint64) uint64 { return f.Mul(a, a) }
+// Square returns a² in the field. Squaring over GF(2) has no cross
+// terms — bit i maps to bit 2i — so the 128-bit square is 8 spread-table
+// lookups rather than a carry-less multiplication.
+func (f *Field) Square(a uint64) uint64 {
+	lo := uint64(sqrTab[byte(a)]) |
+		uint64(sqrTab[byte(a>>8)])<<16 |
+		uint64(sqrTab[byte(a>>16)])<<32 |
+		uint64(sqrTab[byte(a>>24)])<<48
+	hi := uint64(sqrTab[byte(a>>32)]) |
+		uint64(sqrTab[byte(a>>40)])<<16 |
+		uint64(sqrTab[byte(a>>48)])<<32 |
+		uint64(sqrTab[byte(a>>56)])<<48
+	return f.mod128(hi, lo)
+}
 
 // Cube returns a³ in the field (used by the BCH four-wise ξ
 // construction).

@@ -438,3 +438,35 @@ func BenchmarkCube63(b *testing.B) {
 }
 
 var sink uint64
+
+// The table-driven Field reduction (mod128 via byte folds) and the
+// spread-table Square are the hot-path fast paths; they must agree
+// bit-for-bit with the generic Clmul/Mod128 reference on every degree,
+// including the small-degree fallback below 8.
+func TestFieldMulMatchesGenericMulMod(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 11))
+	for _, deg := range []int{2, 4, 7, 8, 9, 15, 31, 32, 61, 62, 63} {
+		f := MustField(DefaultModulus(deg))
+		for i := 0; i < 500; i++ {
+			a, b := rng.Uint64(), rng.Uint64()
+			hi, lo := Clmul(a, b)
+			if got, want := f.Mul(a, b), Mod128(hi, lo, f.Modulus()); got != want {
+				t.Fatalf("deg %d: Mul(%#x, %#x) = %#x, generic %#x", deg, a, b, got, want)
+			}
+		}
+	}
+}
+
+func TestFieldSquareMatchesMul(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for _, deg := range []int{2, 7, 8, 31, 61, 62, 63} {
+		f := MustField(DefaultModulus(deg))
+		for i := 0; i < 500; i++ {
+			a := rng.Uint64()
+			hi, lo := Clmul(a, a)
+			if got, want := f.Square(a), Mod128(hi, lo, f.Modulus()); got != want {
+				t.Fatalf("deg %d: Square(%#x) = %#x, generic %#x", deg, a, got, want)
+			}
+		}
+	}
+}

@@ -68,6 +68,14 @@ type Tracker struct {
 	residency   atomic.Int64
 	minFreq     atomic.Int64
 	deletedMass atomic.Int64
+
+	// Hot-path scratch: Process runs once per sampled pattern
+	// occurrence, so its re-estimation and eviction updates must not
+	// allocate. est reuses row/bit buffers, prep re-prepares evicted
+	// values, and free recycles list entries displaced earlier.
+	est  *ams.Estimator
+	prep *xi.Prep
+	free []*entry
 }
 
 // New creates a tracker of capacity k over the sketch. The sketch must
@@ -81,7 +89,26 @@ func New(k int, sketch *ams.Sketch) (*Tracker, error) {
 	if sketch == nil {
 		return nil, fmt.Errorf("topk: nil sketch")
 	}
-	return &Tracker{k: k, sketch: sketch, entries: make(map[uint64]*entry)}, nil
+	return &Tracker{
+		k:       k,
+		sketch:  sketch,
+		entries: make(map[uint64]*entry),
+		est:     sketch.Seeds().NewEstimator(),
+		prep:    &xi.Prep{},
+	}, nil
+}
+
+// newEntry takes an entry from the free list, or allocates one. In
+// steady state every admission reuses an entry recycled by an earlier
+// removal or eviction.
+func (t *Tracker) newEntry(v uint64, freq int64) *entry {
+	if n := len(t.free); n > 0 {
+		e := t.free[n-1]
+		t.free = t.free[:n-1]
+		*e = entry{value: v, freq: freq}
+		return e
+	}
+	return &entry{value: v, freq: freq}
 }
 
 // K returns the tracker capacity.
@@ -117,8 +144,12 @@ func (t *Tracker) Process(v uint64, p *xi.Prep) {
 		heap.Remove(&t.heap, e.pos)
 		delete(t.entries, v)
 		t.deletedMass.Add(-e.freq)
+		t.free = append(t.free, e)
 	}
-	est := estimateRounded(t.sketch, v)
+	// Re-estimate through the caller's preparation of v — Algorithm 4
+	// line 8 scores exactly the value that just arrived, so the GF(2^m)
+	// value-side work is already done.
+	est := int64(math.Round(t.est.CountPrepared(t.sketch, p, nil)))
 	if est <= 0 {
 		t.syncMirror()
 		return
@@ -131,11 +162,13 @@ func (t *Tracker) Process(v uint64, p *xi.Prep) {
 		// Evict the minimum: restore its instances to the sketch.
 		min := heap.Pop(&t.heap).(*entry)
 		delete(t.entries, min.value)
-		t.sketch.Update(min.value, min.freq)
+		t.sketch.Seeds().Prepare(min.value, t.prep)
+		t.sketch.UpdatePrepared(t.prep, min.freq)
 		t.evictions.Add(1)
 		t.deletedMass.Add(-min.freq)
+		t.free = append(t.free, min)
 	}
-	e := &entry{value: v, freq: est}
+	e := t.newEntry(v, est)
 	heap.Push(&t.heap, e)
 	t.entries[v] = e
 	t.sketch.UpdatePrepared(p, -est) // delete the estimated instances
@@ -178,12 +211,6 @@ func (t *Tracker) Churn() Churn {
 	}
 }
 
-// estimateRounded estimates the frequency of v and rounds to the
-// nearest integer so sketch arithmetic stays exact.
-func estimateRounded(s *ams.Sketch, v uint64) int64 {
-	return int64(math.Round(s.EstimateCount(v, nil)))
-}
-
 // Adjustment returns the per-cell compensation d for a query over
 // values vs: d[c] = Σ_{v ∈ vs ∩ L} ξ_v(c)·f_v, to be added to the
 // counters during estimation (paper §5.2: "Z_j ← ξ·(X_ij + d)").
@@ -212,6 +239,23 @@ func (t *Tracker) Adjustment(vs []uint64) []int64 {
 	return adj
 }
 
+// AdjustmentOne is Adjustment for a single query value — the
+// single-pattern query path. An untracked value (the common case)
+// returns nil without allocating.
+func (t *Tracker) AdjustmentOne(v uint64) []int64 {
+	e, ok := t.entries[v]
+	if !ok {
+		return nil
+	}
+	seeds := t.sketch.Seeds()
+	adj := make([]int64, seeds.Cells())
+	p := seeds.Prepare(v, nil)
+	for c := range adj {
+		adj[c] = int64(seeds.Xi(c, p)) * e.freq
+	}
+	return adj
+}
+
 // AdjustmentAll compensates for every tracked value; used for
 // whole-stream diagnostics such as self-join size including the
 // deleted heavy hitters.
@@ -235,6 +279,7 @@ func (t *Tracker) RestoreAll() {
 	for v, e := range t.entries {
 		t.sketch.Update(v, e.freq)
 		delete(t.entries, v)
+		t.free = append(t.free, e)
 	}
 	t.heap = t.heap[:0]
 	t.residency.Store(0)

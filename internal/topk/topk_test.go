@@ -356,3 +356,36 @@ func TestRestoreValidation(t *testing.T) {
 		t.Error("invalid capacity must fail")
 	}
 }
+
+// TestProcessZeroAlloc pins the Algorithm 4 hot path at zero heap
+// allocations per arrival once the tracker has warmed up: the
+// re-estimation reuses the tracker's Estimator scratch, evictions
+// re-prepare through the tracker's Prep, and list entries come off the
+// free list.
+func TestProcessZeroAlloc(t *testing.T) {
+	sk := newSketch(t, 8, 5, 23)
+	tr, err := New(4, sk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Warm up: fill the tracker and force evictions so the free list
+	// and heap reach steady-state capacity.
+	vals := []uint64{3, 5, 7, 11, 13, 17}
+	for i := 0; i < 30; i++ {
+		for _, v := range vals {
+			process(tr, sk, v)
+		}
+	}
+	p := &xi.Prep{}
+	i := 0
+	allocs := testing.AllocsPerRun(200, func() {
+		v := vals[i%len(vals)]
+		i++
+		sk.Seeds().Prepare(v, p)
+		sk.UpdatePrepared(p, 1)
+		tr.Process(v, p)
+	})
+	if allocs != 0 {
+		t.Fatalf("Process allocates %.1f times per arrival, want 0", allocs)
+	}
+}

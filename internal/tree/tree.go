@@ -7,6 +7,7 @@ package tree
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -193,6 +194,23 @@ func (n *Node) writeSexp(b *strings.Builder) {
 		c.writeSexp(b)
 	}
 	b.WriteByte(')')
+}
+
+// AppendSexp appends the S-expression rendering of String to buf and
+// returns the extended buffer, allocating only when buf must grow.
+// Query paths use it to build cache keys into reused buffers.
+func (n *Node) AppendSexp(buf []byte) []byte {
+	buf = append(buf, '(')
+	if n.Label == "" || strings.ContainsAny(n.Label, " \t\n()\"") {
+		buf = strconv.AppendQuote(buf, n.Label)
+	} else {
+		buf = append(buf, n.Label...)
+	}
+	for _, c := range n.Children {
+		buf = append(buf, ' ')
+		buf = c.AppendSexp(buf)
+	}
+	return append(buf, ')')
 }
 
 // String renders the tree as an S-expression.

@@ -291,3 +291,22 @@ func TestDeepTreeNoStackIssue(t *testing.T) {
 		t.Fatal("serialization of deep chain wrong")
 	}
 }
+
+func TestAppendSexpMatchesString(t *testing.T) {
+	cases := []*Node{
+		T("A"),
+		T("A", T("B"), T("C", T("D"))),
+		T("needs quoting", T(""), T("pa(ren"), T("tab\there"), T(`quo"te`)),
+	}
+	for _, n := range cases {
+		got := string(n.AppendSexp(nil))
+		if got != n.String() {
+			t.Errorf("AppendSexp = %q, String = %q", got, n.String())
+		}
+	}
+	// Appending extends the buffer rather than replacing it.
+	buf := []byte("k:")
+	if got := string(cases[0].AppendSexp(buf)); got != "k:(A)" {
+		t.Errorf("AppendSexp with prefix = %q, want %q", got, "k:(A)")
+	}
+}

@@ -226,3 +226,110 @@ func (g *Generator) MemoryBytes() int {
 	}
 	return n
 }
+
+// Batch is a flattened view of many generators of one family, laid out
+// word-major: words[j][c] is seed word j of generator c, and signs[c]
+// is generator c's BCH sign bit. Evaluating one prepared value against
+// all generators then walks contiguous arrays instead of chasing one
+// pointer per generator — the s1×s2-cell sketch update is the
+// per-pattern inner loop of stream processing (paper Algorithm 1), so
+// this layout is what makes "one ξ preparation, all counters" cheap.
+//
+// A Batch aliases nothing mutable: generator seeds are immutable after
+// construction, so a Batch built once stays valid for the life of its
+// generators and is safe for concurrent readers.
+type Batch struct {
+	fam   *Family
+	n     int
+	signs []uint64   // BCH sign bit per generator; nil for Poly
+	words [][]uint64 // words[j][c] = seed word j of generator c
+}
+
+// NewBatch flattens the given generators, which must all belong to the
+// same family.
+func NewBatch(gens []*Generator) (*Batch, error) {
+	if len(gens) == 0 {
+		return nil, fmt.Errorf("xi: empty generator set")
+	}
+	fam := gens[0].fam
+	b := &Batch{fam: fam, n: len(gens), words: make([][]uint64, fam.words())}
+	for j := range b.words {
+		b.words[j] = make([]uint64, len(gens))
+	}
+	if fam.kind == BCH {
+		b.signs = make([]uint64, len(gens))
+	}
+	for c, g := range gens {
+		if g.fam != fam {
+			return nil, fmt.Errorf("xi: generator %d belongs to a different family", c)
+		}
+		if b.signs != nil {
+			b.signs[c] = g.sign
+		}
+		for j, w := range g.seed {
+			b.words[j][c] = w
+		}
+	}
+	return b, nil
+}
+
+// Len returns the number of generators in the batch.
+func (b *Batch) Len() int { return b.n }
+
+// AddInto adds delta·ξ_c(p) to x[c] for every generator c in one pass.
+// x must have exactly Len entries. The update is branchless: ξ is ±1
+// with equal probability, so a conditional here would mispredict half
+// the time.
+func (b *Batch) AddInto(p *Prep, delta int64, x []int64) {
+	x = x[:b.n]
+	if b.fam.kind == BCH {
+		w0, w1 := p.words[0], p.words[1]
+		s0 := b.words[0][:b.n]
+		s1 := b.words[1][:b.n]
+		signs := b.signs[:b.n]
+		for c := range x {
+			bit := signs[c] ^
+				uint64(bits.OnesCount64(s0[c]&w0)) ^
+				uint64(bits.OnesCount64(s1[c]&w1))
+			m := -int64(bit & 1)
+			x[c] += (delta ^ m) - m // delta when bit even, -delta when odd
+		}
+		return
+	}
+	for c := range x {
+		var bit uint64
+		for j, w := range p.words {
+			bit ^= uint64(bits.OnesCount64(b.words[j][c] & w))
+		}
+		m := -int64(bit & 1)
+		x[c] += (delta ^ m) - m
+	}
+}
+
+// BitsInto writes each generator's parity bit on p — 0 for ξ = +1,
+// 1 for ξ = −1 — into dst, which must have exactly Len entries. The
+// query-side estimators use it to evaluate one value against every
+// cell without per-cell generator dereferences.
+func (b *Batch) BitsInto(p *Prep, dst []uint8) {
+	dst = dst[:b.n]
+	if b.fam.kind == BCH {
+		w0, w1 := p.words[0], p.words[1]
+		s0 := b.words[0][:b.n]
+		s1 := b.words[1][:b.n]
+		signs := b.signs[:b.n]
+		for c := range dst {
+			bit := signs[c] ^
+				uint64(bits.OnesCount64(s0[c]&w0)) ^
+				uint64(bits.OnesCount64(s1[c]&w1))
+			dst[c] = uint8(bit & 1)
+		}
+		return
+	}
+	for c := range dst {
+		var bit uint64
+		for j, w := range p.words {
+			bit ^= uint64(bits.OnesCount64(b.words[j][c] & w))
+		}
+		dst[c] = uint8(bit & 1)
+	}
+}

@@ -342,3 +342,104 @@ func TestGeneratorFromWordsValidation(t *testing.T) {
 		t.Errorf("valid words rejected: %v", err)
 	}
 }
+
+// The flattened Batch must agree exactly with per-generator Xi: the
+// sketch counters it produces are persisted and golden-pinned, so the
+// batched path has to be bit-identical, not just statistically equal.
+func TestBatchMatchesGeneratorXi(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	poly, err := NewPolyFamily(field63, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fam := range []*Family{NewBCHFamily(field63), NewBCHFamily(field4), poly} {
+		gens := make([]*Generator, 37)
+		for i := range gens {
+			gens[i] = fam.NewGenerator(rng)
+		}
+		b, err := NewBatch(gens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Len() != len(gens) {
+			t.Fatalf("Len = %d, want %d", b.Len(), len(gens))
+		}
+		x := make([]int64, len(gens))
+		want := make([]int64, len(gens))
+		bits := make([]uint8, len(gens))
+		p := &Prep{}
+		for i := 0; i < 200; i++ {
+			v := rng.Uint64()
+			delta := int64(rng.IntN(7) - 3)
+			fam.Prepare(v, p)
+			b.AddInto(p, delta, x)
+			b.BitsInto(p, bits)
+			for c, g := range gens {
+				xi := g.Xi(p)
+				want[c] += int64(xi) * delta
+				if wantBit := uint8(0); xi == 1 && bits[c] != wantBit || xi == -1 && bits[c] != 1 {
+					t.Fatalf("kind %v value %#x cell %d: bit %d, xi %d", fam.Kind(), v, c, bits[c], xi)
+				}
+			}
+		}
+		for c := range x {
+			if x[c] != want[c] {
+				t.Fatalf("kind %v cell %d: batched counter %d, per-generator %d", fam.Kind(), c, x[c], want[c])
+			}
+		}
+	}
+}
+
+func TestNewBatchValidation(t *testing.T) {
+	if _, err := NewBatch(nil); err == nil {
+		t.Error("empty generator set must fail")
+	}
+	rng := rand.New(rand.NewPCG(1, 2))
+	a := NewBCHFamily(field63).NewGenerator(rng)
+	b := NewBCHFamily(field4).NewGenerator(rng)
+	if _, err := NewBatch([]*Generator{a, b}); err == nil {
+		t.Error("mixed families must fail")
+	}
+}
+
+func BenchmarkBatchAddIntoBCH175(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	fam := NewBCHFamily(field63)
+	gens := make([]*Generator, 175) // s1=25 × s2=7, the default sketch
+	for i := range gens {
+		gens[i] = fam.NewGenerator(rng)
+	}
+	batch, err := NewBatch(gens)
+	if err != nil {
+		b.Fatal(err)
+	}
+	x := make([]int64, len(gens))
+	p := fam.Prepare(0x9e3779b97f4a7c15, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		batch.AddInto(p, 1, x)
+	}
+}
+
+func BenchmarkGeneratorXi175(b *testing.B) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	fam := NewBCHFamily(field63)
+	gens := make([]*Generator, 175)
+	for i := range gens {
+		gens[i] = fam.NewGenerator(rng)
+	}
+	x := make([]int64, len(gens))
+	p := fam.Prepare(0x9e3779b97f4a7c15, nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for c, g := range gens {
+			if g.Xi(p) == 1 {
+				x[c]++
+			} else {
+				x[c]--
+			}
+		}
+	}
+}
