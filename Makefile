@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet lint test race bench bench-matrix bench-baseline bench-smoke fuzz-smoke
+.PHONY: verify fmt vet lint test race bench bench-matrix bench-baseline bench-smoke cluster-smoke fuzz-smoke
 
-verify: fmt vet lint test race bench-smoke
+verify: fmt vet lint test race bench-smoke cluster-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -78,6 +78,16 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixIngest/size=16/k=2/workers=1' -benchtime 1x . >/dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixQuery/pattern=2/cache=hit' -benchtime 1x . >/dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixMerge/vstreams=1' -benchtime 1x . >/dev/null
+
+# The cluster-mode end-to-end tests under the race detector: three
+# shard daemons plus a coordinator started through the real CLI entry
+# point, checking routed ingest, bit-identical merged answers, and
+# stale-slice degradation when a shard dies. CLUSTER_STATUS_OUT makes
+# the test persist the final GET /cluster JSON (CI uploads it as an
+# artifact).
+cluster-smoke:
+	CLUSTER_STATUS_OUT=$(CURDIR)/cluster_status.json \
+		$(GO) test -race -count=1 -run '^TestCluster' ./cmd/sketchtreed
 
 # Short coverage-guided runs of every fuzz target (FUZZTIME each).
 # Seed corpora live under testdata/fuzz/<FuzzName>/; a crasher found

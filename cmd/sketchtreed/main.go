@@ -17,8 +17,22 @@
 // (bounded by -drain-timeout), new connections are refused, and
 // /healthz flips to 503 so load balancers stop routing here.
 //
+// Cluster mode (-role): N ingest shards (-role shard, ordinary daemons
+// with top-k off) each own a slice of the stream; a coordinator
+// (-role coordinator -shards url1,url2,...) routes POST /ingest by
+// document hash, pulls every shard's synopsis each -pull-every over
+// GET /synopsis, merges them (bit-deterministically — AMS synopses are
+// linear), and answers POST /query from the merged snapshot. A down
+// shard degrades to serving its last pulled synopsis; GET /cluster
+// reports per-shard freshness and reachability.
+//
 //	sketchtreed -addr :8080 -forest -snapshot-every 500 data.xml
 //	curl -d '{"kind":"ordered","pattern":"article/author"}' localhost:8080/query
+//
+//	sketchtreed -role shard -topk 0 -addr :8081 &
+//	sketchtreed -role shard -topk 0 -addr :8082 &
+//	sketchtreed -role coordinator -topk 0 -addr :8080 \
+//	    -shards http://localhost:8081,http://localhost:8082 -pull-every 1s
 package main
 
 import (
@@ -29,10 +43,13 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"sketchtree"
+	"sketchtree/internal/cluster"
+	"sketchtree/internal/obs"
 	"sketchtree/internal/server"
 )
 
@@ -67,6 +84,11 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		timeout   = fs.Duration("timeout", 0, "per-request budget (0 = default 5s, negative = off)")
 		maxConc   = fs.Int("max-concurrent", 0, "in-flight request cap (0 = default 64)")
 		drain     = fs.Duration("drain-timeout", 0, "graceful shutdown bound (0 = default 10s, negative = unbounded)")
+		maxIngest = fs.Int64("max-ingest-body", 0, "per-request /ingest body cap in bytes (0 = default 64 MiB, negative = unbounded)")
+		role      = fs.String("role", "standalone", "standalone, shard (mergeable single daemon) or coordinator (routes/merges over -shards)")
+		shardList = fs.String("shards", "", "comma-separated shard base URLs, scheme optional (coordinator role)")
+		pullEvery = fs.Duration("pull-every", time.Second, "coordinator synopsis pull period")
+		pullTO    = fs.Duration("pull-timeout", 0, "per-shard pull budget (0 = default 5s)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -80,6 +102,33 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	cfg.Seed = *seed
 	cfg.Independence = *indep
 	cfg.PlanCacheSize = *planCache
+
+	switch *role {
+	case "standalone":
+	case "shard", "coordinator":
+		// Cluster merges require mergeable synopses: top-k deletion
+		// interleaved into shard counters has no well-defined union.
+		if *topk != 0 {
+			return fmt.Errorf("-role %s requires -topk 0 (top-k synopses cannot be merged)", *role)
+		}
+	default:
+		return fmt.Errorf("unknown -role %q (standalone, shard or coordinator)", *role)
+	}
+	if *role == "coordinator" {
+		return runCoordinator(ctx, cfg, coordinatorFlags{
+			addr:      *addr,
+			shards:    strings.Split(*shardList, ","),
+			pullEvery: *pullEvery,
+			pullTO:    *pullTO,
+			opts: server.Options{
+				Timeout:       *timeout,
+				MaxConcurrent: *maxConc,
+				DrainTimeout:  *drain,
+				MaxIngestBody: *maxIngest,
+			},
+			preloads: fs.Args(),
+		}, stdout)
+	}
 
 	safe, err := sketchtree.NewSafe(cfg)
 	if err != nil {
@@ -110,6 +159,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Timeout:       *timeout,
 		MaxConcurrent: *maxConc,
 		DrainTimeout:  *drain,
+		MaxIngestBody: *maxIngest,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -127,6 +177,72 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	fmt.Fprintf(stdout, "drained after %v: %d trees, %d queries served\n",
 		time.Since(start).Round(time.Millisecond),
 		safe.TreesProcessed(), safe.Stats().Queries.Count)
+	return nil
+}
+
+// coordinatorFlags carries the coordinator role's configuration from
+// the flag set into runCoordinator.
+type coordinatorFlags struct {
+	addr      string
+	shards    []string
+	pullEvery time.Duration
+	pullTO    time.Duration
+	opts      server.Options
+	preloads  []string
+}
+
+// runCoordinator boots the cluster coordinator: a pull/merge loop over
+// the configured shards plus the routed /ingest, merged /query and
+// /cluster status API. cfg builds the empty fallback engine answering
+// queries before the first successful pull; it should match the
+// shards' configuration.
+func runCoordinator(ctx context.Context, cfg sketchtree.Config, cf coordinatorFlags, stdout io.Writer) error {
+	if len(cf.preloads) > 0 {
+		return fmt.Errorf("coordinator role takes no preload files (ingest through POST /ingest so documents route to their shards)")
+	}
+	var shards []string
+	for _, s := range cf.shards {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, strings.TrimSuffix(s, "/"))
+		}
+	}
+	if len(shards) == 0 {
+		return fmt.Errorf("coordinator role requires -shards url1,url2,...")
+	}
+	fallback, err := sketchtree.New(cfg)
+	if err != nil {
+		return err
+	}
+	met := obs.NewClusterMetrics(len(shards))
+	puller, err := cluster.New(cluster.Config{
+		Shards:      shards,
+		PullEvery:   cf.pullEvery,
+		PullTimeout: cf.pullTO,
+		Metrics:     met,
+	})
+	if err != nil {
+		return err
+	}
+	co := server.NewCoordinator(puller, fallback, met, cf.opts)
+	ln, err := net.Listen("tcp", cf.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stdout, "coordinator for %d shards, pulling every %v; listening on http://%s (POST /query /ingest, GET /cluster /healthz /stats /metrics)\n",
+		len(shards), cf.pullEvery, ln.Addr())
+	if readyHook != nil {
+		readyHook(ln.Addr().String())
+	}
+	start := time.Now()
+	if err := co.Run(ctx, ln); err != nil {
+		return err
+	}
+	trees := int64(0)
+	if sv := puller.Serving(); sv != nil {
+		trees = sv.Trees
+	}
+	fmt.Fprintf(stdout, "drained after %v: %d merged trees\n",
+		time.Since(start).Round(time.Millisecond), trees)
 	return nil
 }
 

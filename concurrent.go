@@ -87,8 +87,26 @@ func (s *Safe) AddXML(r io.Reader) error {
 // updates interleave with a long-running forest load; the forest is
 // not applied atomically.
 func (s *Safe) AddXMLForest(r io.Reader) error {
+	_, err := s.AddXMLForestCount(r)
+	return err
+}
+
+// AddXMLForestCount is AddXMLForest reporting how many trees were
+// applied before any error. Because the forest is committed tree by
+// tree, a mid-stream failure leaves the applied prefix in the synopsis
+// — the count is the client's reconciliation contract (see the
+// /ingest?forest=1 error body in internal/server).
+func (s *Safe) AddXMLForestCount(r io.Reader) (int64, error) {
+	var applied int64
 	//lint:allow lockdiscipline Metrics() hands out the engine's atomic counter block, never mutable sketch state; each AddTree locks per tree
-	return streamForestTimed(s.st.e.Metrics(), r, s.AddTree)
+	err := streamForestTimed(s.st.e.Metrics(), r, func(t *Tree) error {
+		if err := s.AddTree(t); err != nil {
+			return err
+		}
+		applied++
+		return nil
+	})
+	return applied, err
 }
 
 // EnableMetrics switches stage timers and query-latency measurement on

@@ -1,0 +1,449 @@
+// Package cluster turns sketchtreed daemons into a sharded cluster.
+//
+// The design exploits the paper's central property: AMS synopses are
+// linear projections of the stream, so shard synopses built from the
+// same Config (including Seed, with top-k tracking off) merge cell-wise
+// into exactly the synopsis of the whole stream — bit-deterministic,
+// independent of how documents were routed.
+//
+// Topology: N ingest shards (ordinary sketchtreed daemons) each own a
+// slice of the document stream; a coordinator routes POST /ingest by
+// document hash, periodically pulls each shard's serialized synopsis
+// (GET /synopsis, the golden-pinned MarshalBinary format), merges the
+// pulls in shard order, and publishes the result for lock-free query
+// serving.
+//
+// Freshness and failure: answers come from the best state the
+// coordinator has now, with explicit provenance about how stale it is.
+// A down shard degrades to serving the last synopsis pulled from it
+// (its slice of the counts freezes, nothing 5xxes); pulls retry with
+// exponential backoff and the per-shard state — reachable, last pull
+// time, trees, consecutive failures — is surfaced on GET /cluster.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sketchtree"
+	"sketchtree/internal/obs"
+)
+
+// Config describes cluster membership and the pull/merge policy. The
+// zero value of every optional field selects the default noted on it.
+type Config struct {
+	// Shards lists the shard base URLs ("http://host:port"; a bare
+	// "host:port" is http shorthand). The slice index is the shard's
+	// identity for routing and status.
+	Shards []string
+
+	// PullEvery is the synopsis pull period. Default 1s.
+	PullEvery time.Duration
+
+	// PullTimeout bounds one shard pull. Default 5s.
+	PullTimeout time.Duration
+
+	// RetryBackoff is the delay before re-trying a failed shard,
+	// doubling per consecutive failure up to MaxBackoff. Default
+	// PullEvery.
+	RetryBackoff time.Duration
+
+	// MaxBackoff caps the per-shard retry delay. Default 30s.
+	MaxBackoff time.Duration
+
+	// MaxSynopsisBytes bounds one pulled synopsis. Default 1 GiB.
+	MaxSynopsisBytes int64
+
+	// Client issues the pull requests. Default: a dedicated
+	// http.Client (the per-pull budget comes from PullTimeout).
+	Client *http.Client
+
+	// Metrics receives per-shard pull accounting; nil disables.
+	Metrics *obs.ClusterMetrics
+}
+
+const (
+	defaultPullEvery        = time.Second
+	defaultPullTimeout      = 5 * time.Second
+	defaultMaxBackoff       = 30 * time.Second
+	defaultMaxSynopsisBytes = 1 << 30
+)
+
+func (c Config) normalize() Config {
+	if c.PullEvery <= 0 {
+		c.PullEvery = defaultPullEvery
+	}
+	if c.PullTimeout <= 0 {
+		c.PullTimeout = defaultPullTimeout
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = c.PullEvery
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = defaultMaxBackoff
+	}
+	if c.MaxSynopsisBytes <= 0 {
+		c.MaxSynopsisBytes = defaultMaxSynopsisBytes
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{}
+	}
+	return c
+}
+
+// Route returns the index of the shard owning a document: a 64-bit
+// FNV-1a hash of the raw document bytes, mod n. Deterministic, so a
+// re-sent document always lands on the same shard.
+func Route(doc []byte, n int) int {
+	h := fnv.New64a()
+	h.Write(doc)
+	return int(h.Sum64() % uint64(n))
+}
+
+// ShardStatus is one shard's provenance within the cluster status: the
+// freshness and reachability of the slice it contributes to merged
+// answers.
+type ShardStatus struct {
+	URL string `json:"url"`
+
+	// Reachable reports whether the most recent pull attempt
+	// succeeded. False before the first attempt completes.
+	Reachable bool `json:"reachable"`
+
+	// Stale marks a shard whose slice is being served from an earlier
+	// successful pull because the shard is currently unreachable.
+	Stale bool `json:"stale"`
+
+	// Trees is the shard's tree count at its last successful pull.
+	Trees int64 `json:"trees"`
+
+	// LastPullAgeMS is the age of the last successful pull in
+	// milliseconds; -1 when the shard has never been pulled.
+	LastPullAgeMS int64 `json:"last_pull_age_ms"`
+
+	// ConsecutiveFailures counts pull failures since the last success.
+	ConsecutiveFailures int `json:"consecutive_failures"`
+
+	// LastError is the most recent pull failure, cleared on success.
+	LastError string `json:"last_error,omitempty"`
+}
+
+// Serving is a published merged synopsis: the frozen engine answering
+// queries plus its provenance. Never mutated after publication, so any
+// number of readers may query Tree concurrently without locking.
+type Serving struct {
+	// Tree is the merged synopsis, frozen.
+	Tree *sketchtree.SketchTree
+	// Trees is the total tree count across the merged shard pulls.
+	Trees int64
+	// Built is when this merged state was published.
+	Built time.Time
+	// Rounds counts merged states published so far (including this
+	// one).
+	Rounds int64
+}
+
+// shardState is the puller's book-keeping for one shard. Guarded by
+// Puller.mu.
+type shardState struct {
+	url      string
+	data     []byte // last successfully pulled synopsis, nil before first
+	trees    int64
+	lastPull time.Time // last successful pull
+	nextTry  time.Time // earliest next attempt (backoff)
+	failures int       // consecutive failures
+	lastErr  error
+	gen      int64 // bumped per successful pull; drives rebuilds
+}
+
+// Puller owns the coordinator's pull/merge loop and the published
+// merged state. Construct with New; do not copy.
+type Puller struct {
+	cfg     Config
+	mu      sync.Mutex // guards shards
+	shards  []*shardState
+	serving atomic.Pointer[Serving]
+	rounds  atomic.Int64
+	builtAt atomic.Int64 // gen sum the current Serving was built from
+}
+
+// New validates cfg and creates a Puller. It performs no I/O; call Run
+// (or PullNow) to start pulling.
+func New(cfg Config) (*Puller, error) {
+	if len(cfg.Shards) == 0 {
+		return nil, fmt.Errorf("cluster: no shards configured")
+	}
+	cfg = cfg.normalize()
+	p := &Puller{cfg: cfg, shards: make([]*shardState, len(cfg.Shards))}
+	for i, u := range cfg.Shards {
+		if u == "" {
+			return nil, fmt.Errorf("cluster: shard %d has an empty URL", i)
+		}
+		norm, err := normalizeShardURL(u)
+		if err != nil {
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		p.shards[i] = &shardState{url: norm}
+	}
+	return p, nil
+}
+
+// normalizeShardURL validates a shard base URL at configuration time,
+// so a typo fails daemon startup instead of every routed request. A
+// scheme-less "host:port" is accepted as shorthand for http.
+func normalizeShardURL(raw string) (string, error) {
+	if !strings.Contains(raw, "://") {
+		raw = "http://" + raw
+	}
+	u, err := url.Parse(raw)
+	if err != nil {
+		return "", fmt.Errorf("shard URL %q: %v", raw, err)
+	}
+	if (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return "", fmt.Errorf("shard URL %q: need http(s)://host[:port]", raw)
+	}
+	return strings.TrimSuffix(u.String(), "/"), nil
+}
+
+// Shards returns the number of configured shards.
+func (p *Puller) Shards() int { return len(p.shards) }
+
+// ShardURL returns shard i's base URL.
+func (p *Puller) ShardURL(i int) string { return p.shards[i].url }
+
+// Route returns the shard index owning doc.
+func (p *Puller) Route(doc []byte) int { return Route(doc, len(p.shards)) }
+
+// Serving returns the current merged state, or nil before the first
+// successful pull. The returned value is immutable.
+func (p *Puller) Serving() *Serving { return p.serving.Load() }
+
+// Status reports every shard's live provenance, in shard order.
+func (p *Puller) Status() []ShardStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ShardStatus, len(p.shards))
+	for i, sh := range p.shards {
+		st := ShardStatus{
+			URL:                 sh.url,
+			Reachable:           sh.failures == 0 && !sh.lastPull.IsZero(),
+			Trees:               sh.trees,
+			LastPullAgeMS:       -1,
+			ConsecutiveFailures: sh.failures,
+		}
+		if !sh.lastPull.IsZero() {
+			st.LastPullAgeMS = time.Since(sh.lastPull).Milliseconds()
+		}
+		st.Stale = !st.Reachable && sh.data != nil
+		if sh.lastErr != nil {
+			st.LastError = sh.lastErr.Error()
+		}
+		out[i] = st
+	}
+	return out
+}
+
+// Run pulls every shard each PullEvery period until ctx is canceled,
+// rebuilding and publishing the merged synopsis whenever a pull
+// brought new state. The first round starts immediately. On return the
+// pull client's idle connections are closed, so draining shards are
+// not left waiting on quiet keep-alive conns.
+func (p *Puller) Run(ctx context.Context) {
+	defer p.cfg.Client.CloseIdleConnections()
+	p.round(ctx, false)
+	t := time.NewTicker(p.cfg.PullEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			p.round(ctx, false)
+		}
+	}
+}
+
+// PullNow runs one pull round synchronously, ignoring per-shard
+// backoff windows — the freshness fan-out behind /query?fresh=1. It
+// returns the first shard error (the merged state still advances for
+// the shards that answered).
+func (p *Puller) PullNow(ctx context.Context) error {
+	return p.round(ctx, true)
+}
+
+// round pulls the due shards in parallel, folds the results into the
+// shard states, and rebuilds the merged state when anything changed.
+func (p *Puller) round(ctx context.Context, force bool) error {
+	type target struct {
+		i   int
+		url string
+	}
+	now := time.Now()
+	var due []target
+	p.mu.Lock()
+	for i, sh := range p.shards {
+		if force || !now.Before(sh.nextTry) {
+			due = append(due, target{i, sh.url})
+		}
+	}
+	p.mu.Unlock()
+	if len(due) == 0 {
+		return nil
+	}
+
+	type result struct {
+		i     int
+		data  []byte
+		trees int64
+		err   error
+	}
+	results := make([]result, len(due))
+	var wg sync.WaitGroup
+	for n, tg := range due {
+		wg.Add(1)
+		go func(n int, tg target) {
+			defer wg.Done()
+			start := time.Now()
+			data, trees, err := p.fetch(ctx, tg.url)
+			p.cfg.Metrics.PullDone(tg.i, time.Since(start), int64(len(data)), err)
+			results[n] = result{i: tg.i, data: data, trees: trees, err: err}
+		}(n, tg)
+	}
+	wg.Wait()
+
+	var firstErr error
+	now = time.Now()
+	p.mu.Lock()
+	for _, r := range results {
+		sh := p.shards[r.i]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = fmt.Errorf("shard %d (%s): %w", r.i, sh.url, r.err)
+			}
+			sh.failures++
+			sh.lastErr = r.err
+			sh.nextTry = now.Add(p.backoff(sh.failures))
+			continue
+		}
+		sh.failures = 0
+		sh.lastErr = nil
+		sh.nextTry = time.Time{}
+		sh.data = r.data
+		sh.trees = r.trees
+		sh.lastPull = now
+		sh.gen++
+	}
+	// Snapshot the per-shard bytes under mu; the restore+merge work
+	// runs outside it so Status and later rounds are never blocked
+	// behind a rebuild.
+	var gen int64
+	datas := make([][]byte, len(p.shards))
+	for i, sh := range p.shards {
+		datas[i] = sh.data
+		gen += sh.gen
+	}
+	p.mu.Unlock()
+
+	if gen != p.builtAt.Load() {
+		if err := p.rebuild(datas, gen); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// backoff returns the retry delay after n consecutive failures:
+// RetryBackoff doubled per failure beyond the first, capped at
+// MaxBackoff.
+func (p *Puller) backoff(n int) time.Duration {
+	d := p.cfg.RetryBackoff
+	for i := 1; i < n; i++ {
+		d *= 2
+		if d >= p.cfg.MaxBackoff {
+			return p.cfg.MaxBackoff
+		}
+	}
+	return min(d, p.cfg.MaxBackoff)
+}
+
+// fetch pulls one shard's serialized synopsis.
+func (p *Puller) fetch(ctx context.Context, base string) (data []byte, trees int64, err error) {
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.PullTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/synopsis", nil)
+	if err != nil {
+		return nil, 0, err
+	}
+	resp, err := p.cfg.Client.Do(req)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, 0, fmt.Errorf("GET /synopsis: status %d", resp.StatusCode)
+	}
+	data, err = io.ReadAll(io.LimitReader(resp.Body, p.cfg.MaxSynopsisBytes+1))
+	if err != nil {
+		return nil, 0, err
+	}
+	if int64(len(data)) > p.cfg.MaxSynopsisBytes {
+		return nil, 0, fmt.Errorf("synopsis exceeds %d bytes", p.cfg.MaxSynopsisBytes)
+	}
+	trees, _ = strconv.ParseInt(resp.Header.Get("X-Sketchtree-Trees"), 10, 64)
+	return data, trees, nil
+}
+
+// rebuild restores every pulled shard synopsis and merges them in
+// shard-index order into a fresh engine, then publishes it. Because
+// the sketch cells are exact integer sums that commute, the merged
+// synopsis — and therefore every answer served from it — is
+// bit-identical to a single node that ingested the whole corpus.
+// Shards that have never been pulled contribute nothing (their slice
+// is absent until they come up).
+func (p *Puller) rebuild(datas [][]byte, gen int64) error {
+	var merged *sketchtree.SketchTree
+	for i, data := range datas {
+		if data == nil {
+			continue
+		}
+		st, err := sketchtree.Restore(data)
+		if err != nil {
+			return fmt.Errorf("restoring shard %d synopsis: %w", i, err)
+		}
+		if merged == nil {
+			merged = st
+			continue
+		}
+		if err := merged.Merge(st); err != nil {
+			return fmt.Errorf("merging shard %d synopsis: %w", i, err)
+		}
+	}
+	if merged == nil {
+		return nil
+	}
+	p.publish(merged)
+	p.builtAt.Store(gen)
+	return nil
+}
+
+// publish swaps in a new merged state. Kept free of restore/merge work
+// so the provenance clock read stays out of the deterministic rebuild
+// path.
+func (p *Puller) publish(merged *sketchtree.SketchTree) {
+	p.serving.Store(&Serving{
+		Tree:   merged,
+		Trees:  merged.TreesProcessed(),
+		Built:  time.Now(),
+		Rounds: p.rounds.Add(1),
+	})
+}

@@ -1,0 +1,417 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchtree"
+	"sketchtree/internal/cluster"
+	"sketchtree/internal/obs"
+)
+
+// testCluster is an in-process cluster: n shard daemons behind
+// httptest servers, a puller over them, and the coordinator's own
+// httptest server. Pulls only happen through PullNow (the pull period
+// is set far beyond the test's lifetime), so every test controls
+// exactly what the coordinator has merged.
+type testCluster struct {
+	shards  []*sketchtree.Safe
+	servers []*httptest.Server
+	puller  *cluster.Puller
+	met     *obs.ClusterMetrics
+	co      *Coordinator
+	ts      *httptest.Server
+}
+
+func newTestCluster(t *testing.T, n int, opts Options) *testCluster {
+	t.Helper()
+	tc := &testCluster{met: obs.NewClusterMetrics(n)}
+	urls := make([]string, n)
+	for i := 0; i < n; i++ {
+		safe, err := sketchtree.NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		srv := New(safe, Options{})
+		ts := httptest.NewServer(srv.Handler())
+		t.Cleanup(ts.Close)
+		tc.shards = append(tc.shards, safe)
+		tc.servers = append(tc.servers, ts)
+		urls[i] = ts.URL
+	}
+	puller, err := cluster.New(cluster.Config{
+		Shards:      urls,
+		PullEvery:   time.Hour,
+		PullTimeout: 5 * time.Second,
+		Metrics:     tc.met,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.puller = puller
+	fallback, err := sketchtree.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tc.co = NewCoordinator(puller, fallback, tc.met, opts)
+	tc.ts = httptest.NewServer(tc.co.Handler())
+	t.Cleanup(tc.ts.Close)
+	return tc
+}
+
+// ingest posts one document through the coordinator and returns the
+// response (body drained and closed for non-200 handling by callers).
+func (tc *testCluster) ingest(t *testing.T, doc string) *http.Response {
+	t.Helper()
+	resp, err := http.Post(tc.ts.URL+"/ingest", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// clusterDocs is a corpus whose FNV routing spreads across small
+// shard counts: distinct child labels vary the hash.
+func clusterDocs(n int) []string {
+	docs := make([]string, n)
+	labels := []string{"b", "c", "d", "e", "f", "g"}
+	for i := range docs {
+		docs[i] = "<a><" + labels[i%len(labels)] + "/><" + labels[(i/len(labels))%len(labels)] + "/></a>"
+	}
+	return docs
+}
+
+func TestRoutedIngestMergedQueryMatchesSingleNode(t *testing.T) {
+	tc := newTestCluster(t, 3, Options{})
+	docs := clusterDocs(36)
+
+	// Reference: a single-node engine fed the same corpus in order.
+	ref, err := sketchtree.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		tr, err := sketchtree.ParseXML(strings.NewReader(d))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := ref.AddTree(tr); err != nil {
+			t.Fatal(err)
+		}
+		resp := tc.ingest(t, d)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed ingest: status %d", resp.StatusCode)
+		}
+		if resp.Header.Get("X-Sketchtree-Shard") == "" {
+			t.Fatal("routed ingest response missing X-Sketchtree-Shard")
+		}
+	}
+
+	// Every shard must own at least one document, or the test is not
+	// exercising a real merge.
+	var spread int
+	for i, sh := range tc.shards {
+		if n := sh.TreesProcessed(); n > 0 {
+			spread++
+			t.Logf("shard %d: %d trees", i, n)
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("corpus routed to %d shard(s); need at least 2 for a meaningful merge", spread)
+	}
+
+	if err := tc.puller.PullNow(context.Background()); err != nil {
+		t.Fatalf("PullNow: %v", err)
+	}
+	sv := tc.puller.Serving()
+	if sv == nil {
+		t.Fatal("no merged serving state after PullNow")
+	}
+	if sv.Trees != int64(len(docs)) {
+		t.Fatalf("merged trees = %d, want %d", sv.Trees, len(docs))
+	}
+
+	// Bit-determinism: the merged synopsis answers exactly as the
+	// single-node engine, for point, with-error and expression queries.
+	queries := []queryRequest{
+		{Kind: "ordered", Pattern: "(a (b))"},
+		{Kind: "unordered", Pattern: "(a (c) (b))"},
+		{Kind: "ordered", Pattern: "(a (b) (c))", WithError: true},
+		{Kind: "expression", Expr: &exprNode{Op: "add",
+			L: &exprNode{Op: "count", Pattern: "(a (d))"},
+			R: &exprNode{Op: "count", Pattern: "(a (e))"}}},
+	}
+	for _, q := range queries {
+		resp, got := postQuery(t, tc.ts.URL, q)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("query %+v: status %d", q, resp.StatusCode)
+		}
+		if !got.Snapshot || got.SnapshotTrees != int64(len(docs)) {
+			t.Errorf("query %+v: snapshot provenance %v/%d, want true/%d",
+				q, got.Snapshot, got.SnapshotTrees, len(docs))
+		}
+		want, err := answerQuery(ref, &q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Estimate != want.Estimate {
+			t.Errorf("query %+v: merged estimate %v, single-node %v (must be bit-identical)",
+				q, got.Estimate, want.Estimate)
+		}
+		if q.WithError {
+			if got.StdErr == nil || want.StdErr == nil || *got.StdErr != *want.StdErr {
+				t.Errorf("query %+v: merged stderr %v, single-node %v", q, got.StdErr, want.StdErr)
+			}
+		}
+	}
+}
+
+func TestShardDownDegradesToStaleSlice(t *testing.T) {
+	tc := newTestCluster(t, 3, Options{})
+	for _, d := range clusterDocs(24) {
+		resp := tc.ingest(t, d)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	if err := tc.puller.PullNow(context.Background()); err != nil {
+		t.Fatalf("PullNow: %v", err)
+	}
+	q := queryRequest{Kind: "ordered", Pattern: "(a (b))"}
+	resp, before := postQuery(t, tc.ts.URL, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query before shard loss: status %d", resp.StatusCode)
+	}
+
+	// Kill shard 1; the next pull round must fail for it but keep its
+	// last pulled synopsis in the merge.
+	tc.servers[1].Close()
+	if err := tc.puller.PullNow(context.Background()); err == nil {
+		t.Fatal("PullNow with a dead shard returned nil error")
+	}
+	status := tc.puller.Status()
+	if status[1].Reachable || !status[1].Stale || status[1].ConsecutiveFailures == 0 {
+		t.Fatalf("dead shard status %+v, want unreachable, stale, failures > 0", status[1])
+	}
+	if !status[0].Reachable || !status[2].Reachable {
+		t.Fatalf("live shards misreported: %+v / %+v", status[0], status[2])
+	}
+
+	// /query stays 200 and bit-identical: the dead shard's slice is
+	// frozen, not dropped.
+	resp, after := postQuery(t, tc.ts.URL, q)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query after shard loss: status %d, want 200", resp.StatusCode)
+	}
+	if after.Estimate != before.Estimate {
+		t.Errorf("estimate changed across shard loss: %v -> %v", before.Estimate, after.Estimate)
+	}
+
+	// GET /cluster reports the degradation.
+	hresp, err := http.Get(tc.ts.URL + "/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cs clusterResponse
+	if err := json.NewDecoder(hresp.Body).Decode(&cs); err != nil {
+		t.Fatal(err)
+	}
+	hresp.Body.Close()
+	if cs.Role != "coordinator" || cs.Merged == nil || cs.Fallback {
+		t.Fatalf("/cluster = %+v, want coordinator with merged state", cs)
+	}
+	if cs.Shards[1].Reachable || !cs.Shards[1].Stale {
+		t.Errorf("/cluster shard 1 = %+v, want unreachable and stale", cs.Shards[1])
+	}
+	if len(cs.Pulls) != 3 || cs.Pulls[1].PullFailures == 0 {
+		t.Errorf("/cluster pulls = %+v, want 3 shards with failures on shard 1", cs.Pulls)
+	}
+}
+
+func TestRoutedIngestToDeadShard(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{})
+	// Find a document routing to shard 0, then kill that shard.
+	docs := clusterDocs(12)
+	var doc string
+	for _, d := range docs {
+		if tc.puller.Route([]byte(d)) == 0 {
+			doc = d
+			break
+		}
+	}
+	if doc == "" {
+		t.Fatal("no document routed to shard 0")
+	}
+	tc.servers[0].Close()
+	resp := tc.ingest(t, doc)
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadGateway {
+		t.Fatalf("ingest to dead shard: status %d, want 502: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+		Shard *int   `json:"shard"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" || e.Shard == nil || *e.Shard != 0 {
+		t.Fatalf("502 body %q, want JSON error naming shard 0", body)
+	}
+}
+
+func TestCoordinatorIngestBodyCap(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{MaxIngestBody: 512})
+	resp := tc.ingest(t, "<a>"+strings.Repeat("<b/>", 1024)+"</a>")
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized routed ingest: status %d, want 413: %s", resp.StatusCode, body)
+	}
+	for i, sh := range tc.shards {
+		if n := sh.TreesProcessed(); n != 0 {
+			t.Errorf("shard %d ingested %d trees from a capped request", i, n)
+		}
+	}
+}
+
+func TestCoordinatorRelaysPartialForestError(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{})
+	body, err := http.Post(tc.ts.URL+"/ingest?forest=1", "application/xml",
+		strings.NewReader("<forest><a><b/></a><a><c/></a><a><b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(body.Body)
+	body.Body.Close()
+	if body.StatusCode != http.StatusBadRequest {
+		t.Fatalf("partial forest through coordinator: status %d: %s", body.StatusCode, raw)
+	}
+	var e struct {
+		TreesApplied int64 `json:"trees_applied"`
+		Partial      bool  `json:"partial"`
+	}
+	if err := json.Unmarshal(raw, &e); err != nil || e.TreesApplied != 2 || !e.Partial {
+		t.Fatalf("relayed error body %q, want trees_applied=2 partial=true", raw)
+	}
+}
+
+func TestFreshQueryPullsBeforeAnswering(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{})
+	resp := tc.ingest(t, "<a><b/><c/></a>")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	// Without ?fresh=1 the coordinator has never pulled: fallback, zero.
+	q := queryRequest{Kind: "ordered", Pattern: "(a (b))"}
+	hresp, stale := postQuery(t, tc.ts.URL, q)
+	if hresp.StatusCode != http.StatusOK {
+		t.Fatalf("fallback query: status %d", hresp.StatusCode)
+	}
+	if stale.Snapshot {
+		t.Fatal("query before any pull claimed merged provenance")
+	}
+
+	body, _ := json.Marshal(q)
+	fresh, err := http.Post(tc.ts.URL+"/query?fresh=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got queryResponse
+	if err := json.NewDecoder(fresh.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	fresh.Body.Close()
+	if !got.Snapshot || got.SnapshotTrees != 1 {
+		t.Fatalf("?fresh=1 answer %+v, want merged provenance over 1 tree", got)
+	}
+	if got.Estimate == stale.Estimate {
+		t.Fatalf("?fresh=1 estimate %v did not move off the empty fallback", got.Estimate)
+	}
+}
+
+func TestCoordinatorMetricsEndpoint(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{})
+	resp := tc.ingest(t, "<a><b/></a>")
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err := tc.puller.PullNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	mresp, err := http.Get(tc.ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, family := range []string{
+		"sketchtree_cluster_pulls_total",
+		"sketchtree_cluster_pull_seconds_total",
+		"sketchtree_cluster_routed_total",
+	} {
+		if !strings.Contains(string(prom), family) {
+			t.Errorf("/metrics missing family %s", family)
+		}
+	}
+	if !strings.Contains(string(prom), `shard="1"`) {
+		t.Error(`/metrics missing per-shard label shard="1"`)
+	}
+}
+
+func newLocalListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ln
+}
+
+func waitForOK(t *testing.T, url string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(url)
+		if err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("%s never became healthy", url)
+}
+
+func TestCoordinatorRunDrains(t *testing.T) {
+	tc := newTestCluster(t, 2, Options{DrainTimeout: 2 * time.Second})
+	// Run on a fresh listener (tc.ts serves the same handler; Run owns
+	// the pull loop and drain path under test here).
+	ln := newLocalListener(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- tc.co.Run(ctx, ln) }()
+
+	url := "http://" + ln.Addr().String()
+	waitForOK(t, url+"/healthz")
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("Run returned %v after drain", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("coordinator did not drain")
+	}
+	if !tc.co.Draining() {
+		t.Error("Draining() false after shutdown")
+	}
+}

@@ -25,6 +25,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -48,6 +49,10 @@ type Options struct {
 	// then closes remaining connections. Default 10s; negative waits
 	// indefinitely.
 	DrainTimeout time.Duration
+
+	// MaxIngestBody caps one /ingest request body in bytes; exceeding
+	// it answers 413. Default 64 MiB; negative disables the cap.
+	MaxIngestBody int64
 }
 
 const (
@@ -55,9 +60,18 @@ const (
 	defaultMaxConcurrent = 64
 	defaultDrainTimeout  = 10 * time.Second
 
-	// maxQueryBody bounds a /query request body; /ingest bodies are
-	// unbounded streams.
+	// maxQueryBody bounds a /query request body.
 	maxQueryBody = 1 << 20
+
+	// defaultMaxIngestBody bounds an /ingest request body unless
+	// Options.MaxIngestBody overrides it.
+	defaultMaxIngestBody = 64 << 20
+
+	// maxErrorDrain bounds how much of an unread request body an error
+	// response discards to keep the connection reusable. Larger
+	// remainders give up and let the connection close — draining them
+	// would cost more than a new connection.
+	maxErrorDrain = 1 << 20
 )
 
 func (o Options) normalize() Options {
@@ -75,6 +89,12 @@ func (o Options) normalize() Options {
 	}
 	if o.DrainTimeout < 0 {
 		o.DrainTimeout = 0
+	}
+	if o.MaxIngestBody == 0 {
+		o.MaxIngestBody = defaultMaxIngestBody
+	}
+	if o.MaxIngestBody < 0 {
+		o.MaxIngestBody = 0
 	}
 	return o
 }
@@ -99,6 +119,7 @@ func New(safe *sketchtree.Safe, opts Options) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /query", s.handleQuery)
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
+	s.mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(safe.Stats))
 	s.mux.Handle("GET /metrics", sketchtree.StatsPromHandler(safe.Stats))
@@ -141,35 +162,85 @@ func (s *Server) Run(ctx context.Context, ln net.Listener) error {
 func (s *Server) Draining() bool { return s.draining.Load() }
 
 // serve runs fn under the concurrency limiter and the per-request
-// timeout, answering JSON. Waiting for a slot answers 503 when the
-// budget runs out first. fn runs synchronously on the handler goroutine
-// (the request body must not be read past the handler's return); slow
-// body reads observe the timeout through ctx — see ctxReader — and a
-// fn error with the budget exhausted answers 504.
+// timeout, answering JSON. See serveLimited.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, fn func(ctx context.Context) (any, error)) {
+	serveLimited(w, r, s.sem, s.opts.Timeout, fn)
+}
+
+// statusError carries an HTTP status and a structured JSON body through
+// serveLimited's error path — how /ingest reports partial forest state
+// alongside the error. A zero Code selects the default (400, or 504
+// when the request budget expired).
+type statusError struct {
+	Code int
+	Body any
+	Err  error
+}
+
+func (e *statusError) Error() string { return e.Err.Error() }
+func (e *statusError) Unwrap() error { return e.Err }
+
+// serveLimited is the request harness shared by the shard Server and
+// the Coordinator: it runs fn under the concurrency limiter and the
+// per-request timeout, answering JSON. Waiting for a slot answers 503
+// when the budget runs out first. fn runs synchronously on the handler
+// goroutine (the request body must not be read past the handler's
+// return); slow body reads observe the timeout through ctx — see
+// ctxReader — and a fn error with the budget exhausted answers 504.
+//
+// Before writing an error response the unread remainder of the request
+// body is drained (up to maxErrorDrain), so a failed request does not
+// force the keep-alive connection closed under the next request.
+// Timed-out requests skip the drain: their body is stalled and the
+// connection is forfeit anyway.
+func serveLimited(w http.ResponseWriter, r *http.Request, sem chan struct{}, timeout time.Duration, fn func(ctx context.Context) (any, error)) {
 	ctx := r.Context()
-	if s.opts.Timeout > 0 {
+	if timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, s.opts.Timeout)
+		ctx, cancel = context.WithTimeout(ctx, timeout)
 		defer cancel()
 	}
 	select {
-	case s.sem <- struct{}{}:
+	case sem <- struct{}{}:
 	case <-ctx.Done():
 		httpError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
 		return
 	}
-	defer func() { <-s.sem }()
+	defer func() { <-sem }()
 	v, err := fn(ctx)
 	if err != nil {
-		if ctx.Err() != nil {
-			httpError(w, http.StatusGatewayTimeout, "request timed out: %v", ctx.Err())
+		if errors.Is(err, errHandled) {
 			return
 		}
-		httpError(w, http.StatusBadRequest, "%v", err)
+		if ctx.Err() == nil {
+			drainBody(r)
+		}
+		code := http.StatusBadRequest
+		if ctx.Err() != nil {
+			code = http.StatusGatewayTimeout
+			err = fmt.Errorf("request timed out: %w", ctx.Err())
+		}
+		var se *statusError
+		if errors.As(err, &se) {
+			if se.Code != 0 {
+				code = se.Code
+			}
+			writeJSONStatus(w, code, se.Body)
+			return
+		}
+		httpError(w, code, "%v", err)
 		return
 	}
 	writeJSON(w, v)
+}
+
+// drainBody discards the unread remainder of the request body, up to
+// maxErrorDrain bytes. Without this, an error response with body bytes
+// still in flight makes net/http close the connection (it only
+// auto-discards small remainders), killing keep-alive for the client's
+// next request.
+func drainBody(r *http.Request) {
+	_, _ = io.Copy(io.Discard, io.LimitReader(r.Body, maxErrorDrain))
 }
 
 // ctxReader fails reads once ctx is done, so a stalled ingest body
@@ -221,26 +292,100 @@ type ingestResponse struct {
 	Trees int64 `json:"trees"`
 }
 
+// ingestError is the /ingest JSON error body. A forest document that
+// fails mid-stream leaves its already-applied trees in the synopsis
+// (AddTree's per-tree commits are real state, not a rollback), so the
+// client gets the applied count and a partial marker to reconcile.
+type ingestError struct {
+	Error        string `json:"error"`
+	TreesApplied int64  `json:"trees_applied"`
+	Partial      bool   `json:"partial"`
+}
+
+// capReader tracks whether the wrapped http.MaxBytesReader tripped its
+// limit, so the handler can answer 413 regardless of how the XML
+// decoder wrapped the read error.
+type capReader struct {
+	r       io.Reader
+	tripped bool
+}
+
+func (c *capReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			c.tripped = true
+		}
+	}
+	return n, err
+}
+
 func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 	forest := r.URL.Query().Get("forest") != ""
 	s.serve(w, r, func(ctx context.Context) (any, error) {
+		rc := http.NewResponseController(w)
 		if dl, ok := ctx.Deadline(); ok {
 			// A stalled body read blocks inside the connection; the read
 			// deadline interrupts it at the budget so the 504 is prompt.
-			_ = http.NewResponseController(w).SetReadDeadline(dl)
+			// Cleared on return — a leftover deadline would fail the next
+			// request on this keep-alive connection.
+			_ = rc.SetReadDeadline(dl)
+			defer rc.SetReadDeadline(time.Time{})
 		}
-		body := &ctxReader{ctx: ctx, r: r.Body}
+		var src io.Reader = r.Body
+		var capr *capReader
+		if s.opts.MaxIngestBody > 0 {
+			capr = &capReader{r: http.MaxBytesReader(w, r.Body, s.opts.MaxIngestBody)}
+			src = capr
+		}
+		body := &ctxReader{ctx: ctx, r: src}
+		var applied int64
 		var err error
 		if forest {
-			err = s.safe.AddXMLForest(body)
+			applied, err = s.safe.AddXMLForestCount(body)
 		} else {
 			err = s.safe.AddXML(body)
 		}
 		if err != nil {
+			code := 0
+			if capr != nil && capr.tripped {
+				code = http.StatusRequestEntityTooLarge
+				err = fmt.Errorf("request body exceeds %d bytes: %w", s.opts.MaxIngestBody, err)
+			}
+			if forest {
+				return nil, &statusError{
+					Code: code,
+					Body: ingestError{Error: err.Error(), TreesApplied: applied, Partial: applied > 0},
+					Err:  err,
+				}
+			}
+			if code != 0 {
+				return nil, &statusError{Code: code, Body: map[string]string{"error": err.Error()}, Err: err}
+			}
 			return nil, err
 		}
 		return ingestResponse{Trees: s.safe.TreesProcessed()}, nil
 	})
+}
+
+// handleSynopsis serves the synopsis in its serialized binary form —
+// the pull half of the cluster's pull/merge protocol (see
+// internal/cluster). The snapshot is taken under the read lock; like
+// /stats it bypasses the request limiter so periodic coordinator pulls
+// never compete with query traffic for slots.
+func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	data, err := s.safe.MarshalBinary()
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, "serializing synopsis: %v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Sketchtree-Trees", strconv.FormatInt(s.safe.TreesProcessed(), 10))
+	if _, err := w.Write(data); err != nil {
+		// The client went away mid-transfer; nothing recoverable.
+		_ = err
+	}
 }
 
 // queryRequest is the /query body. Kind selects the estimator; Pattern
@@ -299,7 +444,25 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	})
 }
 
+// engine is the estimator surface the query path needs. Both
+// *sketchtree.Safe (the shard's locked/snapshot path) and a frozen
+// *sketchtree.SketchTree (the coordinator's merged synopsis) satisfy
+// it, so one query handler serves both roles.
+type engine interface {
+	CountOrdered(q *sketchtree.Node) (float64, error)
+	CountUnordered(q *sketchtree.Node) (float64, error)
+	CountOrderedSet(qs []*sketchtree.Node) (float64, error)
+	CountOrderedWithError(q *sketchtree.Node) (sketchtree.Estimate, error)
+	CountUnorderedWithError(q *sketchtree.Node) (sketchtree.Estimate, error)
+	CountOrderedSetWithError(qs []*sketchtree.Node) (sketchtree.Estimate, error)
+	EstimateExpression(e sketchtree.Expr) (float64, error)
+}
+
 func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
+	return answerQuery(s.safe, req)
+}
+
+func answerQuery(eng engine, req *queryRequest) (*queryResponse, error) {
 	resp := &queryResponse{Kind: req.Kind}
 	switch req.Kind {
 	case "ordered", "unordered":
@@ -310,9 +473,9 @@ func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
 		if req.WithError {
 			var est sketchtree.Estimate
 			if req.Kind == "ordered" {
-				est, err = s.safe.CountOrderedWithError(q)
+				est, err = eng.CountOrderedWithError(q)
 			} else {
-				est, err = s.safe.CountUnorderedWithError(q)
+				est, err = eng.CountUnorderedWithError(q)
 			}
 			if err != nil {
 				return nil, err
@@ -322,9 +485,9 @@ func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
 		}
 		var v float64
 		if req.Kind == "ordered" {
-			v, err = s.safe.CountOrdered(q)
+			v, err = eng.CountOrdered(q)
 		} else {
-			v, err = s.safe.CountUnordered(q)
+			v, err = eng.CountUnordered(q)
 		}
 		if err != nil {
 			return nil, err
@@ -344,14 +507,14 @@ func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
 			qs[i] = q
 		}
 		if req.WithError {
-			est, err := s.safe.CountOrderedSetWithError(qs)
+			est, err := eng.CountOrderedSetWithError(qs)
 			if err != nil {
 				return nil, err
 			}
 			resp.withEstimate(est)
 			return resp, nil
 		}
-		v, err := s.safe.CountOrderedSet(qs)
+		v, err := eng.CountOrderedSet(qs)
 		if err != nil {
 			return nil, err
 		}
@@ -365,7 +528,7 @@ func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := s.safe.EstimateExpression(e)
+		v, err := eng.EstimateExpression(e)
 		if err != nil {
 			return nil, err
 		}
@@ -461,10 +624,15 @@ func writeJSON(w http.ResponseWriter, v any) {
 }
 
 func httpError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSONStatus(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// writeJSONStatus answers v as JSON under an explicit status code.
+func writeJSONStatus(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	if err := json.NewEncoder(w).Encode(map[string]string{"error": fmt.Sprintf(format, args...)}); err != nil {
-		// The error status is already on the wire; nothing recoverable.
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status is already on the wire; nothing recoverable.
 		_ = err
 	}
 }

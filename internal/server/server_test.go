@@ -2,11 +2,13 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"net/http/httptrace"
 	"strings"
 	"testing"
 	"time"
@@ -303,5 +305,217 @@ func TestIngestTimeout(t *testing.T) {
 	resp, _ := postQuery(t, ts.URL, queryRequest{Kind: "ordered", Pattern: "a/b"})
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("query after timeout: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestIngestBodyCap checks /ingest rejects oversized bodies with 413
+// instead of streaming them unbounded into the synopsis (pre-fix the
+// same request ingested fine and answered 200).
+func TestIngestBodyCap(t *testing.T) {
+	safe, _, ts := newTestServer(t, Options{MaxIngestBody: 1024})
+	before := safe.TreesProcessed()
+	var b strings.Builder
+	b.WriteString("<a>")
+	for b.Len() < 4096 {
+		b.WriteString("<b/>")
+	}
+	b.WriteString("</a>")
+	resp, err := http.Post(ts.URL+"/ingest", "application/xml", strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized ingest: status %d, want 413: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil || e.Error == "" {
+		t.Fatalf("413 body not a JSON error: %s", body)
+	}
+	if got := safe.TreesProcessed(); got != before {
+		t.Errorf("oversized ingest applied state: %d trees, want %d", got, before)
+	}
+	// A body under the cap still ingests.
+	resp, err = http.Post(ts.URL+"/ingest", "application/xml", strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("small ingest after cap: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestForestPartialIngestError aborts a forest mid-document and checks
+// the error body reports the applied prefix: AddTree commits per tree,
+// so the applied trees are real synopsis state the client must be able
+// to reconcile (pre-fix the error body had no applied count).
+func TestForestPartialIngestError(t *testing.T) {
+	safe, _, ts := newTestServer(t, Options{})
+	before := safe.TreesProcessed()
+	// Two complete trees, then a document truncated mid-stream.
+	resp, err := http.Post(ts.URL+"/ingest?forest=1", "application/xml",
+		strings.NewReader("<forest><a><b/></a><a><c/></a><a><b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("aborted forest: status %d, want 400: %s", resp.StatusCode, body)
+	}
+	var e struct {
+		Error        string `json:"error"`
+		TreesApplied int64  `json:"trees_applied"`
+		Partial      bool   `json:"partial"`
+	}
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("decoding error body %q: %v", body, err)
+	}
+	if e.Error == "" || e.TreesApplied != 2 || !e.Partial {
+		t.Fatalf("error body %+v, want trees_applied=2 partial=true", e)
+	}
+	if got := safe.TreesProcessed(); got != before+2 {
+		t.Errorf("synopsis has %d trees, want %d (the applied prefix)", got, before+2)
+	}
+	// A forest that fails before any tree applies is not partial.
+	resp, err = http.Post(ts.URL+"/ingest?forest=1", "application/xml",
+		strings.NewReader("<forest><a><b/>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("decoding error body %q: %v", body, err)
+	}
+	if e.TreesApplied != 0 || e.Partial {
+		t.Errorf("empty-prefix abort: %+v, want trees_applied=0 partial=false", e)
+	}
+}
+
+// TestErrorResponseKeepsConnectionAlive sends a failing ingest with a
+// large unread remainder, then a healthy request on the same
+// connection. Pre-fix the handler returned without draining the body;
+// with ~512 KiB left unread net/http gives up (its auto-discard stops
+// at 256 KiB) and closes the keep-alive connection.
+func TestErrorResponseKeepsConnectionAlive(t *testing.T) {
+	_, _, ts := newTestServer(t, Options{})
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+
+	// Malformed XML up front: the decoder fails within its first buffer,
+	// leaving the ~512 KiB remainder unread by the handler.
+	bad := "<a><b></a>" + strings.Repeat(" ", 512<<10)
+	resp, err := client.Post(ts.URL+"/ingest", "application/xml", strings.NewReader(bad))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed ingest: status %d, want 400", resp.StatusCode)
+	}
+	if resp.Close {
+		t.Fatal("server closed the keep-alive connection after the failed request")
+	}
+
+	// The next request must reuse the same connection.
+	var reused bool
+	ctx := httptrace.WithClientTrace(context.Background(), &httptrace.ClientTrace{
+		GotConn: func(info httptrace.GotConnInfo) { reused = info.Reused },
+	})
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, ts.URL+"/healthz", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err = client.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("follow-up request: status %d, want 200", resp.StatusCode)
+	}
+	if !reused {
+		t.Error("follow-up request did not reuse the connection")
+	}
+}
+
+// TestIngestClearsReadDeadline checks a timed ingest does not leave its
+// read deadline armed on the keep-alive connection: a later request on
+// the same connection, arriving after the first request's deadline has
+// passed, must still be served.
+func TestIngestClearsReadDeadline(t *testing.T) {
+	_, _, ts := newTestServer(t, Options{Timeout: 250 * time.Millisecond})
+	tr := &http.Transport{}
+	defer tr.CloseIdleConnections()
+	client := &http.Client{Transport: tr}
+	resp, err := client.Post(ts.URL+"/ingest", "application/xml", strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("ingest: status %d, want 200", resp.StatusCode)
+	}
+	// Wait out the first request's deadline, then reuse the connection.
+	time.Sleep(400 * time.Millisecond)
+	resp, err = client.Post(ts.URL+"/ingest", "application/xml", strings.NewReader("<a><c/></a>"))
+	if err != nil {
+		t.Fatalf("second ingest on reused connection: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("second ingest: status %d, want 200", resp.StatusCode)
+	}
+}
+
+// TestSynopsisEndpoint pulls the serialized synopsis and checks a
+// restored engine answers bit-identically — the shard half of the
+// cluster pull/merge protocol.
+func TestSynopsisEndpoint(t *testing.T) {
+	safe, _, ts := newTestServer(t, Options{})
+	resp, err := http.Get(ts.URL + "/synopsis")
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("/synopsis: status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get("X-Sketchtree-Trees"); got != "3" {
+		t.Errorf("X-Sketchtree-Trees = %q, want 3", got)
+	}
+	st, err := sketchtree.Restore(data)
+	if err != nil {
+		t.Fatalf("restoring pulled synopsis: %v", err)
+	}
+	if st.TreesProcessed() != 3 {
+		t.Errorf("restored trees = %d, want 3", st.TreesProcessed())
+	}
+	q, err := sketchtree.ParsePattern("(a (b))")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := safe.CountOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.CountOrdered(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Errorf("restored estimate %v != live %v", got, want)
 	}
 }

@@ -2,6 +2,7 @@ package sketchtree
 
 import (
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -383,5 +384,114 @@ func TestSafeSnapshotStress(t *testing.T) {
 	if sn.TreesProcessed() != s.TreesProcessed() {
 		t.Errorf("snapshot trees %d != live %d after refresh",
 			sn.TreesProcessed(), s.TreesProcessed())
+	}
+}
+
+// TestSafeSnapshotChurnUnderIngest cycles EnableSnapshots and
+// DisableSnapshots while writers keep ingesting and readers keep
+// querying — the operational pattern of flipping snapshot serving on a
+// live daemon. Run with -race; it also checks the MaxAge refresher
+// goroutines are joined rather than leaked across cycles.
+func TestSafeSnapshotChurnUnderIngest(t *testing.T) {
+	cfg := testConfig()
+	cfg.TopK = 0
+	s, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := s.AddTree(snapTree(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	base := runtime.NumGoroutine()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	fail := func(format string, args ...any) {
+		if failed.CompareAndSwap(false, true) {
+			t.Errorf(format, args...)
+		}
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := s.AddTree(snapTree(w*1000 + i)); err != nil {
+					fail("AddTree: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	queries := snapQueries()
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := s.CountOrdered(queries[i%len(queries)]); err != nil {
+					fail("CountOrdered: %v", err)
+					return
+				}
+			}
+		}(r)
+	}
+
+	// The churn loop: a tight refresh policy (every update, plus a
+	// MaxAge refresher goroutine per cycle) maximizes the surface for
+	// double-close and leaked-refresher bugs.
+	pol := SnapshotPolicy{EveryTrees: 1, MaxAge: time.Millisecond}
+	for i := 0; i < 200 && !failed.Load(); i++ {
+		if err := s.EnableSnapshots(pol); err != nil {
+			fail("EnableSnapshots cycle %d: %v", i, err)
+			break
+		}
+		if i%3 == 0 {
+			// Let the refresher run at least once on some cycles.
+			time.Sleep(time.Millisecond)
+		}
+		s.DisableSnapshots()
+	}
+	close(stop)
+	wg.Wait()
+
+	// Disabling is idempotent even after the churn.
+	s.DisableSnapshots()
+	if _, _, ok := s.SnapshotStats(); ok {
+		t.Error("snapshot serving still on after final Disable")
+	}
+
+	// Every MaxAge refresher must be joined: allow brief settling, then
+	// demand the goroutine count returns near the baseline.
+	deadline := time.Now().Add(5 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak after snapshot churn: %d -> %d\n%s",
+			base, n, buf[:runtime.Stack(buf, true)])
+	}
+
+	// The synopsis is still coherent: counts answer without error and
+	// TreesProcessed reflects every concurrent AddTree.
+	if n := s.TreesProcessed(); n < 10 {
+		t.Errorf("TreesProcessed = %d after churn, want >= 10", n)
+	}
+	if _, err := s.CountOrdered(queries[0]); err != nil {
+		t.Errorf("CountOrdered after churn: %v", err)
 	}
 }
