@@ -87,6 +87,7 @@ bench-smoke:
 # artifact).
 cluster-smoke:
 	CLUSTER_STATUS_OUT=$(CURDIR)/cluster_status.json \
+	DEBUG_REQUESTS_OUT=$(CURDIR)/debug_requests.json \
 		$(GO) test -race -count=1 -run '^TestCluster' ./cmd/sketchtreed
 
 # Short coverage-guided runs of every fuzz target (FUZZTIME each).

@@ -40,6 +40,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"os/signal"
@@ -50,6 +51,7 @@ import (
 	"sketchtree"
 	"sketchtree/internal/cluster"
 	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
 	"sketchtree/internal/server"
 )
 
@@ -89,10 +91,19 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		shardList = fs.String("shards", "", "comma-separated shard base URLs, scheme optional (coordinator role)")
 		pullEvery = fs.Duration("pull-every", time.Second, "coordinator synopsis pull period")
 		pullTO    = fs.Duration("pull-timeout", 0, "per-shard pull budget (0 = default 5s)")
+		traceBuf  = fs.Int("trace-buffer", 256, "completed traces retained per flight-recorder ring on GET /debug/requests (0 = tracing off)")
+		slowQuery = fs.Duration("slow-query", 500*time.Millisecond, "requests at least this slow are always retained in the slow-query log (0 = retain all, negative = off)")
+		logFormat = fs.String("log-format", "text", "structured log format: text or json")
+		logLevel  = fs.String("log-level", "info", "minimum log level: debug, info, warn or error")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	logger, err := buildLogger(*logFormat, *logLevel)
+	if err != nil {
+		return err
+	}
+	rec := trace.New(*role, *traceBuf, *slowQuery)
 
 	cfg := sketchtree.DefaultConfig()
 	cfg.MaxPatternEdges = *k
@@ -125,6 +136,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				MaxConcurrent: *maxConc,
 				DrainTimeout:  *drain,
 				MaxIngestBody: *maxIngest,
+				Trace:         rec,
+				Logger:        logger,
+				Role:          *role,
 			},
 			preloads: fs.Args(),
 		}, stdout)
@@ -160,6 +174,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		MaxConcurrent: *maxConc,
 		DrainTimeout:  *drain,
 		MaxIngestBody: *maxIngest,
+		Trace:         rec,
+		Logger:        logger,
+		Role:          *role,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -219,6 +236,8 @@ func runCoordinator(ctx context.Context, cfg sketchtree.Config, cf coordinatorFl
 		PullEvery:   cf.pullEvery,
 		PullTimeout: cf.pullTO,
 		Metrics:     met,
+		Trace:       cf.opts.Trace,
+		Logger:      cf.opts.Logger,
 	})
 	if err != nil {
 		return err
@@ -244,6 +263,33 @@ func runCoordinator(ctx context.Context, cfg sketchtree.Config, cf coordinatorFl
 	fmt.Fprintf(stdout, "drained after %v: %d merged trees\n",
 		time.Since(start).Round(time.Millisecond), trees)
 	return nil
+}
+
+// buildLogger constructs the daemon's structured logger on stderr
+// (stdout keeps the human-readable lifecycle lines).
+func buildLogger(format, level string) (*slog.Logger, error) {
+	var lvl slog.Level
+	switch level {
+	case "debug":
+		lvl = slog.LevelDebug
+	case "info":
+		lvl = slog.LevelInfo
+	case "warn":
+		lvl = slog.LevelWarn
+	case "error":
+		lvl = slog.LevelError
+	default:
+		return nil, fmt.Errorf("unknown -log-level %q (debug, info, warn or error)", level)
+	}
+	opts := &slog.HandlerOptions{Level: lvl}
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (text or json)", format)
+	}
 }
 
 func preload(safe *sketchtree.Safe, name string, forest bool) error {

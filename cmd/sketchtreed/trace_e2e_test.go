@@ -1,0 +1,202 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchtree/internal/obs/trace"
+)
+
+// debugRequests mirrors the GET /debug/requests body.
+type debugRequests struct {
+	Enabled         bool               `json:"enabled"`
+	Role            string             `json:"role"`
+	SlowThresholdNS int64              `json:"slow_threshold_ns"`
+	Recent          []*trace.Completed `json:"recent"`
+	Slow            []*trace.Completed `json:"slow"`
+	Background      []*trace.Completed `json:"background"`
+}
+
+func getDebug(t *testing.T, base, traceID string) debugRequests {
+	t.Helper()
+	url := base + "/debug/requests"
+	if traceID != "" {
+		url += "?trace_id=" + traceID
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var d debugRequests
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatalf("decoding %s: %v", url, err)
+	}
+	return d
+}
+
+// TestClusterTraceJoin is the tracing acceptance test: a routed ingest
+// through a real cluster produces one trace ID that resolves on both
+// the coordinator's and the owning shard's /debug/requests, and with
+// -slow-query 0 the request is retained in the slow log with per-span
+// durations.
+func TestClusterTraceJoin(t *testing.T) {
+	traceArgs := append([]string{"-slow-query", "0"}, shardArgs...)
+	shards := make([]*daemon, 3)
+	urls := make([]string, 3)
+	for i := range shards {
+		shards[i] = startDaemon(t, traceArgs...)
+		urls[i] = "http://" + shards[i].addr
+	}
+	co := startDaemon(t, append([]string{
+		"-role", "coordinator",
+		"-shards", strings.Join(urls, ","),
+		"-pull-every", "50ms",
+	}, traceArgs...)...)
+	base := "http://" + co.addr
+
+	// Routed ingest: capture the trace ID and owning shard.
+	resp, err := http.Post(base+"/ingest", "application/xml",
+		strings.NewReader("<a><b/><c/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed ingest: status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(trace.Header)
+	if id == "" {
+		t.Fatal("routed ingest response carries no trace ID")
+	}
+	shardIdx, err := strconv.Atoi(resp.Header.Get("X-Sketchtree-Shard"))
+	if err != nil {
+		t.Fatalf("X-Sketchtree-Shard header: %v", err)
+	}
+
+	// The same ID resolves on the coordinator...
+	coDump := getDebug(t, base, id)
+	if !coDump.Enabled || coDump.Role != "coordinator" {
+		t.Fatalf("coordinator /debug/requests = enabled %v role %q", coDump.Enabled, coDump.Role)
+	}
+	if len(coDump.Recent) != 1 {
+		t.Fatalf("coordinator holds %d traces for %s, want 1", len(coDump.Recent), id)
+	}
+	names := map[string]bool{}
+	for _, sp := range coDump.Recent[0].Spans {
+		names[sp.Name] = true
+		if sp.DurationNS < 0 {
+			t.Fatalf("span %q has negative duration", sp.Name)
+		}
+	}
+	if !names["route"] || !names["forward"] {
+		t.Fatalf("coordinator ingest spans = %v, want route and forward", names)
+	}
+
+	// ...and on the shard that applied the document.
+	shardDump := getDebug(t, urls[shardIdx], id)
+	if len(shardDump.Recent) != 1 {
+		t.Fatalf("shard %d holds %d traces for %s, want 1 (trace did not propagate)",
+			shardIdx, len(shardDump.Recent), id)
+	}
+	sh := shardDump.Recent[0]
+	if sh.Role != "shard" && sh.Role != "standalone" {
+		t.Fatalf("shard trace role = %q", sh.Role)
+	}
+	if sh.Endpoint != "/ingest" {
+		t.Fatalf("shard trace endpoint = %q, want /ingest", sh.Endpoint)
+	}
+
+	// -slow-query 0 retains every request in the slow log, spans and
+	// all — the "slow queries above threshold are retained" criterion
+	// exercised at its always-on boundary.
+	if coDump.SlowThresholdNS != 0 {
+		t.Fatalf("slow_threshold_ns = %d, want 0", coDump.SlowThresholdNS)
+	}
+	if len(coDump.Slow) != 1 || !coDump.Slow[0].Slow {
+		t.Fatalf("slow log = %+v, want the ingest trace marked slow", coDump.Slow)
+	}
+
+	// A query is traced with plan/eval spans and a pattern-size attr.
+	qresp, body := postJSON(t, base+"/query", `{"kind":"ordered","pattern":"(a (b))"}`)
+	if qresp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d: %s", qresp.StatusCode, body)
+	}
+	qid := qresp.Header.Get(trace.Header)
+	qDump := getDebug(t, base, qid)
+	if len(qDump.Recent) != 1 {
+		t.Fatalf("query trace %s not retained", qid)
+	}
+	qnames := map[string]bool{}
+	for _, sp := range qDump.Recent[0].Spans {
+		qnames[sp.Name] = true
+	}
+	if !qnames["plan"] || !qnames["eval"] {
+		t.Fatalf("query spans = %v, want plan and eval", qnames)
+	}
+
+	// The background pull loop records rounds in its own ring without
+	// evicting the request traces above.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if d := getDebug(t, base, ""); len(d.Background) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no background pull trace appeared")
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// CI artifact: the coordinator's full flight-recorder dump.
+	if out := os.Getenv("DEBUG_REQUESTS_OUT"); out != "" {
+		data, err := json.MarshalIndent(getDebug(t, base, ""), "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+		t.Logf("wrote /debug/requests dump to %s", out)
+	}
+}
+
+// TestTraceBufferZeroDisables checks -trace-buffer 0 turns the whole
+// layer off: no response header, /debug/requests answers enabled=false.
+func TestTraceBufferZeroDisables(t *testing.T) {
+	d := startDaemon(t, append([]string{"-trace-buffer", "0"}, shardArgs...)...)
+	base := "http://" + d.addr
+	resp, err := http.Post(base+"/ingest", "application/xml", strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if got := resp.Header.Get(trace.Header); got != "" {
+		t.Fatalf("tracing disabled but trace header %q set", got)
+	}
+	if dump := getDebug(t, base, ""); dump.Enabled {
+		t.Fatal("/debug/requests enabled with -trace-buffer 0")
+	}
+}
+
+// TestLogFlagValidation checks the structured-logging flag errors.
+func TestLogFlagValidation(t *testing.T) {
+	for _, tc := range []struct{ flag, val, want string }{
+		{"-log-format", "xml", "log-format"},
+		{"-log-level", "loud", "log-level"},
+	} {
+		err := run(context.Background(), []string{tc.flag, tc.val}, io.Discard)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("run(%s=%s) = %v, want error mentioning %q", tc.flag, tc.val, err, tc.want)
+		}
+	}
+}

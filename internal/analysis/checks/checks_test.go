@@ -27,6 +27,10 @@ func TestFuzzWired(t *testing.T) {
 	analysistest.Run(t, analysistest.Fixture(t, "fuzzwired"), checks.FuzzWired)
 }
 
+func TestSlogOnly(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "slogonly"), checks.SlogOnly)
+}
+
 // TestLintAllow checks the framework's directive hygiene findings via
 // a fixture of malformed, unknown and stale //lint:allow comments.
 func TestLintAllow(t *testing.T) {

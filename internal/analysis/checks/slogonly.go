@@ -1,0 +1,94 @@
+package checks
+
+import (
+	"go/ast"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// SlogOnly enforces the structured-logging contract of the serving
+// path: internal/server and internal/cluster log through the injected
+// *slog.Logger (which carries trace_id/shard/role attributes and obeys
+// -log-format/-log-level), never through the global log package. A
+// bare log.Printf there bypasses the level filter, breaks JSON log
+// pipelines, and loses the trace correlation the flight recorder
+// depends on. Other packages (cmd binaries, tooling) are out of scope.
+var SlogOnly = &analysis.Analyzer{
+	Name: "slogonly",
+	Doc:  "internal/server and internal/cluster log via the injected *slog.Logger, never the global log package",
+	Run:  runSlogOnly,
+}
+
+// slogOnlyDirs are the module-relative directory prefixes under the
+// structured-logging contract.
+var slogOnlyDirs = []string{"internal/server", "internal/cluster"}
+
+func runSlogOnly(pass *analysis.Pass) {
+	for _, p := range pass.Module.Packages {
+		if !slogOnlyScoped(p.RelDir) {
+			continue
+		}
+		for _, f := range p.Files {
+			if f.Test {
+				continue
+			}
+			// The local name "log" below is the stdlib log package, not
+			// a *slog.Logger parameter: files that don't import "log"
+			// (log/slog binds to slog) are skipped entirely.
+			name := importName(f.AST, "log")
+			if name == "" || name == "." {
+				continue
+			}
+			ast.Inspect(f.AST, func(n ast.Node) bool {
+				switch x := n.(type) {
+				case *ast.FuncDecl:
+					// A receiver or parameter named like the import (a
+					// *slog.Logger called log is idiomatic here) shadows
+					// it for the whole body.
+					if fieldListHasName(x.Recv, name) || fieldListHasName(x.Type.Params, name) {
+						return false
+					}
+				case *ast.FuncLit:
+					if fieldListHasName(x.Type.Params, name) {
+						return false
+					}
+				case *ast.SelectorExpr:
+					if isPkgSel(x, name, "") {
+						pass.Reportf(x.Pos(),
+							"%s.%s bypasses the injected *slog.Logger; serving-path packages log structured (trace_id/role attrs, -log-format)",
+							name, x.Sel.Name)
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// fieldListHasName reports whether any field in fl (receiver,
+// parameter or result list) binds the given name.
+func fieldListHasName(fl *ast.FieldList, name string) bool {
+	if fl == nil {
+		return false
+	}
+	for _, f := range fl.List {
+		for _, n := range f.Names {
+			if n.Name == name {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// slogOnlyScoped reports whether a module-relative directory falls
+// under the structured-logging contract.
+func slogOnlyScoped(relDir string) bool {
+	for _, d := range slogOnlyDirs {
+		if relDir == d || strings.HasPrefix(relDir, d+"/") {
+			return true
+		}
+	}
+	return false
+}

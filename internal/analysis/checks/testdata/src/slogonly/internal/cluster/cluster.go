@@ -1,0 +1,14 @@
+// Fixture: a renamed import of the log package is still caught.
+package cluster
+
+import (
+	stdlog "log"
+	"log/slog"
+)
+
+var logger = slog.Default()
+
+func pull() {
+	stdlog.Println("synopsis pull failed") // want "slogonly: stdlog\.Println bypasses the injected \*slog\.Logger"
+	logger.Warn("synopsis pull failed", "shard", 0)
+}

@@ -1,0 +1,22 @@
+// Fixture: serving-path package using the global log package.
+package server
+
+import (
+	"log"
+	"log/slog"
+)
+
+func handle(logger *slog.Logger) {
+	log.Printf("request failed: %v", 42) // want "slogonly: log\.Printf bypasses the injected \*slog\.Logger"
+	logger.Warn("request failed", "code", 500)
+}
+
+func fallback() *log.Logger { // want "slogonly: log\.Logger bypasses the injected \*slog\.Logger"
+	return log.Default() // want "slogonly: log\.Default bypasses the injected \*slog\.Logger"
+}
+
+// log-named *slog.Logger parameters are fine: the contract is about
+// the stdlib log package, not the identifier.
+func slow(log *slog.Logger) {
+	log.Info("slow request")
+}

@@ -1,0 +1,11 @@
+// Fixture: test files are exempt from the contract.
+package server
+
+import (
+	"log"
+	"testing"
+)
+
+func TestHandle(t *testing.T) {
+	log.Printf("debugging a test is fine")
+}

@@ -1,0 +1,9 @@
+// Fixture: packages outside internal/server and internal/cluster are
+// out of the structured-logging contract's scope.
+package fixture
+
+import "log"
+
+func boot() {
+	log.Printf("starting up")
+}

@@ -29,6 +29,7 @@ func All() []*analysis.Analyzer {
 		AtomicSafety,
 		LockDiscipline,
 		FuzzWired,
+		SlogOnly,
 	}
 }
 

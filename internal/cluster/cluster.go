@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"hash/fnv"
 	"io"
+	"log/slog"
 	"net/http"
 	"net/url"
 	"strconv"
@@ -36,6 +37,7 @@ import (
 
 	"sketchtree"
 	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
 )
 
 // Config describes cluster membership and the pull/merge policy. The
@@ -69,6 +71,16 @@ type Config struct {
 
 	// Metrics receives per-shard pull accounting; nil disables.
 	Metrics *obs.ClusterMetrics
+
+	// Trace records each pull/merge round in the flight recorder's
+	// background ring; nil disables. Rounds triggered by a traced
+	// request (/query?fresh=1) record into that request's trace
+	// instead.
+	Trace *trace.Recorder
+
+	// Logger receives structured pull-failure and publish logs.
+	// Default: a no-op logger.
+	Logger *slog.Logger
 }
 
 const (
@@ -96,6 +108,9 @@ func (c Config) normalize() Config {
 	}
 	if c.Client == nil {
 		c.Client = &http.Client{}
+	}
+	if c.Logger == nil {
+		c.Logger = obs.NopLogger()
 	}
 	return c
 }
@@ -282,6 +297,13 @@ func (p *Puller) PullNow(ctx context.Context) error {
 
 // round pulls the due shards in parallel, folds the results into the
 // shard states, and rebuilds the merged state when anything changed.
+//
+// The round is traced: a round triggered by a traced request
+// (/query?fresh=1 — the request trace rides in on ctx) records its
+// per-shard pull spans and merge/publish spans into that request's
+// trace; a periodic round records into a background trace of its own,
+// kept in the recorder's background ring so ticker traffic never
+// evicts request history.
 func (p *Puller) round(ctx context.Context, force bool) error {
 	type target struct {
 		i   int
@@ -300,6 +322,13 @@ func (p *Puller) round(ctx context.Context, force bool) error {
 		return nil
 	}
 
+	tr := trace.FromContext(ctx)
+	owned := false // this round started (and must finish) its own trace
+	if tr == nil {
+		tr = p.cfg.Trace.StartBackground("pull")
+		owned = true
+	}
+
 	type result struct {
 		i     int
 		data  []byte
@@ -312,9 +341,11 @@ func (p *Puller) round(ctx context.Context, force bool) error {
 		wg.Add(1)
 		go func(n int, tg target) {
 			defer wg.Done()
+			sp := tr.StartSpan("pull:" + strconv.Itoa(tg.i))
 			start := time.Now()
-			data, trees, err := p.fetch(ctx, tg.url)
+			data, trees, err := p.fetch(ctx, tg.url, tr.ID())
 			p.cfg.Metrics.PullDone(tg.i, time.Since(start), int64(len(data)), err)
+			tr.EndSpan(sp)
 			results[n] = result{i: tg.i, data: data, trees: trees, err: err}
 		}(n, tg)
 	}
@@ -332,6 +363,8 @@ func (p *Puller) round(ctx context.Context, force bool) error {
 			sh.failures++
 			sh.lastErr = r.err
 			sh.nextTry = now.Add(p.backoff(sh.failures))
+			p.cfg.Logger.Warn("synopsis pull failed", "shard", r.i, "url", sh.url,
+				"err", r.err, "consecutive_failures", sh.failures, "trace_id", tr.ID())
 			continue
 		}
 		sh.failures = 0
@@ -354,9 +387,16 @@ func (p *Puller) round(ctx context.Context, force bool) error {
 	p.mu.Unlock()
 
 	if gen != p.builtAt.Load() {
-		if err := p.rebuild(datas, gen); err != nil && firstErr == nil {
+		if err := p.rebuild(datas, gen, tr); err != nil && firstErr == nil {
 			firstErr = err
 		}
+	}
+	if owned {
+		status := http.StatusOK
+		if firstErr != nil {
+			status = http.StatusBadGateway
+		}
+		tr.Finish(status)
 	}
 	return firstErr
 }
@@ -375,13 +415,18 @@ func (p *Puller) backoff(n int) time.Duration {
 	return min(d, p.cfg.MaxBackoff)
 }
 
-// fetch pulls one shard's serialized synopsis.
-func (p *Puller) fetch(ctx context.Context, base string) (data []byte, trees int64, err error) {
+// fetch pulls one shard's serialized synopsis. traceID, when non-empty,
+// propagates on the request header so the shard's flight recorder joins
+// this round's trace.
+func (p *Puller) fetch(ctx context.Context, base, traceID string) (data []byte, trees int64, err error) {
 	ctx, cancel := context.WithTimeout(ctx, p.cfg.PullTimeout)
 	defer cancel()
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/synopsis", nil)
 	if err != nil {
 		return nil, 0, err
+	}
+	if traceID != "" {
+		req.Header.Set(trace.Header, traceID)
 	}
 	resp, err := p.cfg.Client.Do(req)
 	if err != nil {
@@ -410,7 +455,8 @@ func (p *Puller) fetch(ctx context.Context, base string) (data []byte, trees int
 // bit-identical to a single node that ingested the whole corpus.
 // Shards that have never been pulled contribute nothing (their slice
 // is absent until they come up).
-func (p *Puller) rebuild(datas [][]byte, gen int64) error {
+func (p *Puller) rebuild(datas [][]byte, gen int64, tr *trace.Trace) error {
+	sp := tr.StartSpan("merge")
 	var merged *sketchtree.SketchTree
 	for i, data := range datas {
 		if data == nil {
@@ -418,6 +464,7 @@ func (p *Puller) rebuild(datas [][]byte, gen int64) error {
 		}
 		st, err := sketchtree.Restore(data)
 		if err != nil {
+			tr.EndSpan(sp)
 			return fmt.Errorf("restoring shard %d synopsis: %w", i, err)
 		}
 		if merged == nil {
@@ -425,14 +472,20 @@ func (p *Puller) rebuild(datas [][]byte, gen int64) error {
 			continue
 		}
 		if err := merged.Merge(st); err != nil {
+			tr.EndSpan(sp)
 			return fmt.Errorf("merging shard %d synopsis: %w", i, err)
 		}
 	}
+	tr.EndSpan(sp)
 	if merged == nil {
 		return nil
 	}
+	sp = tr.StartSpan("publish")
 	p.publish(merged)
+	tr.EndSpan(sp)
 	p.builtAt.Store(gen)
+	p.cfg.Logger.Debug("published merged state", "trees", merged.TreesProcessed(),
+		"rounds", p.rounds.Load(), "trace_id", tr.ID())
 	return nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"sketchtree/internal/ams"
+	"sketchtree/internal/obs"
 	"sketchtree/internal/summary"
 	"sketchtree/internal/tree"
 )
@@ -50,6 +51,7 @@ func (e *Engine) orderedValue(q *tree.Node) uint64 {
 	if e.plans == nil {
 		return e.PatternValue(q)
 	}
+	start := e.met.Now()
 	kb := keyBufPool.Get().(*[]byte)
 	key := q.AppendSexp(append((*kb)[:0], 'o', ':'))
 	vs, ok := e.plans.lookupBytes(key)
@@ -62,6 +64,7 @@ func (e *Engine) orderedValue(q *tree.Node) uint64 {
 	}
 	*kb = key[:0]
 	keyBufPool.Put(kb)
+	e.met.StageSince(obs.StagePlan, start)
 	return v
 }
 
@@ -71,11 +74,13 @@ func (e *Engine) orderedValue(q *tree.Node) uint64 {
 // must not be mutated.
 func (e *Engine) unorderedValues(q *tree.Node) ([]uint64, error) {
 	if e.plans != nil {
+		start := e.met.Now()
 		kb := keyBufPool.Get().(*[]byte)
 		key := q.AppendSexp(append((*kb)[:0], 'u', ':'))
 		vs, ok := e.plans.lookupBytes(key)
 		*kb = key[:0]
 		keyBufPool.Put(kb)
+		e.met.StageSince(obs.StagePlan, start)
 		if ok {
 			return vs, nil
 		}

@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// HTTPMetrics counts served HTTP requests by (endpoint, status code),
+// the aggregate trail that distinguishes 400/413/502/503/504 responses
+// from successes on /metrics. Like the other obs types, updates are
+// lock-free after the first observation of a pair (one sync.Map load +
+// one atomic add) and every method is safe on a nil receiver.
+type HTTPMetrics struct {
+	m sync.Map // httpKey -> *atomic.Int64
+}
+
+type httpKey struct {
+	endpoint string
+	code     int
+}
+
+// NewHTTPMetrics creates an empty per-status-code counter set.
+func NewHTTPMetrics() *HTTPMetrics { return &HTTPMetrics{} }
+
+// Observe records one served request. endpoint should be a bounded
+// label (a known route, not the raw URL path) so the cardinality stays
+// small.
+func (m *HTTPMetrics) Observe(endpoint string, code int) {
+	if m == nil {
+		return
+	}
+	k := httpKey{endpoint: endpoint, code: code}
+	if c, ok := m.m.Load(k); ok {
+		c.(*atomic.Int64).Add(1)
+		return
+	}
+	c, _ := m.m.LoadOrStore(k, new(atomic.Int64))
+	c.(*atomic.Int64).Add(1)
+}
+
+// HTTPSnapshot is one (endpoint, code) counter within a snapshot.
+type HTTPSnapshot struct {
+	Endpoint string `json:"endpoint"`
+	Code     int    `json:"code"`
+	Count    int64  `json:"count"`
+}
+
+// Snapshot reads the counters, sorted by endpoint then code for
+// deterministic exposition. A nil receiver yields nil.
+func (m *HTTPMetrics) Snapshot() []HTTPSnapshot {
+	if m == nil {
+		return nil
+	}
+	var out []HTTPSnapshot
+	m.m.Range(func(k, v any) bool {
+		kk := k.(httpKey)
+		out = append(out, HTTPSnapshot{
+			Endpoint: kk.endpoint,
+			Code:     kk.code,
+			Count:    v.(*atomic.Int64).Load(),
+		})
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Endpoint != out[j].Endpoint {
+			return out[i].Endpoint < out[j].Endpoint
+		}
+		return out[i].Code < out[j].Code
+	})
+	return out
+}
+
+// WriteHTTPProm renders the request counters in the Prometheus text
+// exposition format. Appended to /metrics after the engine families.
+func WriteHTTPProm(w io.Writer, reqs []HTTPSnapshot) {
+	const name = "sketchtree_http_requests_total"
+	fmt.Fprintf(w, "# HELP %s Served HTTP requests by endpoint and status code.\n# TYPE %s counter\n", name, name)
+	for _, r := range reqs {
+		fmt.Fprintf(w, "%s{endpoint=%q,code=\"%d\"} %d\n", name, r.Endpoint, r.Code, r.Count)
+	}
+}

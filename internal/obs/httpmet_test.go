@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestHTTPMetricsNilSafe(t *testing.T) {
+	var m *HTTPMetrics
+	m.Observe("/query", 200) // must not panic
+	if got := m.Snapshot(); got != nil {
+		t.Fatalf("nil snapshot = %v", got)
+	}
+}
+
+func TestHTTPMetricsCountsAndOrder(t *testing.T) {
+	m := NewHTTPMetrics()
+	m.Observe("/query", 200)
+	m.Observe("/query", 200)
+	m.Observe("/query", 400)
+	m.Observe("/ingest", 503)
+	got := m.Snapshot()
+	want := []HTTPSnapshot{
+		{Endpoint: "/ingest", Code: 503, Count: 1},
+		{Endpoint: "/query", Code: 200, Count: 2},
+		{Endpoint: "/query", Code: 400, Count: 1},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("snapshot = %+v, want %+v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("snapshot[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestHTTPMetricsConcurrent(t *testing.T) {
+	m := NewHTTPMetrics()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				m.Observe("/ingest", 200)
+			}
+		}()
+	}
+	wg.Wait()
+	got := m.Snapshot()
+	if len(got) != 1 || got[0].Count != 800 {
+		t.Fatalf("snapshot = %+v, want one counter at 800", got)
+	}
+}
+
+func TestWriteHTTPProm(t *testing.T) {
+	m := NewHTTPMetrics()
+	m.Observe("/query", 200)
+	m.Observe("/ingest", 413)
+	var b strings.Builder
+	WriteHTTPProm(&b, m.Snapshot())
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE sketchtree_http_requests_total counter",
+		`sketchtree_http_requests_total{endpoint="/ingest",code="413"} 1`,
+		`sketchtree_http_requests_total{endpoint="/query",code="200"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("prom output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestNopLogger(t *testing.T) {
+	log := NopLogger()
+	log.Info("dropped", "k", "v") // must not panic or write anywhere
+	if log.Enabled(nil, 12) {     //nolint:staticcheck // nil ctx fine for Enabled
+		t.Fatal("nop logger claims enabled at an absurd level")
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		log.Debug("dropped")
+	})
+	if allocs != 0 {
+		t.Fatalf("nop logger allocates %v allocs/op on Debug, want 0", allocs)
+	}
+}

@@ -1,0 +1,22 @@
+package obs
+
+import (
+	"context"
+	"log/slog"
+)
+
+// nopHandler is an always-disabled slog handler: Enabled returns false
+// for every level, so the logger never formats records or allocates.
+// (log/slog gained a stock DiscardHandler after the toolchain this
+// module targets; this is the same thing.)
+type nopHandler struct{}
+
+func (nopHandler) Enabled(context.Context, slog.Level) bool  { return false }
+func (nopHandler) Handle(context.Context, slog.Record) error { return nil }
+func (nopHandler) WithAttrs([]slog.Attr) slog.Handler        { return nopHandler{} }
+func (nopHandler) WithGroup(string) slog.Handler             { return nopHandler{} }
+
+// NopLogger returns a logger that discards everything without
+// formatting it. Used as the default when no Logger option is set, so
+// server and cluster code can log unconditionally.
+func NopLogger() *slog.Logger { return slog.New(nopHandler{}) }

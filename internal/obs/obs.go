@@ -42,6 +42,13 @@ const (
 	StageTopK
 	// StageMerge is the cell-wise shard merge of parallel ingestion.
 	StageMerge
+	// StagePlan is query-plan cache lookup (hit probe plus, on a miss,
+	// plan construction and insertion).
+	StagePlan
+	// StagePublish is snapshot rebuild-and-publish: freezing the live
+	// synopsis into the lock-free serving copy (standalone snapshot
+	// serving and the coordinator's merged-serving publish).
+	StagePublish
 
 	// NumStages is the number of instrumented stages.
 	NumStages = iota
@@ -49,6 +56,7 @@ const (
 
 var stageNames = [NumStages]string{
 	"parse", "enum", "fingerprint", "sketch", "topk", "merge",
+	"plan", "publish",
 }
 
 // String returns the stage's exposition name.

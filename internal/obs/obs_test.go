@@ -9,7 +9,7 @@ import (
 )
 
 func TestStageString(t *testing.T) {
-	want := []string{"parse", "enum", "fingerprint", "sketch", "topk", "merge"}
+	want := []string{"parse", "enum", "fingerprint", "sketch", "topk", "merge", "plan", "publish"}
 	for i, w := range want {
 		if got := Stage(i).String(); got != w {
 			t.Errorf("Stage(%d) = %q, want %q", i, got, w)

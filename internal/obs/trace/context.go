@@ -1,0 +1,22 @@
+package trace
+
+import "context"
+
+// ctxKey is the private context key type for the active trace.
+type ctxKey struct{}
+
+// NewContext returns ctx carrying t. A nil trace returns ctx unchanged
+// (no allocation on the disabled path).
+func NewContext(ctx context.Context, t *Trace) context.Context {
+	if t == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, ctxKey{}, t)
+}
+
+// FromContext returns the trace carried by ctx, or nil. The nil result
+// is usable directly: every Trace method accepts a nil receiver.
+func FromContext(ctx context.Context) *Trace {
+	t, _ := ctx.Value(ctxKey{}).(*Trace)
+	return t
+}

@@ -1,0 +1,423 @@
+// Package trace is the per-request half of the observability layer: a
+// flight recorder that keeps the span trees of recent requests, so a
+// single slow or wrong answer has a story — which stage (route,
+// forward, parse, apply, plan, eval, pull, merge, publish) ate the
+// budget, for exactly that request.
+//
+// The aggregate layer (package obs) answers "how is the system doing";
+// this package answers "what happened to request X". The two share a
+// taxonomy: span names reuse the obs stage names where the work
+// coincides (parse, merge, snapshot/publish), so a span tree reads
+// against the same vocabulary as /stats and /metrics.
+//
+// Design constraints, mirroring obs:
+//
+//   - Zero cost when off. A nil *Recorder and a nil *Trace are valid
+//     receivers for every method; all of them are branch-and-return.
+//     Disabled tracing performs no clock calls, no allocation, no
+//     atomics on the serving path.
+//   - Lock-free when on. Traces are pooled (sync.Pool); span slots are
+//     reserved with a single atomic increment into a fixed-size array,
+//     so concurrent span writers (the puller's per-shard goroutines)
+//     never contend on a lock. Completed traces land in fixed-size
+//     rings of atomic pointers; writers never block readers.
+//   - Propagation is a header. Trace IDs travel as X-Sketchtree-Trace-Id
+//     on routed ingests and synopsis pulls; a daemon adopts an incoming
+//     ID instead of minting one, so a coordinator trace joins against
+//     the shard work it caused via GET /debug/requests?trace_id=.
+package trace
+
+import (
+	"crypto/rand"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Header is the HTTP header carrying a request's trace ID across hops:
+// set by the coordinator on routed ingests and synopsis pulls, adopted
+// (echoed) by shards, and returned to clients on every traced response.
+const Header = "X-Sketchtree-Trace-Id"
+
+// maxSpans bounds the spans one trace retains; later spans are
+// dropped (the trace is still recorded). Generous for the serving
+// path: the deepest trace today is a fresh=1 query (plan + pull round
+// with one span per shard + merge + publish + eval).
+const maxSpans = 48
+
+// maxAttrs bounds the key/value annotations one trace retains.
+const maxAttrs = 8
+
+// maxAdoptedIDLen bounds an incoming trace ID; longer values are
+// replaced by a minted ID so a hostile header cannot bloat the ring.
+const maxAdoptedIDLen = 64
+
+// SpanID identifies one span within its trace. The zero value is not
+// valid; NoSpan marks "no span" (disabled tracing, or span overflow).
+type SpanID int32
+
+// NoSpan is the SpanID returned when no span was started. EndSpan on
+// NoSpan is a no-op, so call sites need no guards.
+const NoSpan SpanID = -1
+
+// span is one timed operation inside a trace. start/end are monotonic
+// nanosecond offsets from the trace start; end is 0 while open.
+type span struct {
+	name   string
+	parent int32
+	start  int64
+	end    int64
+}
+
+type attr struct{ key, val string }
+
+// Trace is one in-flight request (or background round) being recorded.
+// A nil *Trace is valid for every method and does nothing — the
+// disabled-tracing contract. Span slots may be reserved from multiple
+// goroutines; Finish must happen-after every span write (an HTTP
+// handler return, or a WaitGroup join).
+type Trace struct {
+	rec        *Recorder
+	id         string
+	endpoint   string
+	background bool
+	start      time.Time
+	nspan      atomic.Int32
+	spans      [maxSpans]span
+	nattr      atomic.Int32
+	attrs      [maxAttrs]attr
+}
+
+// ID returns the trace's ID, "" on a nil trace.
+func (t *Trace) ID() string {
+	if t == nil {
+		return ""
+	}
+	return t.id
+}
+
+// StartSpan opens a root-level span. Returns NoSpan on a nil trace or
+// when the trace's span array is full.
+func (t *Trace) StartSpan(name string) SpanID { return t.StartChild(NoSpan, name) }
+
+// StartChild opens a span nested under parent (NoSpan for root level).
+// Safe to call from multiple goroutines: the slot is reserved with one
+// atomic increment.
+func (t *Trace) StartChild(parent SpanID, name string) SpanID {
+	if t == nil {
+		return NoSpan
+	}
+	i := t.nspan.Add(1) - 1
+	if i >= maxSpans {
+		return NoSpan
+	}
+	t.spans[i] = span{name: name, parent: int32(parent), start: time.Since(t.start).Nanoseconds()}
+	return SpanID(i)
+}
+
+// EndSpan closes a span. A NoSpan id is a no-op. Spans never ended are
+// closed at the trace's end by Finish.
+func (t *Trace) EndSpan(id SpanID) {
+	if t == nil || id < 0 || int32(id) >= maxSpans {
+		return
+	}
+	t.spans[id].end = time.Since(t.start).Nanoseconds()
+}
+
+// Annotate attaches a key/value pair to the trace (routed shard, trees
+// applied, pattern size). Annotations past the fixed capacity are
+// dropped.
+func (t *Trace) Annotate(key, val string) {
+	if t == nil {
+		return
+	}
+	i := t.nattr.Add(1) - 1
+	if i >= maxAttrs {
+		return
+	}
+	t.attrs[i] = attr{key: key, val: val}
+}
+
+// Duration returns the time elapsed since the trace started; 0 on a
+// nil trace.
+func (t *Trace) Duration() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Since(t.start)
+}
+
+// Finish completes the trace with the response status, publishes it to
+// the recorder's rings, and recycles the trace. The trace must not be
+// used after Finish.
+func (t *Trace) Finish(status int) {
+	if t == nil {
+		return
+	}
+	r := t.rec
+	dur := time.Since(t.start).Nanoseconds()
+	n := int(t.nspan.Load())
+	if n > maxSpans {
+		n = maxSpans
+	}
+	c := &Completed{
+		TraceID:    t.id,
+		Role:       r.role,
+		Endpoint:   t.endpoint,
+		Status:     status,
+		Background: t.background,
+		Start:      t.start,
+		DurationNS: dur,
+	}
+	if n > 0 {
+		c.Spans = make([]SpanJSON, n)
+		for i := 0; i < n; i++ {
+			sp := &t.spans[i]
+			end := sp.end
+			if end == 0 {
+				end = dur // never ended: close at the trace end
+			}
+			c.Spans[i] = SpanJSON{
+				Name:       sp.name,
+				Parent:     int(sp.parent),
+				StartNS:    sp.start,
+				DurationNS: end - sp.start,
+			}
+		}
+	}
+	if na := int(t.nattr.Load()); na > 0 {
+		if na > maxAttrs {
+			na = maxAttrs
+		}
+		c.Attrs = make(map[string]string, na)
+		for i := 0; i < na; i++ {
+			c.Attrs[t.attrs[i].key] = t.attrs[i].val
+		}
+	}
+	if t.background {
+		r.background.put(c)
+	} else {
+		if r.slowThresh >= 0 && dur >= r.slowThresh.Nanoseconds() {
+			c.Slow = true
+			r.slow.put(c)
+		}
+		r.recent.put(c)
+	}
+	t.id, t.endpoint = "", ""
+	t.nspan.Store(0)
+	t.nattr.Store(0)
+	r.pool.Put(t)
+}
+
+// ring is a fixed-size ring of completed traces: writers reserve a
+// slot with one atomic increment and publish with one atomic pointer
+// store, readers load whatever is published — no locks anywhere.
+type ring struct {
+	slots []atomic.Pointer[Completed]
+	next  atomic.Uint64
+}
+
+func (r *ring) init(n int) { r.slots = make([]atomic.Pointer[Completed], n) }
+
+func (r *ring) put(c *Completed) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(c)
+}
+
+// all returns the retained traces, newest first.
+func (r *ring) all() []*Completed {
+	out := make([]*Completed, 0, len(r.slots))
+	n := r.next.Load()
+	for k := uint64(0); k < uint64(len(r.slots)); k++ {
+		// Walk backwards from the most recent write.
+		if k >= n {
+			break
+		}
+		if c := r.slots[(n-1-k)%uint64(len(r.slots))].Load(); c != nil {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// Recorder is the flight recorder: it mints traces, holds the rings of
+// completed ones, and serves them on GET /debug/requests. A nil
+// *Recorder is the disabled state — every method no-ops and Start
+// returns a nil *Trace, so call sites are written once with no guards.
+//
+// Three rings keep unlike traffic from evicting each other: recent
+// holds the last N completed request traces; slow additionally retains
+// every request at least SlowThreshold slow (so a burst of fast
+// traffic cannot push the one interesting request out); background
+// holds non-request work (the coordinator's pull/merge rounds).
+type Recorder struct {
+	role       string
+	slowThresh time.Duration // negative: slow log disabled
+	recent     ring
+	slow       ring
+	background ring
+	pool       sync.Pool
+	idHi       uint64
+	idLo       atomic.Uint64
+}
+
+// New creates a Recorder for a daemon role ("standalone", "shard",
+// "coordinator") retaining up to buffer completed traces per ring.
+// buffer <= 0 disables tracing entirely: New returns nil, which every
+// method and the /debug/requests handler accept.
+//
+// slowThreshold configures the always-kept slow-query log: requests at
+// least this slow are retained in a separate ring. 0 retains every
+// request (useful in smoke tests); negative disables the slow log.
+func New(role string, buffer int, slowThreshold time.Duration) *Recorder {
+	if buffer <= 0 {
+		return nil
+	}
+	r := &Recorder{role: role, slowThresh: slowThreshold}
+	r.recent.init(buffer)
+	r.slow.init(buffer)
+	r.background.init(buffer)
+	var seed [8]byte
+	if _, err := rand.Read(seed[:]); err == nil {
+		r.idHi = binary.LittleEndian.Uint64(seed[:])
+	} else {
+		r.idHi = uint64(time.Now().UnixNano()) // degraded uniqueness, never fails
+	}
+	r.pool.New = func() any { return new(Trace) }
+	return r
+}
+
+// Enabled reports whether the recorder records anything.
+func (r *Recorder) Enabled() bool { return r != nil }
+
+// SlowThreshold returns the slow-log threshold; ok is false when the
+// recorder or its slow log is disabled.
+func (r *Recorder) SlowThreshold() (d time.Duration, ok bool) {
+	if r == nil || r.slowThresh < 0 {
+		return 0, false
+	}
+	return r.slowThresh, true
+}
+
+// Start begins recording a request trace. id is the adopted upstream
+// trace ID (the X-Sketchtree-Trace-Id request header); "" mints a new
+// one. Returns nil when the recorder is disabled.
+func (r *Recorder) Start(endpoint, id string) *Trace {
+	return r.start(endpoint, id, false)
+}
+
+// StartBackground begins recording a non-request trace (a pull/merge
+// round). Background traces land in their own ring so periodic work
+// never evicts request history.
+func (r *Recorder) StartBackground(endpoint string) *Trace {
+	return r.start(endpoint, "", true)
+}
+
+func (r *Recorder) start(endpoint, id string, background bool) *Trace {
+	if r == nil {
+		return nil
+	}
+	if id == "" || len(id) > maxAdoptedIDLen {
+		id = r.mintID()
+	}
+	t := r.pool.Get().(*Trace)
+	t.rec = r
+	t.id = id
+	t.endpoint = endpoint
+	t.background = background
+	t.start = time.Now()
+	return t
+}
+
+// mintID returns a fresh 32-hex-char trace ID: a per-process random
+// half plus a counter half, unique within and (with overwhelming
+// probability) across daemons.
+func (r *Recorder) mintID() string {
+	return fmt.Sprintf("%016x%016x", r.idHi, r.idLo.Add(1))
+}
+
+// Completed is one finished trace as retained and served. Immutable
+// after construction; shared between the recent and slow rings.
+type Completed struct {
+	TraceID    string            `json:"trace_id"`
+	Role       string            `json:"role"`
+	Endpoint   string            `json:"endpoint"`
+	Status     int               `json:"status"`
+	Slow       bool              `json:"slow,omitempty"`
+	Background bool              `json:"background,omitempty"`
+	Start      time.Time         `json:"start"`
+	DurationNS int64             `json:"duration_ns"`
+	Attrs      map[string]string `json:"attrs,omitempty"`
+	Spans      []SpanJSON        `json:"spans,omitempty"`
+}
+
+// SpanJSON is one span within a served trace. Parent is the index of
+// the enclosing span within the same trace (-1 for root level), so the
+// flat list reconstructs the span tree.
+type SpanJSON struct {
+	Name       string `json:"name"`
+	Parent     int    `json:"parent"`
+	StartNS    int64  `json:"start_ns"`
+	DurationNS int64  `json:"duration_ns"`
+}
+
+// debugResponse is the GET /debug/requests body.
+type debugResponse struct {
+	Enabled         bool         `json:"enabled"`
+	Role            string       `json:"role,omitempty"`
+	SlowThresholdNS int64        `json:"slow_threshold_ns"` // -1: slow log disabled
+	Recent          []*Completed `json:"recent"`
+	Slow            []*Completed `json:"slow"`
+	Background      []*Completed `json:"background,omitempty"`
+}
+
+// Handler serves the flight recorder as JSON on GET /debug/requests:
+// the retained request traces (newest first), the slow-query log, and
+// background rounds. ?trace_id= narrows every section to exact ID
+// matches — the cross-daemon join: look a coordinator trace's ID up on
+// the shard that served it. Works on a nil (disabled) recorder, which
+// answers {"enabled": false}.
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		resp := debugResponse{SlowThresholdNS: -1, Recent: []*Completed{}, Slow: []*Completed{}}
+		if r != nil {
+			resp.Enabled = true
+			resp.Role = r.role
+			if r.slowThresh >= 0 {
+				resp.SlowThresholdNS = r.slowThresh.Nanoseconds()
+			}
+			id := req.URL.Query().Get("trace_id")
+			resp.Recent = filterID(r.recent.all(), id)
+			resp.Slow = filterID(r.slow.all(), id)
+			resp.Background = filterID(r.background.all(), id)
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(resp); err != nil {
+			// Headers are already written; the client went away.
+			_ = err
+		}
+	})
+}
+
+// filterID keeps the traces whose ID is id ("" keeps all).
+func filterID(ts []*Completed, id string) []*Completed {
+	if id == "" {
+		return ts
+	}
+	out := ts[:0:0]
+	for _, t := range ts {
+		if t.TraceID == id {
+			out = append(out, t)
+		}
+	}
+	if out == nil {
+		out = []*Completed{}
+	}
+	return out
+}

@@ -1,0 +1,345 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRecorderNilSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	if _, ok := r.SlowThreshold(); ok {
+		t.Fatal("nil recorder reports a slow threshold")
+	}
+	tr := r.Start("/query", "abc")
+	if tr != nil {
+		t.Fatal("nil recorder minted a trace")
+	}
+	// Every Trace method must be a no-op on nil.
+	if got := tr.ID(); got != "" {
+		t.Fatalf("nil trace ID = %q", got)
+	}
+	sp := tr.StartSpan("eval")
+	if sp != NoSpan {
+		t.Fatalf("nil trace started span %d", sp)
+	}
+	tr.EndSpan(sp)
+	tr.Annotate("k", "v")
+	if d := tr.Duration(); d != 0 {
+		t.Fatalf("nil trace duration = %v", d)
+	}
+	tr.Finish(200)
+	if bg := r.StartBackground("pull"); bg != nil {
+		t.Fatal("nil recorder minted a background trace")
+	}
+}
+
+func TestDisabledTracingZeroAlloc(t *testing.T) {
+	var r *Recorder
+	allocs := testing.AllocsPerRun(100, func() {
+		tr := r.Start("/query", "")
+		sp := tr.StartSpan("eval")
+		tr.Annotate("pattern_size", "3")
+		tr.EndSpan(sp)
+		tr.Finish(200)
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled tracing path allocates %v allocs/op, want 0", allocs)
+	}
+}
+
+func TestNewDisabledOnZeroBuffer(t *testing.T) {
+	if r := New("standalone", 0, 0); r != nil {
+		t.Fatal("buffer 0 should disable the recorder")
+	}
+	if r := New("standalone", -5, 0); r != nil {
+		t.Fatal("negative buffer should disable the recorder")
+	}
+}
+
+func TestMintAndAdoptID(t *testing.T) {
+	r := New("shard", 4, -1)
+	a := r.Start("/ingest", "")
+	b := r.Start("/ingest", "")
+	if a.ID() == "" || len(a.ID()) != 32 {
+		t.Fatalf("minted ID %q, want 32 hex chars", a.ID())
+	}
+	if a.ID() == b.ID() {
+		t.Fatalf("two minted IDs collide: %q", a.ID())
+	}
+	c := r.Start("/ingest", "deadbeef")
+	if c.ID() != "deadbeef" {
+		t.Fatalf("adopted ID = %q, want deadbeef", c.ID())
+	}
+	// Oversized incoming IDs are replaced, not stored.
+	huge := strings.Repeat("x", 2000)
+	d := r.Start("/ingest", huge)
+	if d.ID() == huge {
+		t.Fatal("oversized incoming ID was adopted verbatim")
+	}
+	a.Finish(200)
+	b.Finish(200)
+	c.Finish(200)
+	d.Finish(200)
+}
+
+func TestSpanTreeRecorded(t *testing.T) {
+	r := New("coordinator", 8, -1)
+	tr := r.Start("/query", "")
+	root := tr.StartSpan("plan")
+	child := tr.StartChild(root, "lookup")
+	tr.EndSpan(child)
+	tr.EndSpan(root)
+	open := tr.StartSpan("eval") // never ended: Finish must close it
+	_ = open
+	tr.Annotate("pattern_size", "3")
+	id := tr.ID()
+	tr.Finish(200)
+
+	got := r.recent.all()
+	if len(got) != 1 {
+		t.Fatalf("recent holds %d traces, want 1", len(got))
+	}
+	c := got[0]
+	if c.TraceID != id || c.Role != "coordinator" || c.Endpoint != "/query" || c.Status != 200 {
+		t.Fatalf("completed trace = %+v", c)
+	}
+	if len(c.Spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(c.Spans))
+	}
+	if c.Spans[0].Name != "plan" || c.Spans[0].Parent != int(NoSpan) {
+		t.Fatalf("span 0 = %+v", c.Spans[0])
+	}
+	if c.Spans[1].Name != "lookup" || c.Spans[1].Parent != 0 {
+		t.Fatalf("span 1 = %+v (want parent 0)", c.Spans[1])
+	}
+	if c.Spans[2].DurationNS < 0 || c.Spans[2].StartNS+c.Spans[2].DurationNS > c.DurationNS {
+		t.Fatalf("unended span not clamped to trace end: %+v vs %d", c.Spans[2], c.DurationNS)
+	}
+	if c.Attrs["pattern_size"] != "3" {
+		t.Fatalf("attrs = %v", c.Attrs)
+	}
+}
+
+func TestSpanOverflowClamped(t *testing.T) {
+	r := New("standalone", 2, -1)
+	tr := r.Start("/query", "")
+	for i := 0; i < maxSpans+10; i++ {
+		sp := tr.StartSpan("s")
+		if i >= maxSpans && sp != NoSpan {
+			t.Fatalf("span %d got slot %d past capacity", i, sp)
+		}
+		tr.EndSpan(sp)
+	}
+	tr.Finish(200)
+	got := r.recent.all()
+	if len(got) != 1 || len(got[0].Spans) != maxSpans {
+		t.Fatalf("overflowed trace kept %d spans, want %d", len(got[0].Spans), maxSpans)
+	}
+}
+
+func TestRingWraparound(t *testing.T) {
+	const buf = 4
+	r := New("standalone", buf, -1)
+	for i := 0; i < 10; i++ {
+		tr := r.Start("/ingest", fmt.Sprintf("id-%d", i))
+		tr.Finish(200)
+	}
+	got := r.recent.all()
+	if len(got) != buf {
+		t.Fatalf("ring holds %d traces, want %d", len(got), buf)
+	}
+	// Newest first: 9, 8, 7, 6.
+	for k, c := range got {
+		want := fmt.Sprintf("id-%d", 9-k)
+		if c.TraceID != want {
+			t.Fatalf("slot %d = %q, want %q", k, c.TraceID, want)
+		}
+	}
+}
+
+func TestRingConcurrentWriters(t *testing.T) {
+	r := New("standalone", 16, 0) // slow threshold 0: everything also lands in slow
+	const writers, per = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				tr := r.Start("/ingest", "")
+				sp := tr.StartSpan("apply")
+				tr.EndSpan(sp)
+				tr.Finish(200)
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, ring := range []struct {
+		name string
+		got  []*Completed
+	}{{"recent", r.recent.all()}, {"slow", r.slow.all()}} {
+		if len(ring.got) != 16 {
+			t.Fatalf("%s ring holds %d traces after wrap, want 16", ring.name, len(ring.got))
+		}
+		for _, c := range ring.got {
+			if c == nil || c.TraceID == "" || c.Endpoint != "/ingest" {
+				t.Fatalf("%s ring holds corrupt trace %+v", ring.name, c)
+			}
+		}
+	}
+}
+
+func TestConcurrentSpanWriters(t *testing.T) {
+	// The puller records one span per shard from parallel goroutines.
+	r := New("coordinator", 4, -1)
+	tr := r.StartBackground("pull")
+	var wg sync.WaitGroup
+	for i := 0; i < 10; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sp := tr.StartChild(NoSpan, fmt.Sprintf("pull:%d", i))
+			tr.EndSpan(sp)
+		}(i)
+	}
+	wg.Wait()
+	tr.Finish(200)
+	got := r.background.all()
+	if len(got) != 1 || len(got[0].Spans) != 10 {
+		t.Fatalf("background trace spans = %d, want 10", len(got[0].Spans))
+	}
+	if !got[0].Background {
+		t.Fatal("background trace not marked")
+	}
+}
+
+func TestSlowLogRetention(t *testing.T) {
+	r := New("standalone", 4, 50*time.Millisecond)
+	fast := r.Start("/query", "")
+	fast.Finish(200)
+	slow := r.Start("/query", "")
+	time.Sleep(60 * time.Millisecond)
+	slowID := slow.ID()
+	slow.Finish(200)
+
+	if got := r.recent.all(); len(got) != 2 {
+		t.Fatalf("recent = %d traces, want 2", len(got))
+	}
+	got := r.slow.all()
+	if len(got) != 1 || got[0].TraceID != slowID || !got[0].Slow {
+		t.Fatalf("slow log = %+v, want only the slow trace", got)
+	}
+
+	// Negative threshold disables the slow log entirely.
+	off := New("standalone", 4, -1)
+	tr := off.Start("/query", "")
+	time.Sleep(time.Millisecond)
+	tr.Finish(200)
+	if got := off.slow.all(); len(got) != 0 {
+		t.Fatalf("disabled slow log retained %d traces", len(got))
+	}
+}
+
+func TestBackgroundSeparateRing(t *testing.T) {
+	r := New("coordinator", 2, 0)
+	// Background rounds must not evict request traces.
+	req := r.Start("/query", "")
+	req.Finish(200)
+	for i := 0; i < 10; i++ {
+		bg := r.StartBackground("pull")
+		bg.Finish(200)
+	}
+	if got := r.recent.all(); len(got) != 1 {
+		t.Fatalf("background traffic evicted request history: recent = %d", len(got))
+	}
+	if got := r.background.all(); len(got) != 2 {
+		t.Fatalf("background ring = %d, want 2", len(got))
+	}
+}
+
+func TestHandlerJSON(t *testing.T) {
+	r := New("shard", 4, 0)
+	tr := r.Start("/ingest", "cafef00d")
+	sp := tr.StartSpan("parse")
+	tr.EndSpan(sp)
+	tr.Finish(200)
+	other := r.Start("/query", "")
+	other.Finish(400)
+
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "application/json") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	var resp struct {
+		Enabled         bool         `json:"enabled"`
+		Role            string       `json:"role"`
+		SlowThresholdNS int64        `json:"slow_threshold_ns"`
+		Recent          []*Completed `json:"recent"`
+		Slow            []*Completed `json:"slow"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if !resp.Enabled || resp.Role != "shard" || resp.SlowThresholdNS != 0 {
+		t.Fatalf("header fields = %+v", resp)
+	}
+	if len(resp.Recent) != 2 || len(resp.Slow) != 2 {
+		t.Fatalf("recent=%d slow=%d, want 2/2", len(resp.Recent), len(resp.Slow))
+	}
+
+	// ?trace_id= narrows to exact matches.
+	rec = httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests?trace_id=cafef00d", nil))
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("unmarshal filtered: %v", err)
+	}
+	if len(resp.Recent) != 1 || resp.Recent[0].TraceID != "cafef00d" {
+		t.Fatalf("filtered recent = %+v", resp.Recent)
+	}
+	if len(resp.Recent[0].Spans) != 1 || resp.Recent[0].Spans[0].Name != "parse" {
+		t.Fatalf("filtered spans = %+v", resp.Recent[0].Spans)
+	}
+}
+
+func TestHandlerDisabled(t *testing.T) {
+	var r *Recorder
+	rec := httptest.NewRecorder()
+	r.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/debug/requests", nil))
+	var resp struct {
+		Enabled bool `json:"enabled"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if resp.Enabled {
+		t.Fatal("disabled recorder reports enabled")
+	}
+}
+
+func TestTracePooledAndReset(t *testing.T) {
+	r := New("standalone", 4, -1)
+	tr := r.Start("/query", "first")
+	tr.StartSpan("eval")
+	tr.Annotate("k", "v")
+	tr.Finish(200)
+	// A reused trace must not leak spans or attrs from its prior life.
+	tr2 := r.Start("/query", "")
+	tr2.Finish(200)
+	got := r.recent.all()
+	if len(got) != 2 {
+		t.Fatalf("recent = %d", len(got))
+	}
+	second := got[0]
+	if len(second.Spans) != 0 || len(second.Attrs) != 0 {
+		t.Fatalf("pooled trace leaked state: spans=%v attrs=%v", second.Spans, second.Attrs)
+	}
+}

@@ -23,6 +23,7 @@ import (
 	"sketchtree"
 	"sketchtree/internal/cluster"
 	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
 )
 
 // Coordinator serves the cluster API over a Puller's merged state.
@@ -33,8 +34,10 @@ type Coordinator struct {
 	sem      chan struct{}
 	client   *http.Client
 	met      *obs.ClusterMetrics
+	httpm    *obs.HTTPMetrics
 	draining atomic.Bool
 	mux      *http.ServeMux
+	handler  http.Handler
 }
 
 // NewCoordinator builds a Coordinator over puller. fallback answers
@@ -49,6 +52,10 @@ func NewCoordinator(puller *cluster.Puller, fallback *sketchtree.SketchTree, met
 		opts:     opts.normalize(),
 		client:   &http.Client{},
 		met:      met,
+		httpm:    obs.NewHTTPMetrics(),
+	}
+	if co.opts.Role == "standalone" {
+		co.opts.Role = "coordinator"
 	}
 	co.sem = make(chan struct{}, co.opts.MaxConcurrent)
 	co.mux = http.NewServeMux()
@@ -58,11 +65,13 @@ func NewCoordinator(puller *cluster.Puller, fallback *sketchtree.SketchTree, met
 	co.mux.HandleFunc("GET /healthz", co.handleHealthz)
 	co.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(co.engineStats))
 	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
+	co.mux.Handle("GET /debug/requests", co.opts.Trace.Handler())
+	co.handler = instrument(co.mux, co.opts.Trace, co.httpm, co.opts.Logger, co.opts.Role)
 	return co
 }
 
 // Handler returns the HTTP handler; Run is the usual entry point.
-func (co *Coordinator) Handler() http.Handler { return co.mux }
+func (co *Coordinator) Handler() http.Handler { return co.handler }
 
 // Draining reports whether the coordinator has begun graceful
 // shutdown.
@@ -88,7 +97,7 @@ func (co *Coordinator) Run(ctx context.Context, ln net.Listener) error {
 		co.client.CloseIdleConnections()
 	}()
 
-	srv := &http.Server{Handler: co.mux}
+	srv := &http.Server{Handler: co.handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -134,24 +143,36 @@ func (co *Coordinator) engineStats() sketchtree.Stats {
 // cap before buffering: routing needs the whole document for hashing.
 func (co *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 	serveLimited(w, r, co.sem, co.opts.Timeout, func(ctx context.Context) (any, error) {
+		tr := trace.FromContext(ctx)
+		sp := tr.StartSpan("route")
 		src := r.Body
 		if co.opts.MaxIngestBody > 0 {
 			src = http.MaxBytesReader(w, r.Body, co.opts.MaxIngestBody)
 		}
 		doc, err := io.ReadAll(&ctxReader{ctx: ctx, r: src})
 		if err != nil {
+			tr.EndSpan(sp)
 			var mbe *http.MaxBytesError
 			if errors.As(err, &mbe) {
 				err = fmt.Errorf("request body exceeds %d bytes", co.opts.MaxIngestBody)
 				return nil, &statusError{
 					Code: http.StatusRequestEntityTooLarge,
-					Body: map[string]string{"error": err.Error()},
+					Body: errorBody(ctx, err.Error()),
 					Err:  err,
 				}
 			}
 			return nil, fmt.Errorf("reading request body: %w", err)
 		}
 		shard := co.puller.Route(doc)
+		tr.EndSpan(sp)
+		tr.Annotate("shard", strconv.Itoa(shard))
+		shardError := func(msg string) map[string]any {
+			b := map[string]any{"error": msg, "shard": shard}
+			if id := tr.ID(); id != "" {
+				b["trace_id"] = id
+			}
+			return b
+		}
 		url := co.puller.ShardURL(shard) + "/ingest"
 		if r.URL.Query().Get("forest") != "" {
 			url += "?forest=1"
@@ -162,22 +183,32 @@ func (co *Coordinator) handleIngest(w http.ResponseWriter, r *http.Request) {
 			return nil, err
 		}
 		req.Header.Set("Content-Type", r.Header.Get("Content-Type"))
+		if id := tr.ID(); id != "" {
+			// The shard adopts this ID, so its flight recorder joins
+			// against ours on /debug/requests?trace_id=.
+			req.Header.Set(trace.Header, id)
+		}
+		sp = tr.StartSpan("forward")
 		resp, err := co.client.Do(req)
 		co.met.RouteDone(shard, err)
 		if err != nil {
+			tr.EndSpan(sp)
 			err = fmt.Errorf("shard %d (%s) unreachable: %v", shard, co.puller.ShardURL(shard), err)
+			co.opts.Logger.Warn("routed ingest failed", "role", co.opts.Role,
+				"shard", shard, "url", url, "err", err, "trace_id", tr.ID())
 			return nil, &statusError{
 				Code: http.StatusBadGateway,
-				Body: map[string]any{"error": err.Error(), "shard": shard},
+				Body: shardError(err.Error()),
 				Err:  err,
 			}
 		}
 		defer resp.Body.Close()
 		body, err := io.ReadAll(io.LimitReader(resp.Body, maxQueryBody))
+		tr.EndSpan(sp)
 		if err != nil {
 			return nil, &statusError{
 				Code: http.StatusBadGateway,
-				Body: map[string]any{"error": fmt.Sprintf("reading shard %d response: %v", shard, err), "shard": shard},
+				Body: shardError(fmt.Sprintf("reading shard %d response: %v", shard, err)),
 				Err:  err,
 			}
 		}
@@ -213,10 +244,12 @@ func (co *Coordinator) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		if fresh {
 			// Best effort: a failed pull serves the last merged state.
+			// ctx carries the request trace, so the round's per-shard
+			// pull spans nest under this request.
 			_ = co.puller.PullNow(ctx)
 		}
 		eng, sv := co.engine()
-		resp, err := answerQuery(eng, &req)
+		resp, err := answerQuery(ctx, eng, &req, co.opts.Role)
 		if err != nil {
 			return nil, err
 		}
@@ -293,4 +326,5 @@ func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (co *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	sketchtree.StatsPromHandler(co.engineStats).ServeHTTP(w, r)
 	obs.WriteClusterProm(w, co.met.Snapshot())
+	obs.WriteHTTPProm(w, co.httpm.Snapshot())
 }

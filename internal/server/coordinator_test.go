@@ -160,7 +160,7 @@ func TestRoutedIngestMergedQueryMatchesSingleNode(t *testing.T) {
 			t.Errorf("query %+v: snapshot provenance %v/%d, want true/%d",
 				q, got.Snapshot, got.SnapshotTrees, len(docs))
 		}
-		want, err := answerQuery(ref, &q)
+		want, err := answerQuery(context.Background(), ref, &q, "test")
 		if err != nil {
 			t.Fatal(err)
 		}

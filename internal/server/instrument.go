@@ -1,0 +1,98 @@
+// Request observability middleware shared by the shard Server and the
+// Coordinator: every request gets a trace in the flight recorder
+// (adopting an upstream X-Sketchtree-Trace-Id or minting one), a
+// per-endpoint/status counter tick, and a structured log line when it
+// fails or runs slow. Success at normal speed is deliberately silent —
+// per-request logging on the hot path would allocate for traffic
+// nobody reads; the flight recorder is the per-request record.
+
+package server
+
+import (
+	"log/slog"
+	"net/http"
+	"time"
+
+	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
+)
+
+// statusWriter captures the response status for the counters, the
+// trace, and the log line. Unwrap keeps http.ResponseController
+// functional through the wrapper (handleIngest sets read deadlines).
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.code == 0 {
+		w.code = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(p []byte) (int, error) {
+	if w.code == 0 {
+		w.code = http.StatusOK
+	}
+	return w.ResponseWriter.Write(p)
+}
+
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
+
+// endpointLabel maps a request path to a bounded metrics/trace label.
+// Unknown paths collapse to "other" so hostile URLs cannot inflate
+// counter cardinality.
+func endpointLabel(path string) string {
+	switch path {
+	case "/query", "/ingest", "/synopsis", "/healthz", "/stats", "/metrics",
+		"/cluster", "/debug/requests":
+		return path
+	}
+	return "other"
+}
+
+// instrument wraps next with the request observability layer. rec may
+// be nil (tracing off: no header, no recorder work); httpm and log are
+// nil-safe / no-op respectively. /debug/requests is counted but not
+// traced — reading the flight recorder should not churn it.
+func instrument(next http.Handler, rec *trace.Recorder, httpm *obs.HTTPMetrics, log *slog.Logger, role string) http.Handler {
+	slow, slowOK := rec.SlowThreshold()
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ep := endpointLabel(r.URL.Path)
+		start := time.Now()
+		var tr *trace.Trace
+		if ep != "/debug/requests" {
+			tr = rec.Start(ep, r.Header.Get(trace.Header))
+		}
+		if tr != nil {
+			w.Header().Set(trace.Header, tr.ID())
+			r = r.WithContext(trace.NewContext(r.Context(), tr))
+		}
+		sw := &statusWriter{ResponseWriter: w}
+		next.ServeHTTP(sw, r)
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		id := tr.ID()
+		tr.Finish(code)
+		httpm.Observe(ep, code)
+		dur := time.Since(start)
+		switch {
+		case code >= 500:
+			log.Warn("request failed", "role", role, "endpoint", ep, "code", code,
+				"duration", dur, "trace_id", id)
+		case code >= 400:
+			log.Info("request rejected", "role", role, "endpoint", ep, "code", code,
+				"duration", dur, "trace_id", id)
+		case slowOK && slow > 0 && dur >= slow:
+			// A zero threshold retains everything in the recorder's slow
+			// ring but would turn every request into a Warn line; the
+			// slow *log line* needs a real threshold.
+			log.Warn("slow request", "role", role, "endpoint", ep, "code", code,
+				"duration", dur, "trace_id", id)
+		}
+	})
+}

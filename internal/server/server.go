@@ -23,13 +23,17 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"net/http"
+	"runtime/pprof"
 	"strconv"
 	"sync/atomic"
 	"time"
 
 	"sketchtree"
+	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
 )
 
 // Options bound a Server's resource use. The zero value selects the
@@ -53,6 +57,18 @@ type Options struct {
 	// MaxIngestBody caps one /ingest request body in bytes; exceeding
 	// it answers 413. Default 64 MiB; negative disables the cap.
 	MaxIngestBody int64
+
+	// Trace is the flight recorder behind GET /debug/requests. Nil
+	// disables tracing: no per-request recorder work, no trace header.
+	Trace *trace.Recorder
+
+	// Logger receives structured request/failure logs. Default: a
+	// no-op logger that never formats records.
+	Logger *slog.Logger
+
+	// Role labels logs, traces and pprof samples ("standalone",
+	// "shard", "coordinator"). Default "standalone".
+	Role string
 }
 
 const (
@@ -96,6 +112,12 @@ func (o Options) normalize() Options {
 	if o.MaxIngestBody < 0 {
 		o.MaxIngestBody = 0
 	}
+	if o.Logger == nil {
+		o.Logger = obs.NopLogger()
+	}
+	if o.Role == "" {
+		o.Role = "standalone"
+	}
 	return o
 }
 
@@ -106,14 +128,17 @@ type Server struct {
 	sem      chan struct{}
 	draining atomic.Bool
 	mux      *http.ServeMux
+	httpm    *obs.HTTPMetrics
+	handler  http.Handler
 }
 
 // New builds a Server over safe. The caller keeps ownership of safe and
 // may update or query it directly alongside the HTTP traffic.
 func New(safe *sketchtree.Safe, opts Options) *Server {
 	s := &Server{
-		safe: safe,
-		opts: opts.normalize(),
+		safe:  safe,
+		opts:  opts.normalize(),
+		httpm: obs.NewHTTPMetrics(),
 	}
 	s.sem = make(chan struct{}, s.opts.MaxConcurrent)
 	s.mux = http.NewServeMux()
@@ -122,20 +147,29 @@ func New(safe *sketchtree.Safe, opts Options) *Server {
 	s.mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(safe.Stats))
-	s.mux.Handle("GET /metrics", sketchtree.StatsPromHandler(safe.Stats))
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.Handle("GET /debug/requests", s.opts.Trace.Handler())
+	s.handler = instrument(s.mux, s.opts.Trace, s.httpm, s.opts.Logger, s.opts.Role)
 	return s
 }
 
 // Handler returns the HTTP handler; use it to mount the API under an
 // existing server. Run is the usual entry point.
-func (s *Server) Handler() http.Handler { return s.mux }
+func (s *Server) Handler() http.Handler { return s.handler }
+
+// handleMetrics serves the engine's Prometheus families followed by the
+// per-endpoint/status request counters.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	sketchtree.StatsPromHandler(s.safe.Stats).ServeHTTP(w, r)
+	obs.WriteHTTPProm(w, s.httpm.Snapshot())
+}
 
 // Run serves the API on ln until ctx is canceled, then drains: new
 // connections are refused, /healthz flips to 503, in-flight requests
 // are answered (bounded by DrainTimeout), and remaining connections are
 // closed. Returns nil after a clean drain.
 func (s *Server) Run(ctx context.Context, ln net.Listener) error {
-	srv := &http.Server{Handler: s.mux}
+	srv := &http.Server{Handler: s.handler}
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()
 	select {
@@ -203,7 +237,7 @@ func serveLimited(w http.ResponseWriter, r *http.Request, sem chan struct{}, tim
 	select {
 	case sem <- struct{}{}:
 	case <-ctx.Done():
-		httpError(w, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
+		httpError(w, r, http.StatusServiceUnavailable, "server at capacity: %v", ctx.Err())
 		return
 	}
 	defer func() { <-sem }()
@@ -228,7 +262,7 @@ func serveLimited(w http.ResponseWriter, r *http.Request, sem chan struct{}, tim
 			writeJSONStatus(w, code, se.Body)
 			return
 		}
-		httpError(w, code, "%v", err)
+		httpError(w, r, code, "%v", err)
 		return
 	}
 	writeJSON(w, v)
@@ -300,6 +334,7 @@ type ingestError struct {
 	Error        string `json:"error"`
 	TreesApplied int64  `json:"trees_applied"`
 	Partial      bool   `json:"partial"`
+	TraceID      string `json:"trace_id,omitempty"`
 }
 
 // capReader tracks whether the wrapped http.MaxBytesReader tripped its
@@ -340,12 +375,28 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			src = capr
 		}
 		body := &ctxReader{ctx: ctx, r: src}
+		tr := trace.FromContext(ctx)
 		var applied int64
 		var err error
 		if forest {
+			// Forest parse and apply interleave per tree; one span
+			// covers the whole stream (the parse/apply split lives in
+			// the engine's stage timers).
+			sp := tr.StartSpan("apply")
 			applied, err = s.safe.AddXMLForestCount(body)
+			tr.EndSpan(sp)
 		} else {
-			err = s.safe.AddXML(body)
+			// Safe.AddXML is ParseXML + AddTree; splitting it here puts
+			// a span boundary between decode and synopsis update.
+			sp := tr.StartSpan("parse")
+			var t *sketchtree.Tree
+			t, err = sketchtree.ParseXML(body)
+			tr.EndSpan(sp)
+			if err == nil {
+				sp = tr.StartSpan("apply")
+				err = s.safe.AddTree(t)
+				tr.EndSpan(sp)
+			}
 		}
 		if err != nil {
 			code := 0
@@ -356,12 +407,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 			if forest {
 				return nil, &statusError{
 					Code: code,
-					Body: ingestError{Error: err.Error(), TreesApplied: applied, Partial: applied > 0},
+					Body: ingestError{Error: err.Error(), TreesApplied: applied, Partial: applied > 0, TraceID: tr.ID()},
 					Err:  err,
 				}
 			}
 			if code != 0 {
-				return nil, &statusError{Code: code, Body: map[string]string{"error": err.Error()}, Err: err}
+				return nil, &statusError{Code: code, Body: errorBody(ctx, err.Error()), Err: err}
 			}
 			return nil, err
 		}
@@ -375,9 +426,12 @@ func (s *Server) handleIngest(w http.ResponseWriter, r *http.Request) {
 // /stats it bypasses the request limiter so periodic coordinator pulls
 // never compete with query traffic for slots.
 func (s *Server) handleSynopsis(w http.ResponseWriter, r *http.Request) {
+	tr := trace.FromContext(r.Context())
+	sp := tr.StartSpan("marshal")
 	data, err := s.safe.MarshalBinary()
+	tr.EndSpan(sp)
 	if err != nil {
-		httpError(w, http.StatusInternalServerError, "serializing synopsis: %v", err)
+		httpError(w, r, http.StatusInternalServerError, "serializing synopsis: %v", err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -432,7 +486,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		if err := dec.Decode(&req); err != nil {
 			return nil, fmt.Errorf("decoding request: %w", err)
 		}
-		resp, err := s.answer(&req)
+		resp, err := answerQuery(ctx, s.safe, &req, s.opts.Role)
 		if err != nil {
 			return nil, err
 		}
@@ -458,68 +512,72 @@ type engine interface {
 	EstimateExpression(e sketchtree.Expr) (float64, error)
 }
 
-func (s *Server) answer(req *queryRequest) (*queryResponse, error) {
-	return answerQuery(s.safe, req)
+// answerQuery is the query path shared by the shard Server and the
+// Coordinator, split into two traced phases: "plan" (JSON → validated
+// pattern/expression) and "eval" (the estimator). Evaluation runs under
+// pprof labels so CPU profiles segment by endpoint, role and pattern
+// size.
+func answerQuery(ctx context.Context, eng engine, req *queryRequest, role string) (*queryResponse, error) {
+	tr := trace.FromContext(ctx)
+	sp := tr.StartSpan("plan")
+	b, err := buildQuery(req)
+	tr.EndSpan(sp)
+	if err != nil {
+		return nil, err
+	}
+	sp = tr.StartSpan("eval")
+	var resp *queryResponse
+	pprof.Do(ctx, pprof.Labels(
+		"endpoint", "/query", "role", role,
+		"pattern_size", strconv.Itoa(b.patternEdges)), func(context.Context) {
+		resp, err = b.evaluate(eng)
+	})
+	tr.EndSpan(sp)
+	tr.Annotate("kind", req.Kind)
+	return resp, err
 }
 
-func answerQuery(eng engine, req *queryRequest) (*queryResponse, error) {
-	resp := &queryResponse{Kind: req.Kind}
+// builtQuery is a parsed and validated query, ready to evaluate
+// against any engine.
+type builtQuery struct {
+	kind      string
+	withError bool
+	q         *sketchtree.Node   // ordered / unordered
+	qs        []*sketchtree.Node // set
+	expr      sketchtree.Expr    // expression
+	// patternEdges is the total pattern size in edges across the
+	// query's patterns (0 for expressions) — the pprof workload label.
+	patternEdges int
+}
+
+// buildQuery parses the request's patterns into a builtQuery. This is
+// the query path's "plan" phase: everything that can fail with 400
+// happens here, before any estimator work.
+func buildQuery(req *queryRequest) (*builtQuery, error) {
+	b := &builtQuery{kind: req.Kind, withError: req.WithError}
 	switch req.Kind {
 	case "ordered", "unordered":
 		q, err := parsePattern(req.Pattern)
 		if err != nil {
 			return nil, err
 		}
-		if req.WithError {
-			var est sketchtree.Estimate
-			if req.Kind == "ordered" {
-				est, err = eng.CountOrderedWithError(q)
-			} else {
-				est, err = eng.CountUnorderedWithError(q)
-			}
-			if err != nil {
-				return nil, err
-			}
-			resp.withEstimate(est)
-			return resp, nil
-		}
-		var v float64
-		if req.Kind == "ordered" {
-			v, err = eng.CountOrdered(q)
-		} else {
-			v, err = eng.CountUnordered(q)
-		}
-		if err != nil {
-			return nil, err
-		}
-		resp.Estimate = v
-		return resp, nil
+		b.q = q
+		b.patternEdges = q.Size() - 1
+		return b, nil
 	case "set":
 		if len(req.Patterns) == 0 {
 			return nil, errors.New(`kind "set" needs a non-empty "patterns" list`)
 		}
-		qs := make([]*sketchtree.Node, len(req.Patterns))
+		b.qs = make([]*sketchtree.Node, len(req.Patterns))
 		for i, p := range req.Patterns {
 			q, err := parsePattern(p)
 			if err != nil {
 				return nil, fmt.Errorf("patterns[%d]: %w", i, err)
 			}
-			qs[i] = q
+			b.qs[i] = q
+			b.patternEdges += q.Size() - 1
 		}
-		if req.WithError {
-			est, err := eng.CountOrderedSetWithError(qs)
-			if err != nil {
-				return nil, err
-			}
-			resp.withEstimate(est)
-			return resp, nil
-		}
-		v, err := eng.CountOrderedSet(qs)
-		if err != nil {
-			return nil, err
-		}
-		resp.Estimate = v
-		return resp, nil
+		return b, nil
 	case "expression":
 		if req.WithError {
 			return nil, errors.New("expression queries have no error bar")
@@ -528,16 +586,69 @@ func answerQuery(eng engine, req *queryRequest) (*queryResponse, error) {
 		if err != nil {
 			return nil, err
 		}
-		v, err := eng.EstimateExpression(e)
+		b.expr = e
+		return b, nil
+	case "":
+		return nil, errors.New(`missing "kind" (ordered, unordered, set or expression)`)
+	default:
+		return nil, fmt.Errorf("unknown kind %q (ordered, unordered, set or expression)", req.Kind)
+	}
+}
+
+// evaluate runs the built query against eng. It cannot 400: every
+// request-shape error was caught by buildQuery.
+func (b *builtQuery) evaluate(eng engine) (*queryResponse, error) {
+	resp := &queryResponse{Kind: b.kind}
+	switch b.kind {
+	case "ordered", "unordered":
+		if b.withError {
+			var est sketchtree.Estimate
+			var err error
+			if b.kind == "ordered" {
+				est, err = eng.CountOrderedWithError(b.q)
+			} else {
+				est, err = eng.CountUnorderedWithError(b.q)
+			}
+			if err != nil {
+				return nil, err
+			}
+			resp.withEstimate(est)
+			return resp, nil
+		}
+		var v float64
+		var err error
+		if b.kind == "ordered" {
+			v, err = eng.CountOrdered(b.q)
+		} else {
+			v, err = eng.CountUnordered(b.q)
+		}
 		if err != nil {
 			return nil, err
 		}
 		resp.Estimate = v
 		return resp, nil
-	case "":
-		return nil, errors.New(`missing "kind" (ordered, unordered, set or expression)`)
-	default:
-		return nil, fmt.Errorf("unknown kind %q (ordered, unordered, set or expression)", req.Kind)
+	case "set":
+		if b.withError {
+			est, err := eng.CountOrderedSetWithError(b.qs)
+			if err != nil {
+				return nil, err
+			}
+			resp.withEstimate(est)
+			return resp, nil
+		}
+		v, err := eng.CountOrderedSet(b.qs)
+		if err != nil {
+			return nil, err
+		}
+		resp.Estimate = v
+		return resp, nil
+	default: // "expression"; buildQuery rejected everything else
+		v, err := eng.EstimateExpression(b.expr)
+		if err != nil {
+			return nil, err
+		}
+		resp.Estimate = v
+		return resp, nil
 	}
 }
 
@@ -623,8 +734,21 @@ func writeJSON(w http.ResponseWriter, v any) {
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSONStatus(w, code, map[string]string{"error": fmt.Sprintf(format, args...)})
+// httpError answers a JSON error body. Every error carries the
+// request's trace ID (when tracing is on), so a client-reported
+// failure joins against the flight recorder's record of it.
+func httpError(w http.ResponseWriter, r *http.Request, code int, format string, args ...any) {
+	writeJSONStatus(w, code, errorBody(r.Context(), fmt.Sprintf(format, args...)))
+}
+
+// errorBody builds the standard JSON error body: the message plus the
+// trace ID carried by ctx, if any.
+func errorBody(ctx context.Context, msg string) map[string]string {
+	b := map[string]string{"error": msg}
+	if id := trace.FromContext(ctx).ID(); id != "" {
+		b["trace_id"] = id
+	}
+	return b
 }
 
 // writeJSONStatus answers v as JSON under an explicit status code.

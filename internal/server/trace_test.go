@@ -1,0 +1,421 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"sketchtree"
+	"sketchtree/internal/cluster"
+	"sketchtree/internal/obs"
+	"sketchtree/internal/obs/trace"
+)
+
+// debugDump mirrors the GET /debug/requests body for assertions.
+type debugDump struct {
+	Enabled    bool               `json:"enabled"`
+	Role       string             `json:"role"`
+	Recent     []*trace.Completed `json:"recent"`
+	Slow       []*trace.Completed `json:"slow"`
+	Background []*trace.Completed `json:"background"`
+}
+
+func getDebugRequests(t *testing.T, base, traceID string) debugDump {
+	t.Helper()
+	url := base + "/debug/requests"
+	if traceID != "" {
+		url += "?trace_id=" + traceID
+	}
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /debug/requests: status %d", resp.StatusCode)
+	}
+	var d debugDump
+	if err := json.NewDecoder(resp.Body).Decode(&d); err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func spanNames(c *trace.Completed) map[string]bool {
+	names := make(map[string]bool)
+	for _, sp := range c.Spans {
+		names[sp.Name] = true
+	}
+	return names
+}
+
+func TestTraceAdoptedAndRecorded(t *testing.T) {
+	rec := trace.New("standalone", 32, 0)
+	_, _, ts := newTestServer(t, Options{Trace: rec})
+
+	body := `{"kind":"ordered","pattern":"a/b"}`
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/query", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set(trace.Header, "upstream-trace-0001")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(trace.Header); got != "upstream-trace-0001" {
+		t.Fatalf("response trace header %q, want adopted upstream ID", got)
+	}
+
+	d := getDebugRequests(t, ts.URL, "upstream-trace-0001")
+	if !d.Enabled || d.Role != "standalone" {
+		t.Fatalf("debug dump header = %+v", d)
+	}
+	if len(d.Recent) != 1 {
+		t.Fatalf("trace_id lookup found %d traces, want 1", len(d.Recent))
+	}
+	c := d.Recent[0]
+	if c.Endpoint != "/query" || c.Status != http.StatusOK {
+		t.Fatalf("trace = %+v", c)
+	}
+	names := spanNames(c)
+	if !names["plan"] || !names["eval"] {
+		t.Fatalf("query trace spans = %v, want plan and eval", names)
+	}
+	if c.Attrs["kind"] != "ordered" {
+		t.Fatalf("trace attrs = %v", c.Attrs)
+	}
+}
+
+func TestTraceMintedWhenAbsent(t *testing.T) {
+	rec := trace.New("standalone", 32, -1)
+	_, _, ts := newTestServer(t, Options{Trace: rec})
+	resp, err := http.Post(ts.URL+"/ingest", "application/xml", strings.NewReader("<a><b/></a>"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	id := resp.Header.Get(trace.Header)
+	if len(id) != 32 {
+		t.Fatalf("minted trace ID %q, want 32 hex chars", id)
+	}
+	d := getDebugRequests(t, ts.URL, id)
+	if len(d.Recent) != 1 {
+		t.Fatalf("minted ID not found in recorder")
+	}
+	names := spanNames(d.Recent[0])
+	if !names["parse"] || !names["apply"] {
+		t.Fatalf("ingest trace spans = %v, want parse and apply", names)
+	}
+}
+
+func TestErrorBodyCarriesTraceID(t *testing.T) {
+	rec := trace.New("standalone", 32, -1)
+	_, _, ts := newTestServer(t, Options{Trace: rec})
+
+	// Bad query: 400 through the generic error path.
+	resp, err := http.Post(ts.URL+"/query", "application/json",
+		strings.NewReader(`{"kind":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d, want 400", resp.StatusCode)
+	}
+	id := resp.Header.Get(trace.Header)
+	if id == "" || body["trace_id"] != id {
+		t.Fatalf("error body trace_id = %v, response header %q — must match", body["trace_id"], id)
+	}
+
+	// Partial forest ingest: structured ingestError body.
+	resp, err = http.Post(ts.URL+"/ingest?forest=1", "application/xml",
+		strings.NewReader("<f><a><b/></a><bad"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ie ingestError
+	if err := json.NewDecoder(resp.Body).Decode(&ie); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("forest status %d, want 400", resp.StatusCode)
+	}
+	if ie.TraceID == "" || ie.TraceID != resp.Header.Get(trace.Header) {
+		t.Fatalf("ingestError trace_id = %q, header %q", ie.TraceID, resp.Header.Get(trace.Header))
+	}
+}
+
+func TestHTTPStatusCounters(t *testing.T) {
+	_, _, ts := newTestServer(t, Options{})
+	if _, qr := postQuery(t, ts.URL, queryRequest{Kind: "ordered", Pattern: "a/b"}); qr.Kind == "" {
+		t.Fatal("query failed")
+	}
+	resp, err := http.Post(ts.URL+"/query", "application/json", strings.NewReader(`{"kind":"nope"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	mresp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	prom, err := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		`sketchtree_http_requests_total{endpoint="/query",code="200"} 1`,
+		`sketchtree_http_requests_total{endpoint="/query",code="400"} 1`,
+	} {
+		if !strings.Contains(string(prom), want) {
+			t.Fatalf("/metrics missing %q:\n%s", want, prom)
+		}
+	}
+}
+
+// TestTracingBitIdentical feeds the same corpus and queries through a
+// traced and an untraced server and requires byte-identical synopses
+// and bit-identical answers: tracing must be pure observation.
+func TestTracingBitIdentical(t *testing.T) {
+	corpus := clusterDocs(40)
+	queries := []queryRequest{
+		{Kind: "ordered", Pattern: "a/b"},
+		{Kind: "unordered", Pattern: "(a (c) (b))"},
+		{Kind: "set", Patterns: []string{"a/b", "a/c"}},
+		{Kind: "ordered", Pattern: "a/d", WithError: true},
+	}
+	run := func(opts Options) (synopsis []byte, answers []queryResponse) {
+		safe, err := sketchtree.NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(New(safe, opts).Handler())
+		defer ts.Close()
+		for _, doc := range corpus {
+			resp, err := http.Post(ts.URL+"/ingest", "application/xml", strings.NewReader(doc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("ingest status %d", resp.StatusCode)
+			}
+		}
+		for _, q := range queries {
+			resp, qr := postQuery(t, ts.URL, q)
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("query %+v: status %d", q, resp.StatusCode)
+			}
+			answers = append(answers, qr)
+		}
+		sresp, err := http.Get(ts.URL + "/synopsis")
+		if err != nil {
+			t.Fatal(err)
+		}
+		synopsis, err = io.ReadAll(sresp.Body)
+		sresp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return synopsis, answers
+	}
+
+	plainSyn, plainAns := run(Options{})
+	tracedSyn, tracedAns := run(Options{Trace: trace.New("standalone", 64, 0)})
+	if !bytes.Equal(plainSyn, tracedSyn) {
+		t.Fatalf("synopsis differs with tracing on: %d vs %d bytes", len(plainSyn), len(tracedSyn))
+	}
+	for i := range plainAns {
+		if plainAns[i].Estimate != tracedAns[i].Estimate {
+			t.Fatalf("query %d: traced estimate %v != untraced %v",
+				i, tracedAns[i].Estimate, plainAns[i].Estimate)
+		}
+		if (plainAns[i].StdErr == nil) != (tracedAns[i].StdErr == nil) {
+			t.Fatalf("query %d: stderr presence differs", i)
+		}
+		if plainAns[i].StdErr != nil && *plainAns[i].StdErr != *tracedAns[i].StdErr {
+			t.Fatalf("query %d: traced stderr %v != untraced %v",
+				i, *tracedAns[i].StdErr, *plainAns[i].StdErr)
+		}
+	}
+}
+
+func TestTracingDisabled(t *testing.T) {
+	_, _, ts := newTestServer(t, Options{}) // no recorder
+	resp, qr := postQuery(t, ts.URL, queryRequest{Kind: "ordered", Pattern: "a/b"})
+	if resp.StatusCode != http.StatusOK || qr.Kind == "" {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	if got := resp.Header.Get(trace.Header); got != "" {
+		t.Fatalf("disabled tracing still sets trace header %q", got)
+	}
+	d := getDebugRequests(t, ts.URL, "")
+	if d.Enabled {
+		t.Fatal("/debug/requests reports enabled without a recorder")
+	}
+}
+
+// TestCoordinatorTracePropagation is the in-process half of the e2e
+// acceptance criterion: a routed ingest's coordinator trace ID must
+// resolve on the target shard's /debug/requests, and a fresh query's
+// pull spans must land in the coordinator trace while the shard records
+// the synopsis pull under the same ID.
+func TestCoordinatorTracePropagation(t *testing.T) {
+	const n = 2
+	shardRecs := make([]*trace.Recorder, n)
+	urls := make([]string, n)
+	shardTS := make([]*httptest.Server, n)
+	for i := 0; i < n; i++ {
+		safe, err := sketchtree.NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shardRecs[i] = trace.New("shard", 64, 0)
+		ts := httptest.NewServer(New(safe, Options{Trace: shardRecs[i], Role: "shard"}).Handler())
+		t.Cleanup(ts.Close)
+		shardTS[i] = ts
+		urls[i] = ts.URL
+	}
+	met := obs.NewClusterMetrics(n)
+	coRec := trace.New("coordinator", 64, 0)
+	puller, err := cluster.New(cluster.Config{
+		Shards:      urls,
+		PullEvery:   time.Hour,
+		PullTimeout: 5 * time.Second,
+		Metrics:     met,
+		Trace:       coRec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallback, err := sketchtree.New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	co := NewCoordinator(puller, fallback, met, Options{Trace: coRec, Role: "coordinator"})
+	coTS := httptest.NewServer(co.Handler())
+	t.Cleanup(coTS.Close)
+
+	// Routed ingest: the coordinator's trace ID must appear on the
+	// shard that applied the document.
+	doc := "<a><b/><c/></a>"
+	resp, err := http.Post(coTS.URL+"/ingest", "application/xml", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("routed ingest status %d", resp.StatusCode)
+	}
+	id := resp.Header.Get(trace.Header)
+	if id == "" {
+		t.Fatal("routed ingest response has no trace header")
+	}
+	shard := cluster.Route([]byte(doc), n)
+
+	coDump := getDebugRequests(t, coTS.URL, id)
+	if len(coDump.Recent) != 1 {
+		t.Fatalf("coordinator recorder has %d traces for %s, want 1", len(coDump.Recent), id)
+	}
+	names := spanNames(coDump.Recent[0])
+	if !names["route"] || !names["forward"] {
+		t.Fatalf("coordinator ingest spans = %v, want route and forward", names)
+	}
+	shardDump := getDebugRequests(t, shardTS[shard].URL, id)
+	if len(shardDump.Recent) != 1 {
+		t.Fatalf("target shard recorder has %d traces for %s, want 1 (trace did not propagate)",
+			len(shardDump.Recent), id)
+	}
+	if shardDump.Recent[0].Endpoint != "/ingest" || shardDump.Recent[0].Role != "shard" {
+		t.Fatalf("shard trace = %+v", shardDump.Recent[0])
+	}
+
+	// Fresh query: the pull round's per-shard spans nest in the request
+	// trace, and each shard records the /synopsis pull under its ID.
+	qresp, err := http.Post(coTS.URL+"/query?fresh=1", "application/json",
+		strings.NewReader(`{"kind":"ordered","pattern":"a/b"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, qresp.Body)
+	qresp.Body.Close()
+	qid := qresp.Header.Get(trace.Header)
+	if qid == "" {
+		t.Fatal("fresh query has no trace header")
+	}
+	qDump := getDebugRequests(t, coTS.URL, qid)
+	if len(qDump.Recent) != 1 {
+		t.Fatalf("coordinator has %d traces for fresh query", len(qDump.Recent))
+	}
+	names = spanNames(qDump.Recent[0])
+	for _, want := range []string{"plan", "eval", "pull:0", "pull:1", "merge", "publish"} {
+		if !names[want] {
+			t.Fatalf("fresh-query trace spans = %v, missing %q", names, want)
+		}
+	}
+	for i := 0; i < n; i++ {
+		sd := getDebugRequests(t, shardTS[i].URL, qid)
+		if len(sd.Recent) != 1 || sd.Recent[0].Endpoint != "/synopsis" {
+			t.Fatalf("shard %d: synopsis pull not recorded under query trace %s: %+v", i, qid, sd.Recent)
+		}
+	}
+}
+
+// TestBackgroundPullTraced runs one untraced round and expects it in
+// the coordinator recorder's background ring.
+func TestBackgroundPullTraced(t *testing.T) {
+	safe, err := sketchtree.NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	shardTS := httptest.NewServer(New(safe, Options{}).Handler())
+	t.Cleanup(shardTS.Close)
+	rec := trace.New("coordinator", 16, -1)
+	puller, err := cluster.New(cluster.Config{
+		Shards:    []string{shardTS.URL},
+		PullEvery: time.Hour,
+		Trace:     rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := puller.PullNow(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	h := httptest.NewServer(rec.Handler())
+	t.Cleanup(h.Close)
+	d := getDebugRequests(t, h.URL, "")
+	if len(d.Background) != 1 {
+		t.Fatalf("background ring holds %d traces, want 1", len(d.Background))
+	}
+	bg := d.Background[0]
+	if !bg.Background || bg.Endpoint != "pull" {
+		t.Fatalf("background trace = %+v", bg)
+	}
+	if names := spanNames(bg); !names["pull:0"] || !names["merge"] || !names["publish"] {
+		t.Fatalf("background pull spans = %v", names)
+	}
+}

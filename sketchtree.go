@@ -403,7 +403,8 @@ type StageStats = obs.StageSnapshot
 type QueryStats = obs.QuerySnapshot
 
 // Stage indexes Stats.Stages; the instrumented stages are StageParse,
-// StageEnum, StageFingerprint, StageSketch, StageTopK and StageMerge.
+// StageEnum, StageFingerprint, StageSketch, StageTopK, StageMerge,
+// StagePlan and StagePublish.
 type Stage = obs.Stage
 
 // The instrumented pipeline stages, in processing order.
@@ -414,6 +415,8 @@ const (
 	StageSketch      = obs.StageSketch
 	StageTopK        = obs.StageTopK
 	StageMerge       = obs.StageMerge
+	StagePlan        = obs.StagePlan
+	StagePublish     = obs.StagePublish
 )
 
 // EnableMetrics switches stage timers and query-latency measurement on

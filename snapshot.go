@@ -3,6 +3,8 @@ package sketchtree
 import (
 	"fmt"
 	"time"
+
+	"sketchtree/internal/obs"
 )
 
 // SnapshotPolicy configures Safe snapshot serving: how often the
@@ -146,12 +148,15 @@ func (s *Safe) snapshotTree() *SketchTree {
 // refreshLocked publishes a fresh snapshot. The caller must hold mu
 // (read or write), which serializes it against updates.
 func (s *Safe) refreshLocked() error {
+	m := s.st.e.Metrics()
+	start := m.Now()
 	sn, err := s.st.Snapshot()
 	if err != nil {
 		return err
 	}
 	s.updatesSince.Store(0)
 	s.snap.Store(&snapState{st: sn, trees: sn.TreesProcessed(), taken: time.Now()})
+	m.StageSince(obs.StagePublish, start)
 	return nil
 }
 

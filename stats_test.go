@@ -290,3 +290,45 @@ func TestStatsSurviveSaveLoad(t *testing.T) {
 			s.Trees, s.Patterns, st.TreesProcessed(), st.PatternsProcessed())
 	}
 }
+
+// The plan and publish stages introduced for tracing must record under
+// EnableMetrics: plan-cache lookups on ordered/unordered queries feed
+// StagePlan, and every snapshot rebuild feeds StagePublish.
+func TestPlanAndPublishStagesRecorded(t *testing.T) {
+	st, err := New(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.EnableMetrics(true)
+	if err := st.AddXMLForest(strings.NewReader(statsForest)); err != nil {
+		t.Fatal(err)
+	}
+	q := Pattern("article", Pattern("author"))
+	for i := 0; i < 2; i++ { // miss, then hit — both pass through the plan stage
+		if _, err := st.CountOrdered(q); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.CountUnordered(q); err != nil {
+		t.Fatal(err)
+	}
+	if got := st.Stats().Stage(StagePlan); got.Count < 3 || got.Nanos <= 0 {
+		t.Errorf("StagePlan after 3 plan lookups = %+v, want count >= 3 with time", got)
+	}
+
+	safe, err := NewSafe(testConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	safe.EnableMetrics(true)
+	if err := safe.EnableSnapshots(SnapshotPolicy{EveryTrees: 1}); err != nil {
+		t.Fatal(err)
+	}
+	defer safe.DisableSnapshots()
+	if err := safe.AddTree(NewTree(q)); err != nil {
+		t.Fatal(err)
+	}
+	if got := safe.Stats().Stage(StagePublish); got.Count == 0 || got.Nanos <= 0 {
+		t.Errorf("StagePublish after snapshot refresh = %+v, want count > 0 with time", got)
+	}
+}
