@@ -6,9 +6,9 @@
 GO ?= go
 FUZZTIME ?= 10s
 
-.PHONY: verify fmt vet lint test race bench bench-matrix bench-baseline bench-smoke cluster-smoke fuzz-smoke
+.PHONY: verify fmt vet lint test race bench bench-matrix bench-baseline bench-smoke cluster-smoke window-smoke fuzz-smoke
 
-verify: fmt vet lint test race bench-smoke cluster-smoke
+verify: fmt vet lint test race bench-smoke cluster-smoke window-smoke
 
 fmt:
 	@out="$$(gofmt -l .)"; \
@@ -78,6 +78,7 @@ bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixIngest/size=16/k=2/workers=1' -benchtime 1x . >/dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixQuery/pattern=2/cache=hit' -benchtime 1x . >/dev/null
 	$(GO) test -run '^$$' -bench 'BenchmarkMatrixMerge/vstreams=1' -benchtime 1x . >/dev/null
+	$(GO) test -run '^$$' -bench 'BenchmarkMatrixWindow/slices=4/every=8' -benchtime 1x . >/dev/null
 
 # The cluster-mode end-to-end tests under the race detector: three
 # shard daemons plus a coordinator started through the real CLI entry
@@ -90,12 +91,25 @@ cluster-smoke:
 	DEBUG_REQUESTS_OUT=$(CURDIR)/debug_requests.json \
 		$(GO) test -race -count=1 -run '^TestCluster' ./cmd/sketchtreed
 
+# The sliding-window end-to-end suite under the race detector: the
+# windowed daemon through the real CLI entry point (ingest, advance,
+# GET /window provenance) plus the windowed-vs-fresh bit-identity
+# equivalence suite, verbosely logged. WINDOW_STATUS_OUT persists the
+# final GET /window JSON and window_equivalence.log captures the
+# equivalence run (CI uploads both as artifacts).
+window-smoke:
+	WINDOW_STATUS_OUT=$(CURDIR)/window_status.json \
+		$(GO) test -race -count=1 -run '^TestWindowDaemon' ./cmd/sketchtreed
+	$(GO) test -count=1 -run '^TestWindowEquivalenceRandom$$' -v . > window_equivalence.log
+	@echo "wrote window_status.json and window_equivalence.log"
+
 # Short coverage-guided runs of every fuzz target (FUZZTIME each).
 # Seed corpora live under testdata/fuzz/<FuzzName>/; a crasher found
 # here is written there too — commit it as a regression test.
 fuzz-smoke:
 	$(GO) test -run '^$$' -fuzz '^FuzzParsePattern$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzRestore$$' -fuzztime $(FUZZTIME) .
+	$(GO) test -run '^$$' -fuzz '^FuzzWindowAdvance$$' -fuzztime $(FUZZTIME) .
 	$(GO) test -run '^$$' -fuzz '^FuzzParseSexp$$' -fuzztime $(FUZZTIME) ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzParseXML$$' -fuzztime $(FUZZTIME) ./internal/tree
 	$(GO) test -run '^$$' -fuzz '^FuzzDecode$$' -fuzztime $(FUZZTIME) ./internal/prufer

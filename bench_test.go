@@ -654,6 +654,48 @@ func BenchmarkMatrixMerge(b *testing.B) {
 	}
 }
 
+// BenchmarkMatrixWindow times windowed ingest across ring width and
+// advance cadence: each Add lands in the current slice, every `every`
+// trees a slice seals (advance + possible expiry), and each seal
+// triggers a merge-rebuild of the published snapshot — so the cells
+// expose how rebuild cost scales with live slice count and cadence.
+func BenchmarkMatrixWindow(b *testing.B) {
+	trees := matrixTrees(19, 32, 128)
+	for _, slices := range []int{4, 16} {
+		b.Run(fmt.Sprintf("slices=%d", slices), func(b *testing.B) {
+			for _, every := range []int{8, 64} {
+				b.Run(fmt.Sprintf("every=%d", every), func(b *testing.B) {
+					cfg := DefaultConfig()
+					cfg.MaxPatternEdges = 4
+					cfg.VirtualStreams = 59
+					cfg.TopK = 0 // windowing requires top-k off
+					safe, err := NewSafe(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if err := safe.EnableWindow(WindowPolicy{
+						Slices:     slices,
+						SliceTrees: every,
+						// Rebuild only on seal, so cadence — not the
+						// incremental-refresh default — sets merge frequency.
+						RefreshEveryTrees: -1,
+					}); err != nil {
+						b.Fatal(err)
+					}
+					defer safe.DisableWindow()
+					b.ReportAllocs()
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						if err := safe.AddTree(trees[i%len(trees)]); err != nil {
+							b.Fatal(err)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
 var (
 	sinkU64 uint64
 	sinkBig interface{}

@@ -83,6 +83,9 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		forest    = fs.Bool("forest", false, "treat each preload file as a rooted forest document")
 		snapEvery = fs.Int("snapshot-every", 0, "serve queries from a frozen snapshot refreshed every N updates (0 = locked serving)")
 		snapAge   = fs.Duration("snapshot-age", 0, "also refresh the snapshot at this period while updates arrive (0 = update-driven only)")
+		winSlices = fs.Int("window-slices", 0, "sliding-window ring size in slices (0 = landmark counting)")
+		winEvery  = fs.Int("window-every", 0, "advance the window after this many trees per slice (0 = clock cadence only)")
+		winAge    = fs.Duration("window-age", 0, "advance the window after this duration per slice (0 = count cadence only)")
 		timeout   = fs.Duration("timeout", 0, "per-request budget (0 = default 5s, negative = off)")
 		maxConc   = fs.Int("max-concurrent", 0, "in-flight request cap (0 = default 64)")
 		drain     = fs.Duration("drain-timeout", 0, "graceful shutdown bound (0 = default 10s, negative = unbounded)")
@@ -125,6 +128,25 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	default:
 		return fmt.Errorf("unknown -role %q (standalone, shard or coordinator)", *role)
 	}
+	var winPolicy *sketchtree.WindowPolicy
+	if *winSlices > 0 {
+		if *winEvery <= 0 && *winAge <= 0 {
+			return fmt.Errorf("-window-slices requires an advance cadence: -window-every and/or -window-age")
+		}
+		if *topk != 0 {
+			return fmt.Errorf("-window-slices requires -topk 0 (top-k synopses cannot be merged, so slices cannot form a window)")
+		}
+		if *snapEvery > 0 {
+			return fmt.Errorf("-window-slices and -snapshot-every are mutually exclusive (the window publishes its own merged snapshot)")
+		}
+		winPolicy = &sketchtree.WindowPolicy{
+			Slices:     *winSlices,
+			SliceTrees: *winEvery,
+			SliceDur:   *winAge,
+		}
+	} else if *winEvery > 0 || *winAge > 0 {
+		return fmt.Errorf("-window-every/-window-age need -window-slices to enable the sliding window")
+	}
 	if *role == "coordinator" {
 		return runCoordinator(ctx, cfg, coordinatorFlags{
 			addr:      *addr,
@@ -139,6 +161,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 				Trace:         rec,
 				Logger:        logger,
 				Role:          *role,
+				Window:        winPolicy,
 			},
 			preloads: fs.Args(),
 		}, stdout)
@@ -147,6 +170,23 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 	safe, err := sketchtree.NewSafe(cfg)
 	if err != nil {
 		return err
+	}
+	if winPolicy != nil {
+		// Before the preload loop: the window must be enabled while the
+		// synopsis is empty, and preloaded documents should age out like
+		// any other slice contents.
+		if err := safe.EnableWindow(*winPolicy); err != nil {
+			return err
+		}
+		defer safe.DisableWindow()
+		fmt.Fprintf(stdout, "sliding window: %d slices", winPolicy.Slices)
+		if winPolicy.SliceTrees > 0 {
+			fmt.Fprintf(stdout, ", advance every %d trees", winPolicy.SliceTrees)
+		}
+		if winPolicy.SliceDur > 0 {
+			fmt.Fprintf(stdout, ", advance every %v", winPolicy.SliceDur)
+		}
+		fmt.Fprintln(stdout)
 	}
 	for _, name := range fs.Args() {
 		if err := preload(safe, name, *forest); err != nil {
@@ -177,6 +217,7 @@ func run(ctx context.Context, args []string, stdout io.Writer) error {
 		Trace:         rec,
 		Logger:        logger,
 		Role:          *role,
+		Window:        winPolicy,
 	})
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

@@ -1,0 +1,297 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"testing"
+)
+
+// windowStatus mirrors the standalone GET /window response shape (see
+// internal/server).
+type windowStatus struct {
+	Role    string `json:"role"`
+	Enabled bool   `json:"enabled"`
+	Window  *struct {
+		Slices     int `json:"slices"`
+		SliceTrees int `json:"slice_trees"`
+		Live       []struct {
+			Trees   int64 `json:"trees"`
+			Current bool  `json:"current"`
+		} `json:"live"`
+		LiveTrees    int64 `json:"live_trees"`
+		MergedTrees  int64 `json:"merged_trees"`
+		MergedSlices int   `json:"merged_slices"`
+		Advances     int64 `json:"advances"`
+		Expires      int64 `json:"expires"`
+		Rebuilds     int64 `json:"rebuilds"`
+	} `json:"window"`
+}
+
+// clusterWindowStatus mirrors the coordinator's GET /window response.
+type clusterWindowStatus struct {
+	Role    string `json:"role"`
+	Enabled bool   `json:"enabled"`
+	Policy  *struct {
+		Slices     int `json:"slices"`
+		SliceTrees int `json:"slice_trees"`
+	} `json:"policy"`
+	Shards []struct {
+		Shard   int             `json:"shard"`
+		URL     string          `json:"url"`
+		Enabled bool            `json:"enabled"`
+		Window  json.RawMessage `json:"window"`
+		Error   string          `json:"error"`
+	} `json:"shards"`
+}
+
+func getWindow(t *testing.T, base string) (windowStatus, []byte) {
+	t.Helper()
+	resp, err := http.Get(base + "/window")
+	if err != nil {
+		t.Fatalf("GET /window: %v", err)
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /window: status %d: %s", resp.StatusCode, raw)
+	}
+	var ws windowStatus
+	if err := json.Unmarshal(raw, &ws); err != nil {
+		t.Fatalf("decoding /window: %v", err)
+	}
+	return ws, raw
+}
+
+// TestWindowDaemonServe boots a windowed daemon through the real CLI
+// entry point (-window-slices 3 -window-every 8), streams 30 trees in
+// over HTTP so the ring seals three slices and expires the first, and
+// checks the serving surfaces agree on the lifecycle: /healthz and
+// /query report the live window (22 trees) and merged provenance (16
+// trees — the published merge from the seal at tree 24), GET /window
+// exposes the ring and its counters, and /metrics carries the window
+// gauges. WINDOW_STATUS_OUT persists the final GET /window JSON for
+// the CI artifact, mirroring CLUSTER_STATUS_OUT.
+func TestWindowDaemonServe(t *testing.T) {
+	d := startDaemon(t, append([]string{
+		"-window-slices", "3", "-window-every", "8",
+	}, shardArgs...)...)
+	base := "http://" + d.addr
+
+	if !strings.Contains(d.out.String(), "sliding window: 3 slices, advance every 8 trees") {
+		t.Errorf("startup output missing window line:\n%s", d.out.String())
+	}
+
+	// 30 trees: slices seal at 8, 16 and 24; the third seal fills the
+	// 3-slice ring and drops trees 1–8. Live = trees 9–30 (22 trees);
+	// the merged snapshot was last rebuilt at the seal (16 trees).
+	var b strings.Builder
+	b.WriteString("<forest>")
+	for i := 0; i < 30; i++ {
+		switch i % 3 {
+		case 0:
+			b.WriteString("<a><b/></a>")
+		case 1:
+			b.WriteString("<a><b/><c/></a>")
+		default:
+			b.WriteString("<a><c/></a>")
+		}
+	}
+	b.WriteString("</forest>")
+	resp, body := postJSON(t, base+"/ingest?forest=1", b.String())
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("forest ingest: status %d: %s", resp.StatusCode, body)
+	}
+
+	hresp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hbody, _ := io.ReadAll(hresp.Body)
+	hresp.Body.Close()
+	if !strings.Contains(string(hbody), `"trees":22`) {
+		t.Errorf("healthz should report the live window, not the landmark total: %s", hbody)
+	}
+
+	// Queries are answered from the published merge, with snapshot
+	// provenance: the answer covers exactly the merged trees.
+	resp, body = postJSON(t, base+"/query", `{"kind":"ordered","pattern":"a/b"}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("query: status %d: %s", resp.StatusCode, body)
+	}
+	var qr queryResult
+	if err := json.Unmarshal(body, &qr); err != nil {
+		t.Fatal(err)
+	}
+	if !qr.Snapshot || qr.SnapshotTrees != 16 {
+		t.Errorf("query provenance: snapshot=%v trees=%d, want snapshot over 16 trees: %s",
+			qr.Snapshot, qr.SnapshotTrees, body)
+	}
+
+	ws, raw := getWindow(t, base)
+	if ws.Role != "standalone" || !ws.Enabled || ws.Window == nil {
+		t.Fatalf("GET /window: %s", raw)
+	}
+	w := ws.Window
+	if w.Slices != 3 || w.SliceTrees != 8 {
+		t.Errorf("policy drifted: %s", raw)
+	}
+	if len(w.Live) != 3 || w.LiveTrees != 22 {
+		t.Errorf("live ring: %d slices / %d trees, want 3 / 22: %s", len(w.Live), w.LiveTrees, raw)
+	}
+	// The seal's rebuild merges all three live slices — the two sealed
+	// ones plus the freshly opened (still empty) current slice.
+	if w.MergedTrees != 16 || w.MergedSlices != 3 {
+		t.Errorf("merged provenance: %d trees / %d slices, want 16 / 3: %s",
+			w.MergedTrees, w.MergedSlices, raw)
+	}
+	if w.Advances != 3 || w.Expires != 1 {
+		t.Errorf("lifecycle counters: advances=%d expires=%d, want 3/1: %s", w.Advances, w.Expires, raw)
+	}
+
+	mresp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mbody, _ := io.ReadAll(mresp.Body)
+	mresp.Body.Close()
+	for _, metric := range []string{
+		"sketchtree_window_slices_live 3",
+		"sketchtree_window_advances_total 3",
+		"sketchtree_window_expires_total 1",
+	} {
+		if !strings.Contains(string(mbody), metric) {
+			t.Errorf("metrics missing %q", metric)
+		}
+	}
+
+	// CI artifact: persist the final window status when asked to.
+	if out := os.Getenv("WINDOW_STATUS_OUT"); out != "" {
+		var pretty bytes.Buffer
+		if err := json.Indent(&pretty, raw, "", "  "); err != nil {
+			t.Fatal(err)
+		}
+		pretty.WriteByte('\n')
+		if err := os.WriteFile(out, pretty.Bytes(), 0o644); err != nil {
+			t.Fatalf("writing %s: %v", out, err)
+		}
+		t.Logf("wrote window status to %s", out)
+	}
+}
+
+// TestWindowDaemonLandmark checks GET /window on a daemon without
+// window flags reports disabled rather than erroring.
+func TestWindowDaemonLandmark(t *testing.T) {
+	d := startDaemon(t, shardArgs...)
+	ws, raw := getWindow(t, "http://"+d.addr)
+	if ws.Enabled || ws.Window != nil {
+		t.Errorf("landmark daemon reports a window: %s", raw)
+	}
+}
+
+// TestWindowDaemonCluster checks the coordinator's GET /window
+// aggregation: the configured policy as provenance plus each shard's
+// window section fetched over the shard's own GET /window.
+func TestWindowDaemonCluster(t *testing.T) {
+	sh := startDaemon(t, append([]string{
+		"-role", "shard", "-window-slices", "3", "-window-every", "4",
+	}, shardArgs...)...)
+	co := startDaemon(t, append([]string{
+		"-role", "coordinator",
+		"-shards", "http://" + sh.addr,
+		"-pull-every", "50ms",
+		"-window-slices", "3", "-window-every", "4",
+	}, shardArgs...)...)
+	base := "http://" + co.addr
+
+	// Route enough trees through the coordinator for the single shard's
+	// ring to advance at least once.
+	for _, doc := range clusterCorpus(6) {
+		resp, body := postJSON(t, base+"/ingest", doc)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("routed ingest: status %d: %s", resp.StatusCode, body)
+		}
+	}
+
+	resp, err := http.Get(base + "/window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("coordinator GET /window: status %d: %s", resp.StatusCode, raw)
+	}
+	var cw clusterWindowStatus
+	if err := json.Unmarshal(raw, &cw); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Role != "coordinator" || !cw.Enabled {
+		t.Fatalf("coordinator window status: %s", raw)
+	}
+	if cw.Policy == nil || cw.Policy.Slices != 3 || cw.Policy.SliceTrees != 4 {
+		t.Errorf("policy provenance: %s", raw)
+	}
+	if len(cw.Shards) != 1 {
+		t.Fatalf("want 1 shard section: %s", raw)
+	}
+	st := cw.Shards[0]
+	if !st.Enabled || st.Error != "" || st.Window == nil {
+		t.Errorf("shard window section: %s", raw)
+	}
+	if st.URL != "http://"+sh.addr {
+		t.Errorf("shard URL %q, want %q", st.URL, "http://"+sh.addr)
+	}
+
+	// Degradation: with the shard gone the coordinator still answers,
+	// carrying the fetch error instead of a window section.
+	sh.stop(t)
+	resp, err = http.Get(base + "/window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /window after shard loss: status %d", resp.StatusCode)
+	}
+	if err := json.Unmarshal(raw, &cw); err != nil {
+		t.Fatal(err)
+	}
+	if cw.Enabled || len(cw.Shards) != 1 || cw.Shards[0].Error == "" {
+		t.Errorf("shard loss should degrade to a per-shard error: %s", raw)
+	}
+}
+
+// TestWindowDaemonFlagErrors checks the window flag combinations that
+// must fail fast, and that a valid combination boots.
+func TestWindowDaemonFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"cadence-less", []string{"-window-slices", "3"}, "advance cadence"},
+		{"slices-less", []string{"-window-every", "8"}, "-window-slices"},
+		{"age-slices-less", []string{"-window-age", "1s"}, "-window-slices"},
+		{"topk", []string{"-window-slices", "3", "-window-every", "8", "-topk", "4"}, "-topk 0"},
+		{"snapshots", []string{"-window-slices", "3", "-window-every", "8", "-topk", "0",
+			"-snapshot-every", "10"}, "mutually exclusive"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out bytes.Buffer
+			err := run(context.Background(), append([]string{"-addr", "127.0.0.1:0"}, tc.args...), &out)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("args %v: error %v, want mention of %q", tc.args, err, tc.want)
+			}
+		})
+	}
+}

@@ -1,9 +1,13 @@
 package sketchtree
 
 import (
+	"fmt"
 	"io"
 	"sync"
 	"sync/atomic"
+
+	"sketchtree/internal/obs"
+	"sketchtree/internal/window"
 )
 
 // Safe wraps a SketchTree for concurrent use: updates take the write
@@ -29,6 +33,18 @@ type Safe struct {
 	snapMu       sync.Mutex
 	snapStop     chan struct{}
 	snapDone     chan struct{}
+
+	// Sliding-window serving (see window.go). win is non-nil while the
+	// window is enabled: updates route into its slice ring and reads
+	// into its published merged engine. winServing caches the SketchTree
+	// wrapper per published generation; winMu serializes
+	// Enable/Disable; winStop/winDone bracket the clock-cadence
+	// advancer goroutine.
+	win        atomic.Pointer[window.Windowed]
+	winServing atomic.Pointer[winServing]
+	winMu      sync.Mutex
+	winStop    chan struct{}
+	winDone    chan struct{}
 }
 
 // NewSafe creates a concurrency-safe SketchTree.
@@ -50,10 +66,14 @@ func RestoreSafe(data []byte) (*Safe, error) {
 	return &Safe{st: st}, nil
 }
 
-// AddTree folds one tree into the synopsis.
+// AddTree folds one tree into the synopsis (into the current window
+// slice while the window is enabled).
 func (s *Safe) AddTree(t *Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if w := s.win.Load(); w != nil {
+		return w.Add(t)
+	}
 	if err := s.st.AddTree(t); err != nil {
 		return err
 	}
@@ -61,10 +81,15 @@ func (s *Safe) AddTree(t *Tree) error {
 	return nil
 }
 
-// RemoveTree deletes one earlier occurrence of the tree.
+// RemoveTree deletes one earlier occurrence of the tree (from the
+// current window slice while the window is enabled — a document that
+// has rotated into an older slice leaves by expiry, not deletion).
 func (s *Safe) RemoveTree(t *Tree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if w := s.win.Load(); w != nil {
+		return w.Remove(t)
+	}
 	if err := s.st.RemoveTree(t); err != nil {
 		return err
 	}
@@ -98,8 +123,7 @@ func (s *Safe) AddXMLForest(r io.Reader) error {
 // /ingest?forest=1 error body in internal/server).
 func (s *Safe) AddXMLForestCount(r io.Reader) (int64, error) {
 	var applied int64
-	//lint:allow lockdiscipline Metrics() hands out the engine's atomic counter block, never mutable sketch state; each AddTree locks per tree
-	err := streamForestTimed(s.st.e.Metrics(), r, func(t *Tree) error {
+	err := streamForestTimed(s.ingestMetrics(), r, func(t *Tree) error {
 		if err := s.AddTree(t); err != nil {
 			return err
 		}
@@ -109,19 +133,39 @@ func (s *Safe) AddXMLForestCount(r io.Reader) (int64, error) {
 	return applied, err
 }
 
+// ingestMetrics returns the sink producers should attribute parse time
+// to: the window's persistent serving metrics while the window is
+// enabled, the live engine's otherwise. Both are atomic counter
+// blocks, never mutable sketch state, so no lock is needed.
+func (s *Safe) ingestMetrics() *obs.Metrics {
+	if w := s.win.Load(); w != nil {
+		return w.Metrics()
+	}
+	return s.st.e.Metrics()
+}
+
 // EnableMetrics switches stage timers and query-latency measurement on
 // or off (see SketchTree.EnableMetrics).
 func (s *Safe) EnableMetrics(on bool) {
 	// The metrics flag is itself atomic; no lock needed.
 	//lint:allow lockdiscipline EnableMetrics only flips the obs layer's atomic flag; taking s.mu would stall behind long updates for nothing
 	s.st.EnableMetrics(on)
+	if w := s.win.Load(); w != nil {
+		w.EnableTimers(on)
+	}
 }
 
-// Stats reads the observability snapshot. The counters are atomics, so
-// no lock is taken: Stats never blocks behind a long update.
-//
-//lint:allow lockdiscipline Stats reads only the obs layer's atomic counters; lock-freedom is the documented point of the method
-func (s *Safe) Stats() Stats { return s.st.Stats() }
+// Stats reads the observability snapshot (the merged window engine's,
+// with the Window section attached, while the window is enabled). The
+// counters are atomics, so no lock is taken: Stats never blocks behind
+// a long update.
+func (s *Safe) Stats() Stats {
+	if w := s.win.Load(); w != nil {
+		return w.Stats()
+	}
+	//lint:allow lockdiscipline Stats reads only the obs layer's atomic counters; lock-freedom is the documented point of the method
+	return s.st.Stats()
+}
 
 // Merge folds a plain SketchTree's synopsis into this one under the
 // write lock — the fan-in half of parallel ingestion (see Ingestor and
@@ -131,6 +175,9 @@ func (s *Safe) Stats() Stats { return s.st.Stats() }
 func (s *Safe) Merge(o *SketchTree) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if w := s.win.Load(); w != nil {
+		return w.Absorb(o.e)
+	}
 	if err := s.st.Merge(o); err != nil {
 		return err
 	}
@@ -199,18 +246,27 @@ func (s *Safe) CountOrderedSetWithError(qs []*Node) (Estimate, error) {
 }
 
 // HealthReport diagnoses the synopsis under the read lock (it reads
-// the sketch counters, unlike the lock-free Stats).
+// the sketch counters, unlike the lock-free Stats). While the window
+// is enabled it diagnoses the published merged engine, lock-free (the
+// merge is frozen).
 func (s *Safe) HealthReport() HealthReport {
+	if w := s.win.Load(); w != nil {
+		return w.HealthReport()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.HealthReport()
 }
 
 // EnableAudit attaches the exact-shadow auditor; must run before any
-// tree is added.
+// tree is added, and is mutually exclusive with window serving (the
+// auditor's sample has no well-defined union across slices).
 func (s *Safe) EnableAudit(k int) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.win.Load() != nil {
+		return fmt.Errorf("sketchtree: audit and window serving are mutually exclusive")
+	}
 	return s.st.EnableAudit(k)
 }
 
@@ -249,22 +305,35 @@ func (s *Safe) CountExtended(q *ExtQuery) (float64, bool, error) {
 	return s.st.CountExtended(q)
 }
 
-// TreesProcessed returns the number of trees folded in.
+// TreesProcessed returns the number of trees folded in (live inside
+// the window, while the window is enabled).
 func (s *Safe) TreesProcessed() int64 {
+	if w := s.win.Load(); w != nil {
+		return w.Trees()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.TreesProcessed()
 }
 
-// PatternsProcessed returns the one-dimensional stream length.
+// PatternsProcessed returns the one-dimensional stream length (live
+// inside the window, while the window is enabled).
 func (s *Safe) PatternsProcessed() int64 {
+	if w := s.win.Load(); w != nil {
+		return w.Patterns()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.PatternsProcessed()
 }
 
-// MemoryBytes reports the synopsis footprint.
+// MemoryBytes reports the synopsis footprint (the merged window
+// engine's, while the window is enabled; each live slice adds roughly
+// the same again).
 func (s *Safe) MemoryBytes() Memory {
+	if w := s.win.Load(); w != nil {
+		return w.MemoryBytes()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.MemoryBytes()
@@ -316,8 +385,14 @@ func (s *Safe) Config() Config {
 	return s.st.Config()
 }
 
-// MarshalBinary serializes the synopsis under the read lock.
+// MarshalBinary serializes the synopsis under the read lock. While the
+// window is enabled it serializes the published merged window,
+// lock-free — the windowed shard's half of the cluster pull protocol,
+// trailing the live ring by at most the rebuild cadence.
 func (s *Safe) MarshalBinary() ([]byte, error) {
+	if w := s.win.Load(); w != nil {
+		return w.MarshalBinary()
+	}
 	s.mu.RLock()
 	defer s.mu.RUnlock()
 	return s.st.MarshalBinary()

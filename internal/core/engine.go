@@ -527,6 +527,21 @@ func (e *Engine) SetObserver(fn func(v uint64, p *enum.Pattern)) { e.observer = 
 // engine updates.
 func (e *Engine) Metrics() *obs.Metrics { return e.met }
 
+// SetMetrics replaces the engine's observability sink. Clone shares the
+// source's Metrics by default; the sliding-window engine uses this hook
+// to give each slice engine its own counters and to let the merged
+// serving engine report through one persistent Metrics across rebuilds.
+// The engine must be quiescent: swapping the sink while an update or
+// query is in flight would split its accounting across two sinks. The
+// observability layer is process-local state and is never serialized,
+// so the swap cannot affect synopsis bytes or estimates.
+func (e *Engine) SetMetrics(m *obs.Metrics) {
+	if m == nil {
+		m = &obs.Metrics{}
+	}
+	e.met = m
+}
+
 // Stats reads the engine's observability snapshot. Unlike
 // TreesProcessed/PatternsProcessed it is safe to call concurrently
 // with updates (the counters are atomics) and additionally carries

@@ -20,6 +20,7 @@ type snapshotJSON struct {
 	Health        *healthJSON          `json:"health,omitempty"`
 	Audit         *auditJSON           `json:"audit,omitempty"`
 	Plans         *planCacheJSON       `json:"plan_cache,omitempty"`
+	Window        *WindowSnapshot      `json:"window,omitempty"`
 }
 
 type planCacheJSON struct {
@@ -114,6 +115,7 @@ func (s Snapshot) MarshalJSON() ([]byte, error) {
 			Misses:   p.Misses,
 		}
 	}
+	doc.Window = s.Window
 	if a := s.Audit; a != nil {
 		doc.Audit = &auditJSON{
 			Capacity:   a.Capacity,
@@ -196,7 +198,24 @@ func PromHandler(snap func() Snapshot) http.Handler {
 		if a := s.Audit; a != nil {
 			writeAuditProm(w, a)
 		}
+		if ws := s.Window; ws != nil {
+			writeWindowProm(w, ws)
+		}
 	})
+}
+
+// writeWindowProm renders the sliding-window families: ring occupancy
+// and merged-state freshness as gauges, the lifecycle totals as
+// counters.
+func writeWindowProm(w io.Writer, ws *WindowSnapshot) {
+	fmt.Fprintf(w, "# HELP sketchtree_window_slices_live Live slices in the window ring.\n# TYPE sketchtree_window_slices_live gauge\nsketchtree_window_slices_live %d\n", len(ws.Live))
+	fmt.Fprintf(w, "# HELP sketchtree_window_slices Configured window ring capacity.\n# TYPE sketchtree_window_slices gauge\nsketchtree_window_slices %d\n", ws.Slices)
+	fmt.Fprintf(w, "# HELP sketchtree_window_trees_live Trees currently inside the window, summed across live slices.\n# TYPE sketchtree_window_trees_live gauge\nsketchtree_window_trees_live %d\n", ws.LiveTrees)
+	fmt.Fprintf(w, "# HELP sketchtree_window_merged_trees Trees covered by the published merged window state.\n# TYPE sketchtree_window_merged_trees gauge\nsketchtree_window_merged_trees %d\n", ws.MergedTrees)
+	fmt.Fprintf(w, "# HELP sketchtree_window_merged_age_seconds Age of the published merged window state.\n# TYPE sketchtree_window_merged_age_seconds gauge\nsketchtree_window_merged_age_seconds %s\n", formatSeconds(ws.MergedAgeMS*1e6))
+	fmt.Fprintf(w, "# HELP sketchtree_window_advances_total Slices sealed (window advances).\n# TYPE sketchtree_window_advances_total counter\nsketchtree_window_advances_total %d\n", ws.Advances)
+	fmt.Fprintf(w, "# HELP sketchtree_window_expires_total Slices dropped off the ring (expiries).\n# TYPE sketchtree_window_expires_total counter\nsketchtree_window_expires_total %d\n", ws.Expires)
+	fmt.Fprintf(w, "# HELP sketchtree_window_rebuilds_total Merged window states published.\n# TYPE sketchtree_window_rebuilds_total counter\nsketchtree_window_rebuilds_total %d\n", ws.Rebuilds)
 }
 
 // writePlanCacheProm renders the query-plan cache families.

@@ -352,6 +352,36 @@ type PlanCacheSnapshot struct {
 	Misses   int64 // lookups that computed the plan
 }
 
+// WindowSliceSnapshot is one live slice's occupancy and age in the
+// sliding-window section.
+type WindowSliceSnapshot struct {
+	Trees    int64 `json:"trees"`    // trees in this slice (net of removals)
+	Patterns int64 `json:"patterns"` // pattern occurrences in this slice
+	AgeMS    int64 `json:"age_ms"`   // slice age (now − slice start)
+	Current  bool  `json:"current"`  // true for the slice receiving updates
+}
+
+// WindowSnapshot is the sliding-window section of a Snapshot: the
+// policy, the live ring (oldest first), the published merged state's
+// provenance, and the lifecycle counters. Produced by the window
+// engine; nil on landmark (non-windowed) engines.
+type WindowSnapshot struct {
+	Slices     int   `json:"slices"`                 // ring capacity
+	SliceTrees int   `json:"slice_trees,omitempty"`  // count cadence (0 = off)
+	SliceDurMS int64 `json:"slice_dur_ms,omitempty"` // clock cadence (0 = off)
+
+	Live      []WindowSliceSnapshot `json:"live"`       // live slices, oldest first
+	LiveTrees int64                 `json:"live_trees"` // Σ Live[i].Trees
+
+	MergedTrees  int64 `json:"merged_trees"`  // trees the published merge covers
+	MergedSlices int   `json:"merged_slices"` // slices merged into it
+	MergedAgeMS  int64 `json:"merged_age_ms"` // age of the published merge
+
+	Advances int64 `json:"advances"` // slices sealed
+	Expires  int64 `json:"expires"`  // slices dropped off the ring
+	Rebuilds int64 `json:"rebuilds"` // merged states published
+}
+
 // Snapshot is a point-in-time read of a Metrics value (see the package
 // comment for its consistency contract).
 type Snapshot struct {
@@ -364,12 +394,13 @@ type Snapshot struct {
 	Stages  [NumStages]StageSnapshot
 	Queries QuerySnapshot
 
-	// Health, Audit and Plans are attached by the engine (they read
-	// engine structures, not Metrics); nil when the producing layer does
-	// not collect them.
+	// Health, Audit, Plans and Window are attached by the engine (they
+	// read engine structures, not Metrics); nil when the producing
+	// layer does not collect them.
 	Health *HealthSnapshot
 	Audit  *AuditSnapshot
 	Plans  *PlanCacheSnapshot
+	Window *WindowSnapshot
 }
 
 // Snapshot reads the current totals. Safe to call concurrently with
@@ -421,6 +452,11 @@ func (s *Snapshot) Add(o Snapshot) {
 		s.Audit = o.Audit
 	}
 	s.Plans = mergePlans(s.Plans, o.Plans)
+	// Window sections have no meaningful union (each describes one
+	// engine's ring); keep the first one seen, like Audit.
+	if s.Window == nil {
+		s.Window = o.Window
+	}
 }
 
 // mergePlans folds two plan-cache sections: hit/miss totals and entry

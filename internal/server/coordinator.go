@@ -62,6 +62,7 @@ func NewCoordinator(puller *cluster.Puller, fallback *sketchtree.SketchTree, met
 	co.mux.HandleFunc("POST /ingest", co.handleIngest)
 	co.mux.HandleFunc("POST /query", co.handleQuery)
 	co.mux.HandleFunc("GET /cluster", co.handleCluster)
+	co.mux.HandleFunc("GET /window", co.handleWindow)
 	co.mux.HandleFunc("GET /healthz", co.handleHealthz)
 	co.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(co.engineStats))
 	co.mux.HandleFunc("GET /metrics", co.handleMetrics)
@@ -303,6 +304,81 @@ func (co *Coordinator) clusterStatus() clusterResponse {
 
 func (co *Coordinator) handleCluster(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, co.clusterStatus())
+}
+
+// clusterWindowResponse is the coordinator's GET /window body: the
+// policy the coordinator was configured with (provenance — shards
+// enforce their own) and every shard's window section, fetched
+// best-effort over GET /window. An unreachable shard contributes its
+// error instead of failing the whole response, mirroring /cluster's
+// degradation semantics.
+type clusterWindowResponse struct {
+	Role    string             `json:"role"`
+	Enabled bool               `json:"enabled"` // any shard reported a window
+	Policy  *windowPolicyJSON  `json:"policy,omitempty"`
+	Shards  []shardWindowState `json:"shards"`
+}
+
+// windowPolicyJSON is the configured window policy's provenance form.
+type windowPolicyJSON struct {
+	Slices     int   `json:"slices"`
+	SliceTrees int   `json:"slice_trees,omitempty"`
+	SliceDurMS int64 `json:"slice_dur_ms,omitempty"`
+}
+
+// shardWindowState is one shard's window section within the
+// coordinator's GET /window.
+type shardWindowState struct {
+	Shard   int                 `json:"shard"`
+	URL     string              `json:"url"`
+	Enabled bool                `json:"enabled"`
+	Window  *obs.WindowSnapshot `json:"window,omitempty"`
+	Error   string              `json:"error,omitempty"`
+}
+
+func (co *Coordinator) handleWindow(w http.ResponseWriter, r *http.Request) {
+	resp := clusterWindowResponse{Role: co.opts.Role}
+	if p := co.opts.Window; p != nil {
+		resp.Policy = &windowPolicyJSON{
+			Slices:     p.Slices,
+			SliceTrees: p.SliceTrees,
+			SliceDurMS: p.SliceDur.Milliseconds(),
+		}
+	}
+	for i := range co.puller.Status() {
+		st := shardWindowState{Shard: i, URL: co.puller.ShardURL(i)}
+		if err := co.fetchShardWindow(r.Context(), &st); err != nil {
+			st.Error = err.Error()
+		}
+		if st.Enabled {
+			resp.Enabled = true
+		}
+		resp.Shards = append(resp.Shards, st)
+	}
+	writeJSON(w, resp)
+}
+
+// fetchShardWindow fills st from the shard's GET /window.
+func (co *Coordinator) fetchShardWindow(ctx context.Context, st *shardWindowState) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, st.URL+"/window", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := co.client.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("shard answered %s", resp.Status)
+	}
+	var body windowResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, maxQueryBody)).Decode(&body); err != nil {
+		return fmt.Errorf("decoding shard response: %w", err)
+	}
+	st.Enabled = body.Enabled
+	st.Window = body.Window
+	return nil
 }
 
 func (co *Coordinator) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -69,6 +69,13 @@ type Options struct {
 	// Role labels logs, traces and pprof samples ("standalone",
 	// "shard", "coordinator"). Default "standalone".
 	Role string
+
+	// Window records the sliding-window policy the daemon was
+	// configured with — provenance for the coordinator's GET /window
+	// aggregation (shards enforce their own policy through
+	// Safe.EnableWindow; this field does not enable anything). Nil when
+	// no window was requested.
+	Window *sketchtree.WindowPolicy
 }
 
 const (
@@ -146,6 +153,7 @@ func New(safe *sketchtree.Safe, opts Options) *Server {
 	s.mux.HandleFunc("POST /ingest", s.handleIngest)
 	s.mux.HandleFunc("GET /synopsis", s.handleSynopsis)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /window", s.handleWindow)
 	s.mux.Handle("GET /stats", sketchtree.StatsJSONHandler(safe.Stats))
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.Handle("GET /debug/requests", s.opts.Trace.Handler())
@@ -316,6 +324,28 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		resp.Snapshot = true
 		resp.SnapshotTrees = trees
 		resp.SnapshotAgeMS = age.Milliseconds()
+	}
+	writeJSON(w, resp)
+}
+
+// windowResponse is the GET /window body: whether sliding-window
+// serving is on and, if so, the full window section — policy, live
+// ring, merged provenance and lifecycle counters. Mirrors GET /cluster
+// as the mode's provenance endpoint; the coordinator decodes the same
+// struct when aggregating shards.
+type windowResponse struct {
+	Role    string              `json:"role"`
+	Enabled bool                `json:"enabled"`
+	Window  *obs.WindowSnapshot `json:"window,omitempty"`
+}
+
+// handleWindow serves the sliding-window provenance. Like /stats it
+// reads only published atomics, so it bypasses the request limiter.
+func (s *Server) handleWindow(w http.ResponseWriter, r *http.Request) {
+	resp := windowResponse{Role: s.opts.Role}
+	if ws, ok := s.safe.WindowStats(); ok {
+		resp.Enabled = true
+		resp.Window = ws
 	}
 	writeJSON(w, resp)
 }

@@ -68,6 +68,9 @@ func (s *Safe) EnableSnapshots(p SnapshotPolicy) error {
 	if s.snapEvery.Load() != 0 {
 		return fmt.Errorf("sketchtree: snapshots already enabled")
 	}
+	if s.win.Load() != nil {
+		return fmt.Errorf("sketchtree: snapshot serving and window serving are mutually exclusive (the window publishes its own merged snapshot)")
+	}
 	s.mu.RLock()
 	err := s.refreshLocked()
 	s.mu.RUnlock()
@@ -120,9 +123,16 @@ func (s *Safe) RefreshSnapshot() error {
 func (s *Safe) SnapshotTree() *SketchTree { return s.snapshotTree() }
 
 // SnapshotStats reports the served snapshot's provenance: the number
-// of trees it covers and its age. ok is false when snapshot serving is
-// off.
+// of trees it covers and its age. While the window is enabled it
+// reports the published merged window (which serves reads through the
+// same frozen-state path). ok is false when neither is on.
 func (s *Safe) SnapshotStats() (trees int64, age time.Duration, ok bool) {
+	if w := s.win.Load(); w != nil {
+		if m := w.Merged(); m != nil {
+			return m.Trees, time.Since(m.Built), true
+		}
+		return 0, 0, false
+	}
 	if s.snapEvery.Load() == 0 {
 		return 0, 0, false
 	}
@@ -134,8 +144,13 @@ func (s *Safe) SnapshotStats() (trees int64, age time.Duration, ok bool) {
 }
 
 // snapshotTree gates the lock-free read path: non-nil only while
-// snapshot serving is enabled and a snapshot is published.
+// snapshot serving or window serving is enabled and a frozen state is
+// published. The two modes are mutually exclusive, so at most one
+// branch fires.
 func (s *Safe) snapshotTree() *SketchTree {
+	if st := s.windowTree(); st != nil {
+		return st
+	}
 	if s.snapEvery.Load() == 0 {
 		return nil
 	}

@@ -1,0 +1,495 @@
+package sketchtree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand/v2"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// windowEquivDocs is the document pool the random interleavings draw
+// from: small labeled trees with enough shape variety that slice
+// contents differ.
+var windowEquivDocs = []string{
+	"<a><b/><c/></a>",
+	"<a><b/><b/></a>",
+	"<a><c/><b/></a>",
+	"<a><b><d/></b></a>",
+	"<d><a><b/></a></d>",
+	"<a><c/><c/><b/></a>",
+	"<b><d/><d/></b>",
+	"<a><a><b/></a><c/></a>",
+}
+
+// windowMirror replays the Windowed engine's advance rules over plain
+// document lists, so the test can compute which documents are live
+// without asking the engine under test.
+type windowMirror struct {
+	slices     [][]string
+	capacity   int
+	sliceTrees int
+}
+
+func newWindowMirror(capacity, sliceTrees int) *windowMirror {
+	return &windowMirror{slices: [][]string{nil}, capacity: capacity, sliceTrees: sliceTrees}
+}
+
+func (m *windowMirror) add(doc string) {
+	cur := len(m.slices) - 1
+	m.slices[cur] = append(m.slices[cur], doc)
+	if m.sliceTrees > 0 && len(m.slices[cur]) >= m.sliceTrees {
+		m.advance()
+	}
+}
+
+func (m *windowMirror) advance() {
+	if len(m.slices) >= m.capacity {
+		m.slices = m.slices[len(m.slices)-m.capacity+1:]
+	}
+	m.slices = append(m.slices, nil)
+}
+
+func (m *windowMirror) live() []string {
+	var out []string
+	for _, sl := range m.slices {
+		out = append(out, sl...)
+	}
+	return out
+}
+
+// TestWindowEquivalenceRandom is the windowed-vs-fresh equivalence
+// suite: across 120 seeded random interleavings of AddXML, manual
+// advances and queries, the merged window state must be bit-identical
+// — synopsis bytes and float64 estimates compared with ==, never
+// approximately — to a fresh landmark engine fed only the live-slice
+// documents. This is the same determinism contract the cluster merge
+// pins: AMS synopses are linear, so the cell-wise sum of the live
+// slices IS the synopsis of the live documents.
+func TestWindowEquivalenceRandom(t *testing.T) {
+	const seeds = 120
+	for seed := uint64(0); seed < seeds; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewPCG(seed, 0))
+
+			cfg := testConfig()
+			cfg.S1 = 40
+			cfg.S2 = 5
+			cfg.Seed = 1000 + seed
+
+			pol := WindowPolicy{
+				Slices:            1 + rng.IntN(4),
+				RefreshEveryTrees: -1, // checkpoints call RefreshWindow explicitly
+			}
+			if rng.IntN(3) > 0 { // 2/3 of seeds use a count cadence
+				pol.SliceTrees = 2 + rng.IntN(4)
+			}
+
+			safe, err := NewSafe(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := safe.EnableWindow(pol); err != nil {
+				t.Fatal(err)
+			}
+			defer safe.DisableWindow()
+			mirror := newWindowMirror(pol.Slices, pol.SliceTrees)
+
+			ops := 20 + rng.IntN(25)
+			for op := 0; op < ops; op++ {
+				switch {
+				case rng.IntN(10) < 7: // ingest
+					doc := windowEquivDocs[rng.IntN(len(windowEquivDocs))]
+					if err := safe.AddXML(strings.NewReader(doc)); err != nil {
+						t.Fatal(err)
+					}
+					mirror.add(doc)
+				case rng.IntN(2) == 0: // manual advance
+					if err := safe.AdvanceWindow(); err != nil {
+						t.Fatal(err)
+					}
+					mirror.advance()
+				default: // checkpoint: full equivalence check mid-stream
+					checkWindowEquivalence(t, safe, cfg, mirror)
+				}
+			}
+			checkWindowEquivalence(t, safe, cfg, mirror)
+		})
+	}
+}
+
+// checkWindowEquivalence asserts the windowed Safe's published state is
+// bit-identical to a fresh engine fed mirror's live documents.
+func checkWindowEquivalence(t *testing.T, safe *Safe, cfg Config, mirror *windowMirror) {
+	t.Helper()
+	if err := safe.RefreshWindow(); err != nil {
+		t.Fatal(err)
+	}
+	live := mirror.live()
+	fresh, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, doc := range live {
+		if err := fresh.AddXML(strings.NewReader(doc)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	if got, want := safe.TreesProcessed(), fresh.TreesProcessed(); got != want {
+		t.Fatalf("windowed TreesProcessed = %d, fresh fed live docs = %d", got, want)
+	}
+	gotBytes, err := safe.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantBytes, err := fresh.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotBytes, wantBytes) {
+		t.Fatalf("synopsis bytes differ after %d live docs (windowed %d bytes, fresh %d bytes)",
+			len(live), len(gotBytes), len(wantBytes))
+	}
+
+	queries := []*Node{
+		Pattern("a", Pattern("b")),
+		Pattern("a", Pattern("c")),
+		Pattern("a", Pattern("b"), Pattern("c")),
+		Pattern("b", Pattern("d")),
+	}
+	for _, q := range queries {
+		got, err := safe.CountOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := fresh.CountOrdered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("CountOrdered(%v) = %v, fresh %v (must be ==)", q, got, want)
+		}
+		gotU, err := safe.CountUnordered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantU, err := fresh.CountUnordered(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotU != wantU {
+			t.Fatalf("CountUnordered(%v) = %v, fresh %v (must be ==)", q, gotU, wantU)
+		}
+		gotE, err := safe.CountOrderedWithError(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantE, err := fresh.CountOrderedWithError(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotE.Value != wantE.Value || gotE.StdErr != wantE.StdErr || gotE.CI95 != wantE.CI95 {
+			t.Fatalf("CountOrderedWithError(%v) = %+v, fresh %+v (must be ==)", q, gotE, wantE)
+		}
+	}
+	gotSet, err := safe.CountOrderedSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSet, err := fresh.CountOrderedSet(queries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSet != wantSet {
+		t.Fatalf("CountOrderedSet = %v, fresh %v (must be ==)", gotSet, wantSet)
+	}
+}
+
+// TestSafeWindowChurnUnderIngest hammers a windowed Safe with
+// concurrent writers, readers and advance/refresh churn while the
+// clock-cadence ticker runs, then checks that DisableWindow leaves no
+// goroutines behind. Run under -race in CI.
+func TestSafeWindowChurnUnderIngest(t *testing.T) {
+	base := runtime.NumGoroutine()
+
+	cfg := testConfig()
+	cfg.S1 = 25
+	cfg.S2 = 5
+	safe, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := safe.EnableWindow(WindowPolicy{
+		Slices:            4,
+		SliceTrees:        16,
+		SliceDur:          5 * time.Millisecond,
+		RefreshEveryTrees: 8,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	var failed atomic.Bool
+	var failMsg atomic.Value
+	fail := func(format string, args ...any) {
+		if failed.CompareAndSwap(false, true) {
+			failMsg.Store(fmt.Sprintf(format, args...))
+		}
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				doc := windowEquivDocs[i%len(windowEquivDocs)]
+				if err := safe.AddXML(strings.NewReader(doc)); err != nil {
+					fail("AddXML: %v", err)
+					return
+				}
+				i++
+			}
+		}()
+	}
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			q := Pattern("a", Pattern("b"))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := safe.CountOrdered(q); err != nil {
+					fail("CountOrdered: %v", err)
+					return
+				}
+				if ws, ok := safe.WindowStats(); !ok {
+					fail("WindowStats reported disabled mid-run")
+					return
+				} else if ws.LiveTrees < 0 {
+					fail("negative live trees: %d", ws.LiveTrees)
+					return
+				}
+				_ = safe.Stats()
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() { // advance/refresh churn alongside the ticker
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				err = safe.AdvanceWindow()
+			} else {
+				err = safe.RefreshWindow()
+			}
+			if err != nil {
+				fail("churn: %v", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+
+	time.Sleep(250 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	safe.DisableWindow()
+
+	if failed.Load() {
+		t.Fatal(failMsg.Load())
+	}
+	if safe.WindowEnabled() {
+		t.Error("window still enabled after DisableWindow")
+	}
+
+	// The ticker goroutine must be joined; give the runtime a moment to
+	// retire worker goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base+2 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if n := runtime.NumGoroutine(); n > base+2 {
+		buf := make([]byte, 1<<20)
+		t.Fatalf("goroutine leak after DisableWindow: %d > %d\n%s",
+			n, base+2, buf[:runtime.Stack(buf, true)])
+	}
+}
+
+// TestWindowRejections pins the Enable-time validation: configurations
+// that break the slice merge must be rejected with a clear error, and
+// the mutually exclusive serving modes must refuse each other in both
+// orders.
+func TestWindowRejections(t *testing.T) {
+	pol := WindowPolicy{Slices: 2, SliceTrees: 4}
+
+	t.Run("topk", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.TopK = 8
+		safe, err := NewSafe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = safe.EnableWindow(pol)
+		if err == nil {
+			t.Fatal("TopK != 0 must be rejected")
+		}
+		if !strings.Contains(err.Error(), "TopK") {
+			t.Errorf("error must name TopK: %v", err)
+		}
+	})
+
+	t.Run("track-exact", func(t *testing.T) {
+		cfg := testConfig()
+		cfg.TrackExact = true
+		safe, err := NewSafe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = safe.EnableWindow(pol)
+		if err == nil {
+			t.Fatal("TrackExact must be rejected")
+		}
+		if !strings.Contains(err.Error(), "TrackExact") {
+			t.Errorf("error must name TrackExact: %v", err)
+		}
+	})
+
+	t.Run("audit-then-window", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableAudit(4); err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err == nil {
+			t.Fatal("attached auditor must be rejected")
+		}
+	})
+
+	t.Run("window-then-audit", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err != nil {
+			t.Fatal(err)
+		}
+		defer safe.DisableWindow()
+		if err := safe.EnableAudit(4); err == nil {
+			t.Fatal("EnableAudit while windowed must be rejected")
+		}
+	})
+
+	t.Run("nonzero-trees", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.AddXML(strings.NewReader("<a><b/></a>")); err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err == nil {
+			t.Fatal("non-empty synopsis must be rejected")
+		}
+	})
+
+	t.Run("double-enable", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err != nil {
+			t.Fatal(err)
+		}
+		defer safe.DisableWindow()
+		if err := safe.EnableWindow(pol); err == nil {
+			t.Fatal("double enable must be rejected")
+		}
+	})
+
+	t.Run("snapshots-then-window", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableSnapshots(SnapshotPolicy{EveryTrees: 10}); err != nil {
+			t.Fatal(err)
+		}
+		defer safe.DisableSnapshots()
+		if err := safe.EnableWindow(pol); err == nil {
+			t.Fatal("EnableWindow with snapshots on must be rejected")
+		}
+	})
+
+	t.Run("window-then-snapshots", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err != nil {
+			t.Fatal(err)
+		}
+		defer safe.DisableWindow()
+		if err := safe.EnableSnapshots(SnapshotPolicy{EveryTrees: 10}); err == nil {
+			t.Fatal("EnableSnapshots with window on must be rejected")
+		}
+	})
+
+	t.Run("not-enabled", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.AdvanceWindow(); err == nil {
+			t.Error("AdvanceWindow without window must error")
+		}
+		if err := safe.RefreshWindow(); err == nil {
+			t.Error("RefreshWindow without window must error")
+		}
+		if _, ok := safe.WindowStats(); ok {
+			t.Error("WindowStats must report disabled")
+		}
+		safe.DisableWindow() // no-op, must not panic
+	})
+
+	t.Run("bad-policy", func(t *testing.T) {
+		safe, err := NewSafe(testConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, bad := range []WindowPolicy{
+			{Slices: 0},
+			{Slices: -3},
+			{Slices: 2, SliceTrees: -1},
+			{Slices: 2, SliceDur: -time.Second},
+		} {
+			if err := safe.EnableWindow(bad); err == nil {
+				t.Errorf("policy %+v must be rejected", bad)
+			}
+		}
+	})
+}

@@ -1,0 +1,117 @@
+package sketchtree
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzWindowAdvance drives a windowed Safe through an arbitrary
+// op sequence decoded from the fuzz input — policy from the first two
+// bytes, then one operation per byte (ingest, manual advance, refresh,
+// query, stats) — and checks the ring invariants after every step:
+// never a panic, never a negative slice count, the live slice count
+// within [1, Slices], LiveTrees equal to the per-slice sum, and the
+// published merge never covering more trees than were ever added.
+func FuzzWindowAdvance(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00})
+	f.Add([]byte{0x03, 0x02, 0, 0, 0, 1, 0, 2, 0, 0, 3})
+	f.Add([]byte{0x01, 0x01, 0, 1, 0, 1, 0, 1, 0})
+	f.Add([]byte{0xff, 0xff, 0, 0, 0, 0, 1, 1, 2, 2, 3, 3, 4, 4})
+
+	f.Fuzz(func(t *testing.T, in []byte) {
+		pol := WindowPolicy{Slices: 1, RefreshEveryTrees: -1}
+		if len(in) > 0 {
+			pol.Slices = 1 + int(in[0]%5)
+		}
+		if len(in) > 1 {
+			pol.SliceTrees = int(in[1] % 7) // 0 = manual advance only
+		}
+		ops := in
+		if len(in) > 2 {
+			ops = in[2:]
+		}
+
+		cfg := DefaultConfig()
+		cfg.MaxPatternEdges = 2
+		cfg.S1 = 10
+		cfg.S2 = 3
+		cfg.VirtualStreams = 11
+		cfg.TopK = 0
+		cfg.Seed = 7
+		safe, err := NewSafe(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := safe.EnableWindow(pol); err != nil {
+			t.Fatal(err)
+		}
+		defer safe.DisableWindow()
+
+		var added int64
+		check := func() {
+			ws, ok := safe.WindowStats()
+			if !ok {
+				t.Fatal("WindowStats reported disabled while enabled")
+			}
+			if len(ws.Live) < 1 || len(ws.Live) > pol.Slices {
+				t.Fatalf("live slices %d outside [1, %d]", len(ws.Live), pol.Slices)
+			}
+			var sum int64
+			current := 0
+			for _, sl := range ws.Live {
+				if sl.Trees < 0 {
+					t.Fatalf("negative slice tree count: %+v", sl)
+				}
+				if sl.Current {
+					current++
+				}
+				sum += sl.Trees
+			}
+			if current != 1 {
+				t.Fatalf("%d slices marked current, want exactly 1", current)
+			}
+			if sum != ws.LiveTrees {
+				t.Fatalf("LiveTrees %d != Σ slices %d", ws.LiveTrees, sum)
+			}
+			if ws.LiveTrees > added {
+				t.Fatalf("live trees %d exceed total added %d", ws.LiveTrees, added)
+			}
+			if ws.MergedTrees < 0 || ws.MergedTrees > added {
+				t.Fatalf("merged trees %d outside [0, %d]", ws.MergedTrees, added)
+			}
+			if ws.Expires > ws.Advances {
+				t.Fatalf("expires %d > advances %d", ws.Expires, ws.Advances)
+			}
+			if got := safe.TreesProcessed(); got != ws.LiveTrees {
+				t.Fatalf("TreesProcessed %d != LiveTrees %d", got, ws.LiveTrees)
+			}
+		}
+
+		for _, op := range ops {
+			switch op % 5 {
+			case 0:
+				doc := windowEquivDocs[int(op/5)%len(windowEquivDocs)]
+				if err := safe.AddXML(strings.NewReader(doc)); err != nil {
+					t.Fatal(err)
+				}
+				added++
+			case 1:
+				if err := safe.AdvanceWindow(); err != nil {
+					t.Fatal(err)
+				}
+			case 2:
+				if err := safe.RefreshWindow(); err != nil {
+					t.Fatal(err)
+				}
+			case 3:
+				if _, err := safe.CountOrdered(Pattern("a", Pattern("b"))); err != nil {
+					t.Fatal(err)
+				}
+			default:
+				_ = safe.Stats()
+			}
+			check()
+		}
+	})
+}

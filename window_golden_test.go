@@ -1,0 +1,203 @@
+package sketchtree
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// windowGoldenConfig is the base golden configuration (no top-k, no
+// summary, no exact baseline — the mergeable subset the window
+// requires).
+func windowGoldenConfig() Config {
+	cfg := DefaultConfig()
+	cfg.MaxPatternEdges = 3
+	cfg.S1 = 40
+	cfg.S2 = 5
+	cfg.VirtualStreams = 23
+	cfg.TopK = 0
+	cfg.Seed = 99
+	return cfg
+}
+
+// windowGoldenStream drives the fixed windowed lifecycle: the 30-tree
+// golden stream through a 3-slice ring sealing every 8 trees. Slices
+// seal after trees 8, 16 and 24; the third seal fills the ring and the
+// fourth (tree 32 never arrives) would expire — so after 30 trees the
+// first advance's slice (trees 1–8) has expired and trees 9–30 are
+// live: build → advance → expire, end to end.
+func windowGoldenStream(t *testing.T, safe *Safe) {
+	t.Helper()
+	docs := []string{
+		"<a><b/><c/></a>",
+		"<a><b/><b/></a>",
+		"<a><c/><b/></a>",
+		"<a><b><d/></b></a>",
+		"<d><a><b/></a></d>",
+	}
+	for i := 0; i < 30; i++ {
+		if err := safe.AddXML(strings.NewReader(docs[i%len(docs)])); err != nil {
+			t.Fatalf("window golden stream tree %d: %v", i, err)
+		}
+	}
+	if err := safe.RefreshWindow(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// windowGoldenCounts pins the windowed answers, reusing the landmark
+// golden probes.
+func windowGoldenCounts(t *testing.T, safe *Safe) map[string]float64 {
+	t.Helper()
+	out := map[string]float64{}
+	for name, q := range goldenQueries() {
+		ord, err := safe.CountOrdered(q)
+		if err != nil {
+			t.Fatalf("CountOrdered(%s): %v", name, err)
+		}
+		un, err := safe.CountUnordered(q)
+		if err != nil {
+			t.Fatalf("CountUnordered(%s): %v", name, err)
+		}
+		out["ordered/"+name] = ord
+		out["unordered/"+name] = un
+	}
+	out["selfjoin"] = safe.EstimateSelfJoinSize(true)
+	return out
+}
+
+// TestGoldenWindowSynopsis pins a windowed lifecycle — build, advance,
+// expire — to committed bytes: the merged synopsis after the fixed
+// stream must reproduce testdata/golden/window.synopsis exactly,
+// restoring those bytes must answer the pinned queries exactly, and
+// (the window's defining property) the bytes must equal a fresh
+// landmark engine fed only the live-slice documents. Regenerate with
+// -update per the golden convention.
+func TestGoldenWindowSynopsis(t *testing.T) {
+	cfg := windowGoldenConfig()
+	safe, err := NewSafe(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := safe.EnableWindow(WindowPolicy{
+		Slices:            3,
+		SliceTrees:        8,
+		RefreshEveryTrees: -1, // windowGoldenStream refreshes explicitly
+	}); err != nil {
+		t.Fatal(err)
+	}
+	defer safe.DisableWindow()
+	windowGoldenStream(t, safe)
+
+	// Lifecycle sanity: all three advances happened and the first slice
+	// expired, so the lifecycle the golden pins is the one described.
+	ws, ok := safe.WindowStats()
+	if !ok {
+		t.Fatal("window disabled mid-test")
+	}
+	if ws.Advances != 3 || ws.Expires != 1 {
+		t.Fatalf("lifecycle drifted: advances=%d expires=%d, want 3/1 — the golden no longer pins build→advance→expire", ws.Advances, ws.Expires)
+	}
+	if ws.LiveTrees != 22 { // trees 9..30
+		t.Fatalf("live trees = %d, want 22", ws.LiveTrees)
+	}
+
+	fresh, err := safe.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := windowGoldenCounts(t, safe)
+
+	// Self-check of the equivalence the golden rests on: the merged
+	// bytes equal a fresh landmark engine fed the 22 live documents.
+	landmark, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs := []string{
+		"<a><b/><c/></a>",
+		"<a><b/><b/></a>",
+		"<a><c/><b/></a>",
+		"<a><b><d/></b></a>",
+		"<d><a><b/></a></d>",
+	}
+	for i := 8; i < 30; i++ {
+		if err := landmark.AddXML(strings.NewReader(docs[i%len(docs)])); err != nil {
+			t.Fatal(err)
+		}
+	}
+	landmarkBytes, err := landmark.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(fresh, landmarkBytes) {
+		t.Fatalf("windowed bytes differ from fresh engine fed live docs: %s", firstDiff(fresh, landmarkBytes))
+	}
+
+	synPath := filepath.Join("testdata", "golden", "window.synopsis")
+	cntPath := filepath.Join("testdata", "golden", "window.counts.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(synPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(synPath, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		sidecar, err := json.MarshalIndent(counts, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(cntPath, append(sidecar, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("updated %s (%d bytes)", synPath, len(fresh))
+		return
+	}
+
+	golden, err := os.ReadFile(synPath)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(fresh, golden) {
+		t.Errorf("windowed MarshalBinary differs from %s: got %d bytes, want %d; %s",
+			synPath, len(fresh), len(golden), firstDiff(fresh, golden))
+	}
+
+	var want map[string]float64
+	raw, err := os.ReadFile(cntPath)
+	if err != nil {
+		t.Fatalf("missing counts sidecar (run with -update to create): %v", err)
+	}
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatalf("decoding %s: %v", cntPath, err)
+	}
+	if len(counts) != len(want) {
+		t.Fatalf("computed %d answers, sidecar has %d", len(counts), len(want))
+	}
+	for k, w := range want {
+		if g, ok := counts[k]; !ok || g != w {
+			t.Errorf("windowed %s = %v, golden sidecar has %v", k, g, w)
+		}
+	}
+
+	// The merged bytes restore into an ordinary landmark synopsis — a
+	// windowed checkpoint is a plain synopsis of the live documents —
+	// and round-trip byte-identically.
+	restored, err := Restore(golden)
+	if err != nil {
+		t.Fatalf("Restore(golden): %v", err)
+	}
+	if got := restored.TreesProcessed(); got != 22 {
+		t.Errorf("restored TreesProcessed = %d, want 22", got)
+	}
+	again, err := restored.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(again, golden) {
+		t.Errorf("restore → marshal round trip not byte-identical: %s", firstDiff(again, golden))
+	}
+}
