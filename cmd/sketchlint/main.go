@@ -14,19 +14,33 @@
 //
 // -annotate turns a previously captured -json report into GitHub
 // Actions ::error workflow commands, so CI shows findings inline on
-// the pull request diff.
+// the pull request diff. Reports captured before the call-graph era
+// (a bare JSON array of findings) still annotate.
+//
+// -budget fails the run (exit 3) when loading and analyzing together
+// exceed the given duration, pinning the lint step's cost in CI.
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"sketchtree/internal/analysis"
 	"sketchtree/internal/analysis/checks"
 )
+
+// report is the -json output shape: the findings plus the
+// interprocedural call-graph statistics of the analyzed module, so CI
+// artifacts track graph growth alongside lint health.
+type report struct {
+	Findings  []analysis.Diagnostic   `json:"findings"`
+	CallGraph analysis.CallGraphStats `json:"callgraph"`
+}
 
 func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
@@ -41,6 +55,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 		sel      = fs.String("checks", "", "comma-separated analyzer names (default: all)")
 		list     = fs.Bool("list", false, "list the analyzers and exit")
 		annotate = fs.String("annotate", "", "read a -json report from this file and emit GitHub ::error annotations")
+		budget   = fs.Duration("budget", 0, "fail (exit 3) if load+analysis exceed this duration; 0 disables")
 	)
 	fs.Usage = func() {
 		fmt.Fprintf(stderr, "usage: sketchlint [-dir root] [-checks a,b] [-json]\n")
@@ -63,19 +78,22 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "sketchlint: unknown analyzer in -checks=%q (run -list)\n", *sel)
 		return 2
 	}
+	start := time.Now()
 	m, err := analysis.Load(*dir, nil)
 	if err != nil {
 		fmt.Fprintf(stderr, "sketchlint: %v\n", err)
 		return 2
 	}
 	diags := analysis.RunSelection(m, analyzers, checks.All())
+	elapsed := time.Since(start)
 	if *jsonOut {
 		enc := json.NewEncoder(stdout)
 		enc.SetIndent("", "  ")
 		if diags == nil {
 			diags = []analysis.Diagnostic{}
 		}
-		if err := enc.Encode(diags); err != nil {
+		rep := report{Findings: diags, CallGraph: m.Interproc().Stats()}
+		if err := enc.Encode(rep); err != nil {
 			fmt.Fprintf(stderr, "sketchlint: %v\n", err)
 			return 2
 		}
@@ -83,6 +101,11 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for _, d := range diags {
 			fmt.Fprintln(stdout, d.String())
 		}
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(stderr, "sketchlint: load+analysis took %v, over the %v budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		return 3
 	}
 	if len(diags) > 0 {
 		if !*jsonOut {
@@ -102,9 +125,19 @@ func annotateFromJSON(path string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	var diags []analysis.Diagnostic
-	if err := json.Unmarshal(data, &diags); err != nil {
-		fmt.Fprintf(stderr, "sketchlint: parse %s: %v\n", path, err)
-		return 2
+	if trimmed := bytes.TrimSpace(data); len(trimmed) > 0 && trimmed[0] == '[' {
+		// Legacy shape: a bare array of findings.
+		if err := json.Unmarshal(data, &diags); err != nil {
+			fmt.Fprintf(stderr, "sketchlint: parse %s: %v\n", path, err)
+			return 2
+		}
+	} else {
+		var rep report
+		if err := json.Unmarshal(data, &rep); err != nil {
+			fmt.Fprintf(stderr, "sketchlint: parse %s: %v\n", path, err)
+			return 2
+		}
+		diags = rep.Findings
 	}
 	for _, d := range diags {
 		fmt.Fprintf(stdout, "::error file=%s,line=%d,title=sketchlint/%s::%s\n",

@@ -26,12 +26,35 @@ func TestJSONOutputIsMachineReadable(t *testing.T) {
 	if code := run([]string{"-dir", moduleRoot, "-json"}, &out, &errb); code != 0 {
 		t.Fatalf("exit %d: %s", code, errb.String())
 	}
-	var diags []analysis.Diagnostic
-	if err := json.Unmarshal(out.Bytes(), &diags); err != nil {
+	var rep report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
 		t.Fatalf("-json output does not parse: %v\n%s", err, out.String())
 	}
-	if len(diags) != 0 {
-		t.Errorf("clean tree reported %d findings via JSON", len(diags))
+	if len(rep.Findings) != 0 {
+		t.Errorf("clean tree reported %d findings via JSON", len(rep.Findings))
+	}
+	if rep.CallGraph.Nodes == 0 || rep.CallGraph.Edges == 0 || rep.CallGraph.SCCs == 0 {
+		t.Errorf("call-graph stats missing from report: %+v", rep.CallGraph)
+	}
+	if rep.CallGraph.SCCs > rep.CallGraph.Nodes {
+		t.Errorf("more SCCs (%d) than nodes (%d)", rep.CallGraph.SCCs, rep.CallGraph.Nodes)
+	}
+}
+
+// TestBudgetOverrunFailsTheRun pins the -budget contract: a budget the
+// analysis cannot possibly meet exits 3, and a generous one exits 0.
+func TestBudgetOverrunFailsTheRun(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-dir", moduleRoot, "-budget", "1ns"}, &out, &errb); code != 3 {
+		t.Fatalf("-budget 1ns: exit %d, want 3\n%s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "over the") {
+		t.Errorf("budget overrun not reported: %s", errb.String())
+	}
+	out.Reset()
+	errb.Reset()
+	if code := run([]string{"-dir", moduleRoot, "-budget", "10m"}, &out, &errb); code != 0 {
+		t.Fatalf("-budget 10m on the clean tree: exit %d\n%s%s", code, out.String(), errb.String())
 	}
 }
 
@@ -178,5 +201,152 @@ func TestAnnotateEmitsWorkflowCommands(t *testing.T) {
 	out.Reset()
 	if code := run([]string{"-annotate", empty}, &out, &errb); code != 0 {
 		t.Fatalf("annotate empty report: exit %d, want 0", code)
+	}
+	// The current object shape annotates identically to the legacy
+	// array shape.
+	obj := `{"findings":[{"file":"concurrent.go","line":12,"analyzer":"safeparity","message":"missing wrapper"}],"callgraph":{"nodes":1,"edges":1,"sccs":1}}`
+	objPath := filepath.Join(t.TempDir(), "object.json")
+	if err := os.WriteFile(objPath, []byte(obj), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out.Reset()
+	if code := run([]string{"-annotate", objPath}, &out, &errb); code != 1 {
+		t.Fatalf("annotate object report: exit %d, want 1", code)
+	}
+	if !strings.Contains(out.String(), want) {
+		t.Errorf("object-shape annotation output %q does not contain %q", out.String(), want)
+	}
+}
+
+// The overlay-mutation tests below re-analyze the real module with one
+// regression injected into its in-memory view (the tree is untouched)
+// and demand that the responsible interprocedural analyzer fires. They
+// are the static equivalent of a failing regression test: delete the
+// guard, watch the analyzer catch it.
+
+// TestDeletedStopSelectIsALeak removes windowLoop's stop arm, turning
+// the ticker loop into an unstoppable goroutine.
+func TestDeletedStopSelectIsALeak(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(moduleRoot, "window.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const guard = "case <-stop:\n\t\t\treturn\n\t\t"
+	if !bytes.Contains(src, []byte(guard)) {
+		t.Fatalf("window.go no longer has windowLoop's stop arm; update this test")
+	}
+	mutated := bytes.Replace(src, []byte(guard), nil, 1)
+	m, err := analysis.Load(moduleRoot, map[string][]byte{"window.go": mutated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(m, []*analysis.Analyzer{checks.GoroutineLeak})
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "goroutineleak" && strings.Contains(d.Message, "windowLoop loops forever") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("deleting the stop arm produced no goroutineleak finding; got %v", diags)
+	}
+}
+
+// TestClosureInAddTreeEscapesTheHotPath introduces a per-call closure
+// into the tagged AddTree and demands a hotpath finding.
+func TestClosureInAddTreeEscapesTheHotPath(t *testing.T) {
+	rel := "internal/core/engine.go"
+	src, err := os.ReadFile(filepath.Join(moduleRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const call = "return e.applyTree(t, 1)"
+	if !bytes.Contains(src, []byte(call)) {
+		t.Fatalf("engine.go no longer has %q; update this test", call)
+	}
+	mutated := bytes.Replace(src, []byte(call),
+		[]byte("delta := func() int64 { return 1 }\n\treturn e.applyTree(t, delta())"), 1)
+	m, err := analysis.Load(moduleRoot, map[string][]byte{rel: mutated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(m, []*analysis.Analyzer{checks.HotPath})
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "hotpath" && d.File == rel && strings.Contains(d.Message, "closure allocation") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("closure in AddTree produced no hotpath finding; got %v", diags)
+	}
+}
+
+// TestReversedLockOrderIsACycle appends a pair of functions taking
+// Safe.mu and Ingestor.mu in opposite orders.
+func TestReversedLockOrderIsACycle(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join(moduleRoot, "concurrent.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append(append([]byte{}, src...), []byte(`
+
+func lockBothForTest(s *Safe, in *Ingestor) {
+	s.mu.Lock()
+	in.mu.Lock()
+	in.mu.Unlock()
+	s.mu.Unlock()
+}
+
+func lockBothReversedForTest(s *Safe, in *Ingestor) {
+	in.mu.Lock()
+	s.mu.Lock()
+	s.mu.Unlock()
+	in.mu.Unlock()
+}
+`)...)
+	m, err := analysis.Load(moduleRoot, map[string][]byte{"concurrent.go": mutated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(m, []*analysis.Analyzer{checks.LockOrder})
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "lockorder" && strings.Contains(d.Message, "lock-order cycle") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("reversed lock order produced no lockorder finding; got %v", diags)
+	}
+}
+
+// TestDroppedMarshalErrorIsCaught appends a function that discards
+// Engine.MarshalBinary's error.
+func TestDroppedMarshalErrorIsCaught(t *testing.T) {
+	rel := "internal/core/persist.go"
+	src, err := os.ReadFile(filepath.Join(moduleRoot, filepath.FromSlash(rel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutated := append(append([]byte{}, src...), []byte(`
+
+func (e *Engine) snapshotLenForTest() {
+	e.MarshalBinary()
+}
+`)...)
+	m, err := analysis.Load(moduleRoot, map[string][]byte{rel: mutated})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags := analysis.Run(m, []*analysis.Analyzer{checks.ErrFlow})
+	found := false
+	for _, d := range diags {
+		if d.Analyzer == "errflow" && d.File == rel && strings.Contains(d.Message, "e.MarshalBinary") {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("dropped MarshalBinary error produced no errflow finding; got %v", diags)
 	}
 }

@@ -143,7 +143,7 @@ func (in *Ingestor) Add(t *Tree) error {
 	// Fast path: queue has room. The failed non-blocking attempt is
 	// how backpressure becomes observable without any clock calls.
 	select {
-	case in.ch <- t:
+	case in.ch <- t: //lint:allow lockorder non-blocking send; RLock only fences Close, which takes the write lock
 		in.noteDepth()
 		return nil
 	default:
@@ -151,7 +151,7 @@ func (in *Ingestor) Add(t *Tree) error {
 	in.blocks.Add(1)
 	start := in.met.Now() // zero (no clock call) unless timers are on
 	select {
-	case in.ch <- t:
+	case in.ch <- t: //lint:allow lockorder blocking here is the backpressure contract; Close fences senders via the write lock
 		if !start.IsZero() {
 			in.blockNanos.Add(time.Since(start).Nanoseconds())
 		}

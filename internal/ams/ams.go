@@ -69,6 +69,8 @@ func (se *Seeds) Cells() int { return len(se.gens) }
 func (se *Seeds) Family() *xi.Family { return se.fam }
 
 // Prepare computes the value-side ξ preparation shared by all cells.
+//
+//lint:hotpath
 func (se *Seeds) Prepare(v uint64, p *xi.Prep) *xi.Prep {
 	return se.fam.Prepare(v, p)
 }
@@ -316,6 +318,8 @@ func median(xs []float64) float64 {
 // and unlike sort.Float64s it cannot allocate — and returns the median.
 // Row means are finite (integer-valued counters), so the sorted order,
 // and hence the median, is identical to sort.Float64s's.
+//
+//lint:hotpath
 func medianInPlace(xs []float64) float64 {
 	for i := 1; i < len(xs); i++ {
 		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
@@ -354,6 +358,8 @@ func (se *Seeds) NewEstimator() *Estimator {
 
 // Count estimates the frequency of value v from the sketch, exactly as
 // Sketch.EstimateCount but through the estimator's scratch.
+//
+//lint:hotpath
 func (es *Estimator) Count(s *Sketch, v uint64, adjust []int64) float64 {
 	es.seeds.Prepare(v, es.prep)
 	return es.CountPrepared(s, es.prep, adjust)
@@ -362,6 +368,8 @@ func (es *Estimator) Count(s *Sketch, v uint64, adjust []int64) float64 {
 // CountPrepared is Count for an already-prepared value — the top-k
 // processing path estimates the very value whose preparation it was
 // handed, so re-deriving it would double the GF(2^m) work.
+//
+//lint:hotpath
 func (es *Estimator) CountPrepared(s *Sketch, p *xi.Prep, adjust []int64) float64 {
 	se := es.seeds
 	se.batch.BitsInto(p, es.bits)

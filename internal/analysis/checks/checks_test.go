@@ -23,6 +23,22 @@ func TestLockDiscipline(t *testing.T) {
 	analysistest.Run(t, analysistest.Fixture(t, "lockdiscipline"), checks.LockDiscipline)
 }
 
+func TestLockOrder(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "lockorder"), checks.LockOrder)
+}
+
+func TestGoroutineLeak(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "goroutineleak"), checks.GoroutineLeak)
+}
+
+func TestHotPath(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "hotpath"), checks.HotPath)
+}
+
+func TestErrFlow(t *testing.T) {
+	analysistest.Run(t, analysistest.Fixture(t, "errflow"), checks.ErrFlow)
+}
+
 func TestFuzzWired(t *testing.T) {
 	analysistest.Run(t, analysistest.Fixture(t, "fuzzwired"), checks.FuzzWired)
 }

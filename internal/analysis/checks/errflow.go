@@ -1,0 +1,90 @@
+package checks
+
+import (
+	"go/ast"
+
+	"sketchtree/internal/analysis"
+)
+
+// ErrFlow tracks the fate of errors born at serialization and IO
+// sites: MarshalBinary/MarshalText, Write/WriteString/WriteTo, Flush
+// and Encode. The error from such a call — or from a module function
+// that transitively returns one (the interprocedural summary's
+// watched-error provenance) — must be checked, returned, or discarded
+// explicitly with //lint:allow errflow <reason>. A bare call statement
+// or a blank-assigned error is a silent data-loss path.
+//
+// Receivers documented never to fail (bytes.Buffer, strings.Builder)
+// are exempt, as are deferred calls (best-effort cleanup) and test
+// files. Unresolvable receivers stay silent, per the framework
+// doctrine.
+var ErrFlow = &analysis.Analyzer{
+	Name: "errflow",
+	Doc:  "errors from serialization/IO sites are checked, returned, or discarded with a reason",
+	Run:  runErrFlow,
+}
+
+func runErrFlow(pass *analysis.Pass) {
+	ip := pass.Module.Interproc()
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		body := n.Body()
+		if body == nil {
+			continue
+		}
+		ast.Inspect(body, func(node ast.Node) bool {
+			switch x := node.(type) {
+			case *ast.FuncLit:
+				return false // its own node walks its own body
+			case *ast.ExprStmt:
+				if call, ok := x.X.(*ast.CallExpr); ok {
+					checkDrop(pass, ip, n, call)
+				}
+				return false
+			case *ast.AssignStmt:
+				if len(x.Rhs) == 1 && len(x.Lhs) > 0 {
+					if call, ok := x.Rhs[0].(*ast.CallExpr); ok {
+						if blank, ok := x.Lhs[len(x.Lhs)-1].(*ast.Ident); ok && blank.Name == "_" {
+							checkDrop(pass, ip, n, call)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// checkDrop classifies one fully- or error-discarded call. Precisely
+// resolved module callees are judged by their summaries (does the
+// callee return an error, does that error carry a watched IO
+// failure); otherwise the watched-method-name heuristic applies.
+func checkDrop(pass *analysis.Pass, ip *analysis.Interproc, n *analysis.FuncNode, call *ast.CallExpr) {
+	ids, conservative := ip.Callees(n, call)
+	if len(ids) > 0 && !conservative {
+		returnsErr := false
+		for _, cid := range ids {
+			callee := ip.Lookup(cid)
+			if callee == nil || !callee.ReturnsError {
+				continue
+			}
+			returnsErr = true
+			if callee.TransWatched {
+				pass.Reportf(call.Pos(), "discarded error from %s carries a serialization/IO failure; check it, return it, or discard it with //lint:allow errflow <reason>",
+					callee.Display)
+				return
+			}
+		}
+		if returnsErr {
+			if _, ok := ip.WatchedCall(n, call); ok {
+				pass.Reportf(call.Pos(), "the error from %s is discarded; check it, return it, or discard it with //lint:allow errflow <reason>",
+					exprString(pass.Module.Fset, call.Fun))
+			}
+		}
+		return
+	}
+	if _, ok := ip.WatchedCall(n, call); ok {
+		pass.Reportf(call.Pos(), "the error from %s is discarded; check it, return it, or discard it with //lint:allow errflow <reason>",
+			exprString(pass.Module.Fset, call.Fun))
+	}
+}

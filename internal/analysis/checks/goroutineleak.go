@@ -1,0 +1,43 @@
+package checks
+
+import (
+	"sketchtree/internal/analysis"
+)
+
+// GoroutineLeak requires every spawned goroutine that can run forever
+// to participate in a shutdown protocol: somewhere in the spawned
+// function (or its transitive callees, conservative interface edges
+// included) there must be a receive from a ctx.Done()/stop/done
+// channel, a range over a channel, a two-value receive, or a
+// WaitGroup-style Wait. A goroutine that loops unconditionally and
+// observes none of these can never be stopped — the class of leak the
+// coordinator drain fix patched by hand in the cluster work.
+//
+// Goroutines that terminate on their own (no unconditional loop) are
+// not leaks and are never flagged; spawns whose target cannot be
+// resolved precisely are silent.
+var GoroutineLeak = &analysis.Analyzer{
+	Name: "goroutineleak",
+	Doc:  "every spawned goroutine that loops forever observes a ctx/done/WaitGroup exit path",
+	Run:  runGoroutineLeak,
+}
+
+func runGoroutineLeak(pass *analysis.Pass) {
+	ip := pass.Module.Interproc()
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		for _, s := range n.Spawns {
+			if s.Conservative {
+				continue
+			}
+			callee := ip.Funcs[s.Callee]
+			if callee == nil {
+				continue
+			}
+			if callee.TransLoopsForever && !callee.TransObservesExit {
+				pass.Reportf(s.Pos, "goroutine %s loops forever without observing an exit path (ctx.Done, stop/done channel, or WaitGroup); it cannot be shut down",
+					callee.Display)
+			}
+		}
+	}
+}

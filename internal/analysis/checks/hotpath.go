@@ -1,0 +1,70 @@
+package checks
+
+import (
+	"sketchtree/internal/analysis"
+)
+
+// HotPath statically guards the zero-alloc contract that the
+// AllocsPerRun benchmarks pin dynamically. A function tagged
+//
+//	//lint:hotpath
+//
+// in its doc comment (the AddTree ingest chain, the plan-cache-hit
+// query path, the window fast path) must not introduce:
+//
+//   - closures, composite-literal pointers, make/new, map or slice
+//     literals, string/[]byte conversions (a string conversion used as
+//     a map index is exempt — the compiler elides it), map stores that
+//     may grow the map, or appends into a new destination
+//     (x = append(x, …) is the amortized pooled-buffer idiom and is
+//     exempt);
+//   - interface boxing via fmt (fmt.Errorf in a return statement is
+//     the cold error path and is exempt, as is errors.New in a
+//     return);
+//   - goroutine spawns;
+//   - calls into untagged module functions that transitively allocate
+//     (tagged callees are checked on their own; unresolved and
+//     conservative calls are silent).
+//
+// Amortized or opt-in allocations that are intentional carry
+// //lint:allow hotpath with the reason, keeping the contract explicit
+// at every site.
+var HotPath = &analysis.Analyzer{
+	Name: "hotpath",
+	Doc:  "functions tagged //lint:hotpath stay allocation-free and only call allocation-free code",
+	Run:  runHotPath,
+}
+
+func runHotPath(pass *analysis.Pass) {
+	ip := pass.Module.Interproc()
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		if !n.HotPath {
+			continue
+		}
+		for _, a := range n.Allocs {
+			pass.Reportf(a.Pos, "hot path %s: %s; hoist it out of the hot path or pool it", n.Display, a.What)
+		}
+		for _, c := range n.Calls {
+			if c.Conservative {
+				continue
+			}
+			callee := ip.Funcs[c.Callee]
+			if callee == nil || callee.HotPath {
+				continue
+			}
+			if callee.TransAllocates {
+				pass.Reportf(c.Pos, "hot path %s calls %s, which allocates; make the callee allocation-free and tag it //lint:hotpath, or hoist the call",
+					n.Display, callee.Display)
+			}
+		}
+		for _, s := range n.Spawns {
+			callee := ip.Funcs[s.Callee]
+			name := "a goroutine"
+			if callee != nil {
+				name = callee.Display
+			}
+			pass.Reportf(s.Pos, "hot path %s spawns %s: goroutine creation allocates; move the spawn off the hot path", n.Display, name)
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package checks
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+
+	"sketchtree/internal/analysis"
+)
+
+// LockOrder builds the module-global lock-acquisition-order graph from
+// the interprocedural summaries — an edge A→B for every site that
+// acquires B while holding A, whether the acquisition is in the same
+// body or reached through a resolved call chain — and reports two
+// classes of hazard:
+//
+//   - cycles in the order graph: two paths that acquire the same locks
+//     in opposite orders can deadlock under concurrency;
+//   - blocking operations (channel sends, outbound HTTP requests)
+//     performed while holding a lock: a slow or absent peer extends
+//     the critical section indefinitely.
+//
+// Lock identity is resolved syntactically (mutex-typed struct fields
+// and package-level mutex variables); conservative interface-fallback
+// call edges never contribute order edges, so a cycle is always built
+// from precisely-resolved acquisitions.
+var LockOrder = &analysis.Analyzer{
+	Name: "lockorder",
+	Doc:  "lock acquisition order is globally consistent and locks are not held across blocking sends or RPCs",
+	Run:  runLockOrder,
+}
+
+func runLockOrder(pass *analysis.Pass) {
+	ip := pass.Module.Interproc()
+
+	type orderEdge struct{ from, to string }
+	edgePos := map[orderEdge]token.Pos{}
+	var edgeOrder []orderEdge
+	addEdge := func(from, to string, pos token.Pos) {
+		if from == to {
+			return // re-entrancy is lockdiscipline's problem, not an order
+		}
+		e := orderEdge{from, to}
+		if _, ok := edgePos[e]; !ok {
+			edgePos[e] = pos
+			edgeOrder = append(edgeOrder, e)
+		}
+	}
+
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		for _, l := range n.Locks {
+			if l.Op != "Lock" && l.Op != "RLock" {
+				continue
+			}
+			for _, h := range l.Held {
+				addEdge(h, l.Lock, l.Pos)
+			}
+		}
+		for _, c := range n.Calls {
+			if c.Conservative || len(c.Held) == 0 {
+				continue
+			}
+			callee := ip.Funcs[c.Callee]
+			if callee == nil {
+				continue
+			}
+			acquired := make([]string, 0, len(callee.TransAcquires))
+			for lock := range callee.TransAcquires {
+				acquired = append(acquired, lock)
+			}
+			sort.Strings(acquired)
+			for _, lock := range acquired {
+				for _, h := range c.Held {
+					addEdge(h, lock, c.Pos)
+				}
+			}
+		}
+		for _, s := range n.Sends {
+			pass.Reportf(s.Pos, "%s while holding %s: a blocked peer extends the critical section indefinitely; release the lock first or use a non-blocking path",
+				s.What, strings.Join(s.Held, ", "))
+		}
+	}
+
+	// Tarjan over the lock graph: any SCC with more than one lock is a
+	// potential deadlock; every edge inside it is reported at its
+	// acquisition site.
+	succ := map[string][]string{}
+	var nodes []string
+	seenNode := map[string]bool{}
+	note := func(l string) {
+		if !seenNode[l] {
+			seenNode[l] = true
+			nodes = append(nodes, l)
+		}
+	}
+	for _, e := range edgeOrder {
+		note(e.from)
+		note(e.to)
+		succ[e.from] = append(succ[e.from], e.to)
+	}
+
+	comp := lockSCCs(nodes, succ)
+	for _, e := range edgeOrder {
+		if comp[e.from] != comp[e.to] {
+			continue
+		}
+		scc := make([]string, 0, 2)
+		for _, l := range nodes {
+			if comp[l] == comp[e.from] {
+				scc = append(scc, l)
+			}
+		}
+		if len(scc) < 2 {
+			continue
+		}
+		sort.Strings(scc)
+		pass.Reportf(edgePos[e], "lock-order cycle: %s is acquired while holding %s, but elsewhere the opposite order is used (cycle: %s); pick one global order",
+			e.to, e.from, strings.Join(scc, ", "))
+	}
+}
+
+// lockSCCs assigns each lock a strongly-connected-component ID.
+func lockSCCs(nodes []string, succ map[string][]string) map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	comp := map[string]int{}
+	var stack []string
+	next, nComp := 0, 0
+
+	var connect func(v string)
+	connect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, w := range succ[v] {
+			if _, seen := index[w]; !seen {
+				connect(w)
+				if low[w] < low[v] {
+					low[v] = low[w]
+				}
+			} else if onStack[w] && index[w] < low[v] {
+				low[v] = index[w]
+			}
+		}
+		if low[v] == index[v] {
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp[w] = nComp
+				if w == v {
+					break
+				}
+			}
+			nComp++
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			connect(v)
+		}
+	}
+	return comp
+}

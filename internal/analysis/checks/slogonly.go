@@ -8,7 +8,8 @@ import (
 )
 
 // SlogOnly enforces the structured-logging contract of the serving
-// path: internal/server and internal/cluster log through the injected
+// path: internal/server, internal/cluster and internal/window log
+// through the injected
 // *slog.Logger (which carries trace_id/shard/role attributes and obeys
 // -log-format/-log-level), never through the global log package. A
 // bare log.Printf there bypasses the level filter, breaks JSON log
@@ -16,13 +17,13 @@ import (
 // depends on. Other packages (cmd binaries, tooling) are out of scope.
 var SlogOnly = &analysis.Analyzer{
 	Name: "slogonly",
-	Doc:  "internal/server and internal/cluster log via the injected *slog.Logger, never the global log package",
+	Doc:  "internal/server, internal/cluster and internal/window log via the injected *slog.Logger, never the global log package",
 	Run:  runSlogOnly,
 }
 
 // slogOnlyDirs are the module-relative directory prefixes under the
 // structured-logging contract.
-var slogOnlyDirs = []string{"internal/server", "internal/cluster"}
+var slogOnlyDirs = []string{"internal/server", "internal/cluster", "internal/window"}
 
 func runSlogOnly(pass *analysis.Pass) {
 	for _, p := range pass.Module.Packages {

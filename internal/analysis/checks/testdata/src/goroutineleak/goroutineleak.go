@@ -1,0 +1,65 @@
+// Fixture for the goroutineleak analyzer: unstoppable forever-loops
+// (spawned directly, as literals, and through a call chain) against
+// goroutines with proper exit paths.
+package goroutineleak
+
+func work() {}
+
+func leakyLoop() {
+	for {
+		work()
+	}
+}
+
+func spawnLeaky() {
+	go leakyLoop() // want "goroutine leakyLoop loops forever without observing an exit path"
+}
+
+func spawnLit() {
+	go func() { // want "loops forever without observing an exit path"
+		for {
+			work()
+		}
+	}()
+}
+
+// runner loops forever only transitively, through leakyLoop.
+func runner() {
+	leakyLoop()
+}
+
+func spawnNested() {
+	go runner() // want "goroutine runner loops forever without observing an exit path"
+}
+
+// cleanLoop observes a stop channel: not a leak.
+func cleanLoop(stop chan struct{}) {
+	for {
+		select {
+		case <-stop:
+			return
+		default:
+			work()
+		}
+	}
+}
+
+func spawnClean(stop chan struct{}) {
+	go cleanLoop(stop)
+}
+
+// drain ranges over a channel, exiting when it closes: not a leak.
+func drain(jobs chan int) {
+	for range jobs {
+		work()
+	}
+}
+
+func spawnDrain(jobs chan int) {
+	go drain(jobs)
+}
+
+// bounded terminates on its own: not a leak.
+func spawnBounded() {
+	go work()
+}

@@ -1,0 +1,52 @@
+// Fixture for the hotpath analyzer: a tagged function exercising every
+// allocation class, the exemptions that keep the steady-state idioms
+// silent, and calls into allocating vs. tagged callees.
+package hotpath
+
+import "fmt"
+
+type E struct {
+	buf []byte
+	idx map[string]int
+}
+
+//lint:hotpath
+func (e *E) Hot(b []byte, n int) int {
+	e.buf = append(e.buf[:0], b...) // amortized self-append: exempt
+	v := e.cold(n)                  // want "calls E.cold, which allocates"
+	c := make([]int, 4)             // want "make allocates"
+	s := fmt.Sprintf("%d", v)       // want "boxes its arguments"
+	f := func() int { return v }    // want "closure allocation"
+	e.idx[s] = v                    // want "map store may grow the map"
+	go e.cold(v)                    // want "spawns E.cold"
+	return c[0] + f()
+}
+
+func (e *E) cold(n int) int {
+	s := make([]int, n)
+	return len(s)
+}
+
+// HotOK only reads: the string conversion is a map index (elided by
+// the compiler) and the tagged callee is checked on its own.
+//
+//lint:hotpath
+func (e *E) HotOK(b []byte) int {
+	return e.idx[string(b)]
+}
+
+//lint:hotpath
+func (e *E) HotChain(b []byte) int {
+	return e.HotOK(b)
+}
+
+// HotErr's fmt.Errorf sits in a return statement — the cold error
+// path, exempt.
+//
+//lint:hotpath
+func (e *E) HotErr(b []byte) error {
+	if len(b) == 0 {
+		return fmt.Errorf("hotpath: empty input")
+	}
+	return nil
+}

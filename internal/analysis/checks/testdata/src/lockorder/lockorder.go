@@ -1,0 +1,68 @@
+// Fixture for the lockorder analyzer: inconsistent acquisition orders
+// (direct and through a call chain) and a channel send under a lock.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+type B struct{ mu sync.Mutex }
+
+type S struct {
+	a  A
+	b  B
+	ch chan int
+}
+
+// lockAB and lockBA acquire the same two locks in opposite orders —
+// the classic deadlock pair.
+func (s *S) lockAB() {
+	s.a.mu.Lock()
+	s.b.mu.Lock() // want "lock-order cycle"
+	s.b.mu.Unlock()
+	s.a.mu.Unlock()
+}
+
+func (s *S) lockBA() {
+	s.b.mu.Lock()
+	s.a.mu.Lock() // want "lock-order cycle"
+	s.a.mu.Unlock()
+	s.b.mu.Unlock()
+}
+
+func (s *S) sendLocked(v int) {
+	s.a.mu.Lock()
+	s.ch <- v // want "channel send while holding A.mu"
+	s.a.mu.Unlock()
+}
+
+// consistent always locks a before b on a disjoint pair, so it adds no
+// cycle.
+type C struct{ mu sync.Mutex }
+
+type D struct{ mu sync.Mutex }
+
+type T struct {
+	c C
+	d D
+}
+
+// lockCD orders c before d directly; lockDC reaches c's lock through a
+// callee while holding d — the interprocedural half of the cycle.
+func (t *T) lockCD() {
+	t.c.mu.Lock()
+	t.d.mu.Lock() // want "lock-order cycle"
+	t.d.mu.Unlock()
+	t.c.mu.Unlock()
+}
+
+func (t *T) lockDC() {
+	t.d.mu.Lock()
+	t.lockCOnly() // want "lock-order cycle"
+	t.d.mu.Unlock()
+}
+
+func (t *T) lockCOnly() {
+	t.c.mu.Lock()
+	t.c.mu.Unlock()
+}

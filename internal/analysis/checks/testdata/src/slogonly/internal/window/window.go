@@ -1,0 +1,19 @@
+// Fixture: internal/window joined the structured-logging contract —
+// the sliding-window serving path logs through the injected logger.
+package window
+
+import (
+	"log"
+	"log/slog"
+)
+
+func advance(logger *slog.Logger) {
+	log.Printf("slice rotated") // want "slogonly: log\.Printf bypasses the injected \*slog\.Logger"
+	logger.Info("slice rotated", "slices", 4)
+}
+
+// shadowed binds the import's name to a *slog.Logger, the idiomatic
+// handoff; calls through it are structured and exempt.
+func shadowed(log *slog.Logger) {
+	log.Info("refresh due")
+}

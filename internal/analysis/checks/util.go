@@ -28,6 +28,10 @@ func All() []*analysis.Analyzer {
 		Determinism,
 		AtomicSafety,
 		LockDiscipline,
+		LockOrder,
+		GoroutineLeak,
+		HotPath,
+		ErrFlow,
 		FuzzWired,
 		SlogOnly,
 	}

@@ -17,6 +17,13 @@ func FuzzAnalyzers(f *testing.F) {
 	f.Add([]byte("package sketchtree\n\ntype SketchTree struct{}\ntype Safe struct{ st *SketchTree }\n\nfunc (s *SketchTree) A() {}\nfunc (s *Safe) B() { _ = s.st }\n"), "")
 	f.Add([]byte("package p\n\nimport \"sync/atomic\"\n\ntype c struct{ n atomic.Int64 }\n\nfunc f(x c) {}\n//lint:allow atomicsafety reason\nfunc g(x c) {}\n//lint:allow\n"), "x:\n")
 	f.Add([]byte("package p\n\nimport \"math/rand/v2\"\n\nfunc Restore() uint64 { return rand.Uint64() }\n"), "fuzz-smoke:")
+	// Call-graph seeds: spawns, lock orders, hot-path tags and watched
+	// errors exercise the interprocedural layer (summaries + fixpoint).
+	f.Add([]byte("package p\n\nimport \"sync\"\n\ntype A struct{ mu sync.Mutex }\ntype B struct{ mu sync.Mutex }\ntype S struct {\n\ta A\n\tb B\n\tch chan int\n}\n\nfunc (s *S) ab() { s.a.mu.Lock(); s.b.mu.Lock(); s.b.mu.Unlock(); s.a.mu.Unlock() }\nfunc (s *S) ba() { s.b.mu.Lock(); s.ab(); s.b.mu.Unlock() }\nfunc (s *S) send() { s.a.mu.Lock(); s.ch <- 1; s.a.mu.Unlock() }\n"), "")
+	f.Add([]byte("package p\n\nfunc spin() {\n\tfor {\n\t}\n}\n\nfunc launch() { go spin() }\n\nfunc ok(stop chan struct{}) {\n\tgo func() {\n\t\tfor {\n\t\t\tselect {\n\t\t\tcase <-stop:\n\t\t\t\treturn\n\t\t\tdefault:\n\t\t\t}\n\t\t}\n\t}()\n}\n"), "")
+	f.Add([]byte("package p\n\nimport \"fmt\"\n\n//lint:hotpath\nfunc hot(b []byte) []byte {\n\tb = append(b, 1)\n\ts := fmt.Sprintf(\"%d\", len(b))\n\t_ = s\n\treturn b\n}\n\nfunc cold() []int { return make([]int, 8) }\n\n//lint:hotpath\nfunc chain() { _ = cold() }\n"), "")
+	f.Add([]byte("package p\n\ntype T struct{}\n\nfunc (t *T) MarshalBinary() ([]byte, error) { return nil, nil }\n\nfunc drop(t *T) { t.MarshalBinary() }\nfunc fwd(t *T) error { _, err := t.MarshalBinary(); return err }\nfunc dropFwd(t *T) { _ = fwd(t) }\n"), "")
+	f.Add([]byte("package p\n\nfunc a() { b() }\nfunc b() { c() }\nfunc c() { a() }\n"), "")
 	f.Fuzz(func(t *testing.T, src []byte, makefile string) {
 		root := t.TempDir()
 		m, err := analysis.Load(root, map[string][]byte{

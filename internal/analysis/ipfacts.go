@@ -1,0 +1,246 @@
+// Fixpoint propagation over the call graph built in interproc.go, and
+// the public Interproc surface the analyzers program against.
+//
+// Facts split into two polarities. Generative facts (acquires a lock,
+// loops forever, allocates, carries a watched IO error) can create
+// findings, so they propagate only over precisely-resolved call edges
+// — a conservative interface-fallback edge must never invent a
+// deadlock or an allocation. Suppressive facts (observes an exit path)
+// can only silence findings, so they propagate over every edge,
+// conservative ones included: if any possible callee waits on
+// ctx.Done, the spawn is given the benefit of the doubt.
+package analysis
+
+import (
+	"go/ast"
+	"sort"
+)
+
+// Interproc is the interprocedural layer over one Module: the node
+// table, a deterministic iteration order, and the resolved stats.
+// Obtain it through Module.Interproc, which builds it once and caches
+// it across analyzers.
+type Interproc struct {
+	Module *Module
+	Funcs  map[FuncID]*FuncNode
+	// Order lists every FuncID sorted, the iteration order analyzers
+	// use for deterministic reporting.
+	Order []FuncID
+
+	ix    *ipIndex
+	stats CallGraphStats
+}
+
+// CallGraphStats is the shape of the call-graph block in sketchlint's
+// -json output.
+type CallGraphStats struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	SCCs  int `json:"sccs"`
+}
+
+// Interproc returns the module's interprocedural layer, building it on
+// first use. The result is shared: analyzers must treat it as
+// read-only.
+func (m *Module) Interproc() *Interproc {
+	m.ipOnce.Do(func() { m.ip = buildInterproc(m) })
+	return m.ip
+}
+
+// Lookup returns the node for id, nil when absent.
+func (ip *Interproc) Lookup(id FuncID) *FuncNode {
+	return ip.Funcs[id]
+}
+
+// DeclNode returns the node of a function declaration in package p,
+// nil for test files or bodyless declarations outside the graph.
+func (ip *Interproc) DeclNode(p *Package, fd *ast.FuncDecl) *FuncNode {
+	n := ip.Funcs[declFuncID(p, fd)]
+	if n != nil && n.Decl == fd {
+		return n
+	}
+	return nil
+}
+
+// Callees resolves a call expression appearing in node n, returning
+// the module callees and whether resolution was conservative
+// (interface fallback).
+func (ip *Interproc) Callees(n *FuncNode, call *ast.CallExpr) ([]FuncID, bool) {
+	return ip.ix.resolveCallees(n, call)
+}
+
+// ValueType resolves a value expression in node n to its type.
+func (ip *Interproc) ValueType(n *FuncNode, e ast.Expr) (TypeRef, bool) {
+	return ip.ix.resolveValue(n, e)
+}
+
+// WatchedCall reports whether call is a watched IO/serialization
+// method call (MarshalBinary, Write, …) on a receiver that resolves to
+// a fallible type; the returned name is the method name.
+func (ip *Interproc) WatchedCall(n *FuncNode, call *ast.CallExpr) (string, bool) {
+	sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || !watchedErrorMethods[sel.Sel.Name] {
+		return "", false
+	}
+	if base, ok := sel.X.(*ast.Ident); ok {
+		if _, isVar := n.env[base.Name]; !isVar {
+			if _, isImport := ip.ix.importsOf(n.File)[base.Name]; isImport {
+				return "", false // pkg.F, not a method call
+			}
+		}
+	}
+	ref, ok := ip.ix.resolveValue(n, sel.X)
+	if !ok || infallibleRecv(ref) {
+		return "", false
+	}
+	return sel.Sel.Name, true
+}
+
+// Stats returns the call-graph size counters.
+func (ip *Interproc) Stats() CallGraphStats {
+	return ip.stats
+}
+
+// finish freezes iteration order, runs the fixpoint, and computes the
+// stats.
+func (ip *Interproc) finish() {
+	ip.Order = make([]FuncID, 0, len(ip.Funcs))
+	for id := range ip.Funcs {
+		ip.Order = append(ip.Order, id)
+	}
+	sort.Slice(ip.Order, func(i, j int) bool { return ip.Order[i] < ip.Order[j] })
+
+	ip.fixpoint()
+
+	edges := 0
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		edges += len(n.Calls) + len(n.Spawns)
+	}
+	ip.stats = CallGraphStats{Nodes: len(ip.Funcs), Edges: edges, SCCs: ip.sccCount()}
+}
+
+// fixpoint initializes every node's transitive facts from its direct
+// summary and iterates OR-propagation until stable. The module graph
+// is small (hundreds of nodes), so plain iteration beats the
+// bookkeeping of a worklist.
+func (ip *Interproc) fixpoint() {
+	for _, id := range ip.Order {
+		n := ip.Funcs[id]
+		n.TransAcquires = map[string]bool{}
+		for _, l := range n.Locks {
+			if l.Op == "Lock" || l.Op == "RLock" {
+				n.TransAcquires[l.Lock] = true
+			}
+		}
+		n.TransObservesExit = n.ObservesExit
+		n.TransLoopsForever = n.LoopsForever
+		n.TransAllocates = len(n.Allocs) > 0
+		n.TransWatched = n.ReturnsError && n.DirectWatched
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, id := range ip.Order {
+			n := ip.Funcs[id]
+			for _, c := range n.Calls {
+				callee := ip.Funcs[c.Callee]
+				if callee == nil {
+					continue
+				}
+				// Suppressive: all edges.
+				if callee.TransObservesExit && !n.TransObservesExit {
+					n.TransObservesExit = true
+					changed = true
+				}
+				if c.Conservative {
+					continue
+				}
+				// Generative: precise edges only.
+				for lock := range callee.TransAcquires {
+					if !n.TransAcquires[lock] {
+						n.TransAcquires[lock] = true
+						changed = true
+					}
+				}
+				if callee.TransLoopsForever && !n.TransLoopsForever {
+					n.TransLoopsForever = true
+					changed = true
+				}
+				if callee.TransAllocates && !n.TransAllocates {
+					n.TransAllocates = true
+					changed = true
+				}
+				if callee.TransWatched && n.ReturnsError && !n.TransWatched {
+					n.TransWatched = true
+					changed = true
+				}
+			}
+			// A spawned goroutine's exit observation covers the spawn,
+			// not the spawner; no spawn-edge propagation.
+		}
+	}
+}
+
+// sccCount runs Tarjan's algorithm over all edges (calls and spawns)
+// and returns the number of strongly connected components — a
+// coarse-grained health stat for the CI artifact (a jump in SCC count
+// usually means resolution broke).
+func (ip *Interproc) sccCount() int {
+	index := map[FuncID]int{}
+	low := map[FuncID]int{}
+	onStack := map[FuncID]bool{}
+	var stack []FuncID
+	next := 0
+	count := 0
+
+	succs := func(id FuncID) []FuncID {
+		n := ip.Funcs[id]
+		out := make([]FuncID, 0, len(n.Calls)+len(n.Spawns))
+		for _, c := range n.Calls {
+			out = append(out, c.Callee)
+		}
+		for _, s := range n.Spawns {
+			out = append(out, s.Callee)
+		}
+		return out
+	}
+
+	var strongconnect func(v FuncID)
+	strongconnect = func(v FuncID) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, wid := range succs(v) {
+			if ip.Funcs[wid] == nil {
+				continue
+			}
+			if _, seen := index[wid]; !seen {
+				strongconnect(wid)
+				if low[wid] < low[v] {
+					low[v] = low[wid]
+				}
+			} else if onStack[wid] && index[wid] < low[v] {
+				low[v] = index[wid]
+			}
+		}
+		if low[v] == index[v] {
+			count++
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				if w == v {
+					break
+				}
+			}
+		}
+	}
+	for _, id := range ip.Order {
+		if _, seen := index[id]; !seen {
+			strongconnect(id)
+		}
+	}
+	return count
+}

@@ -9,6 +9,7 @@ import (
 	"path/filepath"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // File is one parsed Go source file.
@@ -41,6 +42,16 @@ type Module struct {
 	Packages []*Package
 	// Makefile is the root Makefile's contents, "" when absent.
 	Makefile string
+	// Path is the module path from go.mod ("" when absent). Import
+	// paths under it resolve to packages of this module, which is what
+	// lets the call graph follow cross-package calls.
+	Path string
+
+	// ip caches the interprocedural layer (call graph + summaries +
+	// fixpoint facts), built once per Module and shared by every
+	// analyzer that asks for it — see Interproc.
+	ipOnce sync.Once
+	ip     *Interproc
 }
 
 // rel maps an absolute (or FileSet-recorded) filename back to the
@@ -160,5 +171,22 @@ func Load(root string, overlay map[string][]byte) (*Module, error) {
 	} else if b, err := os.ReadFile(filepath.Join(absRoot, "Makefile")); err == nil {
 		m.Makefile = string(b)
 	}
+	if content, ok := overlay["go.mod"]; ok {
+		m.Path = modulePath(string(content))
+	} else if b, err := os.ReadFile(filepath.Join(absRoot, "go.mod")); err == nil {
+		m.Path = modulePath(string(b))
+	}
 	return m, nil
+}
+
+// modulePath extracts the module path from go.mod contents, "" when no
+// module line is present.
+func modulePath(gomod string) string {
+	for _, line := range strings.Split(gomod, "\n") {
+		line = strings.TrimSpace(line)
+		if rest, ok := strings.CutPrefix(line, "module "); ok {
+			return strings.Trim(strings.TrimSpace(rest), `"`)
+		}
+	}
+	return ""
 }

@@ -321,6 +321,8 @@ func (e *Engine) patternValueReuse(q *tree.Node) uint64 {
 // materializing a tree: the pattern encoder emits the same bytes as
 // PatternValue on p.ToTree() (pinned by an identity test), straight
 // into the engine's encode buffer. Update path only.
+//
+//lint:hotpath
 func (e *Engine) patternValue(p *enum.Pattern) uint64 {
 	e.encodeBuf = e.penc.encode(p, e.encodeBuf[:0])
 	return e.fp.Fingerprint(e.encodeBuf)
@@ -337,6 +339,8 @@ func (e *Engine) patternValue(p *enum.Pattern) uint64 {
 // those occurrences and TreesProcessed does not count the tree. A
 // caller that needs all-or-nothing semantics should restore a prior
 // snapshot (MarshalBinary/Restore) or discard the engine.
+//
+//lint:hotpath
 func (e *Engine) AddTree(t *tree.Tree) error {
 	return e.applyTree(t, 1)
 }
@@ -349,6 +353,8 @@ func (e *Engine) AddTree(t *tree.Tree) error {
 // untouched. Removing a tree that was never added yields negative
 // logical counts; the estimators remain unbiased for the resulting
 // signed stream.
+//
+//lint:hotpath
 func (e *Engine) RemoveTree(t *tree.Tree) error {
 	return e.applyTree(t, -1)
 }
@@ -372,6 +378,8 @@ type applyScratch struct {
 // accumulates in the scratch area and flushes to the atomics once per
 // tree; with timers off the whole apparatus reduces to one boolean
 // test per pattern.
+//
+//lint:hotpath
 func (e *Engine) visitPattern(p *enum.Pattern) error {
 	a := &e.apply
 	if a.timed {
@@ -402,13 +410,13 @@ func (e *Engine) visitPattern(p *enum.Pattern) error {
 		}
 	}
 	if e.truth != nil {
-		e.truth.Add(v, a.delta)
+		e.truth.Add(v, a.delta) //lint:allow hotpath exact-truth tracking is a test-only opt-in, nil in production
 	}
 	if e.observer != nil {
 		e.observer(v, p)
 	}
 	if e.auditor != nil {
-		e.auditor.Observe(v, a.delta)
+		e.auditor.Observe(v, a.delta) //lint:allow hotpath the auditor is an opt-in diagnostic, nil in production
 	}
 	// Incremented per applied occurrence, inside the callback, so
 	// that on a mid-enumeration error PatternsProcessed counts
@@ -419,6 +427,10 @@ func (e *Engine) visitPattern(p *enum.Pattern) error {
 	return nil
 }
 
+// applyTree is the shared add/remove kernel: reset the enumerator,
+// visit every pattern, flush stage timings once per tree.
+//
+//lint:hotpath
 func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	if t == nil || t.Root == nil {
 		return fmt.Errorf("core: nil tree")
@@ -445,7 +457,7 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 	if e.sum != nil && delta > 0 {
 		// The summary is a set of observed paths; deletion does not
 		// retract structure (a conservative over-approximation).
-		e.sum.AddTree(t)
+		e.sum.AddTree(t) //lint:allow hotpath path-summary ingestion is opt-in and amortized over its arena
 	}
 	e.trees += delta
 	e.met.AddTrees(delta)
@@ -459,6 +471,8 @@ func (e *Engine) applyTree(t *tree.Tree, delta int64) error {
 // processing (§5.2 sampling). The RNG advances only for probabilities
 // strictly between 0 and 1, so fully deterministic configurations
 // (including TopKProbabilityNever) stay reproducible.
+//
+//lint:hotpath
 func (e *Engine) sampleTopK() bool {
 	p := e.cfg.TopKProbability
 	if p >= 1 {
@@ -604,6 +618,8 @@ func (e *Engine) MemoryBytes() Memory {
 
 // trackerFor returns the top-k tracker of the virtual stream v routes
 // to, or nil when tracking is disabled.
+//
+//lint:hotpath
 func (e *Engine) trackerFor(v uint64) *topk.Tracker {
 	if e.trackers == nil {
 		return nil

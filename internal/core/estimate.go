@@ -117,6 +117,8 @@ func (e *Engine) estimateUnorderedWithError(q *tree.Node) (Estimate, error) {
 }
 
 // adjustmentForValue is the single-value top-k compensation.
+//
+//lint:hotpath
 func (e *Engine) adjustmentForValue(v uint64) []int64 {
 	if t := e.trackerFor(v); t != nil {
 		return t.AdjustmentOne(v)
@@ -130,6 +132,8 @@ func (e *Engine) adjustmentForValue(v uint64) []int64 {
 // the row and parity scratch. This is the estimator the auditor
 // scores, so the audit report measures exactly the error a
 // user-issued ordered query sees.
+//
+//lint:hotpath
 func (e *Engine) estimateValue(v uint64) float64 {
 	es := e.qest.Get().(*ams.Estimator)
 	est := es.Count(e.streams.SketchFor(v), v, e.adjustmentForValue(v))

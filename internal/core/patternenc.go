@@ -29,6 +29,8 @@ type pent struct {
 // prufer.OfNode's traversal: a pattern leaf contributes a dummy child
 // plus itself, an internal pattern node is visited after its chosen
 // children.
+//
+//lint:hotpath
 func (pe *patternEncoder) walk(p *enum.Pattern) int {
 	if len(p.Children) == 0 {
 		dummy := len(pe.ents)
@@ -56,6 +58,8 @@ func (pe *patternEncoder) walk(p *enum.Pattern) int {
 // sequence length, then per-entry label-length-prefixed LPS labels,
 // then the NPS numbers, all as uvarints (prufer.Sequence.Encode's
 // exact layout).
+//
+//lint:hotpath
 func (pe *patternEncoder) encode(p *enum.Pattern, buf []byte) []byte {
 	pe.ents = pe.ents[:0]
 	pe.nums = pe.nums[:0]

@@ -88,6 +88,8 @@ func (c *planCache) lookup(key string) ([]uint64, bool) {
 
 // lookupBytes is lookup keyed by a byte slice, letting callers probe
 // with a reused buffer; the map index converts without allocating.
+//
+//lint:hotpath
 func (c *planCache) lookupBytes(key []byte) ([]uint64, bool) {
 	if c == nil {
 		return nil, false

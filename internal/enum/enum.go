@@ -104,8 +104,11 @@ const (
 
 // grabPatSlab advances pat to the next recycled slab, allocating one
 // only when every existing slab is full.
+//
+//lint:hotpath
 func (e *Enumerator) grabPatSlab() {
 	if e.patNext == len(e.patSlabs) {
+		//lint:allow hotpath slab growth is amortized; Reset rewinds slabs for reuse
 		e.patSlabs = append(e.patSlabs, make([]Pattern, patSlabSize))
 	}
 	e.pat = e.patSlabs[e.patNext]
@@ -114,6 +117,8 @@ func (e *Enumerator) grabPatSlab() {
 }
 
 // newPattern carves a pattern struct from the slab arena.
+//
+//lint:hotpath
 func (e *Enumerator) newPattern(node *tree.Node, children []*Pattern) *Pattern {
 	if e.patOff == len(e.pat) {
 		e.grabPatSlab()
@@ -127,6 +132,8 @@ func (e *Enumerator) newPattern(node *tree.Node, children []*Pattern) *Pattern {
 
 // carve returns n fresh entries from the reference-slice arena. The
 // result is capacity-clamped so it can never grow into a neighbour.
+//
+//lint:hotpath
 func (e *Enumerator) carve(n int) []*Pattern {
 	if n == 0 {
 		return nil
@@ -137,6 +144,7 @@ func (e *Enumerator) carve(n int) []*Pattern {
 			if n > size {
 				size = n
 			}
+			//lint:allow hotpath slab growth is amortized; Reset rewinds slabs for reuse
 			e.refSlabs = append(e.refSlabs, make([]*Pattern, size))
 		}
 		e.ref = e.refSlabs[e.refNext]
@@ -176,6 +184,8 @@ func (e *Enumerator) MaxEdges() int { return e.maxEdges }
 // enumerator and Reset it per tree instead of allocating a fresh one
 // each time. Reset invalidates every pattern previously returned —
 // the slabs backing them are rewound and will be overwritten.
+//
+//lint:hotpath
 func (e *Enumerator) Reset() {
 	clear(e.memo)
 	clear(e.leaves)
@@ -185,18 +195,21 @@ func (e *Enumerator) Reset() {
 	e.res = e.res[:0]
 }
 
+//lint:hotpath
 func (e *Enumerator) leaf(n *tree.Node) *Pattern {
 	if p, ok := e.leaves[n]; ok {
 		return p
 	}
 	p := e.newPattern(n, nil)
-	e.leaves[n] = p
+	e.leaves[n] = p //lint:allow hotpath leaf memo is bounded by tree nodes and cleared per tree
 	return p
 }
 
 // Rooted returns P(node, n): all patterns rooted at the given data
 // node with exactly n edges (n >= 1). The returned slice and its
 // patterns are owned by the enumerator and must not be modified.
+//
+//lint:hotpath
 func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
 	if n < 1 || n > e.maxEdges {
 		return nil
@@ -215,7 +228,7 @@ func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
 		}
 		e.res = e.res[:base]
 	}
-	e.memo[key] = out
+	e.memo[key] = out //lint:allow hotpath memo is bounded by nodes times maxEdges and cleared per tree
 	return out
 }
 
@@ -227,6 +240,8 @@ func (e *Enumerator) Rooted(node *tree.Node, n int) []*Pattern {
 // patterns are appended to e.res; nested Rooted calls push and pop
 // above the current tops, so both stacks read consistently across the
 // mutual recursion.
+//
+//lint:hotpath
 func (e *Enumerator) assign(node *tree.Node, ci, left, accBase int) {
 	if left == 0 {
 		if len(e.acc) > accBase {
@@ -260,6 +275,8 @@ func (e *Enumerator) assign(node *tree.Node, ci, left, accBase int) {
 // anywhere in the tree, visiting roots in postorder and sizes in
 // increasing order per root. Enumeration stops early if fn returns an
 // error, which is then returned.
+//
+//lint:hotpath
 func (e *Enumerator) ForEach(root *tree.Node, fn func(*Pattern) error) error {
 	for _, c := range root.Children {
 		if err := e.ForEach(c, fn); err != nil {

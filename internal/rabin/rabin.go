@@ -90,12 +90,16 @@ func (f *Fingerprinter) Modulus() uint64 { return f.modulus }
 const initial = 1
 
 // pushByte folds one byte into the fingerprint state.
+//
+//lint:hotpath
 func (f *Fingerprinter) pushByte(fp uint64, b byte) uint64 {
 	t := fp >> f.top
 	return (fp<<8|uint64(b))&f.mask ^ f.tab[t]
 }
 
 // Fingerprint returns the fingerprint of data.
+//
+//lint:hotpath
 func (f *Fingerprinter) Fingerprint(data []byte) uint64 {
 	fp := uint64(initial)
 	for _, b := range data {
@@ -160,7 +164,7 @@ func (h *Hash) WriteByte(b byte) error {
 func (h *Hash) WriteUvarint(v uint64) {
 	var buf [binary.MaxVarintLen64]byte
 	n := binary.PutUvarint(buf[:], v)
-	h.Write(buf[:n])
+	h.Write(buf[:n]) //lint:allow errflow Hash.Write never fails; the error exists for io.Writer conformance
 }
 
 // Sum64 returns the current fingerprint.

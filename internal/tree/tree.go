@@ -199,6 +199,8 @@ func (n *Node) writeSexp(b *strings.Builder) {
 // AppendSexp appends the S-expression rendering of String to buf and
 // returns the extended buffer, allocating only when buf must grow.
 // Query paths use it to build cache keys into reused buffers.
+//
+//lint:hotpath
 func (n *Node) AppendSexp(buf []byte) []byte {
 	buf = append(buf, '(')
 	if n.Label == "" || strings.ContainsAny(n.Label, " \t\n()\"") {
@@ -210,7 +212,8 @@ func (n *Node) AppendSexp(buf []byte) []byte {
 		buf = append(buf, ' ')
 		buf = c.AppendSexp(buf)
 	}
-	return append(buf, ')')
+	buf = append(buf, ')')
+	return buf
 }
 
 // String renders the tree as an S-expression.

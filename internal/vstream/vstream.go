@@ -95,12 +95,16 @@ func (s *Streams) Seeds() *ams.Seeds { return s.seeds }
 
 // Route returns the index of the virtual stream that value v belongs
 // to.
+//
+//lint:hotpath
 func (s *Streams) Route(v uint64) int { return int(v % s.p) }
 
 // Sketch returns the sketch of virtual stream i.
 func (s *Streams) Sketch(i int) *ams.Sketch { return s.sketches[i] }
 
 // SketchFor returns the sketch of the virtual stream v routes to.
+//
+//lint:hotpath
 func (s *Streams) SketchFor(v uint64) *ams.Sketch { return s.sketches[s.Route(v)] }
 
 // Update adds delta occurrences of v to its virtual stream.
@@ -110,6 +114,8 @@ func (s *Streams) Update(v uint64, delta int64) {
 
 // UpdatePrepared is Update with a caller-managed ξ preparation (the
 // stream hot path reuses one Prep across values).
+//
+//lint:hotpath
 func (s *Streams) UpdatePrepared(v uint64, p *xi.Prep, delta int64) {
 	r := s.Route(v)
 	s.sketches[r].UpdatePrepared(p, delta)

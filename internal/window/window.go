@@ -199,6 +199,8 @@ func (w *Windowed) EnableTimers(on bool) {
 }
 
 // curLocked returns the current (newest) slice. Caller holds w.mu.
+//
+//lint:hotpath
 func (w *Windowed) curLocked() *slice {
 	r := *w.ring.Load()
 	return r[len(r)-1]
@@ -220,6 +222,8 @@ func (w *Windowed) newSliceLocked(start time.Time) (*slice, error) {
 // Add folds one tree into the current slice, advancing first if the
 // clock cadence is due and afterwards if the count cadence fills the
 // slice.
+//
+//lint:hotpath
 func (w *Windowed) Add(t *tree.Tree) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -232,7 +236,7 @@ func (w *Windowed) Add(t *tree.Tree) error {
 	}
 	cur.trees.Add(1)
 	if w.pol.SliceTrees > 0 && cur.trees.Load() >= int64(w.pol.SliceTrees) {
-		return w.advanceAtLocked(w.clock())
+		return w.advanceAtLocked(w.clock()) //lint:allow hotpath slice rotation is the cadence boundary, amortized over SliceTrees updates
 	}
 	return w.noteUpdateLocked()
 }
@@ -305,6 +309,8 @@ func (w *Windowed) Refresh() error {
 // After a long idle gap every live slice has expired: rather than
 // rotating the ring Slices more times, the window resets to a single
 // fresh slice. Caller holds w.mu.
+//
+//lint:hotpath
 func (w *Windowed) advanceDueLocked() error {
 	if w.pol.SliceDur <= 0 {
 		return nil
@@ -316,8 +322,10 @@ func (w *Windowed) advanceDueLocked() error {
 			return nil
 		}
 		if n >= w.pol.Slices {
+			//lint:allow hotpath full reset after an idle gap longer than the window, not the per-update path
 			return w.resetLocked(now)
 		}
+		//lint:allow hotpath clock-cadence rotation, amortized over a slice's lifetime
 		if err := w.advanceAtLocked(cur.start.Add(w.pol.SliceDur)); err != nil {
 			return err
 		}
@@ -366,6 +374,8 @@ func (w *Windowed) resetLocked(start time.Time) error {
 
 // noteUpdateLocked ticks the update counter and rebuilds the merged
 // serving state when the refresh cadence is reached. Caller holds w.mu.
+//
+//lint:hotpath
 func (w *Windowed) noteUpdateLocked() error {
 	if w.pol.RefreshEveryTrees < 0 {
 		return nil
@@ -374,6 +384,7 @@ func (w *Windowed) noteUpdateLocked() error {
 	if w.sinceRebuild < w.pol.RefreshEveryTrees {
 		return nil
 	}
+	//lint:allow hotpath merged-state rebuild at the refresh cadence, amortized
 	return w.rebuildLocked()
 }
 

@@ -105,13 +105,15 @@ type Prep struct {
 // If p is nil a new Prep is allocated. The value is reduced into the
 // field; values must be below 2^Degree for the family to distinguish
 // them.
+//
+//lint:hotpath
 func (f *Family) Prepare(v uint64, p *Prep) *Prep {
 	if p == nil {
-		p = &Prep{}
+		p = &Prep{} //lint:allow hotpath nil-Prep convenience path; update and query paths pass a reused Prep
 	}
 	n := f.words()
 	if cap(p.words) < n {
-		p.words = make([]uint64, n)
+		p.words = make([]uint64, n) //lint:allow hotpath grows once to the family width, then reused in place
 	}
 	p.words = p.words[:n]
 	fv := f.field.Reduce(v)
@@ -310,6 +312,8 @@ func (b *Batch) AddInto(p *Prep, delta int64, x []int64) {
 // 1 for ξ = −1 — into dst, which must have exactly Len entries. The
 // query-side estimators use it to evaluate one value against every
 // cell without per-cell generator dereferences.
+//
+//lint:hotpath
 func (b *Batch) BitsInto(p *Prep, dst []uint8) {
 	dst = dst[:b.n]
 	if b.fam.kind == BCH {
